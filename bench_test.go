@@ -1,0 +1,271 @@
+package lcg
+
+// One benchmark per experiment id from DESIGN.md's index (regenerating
+// the paper artifact end to end), plus scaling series for the two
+// approximation algorithms and micro-benchmarks for the substrates the
+// library is built on.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/game"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment(id, 1, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkF1ChannelSemantics(b *testing.B)   { benchExperiment(b, "F1") }
+func BenchmarkF2JoiningExample(b *testing.B)     { benchExperiment(b, "F2") }
+func BenchmarkE1Submodularity(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2Monotonicity(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3NegativeUtility(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4GreedyRatio(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5DiscreteRatio(b *testing.B)      { benchExperiment(b, "E5") }
+func BenchmarkE6ContinuousRatio(b *testing.B)    { benchExperiment(b, "E6") }
+func BenchmarkE7HubDiameter(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8StarStability(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9PathInstability(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10CircleInstability(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11SimVsAnalytic(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12Tradeoff(b *testing.B)          { benchExperiment(b, "E12") }
+
+// newBenchEvaluator builds a core evaluator over a BA topology of size n.
+func newBenchEvaluator(b *testing.B, n int) *core.JoinEvaluator {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(n, 2, 10, rng)
+	dist := txdist.ModifiedZipf{S: 1}
+	demand, err := traffic.NewUniformDemand(g, dist, float64(n))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev, err := core.NewJoinEvaluator(g, dist, demand, core.Params{
+		OnChainCost: 1,
+		OppCostRate: 0.05,
+		FAvg:        1,
+		FeePerHop:   0.2,
+		OwnRate:     2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ev
+}
+
+// BenchmarkAlg1Scaling measures Algorithm 1 end to end (rate estimation
+// amortised by the evaluator) across network sizes — the Theorem 4
+// runtime series.
+func BenchmarkAlg1Scaling(b *testing.B) {
+	for _, n := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ev := newBenchEvaluator(b, n)
+			// Force the one-time λ̂ estimation outside the timed loop.
+			ev.FixedRate(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Greedy(ev, core.GreedyConfig{Budget: 8, Lock: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlg2Granularity measures Algorithm 2 as the lock granularity m
+// shrinks — the Theorem 5 trade-off series.
+func BenchmarkAlg2Granularity(b *testing.B) {
+	for _, unit := range []float64{4, 2, 1, 0.5} {
+		b.Run(fmt.Sprintf("m=%g", unit), func(b *testing.B) {
+			ev := newBenchEvaluator(b, 24)
+			ev.FixedRate(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DiscreteSearch(ev, core.DiscreteConfig{Budget: 6, Unit: unit}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRateEstimation isolates the λ̂ oracle (the paper's "estimation
+// of the λ_uv parameter").
+func BenchmarkRateEstimation(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ev := newBenchEvaluator(b, n)
+			all := make([]graph.NodeID, n)
+			for i := range all {
+				all[i] = graph.NodeID(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.EstimateRates(all)
+			}
+		})
+	}
+}
+
+// BenchmarkWeightedBetweenness measures the Brandes substrate, the inner
+// loop of every rate estimate and revenue computation.
+func BenchmarkWeightedBetweenness(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			g := graph.BarabasiAlbert(n, 2, 1, rng)
+			dist := txdist.ModifiedZipf{S: 1}
+			demand, err := traffic.NewUniformDemand(g, dist, float64(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			w := demand.PairWeight()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.EdgeBetweenness(w)
+			}
+		})
+	}
+}
+
+// BenchmarkAllPairsBFS measures the evaluator's one-time precomputation.
+func BenchmarkAllPairsBFS(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			g := graph.BarabasiAlbert(n, 2, 1, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.AllPairsBFS()
+			}
+		})
+	}
+}
+
+// BenchmarkPaymentThroughput measures multi-hop payment execution over
+// live channels.
+func BenchmarkPaymentThroughput(b *testing.B) {
+	g := graph.Circle(32, 1e12)
+	ledger, err := chain.NewLedger(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	network, err := payment.FromGraph(ledger, fee.Constant{F: 0.01}, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := graph.NodeID(i % 32)
+		to := graph.NodeID((i + 7) % 32)
+		if _, err := network.Pay(from, to, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNashCheck measures the exhaustive equilibrium verification on
+// the §IV star.
+func BenchmarkNashCheck(b *testing.B) {
+	for _, leaves := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("leaves=%d", leaves), func(b *testing.B) {
+			g := graph.Star(leaves, 1)
+			cfg := game.Config{
+				Dist:       txdist.ModifiedZipf{S: 2},
+				SenderRate: 1,
+				FAvg:       0.5,
+				FeePerHop:  0.5,
+				LinkCost:   1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := game.IsNashEquilibrium(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulation measures the discrete-event replay loop.
+func BenchmarkSimulation(b *testing.B) {
+	network := Star(8, 1e9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(network, SimConfig{
+			Events:      2000,
+			ZipfS:       1,
+			TxSize:      1,
+			FeePerHop:   0.01,
+			OnChainFee:  1,
+			Seed:        int64(i),
+			SteadyState: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Dynamics(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14Estimation(b *testing.B)   { benchExperiment(b, "E14") }
+func BenchmarkE15Distribution(b *testing.B) { benchExperiment(b, "E15") }
+func BenchmarkE16CostModel(b *testing.B)    { benchExperiment(b, "E16") }
+func BenchmarkE17Anarchy(b *testing.B)      { benchExperiment(b, "E17") }
+
+// BenchmarkBestResponseDynamics isolates one dynamics run on the §IV
+// benchmark topology.
+func BenchmarkBestResponseDynamics(b *testing.B) {
+	cfg := game.Config{
+		Dist:       txdist.ModifiedZipf{S: 2},
+		SenderRate: 1,
+		FAvg:       0.5,
+		FeePerHop:  0.5,
+		LinkCost:   1,
+	}
+	g := graph.Circle(6, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := game.BestResponseDynamics(g, cfg, game.DynamicsConfig{MaxRounds: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDemandEstimation isolates the empirical demand estimator.
+func BenchmarkDemandEstimation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(16, 2, 10, rng)
+	demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := traffic.NewGenerator(demand, nil, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	txs := gen.Take(10000)
+	duration := gen.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.EstimateDemand(16, txs, duration, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE18Boundary(b *testing.B) { benchExperiment(b, "E18") }

@@ -1,0 +1,386 @@
+// Command lcg reproduces the paper's artifacts and exposes the library's
+// planners from the command line.
+//
+// Usage:
+//
+//	lcg experiments [-seed N] [-csv] [id ...]   regenerate paper tables (default: all)
+//	lcg join        [flags]                     price and optimise a join
+//	lcg stability   [flags]                     audit star/path/circle equilibria
+//	lcg simulate    [flags]                     replay a Poisson workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/lightning-creation-games/lcg"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lcg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		usage(w)
+		return nil
+	}
+	switch args[0] {
+	case "experiments":
+		return runExperiments(args[1:], w)
+	case "join":
+		return runJoin(args[1:], w)
+	case "stability":
+		return runStability(args[1:], w)
+	case "simulate":
+		return runSimulate(args[1:], w)
+	case "dynamics":
+		return runDynamics(args[1:], w)
+	case "network":
+		return runNetwork(args[1:], w)
+	case "help", "-h", "--help":
+		usage(w)
+		return nil
+	default:
+		usage(w)
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `lcg — Lightning Creation Games (ICDCS 2023) reproduction
+
+commands:
+  experiments [-seed N] [-csv] [id ...]  regenerate paper tables (default: all)
+  join        [flags]                    price and optimise joining a network
+  stability   [flags]                    audit star/path/circle equilibria
+  simulate    [flags]                    replay a Poisson workload over live channels
+  dynamics    [flags]                    run best-response dynamics to an equilibrium
+  network     [flags]                    generate a topology and write it as JSON
+
+run 'lcg <command> -h' for command flags`)
+}
+
+func runExperiments(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed for the experiment corpus")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = lcg.ExperimentIDs()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		var err error
+		if *asCSV {
+			err = lcg.RunExperimentCSV(id, *seed, w)
+		} else {
+			err = lcg.RunExperiment(id, *seed, w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildNetwork creates a topology by name, or loads one from a JSON file
+// when the name has the form "file:<path>".
+func buildNetwork(topology string, n int, seed int64) (*lcg.Network, error) {
+	if path, ok := strings.CutPrefix(topology, "file:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return lcg.ReadNetworkJSON(f)
+	}
+	switch topology {
+	case "star":
+		return lcg.Star(n, 10), nil
+	case "path":
+		return lcg.PathNetwork(n, 10), nil
+	case "circle":
+		return lcg.Circle(n, 10), nil
+	case "complete":
+		return lcg.Complete(n, 10), nil
+	case "ba":
+		return lcg.BarabasiAlbert(n, 2, 10, seed), nil
+	case "er":
+		return lcg.ErdosRenyi(n, 0.3, 10, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (star|path|circle|complete|ba|er)", topology)
+	}
+}
+
+func runJoin(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("join", flag.ContinueOnError)
+	var (
+		topology  = fs.String("topology", "ba", "existing network: star|path|circle|complete|ba|er")
+		n         = fs.Int("n", 20, "network size")
+		seed      = fs.Int64("seed", 1, "seed for random topologies")
+		s         = fs.Float64("s", 1, "modified-Zipf scale parameter")
+		budget    = fs.Float64("budget", 6, "joining budget B_u")
+		lock      = fs.Float64("lock", 1, "fixed lock per channel (greedy)")
+		unit      = fs.Float64("unit", 1, "lock granularity m (discrete)")
+		algorithm = fs.String("algorithm", "greedy", "greedy|discrete|continuous")
+		onChain   = fs.Float64("C", 1, "on-chain cost per channel")
+		favg      = fs.Float64("favg", 0.5, "routing fee earned per forwarded tx")
+		hopFee    = fs.Float64("hopfee", 0.5, "fee paid per hop for own txs")
+		ownRate   = fs.Float64("rate", 1, "joining user's tx rate N_u")
+		oppRate   = fs.Float64("r", 0.05, "opportunity cost rate")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	network, err := buildNetwork(*topology, *n, *seed)
+	if err != nil {
+		return err
+	}
+	planner, err := lcg.NewJoinPlanner(network,
+		lcg.WithZipf(*s),
+		lcg.WithParams(lcg.Params{
+			OnChainCost: *onChain,
+			OppCostRate: *oppRate,
+			FAvg:        *favg,
+			FeePerHop:   *hopFee,
+			OwnRate:     *ownRate,
+		}))
+	if err != nil {
+		return err
+	}
+	var plan lcg.Plan
+	switch *algorithm {
+	case "greedy":
+		plan, err = planner.Greedy(*budget, *lock)
+	case "discrete":
+		plan, err = planner.DiscreteSearch(*budget, *unit)
+	case "continuous":
+		plan, err = planner.ContinuousSearch(*budget)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algorithm)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "network: %s n=%d channels=%d\n", *topology, network.NumUsers(), network.NumChannels())
+	fmt.Fprintf(w, "algorithm: %s  budget: %g\n", *algorithm, *budget)
+	if len(plan.Strategy) == 0 {
+		fmt.Fprintln(w, "plan: no affordable channel")
+		return nil
+	}
+	fmt.Fprintln(w, "plan:")
+	for _, a := range plan.Strategy {
+		fmt.Fprintf(w, "  open channel to user %d, lock %.4g\n", a.Peer, a.Lock)
+	}
+	fmt.Fprintf(w, "objective: %.6g\n", plan.Objective)
+	fmt.Fprintf(w, "utility U: %.6g\n", plan.Utility)
+	fmt.Fprintf(w, "revenue: %.6g  fees: %.6g  cost: %.6g\n",
+		planner.Revenue(plan.Strategy), planner.Fees(plan.Strategy), planner.Cost(plan.Strategy))
+	fmt.Fprintf(w, "evaluations: %d\n", plan.Evaluations)
+	return nil
+}
+
+func runStability(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("stability", flag.ContinueOnError)
+	var (
+		topology = fs.String("topology", "star", "star|path|circle")
+		n        = fs.Int("n", 5, "leaves (star) or nodes (path/circle)")
+		s        = fs.Float64("s", 2, "modified-Zipf scale parameter")
+		link     = fs.Float64("l", 1, "per-party channel cost l")
+		favg     = fs.Float64("favg", 0.5, "routing fee earned per forwarded tx")
+		hopFee   = fs.Float64("hopfee", 0.5, "fee paid per hop")
+		rate     = fs.Float64("rate", 1, "per-node tx rate")
+		maxN     = fs.Int("maxn", 64, "largest circle size to scan")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params := lcg.GameParams{
+		ZipfS:      *s,
+		SenderRate: *rate,
+		FAvg:       *favg,
+		FeePerHop:  *hopFee,
+		LinkCost:   *link,
+	}
+	switch *topology {
+	case "star":
+		closed, exhaustive, err := lcg.StarStable(*n, params)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "star with %d leaves, s=%g l=%g\n", *n, *s, *link)
+		fmt.Fprintf(w, "Theorem 8 closed form: NE = %v\n", closed)
+		fmt.Fprintf(w, "Theorem 9 regime: %v\n", lcg.Theorem9Regime(*n, params))
+		fmt.Fprintf(w, "exhaustive deviation search: NE = %v\n", exhaustive)
+	case "path":
+		dev, found, err := lcg.PathInstabilityWitness(*n, params)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "path with %d nodes, s=%g l=%g\n", *n, *s, *link)
+		if found {
+			fmt.Fprintf(w, "improving endpoint deviation (Theorem 10): re-attach to %v, gain %.6g\n",
+				dev.Neighbors, dev.Gain)
+		} else {
+			fmt.Fprintln(w, "no improving endpoint deviation found at this size")
+		}
+	case "circle":
+		n0, found, err := lcg.CircleCrossover(params, *maxN)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "circle, s=%g l=%g\n", *s, *link)
+		if found {
+			fmt.Fprintf(w, "unstable from n0 = %d (Theorem 11 connect-to-opposite deviation pays)\n", n0)
+		} else {
+			fmt.Fprintf(w, "stable against the opposite-node deviation up to n = %d\n", *maxN)
+		}
+	default:
+		return fmt.Errorf("unknown topology %q", *topology)
+	}
+	return nil
+}
+
+func runSimulate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		topology = fs.String("topology", "ba", "star|path|circle|complete|ba|er")
+		n        = fs.Int("n", 16, "network size")
+		seed     = fs.Int64("seed", 1, "seed")
+		s        = fs.Float64("s", 1, "modified-Zipf scale parameter")
+		events   = fs.Int("events", 20000, "transactions to replay")
+		txSize   = fs.Float64("txsize", 1, "transaction size")
+		hopFee   = fs.Float64("hopfee", 0.01, "fee per forwarded tx")
+		steady   = fs.Bool("steady", true, "rebalance periodically (steady state)")
+		top      = fs.Int("top", 5, "nodes to report")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	network, err := buildNetwork(*topology, *n, *seed)
+	if err != nil {
+		return err
+	}
+	report, err := lcg.Simulate(network, lcg.SimConfig{
+		Events:      *events,
+		ZipfS:       *s,
+		TxSize:      *txSize,
+		FeePerHop:   *hopFee,
+		OnChainFee:  1,
+		Seed:        *seed,
+		SteadyState: *steady,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "network: %s n=%d channels=%d\n", *topology, network.NumUsers(), network.NumChannels())
+	fmt.Fprintf(w, "events: %d  success rate: %.3f  volume: %.4g  fees paid: %.4g\n",
+		report.Events, report.SuccessRate, report.Volume, report.FeesPaid)
+	fmt.Fprintln(w, "busiest forwarders (measured vs predicted transit rate):")
+	order := busiest(report.PredictedTransit, *top)
+	for _, v := range order {
+		fmt.Fprintf(w, "  user %-3d measured %-8.4f predicted %-8.4f\n",
+			v, report.MeasuredTransit[v], report.PredictedTransit[v])
+	}
+	return nil
+}
+
+// busiest returns the indices of the k largest values, descending.
+func busiest(values []float64, k int) []int {
+	order := make([]int, len(values))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && values[order[j]] > values[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+func runDynamics(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("dynamics", flag.ContinueOnError)
+	var (
+		topology = fs.String("topology", "path", "starting topology: star|path|circle|complete|ba|er")
+		n        = fs.Int("n", 6, "network size (keep ≤ 10: best responses are exhaustive)")
+		seed     = fs.Int64("seed", 1, "seed for random topologies")
+		s        = fs.Float64("s", 2, "modified-Zipf scale parameter")
+		link     = fs.Float64("l", 1, "per-party channel cost l")
+		favg     = fs.Float64("favg", 0.5, "routing fee earned per forwarded tx")
+		hopFee   = fs.Float64("hopfee", 0.5, "fee paid per hop")
+		rate     = fs.Float64("rate", 1, "per-node tx rate")
+		rounds   = fs.Int("rounds", 30, "maximum best-response rounds")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start, err := buildNetwork(*topology, *n, *seed)
+	if err != nil {
+		return err
+	}
+	params := lcg.GameParams{
+		ZipfS:      *s,
+		SenderRate: *rate,
+		FAvg:       *favg,
+		FeePerHop:  *hopFee,
+		LinkCost:   *link,
+	}
+	report, err := lcg.BestResponseDynamics(start, params, *rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "start: %s n=%d channels=%d\n", *topology, start.NumUsers(), start.NumChannels())
+	fmt.Fprintf(w, "rounds: %d  moves: %d  converged: %v\n", report.Rounds, report.Moves, report.Converged)
+	fmt.Fprintf(w, "final topology: %s (%d channels), welfare %.4g\n",
+		report.FinalClass, report.Final.NumChannels(), report.Welfare)
+	return nil
+}
+
+func runNetwork(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("network", flag.ContinueOnError)
+	var (
+		topology = fs.String("topology", "ba", "star|path|circle|complete|ba|er")
+		n        = fs.Int("n", 20, "network size")
+		seed     = fs.Int64("seed", 1, "seed for random topologies")
+		out      = fs.String("o", "", "output file (default stdout)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	network, err := buildNetwork(*topology, *n, *seed)
+	if err != nil {
+		return err
+	}
+	dst := w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return network.WriteJSON(dst)
+}

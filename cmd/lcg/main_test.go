@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	out, err := runCLI(t)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("usage missing: %s", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, err := runCLI(t, "bogus"); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestExperimentsSubsetAndCSV(t *testing.T) {
+	out, err := runCLI(t, "experiments", "F1")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("missing table: %s", out)
+	}
+	out, err = runCLI(t, "experiments", "-csv", "E9")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "deviation found") {
+		t.Fatalf("missing CSV header: %s", out)
+	}
+	if _, err := runCLI(t, "experiments", "E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestJoinCommand(t *testing.T) {
+	for _, algo := range []string{"greedy", "discrete", "continuous"} {
+		out, err := runCLI(t, "join", "-topology", "star", "-n", "6", "-algorithm", algo, "-budget", "4")
+		if err != nil {
+			t.Fatalf("join %s: %v", algo, err)
+		}
+		if !strings.Contains(out, "plan") {
+			t.Fatalf("join %s output: %s", algo, out)
+		}
+	}
+	if _, err := runCLI(t, "join", "-algorithm", "magic"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := runCLI(t, "join", "-topology", "hypercube"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestStabilityCommand(t *testing.T) {
+	out, err := runCLI(t, "stability", "-topology", "star", "-n", "4", "-s", "2.5", "-l", "1")
+	if err != nil {
+		t.Fatalf("stability star: %v", err)
+	}
+	if !strings.Contains(out, "Theorem 8") {
+		t.Fatalf("star output: %s", out)
+	}
+	out, err = runCLI(t, "stability", "-topology", "path", "-n", "6")
+	if err != nil {
+		t.Fatalf("stability path: %v", err)
+	}
+	if !strings.Contains(out, "Theorem 10") {
+		t.Fatalf("path output: %s", out)
+	}
+	out, err = runCLI(t, "stability", "-topology", "circle", "-l", "0.5")
+	if err != nil {
+		t.Fatalf("stability circle: %v", err)
+	}
+	if !strings.Contains(out, "n0") && !strings.Contains(out, "stable") {
+		t.Fatalf("circle output: %s", out)
+	}
+	if _, err := runCLI(t, "stability", "-topology", "torus"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestSimulateCommand(t *testing.T) {
+	out, err := runCLI(t, "simulate", "-topology", "star", "-n", "5", "-events", "2000")
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if !strings.Contains(out, "success rate") || !strings.Contains(out, "busiest forwarders") {
+		t.Fatalf("simulate output: %s", out)
+	}
+}
+
+func TestHelpCommand(t *testing.T) {
+	out, err := runCLI(t, "help")
+	if err != nil {
+		t.Fatalf("help: %v", err)
+	}
+	if !strings.Contains(out, "experiments") {
+		t.Fatalf("help output: %s", out)
+	}
+}
+
+func TestDynamicsCommand(t *testing.T) {
+	out, err := runCLI(t, "dynamics", "-topology", "circle", "-n", "6", "-s", "2", "-l", "1")
+	if err != nil {
+		t.Fatalf("dynamics: %v", err)
+	}
+	if !strings.Contains(out, "final topology: star") {
+		t.Fatalf("dynamics output: %s", out)
+	}
+	if _, err := runCLI(t, "dynamics", "-topology", "moebius"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestNetworkCommandAndFileLoading(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/net.json"
+	if _, err := runCLI(t, "network", "-topology", "circle", "-n", "5", "-o", path); err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	out, err := runCLI(t, "simulate", "-topology", "file:"+path, "-events", "500")
+	if err != nil {
+		t.Fatalf("simulate from file: %v", err)
+	}
+	if !strings.Contains(out, "channels=5") {
+		t.Fatalf("loaded network shape wrong: %s", out)
+	}
+	if _, err := runCLI(t, "join", "-topology", "file:/nonexistent.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNetworkCommandStdout(t *testing.T) {
+	out, err := runCLI(t, "network", "-topology", "star", "-n", "3")
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	if !strings.Contains(out, `"users": 4`) {
+		t.Fatalf("JSON output: %s", out)
+	}
+}

@@ -1,0 +1,53 @@
+package lcg
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/game"
+)
+
+// DynamicsReport summarises a best-response-dynamics run: which topology
+// the creation game converges to when every user iteratively plays its
+// utility-maximising rewiring.
+type DynamicsReport struct {
+	// Final is the resulting topology.
+	Final *Network
+	// Rounds is the number of full best-response passes executed.
+	Rounds int
+	// Moves counts accepted improving deviations.
+	Moves int
+	// Converged reports that the final state is a Nash equilibrium of
+	// the rewiring game.
+	Converged bool
+	// FinalClass coarsely names the final structure: "star", "path",
+	// "circle", "complete", "tree", "empty", "disconnected" or "other".
+	FinalClass string
+	// Welfare is the sum of node utilities in the final state (−Inf when
+	// some node ends up disconnected).
+	Welfare float64
+}
+
+// BestResponseDynamics iterates exhaustive best responses from the given
+// starting topology until no user can improve or maxRounds passes have
+// run. The starting network is not modified. The search is exponential
+// per node, so keep networks small (n ≲ 12).
+//
+// This extends §IV from "is this topology stable?" to "which topologies
+// emerge?" — under the paper's parameters the star dominates, matching
+// its conclusion.
+func BestResponseDynamics(start *Network, p GameParams, maxRounds int) (DynamicsReport, error) {
+	res, err := game.BestResponseDynamics(start.graphView(), p.toGame(), game.DynamicsConfig{
+		MaxRounds: maxRounds,
+	})
+	if err != nil {
+		return DynamicsReport{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return DynamicsReport{
+		Final:      &Network{g: res.Final},
+		Rounds:     res.Rounds,
+		Moves:      res.Moves,
+		Converged:  res.Converged,
+		FinalClass: string(game.Classify(res.Final)),
+		Welfare:    res.Welfare,
+	}, nil
+}

@@ -1,0 +1,98 @@
+package lcg_test
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg"
+)
+
+// Build a small network by hand and price a candidate join strategy.
+func ExampleNewJoinPlanner() {
+	// The Figure 2 network: a path A-B-C-D.
+	network := lcg.PathNetwork(4, 100)
+
+	planner, err := lcg.NewJoinPlanner(network,
+		lcg.WithDemand(
+			[]float64{9, 0, 0, 0}, // A sends 9 tx/month…
+			[][]float64{
+				{0, 0, 0, 1}, // …all to D
+				{0, 0, 0, 0},
+				{0, 0, 0, 0},
+				{0, 0, 0, 0},
+			}),
+		lcg.WithJoinTargets(map[int]float64{1: 1}), // E pays only B
+		lcg.WithParams(lcg.Params{
+			OnChainCost: 20,
+			FAvg:        1,
+			FeePerHop:   1,
+			OwnRate:     1,
+		}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	// The paper's recommended strategy: channels to A and D.
+	s := lcg.Strategy{{Peer: 0, Lock: 10}, {Peer: 3, Lock: 9}}
+	fmt.Printf("revenue %.0f fees %.0f\n", planner.Revenue(s), planner.Fees(s))
+	// Output:
+	// revenue 9 fees 2
+}
+
+// Check the closed-form star stability conditions of Theorem 8 against
+// the exhaustive deviation search.
+func ExampleStarStable() {
+	params := lcg.GameParams{
+		ZipfS:      2.5,
+		SenderRate: 1,
+		FAvg:       0.5,
+		FeePerHop:  0.5,
+		LinkCost:   1,
+	}
+	closed, exhaustive, err := lcg.StarStable(4, params)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("closed-form NE:", closed)
+	fmt.Println("exhaustive NE:", exhaustive)
+	fmt.Println("Theorem 9 regime:", lcg.Theorem9Regime(4, params))
+	// Output:
+	// closed-form NE: true
+	// exhaustive NE: true
+	// Theorem 9 regime: true
+}
+
+// Find where the circle topology stops being stable (Theorem 11).
+func ExampleCircleCrossover() {
+	params := lcg.GameParams{
+		ZipfS:      0.5,
+		SenderRate: 1,
+		FAvg:       0.5,
+		FeePerHop:  0.5,
+		LinkCost:   0.5,
+	}
+	n0, found, err := lcg.CircleCrossover(params, 64)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(found, n0)
+	// Output:
+	// true 7
+}
+
+// Run best-response dynamics and observe the star emerging.
+func ExampleBestResponseDynamics() {
+	params := lcg.GameParams{
+		ZipfS:      2,
+		SenderRate: 1,
+		FAvg:       0.5,
+		FeePerHop:  0.5,
+		LinkCost:   1,
+	}
+	report, err := lcg.BestResponseDynamics(lcg.Circle(6, 1), params, 30)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(report.Converged, report.FinalClass)
+	// Output:
+	// true star
+}

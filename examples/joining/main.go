@@ -1,0 +1,109 @@
+// Joining: the paper's Figure 2 worked example, end to end.
+//
+// E joins a PCN with existing users A, B, C, D (a path A-B-C-D). E plans
+// to transact with B once a month; A makes 9 transactions a month with D.
+// E can afford two channels plus 19 spare coins. The optimiser must
+// recommend channels to A and D, with the channel to D funded to carry
+// all nine monthly transactions — the paper's (A:10, D:9) answer.
+//
+//	go run ./examples/joining
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/lightning-creation-games/lcg"
+)
+
+const (
+	userA = 0
+	userB = 1
+	userC = 2
+	userD = 3
+)
+
+var names = map[int]string{userA: "A", userB: "B", userC: "C", userD: "D"}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The existing PCN: A-B-C-D with comfortably funded channels.
+	network := lcg.PathNetwork(4, 100)
+
+	// Existing traffic: A sends 9 transactions per month, all to D.
+	rates := []float64{9, 0, 0, 0}
+	probs := [][]float64{
+		{0, 0, 0, 1}, // A → D always
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+	}
+
+	// E's side: one monthly transaction, always to B. With C = 20 the
+	// budget 2C+19 = 59 affords exactly two channels. Transactions and
+	// fees are unit-sized as in the figure; a channel forwards the
+	// month's transit only if its lock covers the nine transactions.
+	planner, err := lcg.NewJoinPlanner(network,
+		lcg.WithDemand(rates, probs),
+		lcg.WithJoinTargets(map[int]float64{userB: 1}),
+		lcg.WithParams(lcg.Params{
+			OnChainCost:    20,
+			FAvg:           1,
+			FeePerHop:      1,
+			OwnRate:        1,
+			CapacityFactor: func(lock float64) float64 { return math.Min(1, lock/9) },
+		}),
+	)
+	if err != nil {
+		return err
+	}
+
+	budget := 2*20.0 + 19
+	fmt.Printf("E joins A-B-C-D with budget %.0f (two channels + 19 coins)\n\n", budget)
+
+	// Compare the hand-picked candidate strategies of the figure.
+	fmt.Println("candidate strategies (exact revenue model):")
+	candidates := []lcg.Strategy{
+		{{Peer: userA, Lock: 10}, {Peer: userD, Lock: 9}}, // the paper's answer
+		{{Peer: userA, Lock: 19}},
+		{{Peer: userB, Lock: 19}},
+		{{Peer: userB, Lock: 10}, {Peer: userC, Lock: 9}},
+		{{Peer: userA, Lock: 10}, {Peer: userB, Lock: 9}},
+	}
+	for _, s := range candidates {
+		fmt.Printf("  %-14s revenue %5.2f  fees %5.2f  U' %6.2f\n",
+			renderStrategy(s), planner.Revenue(s), planner.Fees(s),
+			planner.Revenue(s)-planner.Fees(s))
+	}
+
+	// Let Algorithm 2 decide.
+	plan, err := planner.DiscreteSearch(budget, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\noptimizer (Algorithm 2) chooses: %s\n", renderStrategy(plan.Strategy))
+	fmt.Println("\npaper's Figure 2: \"E should create channels with A and D of sizes")
+	fmt.Println("10 and 9 to maximize the intermediary revenue and minimize E's own")
+	fmt.Println("transaction costs.\"")
+	return nil
+}
+
+func renderStrategy(s lcg.Strategy) string {
+	if len(s) == 0 {
+		return "(none)"
+	}
+	out := ""
+	for i, a := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%g", names[a.Peer], a.Lock)
+	}
+	return out
+}

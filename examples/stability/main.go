@@ -1,0 +1,95 @@
+// Stability: audit the §IV topologies — for which parameters is the star
+// a Nash equilibrium, why is the path never one, and where does the
+// circle break?
+//
+//	go run ./examples/stability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/lightning-creation-games/lcg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Star: sweep the Zipf scale s and the channel cost l, comparing the
+	// paper's closed-form Theorem 8 conditions with an exhaustive search
+	// over every unilateral deviation.
+	fmt.Println("star with 5 leaves — Nash equilibrium map (closed form | exhaustive):")
+	fmt.Println("  l\\s      0        1        2        4")
+	for _, l := range []float64{0.01, 0.2, 1, 5} {
+		fmt.Printf("  %-5g", l)
+		for _, s := range []float64{0, 1, 2, 4} {
+			params := lcg.GameParams{
+				ZipfS:      s,
+				SenderRate: 1,
+				FAvg:       0.5,
+				FeePerHop:  0.5,
+				LinkCost:   l,
+			}
+			closed, exhaustive, err := lcg.StarStable(5, params)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %s|%s", mark(closed), mark(exhaustive))
+			_ = exhaustive
+			fmt.Print("   ")
+		}
+		fmt.Println()
+	}
+	fmt.Println("  (✓ = equilibrium; stability grows with link cost and with s, per Theorems 7-9)")
+
+	// Theorem 9's sufficient regime.
+	t9 := lcg.GameParams{ZipfS: 2.5, SenderRate: 1, FAvg: 0.5, FeePerHop: 0.5, LinkCost: 1}
+	fmt.Printf("\nTheorem 9 regime (s≥2, a/H≤l, b/H≤l) holds for s=2.5, l=1: %v\n",
+		lcg.Theorem9Regime(5, t9))
+
+	// Path: Theorem 10 — an endpoint always gains by re-attaching.
+	fmt.Println("\npath graphs (Theorem 10 — never stable):")
+	for _, n := range []int{4, 6, 8} {
+		dev, found, err := lcg.PathInstabilityWitness(n, lcg.DefaultGameParams())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  n=%d: endpoint re-attaches to %v, gain %.4f (found=%v)\n",
+			n, dev.Neighbors, dev.Gain, found)
+	}
+
+	// Circle: Theorem 11 — the crossover size grows with the link cost.
+	fmt.Println("\ncircle crossover n0 (Theorem 11 — unstable beyond n0):")
+	for _, l := range []float64{0.1, 0.5, 1, 2} {
+		params := lcg.GameParams{ZipfS: 0.5, SenderRate: 1, FAvg: 0.5, FeePerHop: 0.5, LinkCost: l}
+		n0, found, err := lcg.CircleCrossover(params, 64)
+		if err != nil {
+			return err
+		}
+		if found {
+			fmt.Printf("  l=%-4g → n0 = %d\n", l, n0)
+		} else {
+			fmt.Printf("  l=%-4g → stable up to n=64\n", l)
+		}
+	}
+
+	// Theorem 6: the hub bound on a concrete stable star.
+	pathLen, bound, holds, err := lcg.HubBound(lcg.Star(6, 1), t9, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nTheorem 6 hub bound on the stable star(6): d = %d ≤ %.2f (holds: %v)\n",
+		pathLen, bound, holds)
+	return nil
+}
+
+func mark(b bool) string {
+	if b {
+		return "✓"
+	}
+	return "·"
+}

@@ -1,0 +1,32 @@
+package lcg
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/lightning-creation-games/lcg/internal/experiments"
+)
+
+// ExperimentIDs lists the reproducible paper artifacts: F1-F2 (figures)
+// and E1-E12 (theorem and algorithm experiments). See DESIGN.md for the
+// index and EXPERIMENTS.md for paper-vs-measured notes.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one experiment table deterministically from
+// the seed and renders it to w as aligned text.
+func RunExperiment(id string, seed int64, w io.Writer) error {
+	tbl, err := experiments.Run(id, seed)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return tbl.Render(w)
+}
+
+// RunExperimentCSV regenerates one experiment table as CSV.
+func RunExperimentCSV(id string, seed int64, w io.Writer) error {
+	tbl, err := experiments.Run(id, seed)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return tbl.CSV(w)
+}

@@ -1,0 +1,267 @@
+// Package chain provides a minimal blockchain-ledger substrate for the
+// payment-channel machinery: funding and settlement transactions with a
+// per-transaction miner fee (the paper's C), confirmation heights and
+// value-conservation accounting (§II-A, §II-C).
+//
+// The paper treats the chain purely as (a) the source of the channel cost
+// C — two on-chain transactions per channel lifetime, fee shared between
+// the parties — and (b) the settlement layer that pays out final channel
+// balances. This simulator preserves exactly those behaviours.
+package chain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the ledger.
+var (
+	ErrInsufficientFunds = errors.New("chain: insufficient funds")
+	ErrUnknownAccount    = errors.New("chain: unknown account")
+	ErrUnknownOutput     = errors.New("chain: unknown output")
+	ErrSpentOutput       = errors.New("chain: output already spent")
+	ErrBadAmount         = errors.New("chain: bad amount")
+)
+
+// AccountID identifies an on-chain account.
+type AccountID int
+
+// OutputID identifies a multisig funding output created by a channel
+// funding transaction.
+type OutputID int
+
+// TxKind labels the transactions the PCN lifecycle needs.
+type TxKind int
+
+const (
+	// TxFunding locks coins of two parties into a shared output.
+	TxFunding TxKind = iota + 1
+	// TxCooperativeClose settles a funding output by mutual agreement;
+	// the fee is shared.
+	TxCooperativeClose
+	// TxUnilateralClose settles a funding output unilaterally; the
+	// closing party pays the whole fee.
+	TxUnilateralClose
+	// TxTransfer is a plain on-chain payment (the costly alternative the
+	// benefit function U^b compares against).
+	TxTransfer
+)
+
+// String names the transaction kind.
+func (k TxKind) String() string {
+	switch k {
+	case TxFunding:
+		return "funding"
+	case TxCooperativeClose:
+		return "coop-close"
+	case TxUnilateralClose:
+		return "unilateral-close"
+	case TxTransfer:
+		return "transfer"
+	default:
+		return fmt.Sprintf("TxKind(%d)", int(k))
+	}
+}
+
+// Tx is a recorded on-chain transaction.
+type Tx struct {
+	Kind   TxKind
+	Height int
+	Fee    float64
+	// Output is the funding output created (TxFunding) or spent
+	// (close kinds).
+	Output OutputID
+	// Parties are the accounts involved.
+	Parties [2]AccountID
+}
+
+// fundingOutput is a live 2-of-2 output.
+type fundingOutput struct {
+	parties [2]AccountID
+	value   float64
+	spent   bool
+}
+
+// Ledger is the chain state: account balances, funding outputs and the
+// transaction log. The zero value is unusable; use NewLedger.
+type Ledger struct {
+	feePerTx float64
+	balances map[AccountID]float64
+	outputs  map[OutputID]*fundingOutput
+	log      []Tx
+	height   int
+	nextOut  OutputID
+	burned   float64
+}
+
+// NewLedger creates a ledger charging feePerTx (the paper's C) for every
+// on-chain transaction.
+func NewLedger(feePerTx float64) (*Ledger, error) {
+	if feePerTx < 0 {
+		return nil, fmt.Errorf("%w: fee %v", ErrBadAmount, feePerTx)
+	}
+	return &Ledger{
+		feePerTx: feePerTx,
+		balances: make(map[AccountID]float64),
+		outputs:  make(map[OutputID]*fundingOutput),
+	}, nil
+}
+
+// FeePerTx returns the miner fee C charged per transaction.
+func (l *Ledger) FeePerTx() float64 { return l.feePerTx }
+
+// Fund credits an account with freshly minted coins (test faucet /
+// genesis allocation).
+func (l *Ledger) Fund(acct AccountID, amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("%w: %v", ErrBadAmount, amount)
+	}
+	l.balances[acct] += amount
+	return nil
+}
+
+// Balance returns an account's spendable balance.
+func (l *Ledger) Balance(acct AccountID) float64 { return l.balances[acct] }
+
+// Height returns the current chain height (one block per transaction,
+// which is all the temporal resolution the model needs).
+func (l *Ledger) Height() int { return l.height }
+
+// Log returns a copy of the transaction log.
+func (l *Ledger) Log() []Tx { return append([]Tx(nil), l.log...) }
+
+// Burned returns the cumulative miner fees paid, used by the
+// conservation checks.
+func (l *Ledger) Burned() float64 { return l.burned }
+
+// TotalValue returns all value in the system: balances plus unspent
+// funding outputs.
+func (l *Ledger) TotalValue() float64 {
+	var total float64
+	for _, b := range l.balances {
+		total += b
+	}
+	for _, o := range l.outputs {
+		if !o.spent {
+			total += o.value
+		}
+	}
+	return total
+}
+
+// OpenChannel posts a funding transaction locking depositA + depositB
+// into a shared output. The miner fee is split equally between the
+// parties, per §II-C ("parties only agree to open channels if they share
+// this cost equally").
+func (l *Ledger) OpenChannel(a, b AccountID, depositA, depositB float64) (OutputID, error) {
+	if depositA < 0 || depositB < 0 {
+		return 0, fmt.Errorf("open channel: %w: deposits %v/%v", ErrBadAmount, depositA, depositB)
+	}
+	needA := depositA + l.feePerTx/2
+	needB := depositB + l.feePerTx/2
+	if l.balances[a] < needA-amountTolerance {
+		return 0, fmt.Errorf("open channel: account %d needs %v: %w", a, needA, ErrInsufficientFunds)
+	}
+	if l.balances[b] < needB-amountTolerance {
+		return 0, fmt.Errorf("open channel: account %d needs %v: %w", b, needB, ErrInsufficientFunds)
+	}
+	l.balances[a] -= needA
+	l.balances[b] -= needB
+	id := l.nextOut
+	l.nextOut++
+	l.outputs[id] = &fundingOutput{parties: [2]AccountID{a, b}, value: depositA + depositB}
+	l.burned += l.feePerTx
+	l.record(Tx{Kind: TxFunding, Fee: l.feePerTx, Output: id, Parties: [2]AccountID{a, b}})
+	return id, nil
+}
+
+// CloseChannel settles a funding output, paying finalA to the first party
+// and finalB to the second. finalA+finalB must equal the output value
+// (the channel state is off-chain; the chain only checks conservation).
+// Cooperative closes share the fee; a unilateral close charges the
+// closing party. The fee is deducted from the payouts, matching how
+// commitment transactions embed fees.
+func (l *Ledger) CloseChannel(out OutputID, finalA, finalB float64, kind TxKind, closer AccountID) error {
+	o, ok := l.outputs[out]
+	if !ok {
+		return fmt.Errorf("close channel %d: %w", out, ErrUnknownOutput)
+	}
+	if o.spent {
+		return fmt.Errorf("close channel %d: %w", out, ErrSpentOutput)
+	}
+	if finalA < 0 || finalB < 0 || !closeEnough(finalA+finalB, o.value) {
+		return fmt.Errorf("close channel %d: payouts %v+%v ≠ %v: %w", out, finalA, finalB, o.value, ErrBadAmount)
+	}
+	var feeA, feeB float64
+	switch kind {
+	case TxCooperativeClose:
+		feeA, feeB = l.feePerTx/2, l.feePerTx/2
+	case TxUnilateralClose:
+		switch closer {
+		case o.parties[0]:
+			feeA = l.feePerTx
+		case o.parties[1]:
+			feeB = l.feePerTx
+		default:
+			return fmt.Errorf("close channel %d: closer %d not a party: %w", out, closer, ErrUnknownAccount)
+		}
+	default:
+		return fmt.Errorf("close channel %d: kind %v: %w", out, kind, ErrBadAmount)
+	}
+	// Fees cannot exceed the party's payout; the shortfall burns the
+	// payout entirely (dust), which conservation accounting tracks.
+	payA := finalA - feeA
+	payB := finalB - feeB
+	if payA < 0 {
+		feeA = finalA
+		payA = 0
+	}
+	if payB < 0 {
+		feeB = finalB
+		payB = 0
+	}
+	o.spent = true
+	l.balances[o.parties[0]] += payA
+	l.balances[o.parties[1]] += payB
+	l.burned += feeA + feeB
+	l.record(Tx{Kind: kind, Fee: feeA + feeB, Output: out, Parties: o.parties})
+	return nil
+}
+
+// Transfer posts a plain on-chain payment; the sender pays the miner fee.
+func (l *Ledger) Transfer(from, to AccountID, amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("transfer: %w: %v", ErrBadAmount, amount)
+	}
+	need := amount + l.feePerTx
+	if l.balances[from] < need-amountTolerance {
+		return fmt.Errorf("transfer: account %d needs %v: %w", from, need, ErrInsufficientFunds)
+	}
+	l.balances[from] -= need
+	l.balances[to] += amount
+	l.burned += l.feePerTx
+	l.record(Tx{Kind: TxTransfer, Fee: l.feePerTx, Parties: [2]AccountID{from, to}})
+	return nil
+}
+
+// OutputValue returns the value locked in an unspent funding output.
+func (l *Ledger) OutputValue(out OutputID) (float64, error) {
+	o, ok := l.outputs[out]
+	if !ok || o.spent {
+		return 0, fmt.Errorf("output %d: %w", out, ErrUnknownOutput)
+	}
+	return o.value, nil
+}
+
+func (l *Ledger) record(tx Tx) {
+	l.height++
+	tx.Height = l.height
+	l.log = append(l.log, tx)
+}
+
+const amountTolerance = 1e-9
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	return d < amountTolerance && d > -amountTolerance
+}

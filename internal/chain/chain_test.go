@@ -1,0 +1,227 @@
+package chain
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func newFunded(t *testing.T, fee float64, accounts ...float64) *Ledger {
+	t.Helper()
+	l, err := NewLedger(fee)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	for i, amt := range accounts {
+		if err := l.Fund(AccountID(i), amt); err != nil {
+			t.Fatalf("Fund: %v", err)
+		}
+	}
+	return l
+}
+
+func TestNewLedgerRejectsNegativeFee(t *testing.T) {
+	if _, err := NewLedger(-1); !errors.Is(err, ErrBadAmount) {
+		t.Fatalf("error = %v, want ErrBadAmount", err)
+	}
+}
+
+func TestFundAndBalance(t *testing.T) {
+	l := newFunded(t, 1, 50, 30)
+	if got := l.Balance(0); got != 50 {
+		t.Fatalf("Balance(0) = %v, want 50", got)
+	}
+	if got := l.Balance(99); got != 0 {
+		t.Fatalf("Balance(unknown) = %v, want 0", got)
+	}
+	if err := l.Fund(0, -5); !errors.Is(err, ErrBadAmount) {
+		t.Fatalf("negative fund error = %v", err)
+	}
+}
+
+func TestOpenChannelMovesFundsAndSplitsFee(t *testing.T) {
+	l := newFunded(t, 2, 50, 30)
+	out, err := l.OpenChannel(0, 1, 10, 5)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	// Each party pays deposit + C/2.
+	if got := l.Balance(0); got != 50-10-1 {
+		t.Fatalf("Balance(0) = %v, want 39", got)
+	}
+	if got := l.Balance(1); got != 30-5-1 {
+		t.Fatalf("Balance(1) = %v, want 24", got)
+	}
+	v, err := l.OutputValue(out)
+	if err != nil || v != 15 {
+		t.Fatalf("OutputValue = %v/%v, want 15", v, err)
+	}
+	if l.Burned() != 2 {
+		t.Fatalf("Burned = %v, want 2", l.Burned())
+	}
+}
+
+func TestOpenChannelInsufficientFunds(t *testing.T) {
+	l := newFunded(t, 2, 5, 100)
+	if _, err := l.OpenChannel(0, 1, 10, 5); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("error = %v, want ErrInsufficientFunds", err)
+	}
+	// A failed open must not mutate balances.
+	if l.Balance(0) != 5 || l.Balance(1) != 100 {
+		t.Fatal("failed open mutated balances")
+	}
+}
+
+func TestCooperativeCloseSharesFee(t *testing.T) {
+	l := newFunded(t, 2, 50, 30)
+	out, err := l.OpenChannel(0, 1, 10, 5)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	// Off-chain the balance moved: A has 3, B has 12.
+	if err := l.CloseChannel(out, 3, 12, TxCooperativeClose, 0); err != nil {
+		t.Fatalf("CloseChannel: %v", err)
+	}
+	// A receives 3 − C/2 = 2; B receives 12 − 1 = 11.
+	if got := l.Balance(0); got != 39+2 {
+		t.Fatalf("Balance(0) = %v, want 41", got)
+	}
+	if got := l.Balance(1); got != 24+11 {
+		t.Fatalf("Balance(1) = %v, want 35", got)
+	}
+}
+
+func TestUnilateralCloseChargesCloser(t *testing.T) {
+	l := newFunded(t, 2, 50, 30)
+	out, err := l.OpenChannel(0, 1, 10, 5)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if err := l.CloseChannel(out, 3, 12, TxUnilateralClose, 1); err != nil {
+		t.Fatalf("CloseChannel: %v", err)
+	}
+	if got := l.Balance(0); got != 39+3 {
+		t.Fatalf("Balance(0) = %v, want 42", got)
+	}
+	if got := l.Balance(1); got != 24+10 {
+		t.Fatalf("Balance(1) = %v, want 34", got)
+	}
+}
+
+func TestCloseChannelValidation(t *testing.T) {
+	l := newFunded(t, 2, 50, 30)
+	out, err := l.OpenChannel(0, 1, 10, 5)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if err := l.CloseChannel(99, 3, 12, TxCooperativeClose, 0); !errors.Is(err, ErrUnknownOutput) {
+		t.Fatalf("unknown output error = %v", err)
+	}
+	if err := l.CloseChannel(out, 3, 11, TxCooperativeClose, 0); !errors.Is(err, ErrBadAmount) {
+		t.Fatalf("non-conserving close error = %v", err)
+	}
+	if err := l.CloseChannel(out, 3, 12, TxUnilateralClose, 7); !errors.Is(err, ErrUnknownAccount) {
+		t.Fatalf("outsider closer error = %v", err)
+	}
+	if err := l.CloseChannel(out, 3, 12, TxFunding, 0); !errors.Is(err, ErrBadAmount) {
+		t.Fatalf("bad kind error = %v", err)
+	}
+	if err := l.CloseChannel(out, 3, 12, TxCooperativeClose, 0); err != nil {
+		t.Fatalf("valid close rejected: %v", err)
+	}
+	if err := l.CloseChannel(out, 3, 12, TxCooperativeClose, 0); !errors.Is(err, ErrSpentOutput) {
+		t.Fatalf("double close error = %v", err)
+	}
+}
+
+func TestCloseFeeExceedsPayout(t *testing.T) {
+	// Fee 4 > payout 1 on A's side: A gets dust-limited to 0.
+	l := newFunded(t, 4, 50, 30)
+	out, err := l.OpenChannel(0, 1, 1, 10)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if err := l.CloseChannel(out, 1, 10, TxUnilateralClose, 0); err != nil {
+		t.Fatalf("CloseChannel: %v", err)
+	}
+	if got := l.Balance(0); got != 50-1-2 {
+		t.Fatalf("Balance(0) = %v, want 47", got)
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	l := newFunded(t, 1, 20, 0)
+	if err := l.Transfer(0, 1, 5); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if l.Balance(0) != 14 || l.Balance(1) != 5 {
+		t.Fatalf("balances = %v/%v, want 14/5", l.Balance(0), l.Balance(1))
+	}
+	if err := l.Transfer(0, 1, 100); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overdraft error = %v", err)
+	}
+	if err := l.Transfer(0, 1, -1); !errors.Is(err, ErrBadAmount) {
+		t.Fatalf("negative transfer error = %v", err)
+	}
+}
+
+func TestValueConservation(t *testing.T) {
+	// Total value + burned fees is invariant across the whole lifecycle.
+	l := newFunded(t, 2, 100, 60)
+	initial := l.TotalValue()
+	out, err := l.OpenChannel(0, 1, 30, 20)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if err := l.Transfer(0, 1, 10); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if err := l.CloseChannel(out, 50, 0, TxCooperativeClose, 0); err != nil {
+		t.Fatalf("CloseChannel: %v", err)
+	}
+	if got := l.TotalValue() + l.Burned(); math.Abs(got-initial) > 1e-9 {
+		t.Fatalf("value leaked: %v + %v ≠ %v", l.TotalValue(), l.Burned(), initial)
+	}
+}
+
+func TestLogAndHeight(t *testing.T) {
+	l := newFunded(t, 1, 50, 50)
+	out, err := l.OpenChannel(0, 1, 5, 5)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if err := l.CloseChannel(out, 5, 5, TxCooperativeClose, 0); err != nil {
+		t.Fatalf("CloseChannel: %v", err)
+	}
+	log := l.Log()
+	if len(log) != 2 {
+		t.Fatalf("log length = %d, want 2", len(log))
+	}
+	if log[0].Kind != TxFunding || log[1].Kind != TxCooperativeClose {
+		t.Fatalf("log kinds = %v/%v", log[0].Kind, log[1].Kind)
+	}
+	if log[0].Height != 1 || log[1].Height != 2 || l.Height() != 2 {
+		t.Fatal("heights not sequential")
+	}
+	// Log is a copy.
+	log[0].Fee = 999
+	if l.Log()[0].Fee == 999 {
+		t.Fatal("Log exposed internal slice")
+	}
+}
+
+func TestTxKindStrings(t *testing.T) {
+	kinds := []TxKind{TxFunding, TxCooperativeClose, TxUnilateralClose, TxTransfer, TxKind(42)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Fatalf("empty name for kind %d", int(k))
+		}
+	}
+}
+
+func TestFeePerTx(t *testing.T) {
+	l := newFunded(t, 2.5)
+	if got := l.FeePerTx(); got != 2.5 {
+		t.Fatalf("FeePerTx = %v, want 2.5", got)
+	}
+}

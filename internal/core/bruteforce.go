@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// BruteForceConfig parametrises the exact reference optimiser.
+type BruteForceConfig struct {
+	// Budget is B_u.
+	Budget float64
+	// Locks lists the lock values a channel may take; it must be
+	// non-empty.
+	Locks []float64
+	// MaxChannels caps the strategy size; 0 derives the cap from the
+	// budget and the smallest lock.
+	MaxChannels int
+	// Candidates restricts the peers considered; nil means every node.
+	Candidates []graph.NodeID
+	// Model selects the revenue model; zero means RevenueFixedRate.
+	Model RevenueModel
+	// Objective selects the function to maximise; zero means
+	// ObjectiveSimplified.
+	Objective ObjectiveKind
+	// MaxEvaluations aborts runaway searches; 0 means 2,000,000.
+	MaxEvaluations int
+}
+
+// BruteForce exhaustively enumerates strategies (each candidate peer used
+// at most once, locks drawn from the configured set) and returns the exact
+// optimum of the selected objective under the budget. It is exponential
+// in the number of candidates and exists as the reference oracle for the
+// approximation-ratio experiments (E4-E6) and tests.
+func BruteForce(e *JoinEvaluator, cfg BruteForceConfig) (Result, error) {
+	if len(cfg.Locks) == 0 {
+		return Result{}, fmt.Errorf("%w: empty lock set", ErrBadParams)
+	}
+	if cfg.Budget < 0 || math.IsNaN(cfg.Budget) {
+		return Result{}, fmt.Errorf("%w: budget %v", ErrBadParams, cfg.Budget)
+	}
+	model := cfg.Model
+	if model == 0 {
+		model = RevenueFixedRate
+	}
+	kind := cfg.Objective
+	if kind == 0 {
+		kind = ObjectiveSimplified
+	}
+	maxEvals := cfg.MaxEvaluations
+	if maxEvals == 0 {
+		maxEvals = 2000000
+	}
+	candidates := cfg.Candidates
+	if candidates == nil {
+		candidates = allNodes(e.g)
+	}
+	maxChannels := cfg.MaxChannels
+	if maxChannels == 0 {
+		minLock := cfg.Locks[0]
+		for _, l := range cfg.Locks[1:] {
+			if l < minLock {
+				minLock = l
+			}
+		}
+		maxChannels = int(cfg.Budget / (e.params.OnChainCost + minLock))
+	}
+	if maxChannels > len(candidates) {
+		maxChannels = len(candidates)
+	}
+	e.ResetEvaluations()
+
+	best := Result{Objective: math.Inf(-1)}
+	evals := 0
+	truncated := false
+
+	var rec func(idx int, current Strategy, spent float64)
+	rec = func(idx int, current Strategy, spent float64) {
+		if truncated {
+			return
+		}
+		evals++
+		if evals > maxEvals {
+			truncated = true
+			return
+		}
+		if obj := e.Objective(kind, current, model); obj > best.Objective {
+			best.Objective = obj
+			best.Strategy = current.Clone()
+		}
+		if idx >= len(candidates) || len(current) >= maxChannels {
+			return
+		}
+		for next := idx; next < len(candidates); next++ {
+			for _, lock := range cfg.Locks {
+				cost := e.params.OnChainCost + lock
+				if spent+cost > cfg.Budget+budgetTolerance {
+					continue
+				}
+				rec(next+1, current.With(Action{Peer: candidates[next], Lock: lock}), spent+cost)
+			}
+		}
+	}
+	rec(0, nil, 0)
+
+	best.Utility = e.Utility(best.Strategy, RevenueExact)
+	best.Evaluations = e.Evaluations()
+	best.Truncated = truncated
+	return best, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func TestGuasoniCostShape(t *testing.T) {
+	cost := GuasoniCost(2 /* C */, 0.1 /* rho */, 3 /* lifetime */)
+	// Zero lock costs exactly the on-chain component.
+	if got := cost(0); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("cost(0) = %v, want 2", got)
+	}
+	// Cost grows linearly in the lock with slope 1−e^{−0.3}.
+	slope := 1 - math.Exp(-0.3)
+	if got := cost(10); math.Abs(got-(2+10*slope)) > 1e-12 {
+		t.Fatalf("cost(10) = %v, want %v", got, 2+10*slope)
+	}
+	// Small rho·lifetime degenerates towards the linear model with
+	// r ≈ rho·lifetime.
+	small := GuasoniCost(1, 0.001, 1)
+	if got, want := small(100), 1+100*0.001; math.Abs(got-want) > 0.01 {
+		t.Fatalf("small-rate cost = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestChannelCostFnOverridesLinearModel(t *testing.T) {
+	p := testParams()
+	p.ChannelCostFn = func(lock float64) float64 { return 7 + lock*lock }
+	if got := p.ChannelCost(3); got != 16 {
+		t.Fatalf("ChannelCost = %v, want 16", got)
+	}
+	p.ChannelCostFn = nil
+	if got := p.ChannelCost(3); math.Abs(got-(1+0.15)) > 1e-12 {
+		t.Fatalf("linear ChannelCost = %v, want 1.15", got)
+	}
+}
+
+func TestEvaluatorCostUsesExtendedModel(t *testing.T) {
+	g := graph.Star(4, 1)
+	params := testParams()
+	params.ChannelCostFn = GuasoniCost(1, 0.2, 1)
+	e := newEvaluator(t, g, txdist.Uniform{}, params)
+	s := Strategy{{Peer: 0, Lock: 5}, {Peer: 1, Lock: 0}}
+	want := params.ChannelCost(5) + params.ChannelCost(0)
+	if got := e.Cost(s); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestSubmodularityUnderExtendedCosts(t *testing.T) {
+	// The paper: "our computational results still hold in this extended
+	// model of channel cost" — the cost term stays modular, so Theorem 1
+	// must survive.
+	rng := rand.New(rand.NewSource(101))
+	params := testParams()
+	params.ChannelCostFn = GuasoniCost(1, 0.3, 2)
+	for trial := 0; trial < 4; trial++ {
+		g := graph.ConnectedErdosRenyi(9, 0.3, 1, rng, 50)
+		e := newEvaluator(t, g, txdist.ModifiedZipf{S: 1}, params)
+		report := CheckSubmodularity(e, ObjectiveUtility, RevenueFixedRate, auditLocks, 300, rng)
+		if report.Violations != 0 {
+			t.Fatalf("trial %d: %d violations under extended costs", trial, report.Violations)
+		}
+	}
+}
+
+func TestGreedyBudgetStillLinearLockModel(t *testing.T) {
+	// Algorithm 1's channel-count bound M uses C + l1 with the *budget*
+	// accounting of §II-C, which is independent of the cost model; the
+	// extended cost only changes the utility's cost term.
+	g := graph.Star(6, 1)
+	params := testParams()
+	params.ChannelCostFn = GuasoniCost(1, 0.5, 2)
+	e := newEvaluator(t, g, txdist.Uniform{}, params)
+	res, err := Greedy(e, GreedyConfig{Budget: 4, Lock: 1})
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if len(res.Strategy) > 2 { // ⌊4/(1+1)⌋
+		t.Fatalf("greedy opened %d channels, budget allows 2", len(res.Strategy))
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// DiscreteConfig parametrises Algorithm 2.
+type DiscreteConfig struct {
+	// Budget is B_u.
+	Budget float64
+	// Unit is m, the capital granularity: every lock is a multiple of m
+	// (§III-C).
+	Unit float64
+	// Candidates restricts the peers considered; nil means every node.
+	Candidates []graph.NodeID
+	// Model selects the revenue model; zero means RevenueFixedRate.
+	Model RevenueModel
+	// MaxDivisions caps the number of budget divisions explored, guarding
+	// against the combinatorial blow-up the paper accepts as
+	// pseudo-polynomial; 0 means no cap.
+	MaxDivisions int
+}
+
+// DiscreteSearch is Algorithm 2: exhaustively enumerate the divisions of
+// the budget into at most k = ⌊B_u/C⌋ lock amounts, each a multiple of the
+// granularity m, and run the greedy of Algorithm 1 once per division with
+// the j-th added channel locking the division's j-th amount. The best
+// result across divisions is returned; each sub-run inherits the greedy's
+// (1−1/e) guarantee for its lock assignment (Theorem 5).
+//
+// Divisions are enumerated as non-increasing sequences of lock units so
+// permutations of the same multiset are explored once; the greedy assigns
+// the largest locks first.
+func DiscreteSearch(e *JoinEvaluator, cfg DiscreteConfig) (Result, error) {
+	if cfg.Unit <= 0 || math.IsNaN(cfg.Unit) {
+		return Result{}, fmt.Errorf("%w: unit %v", ErrBadParams, cfg.Unit)
+	}
+	if cfg.Budget < 0 || math.IsNaN(cfg.Budget) {
+		return Result{}, fmt.Errorf("%w: budget %v", ErrBadParams, cfg.Budget)
+	}
+	model := cfg.Model
+	if model == 0 {
+		model = RevenueFixedRate
+	}
+	candidates := cfg.Candidates
+	if candidates == nil {
+		candidates = allNodes(e.g)
+	}
+	maxChannels := int(cfg.Budget / e.params.OnChainCost) // k = ⌊B_u/C⌋
+	units := int(cfg.Budget / cfg.Unit)                   // ⌊B_u/m⌋
+	e.ResetEvaluations()
+
+	best := Result{Objective: math.Inf(-1)}
+	divisions := 0
+	truncated := false
+	enumerateDivisions(units, maxChannels, func(lockUnits []int) bool {
+		if cfg.MaxDivisions > 0 && divisions >= cfg.MaxDivisions {
+			truncated = true
+			return false
+		}
+		divisions++
+		res := greedyWithLocks(e, cfg.Budget, cfg.Unit, lockUnits, candidates, model)
+		if res.Objective > best.Objective {
+			best = res
+		}
+		return true
+	})
+	if math.IsInf(best.Objective, -1) {
+		best = Result{
+			Strategy:  nil,
+			Objective: e.Simplified(nil, model),
+			Utility:   e.Utility(nil, RevenueExact),
+		}
+	}
+	best.Evaluations = e.Evaluations()
+	best.Truncated = truncated
+	return best, nil
+}
+
+// enumerateDivisions yields every non-increasing sequence of at most
+// maxParts positive integers summing to at most units, plus the empty
+// division. It stops early when visit returns false.
+func enumerateDivisions(units, maxParts int, visit func([]int) bool) {
+	var rec func(prefix []int, remaining, maxNext int) bool
+	rec = func(prefix []int, remaining, maxNext int) bool {
+		if !visit(prefix) {
+			return false
+		}
+		if len(prefix) >= maxParts {
+			return true
+		}
+		limit := maxNext
+		if remaining < limit {
+			limit = remaining
+		}
+		for next := limit; next >= 1; next-- {
+			if !rec(append(prefix, next), remaining-next, next) {
+				return false
+			}
+		}
+		return true
+	}
+	if maxParts < 0 {
+		maxParts = 0
+	}
+	rec(nil, units, units)
+}
+
+// greedyWithLocks runs the Algorithm 1 loop with a per-step lock schedule:
+// the j-th added channel locks lockUnits[j]·unit coins. Steps whose
+// cumulative cost would exceed the budget end the run; the best prefix is
+// returned, as in Algorithm 1.
+func greedyWithLocks(e *JoinEvaluator, budget, unit float64, lockUnits []int, candidates []graph.NodeID, model RevenueModel) Result {
+	available := append([]graph.NodeID(nil), candidates...)
+	var (
+		current   Strategy
+		spent     float64
+		bestValue = math.Inf(-1)
+		best      Strategy
+	)
+	for step := 0; step < len(lockUnits) && len(available) > 0; step++ {
+		lock := float64(lockUnits[step]) * unit
+		cost := e.params.OnChainCost + lock
+		if spent+cost > budget+budgetTolerance {
+			break
+		}
+		bestIdx := -1
+		bestObj := math.Inf(-1)
+		for i, v := range available {
+			obj := e.Simplified(current.With(Action{Peer: v, Lock: lock}), model)
+			if obj > bestObj {
+				bestObj = obj
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		current = current.With(Action{Peer: available[bestIdx], Lock: lock})
+		available = append(available[:bestIdx], available[bestIdx+1:]...)
+		spent += cost
+		if bestObj > bestValue {
+			bestValue = bestObj
+			best = current.Clone()
+		}
+	}
+	if best == nil {
+		return Result{Objective: math.Inf(-1)}
+	}
+	return Result{
+		Strategy:  best,
+		Objective: bestValue,
+		Utility:   e.Utility(best, RevenueExact),
+	}
+}

@@ -1,0 +1,441 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// RevenueModel selects how E^rev_u(S) is computed.
+type RevenueModel int
+
+const (
+	// RevenueExact evaluates the true expected transit revenue of eq. 3 /
+	// §IV: favg times the rate of transactions whose shortest path in
+	// G+S routes through u, computed exactly from the all-pairs
+	// precomputation. Under this model the utility is the real quantity
+	// the paper defines, but its marginal gains depend on the rest of the
+	// strategy.
+	RevenueExact RevenueModel = iota + 1
+
+	// RevenueFixedRate is the algorithmic model of §III (Theorems 1-5):
+	// every candidate channel (u,v) carries a fixed estimated rate
+	// λ̂(u,v) ("we assume that λ_xy is a fixed value"), so E^rev is
+	// modular in S. The estimates come from EstimateRates: the transit
+	// through u in the reference configuration where u connects to every
+	// candidate, attributed half to the entry and half to the exit
+	// channel of each forwarded transaction.
+	RevenueFixedRate
+)
+
+// String renders the model name.
+func (m RevenueModel) String() string {
+	switch m {
+	case RevenueExact:
+		return "exact"
+	case RevenueFixedRate:
+		return "fixed-rate"
+	default:
+		return fmt.Sprintf("RevenueModel(%d)", int(m))
+	}
+}
+
+// JoinEvaluator prices strategies for a user u joining the PCN g. It
+// precomputes the all-pairs shortest-path structure of g once (O(n·(n+m)))
+// and then evaluates any strategy in O(n·|S| + n²) without touching g.
+//
+// The joining user is *not* a node of g; the evaluator models it
+// virtually, which keeps the substrate immutable and evaluation cheap.
+// A JoinEvaluator is not safe for concurrent use.
+type JoinEvaluator struct {
+	g      *graph.Graph
+	ap     *graph.AllPairs
+	demand *traffic.Demand
+	pu     []float64 // p_trans(u, v) for the joining user
+	params Params
+	n      int
+
+	fixedRates map[graph.NodeID]float64
+	evals      int
+}
+
+// NewJoinEvaluator builds an evaluator for a node joining g, where dist
+// models the joining user's transaction distribution and demand models the
+// existing users' traffic (it must have been built for g).
+func NewJoinEvaluator(g *graph.Graph, dist txdist.Distribution, demand *traffic.Demand, params Params) (*JoinEvaluator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if len(demand.Rates) != n {
+		return nil, fmt.Errorf("%w: demand covers %d nodes, graph has %d", ErrBadParams, len(demand.Rates), n)
+	}
+	return &JoinEvaluator{
+		g:      g,
+		ap:     g.AllPairsBFS(),
+		demand: demand,
+		pu:     dist.Probs(g, graph.InvalidNode),
+		params: params,
+		n:      n,
+	}, nil
+}
+
+// Graph returns the underlying PCN topology.
+func (e *JoinEvaluator) Graph() *graph.Graph { return e.g }
+
+// NumNodes returns the number of existing users.
+func (e *JoinEvaluator) NumNodes() int { return e.n }
+
+// Params returns the model parameters.
+func (e *JoinEvaluator) Params() Params { return e.params }
+
+// JoinProbs returns a copy of p_trans(u, ·) for the joining user.
+func (e *JoinEvaluator) JoinProbs() []float64 { return append([]float64(nil), e.pu...) }
+
+// Evaluations reports how many utility evaluations the evaluator has
+// served; the runtime statements of Theorems 4 and 5 are expressed in this
+// unit.
+func (e *JoinEvaluator) Evaluations() int { return e.evals }
+
+// ResetEvaluations zeroes the evaluation counter.
+func (e *JoinEvaluator) ResetEvaluations() { e.evals = 0 }
+
+// ValidateStrategy checks that every action references a node of g with a
+// non-negative lock.
+func (e *JoinEvaluator) ValidateStrategy(s Strategy) error {
+	for _, a := range s {
+		if !e.g.HasNode(a.Peer) {
+			return fmt.Errorf("%w: peer %d not in graph", ErrBadParams, a.Peer)
+		}
+		if a.Lock < 0 || math.IsNaN(a.Lock) {
+			return fmt.Errorf("%w: lock %v for peer %d", ErrBadParams, a.Lock, a.Peer)
+		}
+	}
+	return nil
+}
+
+// joinStats aggregates the through-u shortest-path structure of G+S.
+//
+// For every existing node x:
+//
+//	inDist[x]   = min_{v_i ∈ peers} d(x, v_i)   (hops to reach u's door)
+//	inSigma[x]  = Σ_{v_i achieving the min} mult(v_i)·σ(x, v_i)
+//	outDist[x]  = min_{v_j ∈ peers} d(v_j, x)
+//	outSigma[x] = Σ_{v_j achieving the min} mult(v_j)·σ(v_j, x)
+//	outCap[x]   = Σ_{v_j achieving the min} φmult(v_j)·σ(v_j, x)
+//
+// where mult(v) counts parallel channels to v and φmult(v) is the sum of
+// the capacity factors of those channels. A shortest s→r path through u
+// has length inDist[s] + 2 + outDist[r]; the standard concatenation
+// argument shows each such concatenation is a valid simple path whenever
+// it achieves the true G+S distance.
+type joinStats struct {
+	inDist   []int
+	inSigma  []float64
+	outDist  []int
+	outSigma []float64
+	outCap   []float64
+	peers    []graph.NodeID
+}
+
+func (e *JoinEvaluator) buildStats(s Strategy) joinStats {
+	mult := make(map[graph.NodeID]float64, len(s))
+	phiMult := make(map[graph.NodeID]float64, len(s))
+	for _, a := range s {
+		if !e.g.HasNode(a.Peer) {
+			continue // defensive: invalid peers contribute nothing
+		}
+		mult[a.Peer]++
+		phiMult[a.Peer] += e.params.capFactor(a.Lock)
+	}
+	peers := make([]graph.NodeID, 0, len(mult))
+	for p := range mult {
+		peers = append(peers, p)
+	}
+	// Deterministic iteration order keeps floating-point accumulation —
+	// and therefore every downstream table — reproducible per seed.
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	st := joinStats{
+		inDist:   make([]int, e.n),
+		inSigma:  make([]float64, e.n),
+		outDist:  make([]int, e.n),
+		outSigma: make([]float64, e.n),
+		outCap:   make([]float64, e.n),
+		peers:    peers,
+	}
+	for x := 0; x < e.n; x++ {
+		st.inDist[x] = graph.Unreachable
+		st.outDist[x] = graph.Unreachable
+		for _, v := range peers {
+			if d := e.ap.Dist[x][v]; d != graph.Unreachable {
+				switch {
+				case st.inDist[x] == graph.Unreachable || d < st.inDist[x]:
+					st.inDist[x] = d
+					st.inSigma[x] = mult[v] * e.ap.Sigma[x][v]
+				case d == st.inDist[x]:
+					st.inSigma[x] += mult[v] * e.ap.Sigma[x][v]
+				}
+			}
+			if d := e.ap.Dist[v][x]; d != graph.Unreachable {
+				switch {
+				case st.outDist[x] == graph.Unreachable || d < st.outDist[x]:
+					st.outDist[x] = d
+					st.outSigma[x] = mult[v] * e.ap.Sigma[v][x]
+					st.outCap[x] = phiMult[v] * e.ap.Sigma[v][x]
+				case d == st.outDist[x]:
+					st.outSigma[x] += mult[v] * e.ap.Sigma[v][x]
+					st.outCap[x] += phiMult[v] * e.ap.Sigma[v][x]
+				}
+			}
+		}
+	}
+	return st
+}
+
+// TransitRate returns the expected rate of existing-user transactions
+// whose shortest path in G+S routes through the joining user, weighted by
+// the capacity factor of the exit channels. With a nil CapacityFactor this
+// is exactly the through-u transit rate.
+func (e *JoinEvaluator) TransitRate(s Strategy) float64 {
+	st := e.buildStats(s)
+	if len(st.peers) == 0 {
+		return 0
+	}
+	var total float64
+	for src := 0; src < e.n; src++ {
+		if st.inDist[src] == graph.Unreachable {
+			continue
+		}
+		rowDist := e.ap.Dist[src]
+		rowSigma := e.ap.Sigma[src]
+		for dst := 0; dst < e.n; dst++ {
+			if dst == src || st.outDist[dst] == graph.Unreachable {
+				continue
+			}
+			w := e.demand.PairRate(graph.NodeID(src), graph.NodeID(dst))
+			if w == 0 {
+				continue
+			}
+			dThru := st.inDist[src] + 2 + st.outDist[dst]
+			d0 := rowDist[dst]
+			var frac float64
+			switch {
+			case d0 == graph.Unreachable || dThru < d0:
+				frac = 1
+			case dThru == d0:
+				sThru := st.inSigma[src] * st.outSigma[dst]
+				frac = sThru / (rowSigma[dst] + sThru)
+			default:
+				continue
+			}
+			capRatio := 1.0
+			if st.outSigma[dst] > 0 {
+				capRatio = st.outCap[dst] / st.outSigma[dst]
+			}
+			total += w * frac * capRatio
+		}
+	}
+	return total
+}
+
+// Revenue returns E^rev_u(S) under the given model (eq. 3).
+func (e *JoinEvaluator) Revenue(s Strategy, model RevenueModel) float64 {
+	switch model {
+	case RevenueFixedRate:
+		var sum float64
+		for _, a := range s {
+			rate := e.FixedRate(a.Peer)
+			sum += rate * (0.5 + 0.5*e.params.capFactor(a.Lock))
+		}
+		return e.params.FAvg * sum
+	default:
+		return e.params.FAvg * e.TransitRate(s)
+	}
+}
+
+// Fees returns E^fees_u(S) = N_u · f^T_avg · Σ_v d_{G+S}(u,v)·p_trans(u,v)
+// (§II-C). Distances use the paper's convention d(u,v) = +∞ for
+// unreachable targets, so the result is +Inf whenever the strategy leaves
+// a positive-probability recipient unreachable (and the fee parameters are
+// positive).
+func (e *JoinEvaluator) Fees(s Strategy) float64 {
+	scale := e.params.OwnRate * e.params.FeePerHop
+	st := e.buildStats(s)
+	var sum float64
+	for v := 0; v < e.n; v++ {
+		p := e.pu[v]
+		if p == 0 {
+			continue
+		}
+		if st.outDist[v] == graph.Unreachable {
+			if scale > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		// d_{G+S}(u, v) = 1 + min_j d(v_j, v).
+		sum += p * float64(1+st.outDist[v])
+	}
+	return scale * sum
+}
+
+// Cost returns Σ_{(v,l)∈S} L_u(v,l) = Σ (C + r·l).
+func (e *JoinEvaluator) Cost(s Strategy) float64 {
+	var total float64
+	for _, a := range s {
+		total += e.params.ChannelCost(a.Lock)
+	}
+	return total
+}
+
+// Disconnected reports whether the strategy leaves the joining user
+// disconnected from some recipient it transacts with (or from the whole
+// network when S is empty).
+func (e *JoinEvaluator) Disconnected(s Strategy) bool {
+	if e.n == 0 {
+		return false
+	}
+	st := e.buildStats(s)
+	if len(st.peers) == 0 {
+		return true
+	}
+	for v := 0; v < e.n; v++ {
+		if e.pu[v] > 0 && st.outDist[v] == graph.Unreachable {
+			return true
+		}
+	}
+	return false
+}
+
+// Utility returns U_u(S) = E^rev − E^fees − Σ L_u (§II-C). A strategy
+// that leaves the user disconnected has utility −Inf, matching the
+// paper's convention.
+func (e *JoinEvaluator) Utility(s Strategy, model RevenueModel) float64 {
+	e.evals++
+	if e.Disconnected(s) {
+		return math.Inf(-1)
+	}
+	return e.Revenue(s, model) - e.Fees(s) - e.Cost(s)
+}
+
+// Simplified returns the monotone submodular U'_u(S) = E^rev − E^fees of
+// Theorem 2, the objective of Algorithms 1 and 2.
+func (e *JoinEvaluator) Simplified(s Strategy, model RevenueModel) float64 {
+	e.evals++
+	return e.Revenue(s, model) - e.Fees(s)
+}
+
+// Benefit returns U^b_u(S) = C_u + U_u(S), the §III-D objective that
+// captures the gain over transacting on-chain.
+func (e *JoinEvaluator) Benefit(s Strategy, model RevenueModel) float64 {
+	return e.params.OnChainAlternative() + e.Utility(s, model)
+}
+
+// BenefitPositivityHolds checks the paper's sufficient condition for the
+// benefit function to stay positive for a single channel action:
+// E^fees + (B_u/C)·L_u(v,l) < C_u (§III-D).
+func (e *JoinEvaluator) BenefitPositivityHolds(s Strategy, budget float64) bool {
+	fees := e.Fees(s)
+	if math.IsInf(fees, 1) {
+		return false
+	}
+	var maxCost float64
+	for _, a := range s {
+		if c := e.params.ChannelCost(a.Lock); c > maxCost {
+			maxCost = c
+		}
+	}
+	return fees+budget/e.params.OnChainCost*maxCost < e.params.OnChainAlternative()
+}
+
+// FixedRate returns λ̂(u, v), estimating it lazily over all nodes of g as
+// candidates on first use.
+func (e *JoinEvaluator) FixedRate(v graph.NodeID) float64 {
+	if e.fixedRates == nil {
+		all := make([]graph.NodeID, e.n)
+		for i := range all {
+			all[i] = graph.NodeID(i)
+		}
+		e.fixedRates = e.EstimateRates(all)
+	}
+	return e.fixedRates[v]
+}
+
+// SetFixedRates overrides the λ̂ estimates, e.g. to restrict the reference
+// configuration to a candidate subset or to inject measured rates.
+func (e *JoinEvaluator) SetFixedRates(rates map[graph.NodeID]float64) {
+	e.fixedRates = rates
+}
+
+// EstimateRates performs the paper's "estimation of the λ_uv parameter":
+// for every candidate peer v it returns the transit rate through u
+// attributable to the channel (u,v) in the reference configuration where u
+// is connected once to every candidate. Each forwarded transaction crosses
+// one entry and one exit channel of u; its rate is attributed half to
+// each, so Σ_v λ̂(u,v) equals the total transit rate of the reference
+// configuration.
+func (e *JoinEvaluator) EstimateRates(candidates []graph.NodeID) map[graph.NodeID]float64 {
+	rates := make(map[graph.NodeID]float64, len(candidates))
+	ref := make(Strategy, 0, len(candidates))
+	for _, v := range candidates {
+		if e.g.HasNode(v) {
+			rates[v] = 0
+			ref = append(ref, Action{Peer: v})
+		}
+	}
+	if len(ref) == 0 {
+		return rates
+	}
+	st := e.buildStats(ref)
+	// Pre-collect the argmin peer sets per node for entry and exit.
+	entry := make([][]graph.NodeID, e.n)
+	exit := make([][]graph.NodeID, e.n)
+	for x := 0; x < e.n; x++ {
+		for _, v := range st.peers {
+			if d := e.ap.Dist[x][v]; d != graph.Unreachable && d == st.inDist[x] {
+				entry[x] = append(entry[x], v)
+			}
+			if d := e.ap.Dist[v][x]; d != graph.Unreachable && d == st.outDist[x] {
+				exit[x] = append(exit[x], v)
+			}
+		}
+	}
+	for src := 0; src < e.n; src++ {
+		if st.inDist[src] == graph.Unreachable {
+			continue
+		}
+		for dst := 0; dst < e.n; dst++ {
+			if dst == src || st.outDist[dst] == graph.Unreachable {
+				continue
+			}
+			w := e.demand.PairRate(graph.NodeID(src), graph.NodeID(dst))
+			if w == 0 {
+				continue
+			}
+			dThru := st.inDist[src] + 2 + st.outDist[dst]
+			d0 := e.ap.Dist[src][dst]
+			var frac float64
+			switch {
+			case d0 == graph.Unreachable || dThru < d0:
+				frac = 1
+			case dThru == d0:
+				sThru := st.inSigma[src] * st.outSigma[dst]
+				frac = sThru / (e.ap.Sigma[src][dst] + sThru)
+			default:
+				continue
+			}
+			flow := w * frac
+			for _, vi := range entry[src] {
+				rates[vi] += 0.5 * flow * e.ap.Sigma[src][vi] / st.inSigma[src]
+			}
+			for _, vj := range exit[dst] {
+				rates[vj] += 0.5 * flow * e.ap.Sigma[vj][dst] / st.outSigma[dst]
+			}
+		}
+	}
+	return rates
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// testParams returns a plain parameter set with unit-ish values.
+func testParams() Params {
+	return Params{
+		OnChainCost: 1,
+		OppCostRate: 0.05,
+		FAvg:        0.5,
+		FeePerHop:   0.4,
+		OwnRate:     2,
+	}
+}
+
+func uniformRates(n int, per float64) []float64 {
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = per
+	}
+	return rates
+}
+
+func newEvaluator(t *testing.T, g *graph.Graph, d txdist.Distribution, params Params) *JoinEvaluator {
+	t.Helper()
+	demand, err := traffic.NewDemand(g, d, uniformRates(g.NumNodes(), 1))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	e, err := NewJoinEvaluator(g, d, demand, params)
+	if err != nil {
+		t.Fatalf("NewJoinEvaluator: %v", err)
+	}
+	return e
+}
+
+// materialize clones g and adds the joining user as a real node with the
+// strategy's channels, the ground-truth construction the evaluator must
+// agree with.
+func materialize(t *testing.T, g *graph.Graph, s Strategy) (*graph.Graph, graph.NodeID) {
+	t.Helper()
+	mg := g.Clone()
+	u := mg.AddNode()
+	for _, a := range s {
+		if _, _, err := mg.AddChannel(u, a.Peer, 1, 1); err != nil {
+			t.Fatalf("materialize channel: %v", err)
+		}
+	}
+	return mg, u
+}
+
+func TestNewJoinEvaluatorValidation(t *testing.T) {
+	g := graph.Star(3, 1)
+	demand, err := traffic.NewDemand(g, txdist.Uniform{}, uniformRates(4, 1))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	if _, err := NewJoinEvaluator(g, txdist.Uniform{}, demand, Params{}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("zero params error = %v, want ErrBadParams", err)
+	}
+	other := graph.Star(5, 1)
+	if _, err := NewJoinEvaluator(other, txdist.Uniform{}, demand, testParams()); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("mismatched demand error = %v, want ErrBadParams", err)
+	}
+}
+
+func TestTransitRateHandComputed(t *testing.T) {
+	// G is the path 0-1-2. Only node 0 transacts, always with node 2, at
+	// rate 9. Joining u with channels to 0 and 2 creates a second
+	// shortest 0→2 route (0,u,2) tying the existing (0,1,2): u captures
+	// half the flow.
+	g := graph.Path(3, 1)
+	demand := &traffic.Demand{
+		P:     [][]float64{{0, 0, 1}, {0, 0, 0}, {0, 0, 0}},
+		Rates: []float64{9, 0, 0},
+	}
+	e, err := NewJoinEvaluator(g, txdist.Uniform{}, demand, testParams())
+	if err != nil {
+		t.Fatalf("NewJoinEvaluator: %v", err)
+	}
+	s := Strategy{{Peer: 0, Lock: 1}, {Peer: 2, Lock: 1}}
+	if got := e.TransitRate(s); math.Abs(got-4.5) > 1e-9 {
+		t.Fatalf("TransitRate = %v, want 4.5", got)
+	}
+	// Channels to 0 and 1 give u no transit: the through route 0→u→1→2
+	// has length 3 > 2.
+	s = Strategy{{Peer: 0, Lock: 1}, {Peer: 1, Lock: 1}}
+	if got := e.TransitRate(s); got != 0 {
+		t.Fatalf("TransitRate = %v, want 0", got)
+	}
+}
+
+func TestTransitRateShortcut(t *testing.T) {
+	// On a long path, bridging the endpoints captures all end-to-end
+	// flow: 0→u→4 (length 2) beats 0→…→4 (length 4).
+	g := graph.Path(5, 1)
+	demand := &traffic.Demand{
+		P:     [][]float64{{0, 0, 0, 0, 1}, {}, {}, {}, {}},
+		Rates: []float64{3, 0, 0, 0, 0},
+	}
+	// Pad rows so the matrix is square.
+	for i := 1; i < 5; i++ {
+		demand.P[i] = make([]float64, 5)
+	}
+	e, err := NewJoinEvaluator(g, txdist.Uniform{}, demand, testParams())
+	if err != nil {
+		t.Fatalf("NewJoinEvaluator: %v", err)
+	}
+	s := Strategy{{Peer: 0}, {Peer: 4}}
+	if got := e.TransitRate(s); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("TransitRate = %v, want 3", got)
+	}
+}
+
+func TestTransitRateAgainstMaterializedOracle(t *testing.T) {
+	// The virtual evaluator must agree with weighted node betweenness on
+	// the materialized graph across random topologies and strategies.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.ConnectedErdosRenyi(9, 0.28, 1, rng, 50)
+		dist := txdist.ModifiedZipf{S: 1}
+		demand, err := traffic.NewDemand(g, dist, uniformRates(g.NumNodes(), 1+rng.Float64()))
+		if err != nil {
+			t.Fatalf("NewDemand: %v", err)
+		}
+		e, err := NewJoinEvaluator(g, dist, demand, testParams())
+		if err != nil {
+			t.Fatalf("NewJoinEvaluator: %v", err)
+		}
+		s := randomStrategy(g.NumNodes(), rng)
+		mg, u := materialize(t, g, s)
+		transit := mg.NodeBetweenness(demand.PairWeight())
+		want := transit[u]
+		if got := e.TransitRate(s); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d strategy %v: TransitRate = %v, oracle = %v", trial, s, got, want)
+		}
+	}
+}
+
+func TestTransitRateParallelChannels(t *testing.T) {
+	// Parallel channels multiply the through-path count in tie cases,
+	// increasing the captured share exactly as the multigraph oracle
+	// computes.
+	g := graph.Path(3, 1)
+	demand := &traffic.Demand{
+		P:     [][]float64{{0, 0, 1}, {0, 0, 0}, {0, 0, 0}},
+		Rates: []float64{8, 0, 0},
+	}
+	e, err := NewJoinEvaluator(g, txdist.Uniform{}, demand, testParams())
+	if err != nil {
+		t.Fatalf("NewJoinEvaluator: %v", err)
+	}
+	// Two channels to 0, one to 2: through-paths 0→u→2 counted twice
+	// (entry multiplicity 2): frac = 2/(1+2).
+	s := Strategy{{Peer: 0}, {Peer: 0}, {Peer: 2}}
+	want := 8 * 2.0 / 3.0
+	if got := e.TransitRate(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TransitRate = %v, want %v", got, want)
+	}
+	mg, u := materialize(t, g, s)
+	transit := mg.NodeBetweenness(demand.PairWeight())
+	if math.Abs(transit[u]-want) > 1e-9 {
+		t.Fatalf("oracle disagrees: %v vs %v", transit[u], want)
+	}
+}
+
+func TestFeesAgainstMaterializedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		g := graph.ConnectedErdosRenyi(8, 0.3, 1, rng, 50)
+		dist := txdist.ModifiedZipf{S: 1.3}
+		e := newEvaluator(t, g, dist, testParams())
+		s := randomStrategy(g.NumNodes(), rng)
+		mg, u := materialize(t, g, s)
+		du := mg.BFS(u)
+		pu := e.JoinProbs()
+		want := 0.0
+		for v := 0; v < g.NumNodes(); v++ {
+			if pu[v] == 0 {
+				continue
+			}
+			if du[v] == graph.Unreachable {
+				want = math.Inf(1)
+				break
+			}
+			want += pu[v] * float64(du[v])
+		}
+		if !math.IsInf(want, 1) {
+			want *= testParams().OwnRate * testParams().FeePerHop
+		}
+		got := e.Fees(s)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) {
+			t.Fatalf("trial %d: Fees = %v, oracle = %v", trial, got, want)
+		}
+		if !math.IsInf(want, 1) && math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d strategy %v: Fees = %v, oracle = %v", trial, s, got, want)
+		}
+	}
+}
+
+func TestFeesDisconnected(t *testing.T) {
+	// Two components; connecting only to one leaves positive-probability
+	// recipients unreachable → infinite fees.
+	g := graph.New(4)
+	if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if _, _, err := g.AddChannel(2, 3, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	if got := e.Fees(Strategy{{Peer: 0}}); !math.IsInf(got, 1) {
+		t.Fatalf("Fees = %v, want +Inf", got)
+	}
+	if !e.Disconnected(Strategy{{Peer: 0}}) {
+		t.Fatal("Disconnected = false for partial connection")
+	}
+	if e.Disconnected(Strategy{{Peer: 0}, {Peer: 2}}) {
+		t.Fatal("Disconnected = true despite full coverage")
+	}
+}
+
+func TestUtilityComposition(t *testing.T) {
+	g := graph.Star(4, 1)
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	s := Strategy{{Peer: 0, Lock: 3}, {Peer: 1, Lock: 2}}
+	rev := e.Revenue(s, RevenueExact)
+	fees := e.Fees(s)
+	cost := e.Cost(s)
+	wantCost := 2*1.0 + 0.05*5
+	if math.Abs(cost-wantCost) > 1e-9 {
+		t.Fatalf("Cost = %v, want %v", cost, wantCost)
+	}
+	if got := e.Utility(s, RevenueExact); math.Abs(got-(rev-fees-cost)) > 1e-9 {
+		t.Fatalf("Utility = %v, want %v", got, rev-fees-cost)
+	}
+	if got := e.Simplified(s, RevenueExact); math.Abs(got-(rev-fees)) > 1e-9 {
+		t.Fatalf("Simplified = %v, want %v", got, rev-fees)
+	}
+	wantBenefit := testParams().OwnRate*testParams().OnChainCost/2 + e.Utility(s, RevenueExact)
+	if got := e.Benefit(s, RevenueExact); math.Abs(got-wantBenefit) > 1e-9 {
+		t.Fatalf("Benefit = %v, want %v", got, wantBenefit)
+	}
+}
+
+func TestUtilityDisconnectedIsNegInf(t *testing.T) {
+	g := graph.Star(3, 1)
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	if got := e.Utility(nil, RevenueExact); !math.IsInf(got, -1) {
+		t.Fatalf("Utility(∅) = %v, want −Inf", got)
+	}
+}
+
+func TestEstimateRatesSumEqualsFullTransit(t *testing.T) {
+	// Entry and exit halves must re-assemble into the total transit rate
+	// of the fully-connected reference configuration.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		g := graph.ConnectedErdosRenyi(8, 0.3, 1, rng, 50)
+		dist := txdist.ModifiedZipf{S: 0.8}
+		e := newEvaluator(t, g, dist, testParams())
+		all := make([]graph.NodeID, g.NumNodes())
+		full := make(Strategy, g.NumNodes())
+		for i := range all {
+			all[i] = graph.NodeID(i)
+			full[i] = Action{Peer: graph.NodeID(i)}
+		}
+		rates := e.EstimateRates(all)
+		var sum float64
+		for _, r := range rates {
+			sum += r
+		}
+		want := e.TransitRate(full)
+		if math.Abs(sum-want) > 1e-6 {
+			t.Fatalf("trial %d: Σλ̂ = %v, full transit = %v", trial, sum, want)
+		}
+	}
+}
+
+func TestFixedRateLazyAndOverride(t *testing.T) {
+	g := graph.Star(4, 1)
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	if r := e.FixedRate(0); r < 0 {
+		t.Fatalf("FixedRate(0) = %v", r)
+	}
+	e.SetFixedRates(map[graph.NodeID]float64{2: 7})
+	if r := e.FixedRate(2); r != 7 {
+		t.Fatalf("override FixedRate(2) = %v, want 7", r)
+	}
+	if r := e.FixedRate(0); r != 0 {
+		t.Fatalf("non-overridden FixedRate(0) = %v, want 0", r)
+	}
+}
+
+func TestRevenueFixedRateModular(t *testing.T) {
+	// Under the fixed-rate model, revenue must be exactly additive.
+	g := graph.Star(5, 1)
+	e := newEvaluator(t, g, txdist.ModifiedZipf{S: 1}, testParams())
+	a := Action{Peer: 0, Lock: 1}
+	b := Action{Peer: 1, Lock: 2}
+	ra := e.Revenue(Strategy{a}, RevenueFixedRate)
+	rb := e.Revenue(Strategy{b}, RevenueFixedRate)
+	rab := e.Revenue(Strategy{a, b}, RevenueFixedRate)
+	if math.Abs(rab-(ra+rb)) > 1e-9 {
+		t.Fatalf("fixed-rate revenue not modular: %v vs %v + %v", rab, ra, rb)
+	}
+}
+
+func TestCapacityFactorGatesRevenue(t *testing.T) {
+	// With φ(l) = min(1, l/10), a zero-lock channel forwards nothing on
+	// exit, halving its fixed-rate revenue relative to a saturated lock.
+	params := testParams()
+	params.CapacityFactor = func(l float64) float64 { return math.Min(1, l/10) }
+	g := graph.Star(5, 1)
+	demand, err := traffic.NewDemand(g, txdist.Uniform{}, uniformRates(6, 1))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	e, err := NewJoinEvaluator(g, txdist.Uniform{}, demand, params)
+	if err != nil {
+		t.Fatalf("NewJoinEvaluator: %v", err)
+	}
+	// Use a leaf peer: in the fully-connected reference configuration the
+	// leaf channels carry the leaf↔leaf shortcut traffic (the hub channel
+	// carries none, since every node is reached directly).
+	zero := e.Revenue(Strategy{{Peer: 1, Lock: 0}}, RevenueFixedRate)
+	full := e.Revenue(Strategy{{Peer: 1, Lock: 10}}, RevenueFixedRate)
+	if full <= 0 {
+		t.Fatal("saturated revenue should be positive for a leaf channel")
+	}
+	if math.Abs(zero-full/2) > 1e-9 {
+		t.Fatalf("zero-lock revenue = %v, want half of %v", zero, full)
+	}
+	// Exact model: capacity factor scales the exit share.
+	exactZero := e.Revenue(Strategy{{Peer: 0, Lock: 0}, {Peer: 1, Lock: 0}}, RevenueExact)
+	if exactZero != 0 {
+		t.Fatalf("exact revenue with zero locks = %v, want 0", exactZero)
+	}
+}
+
+func TestValidateStrategy(t *testing.T) {
+	g := graph.Star(3, 1)
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	if err := e.ValidateStrategy(Strategy{{Peer: 1, Lock: 2}}); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+	if err := e.ValidateStrategy(Strategy{{Peer: 99}}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("bad peer error = %v", err)
+	}
+	if err := e.ValidateStrategy(Strategy{{Peer: 0, Lock: -1}}); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("negative lock error = %v", err)
+	}
+}
+
+func TestEvaluationCounter(t *testing.T) {
+	g := graph.Star(3, 1)
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	e.ResetEvaluations()
+	e.Simplified(Strategy{{Peer: 0}}, RevenueExact)
+	e.Utility(Strategy{{Peer: 0}}, RevenueExact)
+	if got := e.Evaluations(); got != 2 {
+		t.Fatalf("Evaluations = %d, want 2", got)
+	}
+}
+
+// randomStrategy draws 1..4 actions over random peers (duplicates allowed
+// with probability ~1/4) with random locks.
+func randomStrategy(n int, rng *rand.Rand) Strategy {
+	size := rng.Intn(4) + 1
+	s := make(Strategy, 0, size)
+	for i := 0; i < size; i++ {
+		s = append(s, Action{
+			Peer: graph.NodeID(rng.Intn(n)),
+			Lock: float64(rng.Intn(10)),
+		})
+	}
+	return s
+}
+
+func TestBenefitPositivityHolds(t *testing.T) {
+	g := graph.Star(4, 1)
+	// Favourable regime: heavy own traffic, cheap fees — joining beats
+	// staying on-chain.
+	params := testParams()
+	params.OwnRate = 50
+	params.FeePerHop = 0.01
+	e := newEvaluator(t, g, txdist.Uniform{}, params)
+	s := Strategy{{Peer: 0, Lock: 1}}
+	if !e.BenefitPositivityHolds(s, 2) {
+		t.Fatal("positivity condition should hold in the favourable regime")
+	}
+	// Tiny own traffic: the on-chain alternative is nearly free and the
+	// condition fails.
+	params.OwnRate = 0.001
+	params.FeePerHop = 1
+	e = newEvaluator(t, g, txdist.Uniform{}, params)
+	if e.BenefitPositivityHolds(s, 10) {
+		t.Fatal("positivity condition should fail with negligible own traffic")
+	}
+	// Disconnected strategies (infinite fees) always fail.
+	if e.BenefitPositivityHolds(nil, 2) {
+		t.Fatal("positivity condition held for the empty strategy")
+	}
+}
+
+func TestEvaluatorAccessors(t *testing.T) {
+	g := graph.Star(3, 1)
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	if e.Graph() != g {
+		t.Fatal("Graph accessor returned a different graph")
+	}
+	if e.Params().OnChainCost != testParams().OnChainCost {
+		t.Fatal("Params accessor mismatch")
+	}
+}
+
+func TestGreedyWithRestrictedCandidates(t *testing.T) {
+	g := graph.Star(5, 1)
+	e := newEvaluator(t, g, txdist.ModifiedZipf{S: 1}, testParams())
+	res, err := Greedy(e, GreedyConfig{
+		Budget:     10,
+		Lock:       1,
+		Candidates: []graph.NodeID{2, 3},
+	})
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	for _, a := range res.Strategy {
+		if a.Peer != 2 && a.Peer != 3 {
+			t.Fatalf("greedy used non-candidate peer %d", a.Peer)
+		}
+	}
+}
+
+func TestDiscreteWithRestrictedCandidates(t *testing.T) {
+	g := graph.Star(5, 1)
+	e := newEvaluator(t, g, txdist.ModifiedZipf{S: 1}, testParams())
+	res, err := DiscreteSearch(e, DiscreteConfig{
+		Budget:     6,
+		Unit:       1,
+		Candidates: []graph.NodeID{0, 4},
+	})
+	if err != nil {
+		t.Fatalf("DiscreteSearch: %v", err)
+	}
+	for _, a := range res.Strategy {
+		if a.Peer != 0 && a.Peer != 4 {
+			t.Fatalf("discrete used non-candidate peer %d", a.Peer)
+		}
+	}
+}
+
+func TestContinuousWithRestrictedCandidates(t *testing.T) {
+	g := graph.Star(5, 1)
+	e := newEvaluator(t, g, txdist.ModifiedZipf{S: 1}, testParams())
+	res, err := ContinuousSearch(e, ContinuousConfig{
+		Budget:     6,
+		Candidates: []graph.NodeID{1},
+	})
+	if err != nil {
+		t.Fatalf("ContinuousSearch: %v", err)
+	}
+	for _, a := range res.Strategy {
+		if a.Peer != 1 {
+			t.Fatalf("continuous used non-candidate peer %d", a.Peer)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// GreedyConfig parametrises Algorithm 1.
+type GreedyConfig struct {
+	// Budget is B_u.
+	Budget float64
+	// Lock is l_1, the fixed amount locked into every channel (§III-B).
+	Lock float64
+	// Candidates restricts the peers considered; nil means every node of
+	// the graph.
+	Candidates []graph.NodeID
+	// Model selects the revenue model; the zero value means
+	// RevenueFixedRate, the model under which Theorem 4's guarantee is
+	// proven.
+	Model RevenueModel
+}
+
+// Greedy is Algorithm 1: with a fixed lock per channel, greedily add the
+// channel with the best marginal simplified utility U' until the budget
+// bound M = ⌊B_u/(C+l_1)⌋ is reached, then return the best prefix.
+// Because U' is monotone and submodular (Theorem 2), the result is a
+// (1−1/e)-approximation of the optimal U' over strategies of at most M
+// fixed-lock channels (Theorem 4), using O(M·n) objective evaluations.
+func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
+	if cfg.Lock < 0 || math.IsNaN(cfg.Lock) {
+		return Result{}, fmt.Errorf("%w: lock %v", ErrBadParams, cfg.Lock)
+	}
+	if cfg.Budget < 0 || math.IsNaN(cfg.Budget) {
+		return Result{}, fmt.Errorf("%w: budget %v", ErrBadParams, cfg.Budget)
+	}
+	model := cfg.Model
+	if model == 0 {
+		model = RevenueFixedRate
+	}
+	perChannel := e.params.OnChainCost + cfg.Lock
+	maxChannels := int(cfg.Budget / perChannel)
+	candidates := cfg.Candidates
+	if candidates == nil {
+		candidates = allNodes(e.g)
+	}
+	e.ResetEvaluations()
+
+	available := append([]graph.NodeID(nil), candidates...)
+	var (
+		current     Strategy
+		bestPrefix  Strategy
+		bestValue   = math.Inf(-1)
+		prefixFound bool
+	)
+	for len(current) < maxChannels && len(available) > 0 {
+		// argmax over remaining candidates of U'(S ∪ {X}); since U'(S) is
+		// a constant within the step this equals the paper's marginal
+		// argmax while avoiding ∞−∞ at the first step.
+		bestIdx := -1
+		bestObj := math.Inf(-1)
+		for i, v := range available {
+			obj := e.Simplified(current.With(Action{Peer: v, Lock: cfg.Lock}), model)
+			if obj > bestObj {
+				bestObj = obj
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		current = current.With(Action{Peer: available[bestIdx], Lock: cfg.Lock})
+		available = append(available[:bestIdx], available[bestIdx+1:]...)
+		if bestObj > bestValue {
+			bestValue = bestObj
+			bestPrefix = current.Clone()
+			prefixFound = true
+		}
+	}
+	if !prefixFound {
+		// No channel affordable: the empty strategy is the only option.
+		return Result{
+			Strategy:    nil,
+			Objective:   e.Simplified(nil, model),
+			Utility:     e.Utility(nil, RevenueExact),
+			Evaluations: e.Evaluations(),
+		}, nil
+	}
+	return Result{
+		Strategy:    bestPrefix,
+		Objective:   bestValue,
+		Utility:     e.Utility(bestPrefix, RevenueExact),
+		Evaluations: e.Evaluations(),
+	}, nil
+}
+
+// allNodes lists every node of g as a candidate peer.
+func allNodes(g *graph.Graph) []graph.NodeID {
+	nodes := make([]graph.NodeID, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = graph.NodeID(i)
+	}
+	return nodes
+}

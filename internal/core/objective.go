@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// ObjectiveKind selects which of the paper's objective functions an
+// optimiser or auditor targets.
+type ObjectiveKind int
+
+const (
+	// ObjectiveSimplified is U' = E^rev − E^fees (Theorem 2): monotone and
+	// submodular; the objective of Algorithms 1 and 2.
+	ObjectiveSimplified ObjectiveKind = iota + 1
+	// ObjectiveUtility is the full U = E^rev − E^fees − ΣL_u (§II-C):
+	// submodular but non-monotone (Theorems 1-2).
+	ObjectiveUtility
+	// ObjectiveBenefit is U^b = C_u + U (§III-D): the continuous
+	// algorithm's non-negative target.
+	ObjectiveBenefit
+)
+
+// String renders the objective name.
+func (k ObjectiveKind) String() string {
+	switch k {
+	case ObjectiveSimplified:
+		return "U'"
+	case ObjectiveUtility:
+		return "U"
+	case ObjectiveBenefit:
+		return "U^b"
+	default:
+		return fmt.Sprintf("ObjectiveKind(%d)", int(k))
+	}
+}
+
+// Objective evaluates the selected objective for a strategy.
+func (e *JoinEvaluator) Objective(kind ObjectiveKind, s Strategy, model RevenueModel) float64 {
+	switch kind {
+	case ObjectiveUtility:
+		return e.Utility(s, model)
+	case ObjectiveBenefit:
+		return e.Benefit(s, model)
+	default:
+		return e.Simplified(s, model)
+	}
+}
+
+// Result reports the outcome of an optimisation run.
+type Result struct {
+	// Strategy is the selected channel set.
+	Strategy Strategy
+	// Objective is the value of the algorithm's objective at Strategy.
+	Objective float64
+	// Utility is the full utility U of Strategy under the exact revenue
+	// model (the paper's real objective), so results are comparable
+	// across algorithms and revenue models.
+	Utility float64
+	// Evaluations counts objective evaluations consumed by the run, the
+	// unit in which Theorems 4 and 5 state their runtimes.
+	Evaluations int
+	// Truncated reports that a search-space cap stopped the run before
+	// exhausting the space (DiscreteSearch and BruteForce only).
+	Truncated bool
+}

@@ -1,0 +1,129 @@
+// Package core implements the paper's primary contribution (§II-C and
+// §III): the utility function of a user joining a payment channel network
+// and the approximation algorithms that optimise it under a budget.
+//
+// The utility of a joining user u under strategy S (a set of channels with
+// locked amounts) is
+//
+//	U_u(S) = E^rev_u(S) − E^fees_u(S) − Σ_{(v,l)∈S} L_u(v,l)
+//
+// with expected routing revenue E^rev (eq. 3), expected fees paid E^fees,
+// and per-channel cost L_u(v,l) = C + r·l (on-chain cost plus opportunity
+// cost of the locked capital). The simplified utility U' = E^rev − E^fees
+// of Theorem 2 is monotone and submodular and is what Algorithms 1 and 2
+// optimise; §III-D's benefit function U^b = C_u + U is used by the
+// continuous algorithm.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParams reports invalid model parameters.
+var ErrBadParams = errors.New("core: invalid parameters")
+
+// Params collects the economic parameters of §II-C.
+type Params struct {
+	// OnChainCost is C: the expected total on-chain cost a party bears per
+	// channel (half the opening fee plus the expected share of the closing
+	// fee; the paper shows this totals C per party).
+	OnChainCost float64
+
+	// OppCostRate is r in l_u = r·c_u: the opportunity cost per unit of
+	// locked capital for the lifetime of the channel.
+	OppCostRate float64
+
+	// FAvg is favg: the expected routing fee an intermediary earns per
+	// forwarded transaction (§II-A).
+	FAvg float64
+
+	// FeePerHop is f^T_avg: the expected fee the user pays per hop when
+	// sending their own transactions.
+	FeePerHop float64
+
+	// OwnRate is N_u: the expected number of transactions the joining
+	// user sends per unit of time.
+	OwnRate float64
+
+	// CapacityFactor optionally models how the capital locked into a
+	// channel limits the share of transit it can forward: a channel with
+	// lock l forwards a fraction CapacityFactor(l) of its potential exit
+	// traffic (e.g. the CDF of the transaction-size distribution). A nil
+	// factor reproduces the paper's base model in which locked capital
+	// does not gate revenue.
+	CapacityFactor func(lock float64) float64
+
+	// ChannelCostFn optionally replaces the linear per-channel cost
+	// C + r·lock with a richer model, e.g. the interest-rate cost of
+	// Guasoni et al. [17] that the paper names as future work. The
+	// function must return the total cost of one channel given its lock;
+	// it must be non-negative for the optimisers' guarantees to carry
+	// (the cost term stays modular, so Theorems 1-5 are unaffected —
+	// property-tested in the suite). A nil function keeps the paper's
+	// base model.
+	ChannelCostFn func(lock float64) float64
+}
+
+// Validate checks the parameters for internal consistency.
+func (p Params) Validate() error {
+	switch {
+	case p.OnChainCost <= 0:
+		return fmt.Errorf("%w: OnChainCost %v must be positive", ErrBadParams, p.OnChainCost)
+	case p.OppCostRate < 0:
+		return fmt.Errorf("%w: OppCostRate %v must be non-negative", ErrBadParams, p.OppCostRate)
+	case p.FAvg < 0:
+		return fmt.Errorf("%w: FAvg %v must be non-negative", ErrBadParams, p.FAvg)
+	case p.FeePerHop < 0:
+		return fmt.Errorf("%w: FeePerHop %v must be non-negative", ErrBadParams, p.FeePerHop)
+	case p.OwnRate < 0:
+		return fmt.Errorf("%w: OwnRate %v must be non-negative", ErrBadParams, p.OwnRate)
+	}
+	return nil
+}
+
+// ChannelCost returns L_u(v, l), the total cost the user bears for one
+// channel with lock l: C + r·l in the paper's base model (§II-C), or
+// ChannelCostFn(l) when the extended cost model is configured.
+func (p Params) ChannelCost(lock float64) float64 {
+	if p.ChannelCostFn != nil {
+		return p.ChannelCostFn(lock)
+	}
+	return p.OnChainCost + p.OppCostRate*lock
+}
+
+// GuasoniCost returns a ChannelCostFn in the spirit of Guasoni et al.
+// [17]: an on-chain component plus the present-value cost of locking
+// capital at interest rate rho over an expected channel lifetime:
+// C + lock·(1 − e^{−rho·lifetime}). It degenerates to the linear model
+// for small rho·lifetime.
+func GuasoniCost(onChain, rho, lifetime float64) func(lock float64) float64 {
+	discount := 1 - math.Exp(-rho*lifetime)
+	return func(lock float64) float64 {
+		return onChain + lock*discount
+	}
+}
+
+// OnChainAlternative returns C_u = N_u·C/2: the expected on-chain cost the
+// user would pay transacting entirely on the blockchain (§III-D). It is
+// the additive constant of the benefit function U^b = C_u + U.
+func (p Params) OnChainAlternative() float64 {
+	return p.OwnRate * p.OnChainCost / 2
+}
+
+// capFactor evaluates the capacity factor, defaulting to 1 (the paper's
+// base model) and clamping to [0, 1].
+func (p Params) capFactor(lock float64) float64 {
+	if p.CapacityFactor == nil {
+		return 1
+	}
+	f := p.CapacityFactor(lock)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

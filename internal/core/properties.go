@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// PropertyReport summarises an empirical audit of a structural property of
+// the objective function (Theorems 1-3).
+type PropertyReport struct {
+	// Trials is the number of sampled configurations.
+	Trials int
+	// Violations counts configurations where the property failed beyond
+	// tolerance.
+	Violations int
+	// Vacuous counts configurations where the property could not be
+	// evaluated because a term was non-finite (e.g. the fee term of a
+	// disconnected strategy is +∞); these satisfy the paper's extended
+	// arithmetic by convention.
+	Vacuous int
+	// MaxViolation is the largest observed violation magnitude.
+	MaxViolation float64
+	// Witness holds one violating configuration, when any.
+	Witness *PropertyWitness
+}
+
+// PropertyWitness records a configuration violating (or, for the
+// non-monotonicity and negativity audits, *exhibiting*) a property.
+type PropertyWitness struct {
+	S1, S2 Strategy
+	X      Action
+	Value1 float64
+	Value2 float64
+}
+
+const propertyTolerance = 1e-7
+
+// CheckSubmodularity samples nested strategies S1 ⊆ S2 and an extra action
+// X ∉ S2 and verifies the submodularity inequality of Theorem 1,
+//
+//	f(S1 ∪ {X}) − f(S1) ≥ f(S2 ∪ {X}) − f(S2),
+//
+// for the selected objective and revenue model.
+func CheckSubmodularity(e *JoinEvaluator, kind ObjectiveKind, model RevenueModel, locks []float64, trials int, rng *rand.Rand) PropertyReport {
+	report := PropertyReport{Trials: trials}
+	n := e.NumNodes()
+	if n < 3 {
+		return report
+	}
+	for t := 0; t < trials; t++ {
+		s2, x := randomNestedConfig(n, locks, rng)
+		cut := rng.Intn(len(s2) + 1)
+		s1 := s2[:cut].Clone()
+
+		m1 := e.Objective(kind, s1.With(x), model) - e.Objective(kind, s1, model)
+		m2 := e.Objective(kind, s2.With(x), model) - e.Objective(kind, s2, model)
+		if math.IsNaN(m1) || math.IsNaN(m2) || math.IsInf(m1, 0) || math.IsInf(m2, 0) {
+			report.Vacuous++
+			continue
+		}
+		if diff := m2 - m1; diff > propertyTolerance {
+			report.Violations++
+			if diff > report.MaxViolation {
+				report.MaxViolation = diff
+				report.Witness = &PropertyWitness{S1: s1, S2: s2, X: x, Value1: m1, Value2: m2}
+			}
+		}
+	}
+	return report
+}
+
+// CheckMonotonicity samples strategies S and actions X ∉ S and verifies
+// f(S ∪ {X}) ≥ f(S) for the selected objective (Theorem 2 asserts this
+// for U' and refutes it for U).
+func CheckMonotonicity(e *JoinEvaluator, kind ObjectiveKind, model RevenueModel, locks []float64, trials int, rng *rand.Rand) PropertyReport {
+	report := PropertyReport{Trials: trials}
+	n := e.NumNodes()
+	if n < 2 {
+		return report
+	}
+	for t := 0; t < trials; t++ {
+		s, x := randomNestedConfig(n, locks, rng)
+		before := e.Objective(kind, s, model)
+		after := e.Objective(kind, s.With(x), model)
+		if math.IsNaN(before) || math.IsNaN(after) {
+			report.Vacuous++
+			continue
+		}
+		// −∞ → finite transitions are monotone increases; finite → −∞
+		// would be violations but cannot occur since adding a channel
+		// never disconnects.
+		if diff := before - after; diff > propertyTolerance {
+			report.Violations++
+			if diff > report.MaxViolation {
+				report.MaxViolation = diff
+				report.Witness = &PropertyWitness{S1: s, X: x, Value1: before, Value2: after}
+			}
+		}
+	}
+	return report
+}
+
+// FindNegativeUtility searches random strategies for one with strictly
+// negative finite utility, witnessing Theorem 3. It reports whether a
+// witness was found.
+func FindNegativeUtility(e *JoinEvaluator, model RevenueModel, locks []float64, trials int, rng *rand.Rand) (Strategy, float64, bool) {
+	n := e.NumNodes()
+	if n < 2 {
+		return nil, 0, false
+	}
+	for t := 0; t < trials; t++ {
+		s, x := randomNestedConfig(n, locks, rng)
+		s = s.With(x)
+		if u := e.Utility(s, model); !math.IsInf(u, 0) && u < -propertyTolerance {
+			return s, u, true
+		}
+	}
+	return nil, 0, false
+}
+
+// randomNestedConfig draws a random strategy over distinct peers plus one
+// extra action with a peer outside the strategy.
+func randomNestedConfig(n int, locks []float64, rng *rand.Rand) (Strategy, Action) {
+	perm := rng.Perm(n)
+	size := rng.Intn(minInt(n-1, 4)) + 1
+	s := make(Strategy, 0, size)
+	for i := 0; i < size; i++ {
+		s = append(s, Action{
+			Peer: graph.NodeID(perm[i]),
+			Lock: locks[rng.Intn(len(locks))],
+		})
+	}
+	x := Action{
+		Peer: graph.NodeID(perm[size]),
+		Lock: locks[rng.Intn(len(locks))],
+	}
+	return s, x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+var auditLocks = []float64{0, 1, 2, 5}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Params)
+		wantErr bool
+	}{
+		{name: "valid", mutate: func(*Params) {}, wantErr: false},
+		{name: "zero C", mutate: func(p *Params) { p.OnChainCost = 0 }, wantErr: true},
+		{name: "negative r", mutate: func(p *Params) { p.OppCostRate = -1 }, wantErr: true},
+		{name: "negative favg", mutate: func(p *Params) { p.FAvg = -1 }, wantErr: true},
+		{name: "negative hop fee", mutate: func(p *Params) { p.FeePerHop = -0.1 }, wantErr: true},
+		{name: "negative rate", mutate: func(p *Params) { p.OwnRate = -2 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := testParams()
+			tt.mutate(&p)
+			if err := p.Validate(); (err != nil) != tt.wantErr {
+				t.Fatalf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := testParams()
+	if got := p.ChannelCost(10); math.Abs(got-(1+0.5)) > 1e-12 {
+		t.Fatalf("ChannelCost(10) = %v, want 1.5", got)
+	}
+	if got := p.OnChainAlternative(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("OnChainAlternative = %v, want 1", got)
+	}
+	if got := p.capFactor(3); got != 1 {
+		t.Fatalf("nil capFactor = %v, want 1", got)
+	}
+	p.CapacityFactor = func(l float64) float64 { return l } // unclamped
+	if got := p.capFactor(3); got != 1 {
+		t.Fatalf("capFactor clamp high = %v, want 1", got)
+	}
+	if got := p.capFactor(-2); got != 0 {
+		t.Fatalf("capFactor clamp low = %v, want 0", got)
+	}
+}
+
+func TestStrategyHelpers(t *testing.T) {
+	s := Strategy{{Peer: 3, Lock: 2}, {Peer: 1, Lock: 1}, {Peer: 3, Lock: 0}}
+	if got := s.SpentBudget(1); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("SpentBudget = %v, want 6", got)
+	}
+	if !s.Feasible(1, 6) || s.Feasible(1, 5.9) {
+		t.Fatal("Feasible boundary wrong")
+	}
+	peers := s.Peers()
+	if len(peers) != 2 || peers[0] != 1 || peers[1] != 3 {
+		t.Fatalf("Peers = %v, want [1 3]", peers)
+	}
+	if got := s.TotalLocked(); got != 3 {
+		t.Fatalf("TotalLocked = %v, want 3", got)
+	}
+	if s.String() != "{(1,1) (3,0) (3,2)}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if !s.Equal(Strategy{{Peer: 1, Lock: 1}, {Peer: 3, Lock: 0}, {Peer: 3, Lock: 2}}) {
+		t.Fatal("Equal failed on permutation")
+	}
+	if s.Equal(s[:2]) {
+		t.Fatal("Equal matched different sizes")
+	}
+	c := s.Clone()
+	c[0].Lock = 99
+	if s[0].Lock == 99 {
+		t.Fatal("Clone aliases the original")
+	}
+	w := s.With(Action{Peer: 2, Lock: 4})
+	if len(w) != 4 || len(s) != 3 {
+		t.Fatal("With mutated the receiver")
+	}
+}
+
+func TestTheorem1SubmodularityOfUtility(t *testing.T) {
+	// Theorem 1: U is submodular (fixed-rate model, fixed p_trans).
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.ConnectedErdosRenyi(9, 0.3, 1, rng, 50)
+		e := newEvaluator(t, g, txdist.ModifiedZipf{S: 1}, testParams())
+		report := CheckSubmodularity(e, ObjectiveUtility, RevenueFixedRate, auditLocks, 400, rng)
+		if report.Violations != 0 {
+			t.Fatalf("trial %d: %d submodularity violations (max %v, witness %+v)",
+				trial, report.Violations, report.MaxViolation, report.Witness)
+		}
+	}
+}
+
+func TestTheorem2SimplifiedUtilityMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.ConnectedErdosRenyi(9, 0.3, 1, rng, 50)
+		e := newEvaluator(t, g, txdist.ModifiedZipf{S: 1}, testParams())
+		report := CheckMonotonicity(e, ObjectiveSimplified, RevenueFixedRate, auditLocks, 400, rng)
+		if report.Violations != 0 {
+			t.Fatalf("trial %d: %d monotonicity violations (max %v, witness %+v)",
+				trial, report.Violations, report.MaxViolation, report.Witness)
+		}
+	}
+}
+
+func TestTheorem2FullUtilityNotMonotone(t *testing.T) {
+	// With channel costs high enough, adding a channel must sometimes
+	// lower U — the audit should find a witness.
+	rng := rand.New(rand.NewSource(79))
+	g := graph.Complete(8, 1)
+	params := testParams()
+	params.OnChainCost = 50 // expensive channels dominate marginal gains
+	e := newEvaluator(t, g, txdist.Uniform{}, params)
+	report := CheckMonotonicity(e, ObjectiveUtility, RevenueFixedRate, auditLocks, 300, rng)
+	if report.Violations == 0 {
+		t.Fatal("expected non-monotonicity witnesses for U with expensive channels")
+	}
+}
+
+func TestTheorem3UtilityCanBeNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := graph.Complete(8, 1)
+	params := testParams()
+	params.OnChainCost = 50
+	e := newEvaluator(t, g, txdist.Uniform{}, params)
+	s, u, found := FindNegativeUtility(e, RevenueFixedRate, auditLocks, 200, rng)
+	if !found {
+		t.Fatal("no negative-utility witness found")
+	}
+	if u >= 0 {
+		t.Fatalf("witness %v has non-negative utility %v", s, u)
+	}
+}
+
+func TestSubmodularityVacuousCounting(t *testing.T) {
+	// On a disconnected graph most strategies leave the user cut off;
+	// those trials must be counted vacuous, not violated.
+	g := graph.New(6)
+	if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if _, _, err := g.AddChannel(2, 3, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if _, _, err := g.AddChannel(4, 5, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	rng := rand.New(rand.NewSource(89))
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	report := CheckSubmodularity(e, ObjectiveUtility, RevenueFixedRate, auditLocks, 200, rng)
+	if report.Violations != 0 {
+		t.Fatalf("violations on disconnected graph: %d", report.Violations)
+	}
+	if report.Vacuous == 0 {
+		t.Fatal("expected vacuous trials on a disconnected graph")
+	}
+}
+
+func TestCheckersOnTinyGraphs(t *testing.T) {
+	g := graph.New(2)
+	if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	rng := rand.New(rand.NewSource(97))
+	e := newEvaluator(t, g, txdist.Uniform{}, testParams())
+	// n=2 < 3: submodularity needs 3 distinct peers, report is empty.
+	rep := CheckSubmodularity(e, ObjectiveUtility, RevenueFixedRate, auditLocks, 10, rng)
+	if rep.Violations != 0 {
+		t.Fatalf("tiny graph violations = %d", rep.Violations)
+	}
+	rep = CheckMonotonicity(e, ObjectiveSimplified, RevenueFixedRate, auditLocks, 10, rng)
+	if rep.Violations != 0 {
+		t.Fatalf("tiny graph monotonicity violations = %d", rep.Violations)
+	}
+}
+
+func TestObjectiveKindStrings(t *testing.T) {
+	if ObjectiveSimplified.String() != "U'" || ObjectiveUtility.String() != "U" || ObjectiveBenefit.String() != "U^b" {
+		t.Fatal("objective names changed")
+	}
+	if RevenueExact.String() != "exact" || RevenueFixedRate.String() != "fixed-rate" {
+		t.Fatal("revenue model names changed")
+	}
+	if ObjectiveKind(99).String() == "" || RevenueModel(99).String() == "" {
+		t.Fatal("unknown enum names empty")
+	}
+}

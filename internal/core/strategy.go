@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// Action is one element (v_i, l_i) of the action set Ω (§II-C): open a
+// channel to Peer locking Lock coins on the user's side.
+type Action struct {
+	Peer graph.NodeID
+	Lock float64
+}
+
+// String renders the action for experiment output.
+func (a Action) String() string { return fmt.Sprintf("(%d,%g)", a.Peer, a.Lock) }
+
+// Strategy is a multiset S ⊆ Ω of channels the joining user opens. The
+// same peer may appear several times with different locks, exactly as the
+// paper's Ω allows.
+type Strategy []Action
+
+// Clone returns an independent copy.
+func (s Strategy) Clone() Strategy { return append(Strategy(nil), s...) }
+
+// With returns a new strategy extended by the given action; the receiver
+// is unchanged.
+func (s Strategy) With(a Action) Strategy {
+	out := make(Strategy, len(s)+1)
+	copy(out, s)
+	out[len(s)] = a
+	return out
+}
+
+// SpentBudget returns Σ_{(v,l)∈S} (C + l): the budget the strategy
+// consumes under the constraint of §II-C.
+func (s Strategy) SpentBudget(onChainCost float64) float64 {
+	var total float64
+	for _, a := range s {
+		total += onChainCost + a.Lock
+	}
+	return total
+}
+
+// Feasible reports whether the strategy respects the budget B_u.
+func (s Strategy) Feasible(onChainCost, budget float64) bool {
+	return s.SpentBudget(onChainCost) <= budget+budgetTolerance
+}
+
+// budgetTolerance absorbs floating-point drift when summing channel costs.
+const budgetTolerance = 1e-9
+
+// Peers returns the distinct peers of the strategy in ascending order.
+func (s Strategy) Peers() []graph.NodeID {
+	seen := make(map[graph.NodeID]struct{}, len(s))
+	for _, a := range s {
+		seen[a.Peer] = struct{}{}
+	}
+	peers := make([]graph.NodeID, 0, len(seen))
+	for p := range seen {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}
+
+// TotalLocked returns the total capital the strategy locks.
+func (s Strategy) TotalLocked() float64 {
+	var total float64
+	for _, a := range s {
+		total += a.Lock
+	}
+	return total
+}
+
+// String renders the strategy for experiment output, sorted for
+// determinism.
+func (s Strategy) String() string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	c := s.Clone()
+	sort.Slice(c, func(i, j int) bool {
+		if c[i].Peer != c[j].Peer {
+			return c[i].Peer < c[j].Peer
+		}
+		return c[i].Lock < c[j].Lock
+	})
+	parts := make([]string, len(c))
+	for i, a := range c {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Equal reports whether two strategies contain the same actions regardless
+// of order.
+func (s Strategy) Equal(t Strategy) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	return s.String() == t.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/game"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// E17Anarchy measures the price of anarchy of the creation game: the
+// welfare of the equilibrium that best-response dynamics reach, compared
+// with the best welfare over the reference topologies of §IV. This
+// connects the paper to the classic creation-game diagnostics of
+// Fabrikant et al. [38] and Demaine et al. [43] that it builds on.
+func E17Anarchy(int64) (*Table, error) {
+	t := &Table{
+		ID:      "E17",
+		Title:   "Price of anarchy of emergent equilibria (extension)",
+		Columns: []string{"n", "s", "l", "emergent class", "welfare (equilibrium)", "best reference", "welfare (best)", "PoA"},
+		Notes: []string{
+			"equilibrium: best-response dynamics from a path start; references: star, path, circle, complete on the same node set",
+			"expected shape: PoA stays close to 1 in the stable-star regime — the emergent star is also the welfare-optimal reference",
+		},
+	}
+	for _, n := range []int{5, 6, 7} {
+		for _, s := range []float64{1, 2} {
+			for _, l := range []float64{0.5, 1} {
+				cfg := gameConfig(s, 1, 0.5, 0.5, l)
+				res, err := game.BestResponseDynamics(graph.Path(n, 1), cfg, game.DynamicsConfig{MaxRounds: 30})
+				if err != nil {
+					return nil, err
+				}
+				refs := map[string]*graph.Graph{
+					"star":     graph.Star(n-1, 1),
+					"path":     graph.Path(n, 1),
+					"circle":   graph.Circle(n, 1),
+					"complete": graph.Complete(n, 1),
+				}
+				bestName := ""
+				bestWelfare := 0.0
+				first := true
+				var welfares []float64
+				for name, g := range refs {
+					utils, err := game.Utilities(g, cfg)
+					if err != nil {
+						return nil, err
+					}
+					w := game.SocialWelfare(utils)
+					welfares = append(welfares, w)
+					if first || w > bestWelfare {
+						bestName = name
+						bestWelfare = w
+						first = false
+					}
+				}
+				poa := game.PriceOfAnarchy(res.Welfare, welfares)
+				t.AddRow(n, s, l,
+					string(game.Classify(res.Final)),
+					fmt.Sprintf("%.4g", res.Welfare),
+					bestName,
+					fmt.Sprintf("%.4g", bestWelfare),
+					fmt.Sprintf("%.4g", poa))
+			}
+		}
+	}
+	return t, nil
+}

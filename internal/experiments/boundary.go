@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/game"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// E18StarBoundary locates the critical link cost l* above which the star
+// is a Nash equilibrium, by bisection, independently for the paper's
+// closed-form Theorem 8 conditions and for the exhaustive deviation
+// search. E8 samples a coarse grid; this experiment measures how far
+// apart the two characterisations' *boundaries* actually are.
+func E18StarBoundary(int64) (*Table, error) {
+	t := &Table{
+		ID:      "E18",
+		Title:   "Critical link cost l* for star stability: closed form vs exhaustive",
+		Columns: []string{"leaves", "s", "l* (Thm 8)", "l* (exhaustive)", "abs diff", "rel diff"},
+		Notes: []string{
+			"l* is the smallest link cost at which the star with the given leaves is a Nash equilibrium (bisection to 1e-4)",
+			"expected shape: the two boundaries coincide up to bisection precision wherever the proof's deviation family is binding",
+		},
+	}
+	for _, leaves := range []int{4, 6, 8} {
+		for _, s := range []float64{0, 1, 2} {
+			closedStar := func(l float64) (bool, error) {
+				cfg := gameConfig(s, 1, 0.5, 0.5, l)
+				return game.StarClosedFormNEConfig(leaves, s, cfg), nil
+			}
+			exhaustiveStar := func(l float64) (bool, error) {
+				cfg := gameConfig(s, 1, 0.5, 0.5, l)
+				report, err := game.IsNashEquilibrium(graph.Star(leaves, 1), cfg)
+				if err != nil {
+					return false, err
+				}
+				return report.IsEquilibrium, nil
+			}
+			lClosed, err := bisectThreshold(closedStar, 0, 8)
+			if err != nil {
+				return nil, err
+			}
+			lExhaustive, err := bisectThreshold(exhaustiveStar, 0, 8)
+			if err != nil {
+				return nil, err
+			}
+			diff := lClosed - lExhaustive
+			if diff < 0 {
+				diff = -diff
+			}
+			rel := 0.0
+			if lExhaustive > 0 {
+				rel = diff / lExhaustive
+			}
+			t.AddRow(leaves, s,
+				fmt.Sprintf("%.4f", lClosed),
+				fmt.Sprintf("%.4f", lExhaustive),
+				fmt.Sprintf("%.4f", diff),
+				fmt.Sprintf("%.3f", rel))
+		}
+	}
+	return t, nil
+}
+
+// bisectThreshold finds the smallest x in [lo, hi] where stable(x) flips
+// to true, assuming monotonicity (stability increases with link cost —
+// cheaper deviations stop paying as channels get dearer). It returns hi
+// when even hi is unstable.
+func bisectThreshold(stable func(float64) (bool, error), lo, hi float64) (float64, error) {
+	okHi, err := stable(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !okHi {
+		return hi, nil
+	}
+	okLo, err := stable(lo)
+	if err != nil {
+		return 0, err
+	}
+	if okLo {
+		return lo, nil
+	}
+	for hi-lo > 1e-4 {
+		mid := (lo + hi) / 2
+		ok, err := stable(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runExperiment(t *testing.T, id string) *Table {
+	t.Helper()
+	tbl, err := Run(id, 1)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	return tbl
+}
+
+func columnIndex(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == name {
+			return i
+		}
+	}
+	t.Fatalf("table %s has no column %q (columns: %v)", tbl.ID, name, tbl.Columns)
+	return -1
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			tbl, err := spec.Run(2)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if tbl.ID != spec.ID {
+				t.Fatalf("table ID = %q, want %q", tbl.ID, spec.ID)
+			}
+			if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+				t.Fatalf("empty table: %d columns, %d rows", len(tbl.Columns), len(tbl.Rows))
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tbl.Columns))
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", 1); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("error = %v, want ErrUnknown", err)
+	}
+}
+
+func TestIDsSortedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs count %d ≠ specs %d", len(ids), len(All()))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	for _, id := range []string{"F2", "E1", "E4"} {
+		a := runExperiment(t, id)
+		b := runExperiment(t, id)
+		var bufA, bufB bytes.Buffer
+		if err := a.Render(&bufA); err != nil {
+			t.Fatalf("Render: %v", err)
+		}
+		if err := b.Render(&bufB); err != nil {
+			t.Fatalf("Render: %v", err)
+		}
+		if bufA.String() != bufB.String() {
+			t.Fatalf("experiment %s not deterministic for fixed seed", id)
+		}
+	}
+}
+
+func TestF1MatchesFigureSemantics(t *testing.T) {
+	tbl := runExperiment(t, "F1")
+	// Final balances must be (0, 17); the x=6 step must be rejected.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[3] != "0" || last[4] != "17" {
+		t.Fatalf("final balances = (%s,%s), want (0,17)", last[3], last[4])
+	}
+	rejected := tbl.Rows[2]
+	if !strings.Contains(rejected[2], "rejected") {
+		t.Fatalf("x=6 outcome = %q, want rejection", rejected[2])
+	}
+	if rejected[3] != "5" || rejected[4] != "12" {
+		t.Fatal("failed payment moved balances")
+	}
+}
+
+func TestF2OptimizerPicksAandD(t *testing.T) {
+	tbl := runExperiment(t, "F2")
+	optRow := tbl.Rows[len(tbl.Rows)-1]
+	if !strings.HasPrefix(optRow[0], "optimizer:") {
+		t.Fatalf("last row is not the optimizer row: %v", optRow)
+	}
+	if !strings.Contains(optRow[0], "A:") || !strings.Contains(optRow[0], "D:") {
+		t.Fatalf("optimizer chose %q, want channels to A and D", optRow[0])
+	}
+	if strings.Contains(optRow[0], "B:") || strings.Contains(optRow[0], "C:") {
+		t.Fatalf("optimizer chose %q, must not involve B or C", optRow[0])
+	}
+}
+
+func TestE1NoFixedRateViolations(t *testing.T) {
+	tbl := runExperiment(t, "E1")
+	col := columnIndex(t, tbl, "violations (fixed-rate)")
+	for _, row := range tbl.Rows {
+		if row[col] != "0" {
+			t.Fatalf("fixed-rate submodularity violations: %v", row)
+		}
+	}
+}
+
+func TestE2SimplifiedUtilityClean(t *testing.T) {
+	tbl := runExperiment(t, "E2")
+	col := columnIndex(t, tbl, "U' violations")
+	for _, row := range tbl.Rows {
+		if row[col] != "0" {
+			t.Fatalf("U' monotonicity violations: %v", row)
+		}
+	}
+}
+
+func TestE3FindsWitnessesAtHighCost(t *testing.T) {
+	tbl := runExperiment(t, "E3")
+	colC := columnIndex(t, tbl, "C")
+	colFound := columnIndex(t, tbl, "witness found")
+	foundAtHighCost := false
+	for _, row := range tbl.Rows {
+		if row[colC] == "50" && row[colFound] == "yes" {
+			foundAtHighCost = true
+		}
+	}
+	if !foundAtHighCost {
+		t.Fatal("no negative-utility witness at C=50")
+	}
+}
+
+func TestE4RatiosAboveBound(t *testing.T) {
+	tbl := runExperiment(t, "E4")
+	col := columnIndex(t, tbl, "min ratio")
+	for _, row := range tbl.Rows {
+		ratio, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", row[col])
+		}
+		if ratio < 1-1/2.718281828459045+1e-9-0.0001 {
+			t.Fatalf("greedy ratio %v below 1−1/e in row %v", ratio, row)
+		}
+	}
+}
+
+func TestE6RatiosAboveFifth(t *testing.T) {
+	tbl := runExperiment(t, "E6")
+	col := columnIndex(t, tbl, "≥ 1/5")
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E6 produced no evaluable instances")
+	}
+	for _, row := range tbl.Rows {
+		if row[col] != "yes" {
+			t.Fatalf("continuous search below 1/5: %v", row)
+		}
+	}
+}
+
+func TestE7BoundHolds(t *testing.T) {
+	tbl := runExperiment(t, "E7")
+	col := columnIndex(t, tbl, "holds")
+	for _, row := range tbl.Rows {
+		if row[col] != "yes" {
+			t.Fatalf("Theorem 6 bound violated: %v", row)
+		}
+	}
+}
+
+func TestE8HighAgreement(t *testing.T) {
+	tbl := runExperiment(t, "E8")
+	colAgree := columnIndex(t, tbl, "agree")
+	agree := 0
+	for _, row := range tbl.Rows {
+		if row[colAgree] == "yes" {
+			agree++
+		}
+	}
+	// The closed form and the exhaustive search may diverge on boundary
+	// points, but broad agreement is required.
+	if frac := float64(agree) / float64(len(tbl.Rows)); frac < 0.85 {
+		t.Fatalf("agreement fraction %v too low", frac)
+	}
+}
+
+func TestE9AlwaysFindsDeviation(t *testing.T) {
+	tbl := runExperiment(t, "E9")
+	col := columnIndex(t, tbl, "deviation found")
+	for _, row := range tbl.Rows {
+		if row[col] != "yes" {
+			t.Fatalf("path stable at %v — contradicts Theorem 10", row)
+		}
+	}
+}
+
+func TestE10CrossoverMonotoneInLinkCost(t *testing.T) {
+	tbl := runExperiment(t, "E10")
+	colS := columnIndex(t, tbl, "s")
+	colL := columnIndex(t, tbl, "l")
+	colN0 := columnIndex(t, tbl, "n0")
+	// Within each s, n0 must not decrease as l grows.
+	lastN0 := map[string]int{}
+	for _, row := range tbl.Rows {
+		if row[colN0] == "" {
+			continue
+		}
+		n0, err := strconv.Atoi(row[colN0])
+		if err != nil {
+			t.Fatalf("bad n0 cell %q", row[colN0])
+		}
+		key := row[colS]
+		if prev, ok := lastN0[key]; ok && n0 < prev {
+			t.Fatalf("n0 decreased with l at s=%s (l=%s): %d < %d", key, row[colL], n0, prev)
+		}
+		lastN0[key] = n0
+	}
+}
+
+func TestE11SmallRelativeError(t *testing.T) {
+	tbl := runExperiment(t, "E11")
+	col := columnIndex(t, tbl, "rel err")
+	for _, row := range tbl.Rows {
+		relErr, err := strconv.ParseFloat(row[col], 64)
+		if err != nil {
+			t.Fatalf("bad rel err cell %q", row[col])
+		}
+		if relErr > 0.1 {
+			t.Fatalf("simulation diverges from analytic model: %v", row)
+		}
+	}
+}
+
+func TestE12HasAllThreeAlgorithms(t *testing.T) {
+	tbl := runExperiment(t, "E12")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("E12 rows = %d, want 3", len(tbl.Rows))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "X",
+		Title:   "test",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"hello"},
+	}
+	tbl.AddRow("x", 1.5)
+	tbl.AddRow(true, 42)
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== X: test ==", "a", "bb", "1.5", "yes", "42", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{ID: "X", Columns: []string{"a", "b"}}
+	tbl.AddRow("v,1", 2)
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	want := "a,b\n\"v,1\",2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	tests := []struct {
+		in   any
+		want string
+	}{
+		{in: "s", want: "s"},
+		{in: true, want: "yes"},
+		{in: false, want: "no"},
+		{in: 7, want: "7"},
+		{in: int64(8), want: "8"},
+		{in: 2.5, want: "2.5"},
+		{in: []int{1}, want: "[1]"},
+	}
+	for _, tt := range tests {
+		if got := formatCell(tt.in); got != tt.want {
+			t.Fatalf("formatCell(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

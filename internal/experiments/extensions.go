@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/game"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// The experiments in this file go beyond the paper's published results,
+// following its own future-work directions: which topologies emerge
+// under best-response dynamics (E13), how well the model's parameters
+// can be estimated from observed traffic (E14, the paper's future-work
+// #3), how much the realistic transaction distribution changes the
+// recommended strategy relative to the uniform baseline of [18]–[20]
+// (E15), and whether the guarantees survive the extended channel-cost
+// model of Guasoni et al. [17] (E16).
+
+// E13Dynamics runs best-response dynamics from several seeds and reports
+// the emergent topology class — extending §IV from "is this topology
+// stable?" to "which topologies form?".
+func E13Dynamics(seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:      "E13",
+		Title:   "Best-response dynamics: emergent topologies (extension of §IV)",
+		Columns: []string{"start", "n", "s", "l", "rounds", "moves", "converged", "final class", "welfare"},
+		Notes: []string{
+			"extension: iterated exhaustive best responses until no node can improve",
+			"expected shape: converged outcomes are Nash equilibria; cheap links favour dense graphs, expensive links sparse ones",
+		},
+	}
+	type start struct {
+		name string
+		make func() *graph.Graph
+	}
+	starts := []start{
+		{name: "path", make: func() *graph.Graph { return graph.Path(6, 1) }},
+		{name: "circle", make: func() *graph.Graph { return graph.Circle(6, 1) }},
+		{name: "star", make: func() *graph.Graph { return graph.Star(5, 1) }},
+		{name: "er", make: func() *graph.Graph { return graph.ConnectedErdosRenyi(6, 0.4, 1, rng, 50) }},
+	}
+	for _, st := range starts {
+		for _, l := range []float64{0.1, 1} {
+			for _, s := range []float64{0.5, 2} {
+				cfg := gameConfig(s, 1, 0.5, 0.5, l)
+				g := st.make()
+				res, err := game.BestResponseDynamics(g, cfg, game.DynamicsConfig{MaxRounds: 30})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(st.name, g.NumNodes(), s, l,
+					res.Rounds, res.Moves, res.Converged,
+					string(game.Classify(res.Final)),
+					fmt.Sprintf("%.4g", res.Welfare))
+			}
+		}
+	}
+	return t, nil
+}
+
+// E14Estimation generates traffic from a known demand, re-estimates the
+// demand from the observed log, and reports the estimation error and its
+// decay with sample size — the paper's future-work direction #3.
+func E14Estimation(seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:      "E14",
+		Title:   "Demand estimation from observed traffic (paper future work #3)",
+		Columns: []string{"events", "max rate err", "max TV dist", "utility err (greedy plan)"},
+		Notes: []string{
+			"truth: modified Zipf s=1 demand on a BA(16,2) network; estimator: empirical frequencies with Laplace smoothing 0.1",
+			"expected shape: errors decay roughly as 1/√events; the plan priced under the estimated demand converges to the true-demand price",
+		},
+	}
+	g := graph.BarabasiAlbert(16, 2, 10, rng)
+	dist := txdist.ModifiedZipf{S: 1}
+	truth, err := traffic.NewUniformDemand(g, dist, 16)
+	if err != nil {
+		return nil, err
+	}
+	params := corpusParams()
+	trueEval, err := core.NewJoinEvaluator(g, dist, truth, params)
+	if err != nil {
+		return nil, err
+	}
+	trueRes, err := core.Greedy(trueEval, core.GreedyConfig{Budget: 6, Lock: 1})
+	if err != nil {
+		return nil, err
+	}
+	for _, events := range []int{500, 2000, 8000, 32000} {
+		gen, err := traffic.NewGenerator(truth, nil, rand.New(rand.NewSource(seed+int64(events))))
+		if err != nil {
+			return nil, err
+		}
+		txs := gen.Take(events)
+		estimated, err := traffic.EstimateDemand(g.NumNodes(), txs, gen.Now(), 0.1)
+		if err != nil {
+			return nil, err
+		}
+		rateErr, tvDist, err := traffic.DemandError(estimated, truth)
+		if err != nil {
+			return nil, err
+		}
+		estEval, err := core.NewJoinEvaluator(g, dist, estimated, params)
+		if err != nil {
+			return nil, err
+		}
+		estRes, err := core.Greedy(estEval, core.GreedyConfig{Budget: 6, Lock: 1})
+		if err != nil {
+			return nil, err
+		}
+		// Price the estimated-demand plan under the TRUE demand and
+		// compare with the true-demand plan.
+		utilityErr := trueRes.Utility - trueEval.Utility(estRes.Strategy, core.RevenueExact)
+		t.AddRow(events,
+			fmt.Sprintf("%.4f", rateErr),
+			fmt.Sprintf("%.4f", tvDist),
+			fmt.Sprintf("%.4f", utilityErr))
+	}
+	return t, nil
+}
+
+// E15DistributionAblation contrasts the attachment strategies recommended
+// under the paper's modified Zipf distribution with those of the uniform
+// baseline of [18]–[20] — the comparison motivating the paper's model.
+func E15DistributionAblation(seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:      "E15",
+		Title:   "Distribution ablation: modified Zipf vs the uniform baseline of [18]-[20]",
+		Columns: []string{"trial", "zipf plan", "uniform plan", "overlap", "U(zipf plan)", "U(uniform plan under zipf)", "regret"},
+		Notes: []string{
+			"both plans are priced under the degree-ranked (zipf) demand — the paper's realistic model",
+			"expected shape: plans differ and the uniform-model plan loses utility (positive regret) when reality is degree-biased",
+		},
+	}
+	params := corpusParams()
+	params.FAvg = 2
+	params.FeePerHop = 0.2
+	for trial := 0; trial < 6; trial++ {
+		g := graph.BarabasiAlbert(18, 2, 10, rng)
+		zipfDist := txdist.ModifiedZipf{S: 1.5}
+		zipfDemand, err := traffic.NewUniformDemand(g, zipfDist, 18)
+		if err != nil {
+			return nil, err
+		}
+		zipfEval, err := core.NewJoinEvaluator(g, zipfDist, zipfDemand, params)
+		if err != nil {
+			return nil, err
+		}
+		zipfRes, err := core.Greedy(zipfEval, core.GreedyConfig{Budget: 6, Lock: 1})
+		if err != nil {
+			return nil, err
+		}
+		uniDemand, err := traffic.NewUniformDemand(g, txdist.Uniform{}, 18)
+		if err != nil {
+			return nil, err
+		}
+		uniEval, err := core.NewJoinEvaluator(g, txdist.Uniform{}, uniDemand, params)
+		if err != nil {
+			return nil, err
+		}
+		uniRes, err := core.Greedy(uniEval, core.GreedyConfig{Budget: 6, Lock: 1})
+		if err != nil {
+			return nil, err
+		}
+		// Price both under the zipf (realistic) model.
+		uZipf := zipfRes.Utility
+		uUni := zipfEval.Utility(uniRes.Strategy, core.RevenueExact)
+		t.AddRow(trial,
+			zipfRes.Strategy.String(),
+			uniRes.Strategy.String(),
+			overlap(zipfRes.Strategy, uniRes.Strategy),
+			fmt.Sprintf("%.4f", uZipf),
+			fmt.Sprintf("%.4f", uUni),
+			fmt.Sprintf("%.4f", uZipf-uUni))
+	}
+	return t, nil
+}
+
+// E16CostModel re-runs the Theorem 1/4 audits under the extended
+// Guasoni-style channel-cost model, checking the paper's remark that
+// "our computational results still hold in this extended model".
+func E16CostModel(seed int64) (*Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Table{
+		ID:      "E16",
+		Title:   "Extended channel-cost model (Guasoni et al. [17]): guarantees retained",
+		Columns: []string{"rho·lifetime", "submodularity violations", "greedy min ratio", "bound"},
+		Notes: []string{
+			"cost per channel = C + lock·(1 − e^{−rho·T}); the cost term stays modular so Theorems 1-5 carry",
+		},
+	}
+	for _, rhoT := range []float64{0.05, 0.2, 0.5} {
+		params := corpusParams()
+		params.FAvg = 2
+		params.FeePerHop = 0.2
+		params.ChannelCostFn = core.GuasoniCost(params.OnChainCost, rhoT, 1)
+		violations := 0
+		minRatio := 1.0
+		for trial := 0; trial < 4; trial++ {
+			e, err := corpusEvaluator("er", 9, rng, params)
+			if err != nil {
+				return nil, err
+			}
+			rep := core.CheckSubmodularity(e, core.ObjectiveUtility, core.RevenueFixedRate, auditLocks, 200, rng)
+			violations += rep.Violations
+			res, err := core.Greedy(e, core.GreedyConfig{Budget: 6, Lock: 1})
+			if err != nil {
+				return nil, err
+			}
+			opt, err := core.BruteForce(e, core.BruteForceConfig{Budget: 6, Locks: []float64{1}})
+			if err != nil {
+				return nil, err
+			}
+			if opt.Objective > 0 && !opt.Truncated {
+				if ratio := res.Objective / opt.Objective; ratio < minRatio {
+					minRatio = ratio
+				}
+			}
+		}
+		t.AddRow(rhoT, violations, fmt.Sprintf("%.4f", minRatio), "0.6321")
+	}
+	return t, nil
+}
+
+// overlap counts the shared peers of two strategies.
+func overlap(a, b core.Strategy) int {
+	seen := make(map[graph.NodeID]bool)
+	for _, act := range a {
+		seen[act.Peer] = true
+	}
+	count := 0
+	for _, act := range b.Peers() {
+		if seen[act] {
+			count++
+		}
+	}
+	return count
+}

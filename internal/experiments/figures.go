@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// F1ChannelTrace replays Figure 1 through the live channel machinery:
+// balances (10,7), a payment of 5 (→ (5,12)), a failing payment of 6, and
+// the closing payment of 5 (→ (0,17)).
+func F1ChannelTrace(int64) (*Table, error) {
+	ledger, err := chain.NewLedger(1)
+	if err != nil {
+		return nil, err
+	}
+	n := payment.NewNetwork(ledger, fee.Constant{F: 0})
+	u := n.AddUser()
+	v := n.AddUser()
+	if err := ledger.Fund(chain.AccountID(u), 20); err != nil {
+		return nil, err
+	}
+	if err := ledger.Fund(chain.AccountID(v), 20); err != nil {
+		return nil, err
+	}
+	ch, err := n.OpenChannel(u, v, 10, 7)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "F1",
+		Title:   "Figure 1: payments over a channel with balances (b_u, b_v)",
+		Columns: []string{"step", "payment", "outcome", "b_u", "b_v"},
+		Notes: []string{
+			"paper: (10,7) →x=5 (5,12) →x=6 rejected (x > b_u=5) →x=5 (0,17)",
+		},
+	}
+	record := func(step, label string) error {
+		balU, balV, err := n.Balances(ch)
+		if err != nil {
+			return err
+		}
+		t.AddRow(step, label, "", balU, balV)
+		return nil
+	}
+	if err := record("0", "open"); err != nil {
+		return nil, err
+	}
+	for i, amount := range []float64{5, 6, 5} {
+		_, payErr := n.Pay(u, v, amount)
+		outcome := "ok"
+		if payErr != nil {
+			outcome = "rejected (insufficient balance)"
+		}
+		balU, balV, err := n.Balances(ch)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprint(i+1), fmt.Sprintf("u→v x=%g", amount), outcome, balU, balV)
+	}
+	return t, nil
+}
+
+// figure2Scenario builds the Figure 2 environment: the existing PCN is
+// the path A-B-C-D, A sends 9 transactions per month to D, the joining
+// node E sends 1 per month to B, and E's budget covers two channels plus
+// 19 spare coins.
+func figure2Scenario() (*core.JoinEvaluator, float64, error) {
+	const (
+		a = graph.NodeID(0)
+		b = graph.NodeID(1)
+		d = graph.NodeID(3)
+	)
+	g := graph.Path(4, 100) // A-B-C-D
+	// Existing demand: A sends 9/month, all to D.
+	p := make([][]float64, 4)
+	for i := range p {
+		p[i] = make([]float64, 4)
+	}
+	p[a][d] = 1
+	demand := &traffic.Demand{P: p, Rates: []float64{9, 0, 0, 0}}
+	// E transacts only with B, once per month. The figure says E "has
+	// enough budget only for 2 channels, with the spare amount of funds
+	// to lock equaling 19 coins": with C = 20 and budget 2C+19 = 59, a
+	// third channel is unaffordable. Fees are one coin per forwarded
+	// transaction ("transaction fees and costs are of equal size").
+	params := core.Params{
+		OnChainCost: 20,
+		OppCostRate: 0,
+		FAvg:        1,
+		FeePerHop:   1,
+		OwnRate:     1,
+		// A channel forwards the month's transit only if its lock covers
+		// the 9 unit-sized transactions.
+		CapacityFactor: func(lock float64) float64 { return math.Min(1, lock/9) },
+	}
+	joinDist := fixedRecipient{target: b, n: 4}
+	e, err := core.NewJoinEvaluator(g, joinDist, demand, params)
+	if err != nil {
+		return nil, 0, err
+	}
+	budget := 2*params.OnChainCost + 19 // two channels plus 19 spare coins
+	return e, budget, nil
+}
+
+// fixedRecipient is the joining node's distribution in Figure 2: all
+// transactions go to one target.
+type fixedRecipient struct {
+	target graph.NodeID
+	n      int
+}
+
+func (f fixedRecipient) Name() string { return fmt.Sprintf("fixed(%d)", f.target) }
+
+func (f fixedRecipient) Probs(g *graph.Graph, _ graph.NodeID) []float64 {
+	probs := make([]float64, g.NumNodes())
+	if g.HasNode(f.target) {
+		probs[f.target] = 1
+	}
+	return probs
+}
+
+// F2JoiningExample reproduces the Figure 2 decision: the optimiser must
+// attach E to A and D, with the exit channel to D funded to carry all 9
+// monthly transactions (the paper's sizes: 10 on A, 9 on D).
+func F2JoiningExample(int64) (*Table, error) {
+	e, budget, err := figure2Scenario()
+	if err != nil {
+		return nil, err
+	}
+	names := map[graph.NodeID]string{0: "A", 1: "B", 2: "C", 3: "D"}
+	render := func(s core.Strategy) string {
+		out := ""
+		for i, act := range s {
+			if i > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%s:%g", names[act.Peer], act.Lock)
+		}
+		if out == "" {
+			out = "(none)"
+		}
+		return out
+	}
+
+	t := &Table{
+		ID:      "F2",
+		Title:   "Figure 2: candidate strategies for the joining node E (budget 2C+19)",
+		Columns: []string{"strategy", "revenue", "fees", "U' = rev − fees", "utility U"},
+		Notes: []string{
+			"paper: E should open channels to A and D sized 10 and 9",
+			"the figure's objective — maximise intermediary revenue, minimise own costs with the channel budget sunk — is U'; Algorithms 1-2 optimise exactly that",
+			"revenue requires the exit channel to D to hold ≥ 9 coins; the remaining capital is indifferent, so (A:10, D:9) is among the maximisers",
+		},
+	}
+	candidates := []core.Strategy{
+		{{Peer: 0, Lock: 10}, {Peer: 3, Lock: 9}}, // the paper's answer
+		{{Peer: 0, Lock: 9}, {Peer: 3, Lock: 10}},
+		{{Peer: 0, Lock: 19}},
+		{{Peer: 1, Lock: 19}},
+		{{Peer: 1, Lock: 10}, {Peer: 2, Lock: 9}},
+		{{Peer: 0, Lock: 10}, {Peer: 1, Lock: 9}},
+		{{Peer: 3, Lock: 19}},
+		{{Peer: 0, Lock: 15}, {Peer: 3, Lock: 4}},
+	}
+	for _, s := range candidates {
+		if !s.Feasible(e.Params().OnChainCost, budget) {
+			continue
+		}
+		t.AddRow(render(s),
+			e.Revenue(s, core.RevenueExact),
+			e.Fees(s),
+			e.Simplified(s, core.RevenueExact),
+			e.Utility(s, core.RevenueExact))
+	}
+	// Confirm with the discrete optimiser over integer locks, under the
+	// fixed-rate model whose guarantees Algorithms 1-2 carry.
+	res, err := core.DiscreteSearch(e, core.DiscreteConfig{
+		Budget: budget,
+		Unit:   1,
+		Model:  core.RevenueFixedRate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("optimizer: "+render(res.Strategy), "", "", "", res.Utility)
+	return t, nil
+}

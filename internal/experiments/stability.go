@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/game"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// gameConfig builds a §IV configuration with the modified Zipf scale s.
+func gameConfig(s, rate, favg, hopFee, link float64) game.Config {
+	return game.Config{
+		Dist:       txdist.ModifiedZipf{S: s},
+		SenderRate: rate,
+		FAvg:       favg,
+		FeePerHop:  hopFee,
+		LinkCost:   link,
+	}
+}
+
+// E7HubBound audits Theorem 6 on hub topologies across parameter points.
+func E7HubBound(int64) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Theorem 6: longest shortest path through a hub vs the closed-form bound",
+		Columns: []string{"topology", "s", "link cost l", "d (measured)", "λe", "pmin", "bound", "holds"},
+		Notes: []string{
+			"Theorem 6: in a stable network, d ≤ 2((C+ε)/2 − λe·f)/(pmin·N·f) + 1 with C+ε = 2l",
+		},
+	}
+	type tc struct {
+		name string
+		g    *graph.Graph
+		s    float64
+		link float64
+	}
+	cases := []tc{
+		{name: "star(6)", g: graph.Star(6, 1), s: 2.5, link: 2},
+		{name: "star(10)", g: graph.Star(10, 1), s: 2.5, link: 2},
+		{name: "wheel(8)", g: graph.Wheel(8, 1), s: 2, link: 2},
+		{name: "wheel(12)", g: graph.Wheel(12, 1), s: 2, link: 3},
+	}
+	for _, c := range cases {
+		cfg := gameConfig(c.s, 1, 0.5, 0.5, c.link)
+		report, err := game.AuditHubBound(c.g, cfg, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, c.s, c.link,
+			report.PathLen,
+			fmt.Sprintf("%.4g", report.LambdaE),
+			fmt.Sprintf("%.4g", report.PMin),
+			fmt.Sprintf("%.4g", report.Bound),
+			report.Holds())
+	}
+	return t, nil
+}
+
+// E8StarMap sweeps (leaves, s, l) and compares the closed-form Theorem 8
+// verdict with the exhaustive deviation search, mapping the parameter
+// space in which the star is a Nash equilibrium (Theorems 7-9).
+func E8StarMap(int64) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Star equilibrium map: closed-form (Thm 8) vs exhaustive search",
+		Columns: []string{"leaves", "s", "l", "thm8 NE", "thm9 regime", "exhaustive NE", "agree"},
+		Notes: []string{
+			"closed-form is the paper's condition system; exhaustive checks every neighbor-set deviation of every node",
+			"expected shape: stability rises with l and s (Theorems 7 and 9); disagreements cluster near the boundary where the proof's deviation family differs from the full deviation space",
+		},
+	}
+	agree, total := 0, 0
+	for _, leaves := range []int{4, 6} {
+		for _, s := range []float64{0, 1, 2, 4} {
+			for _, l := range []float64{0.01, 0.2, 1, 5} {
+				cfg := gameConfig(s, 1, 0.5, 0.5, l)
+				closed := game.StarClosedFormNEConfig(leaves, s, cfg)
+				thm9 := game.Theorem9Applies(leaves, s, cfg.A(), cfg.B(), cfg.LinkCost)
+				g := graph.Star(leaves, 1)
+				report, err := game.IsNashEquilibrium(g, cfg)
+				if err != nil {
+					return nil, err
+				}
+				match := closed == report.IsEquilibrium
+				if match {
+					agree++
+				}
+				total++
+				t.AddRow(leaves, s, l, closed, thm9, report.IsEquilibrium, match)
+			}
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("agreement: %d/%d parameter points", agree, total))
+	return t, nil
+}
+
+// E9PathInstability verifies Theorem 10 across sizes and scale
+// parameters: the path always admits an improving endpoint deviation.
+func E9PathInstability(int64) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Path graph: improving endpoint deviation (Theorem 10)",
+		Columns: []string{"n", "s", "deviation found", "re-attach to", "gain"},
+		Notes: []string{
+			"Theorem 10: the path is never a Nash equilibrium — endpoints prefer re-attaching to interior nodes",
+		},
+	}
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		for _, s := range []float64{0, 1, 2} {
+			cfg := gameConfig(s, 1, 0.3, 0.4, 0.2)
+			dev, found, err := game.PathUnstableWitness(n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			target := ""
+			if found {
+				target = fmt.Sprint(dev.Neighbors)
+			}
+			t.AddRow(n, s, found, target, fmt.Sprintf("%.5g", dev.Gain))
+		}
+	}
+	return t, nil
+}
+
+// E10CircleCrossover finds, per parameter point, the circle size n0 at
+// which the connect-to-opposite deviation becomes profitable
+// (Theorem 11).
+func E10CircleCrossover(int64) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "Circle instability crossover n0 (Theorem 11)",
+		Columns: []string{"s", "l", "favg", "n0", "found ≤ 64", "gain at n0"},
+		Notes: []string{
+			"Theorem 11: for every parameter point some n0 exists beyond which the circle is unstable; n0 grows with the link cost",
+		},
+	}
+	for _, s := range []float64{0, 0.5, 1} {
+		for _, l := range []float64{0.1, 0.5, 1, 2} {
+			cfg := gameConfig(s, 1, 0.5, 0.5, l)
+			n0, found, err := game.CircleCrossover(cfg, 4, 64)
+			if err != nil {
+				return nil, err
+			}
+			gain := ""
+			n0Cell := ""
+			if found {
+				g, err := game.CircleOppositeGain(n0, cfg)
+				if err != nil {
+					return nil, err
+				}
+				gain = fmt.Sprintf("%.5g", g)
+				n0Cell = fmt.Sprint(n0)
+			}
+			t.AddRow(s, l, cfg.FAvg, n0Cell, found, gain)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,207 @@
+// Package fee implements the fee model of §II-A: a global fee function
+// F : [0, T] → R+ charged by intermediaries per forwarded transaction, a
+// distribution of transaction sizes, and the publicly-known average fee
+//
+//	favg = ∫₀ᵀ p(t)·F(t) dt,
+//
+// the single number the paper's utility function consumes.
+package fee
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadParam reports an invalid fee-model parameter.
+var ErrBadParam = errors.New("fee: invalid parameter")
+
+// Func is the global fee function F of §II-A: the fee charged by an
+// intermediary for forwarding a transaction of the given size.
+type Func interface {
+	// Fee returns F(amount). Implementations must be non-negative on
+	// [0, T].
+	Fee(amount float64) float64
+	// Name identifies the function in experiment output.
+	Name() string
+}
+
+// Constant charges the same fee for every transaction size, the model the
+// paper's baseline works [18]–[20] use.
+type Constant struct {
+	F float64
+}
+
+var _ Func = Constant{}
+
+// Fee implements Func.
+func (c Constant) Fee(float64) float64 { return c.F }
+
+// Name implements Func.
+func (c Constant) Name() string { return fmt.Sprintf("constant(%g)", c.F) }
+
+// Linear is the Lightning-style fee: a base fee plus a proportional rate,
+// F(t) = Base + Rate·t.
+type Linear struct {
+	Base float64
+	Rate float64
+}
+
+var _ Func = Linear{}
+
+// Fee implements Func.
+func (l Linear) Fee(amount float64) float64 { return l.Base + l.Rate*amount }
+
+// Name implements Func.
+func (l Linear) Name() string { return fmt.Sprintf("linear(base=%g,rate=%g)", l.Base, l.Rate) }
+
+// Capped wraps another fee function and caps the charge, as real routing
+// nodes do to stay competitive on large payments.
+type Capped struct {
+	Inner Func
+	Cap   float64
+}
+
+var _ Func = Capped{}
+
+// Fee implements Func.
+func (c Capped) Fee(amount float64) float64 {
+	return math.Min(c.Inner.Fee(amount), c.Cap)
+}
+
+// Name implements Func.
+func (c Capped) Name() string { return fmt.Sprintf("capped(%s,cap=%g)", c.Inner.Name(), c.Cap) }
+
+// SizeDist is the distribution of transaction sizes on [0, T] (§II-A:
+// transactions are of size at most T > 0).
+type SizeDist interface {
+	// Mean returns E[t].
+	Mean() float64
+	// Max returns T, the largest possible transaction.
+	Max() float64
+	// Sample draws a transaction size.
+	Sample(rng *rand.Rand) float64
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// FixedSize sends every transaction with the same size, as in the worked
+// example of Figure 2 ("we assume the transactions are of equal size").
+type FixedSize struct {
+	T float64
+}
+
+var _ SizeDist = FixedSize{}
+
+// Mean implements SizeDist.
+func (f FixedSize) Mean() float64 { return f.T }
+
+// Max implements SizeDist.
+func (f FixedSize) Max() float64 { return f.T }
+
+// Sample implements SizeDist.
+func (f FixedSize) Sample(*rand.Rand) float64 { return f.T }
+
+// Name implements SizeDist.
+func (f FixedSize) Name() string { return fmt.Sprintf("fixed(%g)", f.T) }
+
+// UniformSize draws sizes uniformly from [0, T].
+type UniformSize struct {
+	T float64
+}
+
+var _ SizeDist = UniformSize{}
+
+// Mean implements SizeDist.
+func (u UniformSize) Mean() float64 { return u.T / 2 }
+
+// Max implements SizeDist.
+func (u UniformSize) Max() float64 { return u.T }
+
+// Sample implements SizeDist.
+func (u UniformSize) Sample(rng *rand.Rand) float64 { return rng.Float64() * u.T }
+
+// Name implements SizeDist.
+func (u UniformSize) Name() string { return fmt.Sprintf("uniform(0,%g)", u.T) }
+
+// ExpSize draws sizes from an exponential distribution with the given mean,
+// truncated to [0, T] by rejection. Payment-size data in deployed PCNs is
+// heavily skewed towards small amounts, which this models.
+type ExpSize struct {
+	MeanSize float64
+	T        float64
+}
+
+var _ SizeDist = ExpSize{}
+
+// Mean implements SizeDist. It returns the mean of the truncated
+// distribution.
+func (e ExpSize) Mean() float64 {
+	if e.MeanSize <= 0 || e.T <= 0 {
+		return 0
+	}
+	// Mean of Exp(λ) truncated to [0,T]: 1/λ − T·e^{−λT}/(1−e^{−λT}).
+	lambda := 1 / e.MeanSize
+	z := math.Exp(-lambda * e.T)
+	return 1/lambda - e.T*z/(1-z)
+}
+
+// Max implements SizeDist.
+func (e ExpSize) Max() float64 { return e.T }
+
+// Sample implements SizeDist.
+func (e ExpSize) Sample(rng *rand.Rand) float64 {
+	if e.MeanSize <= 0 || e.T <= 0 {
+		return 0
+	}
+	for {
+		v := rng.ExpFloat64() * e.MeanSize
+		if v <= e.T {
+			return v
+		}
+	}
+}
+
+// Name implements SizeDist.
+func (e ExpSize) Name() string { return fmt.Sprintf("exp(mean=%g,T=%g)", e.MeanSize, e.T) }
+
+// Average computes favg = E[F(t)] for the given fee function and size
+// distribution. Closed forms are used where available (constant and linear
+// fees); other combinations are integrated by fixed-seed Monte Carlo with
+// enough samples for experiment-grade accuracy.
+func Average(f Func, d SizeDist) float64 {
+	switch fn := f.(type) {
+	case Constant:
+		return fn.F
+	case Linear:
+		return fn.Base + fn.Rate*d.Mean()
+	}
+	return MonteCarloAverage(f, d, 200000, rand.New(rand.NewSource(1)))
+}
+
+// MonteCarloAverage estimates E[F(t)] by sampling.
+func MonteCarloAverage(f Func, d SizeDist, samples int, rng *rand.Rand) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += f.Fee(d.Sample(rng))
+	}
+	return sum / float64(samples)
+}
+
+// Validate checks that a fee function is non-negative across the size
+// distribution's support, probing a fixed grid.
+func Validate(f Func, d SizeDist) error {
+	const probes = 64
+	maxT := d.Max()
+	for i := 0; i <= probes; i++ {
+		t := maxT * float64(i) / probes
+		if fee := f.Fee(t); fee < 0 || math.IsNaN(fee) {
+			return fmt.Errorf("%s at size %g yields %g: %w", f.Name(), t, fee, ErrBadParam)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package fee
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstantFee(t *testing.T) {
+	f := Constant{F: 0.3}
+	for _, amt := range []float64{0, 1, 100} {
+		if got := f.Fee(amt); got != 0.3 {
+			t.Fatalf("Fee(%v) = %v, want 0.3", amt, got)
+		}
+	}
+}
+
+func TestLinearFee(t *testing.T) {
+	f := Linear{Base: 1, Rate: 0.01}
+	if got := f.Fee(100); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Fee(100) = %v, want 2", got)
+	}
+	if got := f.Fee(0); got != 1 {
+		t.Fatalf("Fee(0) = %v, want 1", got)
+	}
+}
+
+func TestCappedFee(t *testing.T) {
+	f := Capped{Inner: Linear{Base: 0, Rate: 0.1}, Cap: 5}
+	if got := f.Fee(10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("below cap: Fee(10) = %v, want 1", got)
+	}
+	if got := f.Fee(1000); got != 5 {
+		t.Fatalf("above cap: Fee(1000) = %v, want 5", got)
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	d := FixedSize{T: 7}
+	if d.Mean() != 7 || d.Max() != 7 {
+		t.Fatalf("FixedSize mean/max = %v/%v, want 7/7", d.Mean(), d.Max())
+	}
+	if got := d.Sample(nil); got != 7 {
+		t.Fatalf("Sample = %v, want 7", got)
+	}
+}
+
+func TestUniformSizeMoments(t *testing.T) {
+	d := UniformSize{T: 10}
+	if d.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", d.Mean())
+	}
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 0 || v > 10 {
+			t.Fatalf("sample %v outside [0,10]", v)
+		}
+		sum += v
+	}
+	if got := sum / n; math.Abs(got-5) > 0.05 {
+		t.Fatalf("empirical mean = %v, want ≈5", got)
+	}
+}
+
+func TestExpSizeTruncation(t *testing.T) {
+	d := ExpSize{MeanSize: 3, T: 10}
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 0 || v > 10 {
+			t.Fatalf("sample %v outside [0,10]", v)
+		}
+		sum += v
+	}
+	if got, want := sum/n, d.Mean(); math.Abs(got-want) > 0.05 {
+		t.Fatalf("empirical mean = %v, analytic = %v", got, want)
+	}
+}
+
+func TestExpSizeDegenerate(t *testing.T) {
+	d := ExpSize{MeanSize: 0, T: 0}
+	if d.Mean() != 0 {
+		t.Fatalf("degenerate Mean = %v, want 0", d.Mean())
+	}
+	if got := d.Sample(rand.New(rand.NewSource(1))); got != 0 {
+		t.Fatalf("degenerate Sample = %v, want 0", got)
+	}
+}
+
+func TestAverageClosedForms(t *testing.T) {
+	tests := []struct {
+		name string
+		f    Func
+		d    SizeDist
+		want float64
+	}{
+		{name: "constant", f: Constant{F: 0.4}, d: UniformSize{T: 50}, want: 0.4},
+		{name: "linear uniform", f: Linear{Base: 1, Rate: 0.1}, d: UniformSize{T: 10}, want: 1.5},
+		{name: "linear fixed", f: Linear{Base: 2, Rate: 1}, d: FixedSize{T: 3}, want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Average(tt.f, tt.d); math.Abs(got-tt.want) > 1e-12 {
+				t.Fatalf("Average = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAverageMonteCarloAgreesWithClosedForm(t *testing.T) {
+	// A capped linear function has no closed form in Average; check the
+	// Monte Carlo path against the analytic value for uniform sizes.
+	f := Capped{Inner: Linear{Base: 0, Rate: 1}, Cap: 5}
+	d := UniformSize{T: 10}
+	// E[min(t,5)] for t~U(0,10) = ∫₀⁵ t/10 + ∫₅¹⁰ 5/10 = 1.25 + 2.5 = 3.75.
+	got := Average(f, d)
+	if math.Abs(got-3.75) > 0.05 {
+		t.Fatalf("Average = %v, want ≈3.75", got)
+	}
+}
+
+func TestMonteCarloAverageZeroSamples(t *testing.T) {
+	if got := MonteCarloAverage(Constant{F: 1}, FixedSize{T: 1}, 0, rand.New(rand.NewSource(1))); got != 0 {
+		t.Fatalf("zero samples = %v, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(Linear{Base: 1, Rate: 0.1}, UniformSize{T: 10}); err != nil {
+		t.Fatalf("valid function rejected: %v", err)
+	}
+	if err := Validate(Linear{Base: -10, Rate: 0.1}, UniformSize{T: 10}); err == nil {
+		t.Fatal("negative fee function accepted")
+	}
+}
+
+func TestFeeNonNegativityProperty(t *testing.T) {
+	check := func(base, rate, amtRaw uint16) bool {
+		f := Linear{Base: float64(base) / 100, Rate: float64(rate) / 1000}
+		amt := float64(amtRaw) / 10
+		return f.Fee(amt) >= 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, n := range []string{
+		Constant{F: 1}.Name(),
+		Linear{Base: 1, Rate: 2}.Name(),
+		Capped{Inner: Constant{F: 1}, Cap: 2}.Name(),
+		FixedSize{T: 1}.Name(),
+		UniformSize{T: 1}.Name(),
+		ExpSize{MeanSize: 1, T: 2}.Name(),
+	} {
+		if n == "" {
+			t.Fatal("empty name")
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// This file implements Theorem 6: in a stable network, the longest
+// shortest path through a hub node has length
+//
+//	d ≤ 2·((C+ε)/2 − λe·f) / (pmin·N·f) + 1
+//
+// where C+ε is the (shared) cost of creating the bridging edge e between
+// the two nodes flanking the path's midpoint, λe the minimum rate e would
+// carry, f the average fee, pmin the smallest selection probability among
+// the path's cross-midpoint sub-paths, and N the total transaction rate.
+
+// ErrNoPath reports that no shortest path through the hub exists.
+var ErrNoPath = errors.New("game: no path through hub")
+
+// HubPathBound evaluates the Theorem 6 right-hand side. channelCost is
+// C+ε (the full shared creation cost of the candidate edge). It returns
+// +Inf when the denominator vanishes.
+func HubPathBound(channelCost, lambdaE, fee, pMin, totalRate float64) float64 {
+	den := pMin * totalRate * fee
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 2*(channelCost/2-lambdaE*fee)/den + 1
+}
+
+// HubBoundReport is the outcome of auditing Theorem 6 on a concrete
+// network.
+type HubBoundReport struct {
+	// Hub is the audited node.
+	Hub graph.NodeID
+	// PathLen is d: the length of the longest shortest path through Hub.
+	PathLen int
+	// Path is one realising path (node sequence).
+	Path []graph.NodeID
+	// LambdaE is the minimum of the two directed rates the candidate
+	// midpoint edge would carry.
+	LambdaE float64
+	// PMin is the minimum cross-midpoint pair probability.
+	PMin float64
+	// Bound is the Theorem 6 right-hand side.
+	Bound float64
+}
+
+// Holds reports whether d respects the bound.
+func (r HubBoundReport) Holds() bool { return float64(r.PathLen) <= r.Bound+1e-9 }
+
+// AuditHubBound measures the Theorem 6 quantities for the given hub: it
+// finds the longest shortest path through the hub, forms the candidate
+// bridging edge across the midpoint, estimates its rate from the demand
+// implied by cfg, and evaluates the bound with C+ε = 2·LinkCost (the cost
+// is split equally, each party paying at least (C+ε)/2 = l).
+func AuditHubBound(g *graph.Graph, cfg Config, hub graph.NodeID) (HubBoundReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return HubBoundReport{}, err
+	}
+	if !g.HasNode(hub) {
+		return HubBoundReport{}, fmt.Errorf("%w: node %d", ErrBadConfig, hub)
+	}
+	path := longestShortestPathThrough(g, hub)
+	if len(path) < 2 {
+		return HubBoundReport{}, ErrNoPath
+	}
+	d := len(path) - 1
+	report := HubBoundReport{Hub: hub, PathLen: d, Path: path}
+
+	probs := txdist.Matrix(g, cfg.Dist)
+	n := g.NumNodes()
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = cfg.SenderRate
+	}
+	demand := &traffic.Demand{P: probs, Rates: rates}
+
+	// Candidate edge between the nodes flanking the midpoint.
+	mid := d / 2
+	lo, hi := mid-1, mid+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > d {
+		hi = d
+	}
+	vLo, vHi := path[lo], path[hi]
+	if vLo != vHi && !g.HasEdgeBetween(vLo, vHi) {
+		bridged := g.Clone()
+		if _, _, err := bridged.AddChannel(vLo, vHi, 1, 1); err != nil {
+			return HubBoundReport{}, err
+		}
+		edgeRates := demand.EdgeRates(bridged)
+		fwd := edgeRates[bridged.EdgesBetween(vLo, vHi)[0]]
+		rev := edgeRates[bridged.EdgesBetween(vHi, vLo)[0]]
+		report.LambdaE = math.Min(fwd, rev)
+	}
+
+	// pmin over directed sub-paths of the path crossing the midpoint:
+	// source in path[0..lo], sink in path[hi..d], both directions.
+	pMin := math.Inf(1)
+	for i := 0; i <= lo; i++ {
+		for j := hi; j <= d; j++ {
+			s, r := path[i], path[j]
+			if s == r {
+				continue
+			}
+			if p := probs[s][r]; p < pMin {
+				pMin = p
+			}
+			if p := probs[r][s]; p < pMin {
+				pMin = p
+			}
+		}
+	}
+	if math.IsInf(pMin, 1) {
+		pMin = 0
+	}
+	report.PMin = pMin
+	report.Bound = HubPathBound(2*cfg.LinkCost, report.LambdaE, cfg.FAvg, pMin, demand.TotalRate())
+	return report, nil
+}
+
+// longestShortestPathThrough reconstructs one longest shortest path that
+// passes through h, as a node sequence. It returns nil when no pair
+// routes through h.
+func longestShortestPathThrough(g *graph.Graph, h graph.NodeID) []graph.NodeID {
+	n := g.NumNodes()
+	fromH := g.BFS(h)
+	var (
+		bestLen  = -1
+		bestS    = graph.InvalidNode
+		bestT    = graph.InvalidNode
+		bestDist []int
+	)
+	for s := 0; s < n; s++ {
+		dist := g.BFS(graph.NodeID(s))
+		if dist[h] == graph.Unreachable {
+			continue
+		}
+		for t := 0; t < n; t++ {
+			if t == s || fromH[t] == graph.Unreachable || dist[t] == graph.Unreachable {
+				continue
+			}
+			if dist[h]+fromH[t] == dist[t] && dist[t] > bestLen {
+				bestLen = dist[t]
+				bestS = graph.NodeID(s)
+				bestT = graph.NodeID(t)
+				bestDist = dist
+			}
+		}
+	}
+	if bestLen < 1 {
+		return nil
+	}
+	// Reconstruct s→t through h: walk greedily s→h→t along BFS layers.
+	first := walkShortest(g, bestDist, bestS, h)
+	distH := fromH
+	second := walkShortest(g, distH, h, bestT)
+	if len(second) > 0 {
+		first = append(first, second[1:]...)
+	}
+	return first
+}
+
+// walkShortest returns one shortest path from s to t given dist = BFS(s).
+func walkShortest(g *graph.Graph, dist []int, s, t graph.NodeID) []graph.NodeID {
+	if dist[t] == graph.Unreachable {
+		return nil
+	}
+	// Build backwards from t: repeatedly pick an in-neighbor one layer
+	// closer to s.
+	rev := make([]graph.NodeID, 0, dist[t]+1)
+	rev = append(rev, t)
+	cur := t
+	for cur != s {
+		var next graph.NodeID = graph.InvalidNode
+		g.ForEachIn(cur, func(e graph.Edge) bool {
+			if dist[e.From] == dist[cur]-1 {
+				next = e.From
+				return false
+			}
+			return true
+		})
+		if next == graph.InvalidNode {
+			return nil
+		}
+		rev = append(rev, next)
+		cur = next
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

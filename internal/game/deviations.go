@@ -1,0 +1,280 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// A node's pure strategy in the creation game is the set of peers it keeps
+// channels with; a unilateral deviation replaces that set. Costs follow
+// §IV assumption 4: the deviator pays l per channel it is party to.
+
+// Deviation describes a unilateral strategy change found by the checker.
+type Deviation struct {
+	// Node is the deviating node.
+	Node graph.NodeID
+	// Neighbors is the replacement neighbor set.
+	Neighbors []graph.NodeID
+	// Gain is the utility improvement over the current strategy.
+	Gain float64
+	// Utility is the deviator's utility after the change.
+	Utility float64
+}
+
+// String renders the deviation for experiment output.
+func (d Deviation) String() string {
+	return fmt.Sprintf("node %d → neighbors %v (gain %.6g)", d.Node, d.Neighbors, d.Gain)
+}
+
+// WithNeighborSet returns a copy of g in which u's channels are replaced
+// by one channel to each node of the set, each funded with the given
+// balance per side.
+func WithNeighborSet(g *graph.Graph, u graph.NodeID, neighbors []graph.NodeID, balance float64) (*graph.Graph, error) {
+	if !g.HasNode(u) {
+		return nil, fmt.Errorf("%w: node %d", ErrBadConfig, u)
+	}
+	out := g.Clone()
+	for _, id := range out.OutEdges(u) {
+		if err := out.RemoveEdge(id); err != nil {
+			return nil, fmt.Errorf("strip out-edge %d: %w", id, err)
+		}
+	}
+	for _, id := range out.InEdges(u) {
+		if err := out.RemoveEdge(id); err != nil {
+			return nil, fmt.Errorf("strip in-edge %d: %w", id, err)
+		}
+	}
+	for _, v := range neighbors {
+		if v == u {
+			continue
+		}
+		if _, _, err := out.AddChannel(u, v, balance, balance); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// BestResponse exhaustively searches every neighbor set for u (2^(n-1)
+// candidates) and returns the utility-maximising one. It is exponential
+// and intended for the small topologies of §IV; callers should keep
+// n ≤ ~16.
+func BestResponse(g *graph.Graph, cfg Config, u graph.NodeID) (Deviation, error) {
+	if err := cfg.Validate(); err != nil {
+		return Deviation{}, err
+	}
+	if !g.HasNode(u) {
+		return Deviation{}, fmt.Errorf("%w: node %d", ErrBadConfig, u)
+	}
+	current, err := NodeUtility(g, cfg, u)
+	if err != nil {
+		return Deviation{}, err
+	}
+	n := g.NumNodes()
+	others := make([]graph.NodeID, 0, n-1)
+	for v := 0; v < n; v++ {
+		if graph.NodeID(v) != u {
+			others = append(others, graph.NodeID(v))
+		}
+	}
+	best := Deviation{Node: u, Utility: current, Neighbors: currentNeighbors(g, u)}
+	for mask := 0; mask < 1<<len(others); mask++ {
+		neighbors := subsetOf(others, mask)
+		candidate, err := WithNeighborSet(g, u, neighbors, 1)
+		if err != nil {
+			return Deviation{}, err
+		}
+		utility, err := NodeUtility(candidate, cfg, u)
+		if err != nil {
+			return Deviation{}, err
+		}
+		if utility > best.Utility+stabilityTolerance {
+			best = Deviation{
+				Node:      u,
+				Neighbors: neighbors,
+				Gain:      utility - current,
+				Utility:   utility,
+			}
+		}
+	}
+	return best, nil
+}
+
+// stabilityTolerance absorbs floating-point noise when comparing
+// deviation utilities.
+const stabilityTolerance = 1e-9
+
+// NashReport is the outcome of an equilibrium check.
+type NashReport struct {
+	// IsEquilibrium is true when no node has an improving deviation.
+	IsEquilibrium bool
+	// Witness is one improving deviation when the graph is not stable.
+	Witness *Deviation
+	// Checked counts evaluated deviations.
+	Checked int
+}
+
+// IsNashEquilibrium verifies that no node can improve its utility by any
+// unilateral change of its neighbor set (exhaustive over all 2^(n-1)
+// subsets per node).
+func IsNashEquilibrium(g *graph.Graph, cfg Config) (NashReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return NashReport{}, err
+	}
+	report := NashReport{IsEquilibrium: true}
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		dev, err := BestResponse(g, cfg, graph.NodeID(v))
+		if err != nil {
+			return NashReport{}, err
+		}
+		report.Checked += 1 << (n - 1)
+		if dev.Gain > stabilityTolerance {
+			report.IsEquilibrium = false
+			report.Witness = &dev
+			return report, nil
+		}
+	}
+	return report, nil
+}
+
+// ImprovingDeviationExists reports whether the given node has a strictly
+// improving deviation, trying the structured family first (cheap) and
+// falling back to the exhaustive search when structured moves fail and
+// exhaustive is affordable.
+func ImprovingDeviationExists(g *graph.Graph, cfg Config, u graph.NodeID) (bool, Deviation, error) {
+	devs, err := StructuredDeviations(g, u)
+	if err != nil {
+		return false, Deviation{}, err
+	}
+	current, err := NodeUtility(g, cfg, u)
+	if err != nil {
+		return false, Deviation{}, err
+	}
+	for _, neighbors := range devs {
+		candidate, err := WithNeighborSet(g, u, neighbors, 1)
+		if err != nil {
+			return false, Deviation{}, err
+		}
+		utility, err := NodeUtility(candidate, cfg, u)
+		if err != nil {
+			return false, Deviation{}, err
+		}
+		if utility > current+stabilityTolerance {
+			return true, Deviation{Node: u, Neighbors: neighbors, Gain: utility - current, Utility: utility}, nil
+		}
+	}
+	return false, Deviation{Node: u, Utility: current}, nil
+}
+
+// StructuredDeviations generates the deviation families used in the §IV
+// proofs without the exponential sweep: dropping one channel, adding one
+// channel, adding channels to the i highest-degree non-neighbors (with
+// and without keeping existing channels), and connecting to the farthest
+// node (the Theorem 11 "opposite node" move).
+func StructuredDeviations(g *graph.Graph, u graph.NodeID) ([][]graph.NodeID, error) {
+	if !g.HasNode(u) {
+		return nil, fmt.Errorf("%w: node %d", ErrBadConfig, u)
+	}
+	current := currentNeighbors(g, u)
+	isNeighbor := make(map[graph.NodeID]bool, len(current))
+	for _, v := range current {
+		isNeighbor[v] = true
+	}
+	var out [][]graph.NodeID
+	// Drop each single channel.
+	for i := range current {
+		dropped := make([]graph.NodeID, 0, len(current)-1)
+		dropped = append(dropped, current[:i]...)
+		dropped = append(dropped, current[i+1:]...)
+		out = append(out, dropped)
+	}
+	// Non-neighbors sorted by degree descending.
+	nonNeighbors := sortedByDegree(g, u, isNeighbor)
+	// Add the top-i highest-degree non-neighbors, keeping existing links.
+	for i := 1; i <= len(nonNeighbors); i++ {
+		added := append(append([]graph.NodeID(nil), current...), nonNeighbors[:i]...)
+		out = append(out, added)
+	}
+	// Replace all channels with the top-i highest-degree nodes.
+	allByDegree := sortedByDegree(g, u, nil)
+	for i := 1; i <= len(allByDegree) && i <= len(current)+1; i++ {
+		out = append(out, append([]graph.NodeID(nil), allByDegree[:i]...))
+	}
+	// Connect to the farthest reachable node (Theorem 11's move).
+	if far := farthestNode(g, u); far != graph.InvalidNode && !isNeighbor[far] {
+		out = append(out, append(append([]graph.NodeID(nil), current...), far))
+	}
+	return out, nil
+}
+
+func currentNeighbors(g *graph.Graph, u graph.NodeID) []graph.NodeID {
+	return g.Neighbors(u)
+}
+
+func subsetOf(items []graph.NodeID, mask int) []graph.NodeID {
+	var out []graph.NodeID
+	for i, v := range items {
+		if mask&(1<<i) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// sortedByDegree lists nodes other than u (and not in the excluded set)
+// by in-degree descending, ties by identifier.
+func sortedByDegree(g *graph.Graph, u graph.NodeID, exclude map[graph.NodeID]bool) []graph.NodeID {
+	var nodes []graph.NodeID
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if id == u || (exclude != nil && exclude[id]) {
+			continue
+		}
+		nodes = append(nodes, id)
+	}
+	// Insertion sort by degree descending keeps this allocation-light.
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0; j-- {
+			di, dj := g.InDegree(nodes[j]), g.InDegree(nodes[j-1])
+			if di > dj || (di == dj && nodes[j] < nodes[j-1]) {
+				nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+			} else {
+				break
+			}
+		}
+	}
+	return nodes
+}
+
+// farthestNode returns a node at maximal finite hop distance from u.
+func farthestNode(g *graph.Graph, u graph.NodeID) graph.NodeID {
+	dist := g.BFS(u)
+	best := graph.InvalidNode
+	bestDist := 0
+	for v, d := range dist {
+		if d != graph.Unreachable && d > bestDist {
+			bestDist = d
+			best = graph.NodeID(v)
+		}
+	}
+	if bestDist <= 1 {
+		return graph.InvalidNode
+	}
+	return best
+}
+
+// SocialWelfare sums finite node utilities; −Inf utilities make the
+// welfare −Inf.
+func SocialWelfare(utils []float64) float64 {
+	var sum float64
+	for _, u := range utils {
+		if math.IsInf(u, -1) {
+			return math.Inf(-1)
+		}
+		sum += u
+	}
+	return sum
+}

@@ -1,0 +1,178 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// This file implements best-response dynamics over the creation game: an
+// extension of §IV that asks which topologies actually *emerge* when
+// nodes iteratively rewire. The paper notes (via Theorem 2 of [19]) that
+// computing equilibria of the general game is NP-hard; the dynamics here
+// use the exhaustive per-node best response and are therefore meant for
+// the small networks the paper's stability section studies.
+
+// DynamicsConfig parametrises a best-response run.
+type DynamicsConfig struct {
+	// MaxRounds bounds the number of full passes over the nodes; 0 means
+	// 100.
+	MaxRounds int
+	// Balance is the per-side funding of channels created by deviating
+	// nodes.
+	Balance float64
+}
+
+// DynamicsResult reports a best-response-dynamics run.
+type DynamicsResult struct {
+	// Final is the resulting topology.
+	Final *graph.Graph
+	// Rounds is the number of full passes executed.
+	Rounds int
+	// Moves counts accepted improving deviations.
+	Moves int
+	// Converged reports that a full pass found no improving deviation,
+	// i.e. Final is a Nash equilibrium of the deviation space.
+	Converged bool
+	// Welfare is the social welfare (sum of utilities) of Final.
+	Welfare float64
+}
+
+// BestResponseDynamics runs rounds of sequential best responses from the
+// given initial topology until no node can improve (a Nash equilibrium)
+// or MaxRounds is exhausted. The input graph is not modified.
+func BestResponseDynamics(g *graph.Graph, cfg Config, dyn DynamicsConfig) (DynamicsResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return DynamicsResult{}, err
+	}
+	maxRounds := dyn.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 100
+	}
+	balance := dyn.Balance
+	if balance <= 0 {
+		balance = 1
+	}
+	current := g.Clone()
+	result := DynamicsResult{}
+	for round := 0; round < maxRounds; round++ {
+		result.Rounds = round + 1
+		improvedThisRound := false
+		for v := 0; v < current.NumNodes(); v++ {
+			dev, err := BestResponse(current, cfg, graph.NodeID(v))
+			if err != nil {
+				return DynamicsResult{}, err
+			}
+			if dev.Gain <= stabilityTolerance {
+				continue
+			}
+			next, err := WithNeighborSet(current, graph.NodeID(v), dev.Neighbors, balance)
+			if err != nil {
+				return DynamicsResult{}, err
+			}
+			current = next
+			result.Moves++
+			improvedThisRound = true
+		}
+		if !improvedThisRound {
+			result.Converged = true
+			break
+		}
+	}
+	utils, err := Utilities(current, cfg)
+	if err != nil {
+		return DynamicsResult{}, err
+	}
+	result.Final = current
+	result.Welfare = SocialWelfare(utils)
+	return result, nil
+}
+
+// TopologyClass coarsely classifies a topology, for reporting which
+// structures best-response dynamics converge to.
+type TopologyClass string
+
+// Topology classes recognised by Classify.
+const (
+	ClassEmpty        TopologyClass = "empty"
+	ClassDisconnected TopologyClass = "disconnected"
+	ClassStar         TopologyClass = "star"
+	ClassPath         TopologyClass = "path"
+	ClassCircle       TopologyClass = "circle"
+	ClassComplete     TopologyClass = "complete"
+	ClassTree         TopologyClass = "tree"
+	ClassOther        TopologyClass = "other"
+)
+
+// Classify names the structure of g (undirected channel view).
+func Classify(g *graph.Graph) TopologyClass {
+	n := g.NumNodes()
+	channels := g.NumChannels()
+	if channels == 0 {
+		return ClassEmpty
+	}
+	if _, connected := g.Diameter(); !connected {
+		return ClassDisconnected
+	}
+	degrees := make([]int, 0, n)
+	maxDeg := 0
+	ones, twos := 0, 0
+	for v := 0; v < n; v++ {
+		d := g.OutDegree(graph.NodeID(v))
+		degrees = append(degrees, d)
+		if d > maxDeg {
+			maxDeg = d
+		}
+		switch d {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		}
+	}
+	_ = degrees
+	switch {
+	case channels == n*(n-1)/2:
+		return ClassComplete
+	case maxDeg == n-1 && ones == n-1 && channels == n-1:
+		return ClassStar
+	case ones == 2 && twos == n-2 && channels == n-1:
+		return ClassPath
+	case twos == n && channels == n:
+		return ClassCircle
+	case channels == n-1:
+		return ClassTree
+	default:
+		return ClassOther
+	}
+}
+
+// PriceOfAnarchy compares the welfare of a stable outcome against the
+// best welfare over a set of reference topologies (the standard creation
+// game diagnostic, cf. Demaine et al. [43]). It returns +Inf when the
+// stable welfare is non-positive while the optimum is positive.
+func PriceOfAnarchy(stableWelfare float64, referenceWelfares []float64) float64 {
+	best := math.Inf(-1)
+	for _, w := range referenceWelfares {
+		if w > best {
+			best = w
+		}
+	}
+	if math.IsInf(best, -1) {
+		return math.NaN()
+	}
+	if stableWelfare <= 0 {
+		if best <= 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return best / stableWelfare
+}
+
+// String implements fmt.Stringer for DynamicsResult summaries.
+func (r DynamicsResult) String() string {
+	return fmt.Sprintf("rounds=%d moves=%d converged=%v class=%s welfare=%.4g",
+		r.Rounds, r.Moves, r.Converged, Classify(r.Final), r.Welfare)
+}

@@ -1,0 +1,137 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+func TestBestResponseDynamicsConvergesToEquilibrium(t *testing.T) {
+	// From a path with moderately priced links, dynamics must converge,
+	// and the outcome must verify as a Nash equilibrium.
+	cfg := zipfConfig(2, 1, 0.5, 0.5, 1)
+	res, err := BestResponseDynamics(graph.Path(6, 1), cfg, DynamicsConfig{MaxRounds: 20})
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if !res.Converged {
+		t.Fatalf("dynamics did not converge: %v", res)
+	}
+	report, err := IsNashEquilibrium(res.Final, cfg)
+	if err != nil {
+		t.Fatalf("IsNashEquilibrium: %v", err)
+	}
+	if !report.IsEquilibrium {
+		t.Fatalf("converged state is not an equilibrium: witness %v", report.Witness)
+	}
+}
+
+func TestBestResponseDynamicsEmergentStar(t *testing.T) {
+	// The paper's conclusion: under the realistic distribution the star
+	// is the predominant topology. With s = 2 and unit link cost the
+	// dynamics must reach a star from a circle start.
+	cfg := zipfConfig(2, 1, 0.5, 0.5, 1)
+	res, err := BestResponseDynamics(graph.Circle(6, 1), cfg, DynamicsConfig{MaxRounds: 20})
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if got := Classify(res.Final); got != ClassStar {
+		t.Fatalf("emergent class = %s, want star", got)
+	}
+}
+
+func TestBestResponseDynamicsInputUntouched(t *testing.T) {
+	g := graph.Path(5, 1)
+	channelsBefore := g.NumChannels()
+	cfg := zipfConfig(1, 1, 0.5, 0.5, 0.5)
+	if _, err := BestResponseDynamics(g, cfg, DynamicsConfig{MaxRounds: 5}); err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if g.NumChannels() != channelsBefore {
+		t.Fatal("dynamics mutated the input graph")
+	}
+}
+
+func TestBestResponseDynamicsStableStartNoMoves(t *testing.T) {
+	// A star already in equilibrium: zero moves, one round.
+	cfg := zipfConfig(2.5, 1, 0.5, 0.5, 1)
+	res, err := BestResponseDynamics(graph.Star(4, 1), cfg, DynamicsConfig{MaxRounds: 10})
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if res.Moves != 0 || !res.Converged || res.Rounds != 1 {
+		t.Fatalf("stable start produced %v", res)
+	}
+}
+
+func TestBestResponseDynamicsValidation(t *testing.T) {
+	if _, err := BestResponseDynamics(graph.Path(4, 1), Config{}, DynamicsConfig{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want TopologyClass
+	}{
+		{name: "empty", g: graph.New(4), want: ClassEmpty},
+		{name: "star", g: graph.Star(4, 1), want: ClassStar},
+		{name: "path", g: graph.Path(5, 1), want: ClassPath},
+		{name: "circle", g: graph.Circle(5, 1), want: ClassCircle},
+		{name: "complete", g: graph.Complete(4, 1), want: ClassComplete},
+		{name: "wheel-is-other", g: graph.Wheel(5, 1), want: ClassOther},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Classify(tt.g); got != tt.want {
+				t.Fatalf("Classify = %s, want %s", got, tt.want)
+			}
+		})
+	}
+	// Disconnected: two components.
+	g := graph.New(4)
+	if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if _, _, err := g.AddChannel(2, 3, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if got := Classify(g); got != ClassDisconnected {
+		t.Fatalf("Classify = %s, want disconnected", got)
+	}
+	// Tree that is neither star nor path (spider with one long leg).
+	tree := graph.New(5)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {0, 2}, {0, 3}, {3, 4}} {
+		if _, _, err := tree.AddChannel(e[0], e[1], 1, 1); err != nil {
+			t.Fatalf("AddChannel: %v", err)
+		}
+	}
+	if got := Classify(tree); got != ClassTree {
+		t.Fatalf("Classify = %s, want tree", got)
+	}
+}
+
+func TestPriceOfAnarchy(t *testing.T) {
+	if got := PriceOfAnarchy(2, []float64{4, 1}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("PoA = %v, want 2", got)
+	}
+	if got := PriceOfAnarchy(-1, []float64{4}); !math.IsInf(got, 1) {
+		t.Fatalf("PoA with negative stable welfare = %v, want +Inf", got)
+	}
+	if got := PriceOfAnarchy(-1, []float64{-4}); got != 1 {
+		t.Fatalf("PoA with all-negative = %v, want 1", got)
+	}
+	if got := PriceOfAnarchy(1, nil); !math.IsNaN(got) {
+		t.Fatalf("PoA with no reference = %v, want NaN", got)
+	}
+}
+
+func TestDynamicsResultString(t *testing.T) {
+	res := DynamicsResult{Final: graph.Star(3, 1), Rounds: 2, Moves: 1, Converged: true, Welfare: -1}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}

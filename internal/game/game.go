@@ -1,0 +1,139 @@
+// Package game implements the network-creation-game analysis of §IV: node
+// utilities in an arbitrary PCN under the degree-ranked transaction
+// distribution, unilateral-deviation enumeration, Nash-equilibrium
+// verification, and the closed-form stability results for the star, path
+// and circle topologies (Theorems 6-11).
+package game
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// ErrBadConfig reports an invalid game configuration.
+var ErrBadConfig = errors.New("game: invalid config")
+
+// Config fixes the game parameters of §IV. Per the section's assumptions,
+// every node emits the same transaction rate, intermediaries earn favg per
+// forwarded transaction, senders pay f^T_avg per hop, and every channel
+// costs each party the same amount l.
+type Config struct {
+	// Dist is the transaction distribution (typically
+	// txdist.ModifiedZipf with the scale parameter under study).
+	Dist txdist.Distribution
+	// SenderRate is N_v, identical for every node (assumptions 1-2).
+	SenderRate float64
+	// FAvg is favg; b := SenderRate·FAvg in the paper's shorthand.
+	FAvg float64
+	// FeePerHop is f^T_avg; a := SenderRate·FeePerHop.
+	FeePerHop float64
+	// LinkCost is l, the per-party cost of one channel (assumption 4).
+	LinkCost float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Dist == nil {
+		return fmt.Errorf("%w: nil distribution", ErrBadConfig)
+	}
+	if c.SenderRate < 0 || c.FAvg < 0 || c.FeePerHop < 0 || c.LinkCost < 0 {
+		return fmt.Errorf("%w: negative parameter", ErrBadConfig)
+	}
+	return nil
+}
+
+// A returns the paper's a := N_u·f^T_avg.
+func (c Config) A() float64 { return c.SenderRate * c.FeePerHop }
+
+// B returns the paper's b := N_v·favg.
+func (c Config) B() float64 { return c.SenderRate * c.FAvg }
+
+// Utilities returns the utility of every node of g:
+//
+//	U_v = E^rev_v − E^fees_v − l·deg(v)
+//
+// with E^rev from the transit betweenness weighted by N·p_trans (§IV
+// assumption 1), E^fees from hop distances weighted by p_trans, and the
+// channel-cost term counting the channels v is party to. Disconnected
+// nodes (unable to reach a positive-probability recipient) get −Inf.
+//
+// The transaction distribution is recomputed on g itself, so degree
+// changes from deviations feed back into p_trans exactly as in the
+// theorem proofs.
+func Utilities(g *graph.Graph, cfg Config) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	probs := txdist.Matrix(g, cfg.Dist)
+	weight := func(s, r graph.NodeID) float64 {
+		return cfg.SenderRate * probs[s][r]
+	}
+	transit := g.NodeBetweenness(weight)
+
+	utils := make([]float64, n)
+	for v := 0; v < n; v++ {
+		revenue := cfg.FAvg * transit[v]
+		fees, connected := expectedFees(g, cfg, probs, graph.NodeID(v))
+		if !connected {
+			utils[v] = math.Inf(-1)
+			continue
+		}
+		// Each incident channel contributes two directed edges; the
+		// per-party cost l is charged once per channel.
+		channels := float64(g.OutDegree(graph.NodeID(v)))
+		utils[v] = revenue - fees - cfg.LinkCost*channels
+	}
+	return utils, nil
+}
+
+// NodeUtility returns the utility of a single node.
+func NodeUtility(g *graph.Graph, cfg Config, u graph.NodeID) (float64, error) {
+	utils, err := Utilities(g, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if !g.HasNode(u) {
+		return 0, fmt.Errorf("%w: node %d", ErrBadConfig, u)
+	}
+	return utils[u], nil
+}
+
+// expectedFees computes E^fees_u = N_u·f^T_avg·Σ_v d(u,v)·p_trans(u,v) and
+// reports false when some positive-probability recipient is unreachable.
+func expectedFees(g *graph.Graph, cfg Config, probs [][]float64, u graph.NodeID) (float64, bool) {
+	dist := g.BFS(u)
+	var sum float64
+	for v, p := range probs[u] {
+		if p == 0 || graph.NodeID(v) == u {
+			continue
+		}
+		if dist[v] == graph.Unreachable {
+			return 0, false
+		}
+		sum += p * float64(dist[v])
+	}
+	return cfg.SenderRate * cfg.FeePerHop * sum, true
+}
+
+// Revenue returns only the expected-revenue component of every node, for
+// experiment output.
+func Revenue(g *graph.Graph, cfg Config) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	probs := txdist.Matrix(g, cfg.Dist)
+	weight := func(s, r graph.NodeID) float64 {
+		return cfg.SenderRate * probs[s][r]
+	}
+	transit := g.NodeBetweenness(weight)
+	rev := make([]float64, len(transit))
+	for i, tr := range transit {
+		rev[i] = cfg.FAvg * tr
+	}
+	return rev, nil
+}

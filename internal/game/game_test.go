@@ -1,0 +1,293 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func uniformConfig(rate, favg, hopFee, link float64) Config {
+	return Config{
+		Dist:       txdist.Uniform{},
+		SenderRate: rate,
+		FAvg:       favg,
+		FeePerHop:  hopFee,
+		LinkCost:   link,
+	}
+}
+
+func zipfConfig(s, rate, favg, hopFee, link float64) Config {
+	return Config{
+		Dist:       txdist.ModifiedZipf{S: s},
+		SenderRate: rate,
+		FAvg:       favg,
+		FeePerHop:  hopFee,
+		LinkCost:   link,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil dist error = %v", err)
+	}
+	bad := uniformConfig(1, 1, 1, 1)
+	bad.LinkCost = -1
+	if err := bad.Validate(); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative link cost error = %v", err)
+	}
+	if err := uniformConfig(1, 1, 1, 1).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigShorthand(t *testing.T) {
+	cfg := uniformConfig(2, 0.5, 0.25, 1)
+	if cfg.A() != 0.5 {
+		t.Fatalf("A = %v, want 0.5", cfg.A())
+	}
+	if cfg.B() != 1 {
+		t.Fatalf("B = %v, want 1", cfg.B())
+	}
+}
+
+func TestUtilitiesHandComputedStar(t *testing.T) {
+	// Star with 2 leaves (path 1-0-2), uniform distribution, rate R=2,
+	// favg=0.5, f^T=0.25, l=0.3.
+	//
+	// Centre: transit = pairs (1,2),(2,1) at rate 2·(1/2) each = 2;
+	// revenue = 0.5·2 = 1. Fees = 2·0.25·(½·1+½·1) = 0.5. Cost = 2·0.3.
+	// U = 1 − 0.5 − 0.6 = −0.1.
+	// Leaf 1: revenue 0. Fees = 2·0.25·(½·1+½·2) = 0.75. Cost = 0.3.
+	// U = −1.05.
+	g := graph.Star(2, 1)
+	cfg := uniformConfig(2, 0.5, 0.25, 0.3)
+	utils, err := Utilities(g, cfg)
+	if err != nil {
+		t.Fatalf("Utilities: %v", err)
+	}
+	if math.Abs(utils[0]-(-0.1)) > 1e-9 {
+		t.Fatalf("centre utility = %v, want -0.1", utils[0])
+	}
+	for _, leaf := range []int{1, 2} {
+		if math.Abs(utils[leaf]-(-1.05)) > 1e-9 {
+			t.Fatalf("leaf %d utility = %v, want -1.05", leaf, utils[leaf])
+		}
+	}
+}
+
+func TestUtilitiesDisconnected(t *testing.T) {
+	g := graph.New(3)
+	if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	utils, err := Utilities(g, uniformConfig(1, 1, 1, 0.1))
+	if err != nil {
+		t.Fatalf("Utilities: %v", err)
+	}
+	for v, u := range utils {
+		if !math.IsInf(u, -1) {
+			t.Fatalf("node %d utility = %v, want −Inf (node 2 unreachable)", v, u)
+		}
+	}
+}
+
+func TestRevenueComponent(t *testing.T) {
+	g := graph.Star(3, 1)
+	rev, err := Revenue(g, uniformConfig(1, 0.5, 0.25, 0.3))
+	if err != nil {
+		t.Fatalf("Revenue: %v", err)
+	}
+	if rev[0] <= 0 {
+		t.Fatalf("centre revenue = %v, want > 0", rev[0])
+	}
+	for leaf := 1; leaf <= 3; leaf++ {
+		if rev[leaf] != 0 {
+			t.Fatalf("leaf revenue = %v, want 0", rev[leaf])
+		}
+	}
+}
+
+func TestNodeUtilityErrors(t *testing.T) {
+	g := graph.Star(2, 1)
+	if _, err := NodeUtility(g, uniformConfig(1, 1, 1, 1), 99); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("missing node error = %v", err)
+	}
+	if _, err := NodeUtility(g, Config{}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad config error = %v", err)
+	}
+}
+
+func TestWithNeighborSet(t *testing.T) {
+	g := graph.Star(3, 1)
+	// Re-wire leaf 1 to the other two leaves, dropping the centre.
+	out, err := WithNeighborSet(g, 1, []graph.NodeID{2, 3}, 1)
+	if err != nil {
+		t.Fatalf("WithNeighborSet: %v", err)
+	}
+	if out.HasEdgeBetween(1, 0) || out.HasEdgeBetween(0, 1) {
+		t.Fatal("old channel to centre survived")
+	}
+	if !out.HasEdgeBetween(1, 2) || !out.HasEdgeBetween(3, 1) {
+		t.Fatal("new channels missing")
+	}
+	// The original is untouched.
+	if !g.HasEdgeBetween(1, 0) {
+		t.Fatal("original graph mutated")
+	}
+	// Self-loops are skipped silently.
+	out, err = WithNeighborSet(g, 1, []graph.NodeID{1, 2}, 1)
+	if err != nil {
+		t.Fatalf("WithNeighborSet self: %v", err)
+	}
+	if out.HasEdgeBetween(1, 1) {
+		t.Fatal("self channel created")
+	}
+}
+
+func TestWithNeighborSetParallelChannels(t *testing.T) {
+	// A node with parallel channels must lose all of them.
+	g := graph.New(3)
+	for i := 0; i < 2; i++ {
+		if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+			t.Fatalf("AddChannel: %v", err)
+		}
+	}
+	out, err := WithNeighborSet(g, 0, []graph.NodeID{2}, 1)
+	if err != nil {
+		t.Fatalf("WithNeighborSet: %v", err)
+	}
+	if out.HasEdgeBetween(0, 1) || out.HasEdgeBetween(1, 0) {
+		t.Fatal("parallel channels survived re-wiring")
+	}
+	if !out.HasEdgeBetween(0, 2) {
+		t.Fatal("new channel missing")
+	}
+}
+
+func TestBestResponseFindsObviousImprovement(t *testing.T) {
+	// Free channels (l = 0) with positive fees: an endpoint of a path
+	// strictly gains by connecting to everyone.
+	g := graph.Path(4, 1)
+	cfg := uniformConfig(1, 0.2, 0.5, 0)
+	dev, err := BestResponse(g, cfg, 0)
+	if err != nil {
+		t.Fatalf("BestResponse: %v", err)
+	}
+	if dev.Gain <= 0 {
+		t.Fatal("expected an improving deviation with free channels")
+	}
+	if len(dev.Neighbors) != 3 {
+		t.Fatalf("best deviation neighbors = %v, want all three others", dev.Neighbors)
+	}
+}
+
+func TestBestResponseStableWhenCostsHuge(t *testing.T) {
+	// With an enormous link cost, keeping a single channel (connectivity
+	// is mandatory: disconnection is −Inf) is optimal: best response for
+	// a leaf keeps exactly its current channel.
+	g := graph.Star(4, 1)
+	cfg := zipfConfig(3, 1, 0.1, 0.1, 100)
+	dev, err := BestResponse(g, cfg, 1)
+	if err != nil {
+		t.Fatalf("BestResponse: %v", err)
+	}
+	if dev.Gain > 0 {
+		t.Fatalf("unexpected improving deviation %v under huge link cost", dev)
+	}
+}
+
+func TestIsNashEquilibriumStarStableRegime(t *testing.T) {
+	// Theorem 9 regime: s ≥ 2, a/H ≤ l, b/H ≤ l. The exhaustive checker
+	// must agree that the star is stable.
+	const (
+		leaves = 4
+		s      = 2.5
+	)
+	cfg := zipfConfig(s, 1, 0.5, 0.5, 1) // a = b = 0.5 ≤ l·H
+	if !Theorem9Applies(leaves, s, cfg.A(), cfg.B(), cfg.LinkCost) {
+		t.Fatal("test parameters should satisfy Theorem 9")
+	}
+	g := graph.Star(leaves, 1)
+	report, err := IsNashEquilibrium(g, cfg)
+	if err != nil {
+		t.Fatalf("IsNashEquilibrium: %v", err)
+	}
+	if !report.IsEquilibrium {
+		t.Fatalf("star not stable in Theorem 9 regime: witness %v", report.Witness)
+	}
+}
+
+func TestIsNashEquilibriumStarUnstableWithFreeChannels(t *testing.T) {
+	// With zero channel cost and real revenue available, leaves deviate
+	// to capture transit.
+	g := graph.Star(4, 1)
+	cfg := zipfConfig(0.5, 1, 1, 0.1, 0)
+	report, err := IsNashEquilibrium(g, cfg)
+	if err != nil {
+		t.Fatalf("IsNashEquilibrium: %v", err)
+	}
+	if report.IsEquilibrium {
+		t.Fatal("star stable despite free channels and fee pressure")
+	}
+	if report.Witness == nil {
+		t.Fatal("no witness returned for unstable graph")
+	}
+}
+
+func TestStructuredDeviationsShape(t *testing.T) {
+	g := graph.Circle(6, 1)
+	devs, err := StructuredDeviations(g, 0)
+	if err != nil {
+		t.Fatalf("StructuredDeviations: %v", err)
+	}
+	if len(devs) == 0 {
+		t.Fatal("no structured deviations generated")
+	}
+	// The farthest-node move (connect to opposite) must be present:
+	// neighbors {1, 5, 3}.
+	found := false
+	for _, d := range devs {
+		has3 := false
+		for _, v := range d {
+			if v == 3 {
+				has3 = true
+			}
+		}
+		if has3 && len(d) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("connect-to-opposite deviation missing")
+	}
+	if _, err := StructuredDeviations(g, 99); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("missing node error = %v", err)
+	}
+}
+
+func TestImprovingDeviationExists(t *testing.T) {
+	g := graph.Path(5, 1)
+	cfg := uniformConfig(1, 0.2, 0.5, 0)
+	found, dev, err := ImprovingDeviationExists(g, cfg, 0)
+	if err != nil {
+		t.Fatalf("ImprovingDeviationExists: %v", err)
+	}
+	if !found {
+		t.Fatal("no improving deviation found for path endpoint with free channels")
+	}
+	if dev.Gain <= 0 {
+		t.Fatalf("witness gain = %v", dev.Gain)
+	}
+}
+
+func TestSocialWelfare(t *testing.T) {
+	if got := SocialWelfare([]float64{1, 2, -0.5}); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("SocialWelfare = %v, want 2.5", got)
+	}
+	if got := SocialWelfare([]float64{1, math.Inf(-1)}); !math.IsInf(got, -1) {
+		t.Fatalf("SocialWelfare with −Inf = %v", got)
+	}
+}

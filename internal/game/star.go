@@ -1,0 +1,105 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// This file implements the closed-form star-stability results of §IV-B
+// (Theorems 7, 8 and 9). The paper's shorthand: a = N_u·f^T_avg,
+// b = N_v·favg, l the per-party channel cost, H^s_n the generalised
+// harmonic number, and n the number of leaves.
+
+// Condition is one inequality of the Theorem 8 condition system.
+type Condition struct {
+	// Name identifies the inequality and its index i where applicable.
+	Name string
+	// LHS and RHS are the two sides; the condition requires LHS ≤ RHS.
+	LHS, RHS float64
+}
+
+// Holds reports whether the inequality is satisfied (with floating-point
+// slack).
+func (c Condition) Holds() bool { return c.LHS <= c.RHS+1e-12 }
+
+// String renders the condition for experiment output.
+func (c Condition) String() string {
+	rel := "≤"
+	if !c.Holds() {
+		rel = ">"
+	}
+	return fmt.Sprintf("%s: %.6g %s %.6g", c.Name, c.LHS, rel, c.RHS)
+}
+
+// StarConditions returns the Theorem 8 inequality system for a star with
+// the given number of leaves under Zipf parameter s:
+//
+//	(1) a/H^s_n ≤ 2^s·l
+//	(2) b·(i/2)·(H^s_{i+1}−1−1/2^s)/H^s_n + a·(H^s_{i+1}−1)/H^s_n ≤ l·i
+//	(3) b·(i/2)·(H^s_n−1−1/2^s)/H^s_n + a·(H^s_{i+1}−2)/H^s_n ≤ l·(i−1)
+//
+// with (2) and (3) ranging over 2 ≤ i ≤ n−1. The i = n−1 instances of
+// (2) and (3) are exactly the "(1) vs (2)" and "(1) vs (3)" deviations of
+// the proof (connect to all other leaves, with or without keeping the
+// centre link).
+func StarConditions(leaves int, s, a, b, l float64) []Condition {
+	hn := txdist.Harmonic(leaves, s)
+	inv2s := math.Pow(2, -s)
+	conds := []Condition{{
+		Name: "C1 (single leaf link)",
+		LHS:  a / hn,
+		RHS:  math.Pow(2, s) * l,
+	}}
+	for i := 2; i <= leaves-1; i++ {
+		hi1 := txdist.Harmonic(i+1, s)
+		fi := float64(i)
+		conds = append(conds, Condition{
+			Name: fmt.Sprintf("C2 (add %d leaf links)", i),
+			LHS:  b*(fi/2)*(hi1-1-inv2s)/hn + a*(hi1-1)/hn,
+			RHS:  l * fi,
+		})
+		conds = append(conds, Condition{
+			Name: fmt.Sprintf("C3 (replace centre, %d leaf links)", i),
+			LHS:  b*(fi/2)*(hn-1-inv2s)/hn + a*(hi1-2)/hn,
+			RHS:  l * (fi - 1),
+		})
+	}
+	return conds
+}
+
+// StarClosedFormNE reports whether the Theorem 8 conditions all hold, the
+// paper's sufficient condition for the star with the given number of
+// leaves to be a Nash equilibrium.
+func StarClosedFormNE(leaves int, s, a, b, l float64) bool {
+	for _, c := range StarConditions(leaves, s, a, b, l) {
+		if !c.Holds() {
+			return false
+		}
+	}
+	return true
+}
+
+// StarClosedFormNEConfig adapts StarClosedFormNE to a game Config whose
+// distribution is a modified Zipf.
+func StarClosedFormNEConfig(leaves int, s float64, cfg Config) bool {
+	return StarClosedFormNE(leaves, s, cfg.A(), cfg.B(), cfg.LinkCost)
+}
+
+// Theorem7Applies reports the Theorem 7 regime: the star with ≥ 4 leaves
+// is a Nash equilibrium whenever 1/2^s is negligible. The tolerance
+// quantifies "negligible".
+func Theorem7Applies(leaves int, s, tolerance float64) bool {
+	return leaves >= 4 && math.Pow(2, -s) <= tolerance
+}
+
+// Theorem9Applies reports the Theorem 9 sufficient condition: s ≥ 2 with
+// equal channel costs and a/H^s_n ≤ l and b/H^s_n ≤ l.
+func Theorem9Applies(leaves int, s, a, b, l float64) bool {
+	if s < 2 {
+		return false
+	}
+	hn := txdist.Harmonic(leaves, s)
+	return a/hn <= l+1e-12 && b/hn <= l+1e-12
+}

@@ -1,0 +1,287 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func TestStarConditionsShape(t *testing.T) {
+	conds := StarConditions(5, 2, 0.1, 0.1, 1)
+	// C1 plus two families over i ∈ {2,3,4}: 1 + 2·3 = 7 conditions.
+	if len(conds) != 7 {
+		t.Fatalf("got %d conditions, want 7", len(conds))
+	}
+	for _, c := range conds {
+		if c.Name == "" {
+			t.Fatal("unnamed condition")
+		}
+		if c.String() == "" {
+			t.Fatal("empty render")
+		}
+	}
+}
+
+func TestStarClosedFormStableRegime(t *testing.T) {
+	// Theorem 9's sufficient condition must imply the Theorem 8 system.
+	cases := []struct {
+		leaves  int
+		s       float64
+		a, b, l float64
+	}{
+		{leaves: 4, s: 2, a: 0.5, b: 0.5, l: 1},
+		{leaves: 8, s: 2.5, a: 1, b: 1, l: 1},
+		{leaves: 12, s: 3, a: 0.2, b: 0.4, l: 0.5},
+	}
+	for _, tc := range cases {
+		if !Theorem9Applies(tc.leaves, tc.s, tc.a, tc.b, tc.l) {
+			t.Fatalf("case %+v should satisfy Theorem 9", tc)
+		}
+		if !StarClosedFormNE(tc.leaves, tc.s, tc.a, tc.b, tc.l) {
+			conds := StarConditions(tc.leaves, tc.s, tc.a, tc.b, tc.l)
+			for _, c := range conds {
+				if !c.Holds() {
+					t.Logf("violated: %s", c)
+				}
+			}
+			t.Fatalf("Theorem 9 regime %+v fails Theorem 8 conditions", tc)
+		}
+	}
+}
+
+func TestStarClosedFormUnstableWhenFree(t *testing.T) {
+	// l = 0 with b > 0: condition 2 must fail (adding leaf links pays).
+	if StarClosedFormNE(6, 1, 0.5, 0.5, 0) {
+		t.Fatal("star reported stable with zero link cost")
+	}
+}
+
+func TestTheorem7Applies(t *testing.T) {
+	if !Theorem7Applies(5, 40, 1e-9) {
+		t.Fatal("huge s rejected")
+	}
+	if Theorem7Applies(5, 1, 1e-9) {
+		t.Fatal("small s accepted")
+	}
+	if Theorem7Applies(3, 40, 1e-9) {
+		t.Fatal("fewer than 4 leaves accepted")
+	}
+}
+
+func TestTheorem9Boundary(t *testing.T) {
+	if Theorem9Applies(5, 1.9, 0.1, 0.1, 1) {
+		t.Fatal("s < 2 accepted")
+	}
+	// a/H > l must fail.
+	if Theorem9Applies(5, 2, 10, 0.1, 1) {
+		t.Fatal("large a accepted")
+	}
+}
+
+func TestClosedFormAgreesWithExhaustiveInClearRegimes(t *testing.T) {
+	// On clearly stable and clearly unstable parameter points, the
+	// closed-form Theorem 8 verdict and the exhaustive deviation search
+	// must agree (the fuzzy boundary is examined by experiment E8).
+	cases := []struct {
+		name       string
+		leaves     int
+		s          float64
+		cfg        Config
+		wantStable bool
+	}{
+		{
+			name:   "expensive links stable",
+			leaves: 4, s: 2.5,
+			cfg:        zipfConfig(2.5, 1, 0.5, 0.5, 2),
+			wantStable: true,
+		},
+		{
+			name:   "free links unstable",
+			leaves: 4, s: 0.5,
+			cfg:        zipfConfig(0.5, 1, 1, 0.1, 0),
+			wantStable: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			closed := StarClosedFormNEConfig(tc.leaves, tc.s, tc.cfg)
+			g := graph.Star(tc.leaves, 1)
+			report, err := IsNashEquilibrium(g, tc.cfg)
+			if err != nil {
+				t.Fatalf("IsNashEquilibrium: %v", err)
+			}
+			if closed != tc.wantStable || report.IsEquilibrium != tc.wantStable {
+				t.Fatalf("closed=%v exhaustive=%v want=%v", closed, report.IsEquilibrium, tc.wantStable)
+			}
+		})
+	}
+}
+
+func TestPathUnstableWitnessTheorem10(t *testing.T) {
+	// Across sizes and s values, the endpoint must have an improving
+	// re-attachment (Theorem 10).
+	for _, n := range []int{4, 5, 6, 8} {
+		for _, s := range []float64{0, 0.5, 1, 2} {
+			cfg := zipfConfig(s, 1, 0.3, 0.4, 0.2)
+			dev, found, err := PathUnstableWitness(n, cfg)
+			if err != nil {
+				t.Fatalf("PathUnstableWitness(n=%d): %v", n, err)
+			}
+			if !found {
+				t.Fatalf("n=%d s=%v: no improving endpoint deviation", n, s)
+			}
+			if dev.Gain <= 0 {
+				t.Fatalf("n=%d s=%v: non-positive gain %v", n, s, dev.Gain)
+			}
+		}
+	}
+}
+
+func TestPathUnstableWitnessSmallN(t *testing.T) {
+	if _, _, err := PathUnstableWitness(2, uniformConfig(1, 1, 1, 1)); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+}
+
+func TestCircleOppositeGainGrowsWithN(t *testing.T) {
+	// Theorem 11: the connect-to-opposite deviation eventually pays. Its
+	// gain should trend upward in n under favourable parameters.
+	cfg := zipfConfig(0.5, 1, 0.5, 0.5, 0.5)
+	gain8, err := CircleOppositeGain(8, cfg)
+	if err != nil {
+		t.Fatalf("CircleOppositeGain(8): %v", err)
+	}
+	gain20, err := CircleOppositeGain(20, cfg)
+	if err != nil {
+		t.Fatalf("CircleOppositeGain(20): %v", err)
+	}
+	if gain20 <= gain8 {
+		t.Fatalf("gain did not grow: n=8 %v, n=20 %v", gain8, gain20)
+	}
+}
+
+func TestCircleCrossoverFindsN0(t *testing.T) {
+	cfg := zipfConfig(0.5, 1, 0.5, 0.5, 0.5)
+	n0, found, err := CircleCrossover(cfg, 4, 64)
+	if err != nil {
+		t.Fatalf("CircleCrossover: %v", err)
+	}
+	if !found {
+		t.Fatal("no crossover found up to n=64")
+	}
+	// The circle must be profitable to break at n0 and (weakly) stable
+	// against this deviation just below it.
+	gain, err := CircleOppositeGain(n0, cfg)
+	if err != nil {
+		t.Fatalf("CircleOppositeGain(n0): %v", err)
+	}
+	if gain <= 0 {
+		t.Fatalf("gain at crossover %d = %v", n0, gain)
+	}
+	if n0 > 4 {
+		prev, err := CircleOppositeGain(n0-1, cfg)
+		if err != nil {
+			t.Fatalf("CircleOppositeGain(n0-1): %v", err)
+		}
+		if prev > stabilityTolerance {
+			t.Fatalf("gain already positive at %d: %v", n0-1, prev)
+		}
+	}
+}
+
+func TestCircleCrossoverNotFoundWhenExpensive(t *testing.T) {
+	// Enormous link cost: no crossover in a small range.
+	cfg := zipfConfig(1, 1, 0.1, 0.1, 1000)
+	_, found, err := CircleCrossover(cfg, 4, 16)
+	if err != nil {
+		t.Fatalf("CircleCrossover: %v", err)
+	}
+	if found {
+		t.Fatal("crossover found despite prohibitive link cost")
+	}
+}
+
+func TestHubPathBoundFormula(t *testing.T) {
+	// d ≤ 2·((C+ε)/2 − λe·f)/(pmin·N·f) + 1 with C+ε=2, λe=0.5, f=0.1,
+	// pmin=0.05, N=10: 2·(1−0.05)/(0.05) + 1 = 39.
+	got := HubPathBound(2, 0.5, 0.1, 0.05, 10)
+	if math.Abs(got-39) > 1e-9 {
+		t.Fatalf("HubPathBound = %v, want 39", got)
+	}
+	if !math.IsInf(HubPathBound(2, 0.5, 0.1, 0, 10), 1) {
+		t.Fatal("zero pmin must give +Inf")
+	}
+}
+
+func TestAuditHubBoundOnStableStar(t *testing.T) {
+	// A stable star's hub: d = 2, and the bound must hold.
+	const leaves = 5
+	cfg := zipfConfig(2.5, 1, 0.5, 0.5, 2)
+	g := graph.Star(leaves, 1)
+	report, err := AuditHubBound(g, cfg, 0)
+	if err != nil {
+		t.Fatalf("AuditHubBound: %v", err)
+	}
+	if report.PathLen != 2 {
+		t.Fatalf("hub path length = %d, want 2", report.PathLen)
+	}
+	if !report.Holds() {
+		t.Fatalf("Theorem 6 bound violated on stable star: d=%d bound=%v", report.PathLen, report.Bound)
+	}
+}
+
+func TestAuditHubBoundWheel(t *testing.T) {
+	cfg := zipfConfig(2, 1, 0.3, 0.3, 2)
+	g := graph.Wheel(8, 1)
+	report, err := AuditHubBound(g, cfg, 0)
+	if err != nil {
+		t.Fatalf("AuditHubBound: %v", err)
+	}
+	if report.PathLen != 2 {
+		t.Fatalf("wheel hub path length = %d, want 2", report.PathLen)
+	}
+	if len(report.Path) != report.PathLen+1 {
+		t.Fatalf("path %v inconsistent with length %d", report.Path, report.PathLen)
+	}
+}
+
+func TestAuditHubBoundErrors(t *testing.T) {
+	g := graph.Star(3, 1)
+	if _, err := AuditHubBound(g, uniformConfig(1, 1, 1, 1), 99); err == nil {
+		t.Fatal("missing hub accepted")
+	}
+	// An isolated node carries no paths.
+	iso := graph.New(3)
+	if _, err := AuditHubBound(iso, uniformConfig(1, 1, 1, 1), 0); err == nil {
+		t.Fatal("isolated hub accepted")
+	}
+}
+
+func TestLongestShortestPathReconstruction(t *testing.T) {
+	g := graph.Path(7, 1)
+	path := longestShortestPathThrough(g, 3)
+	if len(path) != 7 {
+		t.Fatalf("path through middle = %v, want full path", path)
+	}
+	// Consecutive nodes must be adjacent.
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdgeBetween(path[i], path[i+1]) {
+			t.Fatalf("path %v has non-adjacent step %d", path, i)
+		}
+	}
+}
+
+func TestStarConditionsWithPlainZipfDistribution(t *testing.T) {
+	// The closed forms assume the modified Zipf; they should still be
+	// computable (no panics, finite values) for any s ≥ 0 grid.
+	for _, s := range []float64{0, 0.5, 1, 2, 4, 8} {
+		for _, c := range StarConditions(6, s, 0.3, 0.7, 0.9) {
+			if math.IsNaN(c.LHS) || math.IsNaN(c.RHS) {
+				t.Fatalf("NaN in condition %s at s=%v", c.Name, s)
+			}
+		}
+	}
+	_ = txdist.Zipf{S: 1} // the plain distribution remains available for E8 ablations
+}

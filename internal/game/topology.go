@@ -1,0 +1,96 @@
+package game
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// This file implements the path and circle instability analyses of §IV-B
+// (Theorems 10 and 11).
+
+// PathUnstableWitness realises Theorem 10's argument on a concrete path
+// with n nodes: an endpoint always prefers re-attaching to an interior
+// node. It returns the improving deviation of endpoint 0 when one exists.
+func PathUnstableWitness(n int, cfg Config) (Deviation, bool, error) {
+	if n < 3 {
+		return Deviation{}, false, fmt.Errorf("%w: path needs ≥ 3 nodes", ErrBadConfig)
+	}
+	g := graph.Path(n, 1)
+	endpoint := graph.NodeID(0)
+	current, err := NodeUtility(g, cfg, endpoint)
+	if err != nil {
+		return Deviation{}, false, err
+	}
+	// Theorem 10's move: replace the single channel with one to an
+	// interior (non-endpoint) node.
+	best := Deviation{Node: endpoint, Utility: current}
+	found := false
+	for v := 2; v < n-1; v++ {
+		candidate, err := WithNeighborSet(g, endpoint, []graph.NodeID{graph.NodeID(v)}, 1)
+		if err != nil {
+			return Deviation{}, false, err
+		}
+		utility, err := NodeUtility(candidate, cfg, endpoint)
+		if err != nil {
+			return Deviation{}, false, err
+		}
+		if utility > best.Utility+stabilityTolerance {
+			best = Deviation{
+				Node:      endpoint,
+				Neighbors: []graph.NodeID{graph.NodeID(v)},
+				Gain:      utility - current,
+				Utility:   utility,
+			}
+			found = true
+		}
+	}
+	return best, found, nil
+}
+
+// CircleOppositeGain evaluates Theorem 11's deviation on the circle with
+// n nodes: node 0 adds a channel to its opposite node. It returns the
+// utility gain (positive when the deviation is profitable, i.e. the
+// circle is not a Nash equilibrium).
+func CircleOppositeGain(n int, cfg Config) (float64, error) {
+	if n < 4 {
+		return 0, fmt.Errorf("%w: circle needs ≥ 4 nodes", ErrBadConfig)
+	}
+	g := graph.Circle(n, 1)
+	node := graph.NodeID(0)
+	current, err := NodeUtility(g, cfg, node)
+	if err != nil {
+		return 0, err
+	}
+	opposite := graph.NodeID(n / 2)
+	neighbors := append(g.Neighbors(node), opposite)
+	candidate, err := WithNeighborSet(g, node, neighbors, 1)
+	if err != nil {
+		return 0, err
+	}
+	utility, err := NodeUtility(candidate, cfg, node)
+	if err != nil {
+		return 0, err
+	}
+	return utility - current, nil
+}
+
+// CircleCrossover finds the smallest circle size n in [minN, maxN] at
+// which the connect-to-opposite deviation becomes profitable, witnessing
+// Theorem 11's n0. It reports false when no size in the range is
+// unstable.
+func CircleCrossover(cfg Config, minN, maxN int) (int, bool, error) {
+	if minN < 4 {
+		minN = 4
+	}
+	for n := minN; n <= maxN; n++ {
+		gain, err := CircleOppositeGain(n, cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		if gain > stabilityTolerance {
+			return n, true, nil
+		}
+	}
+	return 0, false, nil
+}

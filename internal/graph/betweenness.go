@@ -1,0 +1,173 @@
+package graph
+
+// PairWeight assigns a weight to an ordered node pair (s, r). In the
+// paper's model (§II-B, eq. 2) the weight of a pair is the probability
+// that s transacts with r, optionally scaled by s's transaction rate, so
+// that the weighted edge betweenness of e equals pe and λe = N·pe.
+//
+// A nil PairWeight means uniform weight 1 for every ordered pair with
+// s ≠ r, which recovers the textbook betweenness centrality definition.
+type PairWeight func(s, r NodeID) float64
+
+// EdgeBetweenness computes, for every live directed edge e, the weighted
+// edge betweenness centrality
+//
+//	EBC(e) = Σ_{s≠r, m(s,r)>0}  w(s,r) · me(s,r)/m(s,r)
+//
+// where me(s,r) counts shortest s→r paths through e and m(s,r) counts all
+// shortest s→r paths (§II-B). The result is indexed by EdgeID; entries for
+// dead edges are zero. The implementation is Brandes' algorithm with
+// endpoint weights, O(n·(n+m)).
+func (g *Graph) EdgeBetweenness(w PairWeight) []float64 {
+	bc := make([]float64, g.MaxEdgeID())
+	n := g.NumNodes()
+	for s := 0; s < n; s++ {
+		g.accumulateFromSource(NodeID(s), w, bc, nil)
+	}
+	return bc
+}
+
+// NodeBetweenness computes, for every node v, the weighted transit
+// betweenness
+//
+//	NBC(v) = Σ_{s≠r, s≠v, r≠v, m(s,r)>0}  w(s,r) · mv(s,r)/m(s,r)
+//
+// where mv counts shortest s→r paths with v as an interior node. This is
+// the quantity that drives the expected revenue of §IV (assumption 1):
+// with w(s,r) = N_s·p_trans(s,r), NBC(v)·favg is E^rev_v.
+func (g *Graph) NodeBetweenness(w PairWeight) []float64 {
+	bc := make([]float64, g.NumNodes())
+	n := g.NumNodes()
+	for s := 0; s < n; s++ {
+		g.accumulateFromSource(NodeID(s), w, nil, bc)
+	}
+	return bc
+}
+
+// Betweenness computes edge and node weighted betweenness in one pass.
+func (g *Graph) Betweenness(w PairWeight) (edge []float64, node []float64) {
+	edge = make([]float64, g.MaxEdgeID())
+	node = make([]float64, g.NumNodes())
+	n := g.NumNodes()
+	for s := 0; s < n; s++ {
+		g.accumulateFromSource(NodeID(s), w, edge, node)
+	}
+	return edge, node
+}
+
+// accumulateFromSource runs one Brandes iteration from source s, adding the
+// source's contribution into edgeBC and/or nodeBC (either may be nil).
+func (g *Graph) accumulateFromSource(s NodeID, w PairWeight, edgeBC, nodeBC []float64) {
+	n := g.NumNodes()
+	var (
+		dist  = make([]int, n)
+		sigma = make([]float64, n)
+		delta = make([]float64, n)
+		order = make([]NodeID, 0, n)
+		queue = make([]NodeID, 0, n)
+		// preds[v] holds the edge IDs (p,v) lying on shortest s→v paths.
+		preds = make([][]EdgeID, n)
+	)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	sigma[s] = 1
+	queue = append(queue, s)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, id := range g.out[v] {
+			t := g.edges[id].To
+			switch {
+			case dist[t] == Unreachable:
+				dist[t] = dist[v] + 1
+				sigma[t] = sigma[v]
+				preds[t] = append(preds[t], id)
+				queue = append(queue, t)
+			case dist[t] == dist[v]+1:
+				sigma[t] += sigma[v]
+				preds[t] = append(preds[t], id)
+			}
+		}
+	}
+	// Dependency accumulation in reverse BFS order.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		weight := 0.0
+		if v != s {
+			weight = 1
+			if w != nil {
+				weight = w(s, v)
+			}
+		}
+		for _, id := range preds[v] {
+			p := g.edges[id].From
+			share := sigma[p] / sigma[v] * (weight + delta[v])
+			if edgeBC != nil {
+				edgeBC[id] += share
+			}
+			delta[p] += share
+		}
+		if nodeBC != nil && v != s {
+			// delta[v] aggregates contributions of pairs (s, r) with r
+			// strictly beyond v, i.e. v interior — exactly mv(s,r)/m(s,r)
+			// weighted.
+			nodeBC[v] += delta[v]
+		}
+	}
+}
+
+// EdgeBetweennessNaive computes the same quantity as EdgeBetweenness by
+// explicit enumeration of shortest paths. It is exponential in the worst
+// case and exists only as a test oracle for small graphs.
+func (g *Graph) EdgeBetweennessNaive(w PairWeight) []float64 {
+	bc := make([]float64, g.MaxEdgeID())
+	n := g.NumNodes()
+	for s := 0; s < n; s++ {
+		dist, sigma := g.BFSCounts(NodeID(s))
+		for r := 0; r < n; r++ {
+			if r == s || dist[r] == Unreachable {
+				continue
+			}
+			weight := 1.0
+			if w != nil {
+				weight = w(NodeID(s), NodeID(r))
+			}
+			if weight == 0 {
+				continue
+			}
+			counts := make(map[EdgeID]float64)
+			g.countPathsThroughEdges(NodeID(s), NodeID(r), dist, counts)
+			for id, me := range counts {
+				bc[id] += weight * me / sigma[r]
+			}
+		}
+	}
+	return bc
+}
+
+// countPathsThroughEdges walks every shortest s→r path (via DFS over the
+// shortest-path DAG) and increments counts[e] once per path containing e.
+func (g *Graph) countPathsThroughEdges(s, r NodeID, dist []int, counts map[EdgeID]float64) {
+	var path []EdgeID
+	var walk func(v NodeID)
+	walk = func(v NodeID) {
+		if v == r {
+			for _, id := range path {
+				counts[id]++
+			}
+			return
+		}
+		for _, id := range g.out[v] {
+			t := g.edges[id].To
+			if dist[t] == dist[v]+1 && dist[r] >= dist[t] {
+				path = append(path, id)
+				walk(t)
+				path = path[:len(path)-1]
+			}
+		}
+	}
+	walk(s)
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const betweennessTol = 1e-9
+
+func TestEdgeBetweennessPath(t *testing.T) {
+	// On the directed 3-path 0↔1↔2, the edge (0,1) carries the pairs
+	// (0,1) and (0,2): EBC = 2 with unit weights.
+	g := Path(3, 1)
+	bc := g.EdgeBetweenness(nil)
+	ids := g.EdgesBetween(0, 1)
+	if len(ids) != 1 {
+		t.Fatalf("expected single edge 0→1, got %d", len(ids))
+	}
+	if got := bc[ids[0]]; math.Abs(got-2) > betweennessTol {
+		t.Fatalf("EBC(0→1) = %v, want 2", got)
+	}
+	ids = g.EdgesBetween(1, 2)
+	if got := bc[ids[0]]; math.Abs(got-2) > betweennessTol {
+		t.Fatalf("EBC(1→2) = %v, want 2", got)
+	}
+}
+
+func TestNodeBetweennessStar(t *testing.T) {
+	// Star with k leaves: the center lies interior on every ordered leaf
+	// pair, so NBC(center) = k(k-1); leaves are never interior.
+	const k = 5
+	g := Star(k, 1)
+	bc := g.NodeBetweenness(nil)
+	if got, want := bc[0], float64(k*(k-1)); math.Abs(got-want) > betweennessTol {
+		t.Fatalf("NBC(center) = %v, want %v", got, want)
+	}
+	for leaf := 1; leaf <= k; leaf++ {
+		if bc[leaf] != 0 {
+			t.Fatalf("NBC(leaf %d) = %v, want 0", leaf, bc[leaf])
+		}
+	}
+}
+
+func TestNodeBetweennessPathMiddle(t *testing.T) {
+	// Path 0-1-2: node 1 is interior for (0,2) and (2,0) only.
+	g := Path(3, 1)
+	bc := g.NodeBetweenness(nil)
+	if got := bc[1]; math.Abs(got-2) > betweennessTol {
+		t.Fatalf("NBC(1) = %v, want 2", got)
+	}
+}
+
+func TestEdgeBetweennessSplitsTies(t *testing.T) {
+	// Diamond 0↔1↔3, 0↔2↔3. Edge 0→1 carries: pair (0,1) fully (1),
+	// half of pair (0,3) (paths 0→1→3 and 0→2→3), and half of pair (2,1)
+	// (paths 2→0→1 and 2→3→1): total 2.
+	g := New(4)
+	mustChannel(g, 0, 1, 1, 1)
+	mustChannel(g, 0, 2, 1, 1)
+	mustChannel(g, 1, 3, 1, 1)
+	mustChannel(g, 2, 3, 1, 1)
+	bc := g.EdgeBetweenness(nil)
+	id := g.EdgesBetween(0, 1)[0]
+	if got, want := bc[id], 2.0; math.Abs(got-want) > betweennessTol {
+		t.Fatalf("EBC(0→1) = %v, want %v", got, want)
+	}
+}
+
+func TestWeightedEdgeBetweenness(t *testing.T) {
+	// Weight only the pair (0,2) on a 3-path: both hops carry exactly that
+	// weight.
+	g := Path(3, 1)
+	w := func(s, r NodeID) float64 {
+		if s == 0 && r == 2 {
+			return 0.25
+		}
+		return 0
+	}
+	bc := g.EdgeBetweenness(w)
+	e01 := g.EdgesBetween(0, 1)[0]
+	e12 := g.EdgesBetween(1, 2)[0]
+	if math.Abs(bc[e01]-0.25) > betweennessTol || math.Abs(bc[e12]-0.25) > betweennessTol {
+		t.Fatalf("weighted EBC = %v/%v, want 0.25/0.25", bc[e01], bc[e12])
+	}
+	e10 := g.EdgesBetween(1, 0)[0]
+	if bc[e10] != 0 {
+		t.Fatalf("reverse edge got weight %v, want 0", bc[e10])
+	}
+}
+
+func TestEdgeBetweennessAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		g := ErdosRenyi(8, 0.35, 1, rng)
+		// Random positive pair weights.
+		weights := make(map[[2]NodeID]float64)
+		w := func(s, r NodeID) float64 {
+			key := [2]NodeID{s, r}
+			if v, ok := weights[key]; ok {
+				return v
+			}
+			v := rng.Float64()
+			weights[key] = v
+			return v
+		}
+		fast := g.EdgeBetweenness(w)
+		naive := g.EdgeBetweennessNaive(w)
+		for id := range fast {
+			if math.Abs(fast[id]-naive[id]) > 1e-6 {
+				t.Fatalf("trial %d: edge %d Brandes=%v naive=%v", trial, id, fast[id], naive[id])
+			}
+		}
+	}
+}
+
+func TestNodeBetweennessConsistentWithEdges(t *testing.T) {
+	// For any node v, the transit weight through v equals the total weight
+	// entering v on its in-edges minus the weight of pairs terminating at
+	// v. Cheaper invariant: sum of EBC over out-edges of v counts transit
+	// plus pairs originating at v; transit = Σ_out EBC − Σ_r w(v,r)
+	// reachable. Verify on random graphs with unit weights.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := ConnectedErdosRenyi(9, 0.3, 1, rng, 50)
+		edge, node := g.Betweenness(nil)
+		n := g.NumNodes()
+		for v := 0; v < n; v++ {
+			var outSum float64
+			for _, id := range g.OutEdges(NodeID(v)) {
+				outSum += edge[id]
+			}
+			// Pairs originating at v contribute their full unit weight to
+			// exactly one outgoing edge each per path share; the total
+			// origin weight is (n-1) in a strongly connected graph.
+			origin := float64(n - 1)
+			if math.Abs(outSum-origin-node[v]) > 1e-6 {
+				t.Fatalf("trial %d node %d: outSum=%v origin=%v transit=%v", trial, v, outSum, origin, node[v])
+			}
+		}
+	}
+}
+
+func TestBetweennessZeroWeight(t *testing.T) {
+	g := Star(4, 1)
+	bc := g.EdgeBetweenness(func(s, r NodeID) float64 { return 0 })
+	for id, v := range bc {
+		if v != 0 {
+			t.Fatalf("edge %d has betweenness %v under zero weights", id, v)
+		}
+	}
+}
+
+func TestBetweennessDisconnectedPairsIgnored(t *testing.T) {
+	// Two components: pairs across components must contribute nothing and
+	// must not panic.
+	g := New(4)
+	mustChannel(g, 0, 1, 1, 1)
+	mustChannel(g, 2, 3, 1, 1)
+	bc := g.EdgeBetweenness(nil)
+	for _, id := range g.EdgesBetween(0, 1) {
+		if math.Abs(bc[id]-1) > betweennessTol {
+			t.Fatalf("EBC(0→1) = %v, want 1", bc[id])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomMutationInvariants drives the graph through long random
+// add/remove sequences and checks structural invariants after every
+// operation: degree sums match edge counts, adjacency agrees with the
+// edge table, and removed identifiers stay dead.
+func TestRandomMutationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const (
+		nodes = 12
+		steps = 2000
+	)
+	g := New(nodes)
+	var live []EdgeID
+	for step := 0; step < steps; step++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			a := NodeID(rng.Intn(nodes))
+			b := NodeID(rng.Intn(nodes))
+			if a == b {
+				continue
+			}
+			id, err := g.AddEdge(a, b, rng.Float64()*10)
+			if err != nil {
+				t.Fatalf("step %d: AddEdge: %v", step, err)
+			}
+			live = append(live, id)
+		} else {
+			i := rng.Intn(len(live))
+			id := live[i]
+			if err := g.RemoveEdge(id); err != nil {
+				t.Fatalf("step %d: RemoveEdge: %v", step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+			if _, ok := g.Edge(id); ok {
+				t.Fatalf("step %d: removed edge %d still present", step, id)
+			}
+		}
+		if step%50 != 0 {
+			continue
+		}
+		// Invariant: Σ out-degree = Σ in-degree = NumEdges.
+		var outSum, inSum int
+		for v := 0; v < nodes; v++ {
+			outSum += g.OutDegree(NodeID(v))
+			inSum += g.InDegree(NodeID(v))
+		}
+		if outSum != g.NumEdges() || inSum != g.NumEdges() {
+			t.Fatalf("step %d: degree sums %d/%d vs edges %d", step, outSum, inSum, g.NumEdges())
+		}
+		if g.NumEdges() != len(live) {
+			t.Fatalf("step %d: NumEdges %d, tracker %d", step, g.NumEdges(), len(live))
+		}
+		// Invariant: adjacency lists agree with the edge table.
+		count := 0
+		g.ForEachEdge(func(e Edge) bool {
+			count++
+			found := false
+			g.ForEachOut(e.From, func(o Edge) bool {
+				if o.ID == e.ID {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("step %d: edge %d missing from out-adjacency", step, e.ID)
+			}
+			return true
+		})
+		if count != g.NumEdges() {
+			t.Fatalf("step %d: ForEachEdge visited %d of %d", step, count, g.NumEdges())
+		}
+	}
+}
+
+// TestMutationDoesNotCorruptPathCounts interleaves mutations with
+// BFS-count queries and cross-checks a full recomputation.
+func TestMutationDoesNotCorruptPathCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := Circle(8, 1)
+	for step := 0; step < 200; step++ {
+		a := NodeID(rng.Intn(8))
+		b := NodeID(rng.Intn(8))
+		if a != b {
+			if rng.Float64() < 0.5 && g.HasEdgeBetween(a, b) {
+				if err := g.RemoveChannel(a, b); err != nil {
+					t.Fatalf("RemoveChannel: %v", err)
+				}
+			} else {
+				mustChannel(g, a, b, 1, 1)
+			}
+		}
+		src := NodeID(rng.Intn(8))
+		dist1, sigma1 := g.BFSCounts(src)
+		// A clone must produce identical results: mutation state is fully
+		// captured by the graph value.
+		dist2, sigma2 := g.Clone().BFSCounts(src)
+		for v := range dist1 {
+			if dist1[v] != dist2[v] || sigma1[v] != sigma2[v] {
+				t.Fatalf("step %d: clone divergence at %d", step, v)
+			}
+		}
+	}
+}
+
+// TestBetweennessAfterMutations verifies Brandes against the naive
+// enumerator after heavy mutation (tombstone correctness).
+func TestBetweennessAfterMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := Complete(7, 1)
+	// Remove a third of the channels.
+	for a := 0; a < 7; a++ {
+		for b := a + 1; b < 7; b++ {
+			if rng.Float64() < 0.33 {
+				if err := g.RemoveChannel(NodeID(a), NodeID(b)); err != nil {
+					t.Fatalf("RemoveChannel: %v", err)
+				}
+			}
+		}
+	}
+	fast := g.EdgeBetweenness(nil)
+	naive := g.EdgeBetweennessNaive(nil)
+	for id := range fast {
+		if diff := fast[id] - naive[id]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("edge %d: %v vs %v", id, fast[id], naive[id])
+		}
+	}
+}

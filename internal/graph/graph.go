@@ -1,0 +1,376 @@
+// Package graph provides the directed-multigraph substrate used throughout
+// the library to model payment channel network (PCN) topologies.
+//
+// Following the paper's model (§II-A), every bidirectional payment channel
+// between two users u and v is represented by two directed edges, one in
+// each direction. The capacity of the directed edge (u,v) is the balance u
+// currently owns inside the channel, i.e. the maximum amount u can push
+// towards v. Parallel channels between the same pair of users are allowed
+// (the action set Ω of §II-C explicitly permits them) and are counted as
+// distinct shortest paths by the path-counting routines.
+//
+// Nodes are dense integer identifiers handed out by the graph; edges are
+// identified by stable EdgeIDs that survive unrelated removals.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node (a PCN user) inside a Graph.
+type NodeID int
+
+// EdgeID identifies a directed edge (one direction of a payment channel).
+type EdgeID int
+
+// Invalid sentinel identifiers. Valid IDs are always non-negative.
+const (
+	InvalidNode NodeID = -1
+	InvalidEdge EdgeID = -1
+)
+
+// Errors returned by graph mutators.
+var (
+	ErrNodeOutOfRange = errors.New("graph: node out of range")
+	ErrSelfLoop       = errors.New("graph: self loops are not allowed")
+	ErrEdgeNotFound   = errors.New("graph: edge not found")
+	ErrNegativeValue  = errors.New("graph: negative capacity")
+)
+
+// Edge is one direction of a payment channel.
+type Edge struct {
+	ID       EdgeID
+	From     NodeID
+	To       NodeID
+	Capacity float64 // balance spendable in the From→To direction
+}
+
+// Graph is a directed multigraph. The zero value is an empty graph ready
+// for use; New pre-allocates n nodes.
+type Graph struct {
+	out      [][]EdgeID
+	in       [][]EdgeID
+	edges    []Edge
+	alive    []bool
+	numAlive int
+}
+
+// New returns a graph with n nodes (0..n-1) and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		out: make([][]EdgeID, n),
+		in:  make([][]EdgeID, n),
+	}
+}
+
+// AddNode appends a fresh isolated node and returns its identifier.
+func (g *Graph) AddNode() NodeID {
+	id := NodeID(len(g.out))
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumEdges reports the number of live directed edges.
+func (g *Graph) NumEdges() int { return g.numAlive }
+
+// NumChannels reports the number of live directed edges divided by two,
+// i.e. the number of bidirectional channels when the graph was built
+// exclusively through AddChannel.
+func (g *Graph) NumChannels() int { return g.numAlive / 2 }
+
+// HasNode reports whether id names a node of the graph.
+func (g *Graph) HasNode(id NodeID) bool { return id >= 0 && int(id) < len(g.out) }
+
+// AddEdge inserts a directed edge from→to with the given capacity and
+// returns its identifier.
+func (g *Graph) AddEdge(from, to NodeID, capacity float64) (EdgeID, error) {
+	if !g.HasNode(from) || !g.HasNode(to) {
+		return InvalidEdge, fmt.Errorf("add edge (%d,%d): %w", from, to, ErrNodeOutOfRange)
+	}
+	if from == to {
+		return InvalidEdge, fmt.Errorf("add edge (%d,%d): %w", from, to, ErrSelfLoop)
+	}
+	if capacity < 0 {
+		return InvalidEdge, fmt.Errorf("add edge (%d,%d): %w", from, to, ErrNegativeValue)
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity})
+	g.alive = append(g.alive, true)
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	g.numAlive++
+	return id, nil
+}
+
+// AddChannel inserts a bidirectional channel between a and b as two directed
+// edges: (a,b) with capacity balA and (b,a) with capacity balB.
+func (g *Graph) AddChannel(a, b NodeID, balA, balB float64) (ab, ba EdgeID, err error) {
+	ab, err = g.AddEdge(a, b, balA)
+	if err != nil {
+		return InvalidEdge, InvalidEdge, err
+	}
+	ba, err = g.AddEdge(b, a, balB)
+	if err != nil {
+		// Roll back the first direction so channels are all-or-nothing.
+		if rmErr := g.RemoveEdge(ab); rmErr != nil {
+			return InvalidEdge, InvalidEdge, fmt.Errorf("rollback %v: %w", rmErr, err)
+		}
+		return InvalidEdge, InvalidEdge, err
+	}
+	return ab, ba, nil
+}
+
+// RemoveEdge deletes a directed edge.
+func (g *Graph) RemoveEdge(id EdgeID) error {
+	if int(id) < 0 || int(id) >= len(g.edges) || !g.alive[id] {
+		return fmt.Errorf("remove edge %d: %w", id, ErrEdgeNotFound)
+	}
+	e := g.edges[id]
+	g.alive[id] = false
+	g.out[e.From] = removeID(g.out[e.From], id)
+	g.in[e.To] = removeID(g.in[e.To], id)
+	g.numAlive--
+	return nil
+}
+
+// RemoveChannel deletes both directed edges between a and b that form one
+// channel (one edge in each direction). When parallel channels exist the
+// most recently added pair is removed. It returns ErrEdgeNotFound when no
+// channel connects the two nodes.
+func (g *Graph) RemoveChannel(a, b NodeID) error {
+	ab := g.lastEdgeBetween(a, b)
+	ba := g.lastEdgeBetween(b, a)
+	if ab == InvalidEdge || ba == InvalidEdge {
+		return fmt.Errorf("remove channel (%d,%d): %w", a, b, ErrEdgeNotFound)
+	}
+	if err := g.RemoveEdge(ab); err != nil {
+		return err
+	}
+	return g.RemoveEdge(ba)
+}
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) (Edge, bool) {
+	if int(id) < 0 || int(id) >= len(g.edges) || !g.alive[id] {
+		return Edge{}, false
+	}
+	return g.edges[id], true
+}
+
+// SetCapacity updates the capacity of a live directed edge.
+func (g *Graph) SetCapacity(id EdgeID, capacity float64) error {
+	if int(id) < 0 || int(id) >= len(g.edges) || !g.alive[id] {
+		return fmt.Errorf("set capacity %d: %w", id, ErrEdgeNotFound)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("set capacity %d: %w", id, ErrNegativeValue)
+	}
+	g.edges[id].Capacity = capacity
+	return nil
+}
+
+// OutEdges returns a copy of the identifiers of the live edges leaving u.
+func (g *Graph) OutEdges(u NodeID) []EdgeID {
+	if !g.HasNode(u) {
+		return nil
+	}
+	return append([]EdgeID(nil), g.out[u]...)
+}
+
+// InEdges returns a copy of the identifiers of the live edges entering u.
+func (g *Graph) InEdges(u NodeID) []EdgeID {
+	if !g.HasNode(u) {
+		return nil
+	}
+	return append([]EdgeID(nil), g.in[u]...)
+}
+
+// ForEachOut calls fn for every live edge leaving u, stopping early when fn
+// returns false. It performs no allocation.
+func (g *Graph) ForEachOut(u NodeID, fn func(Edge) bool) {
+	if !g.HasNode(u) {
+		return
+	}
+	for _, id := range g.out[u] {
+		if !fn(g.edges[id]) {
+			return
+		}
+	}
+}
+
+// ForEachIn calls fn for every live edge entering u, stopping early when fn
+// returns false.
+func (g *Graph) ForEachIn(u NodeID, fn func(Edge) bool) {
+	if !g.HasNode(u) {
+		return
+	}
+	for _, id := range g.in[u] {
+		if !fn(g.edges[id]) {
+			return
+		}
+	}
+}
+
+// ForEachEdge calls fn for every live edge, stopping early when fn returns
+// false.
+func (g *Graph) ForEachEdge(fn func(Edge) bool) {
+	for i, e := range g.edges {
+		if !g.alive[i] {
+			continue
+		}
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// OutDegree reports the number of live edges leaving u.
+func (g *Graph) OutDegree(u NodeID) int {
+	if !g.HasNode(u) {
+		return 0
+	}
+	return len(g.out[u])
+}
+
+// InDegree reports the number of live edges entering u. The paper's
+// modified Zipf distribution ranks nodes by this quantity (§II-B).
+func (g *Graph) InDegree(u NodeID) int {
+	if !g.HasNode(u) {
+		return 0
+	}
+	return len(g.in[u])
+}
+
+// Neighbors returns the distinct nodes adjacent to u through an edge in
+// either direction, in ascending order.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	if !g.HasNode(u) {
+		return nil
+	}
+	seen := make(map[NodeID]struct{}, len(g.out[u])+len(g.in[u]))
+	for _, id := range g.out[u] {
+		seen[g.edges[id].To] = struct{}{}
+	}
+	for _, id := range g.in[u] {
+		seen[g.edges[id].From] = struct{}{}
+	}
+	res := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		res = append(res, v)
+	}
+	sortNodeIDs(res)
+	return res
+}
+
+// HasEdgeBetween reports whether at least one live directed edge from→to
+// exists.
+func (g *Graph) HasEdgeBetween(from, to NodeID) bool {
+	return g.lastEdgeBetween(from, to) != InvalidEdge
+}
+
+// EdgesBetween returns the identifiers of all live directed edges from→to.
+func (g *Graph) EdgesBetween(from, to NodeID) []EdgeID {
+	if !g.HasNode(from) {
+		return nil
+	}
+	var res []EdgeID
+	for _, id := range g.out[from] {
+		if g.edges[id].To == to {
+			res = append(res, id)
+		}
+	}
+	return res
+}
+
+// Clone returns a deep copy of the graph. Edge identifiers are preserved.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		out:      make([][]EdgeID, len(g.out)),
+		in:       make([][]EdgeID, len(g.in)),
+		edges:    append([]Edge(nil), g.edges...),
+		alive:    append([]bool(nil), g.alive...),
+		numAlive: g.numAlive,
+	}
+	for i := range g.out {
+		c.out[i] = append([]EdgeID(nil), g.out[i]...)
+	}
+	for i := range g.in {
+		c.in[i] = append([]EdgeID(nil), g.in[i]...)
+	}
+	return c
+}
+
+// MaxEdgeID returns the exclusive upper bound of edge identifiers ever
+// handed out. Useful for sizing EdgeID-indexed slices.
+func (g *Graph) MaxEdgeID() EdgeID { return EdgeID(len(g.edges)) }
+
+// ChannelPairs groups the live directed edges into channels: each element
+// pairs a forward edge with its reverse counterpart, in insertion order
+// (matching greedily, so graphs built through AddChannel reproduce their
+// construction exactly). The second return lists directed edges with no
+// reverse partner — empty for every channel-built graph.
+func (g *Graph) ChannelPairs() (pairs [][2]Edge, unpaired []Edge) {
+	waiting := make(map[[2]NodeID][]Edge)
+	g.ForEachEdge(func(e Edge) bool {
+		key := [2]NodeID{e.To, e.From}
+		if list := waiting[key]; len(list) > 0 {
+			pairs = append(pairs, [2]Edge{list[0], e})
+			waiting[key] = list[1:]
+			return true
+		}
+		own := [2]NodeID{e.From, e.To}
+		waiting[own] = append(waiting[own], e)
+		return true
+	})
+	// Collect leftovers in id order for determinism.
+	g.ForEachEdge(func(e Edge) bool {
+		key := [2]NodeID{e.From, e.To}
+		for _, w := range waiting[key] {
+			if w.ID == e.ID {
+				unpaired = append(unpaired, e)
+			}
+		}
+		return true
+	})
+	return pairs, unpaired
+}
+
+func (g *Graph) lastEdgeBetween(from, to NodeID) EdgeID {
+	if !g.HasNode(from) {
+		return InvalidEdge
+	}
+	for i := len(g.out[from]) - 1; i >= 0; i-- {
+		id := g.out[from][i]
+		if g.edges[id].To == to {
+			return id
+		}
+	}
+	return InvalidEdge
+}
+
+func removeID(ids []EdgeID, id EdgeID) []EdgeID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+func sortNodeIDs(ids []NodeID) {
+	// Insertion sort: neighbor lists are short and this avoids importing
+	// sort for a single call site.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

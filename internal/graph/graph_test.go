@@ -1,0 +1,333 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := New(3)
+	if got := g.NumNodes(); got != 3 {
+		t.Fatalf("NumNodes = %d, want 3", got)
+	}
+	if got := g.NumEdges(); got != 0 {
+		t.Fatalf("NumEdges = %d, want 0", got)
+	}
+}
+
+func TestNewNegativeClampsToZero(t *testing.T) {
+	g := New(-5)
+	if got := g.NumNodes(); got != 0 {
+		t.Fatalf("NumNodes = %d, want 0", got)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(0)
+	a := g.AddNode()
+	b := g.AddNode()
+	if a != 0 || b != 1 {
+		t.Fatalf("AddNode ids = %d,%d, want 0,1", a, b)
+	}
+	if !g.HasNode(a) || !g.HasNode(b) || g.HasNode(2) {
+		t.Fatal("HasNode inconsistent with AddNode")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(2)
+	id, err := g.AddEdge(0, 1, 5)
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	e, ok := g.Edge(id)
+	if !ok {
+		t.Fatal("Edge not found after AddEdge")
+	}
+	if e.From != 0 || e.To != 1 || e.Capacity != 5 {
+		t.Fatalf("Edge = %+v, want {From:0 To:1 Capacity:5}", e)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	tests := []struct {
+		name     string
+		from, to NodeID
+		capacity float64
+		wantErr  error
+	}{
+		{name: "from out of range", from: 5, to: 1, capacity: 1, wantErr: ErrNodeOutOfRange},
+		{name: "to out of range", from: 0, to: 9, capacity: 1, wantErr: ErrNodeOutOfRange},
+		{name: "negative node", from: -1, to: 1, capacity: 1, wantErr: ErrNodeOutOfRange},
+		{name: "self loop", from: 1, to: 1, capacity: 1, wantErr: ErrSelfLoop},
+		{name: "negative capacity", from: 0, to: 1, capacity: -2, wantErr: ErrNegativeValue},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := g.AddEdge(tt.from, tt.to, tt.capacity); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("AddEdge error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("failed AddEdge mutated the graph: NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestAddChannelCreatesBothDirections(t *testing.T) {
+	g := New(2)
+	ab, ba, err := g.AddChannel(0, 1, 10, 7)
+	if err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	e1, _ := g.Edge(ab)
+	e2, _ := g.Edge(ba)
+	if e1.From != 0 || e1.To != 1 || e1.Capacity != 10 {
+		t.Fatalf("forward edge = %+v", e1)
+	}
+	if e2.From != 1 || e2.To != 0 || e2.Capacity != 7 {
+		t.Fatalf("reverse edge = %+v", e2)
+	}
+	if g.NumChannels() != 1 {
+		t.Fatalf("NumChannels = %d, want 1", g.NumChannels())
+	}
+}
+
+func TestAddChannelRollsBackOnError(t *testing.T) {
+	g := New(2)
+	// Second direction fails due to negative capacity; the first direction
+	// must be rolled back.
+	if _, _, err := g.AddChannel(0, 1, 5, -1); err == nil {
+		t.Fatal("AddChannel accepted negative capacity")
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d after failed AddChannel, want 0", g.NumEdges())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(3)
+	id, _ := g.AddEdge(0, 1, 1)
+	id2, _ := g.AddEdge(1, 2, 1)
+	if err := g.RemoveEdge(id); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if _, ok := g.Edge(id); ok {
+		t.Fatal("removed edge still present")
+	}
+	if _, ok := g.Edge(id2); !ok {
+		t.Fatal("unrelated edge removed")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if err := g.RemoveEdge(id); !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("double remove error = %v, want ErrEdgeNotFound", err)
+	}
+}
+
+func TestRemoveChannel(t *testing.T) {
+	g := New(2)
+	if _, _, err := g.AddChannel(0, 1, 3, 4); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if err := g.RemoveChannel(0, 1); err != nil {
+		t.Fatalf("RemoveChannel: %v", err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges = %d, want 0", g.NumEdges())
+	}
+	if err := g.RemoveChannel(0, 1); !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("RemoveChannel on empty = %v, want ErrEdgeNotFound", err)
+	}
+}
+
+func TestRemoveChannelPicksLatestParallel(t *testing.T) {
+	g := New(2)
+	ab1, _, err := g.AddChannel(0, 1, 1, 1)
+	if err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if _, _, err := g.AddChannel(0, 1, 2, 2); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if err := g.RemoveChannel(0, 1); err != nil {
+		t.Fatalf("RemoveChannel: %v", err)
+	}
+	if _, ok := g.Edge(ab1); !ok {
+		t.Fatal("oldest parallel channel was removed; want newest")
+	}
+	if g.NumChannels() != 1 {
+		t.Fatalf("NumChannels = %d, want 1", g.NumChannels())
+	}
+}
+
+func TestSetCapacity(t *testing.T) {
+	g := New(2)
+	id, _ := g.AddEdge(0, 1, 5)
+	if err := g.SetCapacity(id, 9); err != nil {
+		t.Fatalf("SetCapacity: %v", err)
+	}
+	e, _ := g.Edge(id)
+	if e.Capacity != 9 {
+		t.Fatalf("Capacity = %v, want 9", e.Capacity)
+	}
+	if err := g.SetCapacity(id, -1); !errors.Is(err, ErrNegativeValue) {
+		t.Fatalf("SetCapacity(-1) error = %v, want ErrNegativeValue", err)
+	}
+	if err := g.SetCapacity(99, 1); !errors.Is(err, ErrEdgeNotFound) {
+		t.Fatalf("SetCapacity(bad id) error = %v, want ErrEdgeNotFound", err)
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := New(4)
+	mustChannel(g, 0, 1, 1, 1)
+	mustChannel(g, 0, 2, 1, 1)
+	if _, err := g.AddEdge(3, 0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if got := g.OutDegree(0); got != 2 {
+		t.Fatalf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(0); got != 3 {
+		t.Fatalf("InDegree(0) = %d, want 3", got)
+	}
+	want := []NodeID{1, 2, 3}
+	got := g.Neighbors(0)
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors(0) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgesBetween(t *testing.T) {
+	g := New(3)
+	mustChannel(g, 0, 1, 1, 1)
+	mustChannel(g, 0, 1, 2, 2)
+	if got := len(g.EdgesBetween(0, 1)); got != 2 {
+		t.Fatalf("EdgesBetween(0,1) count = %d, want 2", got)
+	}
+	if got := len(g.EdgesBetween(0, 2)); got != 0 {
+		t.Fatalf("EdgesBetween(0,2) count = %d, want 0", got)
+	}
+	if !g.HasEdgeBetween(1, 0) {
+		t.Fatal("HasEdgeBetween(1,0) = false, want true")
+	}
+	if g.HasEdgeBetween(1, 2) {
+		t.Fatal("HasEdgeBetween(1,2) = true, want false")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	mustChannel(g, 0, 1, 1, 1)
+	c := g.Clone()
+	mustChannel(c, 1, 2, 1, 1)
+	if g.NumEdges() != 2 {
+		t.Fatalf("original mutated by clone edit: NumEdges = %d, want 2", g.NumEdges())
+	}
+	if c.NumEdges() != 4 {
+		t.Fatalf("clone NumEdges = %d, want 4", c.NumEdges())
+	}
+	// Removing from the original must not affect the clone.
+	if err := g.RemoveChannel(0, 1); err != nil {
+		t.Fatalf("RemoveChannel: %v", err)
+	}
+	if c.NumEdges() != 4 {
+		t.Fatalf("clone affected by original removal: NumEdges = %d, want 4", c.NumEdges())
+	}
+}
+
+func TestForEachIterators(t *testing.T) {
+	g := New(3)
+	mustChannel(g, 0, 1, 1, 1)
+	mustChannel(g, 0, 2, 1, 1)
+	countOut := 0
+	g.ForEachOut(0, func(Edge) bool { countOut++; return true })
+	if countOut != 2 {
+		t.Fatalf("ForEachOut visited %d edges, want 2", countOut)
+	}
+	countIn := 0
+	g.ForEachIn(0, func(Edge) bool { countIn++; return true })
+	if countIn != 2 {
+		t.Fatalf("ForEachIn visited %d edges, want 2", countIn)
+	}
+	total := 0
+	g.ForEachEdge(func(Edge) bool { total++; return true })
+	if total != 4 {
+		t.Fatalf("ForEachEdge visited %d edges, want 4", total)
+	}
+	// Early stop.
+	stopped := 0
+	g.ForEachEdge(func(Edge) bool { stopped++; return false })
+	if stopped != 1 {
+		t.Fatalf("ForEachEdge ignored early stop: visited %d", stopped)
+	}
+}
+
+func TestOutEdgesReturnsCopy(t *testing.T) {
+	g := New(2)
+	mustChannel(g, 0, 1, 1, 1)
+	ids := g.OutEdges(0)
+	if len(ids) != 1 {
+		t.Fatalf("OutEdges len = %d, want 1", len(ids))
+	}
+	ids[0] = 999
+	if g.OutEdges(0)[0] == 999 {
+		t.Fatal("OutEdges exposed internal slice")
+	}
+}
+
+func TestIteratorsOnMissingNode(t *testing.T) {
+	g := New(1)
+	if got := g.OutEdges(7); got != nil {
+		t.Fatalf("OutEdges(missing) = %v, want nil", got)
+	}
+	if got := g.InEdges(7); got != nil {
+		t.Fatalf("InEdges(missing) = %v, want nil", got)
+	}
+	g.ForEachOut(7, func(Edge) bool { t.Fatal("visited edge of missing node"); return false })
+	if got := g.Neighbors(7); got != nil {
+		t.Fatalf("Neighbors(missing) = %v, want nil", got)
+	}
+}
+
+func TestChannelPairs(t *testing.T) {
+	g := New(3)
+	mustChannel(g, 0, 1, 10, 7)
+	mustChannel(g, 1, 2, 3, 4)
+	pairs, unpaired := g.ChannelPairs()
+	if len(pairs) != 2 || len(unpaired) != 0 {
+		t.Fatalf("pairs=%d unpaired=%d, want 2/0", len(pairs), len(unpaired))
+	}
+	if pairs[0][0].From != 0 || pairs[0][0].Capacity != 10 || pairs[0][1].Capacity != 7 {
+		t.Fatalf("first pair = %+v", pairs[0])
+	}
+	// An unpaired directed edge is reported.
+	if _, err := g.AddEdge(2, 0, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	_, unpaired = g.ChannelPairs()
+	if len(unpaired) != 1 || unpaired[0].From != 2 {
+		t.Fatalf("unpaired = %+v, want the 2→0 edge", unpaired)
+	}
+}
+
+func TestChannelPairsParallel(t *testing.T) {
+	g := New(2)
+	mustChannel(g, 0, 1, 1, 2)
+	mustChannel(g, 0, 1, 3, 4)
+	pairs, unpaired := g.ChannelPairs()
+	if len(pairs) != 2 || len(unpaired) != 0 {
+		t.Fatalf("parallel channels: pairs=%d unpaired=%d", len(pairs), len(unpaired))
+	}
+}

@@ -1,0 +1,194 @@
+package graph
+
+import "math"
+
+// Unreachable is the hop distance reported between disconnected nodes.
+// The paper sets d(u,v) = +∞ for disconnected pairs (§II-C); callers that
+// need the infinite-cost semantics should compare against Unreachable.
+const Unreachable = -1
+
+// BFS returns the hop distances from src to every node, following directed
+// edges. Unreachable nodes are reported as Unreachable (-1).
+func (g *Graph) BFS(src NodeID) []int {
+	dist, _ := g.BFSCounts(src)
+	return dist
+}
+
+// BFSCounts returns, for every node v, the hop distance dist[v] from src
+// and the number of distinct shortest src→v paths sigma[v]. Parallel edges
+// count as distinct paths, matching the multigraph action set of §II-C.
+// Path counts are accumulated in float64 as is standard for Brandes-style
+// algorithms; they are exact until they exceed 2^53.
+func (g *Graph) BFSCounts(src NodeID) (dist []int, sigma []float64) {
+	n := g.NumNodes()
+	dist = make([]int, n)
+	sigma = make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if !g.HasNode(src) {
+		return dist, sigma
+	}
+	dist[src] = 0
+	sigma[src] = 1
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[v] {
+			w := g.edges[id].To
+			switch {
+			case dist[w] == Unreachable:
+				dist[w] = dist[v] + 1
+				sigma[w] = sigma[v]
+				queue = append(queue, w)
+			case dist[w] == dist[v]+1:
+				sigma[w] += sigma[v]
+			}
+		}
+	}
+	return dist, sigma
+}
+
+// AllPairs holds the all-pairs shortest-path structure of a graph snapshot:
+// hop distances and shortest-path counts for every ordered pair.
+type AllPairs struct {
+	N     int
+	Dist  [][]int     // Dist[s][t]: hops s→t, Unreachable if disconnected
+	Sigma [][]float64 // Sigma[s][t]: number of shortest s→t paths
+}
+
+// AllPairsBFS computes hop distances and shortest-path counts between all
+// ordered node pairs in O(n·(n+m)) time.
+func (g *Graph) AllPairsBFS() *AllPairs {
+	n := g.NumNodes()
+	ap := &AllPairs{
+		N:     n,
+		Dist:  make([][]int, n),
+		Sigma: make([][]float64, n),
+	}
+	for s := 0; s < n; s++ {
+		ap.Dist[s], ap.Sigma[s] = g.BFSCounts(NodeID(s))
+	}
+	return ap
+}
+
+// HopDistance returns the hop distance between two nodes, or Unreachable.
+func (g *Graph) HopDistance(from, to NodeID) int {
+	if !g.HasNode(from) || !g.HasNode(to) {
+		return Unreachable
+	}
+	dist := g.BFS(from)
+	return dist[to]
+}
+
+// Diameter returns the longest finite shortest-path distance in the graph,
+// and whether the graph is strongly connected (every ordered pair
+// reachable). An empty or single-node graph has diameter 0 and is
+// connected.
+func (g *Graph) Diameter() (diameter int, connected bool) {
+	n := g.NumNodes()
+	connected = true
+	for s := 0; s < n; s++ {
+		dist := g.BFS(NodeID(s))
+		for t, d := range dist {
+			if t == s {
+				continue
+			}
+			if d == Unreachable {
+				connected = false
+				continue
+			}
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	return diameter, connected
+}
+
+// Eccentricity returns the longest finite shortest-path distance from u to
+// any other node, and whether every other node is reachable from u.
+func (g *Graph) Eccentricity(u NodeID) (ecc int, reachesAll bool) {
+	if !g.HasNode(u) {
+		return 0, false
+	}
+	reachesAll = true
+	for t, d := range g.BFS(u) {
+		if NodeID(t) == u {
+			continue
+		}
+		if d == Unreachable {
+			reachesAll = false
+			continue
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc, reachesAll
+}
+
+// StronglyConnected reports whether every ordered pair of nodes is
+// connected by a directed path.
+func (g *Graph) StronglyConnected() bool {
+	_, ok := g.Diameter()
+	return ok
+}
+
+// LongestShortestPathThrough returns the length of the longest shortest
+// path that passes through node h (as an intermediary or endpoint), i.e.
+// max over pairs (s,t) with a shortest s→t path visiting h of d(s,t).
+// This is the quantity bounded by Theorem 6 for hub nodes. It returns 0
+// when no pair routes through h.
+func (g *Graph) LongestShortestPathThrough(h NodeID) int {
+	if !g.HasNode(h) {
+		return 0
+	}
+	// A shortest s→t path through h exists iff d(s,h)+d(h,t) == d(s,t).
+	distToH := make([]int, g.NumNodes())
+	rev := g.reverse()
+	revDist := rev.BFS(h) // distances h→s in reversed graph == s→h in g
+	copy(distToH, revDist)
+	fromH := g.BFS(h)
+	longest := 0
+	n := g.NumNodes()
+	for s := 0; s < n; s++ {
+		if distToH[s] == Unreachable {
+			continue
+		}
+		dist := g.BFS(NodeID(s))
+		for t := 0; t < n; t++ {
+			if t == s || fromH[t] == Unreachable || dist[t] == Unreachable {
+				continue
+			}
+			if distToH[s]+fromH[t] == dist[t] && dist[t] > longest {
+				longest = dist[t]
+			}
+		}
+	}
+	return longest
+}
+
+// reverse returns a copy of the graph with every edge direction flipped.
+func (g *Graph) reverse() *Graph {
+	r := New(g.NumNodes())
+	g.ForEachEdge(func(e Edge) bool {
+		if _, err := r.AddEdge(e.To, e.From, e.Capacity); err != nil {
+			// Unreachable: e came from a valid graph.
+			panic(err)
+		}
+		return true
+	})
+	return r
+}
+
+// FiniteOrInf converts a hop distance to a float64, mapping Unreachable to
+// +Inf so that callers can use the paper's d(u,v)=+∞ convention directly.
+func FiniteOrInf(d int) float64 {
+	if d == Unreachable {
+		return math.Inf(1)
+	}
+	return float64(d)
+}

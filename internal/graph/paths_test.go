@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(5, 1)
+	dist := g.BFS(0)
+	want := []int{0, 1, 2, 3, 4}
+	for i, d := range want {
+		if dist[i] != d {
+			t.Fatalf("dist[%d] = %d, want %d", i, dist[i], d)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	if _, err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	dist := g.BFS(0)
+	if dist[2] != Unreachable {
+		t.Fatalf("dist[2] = %d, want Unreachable", dist[2])
+	}
+	// Directed edge: node 1 cannot reach node 0.
+	dist = g.BFS(1)
+	if dist[0] != Unreachable {
+		t.Fatalf("reverse reachability through a one-way edge: dist = %d", dist[0])
+	}
+}
+
+func TestBFSCountsDiamond(t *testing.T) {
+	// 0→1→3 and 0→2→3: two shortest paths 0→3.
+	g := New(4)
+	for _, e := range [][2]NodeID{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if _, err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	dist, sigma := g.BFSCounts(0)
+	if dist[3] != 2 {
+		t.Fatalf("dist[3] = %d, want 2", dist[3])
+	}
+	if sigma[3] != 2 {
+		t.Fatalf("sigma[3] = %v, want 2", sigma[3])
+	}
+}
+
+func TestBFSCountsParallelEdges(t *testing.T) {
+	// Two parallel channels between 0 and 1 double the path count,
+	// matching the multigraph action set of §II-C.
+	g := New(2)
+	mustChannel(g, 0, 1, 1, 1)
+	mustChannel(g, 0, 1, 1, 1)
+	_, sigma := g.BFSCounts(0)
+	if sigma[1] != 2 {
+		t.Fatalf("sigma[1] = %v, want 2 for parallel channels", sigma[1])
+	}
+}
+
+func TestBFSCountsMissingSource(t *testing.T) {
+	g := New(2)
+	dist, sigma := g.BFSCounts(9)
+	for i := range dist {
+		if dist[i] != Unreachable || sigma[i] != 0 {
+			t.Fatalf("missing source produced dist=%d sigma=%v at %d", dist[i], sigma[i], i)
+		}
+	}
+}
+
+func TestAllPairsBFSMatchesSingleSource(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := ErdosRenyi(12, 0.3, 1, rng)
+	ap := g.AllPairsBFS()
+	for s := 0; s < g.NumNodes(); s++ {
+		dist, sigma := g.BFSCounts(NodeID(s))
+		for tgt := 0; tgt < g.NumNodes(); tgt++ {
+			if ap.Dist[s][tgt] != dist[tgt] {
+				t.Fatalf("AllPairs dist[%d][%d] = %d, want %d", s, tgt, ap.Dist[s][tgt], dist[tgt])
+			}
+			if ap.Sigma[s][tgt] != sigma[tgt] {
+				t.Fatalf("AllPairs sigma[%d][%d] = %v, want %v", s, tgt, ap.Sigma[s][tgt], sigma[tgt])
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		name     string
+		g        *Graph
+		wantDiam int
+		wantConn bool
+	}{
+		{name: "path5", g: Path(5, 1), wantDiam: 4, wantConn: true},
+		{name: "circle6", g: Circle(6, 1), wantDiam: 3, wantConn: true},
+		{name: "star4", g: Star(4, 1), wantDiam: 2, wantConn: true},
+		{name: "complete5", g: Complete(5, 1), wantDiam: 1, wantConn: true},
+		{name: "disconnected", g: New(3), wantDiam: 0, wantConn: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, conn := tt.g.Diameter()
+			if d != tt.wantDiam || conn != tt.wantConn {
+				t.Fatalf("Diameter = (%d,%v), want (%d,%v)", d, conn, tt.wantDiam, tt.wantConn)
+			}
+		})
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := Path(5, 1)
+	ecc, ok := g.Eccentricity(0)
+	if !ok || ecc != 4 {
+		t.Fatalf("Eccentricity(0) = (%d,%v), want (4,true)", ecc, ok)
+	}
+	ecc, ok = g.Eccentricity(2)
+	if !ok || ecc != 2 {
+		t.Fatalf("Eccentricity(2) = (%d,%v), want (2,true)", ecc, ok)
+	}
+	if _, ok := g.Eccentricity(99); ok {
+		t.Fatal("Eccentricity of missing node reported reachable")
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := Circle(6, 1)
+	if d := g.HopDistance(0, 3); d != 3 {
+		t.Fatalf("HopDistance(0,3) = %d, want 3", d)
+	}
+	if d := g.HopDistance(0, 99); d != Unreachable {
+		t.Fatalf("HopDistance to missing node = %d, want Unreachable", d)
+	}
+}
+
+func TestLongestShortestPathThroughCenter(t *testing.T) {
+	// In a star every leaf-to-leaf shortest path (length 2) passes through
+	// the center; the longest shortest path through a leaf is the leaf's
+	// own eccentricity paths.
+	g := Star(5, 1)
+	if got := g.LongestShortestPathThrough(0); got != 2 {
+		t.Fatalf("through center = %d, want 2", got)
+	}
+	if got := g.LongestShortestPathThrough(1); got != 2 {
+		t.Fatalf("through leaf = %d, want 2", got)
+	}
+	// Middle of a path lies on the full-length path.
+	p := Path(7, 1)
+	if got := p.LongestShortestPathThrough(3); got != 6 {
+		t.Fatalf("through middle of path = %d, want 6", got)
+	}
+	if got := p.LongestShortestPathThrough(0); got != 6 {
+		t.Fatalf("through endpoint of path = %d, want 6", got)
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	if !Circle(4, 1).StronglyConnected() {
+		t.Fatal("circle not strongly connected")
+	}
+	g := New(2)
+	if _, err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g.StronglyConnected() {
+		t.Fatal("one-way pair reported strongly connected")
+	}
+}
+
+func TestFiniteOrInf(t *testing.T) {
+	if got := FiniteOrInf(3); got != 3 {
+		t.Fatalf("FiniteOrInf(3) = %v", got)
+	}
+	if got := FiniteOrInf(Unreachable); !math.IsInf(got, 1) {
+		t.Fatalf("FiniteOrInf(Unreachable) = %v, want +Inf", got)
+	}
+}

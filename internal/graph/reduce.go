@@ -1,0 +1,48 @@
+package graph
+
+// Reduce returns the reduced subgraph G' of §II-B: the same node set with
+// only the directed edges whose capacity is at least amount, i.e. the edges
+// able to forward a transaction of the given size. Edge identifiers are
+// preserved so results from the reduced graph can be mapped back onto the
+// original.
+func (g *Graph) Reduce(amount float64) *Graph {
+	r := &Graph{
+		out:   make([][]EdgeID, len(g.out)),
+		in:    make([][]EdgeID, len(g.in)),
+		edges: append([]Edge(nil), g.edges...),
+		alive: make([]bool, len(g.alive)),
+	}
+	for i, e := range g.edges {
+		if !g.alive[i] || e.Capacity < amount {
+			continue
+		}
+		r.alive[i] = true
+		r.out[e.From] = append(r.out[e.From], e.ID)
+		r.in[e.To] = append(r.in[e.To], e.ID)
+		r.numAlive++
+	}
+	return r
+}
+
+// WithoutNode returns a copy of the graph with all edges incident to u
+// removed (u itself remains as an isolated node so identifiers are
+// preserved). This realises the subgraph G' = G − u used by the modified
+// Zipf ranking of §II-B.
+func (g *Graph) WithoutNode(u NodeID) *Graph {
+	r := &Graph{
+		out:   make([][]EdgeID, len(g.out)),
+		in:    make([][]EdgeID, len(g.in)),
+		edges: append([]Edge(nil), g.edges...),
+		alive: make([]bool, len(g.alive)),
+	}
+	for i, e := range g.edges {
+		if !g.alive[i] || e.From == u || e.To == u {
+			continue
+		}
+		r.alive[i] = true
+		r.out[e.From] = append(r.out[e.From], e.ID)
+		r.in[e.To] = append(r.in[e.To], e.ID)
+		r.numAlive++
+	}
+	return r
+}

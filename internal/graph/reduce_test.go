@@ -1,0 +1,85 @@
+package graph
+
+import "testing"
+
+func TestReduceFiltersByCapacity(t *testing.T) {
+	g := New(3)
+	bigAB, smallBA, err := g.AddChannel(0, 1, 10, 2)
+	if err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if _, _, err := g.AddChannel(1, 2, 5, 5); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	r := g.Reduce(5)
+	if _, ok := r.Edge(bigAB); !ok {
+		t.Fatal("capacity-10 edge missing from Reduce(5)")
+	}
+	if _, ok := r.Edge(smallBA); ok {
+		t.Fatal("capacity-2 edge survived Reduce(5)")
+	}
+	if r.NumEdges() != 3 {
+		t.Fatalf("reduced NumEdges = %d, want 3", r.NumEdges())
+	}
+	// The original graph is untouched.
+	if g.NumEdges() != 4 {
+		t.Fatalf("original NumEdges = %d, want 4", g.NumEdges())
+	}
+}
+
+func TestReduceAffectsRouting(t *testing.T) {
+	// Figure 1 semantics at the topology level: after reducing by a
+	// payment too large for the depleted direction, that direction is
+	// unusable while the opposite one still routes.
+	g := New(2)
+	if _, _, err := g.AddChannel(0, 1, 5, 12); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	r := g.Reduce(6)
+	if d := r.HopDistance(0, 1); d != Unreachable {
+		t.Fatalf("0→1 should be unroutable for amount 6, got distance %d", d)
+	}
+	if d := r.HopDistance(1, 0); d != 1 {
+		t.Fatalf("1→0 should remain routable, got distance %d", d)
+	}
+}
+
+func TestReduceZeroKeepsAll(t *testing.T) {
+	g := Complete(4, 3)
+	r := g.Reduce(0)
+	if r.NumEdges() != g.NumEdges() {
+		t.Fatalf("Reduce(0) dropped edges: %d vs %d", r.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestWithoutNodeIsolates(t *testing.T) {
+	g := Star(4, 1)
+	r := g.WithoutNode(0)
+	if r.NumNodes() != g.NumNodes() {
+		t.Fatalf("WithoutNode changed node count: %d vs %d", r.NumNodes(), g.NumNodes())
+	}
+	if r.NumEdges() != 0 {
+		t.Fatalf("star minus center should have no edges, got %d", r.NumEdges())
+	}
+	// Removing a leaf keeps the rest of the star intact.
+	r = g.WithoutNode(1)
+	if r.NumChannels() != 3 {
+		t.Fatalf("star minus one leaf channels = %d, want 3", r.NumChannels())
+	}
+	if r.InDegree(1) != 0 || r.OutDegree(1) != 0 {
+		t.Fatal("removed node still has incident edges")
+	}
+}
+
+func TestWithoutNodePreservesIdentifiers(t *testing.T) {
+	g := Path(4, 1)
+	ids := g.EdgesBetween(2, 3)
+	r := g.WithoutNode(0)
+	if len(ids) != 1 {
+		t.Fatalf("expected single 2→3 edge, got %d", len(ids))
+	}
+	e, ok := r.Edge(ids[0])
+	if !ok || e.From != 2 || e.To != 3 {
+		t.Fatalf("edge identifiers not preserved: %+v ok=%v", e, ok)
+	}
+}

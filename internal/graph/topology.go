@@ -1,0 +1,150 @@
+package graph
+
+import "math/rand"
+
+// The generators below build the symmetric topologies analysed in §IV plus
+// random models used by the experiment corpus. All of them create
+// bidirectional channels with the given balance on each end.
+
+// Star returns a star graph with one central node (node 0) and leaves
+// nodes 1..leaves, as analysed in Theorems 7-9.
+func Star(leaves int, balance float64) *Graph {
+	g := New(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		mustChannel(g, 0, NodeID(i), balance, balance)
+	}
+	return g
+}
+
+// Path returns a path graph 0-1-…-(n-1), as analysed in Theorem 10.
+func Path(n int, balance float64) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		mustChannel(g, NodeID(i), NodeID(i+1), balance, balance)
+	}
+	return g
+}
+
+// Circle returns a cycle graph 0-1-…-(n-1)-0, as analysed in Theorem 11.
+// It requires n ≥ 3; smaller n degenerate to a path.
+func Circle(n int, balance float64) *Graph {
+	g := Path(n, balance)
+	if n >= 3 {
+		mustChannel(g, NodeID(n-1), 0, balance, balance)
+	}
+	return g
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int, balance float64) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			mustChannel(g, NodeID(i), NodeID(j), balance, balance)
+		}
+	}
+	return g
+}
+
+// Wheel returns a wheel graph: a circle on nodes 1..n with a hub (node 0)
+// connected to every circle node. Used by the Theorem 6 hub experiments.
+func Wheel(n int, balance float64) *Graph {
+	g := New(n + 1)
+	for i := 1; i <= n; i++ {
+		mustChannel(g, 0, NodeID(i), balance, balance)
+		next := NodeID(i%n + 1)
+		mustChannel(g, NodeID(i), next, balance, balance)
+	}
+	return g
+}
+
+// ErdosRenyi returns a G(n, p) random graph: every unordered pair gets a
+// channel independently with probability p.
+func ErdosRenyi(n int, p float64, balance float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				mustChannel(g, NodeID(i), NodeID(j), balance, balance)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// small clique of m+1 nodes, each new node attaches m channels to existing
+// nodes with probability proportional to their degree. The paper motivates
+// its transaction model with exactly this process (§I, [21]), so it is the
+// default random corpus for the experiments.
+func BarabasiAlbert(n, m int, balance float64, rng *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	g := Complete(m+1, balance)
+	// repeated holds one entry per channel endpoint, so sampling a uniform
+	// element implements degree-proportional selection.
+	var repeated []NodeID
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			if i != j {
+				repeated = append(repeated, NodeID(i))
+			}
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		id := g.AddNode()
+		seen := make(map[NodeID]struct{}, m)
+		chosen := make([]NodeID, 0, m)
+		for len(chosen) < m {
+			target := repeated[rng.Intn(len(repeated))]
+			if target == id {
+				continue
+			}
+			if _, dup := seen[target]; dup {
+				continue
+			}
+			seen[target] = struct{}{}
+			chosen = append(chosen, target)
+		}
+		// Insertion order follows the draw order (not map order) so the
+		// construction is a pure function of the RNG stream.
+		for _, target := range chosen {
+			mustChannel(g, id, target, balance, balance)
+			repeated = append(repeated, id, target)
+		}
+	}
+	return g
+}
+
+// ConnectedErdosRenyi draws G(n,p) graphs until one is strongly connected,
+// giving experiment corpora the connectivity the utility model assumes.
+// It gives up after maxTries and returns the last draw with a circle
+// superimposed to guarantee connectivity.
+func ConnectedErdosRenyi(n int, p float64, balance float64, rng *rand.Rand, maxTries int) *Graph {
+	for try := 0; try < maxTries; try++ {
+		g := ErdosRenyi(n, p, balance, rng)
+		if g.StronglyConnected() {
+			return g
+		}
+	}
+	g := ErdosRenyi(n, p, balance, rng)
+	for i := 0; i < n; i++ {
+		next := NodeID((i + 1) % n)
+		if !g.HasEdgeBetween(NodeID(i), next) {
+			mustChannel(g, NodeID(i), next, balance, balance)
+		}
+	}
+	return g
+}
+
+func mustChannel(g *Graph, a, b NodeID, balA, balB float64) {
+	if _, _, err := g.AddChannel(a, b, balA, balB); err != nil {
+		// Generators only pass identifiers they created; failure here is a
+		// programming error, not a runtime condition.
+		panic(err)
+	}
+}

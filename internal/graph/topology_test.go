@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStarShape(t *testing.T) {
+	g := Star(6, 2)
+	if g.NumNodes() != 7 {
+		t.Fatalf("NumNodes = %d, want 7", g.NumNodes())
+	}
+	if g.NumChannels() != 6 {
+		t.Fatalf("NumChannels = %d, want 6", g.NumChannels())
+	}
+	if g.InDegree(0) != 6 || g.OutDegree(0) != 6 {
+		t.Fatalf("center degree = in %d out %d, want 6/6", g.InDegree(0), g.OutDegree(0))
+	}
+	for leaf := 1; leaf <= 6; leaf++ {
+		if g.InDegree(NodeID(leaf)) != 1 {
+			t.Fatalf("leaf %d in-degree = %d, want 1", leaf, g.InDegree(NodeID(leaf)))
+		}
+	}
+}
+
+func TestPathShape(t *testing.T) {
+	g := Path(4, 1)
+	if g.NumChannels() != 3 {
+		t.Fatalf("NumChannels = %d, want 3", g.NumChannels())
+	}
+	if g.InDegree(0) != 1 || g.InDegree(3) != 1 {
+		t.Fatal("path endpoints must have degree 1")
+	}
+	if g.InDegree(1) != 2 || g.InDegree(2) != 2 {
+		t.Fatal("path interior nodes must have degree 2")
+	}
+}
+
+func TestCircleShape(t *testing.T) {
+	g := Circle(5, 1)
+	if g.NumChannels() != 5 {
+		t.Fatalf("NumChannels = %d, want 5", g.NumChannels())
+	}
+	for v := 0; v < 5; v++ {
+		if g.InDegree(NodeID(v)) != 2 {
+			t.Fatalf("node %d degree = %d, want 2", v, g.InDegree(NodeID(v)))
+		}
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("circle must be strongly connected")
+	}
+}
+
+func TestCircleSmallDegeneratesToPath(t *testing.T) {
+	g := Circle(2, 1)
+	if g.NumChannels() != 1 {
+		t.Fatalf("Circle(2) channels = %d, want 1", g.NumChannels())
+	}
+}
+
+func TestCompleteShape(t *testing.T) {
+	g := Complete(5, 1)
+	if g.NumChannels() != 10 {
+		t.Fatalf("NumChannels = %d, want 10", g.NumChannels())
+	}
+	d, conn := g.Diameter()
+	if d != 1 || !conn {
+		t.Fatalf("Diameter = (%d,%v), want (1,true)", d, conn)
+	}
+}
+
+func TestWheelShape(t *testing.T) {
+	g := Wheel(6, 1)
+	if g.NumNodes() != 7 {
+		t.Fatalf("NumNodes = %d, want 7", g.NumNodes())
+	}
+	// Hub connects to all 6 rim nodes; rim nodes have hub + 2 rim links.
+	if g.InDegree(0) != 6 {
+		t.Fatalf("hub degree = %d, want 6", g.InDegree(0))
+	}
+	for v := 1; v <= 6; v++ {
+		if g.InDegree(NodeID(v)) != 3 {
+			t.Fatalf("rim node %d degree = %d, want 3", v, g.InDegree(NodeID(v)))
+		}
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	empty := ErdosRenyi(6, 0, 1, rng)
+	if empty.NumEdges() != 0 {
+		t.Fatalf("ER(p=0) edges = %d, want 0", empty.NumEdges())
+	}
+	full := ErdosRenyi(6, 1, 1, rng)
+	if full.NumChannels() != 15 {
+		t.Fatalf("ER(p=1) channels = %d, want 15", full.NumChannels())
+	}
+}
+
+func TestErdosRenyiDeterministicPerSeed(t *testing.T) {
+	a := ErdosRenyi(10, 0.4, 1, rand.New(rand.NewSource(5)))
+	b := ErdosRenyi(10, 0.4, 1, rand.New(rand.NewSource(5)))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const (
+		n = 30
+		m = 2
+	)
+	g := BarabasiAlbert(n, m, 1, rng)
+	if g.NumNodes() != n {
+		t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), n)
+	}
+	// Initial clique has m+1 choose 2 channels; each later node adds m.
+	wantChannels := (m+1)*m/2 + (n-m-1)*m
+	if g.NumChannels() != wantChannels {
+		t.Fatalf("NumChannels = %d, want %d", g.NumChannels(), wantChannels)
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("BA graph must be connected")
+	}
+}
+
+func TestBarabasiAlbertClampsParameters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := BarabasiAlbert(1, 0, 1, rng) // clamps to m=1, n=2
+	if g.NumNodes() < 2 {
+		t.Fatalf("NumNodes = %d, want ≥ 2", g.NumNodes())
+	}
+}
+
+func TestConnectedErdosRenyiAlwaysConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g := ConnectedErdosRenyi(8, 0.15, 1, rng, 5)
+		if !g.StronglyConnected() {
+			t.Fatalf("trial %d: graph not strongly connected", trial)
+		}
+	}
+}
+
+func TestChannelSymmetryProperty(t *testing.T) {
+	// Property: in every generated topology, directed edges come in
+	// symmetric pairs — HasEdgeBetween(a,b) ⇔ HasEdgeBetween(b,a).
+	check := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		rng := rand.New(rand.NewSource(seed))
+		graphs := []*Graph{
+			Star(n, 1), Path(n, 1), Circle(n, 1),
+			ErdosRenyi(n, 0.3, 1, rng),
+			BarabasiAlbert(n, 2, 1, rng),
+		}
+		for _, g := range graphs {
+			for a := 0; a < g.NumNodes(); a++ {
+				for b := 0; b < g.NumNodes(); b++ {
+					if g.HasEdgeBetween(NodeID(a), NodeID(b)) != g.HasEdgeBetween(NodeID(b), NodeID(a)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

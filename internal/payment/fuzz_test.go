@@ -1,0 +1,170 @@
+package payment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// TestPaymentFuzzConservation fires thousands of random payments —
+// including infeasible ones — and checks after every operation that
+// (a) off-chain channel totals are conserved, (b) every balance stays
+// non-negative, and (c) failures never mutate state.
+func TestPaymentFuzzConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	g := graph.BarabasiAlbert(10, 2, 20, rng)
+	ledger, err := chain.NewLedger(1)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	n, err := FromGraph(ledger, fee.Linear{Base: 0.05, Rate: 0.01}, g)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	channelTotal := func() float64 {
+		var total float64
+		for id := ChannelID(0); int(id) < len(n.channels); id++ {
+			ch, ok := n.channels[id]
+			if !ok || !ch.open {
+				continue
+			}
+			total += ch.balA + ch.balB
+		}
+		return total
+	}
+	initialTotal := channelTotal()
+	snapshotBalances := func() map[ChannelID][2]float64 {
+		snap := make(map[ChannelID][2]float64)
+		for id, ch := range n.channels {
+			if ch.open {
+				snap[id] = [2]float64{ch.balA, ch.balB}
+			}
+		}
+		return snap
+	}
+	for i := 0; i < 5000; i++ {
+		from := graph.NodeID(rng.Intn(10))
+		to := graph.NodeID(rng.Intn(10))
+		amount := rng.Float64() * 30 // often infeasible on purpose
+		before := snapshotBalances()
+		_, payErr := n.Pay(from, to, amount)
+		if payErr != nil {
+			after := snapshotBalances()
+			for id, b := range before {
+				if after[id] != b {
+					t.Fatalf("iteration %d: failed payment mutated channel %d: %v → %v",
+						i, id, b, after[id])
+				}
+			}
+		}
+		// Totals conserved up to the fees that moved between parties
+		// (fees stay inside channels, so the grand total is invariant).
+		if got := channelTotal(); math.Abs(got-initialTotal) > 1e-6 {
+			t.Fatalf("iteration %d: channel total drifted: %v vs %v", i, got, initialTotal)
+		}
+		for id, ch := range n.channels {
+			if ch.open && (ch.balA < -1e-9 || ch.balB < -1e-9) {
+				t.Fatalf("iteration %d: channel %d negative balance (%v,%v)", i, id, ch.balA, ch.balB)
+			}
+		}
+	}
+	successes, failures := n.Stats()
+	if successes == 0 || failures == 0 {
+		t.Fatalf("fuzz should exercise both outcomes: %d/%d", successes, failures)
+	}
+}
+
+// TestChannelClosureInjection closes random channels mid-stream and
+// verifies routing adapts (no payment ever crosses a closed channel) and
+// on-chain conservation holds at the end.
+func TestChannelClosureInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.Complete(6, 50)
+	ledger, err := chain.NewLedger(1)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	n, err := FromGraph(ledger, fee.Constant{F: 0.1}, g)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	// Baseline includes the fees already burned by the channel openings,
+	// so the final conservation check is exact.
+	initial := ledger.TotalValue() + ledger.Burned()
+	var open []ChannelID
+	for id, ch := range n.channels {
+		if ch.open {
+			open = append(open, id)
+		}
+	}
+	closed := make(map[ChannelID]bool)
+	for i := 0; i < 1000; i++ {
+		if len(open) > 6 && i%100 == 50 {
+			// Close a random channel (alternating kinds).
+			idx := rng.Intn(len(open))
+			id := open[idx]
+			a, _, err := n.Channel(id)
+			if err != nil {
+				t.Fatalf("Channel: %v", err)
+			}
+			kind := chain.TxCooperativeClose
+			if i%200 == 50 {
+				kind = chain.TxUnilateralClose
+			}
+			if err := n.CloseChannel(id, kind, a); err != nil {
+				t.Fatalf("CloseChannel: %v", err)
+			}
+			closed[id] = true
+			open = append(open[:idx], open[idx+1:]...)
+		}
+		from := graph.NodeID(rng.Intn(6))
+		to := graph.NodeID(rng.Intn(6))
+		if from == to {
+			continue
+		}
+		receipt, payErr := n.Pay(from, to, 1+rng.Float64()*3)
+		if payErr != nil {
+			continue
+		}
+		// No hop of a successful payment may touch a closed channel:
+		// verify every consecutive pair is still connected live.
+		for k := 0; k+1 < len(receipt.Path); k++ {
+			if !n.topo.HasEdgeBetween(receipt.Path[k], receipt.Path[k+1]) {
+				t.Fatalf("payment crossed a dead adjacency %v", receipt.Path)
+			}
+		}
+	}
+	if len(closed) == 0 {
+		t.Fatal("no channels were closed; injection did not run")
+	}
+	if got := ledger.TotalValue() + ledger.Burned(); math.Abs(got-initial) > 1e-6 {
+		t.Fatalf("on-chain value not conserved: %v vs %v", got, initial)
+	}
+}
+
+// TestPayConcurrentChannelsSamePair routes over parallel channels
+// between the same pair once the first is depleted.
+func TestPayParallelChannelFailover(t *testing.T) {
+	n := newTestNetwork(t, fee.Constant{F: 0}, 2, 100)
+	if _, err := n.OpenChannel(0, 1, 3, 0); err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if _, err := n.OpenChannel(0, 1, 5, 0); err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	// Amount 4 exceeds the first channel but fits the second.
+	if _, err := n.Pay(0, 1, 4); err != nil {
+		t.Fatalf("Pay over parallel channels: %v", err)
+	}
+	// Total sendable now 3 + 1; amount 4 must fail, 3 must succeed.
+	if _, err := n.Pay(0, 1, 4); err == nil {
+		t.Fatal("overdraft across parallel channels accepted (no split routing)")
+	}
+	if _, err := n.Pay(0, 1, 3); err != nil {
+		t.Fatalf("Pay within first channel: %v", err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package payment implements the payment-channel machinery of §II-A on
+// top of the chain substrate: channels with per-end balances, atomic
+// multi-hop payments with intermediary fees, and the open/close lifecycle
+// whose costs the utility model prices.
+//
+// Payments follow Figure 1's semantics: a payment of size x over a
+// channel moves x from the sender's balance to the receiver's balance and
+// fails — leaving every balance untouched — when the sender's balance is
+// smaller than x. Multi-hop payments execute atomically (the HTLC
+// guarantee referenced in the paper): either every hop updates or none.
+package payment
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// Errors returned by the network.
+var (
+	ErrUnknownChannel = errors.New("payment: unknown channel")
+	ErrUnknownUser    = errors.New("payment: unknown user")
+	ErrChannelClosed  = errors.New("payment: channel closed")
+	ErrNoRoute        = errors.New("payment: no feasible route")
+	ErrBadAmount      = errors.New("payment: bad amount")
+)
+
+// ChannelID identifies an open channel.
+type ChannelID int
+
+// channelState tracks one channel's off-chain balances and its on-chain
+// funding output.
+type channelState struct {
+	id       ChannelID
+	a, b     graph.NodeID
+	output   chain.OutputID
+	abEdge   graph.EdgeID // directed edge a→b in the topology mirror
+	baEdge   graph.EdgeID
+	balA     float64
+	balB     float64
+	depositA float64
+	depositB float64
+	open     bool
+}
+
+// Network is a live payment channel network: a set of users with on-chain
+// accounts, open channels, and a global fee function. It is not safe for
+// concurrent use.
+type Network struct {
+	ledger   *chain.Ledger
+	feeFn    fee.Func
+	topo     *graph.Graph
+	channels map[ChannelID]*channelState
+	nextID   ChannelID
+
+	earned    map[graph.NodeID]float64
+	forwarded map[graph.NodeID]int
+	successes int
+	failures  int
+}
+
+// NewNetwork creates an empty network over the given ledger, with
+// intermediaries charging according to feeFn.
+func NewNetwork(ledger *chain.Ledger, feeFn fee.Func) *Network {
+	return &Network{
+		ledger:    ledger,
+		feeFn:     feeFn,
+		topo:      graph.New(0),
+		channels:  make(map[ChannelID]*channelState),
+		earned:    make(map[graph.NodeID]float64),
+		forwarded: make(map[graph.NodeID]int),
+	}
+}
+
+// AddUser registers a new user and returns its node identifier; the
+// user's on-chain account is the same integer.
+func (n *Network) AddUser() graph.NodeID {
+	return n.topo.AddNode()
+}
+
+// NumUsers returns the number of registered users.
+func (n *Network) NumUsers() int { return n.topo.NumNodes() }
+
+// Ledger exposes the chain substrate (e.g. to fund accounts in tests and
+// examples).
+func (n *Network) Ledger() *chain.Ledger { return n.ledger }
+
+// OpenChannel opens a channel between two users, depositing depositA and
+// depositB from their on-chain accounts (plus their shares of the miner
+// fee, charged by the ledger).
+func (n *Network) OpenChannel(a, b graph.NodeID, depositA, depositB float64) (ChannelID, error) {
+	if !n.topo.HasNode(a) || !n.topo.HasNode(b) {
+		return 0, fmt.Errorf("open channel (%d,%d): %w", a, b, ErrUnknownUser)
+	}
+	out, err := n.ledger.OpenChannel(chain.AccountID(a), chain.AccountID(b), depositA, depositB)
+	if err != nil {
+		return 0, fmt.Errorf("open channel (%d,%d): %w", a, b, err)
+	}
+	abEdge, baEdge, err := n.topo.AddChannel(a, b, depositA, depositB)
+	if err != nil {
+		return 0, fmt.Errorf("open channel (%d,%d): %w", a, b, err)
+	}
+	id := n.nextID
+	n.nextID++
+	n.channels[id] = &channelState{
+		id: id, a: a, b: b,
+		output: out,
+		abEdge: abEdge, baEdge: baEdge,
+		balA: depositA, balB: depositB,
+		depositA: depositA, depositB: depositB,
+		open: true,
+	}
+	return id, nil
+}
+
+// ResetBalances restores every open channel to its original deposits and
+// re-synchronises the topology capacities. It models the off-chain
+// rebalancing (e.g. the cycle rebalancing of [30]) that keeps a PCN in
+// the steady state the analytic rate estimates assume; the simulator uses
+// it between measurement windows.
+func (n *Network) ResetBalances() error {
+	for _, ch := range n.channels {
+		if !ch.open {
+			continue
+		}
+		ch.balA, ch.balB = ch.depositA, ch.depositB
+		if err := n.topo.SetCapacity(ch.abEdge, ch.balA); err != nil {
+			return err
+		}
+		if err := n.topo.SetCapacity(ch.baEdge, ch.balB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseChannel settles the channel on-chain at its current balances.
+func (n *Network) CloseChannel(id ChannelID, kind chain.TxKind, closer graph.NodeID) error {
+	ch, err := n.liveChannel(id)
+	if err != nil {
+		return err
+	}
+	if err := n.ledger.CloseChannel(ch.output, ch.balA, ch.balB, kind, chain.AccountID(closer)); err != nil {
+		return fmt.Errorf("close channel %d: %w", id, err)
+	}
+	ch.open = false
+	if err := n.topo.RemoveEdge(ch.abEdge); err != nil {
+		return fmt.Errorf("close channel %d: %w", id, err)
+	}
+	if err := n.topo.RemoveEdge(ch.baEdge); err != nil {
+		return fmt.Errorf("close channel %d: %w", id, err)
+	}
+	return nil
+}
+
+// Balances returns the channel's current off-chain balances.
+func (n *Network) Balances(id ChannelID) (balA, balB float64, err error) {
+	ch, err := n.liveChannel(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ch.balA, ch.balB, nil
+}
+
+// Channel returns the endpoints of a channel.
+func (n *Network) Channel(id ChannelID) (a, b graph.NodeID, err error) {
+	ch, err := n.liveChannel(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ch.a, ch.b, nil
+}
+
+// Topology returns a snapshot of the network graph with the current
+// directional balances as edge capacities.
+func (n *Network) Topology() *graph.Graph { return n.topo.Clone() }
+
+// EarnedFees returns the routing fees user v has collected.
+func (n *Network) EarnedFees(v graph.NodeID) float64 { return n.earned[v] }
+
+// ForwardedCount returns how many payments v has forwarded as an
+// intermediary.
+func (n *Network) ForwardedCount(v graph.NodeID) int { return n.forwarded[v] }
+
+// Stats returns the global success/failure counters.
+func (n *Network) Stats() (successes, failures int) { return n.successes, n.failures }
+
+// liveChannel resolves a channel id to an open channel.
+func (n *Network) liveChannel(id ChannelID) (*channelState, error) {
+	ch, ok := n.channels[id]
+	if !ok {
+		return nil, fmt.Errorf("channel %d: %w", id, ErrUnknownChannel)
+	}
+	if !ch.open {
+		return nil, fmt.Errorf("channel %d: %w", id, ErrChannelClosed)
+	}
+	return ch, nil
+}
+
+// channelForEdge finds the channel owning a directed topology edge and
+// the direction of travel.
+func (n *Network) channelForEdge(id graph.EdgeID) (*channelState, bool /*a→b*/, error) {
+	for _, ch := range n.channels {
+		if !ch.open {
+			continue
+		}
+		if ch.abEdge == id {
+			return ch, true, nil
+		}
+		if ch.baEdge == id {
+			return ch, false, nil
+		}
+	}
+	return nil, false, fmt.Errorf("edge %d: %w", id, ErrUnknownChannel)
+}
+
+// move shifts amount across a channel in the given direction, keeping the
+// topology mirror's capacities in sync. The caller has already verified
+// feasibility.
+func (ch *channelState) move(n *Network, aToB bool, amount float64) error {
+	if aToB {
+		ch.balA -= amount
+		ch.balB += amount
+	} else {
+		ch.balB -= amount
+		ch.balA += amount
+	}
+	if err := n.topo.SetCapacity(ch.abEdge, ch.balA); err != nil {
+		return err
+	}
+	return n.topo.SetCapacity(ch.baEdge, ch.balB)
+}
+
+// FromGraph builds a live network mirroring g: one user per node, one
+// channel per paired directed edge, deposits equal to the edge
+// capacities. Accounts are funded automatically with exactly the deposits
+// plus fee shares. Unpaired directed edges are rejected.
+func FromGraph(ledger *chain.Ledger, feeFn fee.Func, g *graph.Graph) (*Network, error) {
+	n := NewNetwork(ledger, feeFn)
+	for i := 0; i < g.NumNodes(); i++ {
+		n.AddUser()
+	}
+	type half struct {
+		edge graph.Edge
+	}
+	unpaired := make(map[[2]graph.NodeID][]half)
+	var channels [][2]half
+	g.ForEachEdge(func(e graph.Edge) bool {
+		key := [2]graph.NodeID{e.To, e.From}
+		if list := unpaired[key]; len(list) > 0 {
+			channels = append(channels, [2]half{list[0], {edge: e}})
+			unpaired[key] = list[1:]
+			return true
+		}
+		own := [2]graph.NodeID{e.From, e.To}
+		unpaired[own] = append(unpaired[own], half{edge: e})
+		return true
+	})
+	for _, list := range unpaired {
+		if len(list) > 0 {
+			return nil, fmt.Errorf("from graph: unpaired directed edge (%d,%d): %w",
+				list[0].edge.From, list[0].edge.To, ErrBadAmount)
+		}
+	}
+	feeShare := ledger.FeePerTx() / 2
+	for _, pair := range channels {
+		ab := pair[0].edge
+		ba := pair[1].edge
+		if err := ledger.Fund(chain.AccountID(ab.From), ab.Capacity+feeShare); err != nil {
+			return nil, err
+		}
+		if err := ledger.Fund(chain.AccountID(ba.From), ba.Capacity+feeShare); err != nil {
+			return nil, err
+		}
+		if _, err := n.OpenChannel(ab.From, ab.To, ab.Capacity, ba.Capacity); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,136 @@
+// Package simulate replays Poisson transaction workloads over a live
+// payment network: the end-to-end validation layer that connects the
+// analytic model of §II (edge rates, transit revenue) to the operational
+// semantics of Figure 1 (balances, failures, fees).
+package simulate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// ErrBadConfig reports an invalid simulation configuration.
+var ErrBadConfig = errors.New("simulate: invalid config")
+
+// Config parametrises a simulation run.
+type Config struct {
+	// Demand drives the Poisson workload (senders, recipients, rates).
+	Demand *traffic.Demand
+	// Sizes draws transaction sizes; nil sends zero-sized probes, which
+	// exercise routing but never depletion.
+	Sizes traffic.SizeSampler
+	// Events is the number of transactions to replay.
+	Events int
+	// Seed seeds the workload generator.
+	Seed int64
+	// RebalanceEvery, when positive, restores all channel balances to
+	// their deposits every that-many events, emulating the steady state
+	// the analytic model assumes. Zero disables rebalancing, exposing
+	// depletion effects.
+	RebalanceEvery int
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	// Events, Successes and Failures count replayed transactions.
+	Events, Successes, Failures int
+	// Elapsed is the simulated duration in workload time units.
+	Elapsed float64
+	// Earned[v] is the total routing fees node v collected.
+	Earned []float64
+	// Forwarded[v] counts payments node v forwarded.
+	Forwarded []int
+	// Volume is the total value successfully delivered.
+	Volume float64
+	// FeesPaid is the total routing fees paid by senders.
+	FeesPaid float64
+}
+
+// SuccessRate returns the fraction of replayed transactions that
+// succeeded.
+func (r Result) SuccessRate() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Events)
+}
+
+// TransitRate returns node v's measured forwarding rate per time unit.
+func (r Result) TransitRate(v graph.NodeID) float64 {
+	if r.Elapsed <= 0 || int(v) >= len(r.Forwarded) {
+		return 0
+	}
+	return float64(r.Forwarded[v]) / r.Elapsed
+}
+
+// RevenueRate returns node v's measured fee income per time unit.
+func (r Result) RevenueRate(v graph.NodeID) float64 {
+	if r.Elapsed <= 0 || int(v) >= len(r.Earned) {
+		return 0
+	}
+	return r.Earned[v] / r.Elapsed
+}
+
+// Run replays cfg.Events transactions over the network. Payment failures
+// (no feasible route) are recorded, not fatal — they are the phenomenon
+// Figure 1 illustrates.
+func Run(n *payment.Network, cfg Config) (Result, error) {
+	if cfg.Events <= 0 {
+		return Result{}, fmt.Errorf("%w: events %d", ErrBadConfig, cfg.Events)
+	}
+	if cfg.Demand == nil {
+		return Result{}, fmt.Errorf("%w: nil demand", ErrBadConfig)
+	}
+	if len(cfg.Demand.Rates) != n.NumUsers() {
+		return Result{}, fmt.Errorf("%w: demand covers %d users, network has %d",
+			ErrBadConfig, len(cfg.Demand.Rates), n.NumUsers())
+	}
+	gen, err := traffic.NewGenerator(cfg.Demand, cfg.Sizes, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Earned:    make([]float64, n.NumUsers()),
+		Forwarded: make([]int, n.NumUsers()),
+	}
+	for i := 0; i < cfg.Events; i++ {
+		if cfg.RebalanceEvery > 0 && i > 0 && i%cfg.RebalanceEvery == 0 {
+			if err := n.ResetBalances(); err != nil {
+				return Result{}, err
+			}
+		}
+		tx := gen.Next()
+		res.Events++
+		amount := tx.Amount
+		if amount <= 0 {
+			// Zero-sized probe: still exercises routing feasibility.
+			amount = 1e-9
+		}
+		receipt, err := n.Pay(tx.From, tx.To, amount)
+		if err != nil {
+			res.Failures++
+			continue
+		}
+		res.Successes++
+		res.Volume += receipt.Amount
+		res.FeesPaid += receipt.TotalFee
+		for k := 1; k+1 < len(receipt.Path); k++ {
+			v := receipt.Path[k]
+			res.Forwarded[v]++
+			res.Earned[v] += receipt.TotalFee / float64(len(receipt.Path)-2)
+		}
+	}
+	res.Elapsed = gen.Now()
+	return res, nil
+}
+
+// PredictedTransit returns the analytic per-node transit rates
+// (§II-B: weighted betweenness) for comparison against measured rates.
+func PredictedTransit(topo *graph.Graph, demand *traffic.Demand) []float64 {
+	return demand.NodeTransitRates(topo)
+}

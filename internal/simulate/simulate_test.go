@@ -1,0 +1,218 @@
+package simulate
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func buildNetwork(t *testing.T, g *graph.Graph, feeFn fee.Func) *payment.Network {
+	t.Helper()
+	ledger, err := chain.NewLedger(1)
+	if err != nil {
+		t.Fatalf("NewLedger: %v", err)
+	}
+	n, err := payment.FromGraph(ledger, feeFn, g)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	return n
+}
+
+func uniformDemand(t *testing.T, g *graph.Graph, rate float64) *traffic.Demand {
+	t.Helper()
+	d, err := traffic.NewUniformDemand(g, txdist.Uniform{}, rate*float64(g.NumNodes()))
+	if err != nil {
+		t.Fatalf("NewUniformDemand: %v", err)
+	}
+	return d
+}
+
+func TestRunValidation(t *testing.T) {
+	g := graph.Star(3, 100)
+	n := buildNetwork(t, g, fee.Constant{F: 0})
+	d := uniformDemand(t, g, 1)
+	if _, err := Run(n, Config{Demand: d, Events: 0}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero events error = %v", err)
+	}
+	if _, err := Run(n, Config{Events: 5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil demand error = %v", err)
+	}
+	smaller := graph.Star(2, 100)
+	if _, err := Run(n, Config{Demand: uniformDemand(t, smaller, 1), Events: 5}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("mismatched demand error = %v", err)
+	}
+}
+
+func TestRunDeliversPayments(t *testing.T) {
+	g := graph.Star(4, 1000)
+	n := buildNetwork(t, g, fee.Constant{F: 0.01})
+	d := uniformDemand(t, g, 1)
+	res, err := Run(n, Config{
+		Demand: d,
+		Sizes:  fee.FixedSize{T: 1},
+		Events: 2000,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Events != 2000 {
+		t.Fatalf("Events = %d", res.Events)
+	}
+	if res.SuccessRate() < 0.99 {
+		t.Fatalf("success rate = %v with huge balances", res.SuccessRate())
+	}
+	if res.Volume <= 0 || res.FeesPaid <= 0 {
+		t.Fatalf("volume/fees = %v/%v", res.Volume, res.FeesPaid)
+	}
+	// Only the hub forwards in a star.
+	for leaf := 1; leaf <= 4; leaf++ {
+		if res.Forwarded[leaf] != 0 {
+			t.Fatalf("leaf %d forwarded %d payments", leaf, res.Forwarded[leaf])
+		}
+	}
+	if res.Forwarded[0] == 0 {
+		t.Fatal("hub forwarded nothing")
+	}
+	// Fees conservation: everything paid was earned.
+	var earned float64
+	for _, e := range res.Earned {
+		earned += e
+	}
+	if math.Abs(earned-res.FeesPaid) > 1e-6 {
+		t.Fatalf("earned %v ≠ paid %v", earned, res.FeesPaid)
+	}
+}
+
+func TestMeasuredTransitMatchesPrediction(t *testing.T) {
+	// E11's core claim in miniature: with rebalancing keeping the network
+	// in steady state, the hub's measured forwarding rate converges to
+	// the analytic λ (weighted betweenness) within sampling noise.
+	g := graph.Star(5, 1000)
+	n := buildNetwork(t, g, fee.Constant{F: 0.01})
+	d := uniformDemand(t, g, 1)
+	const events = 30000
+	res, err := Run(n, Config{
+		Demand:         d,
+		Sizes:          fee.FixedSize{T: 1},
+		Events:         events,
+		Seed:           11,
+		RebalanceEvery: 500,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	predicted := PredictedTransit(g, d)
+	measured := res.TransitRate(0)
+	if predicted[0] <= 0 {
+		t.Fatal("analytic hub transit should be positive")
+	}
+	if rel := math.Abs(measured-predicted[0]) / predicted[0]; rel > 0.1 {
+		t.Fatalf("hub transit: measured %v vs predicted %v (rel err %v)", measured, predicted[0], rel)
+	}
+}
+
+func TestDepletionWithoutRebalancing(t *testing.T) {
+	// Tiny balances and one-way demand: failures must appear once the
+	// forward direction is exhausted (Figure 1's phenomenon at network
+	// scale).
+	g := graph.Path(3, 3) // each direction holds 3 coins
+	n := buildNetwork(t, g, fee.Constant{F: 0})
+	demand := &traffic.Demand{
+		P:     [][]float64{{0, 0, 1}, {0, 0, 0}, {0, 0, 0}},
+		Rates: []float64{1, 0, 0},
+	}
+	res, err := Run(n, Config{
+		Demand: demand,
+		Sizes:  fee.FixedSize{T: 1},
+		Events: 20,
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Successes != 3 {
+		t.Fatalf("successes = %d, want exactly 3 before depletion", res.Successes)
+	}
+	if res.Failures != 17 {
+		t.Fatalf("failures = %d, want 17", res.Failures)
+	}
+}
+
+func TestRebalancingRestoresThroughput(t *testing.T) {
+	g := graph.Path(3, 3)
+	n := buildNetwork(t, g, fee.Constant{F: 0})
+	demand := &traffic.Demand{
+		P:     [][]float64{{0, 0, 1}, {0, 0, 0}, {0, 0, 0}},
+		Rates: []float64{1, 0, 0},
+	}
+	res, err := Run(n, Config{
+		Demand:         demand,
+		Sizes:          fee.FixedSize{T: 1},
+		Events:         20,
+		Seed:           3,
+		RebalanceEvery: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Successes <= 10 {
+		t.Fatalf("successes = %d, rebalancing should lift throughput", res.Successes)
+	}
+}
+
+func TestResultAccessorsOutOfRange(t *testing.T) {
+	var r Result
+	if r.SuccessRate() != 0 {
+		t.Fatal("empty SuccessRate != 0")
+	}
+	if r.TransitRate(5) != 0 || r.RevenueRate(5) != 0 {
+		t.Fatal("out-of-range rates != 0")
+	}
+}
+
+func TestVolumeAndFeeAccounting(t *testing.T) {
+	g := graph.Star(3, 10000)
+	n := buildNetwork(t, g, fee.Constant{F: 0.5})
+	d := uniformDemand(t, g, 1)
+	res, err := Run(n, Config{
+		Demand: d,
+		Sizes:  fee.FixedSize{T: 2},
+		Events: 500,
+		Seed:   21,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Every successful payment delivered exactly 2 coins.
+	if math.Abs(res.Volume-float64(res.Successes)*2) > 1e-9 {
+		t.Fatalf("volume %v ≠ 2·%d", res.Volume, res.Successes)
+	}
+	// Fees paid equal 0.5 per forwarded hop; in a star only hub-mediated
+	// (leaf→leaf) payments pay fees.
+	if math.Abs(res.FeesPaid-0.5*float64(res.Forwarded[0])) > 1e-9 {
+		t.Fatalf("fees %v ≠ 0.5·%d", res.FeesPaid, res.Forwarded[0])
+	}
+}
+
+func TestZeroSizeProbesAlwaysRoute(t *testing.T) {
+	// With nil Sizes, probes are tiny and never deplete channels.
+	g := graph.Circle(5, 1)
+	n := buildNetwork(t, g, fee.Constant{F: 0})
+	d := uniformDemand(t, g, 1)
+	res, err := Run(n, Config{Demand: d, Events: 500, Seed: 2})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.SuccessRate() != 1 {
+		t.Fatalf("probe success rate = %v, want 1", res.SuccessRate())
+	}
+}

@@ -1,0 +1,139 @@
+package traffic
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// This file addresses the paper's third future-work direction: "the
+// accuracy of our model depends on estimations of the underlying PCN
+// parameters … developing more accurate methods for estimating these
+// parameters may be helpful". EstimateDemand reconstructs a Demand
+// (per-sender rates and recipient distributions) from an observed
+// transaction log, and CompareDemands quantifies estimation error.
+
+// EstimateDemand builds an empirical demand model from observed
+// transactions spanning the given duration: rates are counts/duration
+// and recipient probabilities are per-sender empirical frequencies with
+// optional additive (Laplace) smoothing over all other nodes.
+//
+// With smoothing = 0 the estimator is the maximum-likelihood one; a
+// small positive smoothing avoids assigning zero probability to pairs
+// that simply were not observed yet.
+func EstimateDemand(n int, txs []Tx, duration, smoothing float64) (*Demand, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: %d nodes", ErrBadDemand, n)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("%w: duration %v", ErrBadDemand, duration)
+	}
+	if smoothing < 0 {
+		return nil, fmt.Errorf("%w: smoothing %v", ErrBadDemand, smoothing)
+	}
+	counts := make([][]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+	}
+	totals := make([]float64, n)
+	for _, tx := range txs {
+		if int(tx.From) < 0 || int(tx.From) >= n || int(tx.To) < 0 || int(tx.To) >= n || tx.From == tx.To {
+			return nil, fmt.Errorf("%w: transaction %d→%d outside [0,%d)", ErrBadDemand, tx.From, tx.To, n)
+		}
+		counts[tx.From][tx.To]++
+		totals[tx.From]++
+	}
+	d := &Demand{
+		P:     make([][]float64, n),
+		Rates: make([]float64, n),
+	}
+	for s := 0; s < n; s++ {
+		d.Rates[s] = totals[s] / duration
+		row := make([]float64, n)
+		mass := totals[s] + smoothing*float64(n-1)
+		if mass > 0 {
+			for r := 0; r < n; r++ {
+				if r == s {
+					continue
+				}
+				row[r] = (counts[s][r] + smoothing) / mass
+			}
+		}
+		d.P[s] = row
+	}
+	return d, nil
+}
+
+// DemandError quantifies the distance between an estimated and a true
+// demand: the maximum relative rate error over senders with positive
+// true rate, and the maximum total-variation distance between recipient
+// distributions of such senders.
+func DemandError(estimated, truth *Demand) (rateErr, tvDist float64, err error) {
+	if len(estimated.Rates) != len(truth.Rates) {
+		return 0, 0, fmt.Errorf("%w: %d vs %d senders", ErrBadDemand, len(estimated.Rates), len(truth.Rates))
+	}
+	for s := range truth.Rates {
+		if truth.Rates[s] <= 0 {
+			continue
+		}
+		re := abs(estimated.Rates[s]-truth.Rates[s]) / truth.Rates[s]
+		if re > rateErr {
+			rateErr = re
+		}
+		var tv float64
+		for r := range truth.P[s] {
+			tv += abs(estimated.P[s][r] - truth.P[s][r])
+		}
+		tv /= 2
+		if tv > tvDist {
+			tvDist = tv
+		}
+	}
+	return rateErr, tvDist, nil
+}
+
+// ObservedEdgeRates counts how often each directed adjacency was crossed
+// by the shortest-path routes of the given transactions, normalised by
+// duration — the empirical analogue of EdgeRates for logs that include
+// routing information. Paths are recomputed on g with unit hops, using
+// the first shortest path found; it is intended for diagnostics rather
+// than exact replay.
+func ObservedEdgeRates(g *graph.Graph, txs []Tx, duration float64) (map[graph.EdgeID]float64, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("%w: duration %v", ErrBadDemand, duration)
+	}
+	rates := make(map[graph.EdgeID]float64)
+	for _, tx := range txs {
+		dist := g.BFS(tx.From)
+		if int(tx.To) >= len(dist) || dist[tx.To] == graph.Unreachable {
+			continue
+		}
+		// Walk backwards from the destination along BFS layers.
+		cur := tx.To
+		for cur != tx.From {
+			var via graph.EdgeID = graph.InvalidEdge
+			var prev graph.NodeID
+			g.ForEachIn(cur, func(e graph.Edge) bool {
+				if dist[e.From] == dist[cur]-1 {
+					via = e.ID
+					prev = e.From
+					return false
+				}
+				return true
+			})
+			if via == graph.InvalidEdge {
+				break
+			}
+			rates[via] += 1 / duration
+			cur = prev
+		}
+	}
+	return rates, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func TestEstimateDemandValidation(t *testing.T) {
+	if _, err := EstimateDemand(0, nil, 1, 0); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("zero nodes error = %v", err)
+	}
+	if _, err := EstimateDemand(3, nil, 0, 0); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("zero duration error = %v", err)
+	}
+	if _, err := EstimateDemand(3, nil, 1, -1); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("negative smoothing error = %v", err)
+	}
+	bad := []Tx{{From: 0, To: 9}}
+	if _, err := EstimateDemand(3, bad, 1, 0); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("out-of-range tx error = %v", err)
+	}
+	self := []Tx{{From: 1, To: 1}}
+	if _, err := EstimateDemand(3, self, 1, 0); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("self tx error = %v", err)
+	}
+}
+
+func TestEstimateDemandExactCounts(t *testing.T) {
+	txs := []Tx{
+		{From: 0, To: 1}, {From: 0, To: 1}, {From: 0, To: 2},
+		{From: 1, To: 2},
+	}
+	d, err := EstimateDemand(3, txs, 2, 0)
+	if err != nil {
+		t.Fatalf("EstimateDemand: %v", err)
+	}
+	if math.Abs(d.Rates[0]-1.5) > 1e-12 {
+		t.Fatalf("rate[0] = %v, want 1.5", d.Rates[0])
+	}
+	if math.Abs(d.P[0][1]-2.0/3) > 1e-12 || math.Abs(d.P[0][2]-1.0/3) > 1e-12 {
+		t.Fatalf("P[0] = %v, want [_, 2/3, 1/3]", d.P[0])
+	}
+	if d.Rates[2] != 0 {
+		t.Fatalf("rate[2] = %v, want 0", d.Rates[2])
+	}
+}
+
+func TestEstimateDemandSmoothing(t *testing.T) {
+	txs := []Tx{{From: 0, To: 1}}
+	d, err := EstimateDemand(3, txs, 1, 1)
+	if err != nil {
+		t.Fatalf("EstimateDemand: %v", err)
+	}
+	// mass = 1 + 1·2 = 3: P[0][1] = 2/3, P[0][2] = 1/3.
+	if math.Abs(d.P[0][1]-2.0/3) > 1e-12 || math.Abs(d.P[0][2]-1.0/3) > 1e-12 {
+		t.Fatalf("smoothed P[0] = %v", d.P[0])
+	}
+	if d.P[0][0] != 0 {
+		t.Fatal("self probability not zero")
+	}
+}
+
+func TestEstimateDemandConsistency(t *testing.T) {
+	// Errors must shrink as the sample grows (statistical consistency).
+	g := graph.BarabasiAlbert(12, 2, 1, rand.New(rand.NewSource(5)))
+	truth, err := NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, 12)
+	if err != nil {
+		t.Fatalf("NewUniformDemand: %v", err)
+	}
+	var prevTV float64 = math.Inf(1)
+	for _, events := range []int{500, 50000} {
+		gen, err := NewGenerator(truth, nil, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("NewGenerator: %v", err)
+		}
+		txs := gen.Take(events)
+		est, err := EstimateDemand(12, txs, gen.Now(), 0)
+		if err != nil {
+			t.Fatalf("EstimateDemand: %v", err)
+		}
+		_, tv, err := DemandError(est, truth)
+		if err != nil {
+			t.Fatalf("DemandError: %v", err)
+		}
+		if tv >= prevTV {
+			t.Fatalf("TV distance did not shrink: %v then %v", prevTV, tv)
+		}
+		prevTV = tv
+	}
+	if prevTV > 0.1 {
+		t.Fatalf("TV distance after 50k events = %v, want < 0.1", prevTV)
+	}
+}
+
+func TestDemandErrorValidation(t *testing.T) {
+	a := &Demand{Rates: []float64{1}, P: [][]float64{{0}}}
+	b := &Demand{Rates: []float64{1, 2}, P: [][]float64{{0, 1}, {1, 0}}}
+	if _, _, err := DemandError(a, b); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("mismatch error = %v", err)
+	}
+}
+
+func TestDemandErrorExact(t *testing.T) {
+	truth := &Demand{Rates: []float64{2, 0}, P: [][]float64{{0, 1}, {0, 0}}}
+	est := &Demand{Rates: []float64{1, 5}, P: [][]float64{{0, 1}, {1, 0}}}
+	rateErr, tv, err := DemandError(est, truth)
+	if err != nil {
+		t.Fatalf("DemandError: %v", err)
+	}
+	// Sender 1 has zero true rate and is skipped entirely.
+	if math.Abs(rateErr-0.5) > 1e-12 {
+		t.Fatalf("rateErr = %v, want 0.5", rateErr)
+	}
+	if tv != 0 {
+		t.Fatalf("tv = %v, want 0", tv)
+	}
+}
+
+func TestObservedEdgeRates(t *testing.T) {
+	g := graph.Path(3, 1)
+	txs := []Tx{
+		{From: 0, To: 2},
+		{From: 0, To: 2},
+		{From: 2, To: 0},
+	}
+	rates, err := ObservedEdgeRates(g, txs, 2)
+	if err != nil {
+		t.Fatalf("ObservedEdgeRates: %v", err)
+	}
+	e01 := g.EdgesBetween(0, 1)[0]
+	e12 := g.EdgesBetween(1, 2)[0]
+	e21 := g.EdgesBetween(2, 1)[0]
+	if math.Abs(rates[e01]-1) > 1e-12 || math.Abs(rates[e12]-1) > 1e-12 {
+		t.Fatalf("forward rates = %v/%v, want 1/1", rates[e01], rates[e12])
+	}
+	if math.Abs(rates[e21]-0.5) > 1e-12 {
+		t.Fatalf("reverse rate = %v, want 0.5", rates[e21])
+	}
+	if _, err := ObservedEdgeRates(g, txs, 0); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("zero duration error = %v", err)
+	}
+}
+
+func TestObservedEdgeRatesUnreachable(t *testing.T) {
+	g := graph.New(3)
+	if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	// Transactions to an unreachable node are skipped, not fatal.
+	rates, err := ObservedEdgeRates(g, []Tx{{From: 0, To: 2}}, 1)
+	if err != nil {
+		t.Fatalf("ObservedEdgeRates: %v", err)
+	}
+	if len(rates) != 0 {
+		t.Fatalf("rates = %v, want empty", rates)
+	}
+}

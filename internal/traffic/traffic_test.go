@@ -1,0 +1,263 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func uniformRates(n int, per float64) []float64 {
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = per
+	}
+	return rates
+}
+
+func TestNewDemandValidation(t *testing.T) {
+	g := graph.Star(3, 1)
+	if _, err := NewDemand(g, txdist.Uniform{}, []float64{1, 2}); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("short rates error = %v, want ErrBadDemand", err)
+	}
+	if _, err := NewDemand(g, txdist.Uniform{}, []float64{1, 1, -1, 1}); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("negative rate error = %v, want ErrBadDemand", err)
+	}
+	if _, err := NewDemand(g, txdist.Uniform{}, uniformRates(4, 1)); err != nil {
+		t.Fatalf("valid demand rejected: %v", err)
+	}
+}
+
+func TestTotalAndPairRate(t *testing.T) {
+	g := graph.Star(3, 1)
+	d, err := NewDemand(g, txdist.Uniform{}, []float64{4, 2, 2, 2})
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	if got := d.TotalRate(); got != 10 {
+		t.Fatalf("TotalRate = %v, want 10", got)
+	}
+	// Node 0 (center) sends uniformly to 3 leaves at rate 4: 4/3 each.
+	if got := d.PairRate(0, 1); math.Abs(got-4.0/3) > 1e-12 {
+		t.Fatalf("PairRate(0,1) = %v, want 4/3", got)
+	}
+	if got := d.PairRate(0, 0); got != 0 {
+		t.Fatalf("PairRate(0,0) = %v, want 0", got)
+	}
+	if got := d.PairRate(-1, 0); got != 0 {
+		t.Fatalf("PairRate out of range = %v, want 0", got)
+	}
+}
+
+func TestNewUniformDemand(t *testing.T) {
+	g := graph.Circle(5, 1)
+	d, err := NewUniformDemand(g, txdist.Uniform{}, 10)
+	if err != nil {
+		t.Fatalf("NewUniformDemand: %v", err)
+	}
+	for s, r := range d.Rates {
+		if math.Abs(r-2) > 1e-12 {
+			t.Fatalf("rate[%d] = %v, want 2", s, r)
+		}
+	}
+	if _, err := NewUniformDemand(graph.New(0), txdist.Uniform{}, 1); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("empty graph error = %v, want ErrBadDemand", err)
+	}
+}
+
+func TestEdgeRatesStar(t *testing.T) {
+	// Star with 3 leaves, uniform distribution, every node sending rate 1.
+	// Leaf→leaf traffic (2 hops) crosses (leaf,center) and (center,leaf);
+	// leaf→center and center→leaf traffic crosses one edge.
+	// Edge (leaf1→center): sources leaf1 targeting center (p=1/3) and
+	// targeting the two other leaves (2/3): λ = 1.
+	g := graph.Star(3, 1)
+	d, err := NewDemand(g, txdist.Uniform{}, uniformRates(4, 1))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	rates := d.EdgeRates(g)
+	leafOut := g.EdgesBetween(1, 0)[0]
+	if got := rates[leafOut]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("λ(leaf→center) = %v, want 1", got)
+	}
+	// Edge (center→leaf1): center targets leaf1 (1/3) plus the two other
+	// leaves routing to leaf1 (2 sources × 1/3): λ = 1.
+	centerOut := g.EdgesBetween(0, 1)[0]
+	if got := rates[centerOut]; math.Abs(got-1) > 1e-9 {
+		t.Fatalf("λ(center→leaf) = %v, want 1", got)
+	}
+}
+
+func TestNodeTransitRatesStar(t *testing.T) {
+	// Only the center carries transit traffic: 3·2 ordered leaf pairs at
+	// rate 1·(1/3) each = 2.
+	g := graph.Star(3, 1)
+	d, err := NewDemand(g, txdist.Uniform{}, uniformRates(4, 1))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	transit := d.NodeTransitRates(g)
+	if got := transit[0]; math.Abs(got-2) > 1e-9 {
+		t.Fatalf("center transit = %v, want 2", got)
+	}
+	for leaf := 1; leaf <= 3; leaf++ {
+		if transit[leaf] != 0 {
+			t.Fatalf("leaf %d transit = %v, want 0", leaf, transit[leaf])
+		}
+	}
+}
+
+func TestEdgeRatesSumEqualsWeightedPathLengths(t *testing.T) {
+	// Identity: Σ_e λe = Σ_{s,r} N_s·p(s,r)·d(s,r) because each
+	// transaction crosses d(s,r) edges.
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ConnectedErdosRenyi(10, 0.3, 1, rng, 50)
+	d, err := NewDemand(g, txdist.ModifiedZipf{S: 1.0}, uniformRates(10, 2))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	rates := d.EdgeRates(g)
+	var sumRates float64
+	for _, r := range rates {
+		sumRates += r
+	}
+	var want float64
+	for s := 0; s < g.NumNodes(); s++ {
+		dist := g.BFS(graph.NodeID(s))
+		for r := 0; r < g.NumNodes(); r++ {
+			if r == s || dist[r] == graph.Unreachable {
+				continue
+			}
+			want += d.PairRate(graph.NodeID(s), graph.NodeID(r)) * float64(dist[r])
+		}
+	}
+	if math.Abs(sumRates-want) > 1e-6 {
+		t.Fatalf("Σλe = %v, want %v", sumRates, want)
+	}
+}
+
+func TestGeneratorProducesValidStream(t *testing.T) {
+	g := graph.Star(4, 1)
+	d, err := NewDemand(g, txdist.ModifiedZipf{S: 1}, uniformRates(5, 3))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	gen, err := NewGenerator(d, fee.FixedSize{T: 2}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	last := 0.0
+	for i := 0; i < 1000; i++ {
+		tx := gen.Next()
+		if tx.Time <= last {
+			t.Fatalf("non-increasing time at event %d: %v after %v", i, tx.Time, last)
+		}
+		last = tx.Time
+		if tx.From == tx.To {
+			t.Fatal("self transaction generated")
+		}
+		if !g.HasNode(tx.From) || !g.HasNode(tx.To) {
+			t.Fatalf("invalid endpoints %d→%d", tx.From, tx.To)
+		}
+		if tx.Amount != 2 {
+			t.Fatalf("amount = %v, want 2", tx.Amount)
+		}
+	}
+}
+
+func TestGeneratorRateMatchesDemand(t *testing.T) {
+	// The merged stream's empirical rate must match the total demand rate,
+	// and sender frequencies must follow N_s.
+	g := graph.Circle(4, 1)
+	d, err := NewDemand(g, txdist.Uniform{}, []float64{8, 4, 2, 2})
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	gen, err := NewGenerator(d, nil, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	const events = 200000
+	counts := make(map[graph.NodeID]int)
+	txs := gen.Take(events)
+	for _, tx := range txs {
+		counts[tx.From]++
+	}
+	elapsed := gen.Now()
+	empiricalRate := events / elapsed
+	if math.Abs(empiricalRate-16) > 0.5 {
+		t.Fatalf("empirical total rate = %v, want ≈16", empiricalRate)
+	}
+	if frac := float64(counts[0]) / events; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("sender 0 fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestGeneratorRejectsZeroDemand(t *testing.T) {
+	g := graph.Star(2, 1)
+	d, err := NewDemand(g, txdist.Uniform{}, uniformRates(3, 0))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	if _, err := NewGenerator(d, nil, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadDemand) {
+		t.Fatalf("zero-rate generator error = %v, want ErrBadDemand", err)
+	}
+}
+
+func TestGeneratorTake(t *testing.T) {
+	g := graph.Star(3, 1)
+	d, err := NewDemand(g, txdist.Uniform{}, uniformRates(4, 1))
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	gen, err := NewGenerator(d, nil, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	txs := gen.Take(17)
+	if len(txs) != 17 {
+		t.Fatalf("Take(17) returned %d", len(txs))
+	}
+}
+
+func TestPoissonCountMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, lambda := range []float64{0.5, 4, 30, 200} {
+		var sum float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			sum += float64(PoissonCount(lambda, rng))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 4*math.Sqrt(lambda/n)*3+0.05 {
+			t.Fatalf("λ=%v: empirical mean %v", lambda, mean)
+		}
+	}
+	if got := PoissonCount(0, rng); got != 0 {
+		t.Fatalf("PoissonCount(0) = %d, want 0", got)
+	}
+	if got := PoissonCount(-3, rng); got != 0 {
+		t.Fatalf("PoissonCount(-3) = %d, want 0", got)
+	}
+}
+
+func TestSampleCDFEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := sampleCDF(nil, rng); got != -1 {
+		t.Fatalf("empty cdf = %d, want -1", got)
+	}
+	if got := sampleCDF([]float64{0, 0, 0}, rng); got != -1 {
+		t.Fatalf("zero-mass cdf = %d, want -1", got)
+	}
+	// Mass concentrated on index 1.
+	for i := 0; i < 100; i++ {
+		if got := sampleCDF([]float64{0, 5, 5}, rng); got != 1 {
+			t.Fatalf("draw = %d, want 1", got)
+		}
+	}
+}

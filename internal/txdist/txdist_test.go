@@ -1,0 +1,261 @@
+package txdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+const tol = 1e-12
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestModifiedZipfSumsToOne(t *testing.T) {
+	g := graph.Star(5, 1)
+	for u := 0; u < g.NumNodes(); u++ {
+		p := ModifiedZipf{S: 1.5}.Probs(g, graph.NodeID(u))
+		if math.Abs(sum(p)-1) > tol {
+			t.Fatalf("sender %d: probs sum to %v", u, sum(p))
+		}
+		if p[u] != 0 {
+			t.Fatalf("sender %d: self-probability %v", u, p[u])
+		}
+	}
+}
+
+func TestModifiedZipfEqualDegreeEqualProb(t *testing.T) {
+	// In a star, all leaves have equal in-degree; from the center's view
+	// they must be equally likely.
+	g := graph.Star(6, 1)
+	p := ModifiedZipf{S: 2}.Probs(g, 0)
+	for leaf := 2; leaf <= 6; leaf++ {
+		if math.Abs(p[leaf]-p[1]) > tol {
+			t.Fatalf("leaf probs differ: p[1]=%v p[%d]=%v", p[1], leaf, p[leaf])
+		}
+	}
+}
+
+func TestModifiedZipfPrefersHighDegree(t *testing.T) {
+	// From a leaf's perspective in a star the center (degree n) must be
+	// strictly more likely than any other leaf (degree 1) for s > 0.
+	g := graph.Star(6, 1)
+	p := ModifiedZipf{S: 1}.Probs(g, 3)
+	if p[0] <= p[1] {
+		t.Fatalf("center prob %v not greater than leaf prob %v", p[0], p[1])
+	}
+}
+
+func TestModifiedZipfRankExclusion(t *testing.T) {
+	// The ranking is computed on G − u: from a leaf u's perspective, the
+	// other leaves lose their only edge when... they don't (their edge is
+	// to the center), but the center loses one edge. With u = leaf 1 on a
+	// 3-leaf star the center has residual degree 2, leaves degree 1.
+	g := graph.Star(3, 1)
+	p := ModifiedZipf{S: 1}.Probs(g, 1)
+	// Ranks: center r=1 (rf=1), leaves 2,3 occupy ranks 2,3 with
+	// rf = (1/2 + 1/3)/2 = 5/12. Total = 1 + 2·5/12 = 11/6.
+	wantCenter := 1.0 / (11.0 / 6.0)
+	wantLeaf := (5.0 / 12.0) / (11.0 / 6.0)
+	if math.Abs(p[0]-wantCenter) > tol {
+		t.Fatalf("p[center] = %v, want %v", p[0], wantCenter)
+	}
+	if math.Abs(p[2]-wantLeaf) > tol || math.Abs(p[3]-wantLeaf) > tol {
+		t.Fatalf("p[leaf] = %v/%v, want %v", p[2], p[3], wantLeaf)
+	}
+}
+
+func TestModifiedZipfSZeroIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.BarabasiAlbert(12, 2, 1, rng)
+	p := ModifiedZipf{S: 0}.Probs(g, 0)
+	want := 1.0 / float64(g.NumNodes()-1)
+	for v := 1; v < g.NumNodes(); v++ {
+		if math.Abs(p[v]-want) > tol {
+			t.Fatalf("s=0 not uniform: p[%d]=%v want %v", v, p[v], want)
+		}
+	}
+}
+
+func TestModifiedZipfOutsiderSender(t *testing.T) {
+	// A joining node that is not part of g: probabilities cover all nodes.
+	g := graph.Star(4, 1)
+	p := ModifiedZipf{S: 1}.Probs(g, graph.InvalidNode)
+	if math.Abs(sum(p)-1) > tol {
+		t.Fatalf("outsider probs sum to %v", sum(p))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if p[v] <= 0 {
+			t.Fatalf("outsider p[%d] = %v, want > 0", v, p[v])
+		}
+	}
+	if p[0] <= p[1] {
+		t.Fatal("outsider should still prefer the hub")
+	}
+}
+
+func TestRankFactorMonotonicity(t *testing.T) {
+	// Paper property: r1(v1) < r2(v2) ⇒ rf(v1) > rf(v2); strictly higher
+	// degree means strictly larger rank factor. Checked across random
+	// graphs and s values.
+	check := func(seed int64, sRaw uint8) bool {
+		s := 0.25 + float64(sRaw%16)/4 // s in [0.25, 4)
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.BarabasiAlbert(14, 2, 1, rng)
+		u := graph.NodeID(int(seed%14+14) % 14)
+		factors := RankFactors(g, u, s)
+		for a := 0; a < g.NumNodes(); a++ {
+			for b := 0; b < g.NumNodes(); b++ {
+				if graph.NodeID(a) == u || graph.NodeID(b) == u {
+					continue
+				}
+				da := inDegreeExcluding(g, graph.NodeID(a), u)
+				db := inDegreeExcluding(g, graph.NodeID(b), u)
+				if da > db && factors[a] <= factors[b] {
+					return false
+				}
+				if da == db && math.Abs(factors[a]-factors[b]) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainZipfKnownValues(t *testing.T) {
+	// 3-node path: node 1 has degree 2, nodes 0 and 2 degree 1. From
+	// sender 0 the ranking of {1,2} is [1 (deg 2), 2 (deg 1)].
+	g := graph.Path(3, 1)
+	p := Zipf{S: 1}.Probs(g, 0)
+	h := 1.0 + 0.5
+	if math.Abs(p[1]-1/h) > tol || math.Abs(p[2]-0.5/h) > tol {
+		t.Fatalf("zipf probs = %v, want [_, %v, %v]", p, 1/h, 0.5/h)
+	}
+}
+
+func TestPlainZipfTieBreakDiffersFromModified(t *testing.T) {
+	// With equal-degree nodes, plain Zipf assigns distinct masses by rank
+	// while modified Zipf equalises them.
+	g := graph.Star(4, 1)
+	plain := Zipf{S: 2}.Probs(g, 0)
+	if math.Abs(plain[1]-plain[2]) < tol {
+		t.Fatal("plain zipf should differentiate tied nodes")
+	}
+	mod := ModifiedZipf{S: 2}.Probs(g, 0)
+	if math.Abs(mod[1]-mod[2]) > tol {
+		t.Fatal("modified zipf must equalise tied nodes")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := graph.Circle(5, 1)
+	p := Uniform{}.Probs(g, 2)
+	for v := 0; v < 5; v++ {
+		want := 0.25
+		if v == 2 {
+			want = 0
+		}
+		if math.Abs(p[v]-want) > tol {
+			t.Fatalf("uniform p[%d] = %v, want %v", v, p[v], want)
+		}
+	}
+}
+
+func TestUniformSingleNode(t *testing.T) {
+	g := graph.New(1)
+	p := Uniform{}.Probs(g, 0)
+	if p[0] != 0 {
+		t.Fatalf("single node p = %v, want 0", p[0])
+	}
+}
+
+func TestPerSenderOverride(t *testing.T) {
+	g := graph.Star(4, 1)
+	d := PerSender{
+		Default:   Uniform{},
+		Overrides: map[graph.NodeID]Distribution{1: ModifiedZipf{S: 3}},
+	}
+	// Sender 1 uses zipf: hub heavily preferred.
+	p := d.Probs(g, 1)
+	if p[0] <= p[2] {
+		t.Fatal("override not applied")
+	}
+	// Sender 2 uses uniform.
+	p = d.Probs(g, 2)
+	if math.Abs(p[0]-p[1]) > tol {
+		t.Fatal("default not applied")
+	}
+}
+
+func TestMatrixRowsMatchProbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.ErdosRenyi(8, 0.4, 1, rng)
+	d := ModifiedZipf{S: 1.2}
+	m := Matrix(g, d)
+	for s := 0; s < g.NumNodes(); s++ {
+		row := d.Probs(g, graph.NodeID(s))
+		for r := range row {
+			if math.Abs(m[s][r]-row[r]) > tol {
+				t.Fatalf("matrix[%d][%d] = %v, want %v", s, r, m[s][r], row[r])
+			}
+		}
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	tests := []struct {
+		n    int
+		s    float64
+		want float64
+	}{
+		{n: 1, s: 2, want: 1},
+		{n: 3, s: 1, want: 1 + 0.5 + 1.0/3},
+		{n: 4, s: 0, want: 4},
+		{n: 2, s: 2, want: 1.25},
+	}
+	for _, tt := range tests {
+		if got := Harmonic(tt.n, tt.s); math.Abs(got-tt.want) > tol {
+			t.Fatalf("Harmonic(%d,%g) = %v, want %v", tt.n, tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestHarmonicBoundForLargeS(t *testing.T) {
+	// Theorem 9 uses H^s_n ≤ 2 for s ≥ 2; sanity check the inequality.
+	for _, n := range []int{2, 10, 100, 1000} {
+		if h := Harmonic(n, 2); h > 2 {
+			t.Fatalf("Harmonic(%d,2) = %v > 2", n, h)
+		}
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	names := []string{
+		ModifiedZipf{S: 1}.Name(),
+		Zipf{S: 1}.Name(),
+		Uniform{}.Name(),
+		PerSender{Default: Uniform{}}.Name(),
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("empty distribution name")
+		}
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}

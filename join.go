@@ -1,0 +1,319 @@
+package lcg
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// Params are the economic parameters of the joining user's utility
+// function (§II-C).
+type Params struct {
+	// OnChainCost is C, the expected on-chain cost per channel per party.
+	OnChainCost float64
+	// OppCostRate is r: opportunity cost per locked coin per time unit.
+	OppCostRate float64
+	// FAvg is favg: the routing fee earned per forwarded transaction.
+	FAvg float64
+	// FeePerHop is f^T_avg: the fee paid per hop for own transactions.
+	FeePerHop float64
+	// OwnRate is N_u: the joining user's transaction rate.
+	OwnRate float64
+	// CapacityFactor optionally gates a channel's forwarding revenue by
+	// its lock (e.g. the transaction-size CDF); nil reproduces the
+	// paper's base model.
+	CapacityFactor func(lock float64) float64
+	// ChannelCostFn optionally replaces the linear per-channel cost
+	// C + r·lock with a richer model such as GuasoniCost; nil keeps the
+	// paper's base model.
+	ChannelCostFn func(lock float64) float64
+}
+
+// GuasoniCost returns a ChannelCostFn in the spirit of Guasoni et al.
+// [17]: C + lock·(1 − e^{−rho·lifetime}), the present-value cost of
+// locking capital at interest rate rho over the channel's expected
+// lifetime.
+func GuasoniCost(onChain, rho, lifetime float64) func(lock float64) float64 {
+	return core.GuasoniCost(onChain, rho, lifetime)
+}
+
+// DefaultParams returns a reasonable starting parameter set: unit on-chain
+// cost, 5% opportunity rate, and symmetric fee expectations.
+func DefaultParams() Params {
+	return Params{
+		OnChainCost: 1,
+		OppCostRate: 0.05,
+		FAvg:        0.5,
+		FeePerHop:   0.5,
+		OwnRate:     1,
+	}
+}
+
+func (p Params) toCore() core.Params {
+	return core.Params{
+		OnChainCost:    p.OnChainCost,
+		OppCostRate:    p.OppCostRate,
+		FAvg:           p.FAvg,
+		FeePerHop:      p.FeePerHop,
+		OwnRate:        p.OwnRate,
+		CapacityFactor: p.CapacityFactor,
+		ChannelCostFn:  p.ChannelCostFn,
+	}
+}
+
+// Action opens one channel to Peer with Lock coins on the joining user's
+// side.
+type Action struct {
+	Peer int
+	Lock float64
+}
+
+// Strategy is the set of channels a joining user opens.
+type Strategy []Action
+
+func (s Strategy) toCore() core.Strategy {
+	out := make(core.Strategy, len(s))
+	for i, a := range s {
+		out[i] = core.Action{Peer: graph.NodeID(a.Peer), Lock: a.Lock}
+	}
+	return out
+}
+
+func fromCore(s core.Strategy) Strategy {
+	out := make(Strategy, len(s))
+	for i, a := range s {
+		out[i] = Action{Peer: int(a.Peer), Lock: a.Lock}
+	}
+	return out
+}
+
+// Plan is the outcome of an attachment optimisation.
+type Plan struct {
+	// Strategy is the recommended channel set.
+	Strategy Strategy
+	// Objective is the optimised objective value (U' for Greedy and
+	// DiscreteSearch, U^b for ContinuousSearch).
+	Objective float64
+	// Utility is the full utility U of the strategy.
+	Utility float64
+	// Evaluations counts objective evaluations spent.
+	Evaluations int
+}
+
+// JoinOption customises a JoinPlanner.
+type JoinOption func(*joinConfig)
+
+type joinConfig struct {
+	params      Params
+	zipfS       float64
+	uniformDist bool
+	totalRate   float64
+	rates       []float64
+	probs       [][]float64
+	joinTargets map[int]float64
+	paymentSize float64
+	perUser     map[int]float64
+}
+
+// WithParams sets the economic parameters (default DefaultParams).
+func WithParams(p Params) JoinOption {
+	return func(c *joinConfig) { c.params = p }
+}
+
+// WithZipf sets the modified-Zipf scale parameter s of the transaction
+// distribution (§II-B, default 1).
+func WithZipf(s float64) JoinOption {
+	return func(c *joinConfig) { c.zipfS = s; c.uniformDist = false }
+}
+
+// WithUniformTransactions switches to the uniform transaction model used
+// by the baseline works [18]–[20].
+func WithUniformTransactions() JoinOption {
+	return func(c *joinConfig) { c.uniformDist = true }
+}
+
+// WithTotalRate sets the aggregate transaction rate N of the existing
+// users, split evenly (default: one transaction per user per time unit).
+func WithTotalRate(n float64) JoinOption {
+	return func(c *joinConfig) { c.totalRate = n; c.rates = nil; c.probs = nil }
+}
+
+// WithDemand overrides the existing users' demand entirely: rates[s] is
+// user s's transaction rate and probs[s][r] the probability a transaction
+// of s targets r. Both must cover every user of the network.
+func WithDemand(rates []float64, probs [][]float64) JoinOption {
+	return func(c *joinConfig) { c.rates = rates; c.probs = probs }
+}
+
+// WithJoinTargets fixes the joining user's recipient distribution
+// explicitly (weights are normalised); by default the joining user
+// follows the same degree-ranked distribution as everyone else.
+func WithJoinTargets(weights map[int]float64) JoinOption {
+	return func(c *joinConfig) { c.joinTargets = weights }
+}
+
+// WithPaymentSize restricts the analysis to the reduced subgraph G' of
+// §II-B: only channel directions whose balance can forward a payment of
+// the given size are considered when computing distances and transit.
+func WithPaymentSize(size float64) JoinOption {
+	return func(c *joinConfig) { c.paymentSize = size }
+}
+
+// WithPerUserZipf assigns user-specific Zipf scale parameters (the
+// paper's s_u, §II-B): users listed in scales use their own parameter,
+// everyone else (and the joining user) uses the planner's default.
+func WithPerUserZipf(scales map[int]float64) JoinOption {
+	return func(c *joinConfig) {
+		c.perUser = scales
+		c.uniformDist = false
+	}
+}
+
+// JoinPlanner prices and optimises the attachment of a new user to an
+// existing network (§II-C, §III). Build one per (network, parameters)
+// pair; it precomputes the shortest-path structure once.
+type JoinPlanner struct {
+	ev *core.JoinEvaluator
+}
+
+// NewJoinPlanner creates a planner for a user joining n.
+func NewJoinPlanner(n *Network, opts ...JoinOption) (*JoinPlanner, error) {
+	cfg := joinConfig{params: DefaultParams(), zipfS: 1, totalRate: float64(n.NumUsers())}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var dist txdist.Distribution = txdist.ModifiedZipf{S: cfg.zipfS}
+	if cfg.uniformDist {
+		dist = txdist.Uniform{}
+	}
+	if len(cfg.perUser) > 0 {
+		overrides := make(map[graph.NodeID]txdist.Distribution, len(cfg.perUser))
+		for user, s := range cfg.perUser {
+			overrides[graph.NodeID(user)] = txdist.ModifiedZipf{S: s}
+		}
+		dist = txdist.PerSender{Default: dist, Overrides: overrides}
+	}
+	g := n.graphView()
+	if cfg.paymentSize > 0 {
+		g = g.Reduce(cfg.paymentSize)
+	}
+	var (
+		demand *traffic.Demand
+		err    error
+	)
+	if cfg.rates != nil {
+		if len(cfg.probs) != len(cfg.rates) {
+			return nil, fmt.Errorf("%w: demand shape mismatch", ErrBadInput)
+		}
+		demand = &traffic.Demand{P: cfg.probs, Rates: cfg.rates}
+		if len(demand.Rates) != g.NumNodes() {
+			return nil, fmt.Errorf("%w: demand covers %d users, network has %d",
+				ErrBadInput, len(demand.Rates), g.NumNodes())
+		}
+	} else {
+		demand, err = traffic.NewUniformDemand(g, dist, cfg.totalRate)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+	}
+	joinDist := dist
+	if cfg.joinTargets != nil {
+		joinDist = weightedTargets{weights: cfg.joinTargets}
+	}
+	ev, err := core.NewJoinEvaluator(g, joinDist, demand, cfg.params.toCore())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return &JoinPlanner{ev: ev}, nil
+}
+
+// weightedTargets adapts an explicit recipient weighting to the
+// distribution interface.
+type weightedTargets struct {
+	weights map[int]float64
+}
+
+func (w weightedTargets) Name() string { return fmt.Sprintf("weighted(%d targets)", len(w.weights)) }
+
+func (w weightedTargets) Probs(g *graph.Graph, _ graph.NodeID) []float64 {
+	probs := make([]float64, g.NumNodes())
+	var total float64
+	for v, weight := range w.weights {
+		if g.HasNode(graph.NodeID(v)) && weight > 0 {
+			probs[v] = weight
+			total += weight
+		}
+	}
+	if total > 0 {
+		for i := range probs {
+			probs[i] /= total
+		}
+	}
+	return probs
+}
+
+// Revenue returns the expected routing revenue E^rev of the strategy
+// (eq. 3), computed exactly from the through-node transit rate.
+func (p *JoinPlanner) Revenue(s Strategy) float64 {
+	return p.ev.Revenue(s.toCore(), core.RevenueExact)
+}
+
+// Fees returns the expected fees E^fees the joining user pays for its own
+// transactions under the strategy (+Inf when a recipient is unreachable).
+func (p *JoinPlanner) Fees(s Strategy) float64 {
+	return p.ev.Fees(s.toCore())
+}
+
+// Cost returns the channel costs Σ(C + r·lock) of the strategy.
+func (p *JoinPlanner) Cost(s Strategy) float64 {
+	return p.ev.Cost(s.toCore())
+}
+
+// Utility returns the full utility U = E^rev − E^fees − cost (−Inf when
+// the strategy leaves the user disconnected).
+func (p *JoinPlanner) Utility(s Strategy) float64 {
+	return p.ev.Utility(s.toCore(), core.RevenueExact)
+}
+
+// Greedy runs Algorithm 1: fixed lock per channel, (1−1/e)-approximate in
+// O(M·n) evaluations (Theorem 4).
+func (p *JoinPlanner) Greedy(budget, lock float64) (Plan, error) {
+	res, err := core.Greedy(p.ev, core.GreedyConfig{Budget: budget, Lock: lock})
+	if err != nil {
+		return Plan{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return planFrom(res), nil
+}
+
+// DiscreteSearch runs Algorithm 2: locks are multiples of unit,
+// exhaustive over budget divisions, (1−1/e)-approximate per division
+// (Theorem 5).
+func (p *JoinPlanner) DiscreteSearch(budget, unit float64) (Plan, error) {
+	res, err := core.DiscreteSearch(p.ev, core.DiscreteConfig{Budget: budget, Unit: unit})
+	if err != nil {
+		return Plan{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return planFrom(res), nil
+}
+
+// ContinuousSearch runs the §III-D local search on the benefit function
+// with continuous lock amounts.
+func (p *JoinPlanner) ContinuousSearch(budget float64) (Plan, error) {
+	res, err := core.ContinuousSearch(p.ev, core.ContinuousConfig{Budget: budget})
+	if err != nil {
+		return Plan{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return planFrom(res), nil
+}
+
+func planFrom(res core.Result) Plan {
+	return Plan{
+		Strategy:    fromCore(res.Strategy),
+		Objective:   res.Objective,
+		Utility:     res.Utility,
+		Evaluations: res.Evaluations,
+	}
+}

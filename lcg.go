@@ -1,0 +1,129 @@
+// Package lcg is a Go implementation of "Lightning Creation Games"
+// (Avarikioti, Lizurej, Michalak, Yeo — ICDCS 2023): the economics of
+// joining a payment channel network (PCN) and the stability of the
+// topologies that creation games produce.
+//
+// The package offers four entry points:
+//
+//   - Network: build or generate PCN topologies (stars, paths, circles,
+//     Barabási–Albert graphs, or hand-wired channel sets).
+//   - JoinPlanner: price a prospective join — expected routing revenue,
+//     expected fees, channel costs — and optimise the attachment strategy
+//     with the paper's algorithms (greedy, discretised exhaustive,
+//     continuous local search).
+//   - Stability: audit Nash equilibria of concrete topologies and
+//     evaluate the paper's closed-form star/path/circle results.
+//   - Simulate: replay Poisson transaction workloads over live channels
+//     to validate the analytic model end to end.
+//
+// Everything is deterministic per seed and built exclusively on the Go
+// standard library.
+package lcg
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// ErrBadInput reports invalid façade-level arguments.
+var ErrBadInput = errors.New("lcg: bad input")
+
+// Network is a PCN topology: users (nodes) connected by bidirectional
+// payment channels carrying a balance on each side.
+type Network struct {
+	g *graph.Graph
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{g: graph.New(0)} }
+
+// AddUser adds a user and returns its identifier (dense, starting at 0).
+func (n *Network) AddUser() int { return int(n.g.AddNode()) }
+
+// AddUsers adds k users.
+func (n *Network) AddUsers(k int) {
+	for i := 0; i < k; i++ {
+		n.g.AddNode()
+	}
+}
+
+// AddChannel opens a channel between a and b with the given balance on
+// each side.
+func (n *Network) AddChannel(a, b int, balanceA, balanceB float64) error {
+	if _, _, err := n.g.AddChannel(graph.NodeID(a), graph.NodeID(b), balanceA, balanceB); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return nil
+}
+
+// RemoveChannel closes the most recently opened channel between a and b.
+func (n *Network) RemoveChannel(a, b int) error {
+	if err := n.g.RemoveChannel(graph.NodeID(a), graph.NodeID(b)); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return nil
+}
+
+// NumUsers returns the number of users.
+func (n *Network) NumUsers() int { return n.g.NumNodes() }
+
+// NumChannels returns the number of channels.
+func (n *Network) NumChannels() int { return n.g.NumChannels() }
+
+// HasChannel reports whether at least one channel connects a and b.
+func (n *Network) HasChannel(a, b int) bool {
+	return n.g.HasEdgeBetween(graph.NodeID(a), graph.NodeID(b))
+}
+
+// Degree returns the number of channel endpoints at user v (the
+// in-degree the paper's distribution ranks by).
+func (n *Network) Degree(v int) int { return n.g.InDegree(graph.NodeID(v)) }
+
+// Diameter returns the longest shortest hop distance and whether the
+// network is strongly connected.
+func (n *Network) Diameter() (int, bool) { return n.g.Diameter() }
+
+// Clone returns an independent copy.
+func (n *Network) Clone() *Network { return &Network{g: n.g.Clone()} }
+
+// graphView exposes the underlying graph to sibling façade files.
+func (n *Network) graphView() *graph.Graph { return n.g }
+
+// Star returns a star network with the given number of leaves; user 0 is
+// the centre (§IV-B, Theorems 7-9).
+func Star(leaves int, balance float64) *Network {
+	return &Network{g: graph.Star(leaves, balance)}
+}
+
+// PathNetwork returns a path network on n users (Theorem 10).
+func PathNetwork(n int, balance float64) *Network {
+	return &Network{g: graph.Path(n, balance)}
+}
+
+// Circle returns a cycle network on n users (Theorem 11).
+func Circle(n int, balance float64) *Network {
+	return &Network{g: graph.Circle(n, balance)}
+}
+
+// Complete returns the complete network on n users.
+func Complete(n int, balance float64) *Network {
+	return &Network{g: graph.Complete(n, balance)}
+}
+
+// BarabasiAlbert returns a preferential-attachment network of n users
+// with m channels per arriving user — the generative model behind the
+// paper's transaction distribution (§I).
+func BarabasiAlbert(n, m int, balance float64, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{g: graph.BarabasiAlbert(n, m, balance, rng)}
+}
+
+// ErdosRenyi returns a G(n, p) random network, re-drawn until strongly
+// connected.
+func ErdosRenyi(n int, p float64, balance float64, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{g: graph.ConnectedErdosRenyi(n, p, balance, rng, 100)}
+}

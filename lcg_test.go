@@ -1,0 +1,417 @@
+package lcg
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNetworkBuilding(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddUser()
+	b := n.AddUser()
+	n.AddUsers(2)
+	if n.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d, want 4", n.NumUsers())
+	}
+	if err := n.AddChannel(a, b, 5, 5); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if !n.HasChannel(a, b) || !n.HasChannel(b, a) {
+		t.Fatal("channel not visible in both directions")
+	}
+	if n.NumChannels() != 1 {
+		t.Fatalf("NumChannels = %d, want 1", n.NumChannels())
+	}
+	if n.Degree(a) != 1 {
+		t.Fatalf("Degree = %d, want 1", n.Degree(a))
+	}
+	if err := n.RemoveChannel(a, b); err != nil {
+		t.Fatalf("RemoveChannel: %v", err)
+	}
+	if n.HasChannel(a, b) {
+		t.Fatal("channel survived removal")
+	}
+	if err := n.AddChannel(a, a, 1, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("self channel error = %v", err)
+	}
+	if err := n.RemoveChannel(a, b); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("missing channel error = %v", err)
+	}
+}
+
+func TestNetworkClone(t *testing.T) {
+	n := Star(3, 1)
+	c := n.Clone()
+	if err := c.RemoveChannel(0, 1); err != nil {
+		t.Fatalf("RemoveChannel: %v", err)
+	}
+	if !n.HasChannel(0, 1) {
+		t.Fatal("clone mutation affected original")
+	}
+}
+
+func TestTopologyConstructors(t *testing.T) {
+	tests := []struct {
+		name         string
+		n            *Network
+		wantUsers    int
+		wantChannels int
+	}{
+		{name: "star", n: Star(5, 1), wantUsers: 6, wantChannels: 5},
+		{name: "path", n: PathNetwork(4, 1), wantUsers: 4, wantChannels: 3},
+		{name: "circle", n: Circle(5, 1), wantUsers: 5, wantChannels: 5},
+		{name: "complete", n: Complete(4, 1), wantUsers: 4, wantChannels: 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.n.NumUsers() != tt.wantUsers || tt.n.NumChannels() != tt.wantChannels {
+				t.Fatalf("got %d users %d channels, want %d/%d",
+					tt.n.NumUsers(), tt.n.NumChannels(), tt.wantUsers, tt.wantChannels)
+			}
+		})
+	}
+	ba := BarabasiAlbert(20, 2, 1, 7)
+	if ba.NumUsers() != 20 {
+		t.Fatalf("BA users = %d", ba.NumUsers())
+	}
+	if _, conn := ba.Diameter(); !conn {
+		t.Fatal("BA network disconnected")
+	}
+	er := ErdosRenyi(10, 0.4, 1, 7)
+	if _, conn := er.Diameter(); !conn {
+		t.Fatal("ER network disconnected")
+	}
+}
+
+func TestJoinPlannerPricing(t *testing.T) {
+	n := Star(5, 10)
+	p, err := NewJoinPlanner(n, WithZipf(1.5))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	s := Strategy{{Peer: 0, Lock: 4}}
+	rev := p.Revenue(s)
+	fees := p.Fees(s)
+	cost := p.Cost(s)
+	if rev < 0 || fees <= 0 || cost <= 0 {
+		t.Fatalf("components rev=%v fees=%v cost=%v", rev, fees, cost)
+	}
+	if got := p.Utility(s); math.Abs(got-(rev-fees-cost)) > 1e-9 {
+		t.Fatalf("Utility = %v, want %v", got, rev-fees-cost)
+	}
+	// Disconnected strategy.
+	if got := p.Utility(nil); !math.IsInf(got, -1) {
+		t.Fatalf("Utility(∅) = %v, want −Inf", got)
+	}
+}
+
+func TestJoinPlannerAlgorithms(t *testing.T) {
+	n := BarabasiAlbert(14, 2, 10, 3)
+	p, err := NewJoinPlanner(n, WithParams(Params{
+		OnChainCost: 1,
+		OppCostRate: 0.02,
+		FAvg:        1,
+		FeePerHop:   0.2,
+		OwnRate:     2,
+	}))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	greedy, err := p.Greedy(6, 1)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if len(greedy.Strategy) == 0 {
+		t.Fatal("greedy returned no channels")
+	}
+	if greedy.Evaluations == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+	disc, err := p.DiscreteSearch(6, 1)
+	if err != nil {
+		t.Fatalf("DiscreteSearch: %v", err)
+	}
+	if disc.Objective < greedy.Objective-1e-9 {
+		t.Fatalf("discrete %v < greedy %v", disc.Objective, greedy.Objective)
+	}
+	cont, err := p.ContinuousSearch(6)
+	if err != nil {
+		t.Fatalf("ContinuousSearch: %v", err)
+	}
+	if len(cont.Strategy) == 0 {
+		t.Fatal("continuous search returned no channels")
+	}
+}
+
+func TestJoinPlannerCustomDemandAndTargets(t *testing.T) {
+	// Figure 2 through the public API: path A-B-C-D, flow A→D at rate 9,
+	// joining user pays only B.
+	n := PathNetwork(4, 100)
+	probs := [][]float64{
+		{0, 0, 0, 1},
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+	}
+	p, err := NewJoinPlanner(n,
+		WithDemand([]float64{9, 0, 0, 0}, probs),
+		WithJoinTargets(map[int]float64{1: 1}),
+		WithParams(Params{OnChainCost: 20, FAvg: 1, FeePerHop: 1, OwnRate: 1,
+			CapacityFactor: func(l float64) float64 { return math.Min(1, l/9) }}),
+	)
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	plan, err := p.DiscreteSearch(59, 1)
+	if err != nil {
+		t.Fatalf("DiscreteSearch: %v", err)
+	}
+	peers := map[int]bool{}
+	for _, a := range plan.Strategy {
+		peers[a.Peer] = true
+	}
+	if !peers[0] || !peers[3] {
+		t.Fatalf("plan %v, want channels to users 0 (A) and 3 (D)", plan.Strategy)
+	}
+}
+
+func TestJoinPlannerValidation(t *testing.T) {
+	n := Star(3, 1)
+	if _, err := NewJoinPlanner(n, WithDemand([]float64{1}, [][]float64{{0}})); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("short demand error = %v", err)
+	}
+	if _, err := NewJoinPlanner(n, WithParams(Params{})); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("zero params error = %v", err)
+	}
+	p, err := NewJoinPlanner(n)
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	if _, err := p.Greedy(-1, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("negative budget error = %v", err)
+	}
+	if _, err := p.DiscreteSearch(5, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("zero unit error = %v", err)
+	}
+}
+
+func TestStabilityFacade(t *testing.T) {
+	// Theorem 9 regime.
+	p := GameParams{ZipfS: 2.5, SenderRate: 1, FAvg: 0.5, FeePerHop: 0.5, LinkCost: 1}
+	if !Theorem9Regime(4, p) {
+		t.Fatal("expected Theorem 9 regime")
+	}
+	closed, exhaustive, err := StarStable(4, p)
+	if err != nil {
+		t.Fatalf("StarStable: %v", err)
+	}
+	if !closed || !exhaustive {
+		t.Fatalf("star not stable: closed=%v exhaustive=%v", closed, exhaustive)
+	}
+	// Free channels destabilise.
+	free := GameParams{ZipfS: 0.5, SenderRate: 1, FAvg: 1, FeePerHop: 0.1, LinkCost: 0}
+	stable, witness, err := IsNashEquilibrium(Star(4, 1), free)
+	if err != nil {
+		t.Fatalf("IsNashEquilibrium: %v", err)
+	}
+	if stable || witness == nil {
+		t.Fatal("star stable with free channels")
+	}
+	if witness.Gain <= 0 {
+		t.Fatalf("witness gain = %v", witness.Gain)
+	}
+}
+
+func TestStabilityTheorems(t *testing.T) {
+	p := DefaultGameParams()
+	dev, found, err := PathInstabilityWitness(6, p)
+	if err != nil {
+		t.Fatalf("PathInstabilityWitness: %v", err)
+	}
+	if !found || dev.Gain <= 0 {
+		t.Fatalf("no path deviation found (%v, %v)", found, dev)
+	}
+	n0, found, err := CircleCrossover(GameParams{ZipfS: 0.5, SenderRate: 1, FAvg: 0.5, FeePerHop: 0.5, LinkCost: 0.5}, 64)
+	if err != nil {
+		t.Fatalf("CircleCrossover: %v", err)
+	}
+	if !found || n0 < 4 {
+		t.Fatalf("crossover = (%d,%v)", n0, found)
+	}
+	pathLen, bound, holds, err := HubBound(Star(6, 1), GameParams{ZipfS: 2.5, SenderRate: 1, FAvg: 0.5, FeePerHop: 0.5, LinkCost: 2}, 0)
+	if err != nil {
+		t.Fatalf("HubBound: %v", err)
+	}
+	if pathLen != 2 || !holds || bound < 2 {
+		t.Fatalf("HubBound = (%d, %v, %v)", pathLen, bound, holds)
+	}
+}
+
+func TestUtilitiesAndBestResponse(t *testing.T) {
+	n := Star(3, 1)
+	utils, err := Utilities(n, DefaultGameParams())
+	if err != nil {
+		t.Fatalf("Utilities: %v", err)
+	}
+	if len(utils) != 4 {
+		t.Fatalf("utilities length = %d", len(utils))
+	}
+	dev, err := BestResponse(n, DefaultGameParams(), 1)
+	if err != nil {
+		t.Fatalf("BestResponse: %v", err)
+	}
+	if dev.Node != 1 {
+		t.Fatalf("deviation node = %d", dev.Node)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	n := Star(5, 1000)
+	report, err := Simulate(n, SimConfig{
+		Events:      5000,
+		ZipfS:       1,
+		TxSize:      1,
+		FeePerHop:   0.01,
+		OnChainFee:  1,
+		Seed:        5,
+		SteadyState: true,
+	})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if report.SuccessRate < 0.99 {
+		t.Fatalf("success rate = %v", report.SuccessRate)
+	}
+	hubPred := report.PredictedTransit[0]
+	hubMeas := report.MeasuredTransit[0]
+	if hubPred <= 0 {
+		t.Fatal("hub predicted transit not positive")
+	}
+	if rel := math.Abs(hubMeas-hubPred) / hubPred; rel > 0.15 {
+		t.Fatalf("hub transit rel err = %v", rel)
+	}
+	if _, err := Simulate(n, SimConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("zero events error = %v", err)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 20 {
+		t.Fatalf("experiment count = %d, want 20", len(ids))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("F1", 1, &buf); err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Fatalf("unexpected render: %s", buf.String())
+	}
+	buf.Reset()
+	if err := RunExperimentCSV("E9", 1, &buf); err != nil {
+		t.Fatalf("RunExperimentCSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "deviation found") {
+		t.Fatalf("unexpected CSV: %s", buf.String())
+	}
+	if err := RunExperiment("nope", 1, &buf); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("unknown experiment error = %v", err)
+	}
+}
+
+func TestBestResponseDynamicsFacade(t *testing.T) {
+	params := GameParams{ZipfS: 2, SenderRate: 1, FAvg: 0.5, FeePerHop: 0.5, LinkCost: 1}
+	start := Circle(6, 1)
+	report, err := BestResponseDynamics(start, params, 30)
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if !report.Converged {
+		t.Fatalf("dynamics did not converge: %+v", report)
+	}
+	if report.FinalClass != "star" {
+		t.Fatalf("final class = %s, want star", report.FinalClass)
+	}
+	// Input untouched.
+	if start.NumChannels() != 6 {
+		t.Fatal("dynamics mutated the starting network")
+	}
+	if report.Final.NumUsers() != 6 {
+		t.Fatalf("final users = %d", report.Final.NumUsers())
+	}
+	if _, err := BestResponseDynamics(start, GameParams{LinkCost: -1}, 5); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("invalid params error = %v", err)
+	}
+}
+
+func TestWithPaymentSizeReducesGraph(t *testing.T) {
+	// A network where one channel direction cannot carry the payment
+	// size: the planner must see longer distances through that direction.
+	n := NewNetwork()
+	n.AddUsers(3)
+	if err := n.AddChannel(0, 1, 10, 10); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if err := n.AddChannel(1, 2, 1, 10); err != nil { // 1→2 can carry only 1
+		t.Fatalf("AddChannel: %v", err)
+	}
+	full, err := NewJoinPlanner(n, WithUniformTransactions())
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	reduced, err := NewJoinPlanner(n, WithUniformTransactions(), WithPaymentSize(5))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	s := Strategy{{Peer: 0, Lock: 1}}
+	// Under the reduced graph, reaching user 2 from the join point via 0
+	// is impossible (1→2 is filtered out), so fees blow up to +Inf.
+	if math.IsInf(full.Fees(s), 1) {
+		t.Fatal("full-graph fees should be finite")
+	}
+	if !math.IsInf(reduced.Fees(s), 1) {
+		t.Fatal("reduced-graph fees should be +Inf for size-5 payments")
+	}
+}
+
+func TestWithPerUserZipf(t *testing.T) {
+	// User 1 transacts almost uniformly (s=0) while everyone else is
+	// strongly degree-biased: its demand row must differ from user 2's.
+	n := Star(5, 10)
+	base, err := NewJoinPlanner(n, WithZipf(3))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	custom, err := NewJoinPlanner(n, WithZipf(3), WithPerUserZipf(map[int]float64{1: 0}))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	s := Strategy{{Peer: 1, Lock: 1}, {Peer: 2, Lock: 1}}
+	// The joining user's fees are unchanged (its own distribution is the
+	// default), but revenue shifts because user 1's traffic pattern
+	// changed.
+	if math.Abs(base.Fees(s)-custom.Fees(s)) > 1e-9 {
+		t.Fatal("per-user override changed the joining user's own distribution")
+	}
+	if math.Abs(base.Revenue(s)-custom.Revenue(s)) < 1e-12 {
+		t.Fatal("per-user override had no effect on transit revenue")
+	}
+}
+
+func TestFacadeGuasoniCost(t *testing.T) {
+	n := Star(4, 10)
+	params := DefaultParams()
+	params.ChannelCostFn = GuasoniCost(1, 0.2, 2)
+	p, err := NewJoinPlanner(n, WithParams(params))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	s := Strategy{{Peer: 0, Lock: 5}}
+	want := GuasoniCost(1, 0.2, 2)(5)
+	if got := p.Cost(s); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,93 @@
+package lcg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// networkJSON is the stable on-disk representation of a Network: a user
+// count plus one record per channel with both directional balances.
+// Channels are listed in creation order, so a round-trip reproduces the
+// topology (and therefore every experiment that consumes it) exactly.
+type networkJSON struct {
+	// Users is the number of users.
+	Users int `json:"users"`
+	// Channels lists every channel.
+	Channels []channelJSON `json:"channels"`
+}
+
+type channelJSON struct {
+	// A and B are the channel's endpoints.
+	A int `json:"a"`
+	B int `json:"b"`
+	// BalanceA and BalanceB are the spendable balances on each side.
+	BalanceA float64 `json:"balanceA"`
+	BalanceB float64 `json:"balanceB"`
+}
+
+// MarshalJSON encodes the network topology with balances.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	pairs, unpaired := n.g.ChannelPairs()
+	if len(unpaired) > 0 {
+		return nil, fmt.Errorf("%w: %d directed edges without a reverse partner", ErrBadInput, len(unpaired))
+	}
+	out := networkJSON{
+		Users:    n.NumUsers(),
+		Channels: make([]channelJSON, len(pairs)),
+	}
+	for i, pair := range pairs {
+		fwd, rev := pair[0], pair[1]
+		out.Channels[i] = channelJSON{
+			A:        int(fwd.From),
+			B:        int(fwd.To),
+			BalanceA: fwd.Capacity,
+			BalanceB: rev.Capacity,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a network previously produced by MarshalJSON.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var in networkJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	if in.Users < 0 {
+		return fmt.Errorf("%w: negative user count", ErrBadInput)
+	}
+	rebuilt := graph.New(in.Users)
+	for i, ch := range in.Channels {
+		if _, _, err := rebuilt.AddChannel(graph.NodeID(ch.A), graph.NodeID(ch.B), ch.BalanceA, ch.BalanceB); err != nil {
+			return fmt.Errorf("%w: channel %d: %v", ErrBadInput, i, err)
+		}
+	}
+	n.g = rebuilt
+	return nil
+}
+
+// WriteJSON writes the network to w as indented JSON.
+func (n *Network) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(n, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadNetworkJSON reads a network from r.
+func ReadNetworkJSON(r io.Reader) (*Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	n := NewNetwork()
+	if err := n.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

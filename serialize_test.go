@@ -1,0 +1,123 @@
+package lcg
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	original := BarabasiAlbert(15, 2, 7, 13)
+	var buf bytes.Buffer
+	if err := original.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	restored, err := ReadNetworkJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadNetworkJSON: %v", err)
+	}
+	if restored.NumUsers() != original.NumUsers() || restored.NumChannels() != original.NumChannels() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			restored.NumUsers(), restored.NumChannels(), original.NumUsers(), original.NumChannels())
+	}
+	// The restored network must be byte-identical on re-marshal (stable
+	// representation), and must price joins identically.
+	a, err := json.Marshal(original)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	b, err := json.Marshal(restored)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-marshal not stable")
+	}
+	p1, err := NewJoinPlanner(original, WithZipf(1))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	p2, err := NewJoinPlanner(restored, WithZipf(1))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	s := Strategy{{Peer: 0, Lock: 1}, {Peer: 5, Lock: 2}}
+	if p1.Utility(s) != p2.Utility(s) {
+		t.Fatalf("round trip changed pricing: %v vs %v", p1.Utility(s), p2.Utility(s))
+	}
+}
+
+func TestNetworkJSONRoundTripProperty(t *testing.T) {
+	check := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%16) + 3
+		m := int(mRaw%2) + 1
+		original := BarabasiAlbert(n, m, 5, seed)
+		data, err := json.Marshal(original)
+		if err != nil {
+			return false
+		}
+		restored := NewNetwork()
+		if err := restored.UnmarshalJSON(data); err != nil {
+			return false
+		}
+		if restored.NumUsers() != original.NumUsers() || restored.NumChannels() != original.NumChannels() {
+			return false
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if original.HasChannel(a, b) != restored.HasChannel(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkJSONContent(t *testing.T) {
+	n := NewNetwork()
+	n.AddUsers(2)
+	if err := n.AddChannel(0, 1, 10, 7); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	want := `{"users":2,"channels":[{"a":0,"b":1,"balanceA":10,"balanceB":7}]}`
+	if string(data) != want {
+		t.Fatalf("JSON = %s, want %s", data, want)
+	}
+}
+
+func TestNetworkJSONErrors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.UnmarshalJSON([]byte(`{"users":-1}`)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("negative users error = %v", err)
+	}
+	if err := n.UnmarshalJSON([]byte(`not json`)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("garbage error = %v", err)
+	}
+	if err := n.UnmarshalJSON([]byte(`{"users":2,"channels":[{"a":0,"b":9}]}`)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad endpoint error = %v", err)
+	}
+	if _, err := ReadNetworkJSON(strings.NewReader(`{"users":1,"channels":[{"a":0,"b":0}]}`)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("self channel error = %v", err)
+	}
+}
+
+func TestUnmarshalFailureLeavesNetworkIntact(t *testing.T) {
+	n := Star(3, 1)
+	if err := n.UnmarshalJSON([]byte(`garbage`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if n.NumChannels() != 3 {
+		t.Fatal("failed unmarshal corrupted the network")
+	}
+}

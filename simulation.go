@@ -1,0 +1,111 @@
+package lcg
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/simulate"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// SimConfig parametrises a workload replay over a network.
+type SimConfig struct {
+	// Events is the number of transactions to replay (required).
+	Events int
+	// ZipfS is the transaction distribution's scale parameter.
+	ZipfS float64
+	// TotalRate is the aggregate sender rate N; 0 means one transaction
+	// per user per time unit.
+	TotalRate float64
+	// TxSize is the fixed transaction size; 0 sends tiny probes.
+	TxSize float64
+	// FeePerHop is the fee an intermediary charges per forwarded
+	// transaction.
+	FeePerHop float64
+	// OnChainFee is the miner fee per on-chain transaction.
+	OnChainFee float64
+	// Seed makes the run deterministic.
+	Seed int64
+	// SteadyState, when true, rebalances channels periodically so
+	// measured rates match the analytic stationary model.
+	SteadyState bool
+}
+
+// SimReport aggregates a simulation run.
+type SimReport struct {
+	// Events, Successes, Failures count replayed transactions.
+	Events, Successes, Failures int
+	// SuccessRate is Successes/Events.
+	SuccessRate float64
+	// Volume is the total value delivered.
+	Volume float64
+	// FeesPaid is the total routing fees paid by senders.
+	FeesPaid float64
+	// MeasuredTransit[v] is user v's observed forwarding rate.
+	MeasuredTransit []float64
+	// PredictedTransit[v] is the analytic rate from §II-B's weighted
+	// betweenness.
+	PredictedTransit []float64
+}
+
+// Simulate replays a Poisson workload over a live copy of the network
+// (balances, multi-hop fees, atomic failures) and reports measured
+// against analytic transit rates.
+func Simulate(n *Network, cfg SimConfig) (SimReport, error) {
+	if cfg.Events <= 0 {
+		return SimReport{}, fmt.Errorf("%w: events %d", ErrBadInput, cfg.Events)
+	}
+	total := cfg.TotalRate
+	if total == 0 {
+		total = float64(n.NumUsers())
+	}
+	g := n.graphView()
+	demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: cfg.ZipfS}, total)
+	if err != nil {
+		return SimReport{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	ledger, err := chain.NewLedger(cfg.OnChainFee)
+	if err != nil {
+		return SimReport{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	network, err := payment.FromGraph(ledger, fee.Constant{F: cfg.FeePerHop}, g)
+	if err != nil {
+		return SimReport{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	var sizes traffic.SizeSampler
+	if cfg.TxSize > 0 {
+		sizes = fee.FixedSize{T: cfg.TxSize}
+	}
+	rebalance := 0
+	if cfg.SteadyState {
+		rebalance = 500
+	}
+	res, err := simulate.Run(network, simulate.Config{
+		Demand:         demand,
+		Sizes:          sizes,
+		Events:         cfg.Events,
+		Seed:           cfg.Seed,
+		RebalanceEvery: rebalance,
+	})
+	if err != nil {
+		return SimReport{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	report := SimReport{
+		Events:           res.Events,
+		Successes:        res.Successes,
+		Failures:         res.Failures,
+		SuccessRate:      res.SuccessRate(),
+		Volume:           res.Volume,
+		FeesPaid:         res.FeesPaid,
+		MeasuredTransit:  make([]float64, n.NumUsers()),
+		PredictedTransit: simulate.PredictedTransit(g, demand),
+	}
+	for v := 0; v < n.NumUsers(); v++ {
+		report.MeasuredTransit[v] = res.TransitRate(graph.NodeID(v))
+	}
+	return report, nil
+}

@@ -1,0 +1,146 @@
+package lcg
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/game"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// GameParams fixes the creation-game parameters of §IV: symmetric sender
+// rates, a global fee pair, a shared per-party channel cost, and the
+// modified-Zipf scale of the transaction distribution.
+type GameParams struct {
+	// ZipfS is the scale parameter s of the degree-ranked distribution.
+	ZipfS float64
+	// SenderRate is N_v, every node's transaction rate.
+	SenderRate float64
+	// FAvg is favg (b = SenderRate·FAvg in the paper's shorthand).
+	FAvg float64
+	// FeePerHop is f^T_avg (a = SenderRate·FeePerHop).
+	FeePerHop float64
+	// LinkCost is l, each party's cost per channel.
+	LinkCost float64
+}
+
+// DefaultGameParams returns the baseline configuration used by the
+// stability experiments.
+func DefaultGameParams() GameParams {
+	return GameParams{ZipfS: 1, SenderRate: 1, FAvg: 0.5, FeePerHop: 0.5, LinkCost: 1}
+}
+
+func (p GameParams) toGame() game.Config {
+	return game.Config{
+		Dist:       txdist.ModifiedZipf{S: p.ZipfS},
+		SenderRate: p.SenderRate,
+		FAvg:       p.FAvg,
+		FeePerHop:  p.FeePerHop,
+		LinkCost:   p.LinkCost,
+	}
+}
+
+// Deviation describes an improving unilateral strategy change.
+type Deviation struct {
+	// Node is the deviating user.
+	Node int
+	// Neighbors is the replacement channel-peer set.
+	Neighbors []int
+	// Gain is the utility improvement.
+	Gain float64
+}
+
+// Utilities returns every user's utility in the creation game: routing
+// revenue minus expected fees minus channel costs (−Inf for users cut off
+// from recipients they transact with).
+func Utilities(n *Network, p GameParams) ([]float64, error) {
+	utils, err := game.Utilities(n.graphView(), p.toGame())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return utils, nil
+}
+
+// IsNashEquilibrium exhaustively checks whether any user can improve by
+// rewiring its channels (2^(n−1) deviations per user: keep n small).
+func IsNashEquilibrium(n *Network, p GameParams) (bool, *Deviation, error) {
+	report, err := game.IsNashEquilibrium(n.graphView(), p.toGame())
+	if err != nil {
+		return false, nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	if report.IsEquilibrium {
+		return true, nil, nil
+	}
+	return false, deviationFrom(report.Witness), nil
+}
+
+// BestResponse returns user u's utility-maximising rewiring.
+func BestResponse(n *Network, p GameParams, u int) (Deviation, error) {
+	dev, err := game.BestResponse(n.graphView(), p.toGame(), graph.NodeID(u))
+	if err != nil {
+		return Deviation{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return *deviationFrom(&dev), nil
+}
+
+// StarStable evaluates the star topology with the given number of leaves
+// both ways: the paper's closed-form Theorem 8 condition system and the
+// exhaustive deviation search.
+func StarStable(leaves int, p GameParams) (closedForm, exhaustive bool, err error) {
+	cfg := p.toGame()
+	closedForm = game.StarClosedFormNEConfig(leaves, p.ZipfS, cfg)
+	report, err := game.IsNashEquilibrium(graph.Star(leaves, 1), cfg)
+	if err != nil {
+		return false, false, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return closedForm, report.IsEquilibrium, nil
+}
+
+// Theorem9Regime reports whether the parameters fall in Theorem 9's
+// sufficient star-stability regime (s ≥ 2, a/H ≤ l, b/H ≤ l).
+func Theorem9Regime(leaves int, p GameParams) bool {
+	cfg := p.toGame()
+	return game.Theorem9Applies(leaves, p.ZipfS, cfg.A(), cfg.B(), cfg.LinkCost)
+}
+
+// PathInstabilityWitness returns the improving endpoint deviation of an
+// n-user path (Theorem 10 asserts one always exists).
+func PathInstabilityWitness(n int, p GameParams) (Deviation, bool, error) {
+	dev, found, err := game.PathUnstableWitness(n, p.toGame())
+	if err != nil {
+		return Deviation{}, false, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return *deviationFrom(&dev), found, nil
+}
+
+// CircleCrossover returns the smallest circle size in [4, maxN] at which
+// connecting to the opposite node becomes profitable (Theorem 11's n0).
+func CircleCrossover(p GameParams, maxN int) (n0 int, found bool, err error) {
+	n0, found, err = game.CircleCrossover(p.toGame(), 4, maxN)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return n0, found, nil
+}
+
+// HubBound audits Theorem 6 for the given hub: the measured longest
+// shortest path through the hub, the closed-form bound, and whether the
+// bound holds.
+func HubBound(n *Network, p GameParams, hub int) (pathLen int, bound float64, holds bool, err error) {
+	report, err := game.AuditHubBound(n.graphView(), p.toGame(), graph.NodeID(hub))
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return report.PathLen, report.Bound, report.Holds(), nil
+}
+
+func deviationFrom(d *game.Deviation) *Deviation {
+	if d == nil {
+		return nil
+	}
+	neighbors := make([]int, len(d.Neighbors))
+	for i, v := range d.Neighbors {
+		neighbors[i] = int(v)
+	}
+	return &Deviation{Node: int(d.Node), Neighbors: neighbors, Gain: d.Gain}
+}
