@@ -30,6 +30,52 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
+// benchExperimentParallel regenerates the same artifact over the
+// all-cores worker pool; paired with the serial benchmark of the same id
+// it measures the parallel engine's wall-clock speedup (the output is
+// byte-identical by construction).
+func benchExperimentParallel(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		err := RunExperiments([]string{id}, ExperimentOptions{Seed: 1, Parallelism: 0}, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The serial/parallel pairs below measure the engine on the heaviest
+// trial-loop experiments. On a ≥ 4-core machine the parallel variants
+// should run ≥ 1.5× faster; on one core they cost a few percent of
+// goroutine overhead.
+func BenchmarkE1SubmodularityParallel(b *testing.B) { benchExperimentParallel(b, "E1") }
+func BenchmarkE4GreedyRatioParallel(b *testing.B)   { benchExperimentParallel(b, "E4") }
+func BenchmarkE6ContinuousRatioParallel(b *testing.B) {
+	benchExperimentParallel(b, "E6")
+}
+func BenchmarkE18BoundaryParallel(b *testing.B) { benchExperimentParallel(b, "E18") }
+
+// BenchmarkSuite regenerates the full F1-F2 + E1-E18 corpus end to end,
+// serial vs parallel — the headline number of the parallel engine.
+func BenchmarkSuite(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{name: "serial", parallelism: 1},
+		{name: "parallel", parallelism: 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := RunExperiments(nil, ExperimentOptions{Seed: 1, Parallelism: bc.parallelism}, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkF1ChannelSemantics(b *testing.B)   { benchExperiment(b, "F1") }
 func BenchmarkF2JoiningExample(b *testing.B)     { benchExperiment(b, "F2") }
 func BenchmarkE1Submodularity(b *testing.B)      { benchExperiment(b, "E1") }

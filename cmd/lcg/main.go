@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	lcg experiments [-seed N] [-csv] [id ...]   regenerate paper tables (default: all)
-//	lcg join        [flags]                     price and optimise a join
-//	lcg stability   [flags]                     audit star/path/circle equilibria
-//	lcg simulate    [flags]                     replay a Poisson workload
+//	lcg list                                               list experiment ids and titles
+//	lcg experiments [-seed N] [-csv] [-parallel P] [id ...] regenerate paper tables (default: all)
+//	lcg join        [flags]                                price and optimise a join
+//	lcg stability   [flags]                                audit star/path/circle equilibria
+//	lcg simulate    [flags]                                replay a Poisson workload
 package main
 
 import (
@@ -32,8 +33,10 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	switch args[0] {
-	case "experiments":
+	case "experiments", "run":
 		return runExperiments(args[1:], w)
+	case "list":
+		return runList(w)
 	case "join":
 		return runJoin(args[1:], w)
 	case "stability":
@@ -57,7 +60,10 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `lcg — Lightning Creation Games (ICDCS 2023) reproduction
 
 commands:
-  experiments [-seed N] [-csv] [id ...]  regenerate paper tables (default: all)
+  list                                   list experiment ids and titles
+  experiments [-seed N] [-csv] [-parallel P] [id ...]
+                                         regenerate paper tables (default: all);
+                                         'run' is an alias
   join        [flags]                    price and optimise joining a network
   stability   [flags]                    audit star/path/circle equilibria
   simulate    [flags]                    replay a Poisson workload over live channels
@@ -71,6 +77,7 @@ func runExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "random seed for the experiment corpus")
 	asCSV := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = all cores, 1 = serial); output is identical at any setting")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,17 +86,16 @@ func runExperiments(args []string, w io.Writer) error {
 	if len(ids) == 0 {
 		ids = lcg.ExperimentIDs()
 	}
-	for i, id := range ids {
-		if i > 0 {
-			fmt.Fprintln(w)
-		}
-		var err error
-		if *asCSV {
-			err = lcg.RunExperimentCSV(id, *seed, w)
-		} else {
-			err = lcg.RunExperiment(id, *seed, w)
-		}
-		if err != nil {
+	return lcg.RunExperiments(ids, lcg.ExperimentOptions{
+		Seed:        *seed,
+		Parallelism: *parallel,
+		CSV:         *asCSV,
+	}, w)
+}
+
+func runList(w io.Writer) error {
+	for _, info := range lcg.Experiments() {
+		if _, err := fmt.Fprintf(w, "%-4s %s\n", info.ID, info.Title); err != nil {
 			return err
 		}
 	}

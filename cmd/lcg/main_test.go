@@ -49,6 +49,47 @@ func TestExperimentsSubsetAndCSV(t *testing.T) {
 	}
 }
 
+func TestListCommand(t *testing.T) {
+	out, err := runCLI(t, "list")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, id := range []string{"F1", "F2", "E1", "E18"} {
+		if !strings.Contains(out, id+" ") && !strings.Contains(out, id+"  ") {
+			t.Fatalf("list output missing %s:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("list output missing titles:\n%s", out)
+	}
+}
+
+func TestExperimentsParallelFlagMatchesSerial(t *testing.T) {
+	// E4 has randomised parallel inner trials, so this exercises the
+	// full Parallelism plumbing, not just outer table ordering.
+	serial, err := runCLI(t, "experiments", "-parallel", "1", "F2", "E4")
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parallel, err := runCLI(t, "experiments", "-parallel", "4", "F2", "E4")
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial != parallel {
+		t.Fatalf("-parallel 4 output diverges from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestRunAliasForExperiments(t *testing.T) {
+	out, err := runCLI(t, "run", "F1")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("run alias output: %s", out)
+	}
+}
+
 func TestJoinCommand(t *testing.T) {
 	for _, algo := range []string{"greedy", "discrete", "continuous"} {
 		out, err := runCLI(t, "join", "-topology", "star", "-n", "6", "-algorithm", algo, "-budget", "4")

@@ -1,0 +1,49 @@
+package lcg
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesBuildAndVet compiles and vets every program under
+// examples/ so the walkthroughs cannot drift from the library API. The
+// table is discovered from the directory listing: adding an example
+// automatically puts it under test.
+func TestExamplesBuildAndVet(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("read examples/: %v", err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example programs found under examples/")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			pkg := "./" + filepath.ToSlash(filepath.Join("examples", dir))
+			for _, sub := range [][]string{
+				{"build", "-o", os.DevNull, pkg},
+				{"vet", pkg},
+			} {
+				cmd := exec.Command(goBin, sub...)
+				cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+				if out, err := cmd.CombinedOutput(); err != nil {
+					t.Fatalf("go %v: %v\n%s", sub, err, out)
+				}
+			}
+		})
+	}
+}

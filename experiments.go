@@ -7,26 +7,94 @@ import (
 	"github.com/lightning-creation-games/lcg/internal/experiments"
 )
 
-// ExperimentIDs lists the reproducible paper artifacts: F1-F2 (figures)
-// and E1-E12 (theorem and algorithm experiments). See DESIGN.md for the
-// index and EXPERIMENTS.md for paper-vs-measured notes.
+// ExperimentIDs lists the reproducible paper artifacts: F1-F2 (figures),
+// E1-E12 (theorem and algorithm experiments) and E13-E18 (extension
+// studies). See DESIGN.md for the index and EXPERIMENTS.md for
+// paper-vs-measured notes.
 func ExperimentIDs() []string { return experiments.IDs() }
 
-// RunExperiment regenerates one experiment table deterministically from
-// the seed and renders it to w as aligned text.
-func RunExperiment(id string, seed int64, w io.Writer) error {
-	tbl, err := experiments.Run(id, seed)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadInput, err)
-	}
-	return tbl.Render(w)
+// ExperimentInfo describes one experiment for listings.
+type ExperimentInfo struct {
+	// ID is the stable identifier (F1, E4, ...).
+	ID string
+	// Title is the one-line description.
+	Title string
 }
 
-// RunExperimentCSV regenerates one experiment table as CSV.
+// Experiments returns every experiment in display order.
+func Experiments() []ExperimentInfo {
+	specs := experiments.All()
+	infos := make([]ExperimentInfo, len(specs))
+	for i, s := range specs {
+		infos[i] = ExperimentInfo{ID: s.ID, Title: s.Title}
+	}
+	return infos
+}
+
+// ExperimentOptions configure how experiment tables are regenerated.
+type ExperimentOptions struct {
+	// Seed drives the corpus; every experiment is a deterministic
+	// function of it.
+	Seed int64
+
+	// Parallelism bounds the worker goroutines used across experiments
+	// and inside each experiment's trial loops. 1 runs everything
+	// serially; values ≤ 0 use all cores (runtime.GOMAXPROCS). The
+	// rendered tables are byte-identical at every setting — only
+	// wall-clock measurement columns (E5, E12) vary, as they do between
+	// any two runs.
+	Parallelism int
+
+	// CSV selects CSV output instead of aligned text.
+	CSV bool
+}
+
+// RunExperiment regenerates one experiment table deterministically from
+// the seed and renders it to w as aligned text, single-threaded. Use
+// RunExperiments to control parallelism and output format.
+func RunExperiment(id string, seed int64, w io.Writer) error {
+	return RunExperiments([]string{id}, ExperimentOptions{Seed: seed, Parallelism: 1}, w)
+}
+
+// RunExperimentCSV regenerates one experiment table as CSV,
+// single-threaded.
 func RunExperimentCSV(id string, seed int64, w io.Writer) error {
-	tbl, err := experiments.Run(id, seed)
+	return RunExperiments([]string{id}, ExperimentOptions{Seed: seed, Parallelism: 1, CSV: true}, w)
+}
+
+// RunExperiments regenerates the given experiment tables (all of them
+// when ids is empty) and renders them to w in request order, separated by
+// blank lines. The experiments and their inner trial loops execute on a
+// bounded worker pool of opts.Parallelism goroutines; each table is
+// rendered as soon as it and its predecessors finish, so output streams
+// progressively while remaining byte-identical at any parallelism.
+func RunExperiments(ids []string, opts ExperimentOptions, w io.Writer) error {
+	runner := experiments.NewRunner(experiments.Options{
+		Seed:        opts.Seed,
+		Parallelism: opts.Parallelism,
+	})
+	var renderErr error
+	err := runner.RunEach(ids, func(i int, tbl *experiments.Table) error {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				renderErr = err
+				return err
+			}
+		}
+		var err error
+		if opts.CSV {
+			err = tbl.CSV(w)
+		} else {
+			err = tbl.Render(w)
+		}
+		renderErr = err
+		return err
+	})
 	if err != nil {
+		if renderErr != nil {
+			return renderErr // I/O failure, not a bad experiment request
+		}
 		return fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
-	return tbl.CSV(w)
+	return nil
 }

@@ -1,0 +1,64 @@
+package lcg
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunExperimentsParallelMatchesSerial(t *testing.T) {
+	ids := []string{"F2", "E4"}
+	var serial, parallel bytes.Buffer
+	if err := RunExperiments(ids, ExperimentOptions{Seed: 1, Parallelism: 1}, &serial); err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	if err := RunExperiments(ids, ExperimentOptions{Seed: 1, Parallelism: 4}, &parallel); err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("parallel façade output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if !strings.Contains(serial.String(), "== F2:") || !strings.Contains(serial.String(), "== E4:") {
+		t.Fatalf("missing tables in output:\n%s", serial.String())
+	}
+}
+
+func TestRunExperimentsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiments([]string{"E9"}, ExperimentOptions{Seed: 1, Parallelism: 2, CSV: true}, &buf); err != nil {
+		t.Fatalf("RunExperiments: %v", err)
+	}
+	if !strings.Contains(buf.String(), "deviation found") {
+		t.Fatalf("CSV header missing:\n%s", buf.String())
+	}
+}
+
+func TestRunExperimentsUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunExperiments([]string{"E99"}, ExperimentOptions{Seed: 1}, &buf)
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("error = %v, want ErrBadInput", err)
+	}
+}
+
+func TestExperimentsListingMatchesIDs(t *testing.T) {
+	infos := Experiments()
+	ids := ExperimentIDs()
+	if len(infos) != len(ids) {
+		t.Fatalf("Experiments() lists %d entries, ExperimentIDs() %d", len(infos), len(ids))
+	}
+	sorted := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		sorted[id] = true
+	}
+	for _, info := range infos {
+		if !sorted[info.ID] {
+			t.Fatalf("listing id %s missing from ExperimentIDs()", info.ID)
+		}
+		if info.Title == "" {
+			t.Fatalf("experiment %s has no title", info.ID)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/lightning-creation-games/lcg
+
+go 1.22

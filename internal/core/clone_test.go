@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func cloneTestEvaluator(t *testing.T) *JoinEvaluator {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := graph.BarabasiAlbert(14, 2, 10, rng)
+	dist := txdist.ModifiedZipf{S: 1}
+	demand, err := traffic.NewUniformDemand(g, dist, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewJoinEvaluator(g, dist, demand, Params{
+		OnChainCost: 1,
+		OppCostRate: 0.05,
+		FAvg:        1,
+		FeePerHop:   0.2,
+		OwnRate:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCloneAgreesWithOriginal(t *testing.T) {
+	e := cloneTestEvaluator(t)
+	e.FixedRate(0) // build λ̂ once so the clone shares it
+	c := e.Clone()
+	strategies := []Strategy{
+		{{Peer: 0, Lock: 1}},
+		{{Peer: 1, Lock: 2}, {Peer: 3, Lock: 0}},
+		{{Peer: 2, Lock: 1}, {Peer: 5, Lock: 4}, {Peer: 7, Lock: 1}},
+	}
+	for _, model := range []RevenueModel{RevenueExact, RevenueFixedRate} {
+		for _, s := range strategies {
+			if got, want := c.Utility(s, model), e.Utility(s, model); got != want {
+				t.Fatalf("clone Utility(%v, %v) = %v, original %v", s, model, got, want)
+			}
+			if got, want := c.Simplified(s, model), e.Simplified(s, model); got != want {
+				t.Fatalf("clone Simplified(%v, %v) = %v, original %v", s, model, got, want)
+			}
+		}
+	}
+}
+
+func TestCloneResetsEvaluationCounter(t *testing.T) {
+	e := cloneTestEvaluator(t)
+	s := Strategy{{Peer: 0, Lock: 1}}
+	e.Utility(s, RevenueExact)
+	e.Utility(s, RevenueExact)
+	c := e.Clone()
+	if c.Evaluations() != 0 {
+		t.Fatalf("clone starts with %d evaluations, want 0", c.Evaluations())
+	}
+	c.Utility(s, RevenueExact)
+	if c.Evaluations() != 1 {
+		t.Fatalf("clone counter = %d, want 1", c.Evaluations())
+	}
+	if e.Evaluations() != 2 {
+		t.Fatalf("original counter moved to %d, want 2", e.Evaluations())
+	}
+}
+
+// TestCloneConcurrentUse drives one clone per goroutine through the full
+// pricing surface; under -race it proves clones share no mutable state.
+func TestCloneConcurrentUse(t *testing.T) {
+	e := cloneTestEvaluator(t)
+	e.FixedRate(0)
+	want := e.Clone().Utility(Strategy{{Peer: 1, Lock: 2}}, RevenueFixedRate)
+	var wg sync.WaitGroup
+	got := make([]float64, 8)
+	for w := 0; w < len(got); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := e.Clone()
+			for i := 0; i < 20; i++ {
+				got[w] = c.Utility(Strategy{{Peer: 1, Lock: 2}}, RevenueFixedRate)
+				c.TransitRate(Strategy{{Peer: graph.NodeID(w % 14), Lock: 1}})
+				c.Fees(Strategy{{Peer: graph.NodeID((w + i) % 14), Lock: 1}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, g := range got {
+		if g != want {
+			t.Fatalf("worker %d priced %v, want %v", w, g, want)
+		}
+	}
+}
+
+// TestCloneConcurrentLazyFixedRates clones before the λ̂ table exists;
+// each clone must lazily build its own identical copy without racing.
+func TestCloneConcurrentLazyFixedRates(t *testing.T) {
+	e := cloneTestEvaluator(t)
+	want := e.Clone().FixedRate(3)
+	var wg sync.WaitGroup
+	got := make([]float64, 6)
+	for w := 0; w < len(got); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = e.Clone().FixedRate(3)
+		}(w)
+	}
+	wg.Wait()
+	for w, g := range got {
+		if g != want {
+			t.Fatalf("worker %d estimated λ̂ = %v, want %v", w, g, want)
+		}
+	}
+}

@@ -84,6 +84,27 @@ func NewJoinEvaluator(g *graph.Graph, dist txdist.Distribution, demand *traffic.
 	}, nil
 }
 
+// Clone returns an evaluator that prices strategies independently of the
+// receiver, sharing the immutable precomputation — the graph, the
+// all-pairs shortest-path structure, the demand, the joining user's
+// transaction probabilities and (if already built) the λ̂ estimates —
+// while resetting the per-evaluator scratch state (the evaluation
+// counter). Cloning is O(1).
+//
+// Each clone may be used by a different goroutine without locks, which is
+// what makes the parallel experiment engine possible: the evaluator's
+// only mutations are the evaluation counter and the lazily built λ̂
+// table, and both live per clone. Call FixedRate (or any fixed-rate
+// optimiser) once before cloning so the λ̂ table is built once and
+// shared; clones created before it exists each build their own identical
+// copy on first use. The parameters' function fields must be pure for
+// clones to agree with the original.
+func (e *JoinEvaluator) Clone() *JoinEvaluator {
+	c := *e
+	c.evals = 0
+	return &c
+}
+
 // Graph returns the underlying PCN topology.
 func (e *JoinEvaluator) Graph() *graph.Graph { return e.g }
 

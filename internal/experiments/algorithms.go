@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"time"
 
 	"github.com/lightning-creation-games/lcg/internal/core"
@@ -11,9 +10,11 @@ import (
 
 // E4GreedyRatio compares Algorithm 1 against the brute-force optimum of
 // U' across a random corpus, reporting the worst observed ratio per
-// configuration (Theorem 4 guarantees ≥ 1−1/e ≈ 0.632).
-func E4GreedyRatio(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// configuration (Theorem 4 guarantees ≥ 1−1/e ≈ 0.632). The corpus is
+// flat: every (configuration, trial) pair is one parallel work item with
+// its own derived random stream, and the per-configuration aggregation
+// happens afterwards in index order.
+func E4GreedyRatio(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Title:   "Greedy (Alg 1) vs brute-force optimum of U'",
@@ -30,56 +31,81 @@ func E4GreedyRatio(seed int64) (*Table, error) {
 	params := corpusParams()
 	params.FAvg = 2
 	params.FeePerHop = 0.2
+	type config struct {
+		n      int
+		budget float64
+	}
+	var configs []config
 	for _, n := range []int{8, 10, 12} {
 		for _, budget := range []float64{4, 6, 8} {
-			const trials = 6
-			minRatio := math.Inf(1)
-			var sumRatio float64
-			ratios := 0
-			var sumEvals float64
-			for trial := 0; trial < trials; trial++ {
-				e, err := corpusEvaluator("er", n, rng, params)
-				if err != nil {
-					return nil, err
-				}
-				res, err := core.Greedy(e, core.GreedyConfig{Budget: budget, Lock: 1})
-				if err != nil {
-					return nil, err
-				}
-				sumEvals += float64(res.Evaluations)
-				opt, err := core.BruteForce(e, core.BruteForceConfig{Budget: budget, Locks: []float64{1}})
-				if err != nil {
-					return nil, err
-				}
-				if opt.Truncated || opt.Objective <= 0 || math.IsInf(opt.Objective, 0) {
-					continue
-				}
-				ratio := res.Objective / opt.Objective
-				if ratio < minRatio {
-					minRatio = ratio
-				}
-				sumRatio += ratio
-				ratios++
-			}
-			if ratios == 0 {
+			configs = append(configs, config{n: n, budget: budget})
+		}
+	}
+	const trials = 6
+	type trial struct {
+		ratio float64
+		evals int
+		ok    bool
+	}
+	results, err := collect(ctx.pool, len(configs)*trials, func(k int) (trial, error) {
+		cfg := configs[k/trials]
+		rng := ctx.SubRand(k/trials, k%trials)
+		e, err := corpusEvaluator("er", cfg.n, rng, params)
+		if err != nil {
+			return trial{}, err
+		}
+		res, err := core.Greedy(e, core.GreedyConfig{Budget: cfg.budget, Lock: 1})
+		if err != nil {
+			return trial{}, err
+		}
+		opt, err := core.BruteForce(e, core.BruteForceConfig{Budget: cfg.budget, Locks: []float64{1}})
+		if err != nil {
+			return trial{}, err
+		}
+		if opt.Truncated || opt.Objective <= 0 || math.IsInf(opt.Objective, 0) {
+			return trial{evals: res.Evaluations}, nil
+		}
+		return trial{ratio: res.Objective / opt.Objective, evals: res.Evaluations, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range configs {
+		minRatio := math.Inf(1)
+		var sumRatio, sumEvals float64
+		ratios := 0
+		for _, tr := range results[i*trials : (i+1)*trials] {
+			sumEvals += float64(tr.evals)
+			if !tr.ok {
 				continue
 			}
-			m := int(budget / 2) // C + lock = 2
-			t.AddRow(n, budget, m, ratios,
-				fmt.Sprintf("%.4f", minRatio),
-				fmt.Sprintf("%.4f", sumRatio/float64(ratios)),
-				fmt.Sprintf("%.0f", sumEvals/float64(trials)),
-				fmt.Sprintf("%.4f", bound))
+			if tr.ratio < minRatio {
+				minRatio = tr.ratio
+			}
+			sumRatio += tr.ratio
+			ratios++
 		}
+		if ratios == 0 {
+			continue
+		}
+		m := int(cfg.budget / 2) // C + lock = 2
+		t.AddRow(cfg.n, cfg.budget, m, ratios,
+			fmt.Sprintf("%.4f", minRatio),
+			fmt.Sprintf("%.4f", sumRatio/float64(ratios)),
+			fmt.Sprintf("%.0f", sumEvals/float64(trials)),
+			fmt.Sprintf("%.4f", bound))
 	}
 	return t, nil
 }
 
 // E5DiscreteTradeoff sweeps Algorithm 2's granularity m, exposing the
 // paper's trade-off: smaller m explores more divisions (better capital
-// control, more runtime).
-func E5DiscreteTradeoff(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// control, more runtime). The four granularities run concurrently on
+// clones of one evaluator, sharing the all-pairs precomputation and the
+// λ̂ table. The evaluations column is the deterministic work measure;
+// the wall-clock column is indicative only — at parallelism > 1 the
+// sweeps time each other's scheduler contention.
+func E5DiscreteTradeoff(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E5",
 		Title:   "Discretised search (Alg 2): granularity m vs quality and work",
@@ -87,6 +113,7 @@ func E5DiscreteTradeoff(seed int64) (*Table, error) {
 		Notes: []string{
 			"Theorem 5: each division inherits the 1−1/e guarantee relative to its own lock assignment; smaller m explores more divisions at higher cost",
 			"the ratio column uses a stronger reference — brute force over arbitrary lock multisets — and U' takes negative values here, so it can dip below 1−1/e; the expected shape is the monotone improvement as m shrinks",
+			"evaluations is the load-bearing work measure; wall ms varies run to run and includes scheduler contention when experiments run in parallel",
 		},
 	}
 	const (
@@ -98,7 +125,7 @@ func E5DiscreteTradeoff(seed int64) (*Table, error) {
 	params := corpusParams()
 	params.FAvg = 2
 	params.FeePerHop = 0.2
-	e, err := corpusEvaluator("ba", n, rng, params)
+	e, err := corpusEvaluator("ba", n, ctx.Rand(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -109,29 +136,38 @@ func E5DiscreteTradeoff(seed int64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, unit := range []float64{4, 2, 1, 0.5} {
+	units := []float64{4, 2, 1, 0.5}
+	type sweep struct {
+		res    core.Result
+		wallMS float64
+	}
+	results, err := collect(ctx.pool, len(units), func(i int) (sweep, error) {
 		start := time.Now()
-		res, err := core.DiscreteSearch(e, core.DiscreteConfig{Budget: budget, Unit: unit})
+		res, err := core.DiscreteSearch(e.Clone(), core.DiscreteConfig{Budget: budget, Unit: units[i]})
 		if err != nil {
-			return nil, err
+			return sweep{}, err
 		}
-		elapsed := time.Since(start)
+		return sweep{res: res, wallMS: msSince(start)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sw := range results {
 		ratio := ""
 		if opt.Objective > 0 && !opt.Truncated {
-			ratio = fmt.Sprintf("%.4f", res.Objective/opt.Objective)
+			ratio = fmt.Sprintf("%.4f", sw.res.Objective/opt.Objective)
 		}
-		t.AddRow(n, budget, unit,
-			fmt.Sprintf("%.4f", res.Objective), ratio,
-			res.Evaluations,
-			fmt.Sprintf("%.2f", float64(elapsed.Microseconds())/1000))
+		t.AddRow(n, budget, units[i],
+			fmt.Sprintf("%.4f", sw.res.Objective), ratio,
+			sw.res.Evaluations,
+			fmt.Sprintf("%.2f", sw.wallMS))
 	}
 	return t, nil
 }
 
 // E6ContinuousRatio compares the §III-D local search on the benefit
 // function against brute force; the paper targets a 1/5 approximation.
-func E6ContinuousRatio(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+func E6ContinuousRatio(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E6",
 		Title:   "Continuous local search vs brute-force optimum of U^b",
@@ -141,7 +177,9 @@ func E6ContinuousRatio(seed int64) (*Table, error) {
 		},
 	}
 	grid := []float64{0, 1, 2, 4}
-	for trial := 0; trial < 8; trial++ {
+	const trials = 8
+	err := addRows(t, ctx.pool, trials, func(trial int) ([]any, error) {
+		rng := ctx.SubRand(trial)
 		n := 6 + rng.Intn(3)
 		// The benefit function compares against transacting on-chain:
 		// a high own rate and cheap per-hop fees make joining clearly
@@ -168,23 +206,28 @@ func E6ContinuousRatio(seed int64) (*Table, error) {
 			return nil, err
 		}
 		if opt.Truncated || opt.Objective <= 0 || math.IsInf(opt.Objective, 0) {
-			continue
+			return nil, nil // vacuous trial: no row
 		}
 		ratio := res.Objective / opt.Objective
-		t.AddRow(trial, n,
+		return []any{trial, n,
 			fmt.Sprintf("%.4f", res.Objective),
 			fmt.Sprintf("%.4f", opt.Objective),
 			fmt.Sprintf("%.4f", ratio),
-			ratio >= 0.2-1e-9)
+			ratio >= 0.2-1e-9}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // E12Tradeoff runs all three algorithms on one corpus instance,
 // reproducing the paper's conclusion table: runtime grows with capital
-// freedom.
-func E12Tradeoff(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// freedom. The three searches stay sequential relative to each other;
+// the evaluations column is the deterministic work measure, while wall
+// ms additionally reflects whatever else shares the machine (other
+// experiments, when the corpus runs in parallel).
+func E12Tradeoff(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E12",
 		Title:   "Algorithm trade-off: capital freedom vs work (single corpus instance)",
@@ -199,7 +242,7 @@ func E12Tradeoff(seed int64) (*Table, error) {
 	)
 	params := corpusParams()
 	params.CapacityFactor = func(l float64) float64 { return math.Min(1, l/4) }
-	e, err := corpusEvaluator("ba", n, rng, params)
+	e, err := corpusEvaluator("ba", n, ctx.Rand(), params)
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,10 @@ import (
 // welfare of the equilibrium that best-response dynamics reach, compared
 // with the best welfare over the reference topologies of §IV. This
 // connects the paper to the classic creation-game diagnostics of
-// Fabrikant et al. [38] and Demaine et al. [43] that it builds on.
-func E17Anarchy(int64) (*Table, error) {
+// Fabrikant et al. [38] and Demaine et al. [43] that it builds on. Every
+// (n, s, l) point runs its dynamics and reference sweep as one parallel
+// work item.
+func E17Anarchy(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E17",
 		Title:   "Price of anarchy of emergent equilibria (extension)",
@@ -22,46 +24,63 @@ func E17Anarchy(int64) (*Table, error) {
 			"expected shape: PoA stays close to 1 in the stable-star regime — the emergent star is also the welfare-optimal reference",
 		},
 	}
+	type point struct {
+		n    int
+		s, l float64
+	}
+	var points []point
 	for _, n := range []int{5, 6, 7} {
 		for _, s := range []float64{1, 2} {
 			for _, l := range []float64{0.5, 1} {
-				cfg := gameConfig(s, 1, 0.5, 0.5, l)
-				res, err := game.BestResponseDynamics(graph.Path(n, 1), cfg, game.DynamicsConfig{MaxRounds: 30})
-				if err != nil {
-					return nil, err
-				}
-				refs := map[string]*graph.Graph{
-					"star":     graph.Star(n-1, 1),
-					"path":     graph.Path(n, 1),
-					"circle":   graph.Circle(n, 1),
-					"complete": graph.Complete(n, 1),
-				}
-				bestName := ""
-				bestWelfare := 0.0
-				first := true
-				var welfares []float64
-				for name, g := range refs {
-					utils, err := game.Utilities(g, cfg)
-					if err != nil {
-						return nil, err
-					}
-					w := game.SocialWelfare(utils)
-					welfares = append(welfares, w)
-					if first || w > bestWelfare {
-						bestName = name
-						bestWelfare = w
-						first = false
-					}
-				}
-				poa := game.PriceOfAnarchy(res.Welfare, welfares)
-				t.AddRow(n, s, l,
-					string(game.Classify(res.Final)),
-					fmt.Sprintf("%.4g", res.Welfare),
-					bestName,
-					fmt.Sprintf("%.4g", bestWelfare),
-					fmt.Sprintf("%.4g", poa))
+				points = append(points, point{n: n, s: s, l: l})
 			}
 		}
+	}
+	err := addRows(t, ctx.pool, len(points), func(i int) ([]any, error) {
+		p := points[i]
+		cfg := gameConfig(p.s, 1, 0.5, 0.5, p.l)
+		res, err := game.BestResponseDynamics(graph.Path(p.n, 1), cfg, game.DynamicsConfig{MaxRounds: 30})
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic reference order keeps the "best reference" cell
+		// stable under welfare ties.
+		refs := []struct {
+			name string
+			g    *graph.Graph
+		}{
+			{"star", graph.Star(p.n-1, 1)},
+			{"path", graph.Path(p.n, 1)},
+			{"circle", graph.Circle(p.n, 1)},
+			{"complete", graph.Complete(p.n, 1)},
+		}
+		bestName := ""
+		bestWelfare := 0.0
+		first := true
+		var welfares []float64
+		for _, ref := range refs {
+			utils, err := game.Utilities(ref.g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			w := game.SocialWelfare(utils)
+			welfares = append(welfares, w)
+			if first || w > bestWelfare {
+				bestName = ref.name
+				bestWelfare = w
+				first = false
+			}
+		}
+		poa := game.PriceOfAnarchy(res.Welfare, welfares)
+		return []any{p.n, p.s, p.l,
+			string(game.Classify(res.Final)),
+			fmt.Sprintf("%.4g", res.Welfare),
+			bestName,
+			fmt.Sprintf("%.4g", bestWelfare),
+			fmt.Sprintf("%.4g", poa)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

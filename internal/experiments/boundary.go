@@ -11,8 +11,10 @@ import (
 // is a Nash equilibrium, by bisection, independently for the paper's
 // closed-form Theorem 8 conditions and for the exhaustive deviation
 // search. E8 samples a coarse grid; this experiment measures how far
-// apart the two characterisations' *boundaries* actually are.
-func E18StarBoundary(int64) (*Table, error) {
+// apart the two characterisations' *boundaries* actually are. Each
+// (leaves, s) combination runs its two bisections — dozens of exhaustive
+// equilibrium checks each — as one parallel work item.
+func E18StarBoundary(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E18",
 		Title:   "Critical link cost l* for star stability: closed form vs exhaustive",
@@ -22,42 +24,54 @@ func E18StarBoundary(int64) (*Table, error) {
 			"expected shape: the two boundaries coincide up to bisection precision wherever the proof's deviation family is binding",
 		},
 	}
+	type combo struct {
+		leaves int
+		s      float64
+	}
+	var combos []combo
 	for _, leaves := range []int{4, 6, 8} {
 		for _, s := range []float64{0, 1, 2} {
-			closedStar := func(l float64) (bool, error) {
-				cfg := gameConfig(s, 1, 0.5, 0.5, l)
-				return game.StarClosedFormNEConfig(leaves, s, cfg), nil
-			}
-			exhaustiveStar := func(l float64) (bool, error) {
-				cfg := gameConfig(s, 1, 0.5, 0.5, l)
-				report, err := game.IsNashEquilibrium(graph.Star(leaves, 1), cfg)
-				if err != nil {
-					return false, err
-				}
-				return report.IsEquilibrium, nil
-			}
-			lClosed, err := bisectThreshold(closedStar, 0, 8)
-			if err != nil {
-				return nil, err
-			}
-			lExhaustive, err := bisectThreshold(exhaustiveStar, 0, 8)
-			if err != nil {
-				return nil, err
-			}
-			diff := lClosed - lExhaustive
-			if diff < 0 {
-				diff = -diff
-			}
-			rel := 0.0
-			if lExhaustive > 0 {
-				rel = diff / lExhaustive
-			}
-			t.AddRow(leaves, s,
-				fmt.Sprintf("%.4f", lClosed),
-				fmt.Sprintf("%.4f", lExhaustive),
-				fmt.Sprintf("%.4f", diff),
-				fmt.Sprintf("%.3f", rel))
+			combos = append(combos, combo{leaves: leaves, s: s})
 		}
+	}
+	err := addRows(t, ctx.pool, len(combos), func(i int) ([]any, error) {
+		leaves, s := combos[i].leaves, combos[i].s
+		closedStar := func(l float64) (bool, error) {
+			cfg := gameConfig(s, 1, 0.5, 0.5, l)
+			return game.StarClosedFormNEConfig(leaves, s, cfg), nil
+		}
+		exhaustiveStar := func(l float64) (bool, error) {
+			cfg := gameConfig(s, 1, 0.5, 0.5, l)
+			report, err := game.IsNashEquilibrium(graph.Star(leaves, 1), cfg)
+			if err != nil {
+				return false, err
+			}
+			return report.IsEquilibrium, nil
+		}
+		lClosed, err := bisectThreshold(closedStar, 0, 8)
+		if err != nil {
+			return nil, err
+		}
+		lExhaustive, err := bisectThreshold(exhaustiveStar, 0, 8)
+		if err != nil {
+			return nil, err
+		}
+		diff := lClosed - lExhaustive
+		if diff < 0 {
+			diff = -diff
+		}
+		rel := 0.0
+		if lExhaustive > 0 {
+			rel = diff / lExhaustive
+		}
+		return []any{leaves, s,
+			fmt.Sprintf("%.4f", lClosed),
+			fmt.Sprintf("%.4f", lExhaustive),
+			fmt.Sprintf("%.4f", diff),
+			fmt.Sprintf("%.3f", rel)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -5,7 +5,12 @@
 // experiment index and EXPERIMENTS.md for paper-vs-measured notes.
 //
 // Every experiment is a deterministic function of its seed, so tables can
-// be regenerated bit-for-bit.
+// be regenerated bit-for-bit — including under the parallel engine: a
+// Runner executes experiments and their per-trial inner loops over a
+// bounded worker pool (Options.Parallelism) and the output stays
+// byte-identical to a serial run at any worker count. The only cells
+// outside that guarantee are the wall-clock measurement columns of E5 and
+// E12, which are not reproducible even serially.
 package experiments
 
 import (
@@ -121,8 +126,10 @@ type Spec struct {
 	ID string
 	// Title is a one-line description.
 	Title string
-	// Run generates the table; seed makes the run deterministic.
-	Run func(seed int64) (*Table, error)
+	// Run generates the table. The context's seed makes the run
+	// deterministic; its pool bounds the experiment's inner-loop
+	// fan-out without affecting the output.
+	Run func(ctx *Ctx) (*Table, error)
 }
 
 // All returns every experiment in display order.
@@ -151,14 +158,24 @@ func All() []Spec {
 	}
 }
 
-// Run executes the experiment with the given id.
-func Run(id string, seed int64) (*Table, error) {
+// Lookup resolves an experiment id (case-insensitive).
+func Lookup(id string) (Spec, error) {
 	for _, s := range All() {
 		if strings.EqualFold(s.ID, id) {
-			return s.Run(seed)
+			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("%w: %q", ErrUnknown, id)
+	return Spec{}, fmt.Errorf("%w: %q", ErrUnknown, id)
+}
+
+// Run executes the experiment with the given id serially — the
+// compatibility entry point; use a Runner to control parallelism.
+func Run(id string, seed int64) (*Table, error) {
+	spec, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Run(serialCtx(seed))
 }
 
 // IDs returns the sorted experiment identifiers.

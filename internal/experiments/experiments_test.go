@@ -32,7 +32,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
-			tbl, err := spec.Run(2)
+			tbl, err := spec.Run(serialCtx(2))
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}

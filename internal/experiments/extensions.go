@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"github.com/lightning-creation-games/lcg/internal/core"
 	"github.com/lightning-creation-games/lcg/internal/game"
@@ -22,9 +21,9 @@ import (
 
 // E13Dynamics runs best-response dynamics from several seeds and reports
 // the emergent topology class — extending §IV from "is this topology
-// stable?" to "which topologies form?".
-func E13Dynamics(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// stable?" to "which topologies form?". Every (start, l, s) cell runs its
+// dynamics as one parallel work item with a private random stream.
+func E13Dynamics(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E13",
 		Title:   "Best-response dynamics: emergent topologies (extension of §IV)",
@@ -34,40 +33,56 @@ func E13Dynamics(seed int64) (*Table, error) {
 			"expected shape: converged outcomes are Nash equilibria; cheap links favour dense graphs, expensive links sparse ones",
 		},
 	}
-	type start struct {
+	type cell struct {
 		name string
-		make func() *graph.Graph
+		l, s float64
 	}
-	starts := []start{
-		{name: "path", make: func() *graph.Graph { return graph.Path(6, 1) }},
-		{name: "circle", make: func() *graph.Graph { return graph.Circle(6, 1) }},
-		{name: "star", make: func() *graph.Graph { return graph.Star(5, 1) }},
-		{name: "er", make: func() *graph.Graph { return graph.ConnectedErdosRenyi(6, 0.4, 1, rng, 50) }},
+	makeStart := func(name string, rngIdx int) *graph.Graph {
+		switch name {
+		case "path":
+			return graph.Path(6, 1)
+		case "circle":
+			return graph.Circle(6, 1)
+		case "star":
+			return graph.Star(5, 1)
+		default:
+			return graph.ConnectedErdosRenyi(6, 0.4, 1, ctx.SubRand(rngIdx), 50)
+		}
 	}
-	for _, st := range starts {
+	var cells []cell
+	for _, name := range []string{"path", "circle", "star", "er"} {
 		for _, l := range []float64{0.1, 1} {
 			for _, s := range []float64{0.5, 2} {
-				cfg := gameConfig(s, 1, 0.5, 0.5, l)
-				g := st.make()
-				res, err := game.BestResponseDynamics(g, cfg, game.DynamicsConfig{MaxRounds: 30})
-				if err != nil {
-					return nil, err
-				}
-				t.AddRow(st.name, g.NumNodes(), s, l,
-					res.Rounds, res.Moves, res.Converged,
-					string(game.Classify(res.Final)),
-					fmt.Sprintf("%.4g", res.Welfare))
+				cells = append(cells, cell{name: name, l: l, s: s})
 			}
 		}
+	}
+	err := addRows(t, ctx.pool, len(cells), func(i int) ([]any, error) {
+		c := cells[i]
+		cfg := gameConfig(c.s, 1, 0.5, 0.5, c.l)
+		g := makeStart(c.name, i)
+		res, err := game.BestResponseDynamics(g, cfg, game.DynamicsConfig{MaxRounds: 30})
+		if err != nil {
+			return nil, err
+		}
+		return []any{c.name, g.NumNodes(), c.s, c.l,
+			res.Rounds, res.Moves, res.Converged,
+			string(game.Classify(res.Final)),
+			fmt.Sprintf("%.4g", res.Welfare)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // E14Estimation generates traffic from a known demand, re-estimates the
 // demand from the observed log, and reports the estimation error and its
-// decay with sample size — the paper's future-work direction #3.
-func E14Estimation(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// decay with sample size — the paper's future-work direction #3. The
+// sample sizes run concurrently, each pricing against a clone of the
+// true-demand evaluator.
+func E14Estimation(ctx *Ctx) (*Table, error) {
+	rng := ctx.Rand()
 	t := &Table{
 		ID:      "E14",
 		Title:   "Demand estimation from observed traffic (paper future work #3)",
@@ -92,8 +107,10 @@ func E14Estimation(seed int64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, events := range []int{500, 2000, 8000, 32000} {
-		gen, err := traffic.NewGenerator(truth, nil, rand.New(rand.NewSource(seed+int64(events))))
+	sampleSizes := []int{500, 2000, 8000, 32000}
+	err = addRows(t, ctx.pool, len(sampleSizes), func(i int) ([]any, error) {
+		events := sampleSizes[i]
+		gen, err := traffic.NewGenerator(truth, nil, ctx.SubRand(events))
 		if err != nil {
 			return nil, err
 		}
@@ -116,11 +133,14 @@ func E14Estimation(seed int64) (*Table, error) {
 		}
 		// Price the estimated-demand plan under the TRUE demand and
 		// compare with the true-demand plan.
-		utilityErr := trueRes.Utility - trueEval.Utility(estRes.Strategy, core.RevenueExact)
-		t.AddRow(events,
+		utilityErr := trueRes.Utility - trueEval.Clone().Utility(estRes.Strategy, core.RevenueExact)
+		return []any{events,
 			fmt.Sprintf("%.4f", rateErr),
 			fmt.Sprintf("%.4f", tvDist),
-			fmt.Sprintf("%.4f", utilityErr))
+			fmt.Sprintf("%.4f", utilityErr)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -128,8 +148,9 @@ func E14Estimation(seed int64) (*Table, error) {
 // E15DistributionAblation contrasts the attachment strategies recommended
 // under the paper's modified Zipf distribution with those of the uniform
 // baseline of [18]–[20] — the comparison motivating the paper's model.
-func E15DistributionAblation(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// Each trial draws its topology from a private stream and runs as one
+// parallel work item.
+func E15DistributionAblation(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E15",
 		Title:   "Distribution ablation: modified Zipf vs the uniform baseline of [18]-[20]",
@@ -142,8 +163,9 @@ func E15DistributionAblation(seed int64) (*Table, error) {
 	params := corpusParams()
 	params.FAvg = 2
 	params.FeePerHop = 0.2
-	for trial := 0; trial < 6; trial++ {
-		g := graph.BarabasiAlbert(18, 2, 10, rng)
+	const trials = 6
+	err := addRows(t, ctx.pool, trials, func(trial int) ([]any, error) {
+		g := graph.BarabasiAlbert(18, 2, 10, ctx.SubRand(trial))
 		zipfDist := txdist.ModifiedZipf{S: 1.5}
 		zipfDemand, err := traffic.NewUniformDemand(g, zipfDist, 18)
 		if err != nil {
@@ -172,22 +194,26 @@ func E15DistributionAblation(seed int64) (*Table, error) {
 		// Price both under the zipf (realistic) model.
 		uZipf := zipfRes.Utility
 		uUni := zipfEval.Utility(uniRes.Strategy, core.RevenueExact)
-		t.AddRow(trial,
+		return []any{trial,
 			zipfRes.Strategy.String(),
 			uniRes.Strategy.String(),
 			overlap(zipfRes.Strategy, uniRes.Strategy),
 			fmt.Sprintf("%.4f", uZipf),
 			fmt.Sprintf("%.4f", uUni),
-			fmt.Sprintf("%.4f", uZipf-uUni))
+			fmt.Sprintf("%.4f", uZipf-uUni)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
 // E16CostModel re-runs the Theorem 1/4 audits under the extended
 // Guasoni-style channel-cost model, checking the paper's remark that
-// "our computational results still hold in this extended model".
-func E16CostModel(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// "our computational results still hold in this extended model". The
+// (rho·lifetime, trial) grid is flattened into parallel work items and
+// re-aggregated per cost level afterwards.
+func E16CostModel(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E16",
 		Title:   "Extended channel-cost model (Guasoni et al. [17]): guarantees retained",
@@ -196,32 +222,50 @@ func E16CostModel(seed int64) (*Table, error) {
 			"cost per channel = C + lock·(1 − e^{−rho·T}); the cost term stays modular so Theorems 1-5 carry",
 		},
 	}
-	for _, rhoT := range []float64{0.05, 0.2, 0.5} {
+	rhoTs := []float64{0.05, 0.2, 0.5}
+	const trials = 4
+	type audit struct {
+		violations int
+		ratio      float64
+		ok         bool
+	}
+	audits, err := collect(ctx.pool, len(rhoTs)*trials, func(k int) (audit, error) {
+		rhoT := rhoTs[k/trials]
+		rng := ctx.SubRand(k/trials, k%trials)
 		params := corpusParams()
 		params.FAvg = 2
 		params.FeePerHop = 0.2
 		params.ChannelCostFn = core.GuasoniCost(params.OnChainCost, rhoT, 1)
+		e, err := corpusEvaluator("er", 9, rng, params)
+		if err != nil {
+			return audit{}, err
+		}
+		rep := core.CheckSubmodularity(e, core.ObjectiveUtility, core.RevenueFixedRate, auditLocks, 200, rng)
+		res, err := core.Greedy(e, core.GreedyConfig{Budget: 6, Lock: 1})
+		if err != nil {
+			return audit{}, err
+		}
+		opt, err := core.BruteForce(e, core.BruteForceConfig{Budget: 6, Locks: []float64{1}})
+		if err != nil {
+			return audit{}, err
+		}
+		a := audit{violations: rep.Violations}
+		if opt.Objective > 0 && !opt.Truncated {
+			a.ratio = res.Objective / opt.Objective
+			a.ok = true
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, rhoT := range rhoTs {
 		violations := 0
 		minRatio := 1.0
-		for trial := 0; trial < 4; trial++ {
-			e, err := corpusEvaluator("er", 9, rng, params)
-			if err != nil {
-				return nil, err
-			}
-			rep := core.CheckSubmodularity(e, core.ObjectiveUtility, core.RevenueFixedRate, auditLocks, 200, rng)
-			violations += rep.Violations
-			res, err := core.Greedy(e, core.GreedyConfig{Budget: 6, Lock: 1})
-			if err != nil {
-				return nil, err
-			}
-			opt, err := core.BruteForce(e, core.BruteForceConfig{Budget: 6, Locks: []float64{1}})
-			if err != nil {
-				return nil, err
-			}
-			if opt.Objective > 0 && !opt.Truncated {
-				if ratio := res.Objective / opt.Objective; ratio < minRatio {
-					minRatio = ratio
-				}
+		for _, a := range audits[i*trials : (i+1)*trials] {
+			violations += a.violations
+			if a.ok && a.ratio < minRatio {
+				minRatio = a.ratio
 			}
 		}
 		t.AddRow(rhoT, violations, fmt.Sprintf("%.4f", minRatio), "0.6321")

@@ -15,7 +15,7 @@ import (
 // F1ChannelTrace replays Figure 1 through the live channel machinery:
 // balances (10,7), a payment of 5 (→ (5,12)), a failing payment of 6, and
 // the closing payment of 5 (→ (0,17)).
-func F1ChannelTrace(int64) (*Table, error) {
+func F1ChannelTrace(*Ctx) (*Table, error) {
 	ledger, err := chain.NewLedger(1)
 	if err != nil {
 		return nil, err
@@ -129,7 +129,7 @@ func (f fixedRecipient) Probs(g *graph.Graph, _ graph.NodeID) []float64 {
 // F2JoiningExample reproduces the Figure 2 decision: the optimiser must
 // attach E to A and D, with the exit channel to D funded to carry all 9
 // monthly transactions (the paper's sizes: 10 on A, 9 on D).
-func F2JoiningExample(int64) (*Table, error) {
+func F2JoiningExample(*Ctx) (*Table, error) {
 	e, budget, err := figure2Scenario()
 	if err != nil {
 		return nil, err

@@ -43,9 +43,10 @@ var auditLocks = []float64{0, 1, 2, 5}
 // E1Submodularity audits Theorem 1 (submodularity of U) under the
 // fixed-rate model the theorem assumes, and — as an ablation — under the
 // exact transit revenue, where the theorem's fixed-λ assumption is
-// dropped.
-func E1Submodularity(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// dropped. Each (graph, n) configuration is one parallel work item with
+// its own random stream; the two audits inside a configuration run on
+// evaluator clones sharing one all-pairs precomputation.
+func E1Submodularity(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E1",
 		Title:   "Submodularity violations of U over random nested strategies",
@@ -54,25 +55,50 @@ func E1Submodularity(seed int64) (*Table, error) {
 			"Theorem 1 asserts 0 violations under the fixed-λ model; the exact-revenue column is an ablation outside the theorem's assumptions",
 		},
 	}
+	type config struct {
+		kind string
+		n    int
+	}
+	var configs []config
 	for _, kind := range []string{"ba", "er"} {
 		for _, n := range []int{8, 12, 16, 24} {
-			e, err := corpusEvaluator(kind, n, rng, corpusParams())
-			if err != nil {
-				return nil, err
-			}
-			const trials = 300
-			fixed := core.CheckSubmodularity(e, core.ObjectiveUtility, core.RevenueFixedRate, auditLocks, trials, rng)
-			exact := core.CheckSubmodularity(e, core.ObjectiveUtility, core.RevenueExact, auditLocks, trials, rng)
-			t.AddRow(kind, n, trials, fixed.Violations, exact.Violations, fixed.Vacuous)
+			configs = append(configs, config{kind: kind, n: n})
 		}
+	}
+	const trials = 300
+	type result struct {
+		fixed, exact core.PropertyReport
+	}
+	results, err := collect(ctx.pool, len(configs), func(i int) (result, error) {
+		e, err := corpusEvaluator(configs[i].kind, configs[i].n, ctx.SubRand(i), corpusParams())
+		if err != nil {
+			return result{}, err
+		}
+		e.FixedRate(0) // build the λ̂ table once; the clones below share it
+		var res result
+		err = ctx.ForEach(2, func(j int) error {
+			ev, rng := e.Clone(), ctx.SubRand(i, j)
+			if j == 0 {
+				res.fixed = core.CheckSubmodularity(ev, core.ObjectiveUtility, core.RevenueFixedRate, auditLocks, trials, rng)
+			} else {
+				res.exact = core.CheckSubmodularity(ev, core.ObjectiveUtility, core.RevenueExact, auditLocks, trials, rng)
+			}
+			return nil
+		})
+		return res, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.AddRow(configs[i].kind, configs[i].n, trials, r.fixed.Violations, r.exact.Violations, r.fixed.Vacuous)
 	}
 	return t, nil
 }
 
 // E2Monotonicity audits Theorem 2: U' is monotone (0 violations); U is
 // not (witnesses exist when channel costs bite).
-func E2Monotonicity(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+func E2Monotonicity(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E2",
 		Title:   "Monotonicity audit: U' (expected clean) vs U (witnesses expected)",
@@ -81,27 +107,52 @@ func E2Monotonicity(seed int64) (*Table, error) {
 			"Theorem 2: U' = E^rev − E^fees is monotone increasing; the full U is not once channel costs are non-trivial",
 		},
 	}
+	type config struct {
+		n       int
+		onChain float64
+	}
+	var configs []config
 	for _, n := range []int{10, 16} {
 		for _, onChain := range []float64{1, 10, 50} {
-			params := corpusParams()
-			params.OnChainCost = onChain
-			e, err := corpusEvaluator("ba", n, rng, params)
-			if err != nil {
-				return nil, err
-			}
-			const trials = 300
-			simp := core.CheckMonotonicity(e, core.ObjectiveSimplified, core.RevenueFixedRate, auditLocks, trials, rng)
-			full := core.CheckMonotonicity(e, core.ObjectiveUtility, core.RevenueFixedRate, auditLocks, trials, rng)
-			t.AddRow("ba", n, onChain, trials, simp.Violations, full.Violations)
+			configs = append(configs, config{n: n, onChain: onChain})
 		}
+	}
+	const trials = 300
+	type result struct {
+		simp, full core.PropertyReport
+	}
+	results, err := collect(ctx.pool, len(configs), func(i int) (result, error) {
+		params := corpusParams()
+		params.OnChainCost = configs[i].onChain
+		e, err := corpusEvaluator("ba", configs[i].n, ctx.SubRand(i), params)
+		if err != nil {
+			return result{}, err
+		}
+		e.FixedRate(0)
+		var res result
+		err = ctx.ForEach(2, func(j int) error {
+			ev, rng := e.Clone(), ctx.SubRand(i, j)
+			if j == 0 {
+				res.simp = core.CheckMonotonicity(ev, core.ObjectiveSimplified, core.RevenueFixedRate, auditLocks, trials, rng)
+			} else {
+				res.full = core.CheckMonotonicity(ev, core.ObjectiveUtility, core.RevenueFixedRate, auditLocks, trials, rng)
+			}
+			return nil
+		})
+		return res, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.AddRow("ba", configs[i].n, configs[i].onChain, trials, r.simp.Violations, r.full.Violations)
 	}
 	return t, nil
 }
 
 // E3NegativeUtility exhibits Theorem 3: strategies with strictly negative
 // utility exist.
-func E3NegativeUtility(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+func E3NegativeUtility(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E3",
 		Title:   "Negative-utility witnesses per cost level",
@@ -110,21 +161,40 @@ func E3NegativeUtility(seed int64) (*Table, error) {
 			"Theorem 3: U is not necessarily non-negative — channel costs can exceed revenue plus fee savings",
 		},
 	}
+	type config struct {
+		n       int
+		onChain float64
+	}
+	var configs []config
 	for _, n := range []int{10, 16} {
 		for _, onChain := range []float64{1, 10, 50} {
-			params := corpusParams()
-			params.OnChainCost = onChain
-			e, err := corpusEvaluator("er", n, rng, params)
-			if err != nil {
-				return nil, err
-			}
-			s, u, found := core.FindNegativeUtility(e, core.RevenueFixedRate, auditLocks, 300, rng)
-			witness := ""
-			if found {
-				witness = s.String()
-			}
-			t.AddRow("er", n, onChain, found, witness, fmt.Sprintf("%.4g", u))
+			configs = append(configs, config{n: n, onChain: onChain})
 		}
+	}
+	type result struct {
+		witness string
+		utility float64
+		found   bool
+	}
+	results, err := collect(ctx.pool, len(configs), func(i int) (result, error) {
+		params := corpusParams()
+		params.OnChainCost = configs[i].onChain
+		e, err := corpusEvaluator("er", configs[i].n, ctx.SubRand(i), params)
+		if err != nil {
+			return result{}, err
+		}
+		s, u, found := core.FindNegativeUtility(e, core.RevenueFixedRate, auditLocks, 300, ctx.SubRand(i, 0))
+		res := result{utility: u, found: found}
+		if found {
+			res.witness = s.String()
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		t.AddRow("er", configs[i].n, configs[i].onChain, r.found, r.witness, fmt.Sprintf("%.4g", r.utility))
 	}
 	return t, nil
 }

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Options configure one experiment run.
+type Options struct {
+	// Seed is the corpus seed; every experiment is a deterministic
+	// function of it.
+	Seed int64
+
+	// Parallelism bounds the worker goroutines used both across
+	// experiments (Runner.RunAll) and inside each experiment's
+	// per-trial loops. 1 executes everything serially; values ≤ 0
+	// select runtime.GOMAXPROCS(0). Output is bit-for-bit identical at
+	// every setting.
+	Parallelism int
+}
+
+// Ctx carries the deterministic inputs of one experiment execution: the
+// seed and the worker pool its inner loops fan out on.
+//
+// Experiments with randomised trial loops must derive one independent
+// random stream per work item with SubRand, indexed by the item's
+// position in the loop, never by scheduling order. That discipline —
+// per-item streams plus index-ordered result slots (Pool.ForEach) — is
+// what keeps tables bit-for-bit identical across parallelism settings.
+type Ctx struct {
+	// Seed is the experiment corpus seed.
+	Seed int64
+
+	pool *Pool
+}
+
+// NewCtx builds an execution context from options.
+func NewCtx(opts Options) *Ctx {
+	return &Ctx{Seed: opts.Seed, pool: NewPool(opts.Parallelism)}
+}
+
+// serialCtx is the context of the compatibility entry points: one worker,
+// everything inline.
+func serialCtx(seed int64) *Ctx {
+	return &Ctx{Seed: seed, pool: NewPool(1)}
+}
+
+// Parallelism returns the worker bound of the context's pool.
+func (c *Ctx) Parallelism() int { return c.pool.Workers() }
+
+// Rand returns a fresh generator seeded with the corpus seed — the
+// sequential stream experiments without parallel inner loops consume.
+func (c *Ctx) Rand() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// SubSeed derives the seed of one work item from the corpus seed and the
+// item's index path (e.g. configuration index, then trial index). The
+// derivation is a SplitMix64 chain, so distinct paths yield independent
+// streams and the result never depends on scheduling.
+func (c *Ctx) SubSeed(path ...int) int64 {
+	x := uint64(c.Seed)
+	for _, p := range path {
+		x = splitMix64(x ^ (uint64(p) + 0x9E3779B97F4A7C15))
+	}
+	return int64(splitMix64(x) >> 1) // non-negative, full 63-bit range
+}
+
+// SubRand returns the work item's private generator, seeded by SubSeed.
+func (c *Ctx) SubRand(path ...int) *rand.Rand {
+	return rand.New(rand.NewSource(c.SubSeed(path...)))
+}
+
+// ForEach runs fn over [0, n) on the context's pool; see Pool.ForEach for
+// the determinism contract.
+func (c *Ctx) ForEach(n int, fn func(i int) error) error {
+	return c.pool.ForEach(n, fn)
+}
+
+// splitMix64 is the finalizer of the SplitMix64 generator (Steele et al.,
+// "Fast splittable pseudorandom number generators", OOPSLA 2014) — a
+// bijective mixer whose outputs pass BigCrush even on sequential inputs.
+func splitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Runner executes experiments under one fixed Options set.
+type Runner struct {
+	opts Options
+}
+
+// NewRunner returns a runner; the zero Options value (seed 0, all cores)
+// is valid.
+func NewRunner(opts Options) *Runner { return &Runner{opts: opts} }
+
+// Options returns the runner's configuration.
+func (r *Runner) Options() Options { return r.opts }
+
+// Run executes one experiment by id.
+func (r *Runner) Run(id string) (*Table, error) {
+	spec, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Run(NewCtx(r.opts))
+}
+
+// RunAll executes the given experiments (all of them when ids is empty)
+// and returns their tables in request order. The experiments themselves
+// run concurrently on the runner's pool, and each one fans its inner
+// loops out on a pool of its own, so total goroutines stay bounded by
+// Parallelism² while the output remains byte-identical to a serial run.
+func (r *Runner) RunAll(ids []string) ([]*Table, error) {
+	var tables []*Table
+	err := r.RunEach(ids, func(_ int, tbl *Table) error {
+		tables = append(tables, tbl)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tables, nil
+}
+
+// RunEach executes like RunAll but streams: fn receives each table in
+// request order as soon as it and all its predecessors have finished, so
+// a consumer can render table i while tables i+1… are still computing.
+// Unknown ids fail upfront, before any experiment runs; an experiment
+// error is reported at its position, after fn has seen every earlier
+// table. A non-nil error from fn stops the iteration.
+func (r *Runner) RunEach(ids []string, fn func(i int, tbl *Table) error) error {
+	if len(ids) == 0 {
+		for _, s := range All() {
+			ids = append(ids, s.ID)
+		}
+	}
+	specs := make([]Spec, len(ids))
+	for i, id := range ids {
+		spec, err := Lookup(id)
+		if err != nil {
+			return err
+		}
+		specs[i] = spec
+	}
+	n := len(specs)
+	tables := make([]*Table, n)
+	errs := make([]error, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// Once the consumer loop returns early, abandoned stops the pool
+	// from launching the remaining experiments (in-flight ones finish);
+	// the errAbandoned sentinel trips ForEach's short-circuit.
+	var abandoned atomic.Bool
+	errAbandoned := errors.New("experiments: run abandoned")
+	outer := NewPool(r.opts.Parallelism)
+	go outer.ForEach(n, func(i int) error {
+		defer close(done[i])
+		if abandoned.Load() {
+			return errAbandoned
+		}
+		tables[i], errs[i] = specs[i].Run(NewCtx(r.opts))
+		return nil // per-index errors surface in request order below
+	})
+	for i := 0; i < n; i++ {
+		<-done[i] // the close happens-after the slot writes
+		if errs[i] != nil {
+			abandoned.Store(true)
+			return errs[i]
+		}
+		if err := fn(i, tables[i]); err != nil {
+			abandoned.Store(true)
+			return err
+		}
+	}
+	return nil
+}

@@ -20,7 +20,7 @@ func gameConfig(s, rate, favg, hopFee, link float64) game.Config {
 }
 
 // E7HubBound audits Theorem 6 on hub topologies across parameter points.
-func E7HubBound(int64) (*Table, error) {
+func E7HubBound(*Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E7",
 		Title:   "Theorem 6: longest shortest path through a hub vs the closed-form bound",
@@ -59,8 +59,9 @@ func E7HubBound(int64) (*Table, error) {
 
 // E8StarMap sweeps (leaves, s, l) and compares the closed-form Theorem 8
 // verdict with the exhaustive deviation search, mapping the parameter
-// space in which the star is a Nash equilibrium (Theorems 7-9).
-func E8StarMap(int64) (*Table, error) {
+// space in which the star is a Nash equilibrium (Theorems 7-9). Every
+// parameter point runs its exhaustive search as one parallel work item.
+func E8StarMap(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E8",
 		Title:   "Star equilibrium map: closed-form (Thm 8) vs exhaustive search",
@@ -70,26 +71,43 @@ func E8StarMap(int64) (*Table, error) {
 			"expected shape: stability rises with l and s (Theorems 7 and 9); disagreements cluster near the boundary where the proof's deviation family differs from the full deviation space",
 		},
 	}
-	agree, total := 0, 0
+	type point struct {
+		leaves int
+		s, l   float64
+	}
+	var points []point
 	for _, leaves := range []int{4, 6} {
 		for _, s := range []float64{0, 1, 2, 4} {
 			for _, l := range []float64{0.01, 0.2, 1, 5} {
-				cfg := gameConfig(s, 1, 0.5, 0.5, l)
-				closed := game.StarClosedFormNEConfig(leaves, s, cfg)
-				thm9 := game.Theorem9Applies(leaves, s, cfg.A(), cfg.B(), cfg.LinkCost)
-				g := graph.Star(leaves, 1)
-				report, err := game.IsNashEquilibrium(g, cfg)
-				if err != nil {
-					return nil, err
-				}
-				match := closed == report.IsEquilibrium
-				if match {
-					agree++
-				}
-				total++
-				t.AddRow(leaves, s, l, closed, thm9, report.IsEquilibrium, match)
+				points = append(points, point{leaves: leaves, s: s, l: l})
 			}
 		}
+	}
+	type verdict struct {
+		closed, thm9, exhaustive bool
+	}
+	verdicts, err := collect(ctx.pool, len(points), func(i int) (verdict, error) {
+		p := points[i]
+		cfg := gameConfig(p.s, 1, 0.5, 0.5, p.l)
+		closed := game.StarClosedFormNEConfig(p.leaves, p.s, cfg)
+		thm9 := game.Theorem9Applies(p.leaves, p.s, cfg.A(), cfg.B(), cfg.LinkCost)
+		report, err := game.IsNashEquilibrium(graph.Star(p.leaves, 1), cfg)
+		if err != nil {
+			return verdict{}, err
+		}
+		return verdict{closed: closed, thm9: thm9, exhaustive: report.IsEquilibrium}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agree, total := 0, 0
+	for i, v := range verdicts {
+		match := v.closed == v.exhaustive
+		if match {
+			agree++
+		}
+		total++
+		t.AddRow(points[i].leaves, points[i].s, points[i].l, v.closed, v.thm9, v.exhaustive, match)
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("agreement: %d/%d parameter points", agree, total))
 	return t, nil
@@ -97,7 +115,7 @@ func E8StarMap(int64) (*Table, error) {
 
 // E9PathInstability verifies Theorem 10 across sizes and scale
 // parameters: the path always admits an improving endpoint deviation.
-func E9PathInstability(int64) (*Table, error) {
+func E9PathInstability(*Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E9",
 		Title:   "Path graph: improving endpoint deviation (Theorem 10)",
@@ -125,8 +143,9 @@ func E9PathInstability(int64) (*Table, error) {
 
 // E10CircleCrossover finds, per parameter point, the circle size n0 at
 // which the connect-to-opposite deviation becomes profitable
-// (Theorem 11).
-func E10CircleCrossover(int64) (*Table, error) {
+// (Theorem 11). Each parameter point scans its circle sizes as one
+// parallel work item.
+func E10CircleCrossover(ctx *Ctx) (*Table, error) {
 	t := &Table{
 		ID:      "E10",
 		Title:   "Circle instability crossover n0 (Theorem 11)",
@@ -135,25 +154,42 @@ func E10CircleCrossover(int64) (*Table, error) {
 			"Theorem 11: for every parameter point some n0 exists beyond which the circle is unstable; n0 grows with the link cost",
 		},
 	}
+	type point struct {
+		s, l float64
+	}
+	var points []point
 	for _, s := range []float64{0, 0.5, 1} {
 		for _, l := range []float64{0.1, 0.5, 1, 2} {
-			cfg := gameConfig(s, 1, 0.5, 0.5, l)
-			n0, found, err := game.CircleCrossover(cfg, 4, 64)
-			if err != nil {
-				return nil, err
-			}
-			gain := ""
-			n0Cell := ""
-			if found {
-				g, err := game.CircleOppositeGain(n0, cfg)
-				if err != nil {
-					return nil, err
-				}
-				gain = fmt.Sprintf("%.5g", g)
-				n0Cell = fmt.Sprint(n0)
-			}
-			t.AddRow(s, l, cfg.FAvg, n0Cell, found, gain)
+			points = append(points, point{s: s, l: l})
 		}
+	}
+	type crossing struct {
+		n0Cell, gain string
+		favg         float64
+		found        bool
+	}
+	crossings, err := collect(ctx.pool, len(points), func(i int) (crossing, error) {
+		cfg := gameConfig(points[i].s, 1, 0.5, 0.5, points[i].l)
+		n0, found, err := game.CircleCrossover(cfg, 4, 64)
+		if err != nil {
+			return crossing{}, err
+		}
+		c := crossing{favg: cfg.FAvg, found: found}
+		if found {
+			g, err := game.CircleOppositeGain(n0, cfg)
+			if err != nil {
+				return crossing{}, err
+			}
+			c.gain = fmt.Sprintf("%.5g", g)
+			c.n0Cell = fmt.Sprint(n0)
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range crossings {
+		t.AddRow(points[i].s, points[i].l, c.favg, c.n0Cell, c.found, c.gain)
 	}
 	return t, nil
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/lightning-creation-games/lcg/internal/chain"
 	"github.com/lightning-creation-games/lcg/internal/fee"
@@ -17,9 +16,11 @@ import (
 // E11SimVsAnalytic replays Poisson workloads through the live payment
 // machinery and compares measured per-node transit rates with the
 // analytic λ estimates of §II-B (weighted betweenness), validating the
-// model the utility function is built on.
-func E11SimVsAnalytic(seed int64) (*Table, error) {
-	rng := rand.New(rand.NewSource(seed))
+// model the utility function is built on. The topologies are built
+// sequentially from the corpus stream (cheap); the 20k-event replays —
+// the heavy part — run as parallel work items.
+func E11SimVsAnalytic(ctx *Ctx) (*Table, error) {
+	rng := ctx.Rand()
 	t := &Table{
 		ID:      "E11",
 		Title:   "Measured vs analytic transit rates (busiest node per topology)",
@@ -39,7 +40,8 @@ func E11SimVsAnalytic(seed int64) (*Table, error) {
 		{name: "ba(16,2)", g: graph.BarabasiAlbert(16, 2, 5000, rng)},
 	}
 	const events = 20000
-	for _, c := range cases {
+	err := addRows(t, ctx.pool, len(cases), func(i int) ([]any, error) {
+		c := cases[i]
 		ledger, err := chain.NewLedger(1)
 		if err != nil {
 			return nil, err
@@ -56,7 +58,7 @@ func E11SimVsAnalytic(seed int64) (*Table, error) {
 			Demand:         demand,
 			Sizes:          fee.FixedSize{T: 1},
 			Events:         events,
-			Seed:           seed + 1,
+			Seed:           ctx.Seed + 1,
 			RebalanceEvery: 500,
 		})
 		if err != nil {
@@ -75,12 +77,15 @@ func E11SimVsAnalytic(seed int64) (*Table, error) {
 		if predicted[busiest] > 0 {
 			relErr = math.Abs(measured-predicted[busiest]) / predicted[busiest]
 		}
-		t.AddRow(c.name, res.Events,
+		return []any{c.name, res.Events,
 			fmt.Sprintf("%.3f", res.SuccessRate()),
 			busiest,
 			fmt.Sprintf("%.4f", predicted[busiest]),
 			fmt.Sprintf("%.4f", measured),
-			fmt.Sprintf("%.3f", relErr))
+			fmt.Sprintf("%.3f", relErr)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -17,7 +17,9 @@
 //     to validate the analytic model end to end.
 //
 // Everything is deterministic per seed and built exclusively on the Go
-// standard library.
+// standard library. The paper's artifacts (see DESIGN.md) regenerate
+// through RunExperiments on a bounded worker pool whose output is
+// byte-identical at any parallelism setting.
 package lcg
 
 import (
