@@ -133,6 +133,61 @@ func BenchmarkAlg1Scaling(b *testing.B) {
 	}
 }
 
+// BenchmarkGreedyLargeN prices Algorithm 1 on production-scale
+// topologies — the channel-market workload (thousands of candidate
+// channels per tick) the incremental evaluation engine unlocks. Allocs
+// are reported: probes run as Push/measure/Pop deltas and must stay
+// allocation-free in steady state.
+func BenchmarkGreedyLargeN(b *testing.B) {
+	for _, n := range []int{512, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ev := newBenchEvaluator(b, n)
+			ev.FixedRate(0) // one-time λ̂ estimation outside the timed loop
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Greedy(ev, core.GreedyConfig{Budget: 16, Lock: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarginalProbe isolates one marginal-gain evaluation — the
+// unit Theorems 4-5 count — on a held strategy of 4 channels:
+// "incremental" is the Push/measure/Pop delta the optimisers use,
+// "strategy" the Strategy-valued one-shot API that reloads the session
+// per call. The gap between the two is the per-probe win of the
+// incremental engine.
+func BenchmarkMarginalProbe(b *testing.B) {
+	for _, n := range []int{128, 512} {
+		ev := newBenchEvaluator(b, n)
+		ev.FixedRate(0)
+		base := core.Strategy{{Peer: 1, Lock: 1}, {Peer: 2, Lock: 1}, {Peer: 5, Lock: 1}, {Peer: 9, Lock: 1}}
+		probe := core.Action{Peer: 17, Lock: 1}
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			st := ev.NewState()
+			st.Load(base)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.Push(probe)
+				_ = st.Simplified(core.RevenueFixedRate)
+				st.Pop()
+			}
+		})
+		b.Run(fmt.Sprintf("strategy/n=%d", n), func(b *testing.B) {
+			s := base.With(probe)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ev.Simplified(s, core.RevenueFixedRate)
+			}
+		})
+	}
+}
+
 // BenchmarkAlg2Granularity measures Algorithm 2 as the lock granularity m
 // shrinks — the Theorem 5 trade-off series.
 func BenchmarkAlg2Granularity(b *testing.B) {

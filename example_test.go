@@ -96,3 +96,26 @@ func ExampleBestResponseDynamics() {
 	// Output:
 	// true star
 }
+
+// Price candidate channels incrementally: push a channel, read the
+// running utility, pop to retract — each step costs O(n) on the live
+// evaluation state instead of re-pricing the whole strategy.
+func ExampleJoinPlanner_NewSession() {
+	network := lcg.Star(6, 10)
+	planner, err := lcg.NewJoinPlanner(network)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	session := planner.NewSession()
+	session.Push(lcg.Action{Peer: 0, Lock: 2}) // connect to the hub
+	base := session.Utility()
+
+	session.Push(lcg.Action{Peer: 3, Lock: 1}) // probe a second channel
+	delta := session.Utility() - base
+	session.Pop() // retract the probe; the state is restored exactly
+
+	fmt.Printf("channels=%d second channel worth it: %v\n",
+		session.Depth(), delta > 0)
+	// Output: channels=1 second channel worth it: false
+}

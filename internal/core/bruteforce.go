@@ -75,8 +75,15 @@ func BruteForce(e *JoinEvaluator, cfg BruteForceConfig) (Result, error) {
 	evals := 0
 	truncated := false
 
-	var rec func(idx int, current Strategy, spent float64)
-	rec = func(idx int, current Strategy, spent float64) {
+	// The enumeration is a DFS over candidate prefixes, which maps
+	// exactly onto the incremental state: push before descending, pop on
+	// the way back. Each enumerated strategy costs O(n) instead of a
+	// slice allocation plus a scratch stats rebuild.
+	st := e.session()
+	st.Reset()
+	var current Strategy
+	var rec func(idx int, spent float64)
+	rec = func(idx int, spent float64) {
 		if truncated {
 			return
 		}
@@ -85,7 +92,7 @@ func BruteForce(e *JoinEvaluator, cfg BruteForceConfig) (Result, error) {
 			truncated = true
 			return
 		}
-		if obj := e.Objective(kind, current, model); obj > best.Objective {
+		if obj := st.Objective(kind, model); obj > best.Objective {
 			best.Objective = obj
 			best.Strategy = current.Clone()
 		}
@@ -98,11 +105,16 @@ func BruteForce(e *JoinEvaluator, cfg BruteForceConfig) (Result, error) {
 				if spent+cost > cfg.Budget+budgetTolerance {
 					continue
 				}
-				rec(next+1, current.With(Action{Peer: candidates[next], Lock: lock}), spent+cost)
+				a := Action{Peer: candidates[next], Lock: lock}
+				st.Push(a)
+				current = append(current, a)
+				rec(next+1, spent+cost)
+				current = current[:len(current)-1]
+				st.Pop()
 			}
 		}
 	}
-	rec(0, nil, 0)
+	rec(0, 0)
 
 	best.Utility = e.Utility(best.Strategy, RevenueExact)
 	best.Evaluations = e.Evaluations()

@@ -90,21 +90,29 @@ func ContinuousSearch(e *JoinEvaluator, cfg ContinuousConfig) (Result, error) {
 }
 
 // bestSingleton returns the feasible single-channel strategy with maximal
-// benefit, or nil when no channel is affordable.
+// benefit, or nil when no channel is affordable. Probes run as push/pop
+// deltas on the evaluator's incremental state.
 func bestSingleton(e *JoinEvaluator, budget float64, candidates []graph.NodeID, grid []float64, model RevenueModel) (Strategy, float64) {
 	var (
 		best      Strategy
 		bestValue = math.Inf(-1)
 	)
+	st := e.session()
+	st.Reset()
 	for _, v := range candidates {
 		for _, lock := range grid {
-			s := Strategy{{Peer: v, Lock: lock}}
-			if !s.Feasible(e.params.OnChainCost, budget) {
+			// Feasibility of a singleton is its own spent budget; the
+			// strategy slice is materialised only for the incumbent.
+			if e.params.OnChainCost+lock > budget+budgetTolerance {
 				continue
 			}
-			if val := e.Benefit(s, model); val > bestValue {
+			a := Action{Peer: v, Lock: lock}
+			st.Push(a)
+			val := st.Benefit(model)
+			st.Pop()
+			if val > bestValue {
 				bestValue = val
-				best = s
+				best = Strategy{a}
 			}
 		}
 	}
@@ -112,19 +120,35 @@ func bestSingleton(e *JoinEvaluator, budget float64, candidates []graph.NodeID, 
 }
 
 // bestMove evaluates all add/delete/swap/re-lock moves and returns the
-// best strictly improving one.
+// best strictly improving one. Adds are priced as one push on the loaded
+// incumbent; the per-element families (delete, re-lock, swap) load the
+// incumbent-without-element base once and push each replacement on top,
+// so every probe is an O(n) delta instead of a scratch rebuild.
 func bestMove(e *JoinEvaluator, current Strategy, value, budget float64, candidates []graph.NodeID, grid []float64, model RevenueModel, eps float64) (bool, Strategy, float64) {
 	threshold := value + eps*math.Abs(value) + eps
 	bestValue := math.Inf(-1)
 	var best Strategy
 
-	consider := func(s Strategy) {
-		if !s.Feasible(e.params.OnChainCost, budget) {
+	st := e.session()
+	// consider prices the base loaded into st plus one extra action.
+	// Feasibility is baseSpent + (C + lock): bit-identical to
+	// base.With(a).SpentBudget, whose final addition is exactly that
+	// term. The candidate slice is materialised only when it becomes the
+	// incumbent, so probes stay allocation-free.
+	var (
+		base      Strategy
+		baseSpent float64
+	)
+	consider := func(a Action) {
+		if baseSpent+(e.params.OnChainCost+a.Lock) > budget+budgetTolerance {
 			return
 		}
-		if val := e.Benefit(s, model); val > bestValue {
+		st.Push(a)
+		val := st.Benefit(model)
+		st.Pop()
+		if val > bestValue {
 			bestValue = val
-			best = s
+			best = base.With(a)
 		}
 	}
 
@@ -133,12 +157,14 @@ func bestMove(e *JoinEvaluator, current Strategy, value, budget float64, candida
 		used[a.Peer] = true
 	}
 	// Adds.
+	st.Load(current)
+	base, baseSpent = current, current.SpentBudget(e.params.OnChainCost)
 	for _, v := range candidates {
 		if used[v] {
 			continue
 		}
 		for _, lock := range grid {
-			consider(current.With(Action{Peer: v, Lock: lock}))
+			consider(Action{Peer: v, Lock: lock})
 		}
 	}
 	// Deletes, re-locks and swaps.
@@ -146,10 +172,17 @@ func bestMove(e *JoinEvaluator, current Strategy, value, budget float64, candida
 		without := make(Strategy, 0, len(current)-1)
 		without = append(without, current[:i]...)
 		without = append(without, current[i+1:]...)
-		consider(without)
+		st.Load(without)
+		base, baseSpent = without, without.SpentBudget(e.params.OnChainCost)
+		if baseSpent <= budget+budgetTolerance {
+			if val := st.Benefit(model); val > bestValue {
+				bestValue = val
+				best = without
+			}
+		}
 		for _, lock := range grid {
 			if lock != current[i].Lock {
-				consider(without.With(Action{Peer: current[i].Peer, Lock: lock}))
+				consider(Action{Peer: current[i].Peer, Lock: lock})
 			}
 		}
 		for _, v := range candidates {
@@ -160,7 +193,7 @@ func bestMove(e *JoinEvaluator, current Strategy, value, budget float64, candida
 				continue
 			}
 			for _, lock := range grid {
-				consider(without.With(Action{Peer: v, Lock: lock}))
+				consider(Action{Peer: v, Lock: lock})
 			}
 		}
 	}

@@ -112,14 +112,18 @@ func enumerateDivisions(units, maxParts int, visit func([]int) bool) {
 // greedyWithLocks runs the Algorithm 1 loop with a per-step lock schedule:
 // the j-th added channel locks lockUnits[j]·unit coins. Steps whose
 // cumulative cost would exceed the budget end the run; the best prefix is
-// returned, as in Algorithm 1.
+// returned, as in Algorithm 1. Probes are Push/measure/Pop on the
+// evaluator's incremental state, shared across all divisions of one
+// search.
 func greedyWithLocks(e *JoinEvaluator, budget, unit float64, lockUnits []int, candidates []graph.NodeID, model RevenueModel) Result {
 	available := append([]graph.NodeID(nil), candidates...)
+	st := e.session()
+	st.Reset()
 	var (
 		current   Strategy
 		spent     float64
 		bestValue = math.Inf(-1)
-		best      Strategy
+		bestLen   = -1
 	)
 	for step := 0; step < len(lockUnits) && len(available) > 0; step++ {
 		lock := float64(lockUnits[step]) * unit
@@ -130,7 +134,9 @@ func greedyWithLocks(e *JoinEvaluator, budget, unit float64, lockUnits []int, ca
 		bestIdx := -1
 		bestObj := math.Inf(-1)
 		for i, v := range available {
-			obj := e.Simplified(current.With(Action{Peer: v, Lock: lock}), model)
+			st.Push(Action{Peer: v, Lock: lock})
+			obj := st.Simplified(model)
+			st.Pop()
 			if obj > bestObj {
 				bestObj = obj
 				bestIdx = i
@@ -139,17 +145,20 @@ func greedyWithLocks(e *JoinEvaluator, budget, unit float64, lockUnits []int, ca
 		if bestIdx < 0 {
 			break
 		}
-		current = current.With(Action{Peer: available[bestIdx], Lock: lock})
+		accepted := Action{Peer: available[bestIdx], Lock: lock}
+		st.Push(accepted)
+		current = append(current, accepted)
 		available = append(available[:bestIdx], available[bestIdx+1:]...)
 		spent += cost
 		if bestObj > bestValue {
 			bestValue = bestObj
-			best = current.Clone()
+			bestLen = len(current)
 		}
 	}
-	if best == nil {
+	if bestLen < 0 {
 		return Result{Objective: math.Inf(-1)}
 	}
+	best := current[:bestLen].Clone()
 	return Result{
 		Strategy:  best,
 		Objective: bestValue,

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"math"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// EvalState is the incremental (delta-priced) evaluation engine: a
+// mutable session over one JoinEvaluator that maintains the joinStats
+// aggregates — inDist/inSigma/outDist/outSigma/outCap — as live state.
+// Push(action) updates every aggregate in O(n) and Pop() restores the
+// previous state exactly, so a marginal-gain probe (push, measure, pop)
+// costs O(n) with zero allocations instead of the O(n·|S|) scratch
+// rebuild — with maps, a sort and five slice allocations — that a
+// Strategy-valued evaluation pays. All four optimisers (Greedy,
+// DiscreteSearch, BruteForce, ContinuousSearch) and the evaluator's
+// public pricing methods run on this engine.
+//
+// Determinism contract: the state is bit-identical to the scratch build.
+// After any sequence of pushes and pops, every aggregate equals — bit for
+// bit — what buildStats returns for the equivalent Strategy slice (the
+// remaining pushed actions, oldest first). Two mechanisms make that hold:
+//
+//  1. Tied shortest-path contributions are re-summed in ascending peer
+//     order (the scratch iteration order) whenever a push lands on the
+//     current minimum, instead of being appended in push order; float
+//     addition is not associative, so accumulation order is part of the
+//     contract.
+//  2. Pop restores the aggregates from per-depth snapshots taken at push
+//     time rather than subtracting deltas; (a+b)−b is not always a in
+//     floating point, memcpy is.
+//
+// An EvalState is not safe for concurrent use. Like evaluator clones, a
+// state belongs to one worker: the parallel experiment engine gives every
+// worker its own clone, and each clone owns its states.
+type EvalState struct {
+	e *JoinEvaluator
+	n int
+
+	// Live joinStats aggregates for the pushed multiset.
+	inDist   []int32
+	inSigma  []float64
+	outDist  []int32
+	outSigma []float64
+	outCap   []float64
+
+	// Per-peer channel multiplicity and capacity-factor mass, indexed by
+	// node; peers lists the distinct valid peers in ascending order.
+	mult    []float64
+	phiMult []float64
+	peers   []graph.NodeID
+
+	frames []evalFrame
+	depth  int
+	cost   float64 // Σ ChannelCost(lock) over pushed actions, push order
+}
+
+// evalFrame is the undo record of one push: the action, the prior scalar
+// state, and snapshots of the five aggregate arrays. Frames are reused
+// across pushes at the same depth, so steady-state probing allocates
+// nothing.
+type evalFrame struct {
+	action   Action
+	valid    bool
+	newPeer  bool
+	peerIdx  int
+	prevMult float64
+	prevPhi  float64
+	prevCost float64
+
+	inDist   []int32
+	inSigma  []float64
+	outDist  []int32
+	outSigma []float64
+	outCap   []float64
+}
+
+// NewState opens an incremental evaluation session on the evaluator. The
+// state shares the evaluator's immutable precomputation and counts its
+// objective evaluations against the evaluator's counter.
+func (e *JoinEvaluator) NewState() *EvalState {
+	st := &EvalState{
+		e:        e,
+		n:        e.n,
+		inDist:   make([]int32, e.n),
+		inSigma:  make([]float64, e.n),
+		outDist:  make([]int32, e.n),
+		outSigma: make([]float64, e.n),
+		outCap:   make([]float64, e.n),
+		mult:     make([]float64, e.n),
+		phiMult:  make([]float64, e.n),
+	}
+	for i := 0; i < st.n; i++ {
+		st.inDist[i] = graph.Unreachable
+		st.outDist[i] = graph.Unreachable
+	}
+	return st
+}
+
+// Depth reports the number of pushed actions.
+func (st *EvalState) Depth() int { return st.depth }
+
+// Strategy returns the pushed actions as a fresh Strategy slice, oldest
+// push first.
+func (st *EvalState) Strategy() Strategy {
+	s := make(Strategy, st.depth)
+	for i := 0; i < st.depth; i++ {
+		s[i] = st.frames[i].action
+	}
+	return s
+}
+
+// Cost returns Σ_{(v,l) pushed} L_u(v,l), accumulated in push order.
+func (st *EvalState) Cost() float64 { return st.cost }
+
+// Push adds one action to the session, updating every aggregate in O(n).
+// Actions referencing peers outside the graph are carried (they count
+// towards cost, matching Cost's semantics on strategy slices) but
+// contribute nothing to the path structure, exactly like buildStats.
+func (st *EvalState) Push(a Action) {
+	if st.depth == len(st.frames) {
+		st.frames = append(st.frames, evalFrame{
+			inDist:   make([]int32, st.n),
+			inSigma:  make([]float64, st.n),
+			outDist:  make([]int32, st.n),
+			outSigma: make([]float64, st.n),
+			outCap:   make([]float64, st.n),
+		})
+	}
+	f := &st.frames[st.depth]
+	st.depth++
+	f.action = a
+	f.prevCost = st.cost
+	st.cost += st.e.params.ChannelCost(a.Lock)
+	f.valid = st.e.g.HasNode(a.Peer)
+	f.newPeer = false
+	if !f.valid {
+		return
+	}
+	copy(f.inDist, st.inDist)
+	copy(f.inSigma, st.inSigma)
+	copy(f.outDist, st.outDist)
+	copy(f.outSigma, st.outSigma)
+	copy(f.outCap, st.outCap)
+
+	v := a.Peer
+	f.prevMult = st.mult[v]
+	f.prevPhi = st.phiMult[v]
+	st.mult[v]++
+	st.phiMult[v] += st.e.params.capFactor(a.Lock)
+	if f.prevMult == 0 {
+		f.newPeer = true
+		f.peerIdx = st.insertPeer(v)
+	}
+	st.applyPeer(v)
+}
+
+// Pop undoes the most recent push exactly (bitwise), restoring the
+// aggregates from the push-time snapshots.
+func (st *EvalState) Pop() {
+	if st.depth == 0 {
+		panic("core: Pop on empty EvalState")
+	}
+	st.depth--
+	f := &st.frames[st.depth]
+	st.cost = f.prevCost
+	if !f.valid {
+		return
+	}
+	v := f.action.Peer
+	st.mult[v] = f.prevMult
+	st.phiMult[v] = f.prevPhi
+	if f.newPeer {
+		st.peers = append(st.peers[:f.peerIdx], st.peers[f.peerIdx+1:]...)
+	}
+	copy(st.inDist, f.inDist)
+	copy(st.inSigma, f.inSigma)
+	copy(st.outDist, f.outDist)
+	copy(st.outSigma, f.outSigma)
+	copy(st.outCap, f.outCap)
+}
+
+// Reset pops every pushed action, returning the session to the empty
+// strategy.
+func (st *EvalState) Reset() {
+	for st.depth > 0 {
+		st.Pop()
+	}
+}
+
+// Load resets the session and pushes the strategy's actions in order, so
+// the state prices s.
+func (st *EvalState) Load(s Strategy) {
+	st.Reset()
+	for _, a := range s {
+		st.Push(a)
+	}
+}
+
+// insertPeer adds v to the sorted peer list and returns its index.
+func (st *EvalState) insertPeer(v graph.NodeID) int {
+	i := len(st.peers)
+	for i > 0 && st.peers[i-1] > v {
+		i--
+	}
+	st.peers = append(st.peers, 0)
+	copy(st.peers[i+1:], st.peers[i:])
+	st.peers[i] = v
+	return i
+}
+
+// applyPeer folds the (already updated) multiplicity of peer v into the
+// aggregates. The incoming direction walks the transposed all-pairs row
+// of v and the outgoing direction the forward row, so both scans are
+// contiguous. Three cases per node x:
+//
+//   - v is strictly closer than the current minimum: v becomes the sole
+//     argmin, so the sigma aggregate is the single product the scratch
+//     build would write (no accumulation, hence no order sensitivity);
+//   - v ties the current minimum (including a repeat push of v): the
+//     aggregate is re-summed over the argmin set in ascending peer order,
+//     reproducing the scratch accumulation exactly;
+//   - v is farther: nothing changes.
+func (st *EvalState) applyPeer(v graph.NodeID) {
+	e := st.e
+	distTo := e.apT.DistRow(int(v)) // d(x, v) over x, contiguous
+	sigTo := e.apT.SigmaRow(int(v))
+	distFrom := e.ap.DistRow(int(v)) // d(v, x) over x, contiguous
+	sigFrom := e.ap.SigmaRow(int(v))
+	mv := st.mult[v]
+	pv := st.phiMult[v]
+	for x := 0; x < st.n; x++ {
+		if d := distTo[x]; d != graph.Unreachable {
+			switch {
+			case st.inDist[x] == graph.Unreachable || d < st.inDist[x]:
+				st.inDist[x] = d
+				st.inSigma[x] = mv * sigTo[x]
+			case d == st.inDist[x]:
+				st.resumIn(x)
+			}
+		}
+		if d := distFrom[x]; d != graph.Unreachable {
+			switch {
+			case st.outDist[x] == graph.Unreachable || d < st.outDist[x]:
+				st.outDist[x] = d
+				st.outSigma[x] = mv * sigFrom[x]
+				st.outCap[x] = pv * sigFrom[x]
+			case d == st.outDist[x]:
+				st.resumOut(x)
+			}
+		}
+	}
+}
+
+// resumIn recomputes inSigma[x] over the argmin peer set in ascending
+// peer order — the scratch build's accumulation order.
+func (st *EvalState) resumIn(x int) {
+	d := st.inDist[x]
+	n := st.n
+	first := true
+	var sum float64
+	for _, w := range st.peers {
+		if st.e.apT.Dist[int(w)*n+x] != d {
+			continue
+		}
+		term := st.mult[w] * st.e.apT.Sigma[int(w)*n+x]
+		if first {
+			sum = term
+			first = false
+		} else {
+			sum += term
+		}
+	}
+	st.inSigma[x] = sum
+}
+
+// resumOut recomputes outSigma[x] and outCap[x] over the argmin peer set
+// in ascending peer order.
+func (st *EvalState) resumOut(x int) {
+	d := st.outDist[x]
+	n := st.n
+	first := true
+	var sig, cp float64
+	for _, w := range st.peers {
+		if st.e.ap.Dist[int(w)*n+x] != d {
+			continue
+		}
+		s := st.e.ap.Sigma[int(w)*n+x]
+		if first {
+			sig = st.mult[w] * s
+			cp = st.phiMult[w] * s
+			first = false
+		} else {
+			sig += st.mult[w] * s
+			cp += st.phiMult[w] * s
+		}
+	}
+	st.outSigma[x] = sig
+	st.outCap[x] = cp
+}
+
+// Disconnected reports whether the pushed strategy leaves the joining
+// user disconnected from some recipient it transacts with (or from the
+// whole network when the strategy has no valid peer).
+func (st *EvalState) Disconnected() bool {
+	if st.n == 0 {
+		return false
+	}
+	if len(st.peers) == 0 {
+		return true
+	}
+	pu := st.e.pu
+	for v := 0; v < st.n; v++ {
+		if pu[v] > 0 && st.outDist[v] == graph.Unreachable {
+			return true
+		}
+	}
+	return false
+}
+
+// Fees returns E^fees_u of the pushed strategy (§II-C), +Inf when a
+// positive-probability recipient is unreachable and the fee parameters
+// are positive.
+func (st *EvalState) Fees() float64 {
+	e := st.e
+	scale := e.params.OwnRate * e.params.FeePerHop
+	var sum float64
+	for v := 0; v < st.n; v++ {
+		p := e.pu[v]
+		if p == 0 {
+			continue
+		}
+		if st.outDist[v] == graph.Unreachable {
+			if scale > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		// d_{G+S}(u, v) = 1 + min_j d(v_j, v).
+		sum += p * float64(1+st.outDist[v])
+	}
+	return scale * sum
+}
+
+// TransitRate returns the expected rate of existing-user transactions
+// whose shortest path in G+S routes through the joining user, weighted by
+// the capacity factor of the exit channels.
+func (st *EvalState) TransitRate() float64 {
+	e := st.e
+	if len(st.peers) == 0 {
+		return 0
+	}
+	var total float64
+	for src := 0; src < st.n; src++ {
+		if st.inDist[src] == graph.Unreachable {
+			continue
+		}
+		rowDist := e.ap.DistRow(src)
+		rowSigma := e.ap.SigmaRow(src)
+		for dst := 0; dst < st.n; dst++ {
+			if dst == src || st.outDist[dst] == graph.Unreachable {
+				continue
+			}
+			w := e.demand.PairRate(graph.NodeID(src), graph.NodeID(dst))
+			if w == 0 {
+				continue
+			}
+			dThru := int(st.inDist[src]) + 2 + int(st.outDist[dst])
+			d0 := int(rowDist[dst])
+			var frac float64
+			switch {
+			case d0 == graph.Unreachable || dThru < d0:
+				frac = 1
+			case dThru == d0:
+				sThru := st.inSigma[src] * st.outSigma[dst]
+				frac = sThru / (rowSigma[dst] + sThru)
+			default:
+				continue
+			}
+			capRatio := 1.0
+			if st.outSigma[dst] > 0 {
+				capRatio = st.outCap[dst] / st.outSigma[dst]
+			}
+			total += w * frac * capRatio
+		}
+	}
+	return total
+}
+
+// Revenue returns E^rev_u of the pushed strategy under the given model.
+func (st *EvalState) Revenue(model RevenueModel) float64 {
+	e := st.e
+	switch model {
+	case RevenueFixedRate:
+		var sum float64
+		for i := 0; i < st.depth; i++ {
+			a := st.frames[i].action
+			rate := e.FixedRate(a.Peer)
+			sum += rate * (0.5 + 0.5*e.params.capFactor(a.Lock))
+		}
+		return e.params.FAvg * sum
+	default:
+		return e.params.FAvg * st.TransitRate()
+	}
+}
+
+// Utility returns U_u = E^rev − E^fees − Σ L_u of the pushed strategy in
+// one fused pass: a single O(n) scan decides disconnection and
+// accumulates the fee term, and (under the exact model) one O(n²) scan
+// prices transit — against the three separate stats rebuilds the scratch
+// path pays. A disconnected strategy has utility −Inf.
+func (st *EvalState) Utility(model RevenueModel) float64 {
+	e := st.e
+	e.evals++
+	if st.n == 0 {
+		return st.Revenue(model) - st.Fees() - st.cost
+	}
+	if len(st.peers) == 0 {
+		return math.Inf(-1)
+	}
+	scale := e.params.OwnRate * e.params.FeePerHop
+	var feeSum float64
+	for v := 0; v < st.n; v++ {
+		p := e.pu[v]
+		if p == 0 {
+			continue
+		}
+		if st.outDist[v] == graph.Unreachable {
+			// A positive-probability recipient is unreachable: the
+			// strategy disconnects the user regardless of fee scale.
+			return math.Inf(-1)
+		}
+		feeSum += p * float64(1+st.outDist[v])
+	}
+	return st.Revenue(model) - scale*feeSum - st.cost
+}
+
+// Simplified returns the monotone submodular U' = E^rev − E^fees of
+// Theorem 2, the objective of Algorithms 1 and 2.
+func (st *EvalState) Simplified(model RevenueModel) float64 {
+	st.e.evals++
+	return st.Revenue(model) - st.Fees()
+}
+
+// Benefit returns U^b = C_u + U, the §III-D objective.
+func (st *EvalState) Benefit(model RevenueModel) float64 {
+	return st.e.params.OnChainAlternative() + st.Utility(model)
+}
+
+// Objective evaluates the selected objective for the pushed strategy.
+func (st *EvalState) Objective(kind ObjectiveKind, model RevenueModel) float64 {
+	switch kind {
+	case ObjectiveUtility:
+		return st.Utility(model)
+	case ObjectiveBenefit:
+		return st.Benefit(model)
+	default:
+		return st.Simplified(model)
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// The incremental engine's contract is bit-identity with the scratch
+// build: after any push/pop sequence, every aggregate and every objective
+// must equal — to the last bit — what buildStats and the scratch
+// evaluation functions produce for the equivalent strategy slice. These
+// tests enforce the contract over randomized graphs, strategies and
+// session histories; FuzzEvalStateMatchesScratch extends the search to
+// adversarial byte-driven histories.
+
+func randomStateEvaluator(t testing.TB, rng *rand.Rand, n int, withCapFactor bool) *JoinEvaluator {
+	t.Helper()
+	var g *graph.Graph
+	switch rng.Intn(3) {
+	case 0:
+		g = graph.BarabasiAlbert(n, 2, 10, rng)
+	case 1:
+		g = graph.ConnectedErdosRenyi(n, 0.3, 10, rng, 50)
+	default:
+		g = graph.ErdosRenyi(n, 0.15, 5, rng) // may be disconnected
+	}
+	dist := txdist.ModifiedZipf{S: 1}
+	demand, err := traffic.NewUniformDemand(g, dist, float64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{
+		OnChainCost: 1,
+		OppCostRate: 0.05,
+		FAvg:        0.7,
+		FeePerHop:   0.3,
+		OwnRate:     2,
+	}
+	if withCapFactor {
+		params.CapacityFactor = func(l float64) float64 { return math.Min(1, l/3) }
+	}
+	e, err := NewJoinEvaluator(g, dist, demand, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// requireStateMatchesScratch compares every aggregate and objective of
+// the state against the scratch oracle for the state's current strategy.
+func requireStateMatchesScratch(t testing.TB, e *JoinEvaluator, st *EvalState) {
+	t.Helper()
+	s := st.Strategy()
+	ref := e.buildStats(s)
+	if len(ref.peers) != len(st.peers) {
+		t.Fatalf("strategy %v: peers %v vs scratch %v", s, st.peers, ref.peers)
+	}
+	for i := range ref.peers {
+		if ref.peers[i] != st.peers[i] {
+			t.Fatalf("strategy %v: peers %v vs scratch %v", s, st.peers, ref.peers)
+		}
+	}
+	for x := 0; x < e.n; x++ {
+		if st.inDist[x] != ref.inDist[x] || st.outDist[x] != ref.outDist[x] {
+			t.Fatalf("strategy %v node %d: dist (%d,%d) vs scratch (%d,%d)",
+				s, x, st.inDist[x], st.outDist[x], ref.inDist[x], ref.outDist[x])
+		}
+		if math.Float64bits(st.inSigma[x]) != math.Float64bits(ref.inSigma[x]) {
+			t.Fatalf("strategy %v node %d: inSigma %v vs scratch %v (bit diff)",
+				s, x, st.inSigma[x], ref.inSigma[x])
+		}
+		if math.Float64bits(st.outSigma[x]) != math.Float64bits(ref.outSigma[x]) {
+			t.Fatalf("strategy %v node %d: outSigma %v vs scratch %v (bit diff)",
+				s, x, st.outSigma[x], ref.outSigma[x])
+		}
+		if math.Float64bits(st.outCap[x]) != math.Float64bits(ref.outCap[x]) {
+			t.Fatalf("strategy %v node %d: outCap %v vs scratch %v (bit diff)",
+				s, x, st.outCap[x], ref.outCap[x])
+		}
+	}
+	if got, want := st.Cost(), e.Cost(s); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("strategy %v: Cost %v vs scratch %v", s, got, want)
+	}
+	if got, want := st.Disconnected(), e.scratchDisconnected(s); got != want {
+		t.Fatalf("strategy %v: Disconnected %v vs scratch %v", s, got, want)
+	}
+	if got, want := st.Fees(), e.scratchFees(s); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("strategy %v: Fees %v vs scratch %v", s, got, want)
+	}
+	if got, want := st.TransitRate(), e.scratchTransitRate(s); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("strategy %v: TransitRate %v vs scratch %v", s, got, want)
+	}
+	for _, model := range []RevenueModel{RevenueExact, RevenueFixedRate} {
+		if got, want := st.Utility(model), e.scratchUtility(s, model); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("strategy %v model %v: Utility %v vs scratch %v", s, model, got, want)
+		}
+		if got, want := st.Simplified(model), e.scratchSimplified(s, model); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("strategy %v model %v: Simplified %v vs scratch %v", s, model, got, want)
+		}
+	}
+}
+
+// TestEvalStateMatchesScratchRandomHistories drives sessions through long
+// random push/pop histories — duplicate peers, zero locks, invalid peers
+// — and checks bit-identity with the scratch build after every step.
+func TestEvalStateMatchesScratchRandomHistories(t *testing.T) {
+	locks := []float64{0, 0.5, 1, 2, 5}
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(400 + trial)))
+		n := 6 + rng.Intn(10)
+		e := randomStateEvaluator(t, rng, n, trial%2 == 1)
+		st := e.NewState()
+		for step := 0; step < 60; step++ {
+			if st.Depth() > 0 && rng.Float64() < 0.4 {
+				st.Pop()
+			} else {
+				peer := graph.NodeID(rng.Intn(n + 2)) // may be invalid
+				st.Push(Action{Peer: peer, Lock: locks[rng.Intn(len(locks))]})
+			}
+			requireStateMatchesScratch(t, e, st)
+		}
+		st.Reset()
+		if st.Depth() != 0 || len(st.peers) != 0 {
+			t.Fatalf("trial %d: Reset left depth %d, peers %v", trial, st.Depth(), st.peers)
+		}
+		requireStateMatchesScratch(t, e, st)
+	}
+}
+
+// TestEvalStateLoadMatchesScratch prices whole random strategies through
+// Load and cross-checks the evaluator's public one-shot methods, which
+// route through the same session.
+func TestEvalStateLoadMatchesScratch(t *testing.T) {
+	locks := []float64{0, 1, 2.5, 4}
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(900 + trial)))
+		n := 5 + rng.Intn(12)
+		e := randomStateEvaluator(t, rng, n, trial%2 == 0)
+		st := e.NewState()
+		for round := 0; round < 20; round++ {
+			size := rng.Intn(6)
+			s := make(Strategy, size)
+			for i := range s {
+				s[i] = Action{
+					Peer: graph.NodeID(rng.Intn(n + 1)),
+					Lock: locks[rng.Intn(len(locks))],
+				}
+			}
+			st.Load(s)
+			requireStateMatchesScratch(t, e, st)
+			for _, model := range []RevenueModel{RevenueExact, RevenueFixedRate} {
+				if got, want := e.Utility(s, model), e.scratchUtility(s, model); math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("public Utility(%v, %v) = %v, scratch %v", s, model, got, want)
+				}
+			}
+			if got, want := e.Fees(s), e.scratchFees(s); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("public Fees(%v) = %v, scratch %v", s, got, want)
+			}
+			if got, want := e.TransitRate(s), e.scratchTransitRate(s); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("public TransitRate(%v) = %v, scratch %v", s, got, want)
+			}
+		}
+	}
+}
+
+// TestEvalStatePopRestoresBitwise pushes a batch, snapshots, pushes and
+// pops more, and verifies the snapshot is restored exactly.
+func TestEvalStatePopRestoresBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	e := randomStateEvaluator(t, rng, 12, true)
+	st := e.NewState()
+	st.Load(Strategy{{Peer: 3, Lock: 1}, {Peer: 7, Lock: 0}, {Peer: 3, Lock: 2}})
+	base := struct {
+		utility float64
+		fees    float64
+		transit float64
+		cost    float64
+	}{st.Utility(RevenueExact), st.Fees(), st.TransitRate(), st.Cost()}
+	for i := 0; i < 10; i++ {
+		st.Push(Action{Peer: graph.NodeID(rng.Intn(12)), Lock: float64(rng.Intn(4))})
+	}
+	for i := 0; i < 10; i++ {
+		st.Pop()
+	}
+	if got := st.Utility(RevenueExact); math.Float64bits(got) != math.Float64bits(base.utility) {
+		t.Fatalf("Utility after push/pop churn = %v, want %v", got, base.utility)
+	}
+	if got := st.Fees(); math.Float64bits(got) != math.Float64bits(base.fees) {
+		t.Fatalf("Fees after churn = %v, want %v", got, base.fees)
+	}
+	if got := st.TransitRate(); math.Float64bits(got) != math.Float64bits(base.transit) {
+		t.Fatalf("TransitRate after churn = %v, want %v", got, base.transit)
+	}
+	if got := st.Cost(); math.Float64bits(got) != math.Float64bits(base.cost) {
+		t.Fatalf("Cost after churn = %v, want %v", got, base.cost)
+	}
+}
+
+// TestEvalStatePopEmptyPanics pins the misuse contract.
+func TestEvalStatePopEmptyPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := randomStateEvaluator(t, rng, 5, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty state did not panic")
+		}
+	}()
+	e.NewState().Pop()
+}
+
+// TestLambdaTableSharedAcrossClones verifies the once-guarded λ̂ fix:
+// clones created before the first FixedRate call share one table instead
+// of each rebuilding it.
+func TestLambdaTableSharedAcrossClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	e := randomStateEvaluator(t, rng, 10, false)
+	c1 := e.Clone()
+	c2 := e.Clone()
+	want := c1.FixedRate(3) // first build happens through a clone
+	if e.lambda.rates == nil {
+		t.Fatal("build through a clone did not populate the shared table")
+	}
+	if got := c2.FixedRate(3); got != want {
+		t.Fatalf("second clone λ̂ = %v, want %v", got, want)
+	}
+	if got := e.FixedRate(3); got != want {
+		t.Fatalf("original λ̂ = %v, want %v", got, want)
+	}
+	// SetFixedRates is local: it replaces the table on this evaluator
+	// only, leaving prior clones on the shared build.
+	e.SetFixedRates(map[graph.NodeID]float64{3: 42})
+	if got := e.FixedRate(3); got != 42 {
+		t.Fatalf("override λ̂ = %v, want 42", got)
+	}
+	if got := c1.FixedRate(3); got != want {
+		t.Fatalf("clone after override λ̂ = %v, want %v", got, want)
+	}
+}
+
+// FuzzEvalStateMatchesScratch feeds byte-driven session histories —
+// graph shape, capacity-factor toggle, and an arbitrary push/pop/check
+// program — through the differential harness.
+func FuzzEvalStateMatchesScratch(f *testing.F) {
+	f.Add(int64(1), []byte{0x01, 0x42, 0x07, 0x99, 0x03})
+	f.Add(int64(7), []byte{0xff, 0x00, 0x10, 0x20, 0x30, 0x40, 0x50})
+	f.Add(int64(42), []byte{0x05, 0x05, 0x05, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, seed int64, program []byte) {
+		if len(program) == 0 || len(program) > 256 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(program[0]%12)
+		e := randomStateEvaluator(t, rng, n, program[0]&0x80 != 0)
+		st := e.NewState()
+		for i := 1; i < len(program); i++ {
+			op := program[i]
+			switch {
+			case op&0x03 == 0 && st.Depth() > 0:
+				st.Pop()
+			default:
+				st.Push(Action{
+					Peer: graph.NodeID(int(op>>2) % (n + 2)),
+					Lock: float64(op&0x1f) / 4,
+				})
+			}
+			// Checking every step keeps the counterexample minimal when
+			// the fuzzer finds one.
+			requireStateMatchesScratch(t, e, st)
+		}
+	})
+}

@@ -28,6 +28,10 @@ type GreedyConfig struct {
 // Because U' is monotone and submodular (Theorem 2), the result is a
 // (1−1/e)-approximation of the optimal U' over strategies of at most M
 // fixed-lock channels (Theorem 4), using O(M·n) objective evaluations.
+//
+// Every marginal probe is a Push/measure/Pop on the evaluator's
+// incremental state — O(n) and allocation-free per candidate — instead of
+// a fresh strategy slice plus a from-scratch stats rebuild.
 func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 	if cfg.Lock < 0 || math.IsNaN(cfg.Lock) {
 		return Result{}, fmt.Errorf("%w: lock %v", ErrBadParams, cfg.Lock)
@@ -48,9 +52,11 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 	e.ResetEvaluations()
 
 	available := append([]graph.NodeID(nil), candidates...)
+	st := e.session()
+	st.Reset()
 	var (
 		current     Strategy
-		bestPrefix  Strategy
+		bestLen     int
 		bestValue   = math.Inf(-1)
 		prefixFound bool
 	)
@@ -61,7 +67,9 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 		bestIdx := -1
 		bestObj := math.Inf(-1)
 		for i, v := range available {
-			obj := e.Simplified(current.With(Action{Peer: v, Lock: cfg.Lock}), model)
+			st.Push(Action{Peer: v, Lock: cfg.Lock})
+			obj := st.Simplified(model)
+			st.Pop()
 			if obj > bestObj {
 				bestObj = obj
 				bestIdx = i
@@ -70,11 +78,13 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 		if bestIdx < 0 {
 			break
 		}
-		current = current.With(Action{Peer: available[bestIdx], Lock: cfg.Lock})
+		accepted := Action{Peer: available[bestIdx], Lock: cfg.Lock}
+		st.Push(accepted)
+		current = append(current, accepted)
 		available = append(available[:bestIdx], available[bestIdx+1:]...)
 		if bestObj > bestValue {
 			bestValue = bestObj
-			bestPrefix = current.Clone()
+			bestLen = len(current)
 			prefixFound = true
 		}
 	}
@@ -87,6 +97,7 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 			Evaluations: e.Evaluations(),
 		}, nil
 	}
+	bestPrefix := current[:bestLen].Clone()
 	return Result{
 		Strategy:    bestPrefix,
 		Objective:   bestValue,

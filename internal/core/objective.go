@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ObjectiveKind selects which of the paper's objective functions an
 // optimiser or auditor targets.
@@ -30,6 +33,111 @@ func (k ObjectiveKind) String() string {
 	default:
 		return fmt.Sprintf("ObjectiveKind(%d)", int(k))
 	}
+}
+
+// The Strategy-valued pricing methods below are the one-shot surface of
+// the evaluation engine: each call loads the strategy into the
+// evaluator's incremental session (evalstate.go) and reads the fused
+// objective off it. Callers that price many related strategies should
+// hold an EvalState directly and Push/Pop instead, paying O(n) per probe.
+
+// TransitRate returns the expected rate of existing-user transactions
+// whose shortest path in G+S routes through the joining user, weighted by
+// the capacity factor of the exit channels. With a nil CapacityFactor this
+// is exactly the through-u transit rate.
+func (e *JoinEvaluator) TransitRate(s Strategy) float64 {
+	st := e.session()
+	st.Load(s)
+	return st.TransitRate()
+}
+
+// Revenue returns E^rev_u(S) under the given model (eq. 3).
+func (e *JoinEvaluator) Revenue(s Strategy, model RevenueModel) float64 {
+	switch model {
+	case RevenueFixedRate:
+		// Modular in S: no path structure needed.
+		var sum float64
+		for _, a := range s {
+			rate := e.FixedRate(a.Peer)
+			sum += rate * (0.5 + 0.5*e.params.capFactor(a.Lock))
+		}
+		return e.params.FAvg * sum
+	default:
+		return e.params.FAvg * e.TransitRate(s)
+	}
+}
+
+// Fees returns E^fees_u(S) = N_u · f^T_avg · Σ_v d_{G+S}(u,v)·p_trans(u,v)
+// (§II-C). Distances use the paper's convention d(u,v) = +∞ for
+// unreachable targets, so the result is +Inf whenever the strategy leaves
+// a positive-probability recipient unreachable (and the fee parameters are
+// positive).
+func (e *JoinEvaluator) Fees(s Strategy) float64 {
+	st := e.session()
+	st.Load(s)
+	return st.Fees()
+}
+
+// Cost returns Σ_{(v,l)∈S} L_u(v,l) = Σ (C + r·l).
+func (e *JoinEvaluator) Cost(s Strategy) float64 {
+	var total float64
+	for _, a := range s {
+		total += e.params.ChannelCost(a.Lock)
+	}
+	return total
+}
+
+// Disconnected reports whether the strategy leaves the joining user
+// disconnected from some recipient it transacts with (or from the whole
+// network when S is empty).
+func (e *JoinEvaluator) Disconnected(s Strategy) bool {
+	if e.n == 0 {
+		return false
+	}
+	st := e.session()
+	st.Load(s)
+	return st.Disconnected()
+}
+
+// Utility returns U_u(S) = E^rev − E^fees − Σ L_u (§II-C). A strategy
+// that leaves the user disconnected has utility −Inf, matching the
+// paper's convention. The evaluation runs as one fused pass over the
+// incremental state instead of the historical three stats rebuilds.
+func (e *JoinEvaluator) Utility(s Strategy, model RevenueModel) float64 {
+	st := e.session()
+	st.Load(s)
+	return st.Utility(model)
+}
+
+// Simplified returns the monotone submodular U'_u(S) = E^rev − E^fees of
+// Theorem 2, the objective of Algorithms 1 and 2.
+func (e *JoinEvaluator) Simplified(s Strategy, model RevenueModel) float64 {
+	st := e.session()
+	st.Load(s)
+	return st.Simplified(model)
+}
+
+// Benefit returns U^b_u(S) = C_u + U_u(S), the §III-D objective that
+// captures the gain over transacting on-chain.
+func (e *JoinEvaluator) Benefit(s Strategy, model RevenueModel) float64 {
+	return e.params.OnChainAlternative() + e.Utility(s, model)
+}
+
+// BenefitPositivityHolds checks the paper's sufficient condition for the
+// benefit function to stay positive for a single channel action:
+// E^fees + (B_u/C)·L_u(v,l) < C_u (§III-D).
+func (e *JoinEvaluator) BenefitPositivityHolds(s Strategy, budget float64) bool {
+	fees := e.Fees(s)
+	if math.IsInf(fees, 1) {
+		return false
+	}
+	var maxCost float64
+	for _, a := range s {
+		if c := e.params.ChannelCost(a.Lock); c > maxCost {
+			maxCost = c
+		}
+	}
+	return fees+budget/e.params.OnChainCost*maxCost < e.params.OnChainAlternative()
 }
 
 // Objective evaluates the selected objective for a strategy.

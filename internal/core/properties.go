@@ -49,13 +49,24 @@ func CheckSubmodularity(e *JoinEvaluator, kind ObjectiveKind, model RevenueModel
 	if n < 3 {
 		return report
 	}
+	st := e.session()
 	for t := 0; t < trials; t++ {
 		s2, x := randomNestedConfig(n, locks, rng)
 		cut := rng.Intn(len(s2) + 1)
 		s1 := s2[:cut].Clone()
 
-		m1 := e.Objective(kind, s1.With(x), model) - e.Objective(kind, s1, model)
-		m2 := e.Objective(kind, s2.With(x), model) - e.Objective(kind, s2, model)
+		// Marginal gains as push deltas: load the base once, push X on
+		// top — no per-trial scratch rebuilds.
+		st.Load(s1)
+		base1 := st.Objective(kind, model)
+		st.Push(x)
+		with1 := st.Objective(kind, model)
+		st.Load(s2)
+		base2 := st.Objective(kind, model)
+		st.Push(x)
+		with2 := st.Objective(kind, model)
+		m1 := with1 - base1
+		m2 := with2 - base2
 		if math.IsNaN(m1) || math.IsNaN(m2) || math.IsInf(m1, 0) || math.IsInf(m2, 0) {
 			report.Vacuous++
 			continue
@@ -80,10 +91,13 @@ func CheckMonotonicity(e *JoinEvaluator, kind ObjectiveKind, model RevenueModel,
 	if n < 2 {
 		return report
 	}
+	st := e.session()
 	for t := 0; t < trials; t++ {
 		s, x := randomNestedConfig(n, locks, rng)
-		before := e.Objective(kind, s, model)
-		after := e.Objective(kind, s.With(x), model)
+		st.Load(s)
+		before := st.Objective(kind, model)
+		st.Push(x)
+		after := st.Objective(kind, model)
 		if math.IsNaN(before) || math.IsNaN(after) {
 			report.Vacuous++
 			continue

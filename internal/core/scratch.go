@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// This file is the from-scratch evaluation path: it rebuilds the full
+// joinStats table for a strategy on every call. The hot paths (the
+// optimisers and the evaluator's public pricing methods) run on the
+// incremental EvalState instead; the scratch build remains as the
+// differential-testing oracle the state is verified against bit for bit
+// (see evalstate_test.go and FuzzEvalStateMatchesScratch), and as the
+// one-time reference-configuration build inside EstimateRates.
+
+// joinStats aggregates the through-u shortest-path structure of G+S.
+//
+// For every existing node x:
+//
+//	inDist[x]   = min_{v_i ∈ peers} d(x, v_i)   (hops to reach u's door)
+//	inSigma[x]  = Σ_{v_i achieving the min} mult(v_i)·σ(x, v_i)
+//	outDist[x]  = min_{v_j ∈ peers} d(v_j, x)
+//	outSigma[x] = Σ_{v_j achieving the min} mult(v_j)·σ(v_j, x)
+//	outCap[x]   = Σ_{v_j achieving the min} φmult(v_j)·σ(v_j, x)
+//
+// where mult(v) counts parallel channels to v and φmult(v) is the sum of
+// the capacity factors of those channels. A shortest s→r path through u
+// has length inDist[s] + 2 + outDist[r]; the standard concatenation
+// argument shows each such concatenation is a valid simple path whenever
+// it achieves the true G+S distance.
+type joinStats struct {
+	inDist   []int32
+	inSigma  []float64
+	outDist  []int32
+	outSigma []float64
+	outCap   []float64
+	peers    []graph.NodeID
+}
+
+func (e *JoinEvaluator) buildStats(s Strategy) joinStats {
+	mult := make(map[graph.NodeID]float64, len(s))
+	phiMult := make(map[graph.NodeID]float64, len(s))
+	for _, a := range s {
+		if !e.g.HasNode(a.Peer) {
+			continue // defensive: invalid peers contribute nothing
+		}
+		mult[a.Peer]++
+		phiMult[a.Peer] += e.params.capFactor(a.Lock)
+	}
+	peers := make([]graph.NodeID, 0, len(mult))
+	for p := range mult {
+		peers = append(peers, p)
+	}
+	// Deterministic iteration order keeps floating-point accumulation —
+	// and therefore every downstream table — reproducible per seed. The
+	// incremental EvalState re-sums tied contributions in this same
+	// ascending-peer order, which is what makes the two paths bit-equal.
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	st := joinStats{
+		inDist:   make([]int32, e.n),
+		inSigma:  make([]float64, e.n),
+		outDist:  make([]int32, e.n),
+		outSigma: make([]float64, e.n),
+		outCap:   make([]float64, e.n),
+		peers:    peers,
+	}
+	for x := 0; x < e.n; x++ {
+		st.inDist[x] = graph.Unreachable
+		st.outDist[x] = graph.Unreachable
+		fromX := e.ap.DistRow(x) // d(x, ·)
+		fromXSig := e.ap.SigmaRow(x)
+		toX := e.apT.DistRow(x) // d(·, x)
+		toXSig := e.apT.SigmaRow(x)
+		for _, v := range peers {
+			if d := fromX[v]; d != graph.Unreachable {
+				switch {
+				case st.inDist[x] == graph.Unreachable || d < st.inDist[x]:
+					st.inDist[x] = d
+					st.inSigma[x] = mult[v] * fromXSig[v]
+				case d == st.inDist[x]:
+					st.inSigma[x] += mult[v] * fromXSig[v]
+				}
+			}
+			if d := toX[v]; d != graph.Unreachable {
+				switch {
+				case st.outDist[x] == graph.Unreachable || d < st.outDist[x]:
+					st.outDist[x] = d
+					st.outSigma[x] = mult[v] * toXSig[v]
+					st.outCap[x] = phiMult[v] * toXSig[v]
+				case d == st.outDist[x]:
+					st.outSigma[x] += mult[v] * toXSig[v]
+					st.outCap[x] += phiMult[v] * toXSig[v]
+				}
+			}
+		}
+	}
+	return st
+}
+
+// scratchTransitRate is the oracle version of TransitRate: a full stats
+// rebuild followed by the O(n²) pair scan.
+func (e *JoinEvaluator) scratchTransitRate(s Strategy) float64 {
+	st := e.buildStats(s)
+	if len(st.peers) == 0 {
+		return 0
+	}
+	var total float64
+	for src := 0; src < e.n; src++ {
+		if st.inDist[src] == graph.Unreachable {
+			continue
+		}
+		rowDist := e.ap.DistRow(src)
+		rowSigma := e.ap.SigmaRow(src)
+		for dst := 0; dst < e.n; dst++ {
+			if dst == src || st.outDist[dst] == graph.Unreachable {
+				continue
+			}
+			w := e.demand.PairRate(graph.NodeID(src), graph.NodeID(dst))
+			if w == 0 {
+				continue
+			}
+			dThru := int(st.inDist[src]) + 2 + int(st.outDist[dst])
+			d0 := int(rowDist[dst])
+			var frac float64
+			switch {
+			case d0 == graph.Unreachable || dThru < d0:
+				frac = 1
+			case dThru == d0:
+				sThru := st.inSigma[src] * st.outSigma[dst]
+				frac = sThru / (rowSigma[dst] + sThru)
+			default:
+				continue
+			}
+			capRatio := 1.0
+			if st.outSigma[dst] > 0 {
+				capRatio = st.outCap[dst] / st.outSigma[dst]
+			}
+			total += w * frac * capRatio
+		}
+	}
+	return total
+}
+
+// scratchFees is the oracle version of Fees.
+func (e *JoinEvaluator) scratchFees(s Strategy) float64 {
+	scale := e.params.OwnRate * e.params.FeePerHop
+	st := e.buildStats(s)
+	var sum float64
+	for v := 0; v < e.n; v++ {
+		p := e.pu[v]
+		if p == 0 {
+			continue
+		}
+		if st.outDist[v] == graph.Unreachable {
+			if scale > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		// d_{G+S}(u, v) = 1 + min_j d(v_j, v).
+		sum += p * float64(1+st.outDist[v])
+	}
+	return scale * sum
+}
+
+// scratchDisconnected is the oracle version of Disconnected.
+func (e *JoinEvaluator) scratchDisconnected(s Strategy) bool {
+	if e.n == 0 {
+		return false
+	}
+	st := e.buildStats(s)
+	if len(st.peers) == 0 {
+		return true
+	}
+	for v := 0; v < e.n; v++ {
+		if e.pu[v] > 0 && st.outDist[v] == graph.Unreachable {
+			return true
+		}
+	}
+	return false
+}
+
+// scratchRevenue is the oracle version of Revenue.
+func (e *JoinEvaluator) scratchRevenue(s Strategy, model RevenueModel) float64 {
+	switch model {
+	case RevenueFixedRate:
+		var sum float64
+		for _, a := range s {
+			rate := e.FixedRate(a.Peer)
+			sum += rate * (0.5 + 0.5*e.params.capFactor(a.Lock))
+		}
+		return e.params.FAvg * sum
+	default:
+		return e.params.FAvg * e.scratchTransitRate(s)
+	}
+}
+
+// scratchUtility is the oracle version of Utility. It does not advance
+// the evaluation counter: oracles are free.
+func (e *JoinEvaluator) scratchUtility(s Strategy, model RevenueModel) float64 {
+	if e.scratchDisconnected(s) {
+		return math.Inf(-1)
+	}
+	return e.scratchRevenue(s, model) - e.scratchFees(s) - e.Cost(s)
+}
+
+// scratchSimplified is the oracle version of Simplified.
+func (e *JoinEvaluator) scratchSimplified(s Strategy, model RevenueModel) float64 {
+	return e.scratchRevenue(s, model) - e.scratchFees(s)
+}

@@ -57,10 +57,55 @@ func WithNeighborSet(g *graph.Graph, u graph.NodeID, neighbors []graph.NodeID, b
 	return out, nil
 }
 
+// deviationProbe prepares a reusable scratch graph for unilateral
+// deviations of u: one clone of g with u's channels stripped, plus a
+// rollback mark. Each probe adds a candidate neighbor set, evaluates, and
+// rolls the graph back — no per-candidate clone, and edge identifiers are
+// reused across probes so the graph (and every identifier-indexed
+// structure downstream) is bit-identical to a fresh WithNeighborSet
+// clone.
+type deviationProbe struct {
+	scratch *graph.Graph
+	u       graph.NodeID
+	mark    graph.EdgeID
+}
+
+func newDeviationProbe(g *graph.Graph, u graph.NodeID) (*deviationProbe, error) {
+	scratch := g.Clone()
+	for _, id := range scratch.OutEdges(u) {
+		if err := scratch.RemoveEdge(id); err != nil {
+			return nil, fmt.Errorf("strip out-edge %d: %w", id, err)
+		}
+	}
+	for _, id := range scratch.InEdges(u) {
+		if err := scratch.RemoveEdge(id); err != nil {
+			return nil, fmt.Errorf("strip in-edge %d: %w", id, err)
+		}
+	}
+	return &deviationProbe{scratch: scratch, u: u, mark: scratch.Mark()}, nil
+}
+
+// utility evaluates u's utility when its neighbor set is replaced by the
+// given nodes, each channel funded with balance per side.
+func (p *deviationProbe) utility(cfg Config, neighbors []graph.NodeID, balance float64) (float64, error) {
+	defer p.scratch.Rollback(p.mark)
+	for _, v := range neighbors {
+		if v == p.u {
+			continue
+		}
+		if _, _, err := p.scratch.AddChannel(p.u, v, balance, balance); err != nil {
+			return 0, err
+		}
+	}
+	return NodeUtility(p.scratch, cfg, p.u)
+}
+
 // BestResponse exhaustively searches every neighbor set for u (2^(n-1)
 // candidates) and returns the utility-maximising one. It is exponential
 // and intended for the small topologies of §IV; callers should keep
-// n ≤ ~16.
+// n ≤ ~16. Candidates are evaluated on one rollback scratch graph with a
+// single-node utility computation each, rather than a full clone plus
+// all-node utility table per candidate.
 func BestResponse(g *graph.Graph, cfg Config, u graph.NodeID) (Deviation, error) {
 	if err := cfg.Validate(); err != nil {
 		return Deviation{}, err
@@ -79,14 +124,14 @@ func BestResponse(g *graph.Graph, cfg Config, u graph.NodeID) (Deviation, error)
 			others = append(others, graph.NodeID(v))
 		}
 	}
+	probe, err := newDeviationProbe(g, u)
+	if err != nil {
+		return Deviation{}, err
+	}
 	best := Deviation{Node: u, Utility: current, Neighbors: currentNeighbors(g, u)}
 	for mask := 0; mask < 1<<len(others); mask++ {
 		neighbors := subsetOf(others, mask)
-		candidate, err := WithNeighborSet(g, u, neighbors, 1)
-		if err != nil {
-			return Deviation{}, err
-		}
-		utility, err := NodeUtility(candidate, cfg, u)
+		utility, err := probe.utility(cfg, neighbors, 1)
 		if err != nil {
 			return Deviation{}, err
 		}
@@ -153,12 +198,12 @@ func ImprovingDeviationExists(g *graph.Graph, cfg Config, u graph.NodeID) (bool,
 	if err != nil {
 		return false, Deviation{}, err
 	}
+	probe, err := newDeviationProbe(g, u)
+	if err != nil {
+		return false, Deviation{}, err
+	}
 	for _, neighbors := range devs {
-		candidate, err := WithNeighborSet(g, u, neighbors, 1)
-		if err != nil {
-			return false, Deviation{}, err
-		}
-		utility, err := NodeUtility(candidate, cfg, u)
+		utility, err := probe.utility(cfg, neighbors, 1)
 		if err != nil {
 			return false, Deviation{}, err
 		}

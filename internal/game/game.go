@@ -91,16 +91,31 @@ func Utilities(g *graph.Graph, cfg Config) ([]float64, error) {
 	return utils, nil
 }
 
-// NodeUtility returns the utility of a single node.
+// NodeUtility returns the utility of a single node. Unlike Utilities it
+// computes only u's fee and channel-cost terms — one BFS from u instead
+// of one per node — which matters in the deviation searches, where this
+// is the per-probe cost. The transit betweenness is inherently an
+// all-sources pass, so that part is shared with Utilities and the result
+// is bit-identical to Utilities(g, cfg)[u].
 func NodeUtility(g *graph.Graph, cfg Config, u graph.NodeID) (float64, error) {
-	utils, err := Utilities(g, cfg)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return 0, err
 	}
 	if !g.HasNode(u) {
 		return 0, fmt.Errorf("%w: node %d", ErrBadConfig, u)
 	}
-	return utils[u], nil
+	probs := txdist.Matrix(g, cfg.Dist)
+	weight := func(s, r graph.NodeID) float64 {
+		return cfg.SenderRate * probs[s][r]
+	}
+	transit := g.NodeBetweenness(weight)
+	revenue := cfg.FAvg * transit[u]
+	fees, connected := expectedFees(g, cfg, probs, u)
+	if !connected {
+		return math.Inf(-1), nil
+	}
+	channels := float64(g.OutDegree(u))
+	return revenue - fees - cfg.LinkCost*channels, nil
 }
 
 // expectedFees computes E^fees_u = N_u·f^T_avg·Σ_v d(u,v)·p_trans(u,v) and

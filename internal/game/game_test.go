@@ -291,3 +291,105 @@ func TestSocialWelfare(t *testing.T) {
 		t.Fatalf("SocialWelfare with −Inf = %v", got)
 	}
 }
+
+// TestNodeUtilityMatchesUtilities pins the single-node fast path to the
+// full table: NodeUtility must be bit-identical to Utilities[u] on every
+// node, including disconnected ones.
+func TestNodeUtilityMatchesUtilities(t *testing.T) {
+	cfg := Config{
+		Dist:       txdist.ModifiedZipf{S: 1.5},
+		SenderRate: 1,
+		FAvg:       0.5,
+		FeePerHop:  0.5,
+		LinkCost:   1,
+	}
+	graphs := []*graph.Graph{
+		graph.Star(5, 1),
+		graph.Circle(7, 1),
+		graph.Path(6, 1),
+	}
+	// A disconnected topology: two components.
+	g2 := graph.New(6)
+	for _, pair := range [][2]graph.NodeID{{0, 1}, {1, 2}, {3, 4}, {4, 5}} {
+		if _, _, err := g2.AddChannel(pair[0], pair[1], 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	graphs = append(graphs, g2)
+	for gi, g := range graphs {
+		utils, err := Utilities(g, cfg)
+		if err != nil {
+			t.Fatalf("graph %d: Utilities: %v", gi, err)
+		}
+		for v := range utils {
+			got, err := NodeUtility(g, cfg, graph.NodeID(v))
+			if err != nil {
+				t.Fatalf("graph %d node %d: NodeUtility: %v", gi, v, err)
+			}
+			if got != utils[v] && !(math.IsInf(got, -1) && math.IsInf(utils[v], -1)) {
+				t.Fatalf("graph %d node %d: NodeUtility %v, Utilities %v", gi, v, got, utils[v])
+			}
+		}
+	}
+}
+
+// TestBestResponseMatchesClonePerProbe re-derives the best response via
+// the historical clone-per-candidate path (WithNeighborSet + NodeUtility)
+// and checks the rollback-based search returns the same deviation.
+func TestBestResponseMatchesClonePerProbe(t *testing.T) {
+	cfg := Config{
+		Dist:       txdist.ModifiedZipf{S: 2},
+		SenderRate: 1,
+		FAvg:       0.5,
+		FeePerHop:  0.5,
+		LinkCost:   0.8,
+	}
+	for _, g := range []*graph.Graph{graph.Path(5, 1), graph.Circle(6, 1), graph.Star(4, 1)} {
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			fast, err := BestResponse(g, cfg, graph.NodeID(u))
+			if err != nil {
+				t.Fatalf("BestResponse(%d): %v", u, err)
+			}
+			// Reference: one full clone and all-node utility table per
+			// candidate neighbor set.
+			current, err := NodeUtility(g, cfg, graph.NodeID(u))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var others []graph.NodeID
+			for v := 0; v < n; v++ {
+				if v != u {
+					others = append(others, graph.NodeID(v))
+				}
+			}
+			best := Deviation{Node: graph.NodeID(u), Utility: current, Neighbors: g.Neighbors(graph.NodeID(u))}
+			for mask := 0; mask < 1<<len(others); mask++ {
+				neighbors := subsetOf(others, mask)
+				candidate, err := WithNeighborSet(g, graph.NodeID(u), neighbors, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				utils, err := Utilities(candidate, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if utils[u] > best.Utility+stabilityTolerance {
+					best = Deviation{Node: graph.NodeID(u), Neighbors: neighbors, Gain: utils[u] - current, Utility: utils[u]}
+				}
+			}
+			if fast.Utility != best.Utility || fast.Gain != best.Gain {
+				t.Fatalf("node %d: rollback best response (%v, gain %v) vs reference (%v, gain %v)",
+					u, fast.Utility, fast.Gain, best.Utility, best.Gain)
+			}
+			if len(fast.Neighbors) != len(best.Neighbors) {
+				t.Fatalf("node %d: neighbor sets %v vs %v", u, fast.Neighbors, best.Neighbors)
+			}
+			for i := range fast.Neighbors {
+				if fast.Neighbors[i] != best.Neighbors[i] {
+					t.Fatalf("node %d: neighbor sets %v vs %v", u, fast.Neighbors, best.Neighbors)
+				}
+			}
+		}
+	}
+}

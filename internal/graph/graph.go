@@ -312,6 +312,40 @@ func (g *Graph) Clone() *Graph {
 // handed out. Useful for sizing EdgeID-indexed slices.
 func (g *Graph) MaxEdgeID() EdgeID { return EdgeID(len(g.edges)) }
 
+// Mark returns a rollback token capturing the current edge-identifier
+// watermark. Additions made after Mark can be undone wholesale with
+// Rollback, which is how probe-style workloads (best-response searches
+// trying thousands of candidate channel sets) reuse one graph instead of
+// cloning per candidate.
+func (g *Graph) Mark() EdgeID { return EdgeID(len(g.edges)) }
+
+// Rollback removes every edge added since the corresponding Mark and
+// truncates the identifier space back to the mark, so the next AddEdge
+// hands out the same identifiers again. Edges that existed before the
+// mark are untouched; a removal of a pre-mark edge performed after Mark
+// is NOT restored. Rollback with a stale or out-of-range mark clamps to
+// the valid range.
+func (g *Graph) Rollback(mark EdgeID) {
+	if mark < 0 {
+		mark = 0
+	}
+	if int(mark) >= len(g.edges) {
+		return
+	}
+	for id := EdgeID(len(g.edges)) - 1; id >= mark; id-- {
+		if !g.alive[id] {
+			continue
+		}
+		e := g.edges[id]
+		g.alive[id] = false
+		g.out[e.From] = removeID(g.out[e.From], id)
+		g.in[e.To] = removeID(g.in[e.To], id)
+		g.numAlive--
+	}
+	g.edges = g.edges[:mark]
+	g.alive = g.alive[:mark]
+}
+
 // ChannelPairs groups the live directed edges into channels: each element
 // pairs a forward edge with its reverse counterpart, in insertion order
 // (matching greedily, so graphs built through AddChannel reproduce their

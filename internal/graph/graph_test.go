@@ -331,3 +331,67 @@ func TestChannelPairsParallel(t *testing.T) {
 		t.Fatalf("parallel channels: pairs=%d unpaired=%d", len(pairs), len(unpaired))
 	}
 }
+
+func TestMarkRollbackRestoresGraph(t *testing.T) {
+	g := New(4)
+	mustChannel(g, 0, 1, 5, 5)
+	mustChannel(g, 1, 2, 3, 3)
+	mark := g.Mark()
+	before := g.Clone()
+
+	// Probe: add channels, including parallel ones, then roll back.
+	for trial := 0; trial < 3; trial++ {
+		mustChannel(g, 0, 3, 1, 1)
+		mustChannel(g, 2, 3, 2, 2)
+		mustChannel(g, 0, 3, 4, 4)
+		if g.NumEdges() != before.NumEdges()+6 {
+			t.Fatalf("trial %d: edges = %d", trial, g.NumEdges())
+		}
+		g.Rollback(mark)
+		if g.NumEdges() != before.NumEdges() || g.MaxEdgeID() != mark {
+			t.Fatalf("trial %d: rollback left %d edges, max id %d", trial, g.NumEdges(), g.MaxEdgeID())
+		}
+		for v := 0; v < 4; v++ {
+			wantOut, gotOut := before.OutEdges(NodeID(v)), g.OutEdges(NodeID(v))
+			if len(wantOut) != len(gotOut) {
+				t.Fatalf("trial %d: out degree of %d = %d, want %d", trial, v, len(gotOut), len(wantOut))
+			}
+			for i := range wantOut {
+				if wantOut[i] != gotOut[i] {
+					t.Fatalf("trial %d: out list of %d diverges: %v vs %v", trial, v, gotOut, wantOut)
+				}
+			}
+		}
+	}
+	// Identifiers are reused after rollback, so repeated probes cannot
+	// grow the identifier space.
+	id, err := g.AddEdge(0, 3, 1)
+	if err != nil {
+		t.Fatalf("AddEdge after rollback: %v", err)
+	}
+	if id != mark {
+		t.Fatalf("post-rollback edge id = %d, want %d", id, mark)
+	}
+}
+
+func TestRollbackSkipsAlreadyRemovedAndClamps(t *testing.T) {
+	g := New(3)
+	mustChannel(g, 0, 1, 1, 1)
+	mark := g.Mark()
+	ab, _, err := g.AddChannel(1, 2, 1, 1)
+	if err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	if err := g.RemoveEdge(ab); err != nil {
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	g.Rollback(mark) // must not trip on the already-dead edge
+	if g.NumEdges() != 2 || g.MaxEdgeID() != mark {
+		t.Fatalf("rollback left %d edges, max id %d", g.NumEdges(), g.MaxEdgeID())
+	}
+	g.Rollback(99) // out of range: no-op
+	g.Rollback(-1) // clamps to zero: removes everything
+	if g.NumEdges() != 0 || g.MaxEdgeID() != 0 {
+		t.Fatalf("full rollback left %d edges", g.NumEdges())
+	}
+}

@@ -52,11 +52,15 @@ func (g *Graph) BFSCounts(src NodeID) (dist []int, sigma []float64) {
 }
 
 // AllPairs holds the all-pairs shortest-path structure of a graph snapshot:
-// hop distances and shortest-path counts for every ordered pair.
+// hop distances and shortest-path counts for every ordered pair, stored as
+// contiguous row-major buffers with stride N. The flat layout keeps the
+// O(n²) pricing scans on one cache line per row instead of chasing a
+// pointer per source; int32 distances halve the footprint of the distance
+// matrix (hop counts never approach 2³¹).
 type AllPairs struct {
 	N     int
-	Dist  [][]int     // Dist[s][t]: hops s→t, Unreachable if disconnected
-	Sigma [][]float64 // Sigma[s][t]: number of shortest s→t paths
+	Dist  []int32   // Dist[s*N+t]: hops s→t, Unreachable if disconnected
+	Sigma []float64 // Sigma[s*N+t]: number of shortest s→t paths
 }
 
 // AllPairsBFS computes hop distances and shortest-path counts between all
@@ -65,13 +69,80 @@ func (g *Graph) AllPairsBFS() *AllPairs {
 	n := g.NumNodes()
 	ap := &AllPairs{
 		N:     n,
-		Dist:  make([][]int, n),
-		Sigma: make([][]float64, n),
+		Dist:  make([]int32, n*n),
+		Sigma: make([]float64, n*n),
 	}
+	queue := make([]NodeID, 0, n)
 	for s := 0; s < n; s++ {
-		ap.Dist[s], ap.Sigma[s] = g.BFSCounts(NodeID(s))
+		g.bfsCountsInto(NodeID(s), ap.Dist[s*n:(s+1)*n], ap.Sigma[s*n:(s+1)*n], queue)
 	}
 	return ap
+}
+
+// bfsCountsInto is BFSCounts writing into caller-provided row buffers,
+// reusing the queue backing array across sources to keep AllPairsBFS
+// allocation-light. dist and sigma must have length NumNodes.
+func (g *Graph) bfsCountsInto(src NodeID, dist []int32, sigma []float64, queue []NodeID) {
+	for i := range dist {
+		dist[i] = Unreachable
+		sigma[i] = 0
+	}
+	if !g.HasNode(src) {
+		return
+	}
+	dist[src] = 0
+	sigma[src] = 1
+	queue = append(queue[:0], src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, id := range g.out[v] {
+			w := g.edges[id].To
+			switch {
+			case dist[w] == Unreachable:
+				dist[w] = dist[v] + 1
+				sigma[w] = sigma[v]
+				queue = append(queue, w)
+			case dist[w] == dist[v]+1:
+				sigma[w] += sigma[v]
+			}
+		}
+	}
+}
+
+// DistAt returns the hop distance s→t (Unreachable when disconnected).
+func (ap *AllPairs) DistAt(s, t NodeID) int { return int(ap.Dist[int(s)*ap.N+int(t)]) }
+
+// SigmaAt returns the number of shortest s→t paths.
+func (ap *AllPairs) SigmaAt(s, t NodeID) float64 { return ap.Sigma[int(s)*ap.N+int(t)] }
+
+// DistRow returns the contiguous distance row of source s: DistRow(s)[t]
+// is the hop distance s→t.
+func (ap *AllPairs) DistRow(s int) []int32 { return ap.Dist[s*ap.N : (s+1)*ap.N] }
+
+// SigmaRow returns the contiguous path-count row of source s.
+func (ap *AllPairs) SigmaRow(s int) []float64 { return ap.Sigma[s*ap.N : (s+1)*ap.N] }
+
+// Transposed returns the column-major mirror: in the result, row t holds
+// the distances (and path counts) *towards* t from every source, again as
+// contiguous buffers. Incoming-direction scans (d(x, v) for all x) walk a
+// transposed row linearly instead of striding through the original.
+func (ap *AllPairs) Transposed() *AllPairs {
+	n := ap.N
+	t := &AllPairs{
+		N:     n,
+		Dist:  make([]int32, n*n),
+		Sigma: make([]float64, n*n),
+	}
+	for s := 0; s < n; s++ {
+		srow := ap.Dist[s*n : (s+1)*n]
+		grow := ap.Sigma[s*n : (s+1)*n]
+		for r := 0; r < n; r++ {
+			t.Dist[r*n+s] = srow[r]
+			t.Sigma[r*n+s] = grow[r]
+		}
+	}
+	return t
 }
 
 // HopDistance returns the hop distance between two nodes, or Unreachable.

@@ -76,14 +76,22 @@ func TestAllPairsBFSMatchesSingleSource(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := ErdosRenyi(12, 0.3, 1, rng)
 	ap := g.AllPairsBFS()
+	apT := ap.Transposed()
 	for s := 0; s < g.NumNodes(); s++ {
 		dist, sigma := g.BFSCounts(NodeID(s))
+		distRow, sigmaRow := ap.DistRow(s), ap.SigmaRow(s)
 		for tgt := 0; tgt < g.NumNodes(); tgt++ {
-			if ap.Dist[s][tgt] != dist[tgt] {
-				t.Fatalf("AllPairs dist[%d][%d] = %d, want %d", s, tgt, ap.Dist[s][tgt], dist[tgt])
+			if ap.DistAt(NodeID(s), NodeID(tgt)) != dist[tgt] {
+				t.Fatalf("AllPairs dist[%d][%d] = %d, want %d", s, tgt, ap.DistAt(NodeID(s), NodeID(tgt)), dist[tgt])
 			}
-			if ap.Sigma[s][tgt] != sigma[tgt] {
-				t.Fatalf("AllPairs sigma[%d][%d] = %v, want %v", s, tgt, ap.Sigma[s][tgt], sigma[tgt])
+			if ap.SigmaAt(NodeID(s), NodeID(tgt)) != sigma[tgt] {
+				t.Fatalf("AllPairs sigma[%d][%d] = %v, want %v", s, tgt, ap.SigmaAt(NodeID(s), NodeID(tgt)), sigma[tgt])
+			}
+			if int(distRow[tgt]) != dist[tgt] || sigmaRow[tgt] != sigma[tgt] {
+				t.Fatalf("row accessors diverge at [%d][%d]", s, tgt)
+			}
+			if apT.DistAt(NodeID(tgt), NodeID(s)) != dist[tgt] || apT.SigmaAt(NodeID(tgt), NodeID(s)) != sigma[tgt] {
+				t.Fatalf("transposed accessors diverge at [%d][%d]", s, tgt)
 			}
 		}
 	}

@@ -317,3 +317,55 @@ func planFrom(res core.Result) Plan {
 		Evaluations: res.Evaluations,
 	}
 }
+
+// Session is an incremental pricing session over a planner: Push opens a
+// candidate channel, Pop retracts the latest one, and every metric reads
+// off the live state in O(n) per change instead of re-pricing the whole
+// strategy. Use it to explore candidate attachments interactively ("what
+// does one more channel to v buy me?") or to build custom optimisers on
+// the same delta-evaluation engine the built-in algorithms use.
+//
+// A Session is not safe for concurrent use; open one per goroutine.
+type Session struct {
+	st *core.EvalState
+}
+
+// NewSession opens an incremental session on the planner's evaluator.
+func (p *JoinPlanner) NewSession() *Session {
+	return &Session{st: p.ev.NewState()}
+}
+
+// Push opens a candidate channel to a.Peer locking a.Lock coins.
+func (s *Session) Push(a Action) {
+	s.st.Push(core.Action{Peer: graph.NodeID(a.Peer), Lock: a.Lock})
+}
+
+// Pop retracts the most recently pushed channel, restoring the previous
+// pricing state exactly.
+func (s *Session) Pop() { s.st.Pop() }
+
+// Reset retracts every pushed channel.
+func (s *Session) Reset() { s.st.Reset() }
+
+// Depth reports the number of currently pushed channels.
+func (s *Session) Depth() int { return s.st.Depth() }
+
+// Strategy returns the pushed channels as a Strategy, oldest first.
+func (s *Session) Strategy() Strategy { return fromCore(s.st.Strategy()) }
+
+// Utility returns the full utility U = E^rev − E^fees − cost of the
+// pushed strategy (−Inf when it leaves the user disconnected).
+func (s *Session) Utility() float64 { return s.st.Utility(core.RevenueExact) }
+
+// Revenue returns the expected routing revenue E^rev (exact model).
+func (s *Session) Revenue() float64 { return s.st.Revenue(core.RevenueExact) }
+
+// Fees returns the expected fees E^fees of the pushed strategy.
+func (s *Session) Fees() float64 { return s.st.Fees() }
+
+// Cost returns the channel costs Σ(C + r·lock) of the pushed strategy.
+func (s *Session) Cost() float64 { return s.st.Cost() }
+
+// Disconnected reports whether the pushed strategy leaves the joining
+// user disconnected from a recipient it transacts with.
+func (s *Session) Disconnected() bool { return s.st.Disconnected() }

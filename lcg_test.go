@@ -415,3 +415,47 @@ func TestFacadeGuasoniCost(t *testing.T) {
 		t.Fatalf("Cost = %v, want %v", got, want)
 	}
 }
+
+func TestJoinSessionMatchesOneShotPricing(t *testing.T) {
+	n := Star(6, 10)
+	p, err := NewJoinPlanner(n, WithZipf(1))
+	if err != nil {
+		t.Fatalf("NewJoinPlanner: %v", err)
+	}
+	sess := p.NewSession()
+	if !sess.Disconnected() {
+		t.Fatal("empty session should be disconnected")
+	}
+	var s Strategy
+	for _, a := range []Action{{Peer: 0, Lock: 2}, {Peer: 3, Lock: 1}, {Peer: 0, Lock: 0}} {
+		sess.Push(a)
+		s = append(s, a)
+		if got, want := sess.Utility(), p.Utility(s); got != want {
+			t.Fatalf("session Utility after %v = %v, one-shot %v", s, got, want)
+		}
+		if got, want := sess.Fees(), p.Fees(s); got != want {
+			t.Fatalf("session Fees after %v = %v, one-shot %v", s, got, want)
+		}
+		if got, want := sess.Revenue(), p.Revenue(s); got != want {
+			t.Fatalf("session Revenue after %v = %v, one-shot %v", s, got, want)
+		}
+		if got, want := sess.Cost(), p.Cost(s); got != want {
+			t.Fatalf("session Cost after %v = %v, one-shot %v", s, got, want)
+		}
+	}
+	if got := sess.Strategy(); len(got) != 3 || got[2].Peer != 0 || got[2].Lock != 0 {
+		t.Fatalf("session Strategy = %v", got)
+	}
+	sess.Pop()
+	s = s[:2]
+	if got, want := sess.Utility(), p.Utility(s); got != want {
+		t.Fatalf("session Utility after Pop = %v, one-shot %v", got, want)
+	}
+	if sess.Depth() != 2 {
+		t.Fatalf("Depth = %d, want 2", sess.Depth())
+	}
+	sess.Reset()
+	if sess.Depth() != 0 || !sess.Disconnected() {
+		t.Fatalf("Reset left depth %d", sess.Depth())
+	}
+}

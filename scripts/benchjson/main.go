@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can archive one
+// BENCH_<sha>.json artifact per commit and the performance trajectory of
+// the hot paths stays diffable across the project's history.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x ./... | go run ./scripts/benchjson -sha "$GITHUB_SHA" > BENCH_$GITHUB_SHA.json
+//
+// The parser understands the standard benchmark result line — name,
+// iteration count, ns/op, and the optional -benchmem columns (B/op,
+// allocs/op) plus any custom ReportMetric columns — and carries the
+// goos/goarch/pkg/cpu header lines into the document metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -<procs> suffix stripped.
+	Name string `json:"name"`
+	// Procs is GOMAXPROCS during the run (the -N name suffix).
+	Procs int `json:"procs"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline ns/op metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "<value> <unit>" pair on the line
+	// (B/op, allocs/op, MB/s, custom units), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted artifact.
+type Document struct {
+	SHA       string            `json:"sha,omitempty"`
+	Timestamp string            `json:"timestamp"`
+	Meta      map[string]string `json:"meta,omitempty"`
+	Results   []Result          `json:"results"`
+}
+
+func main() {
+	sha := flag.String("sha", "", "commit SHA recorded in the artifact")
+	flag.Parse()
+
+	doc := Document{
+		SHA:       *sha,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Meta:      map[string]string{},
+		Results:   []Result{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, val, ok := headerLine(line); ok {
+			doc.Meta[key] = val
+			continue
+		}
+		if res, ok := parseBenchLine(line); ok {
+			doc.Results = append(doc.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+}
+
+// headerLine recognises the "goos: linux"-style preamble.
+func headerLine(line string) (key, val string, ok bool) {
+	for _, prefix := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if strings.HasPrefix(line, prefix+": ") {
+			return prefix, strings.TrimSpace(strings.TrimPrefix(line, prefix+": ")), true
+		}
+	}
+	return "", "", false
+}
+
+// parseBenchLine parses one "BenchmarkX-8  100  123 ns/op  ..." line.
+func parseBenchLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{
+		Name:       name,
+		Procs:      procs,
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// The remainder alternates "<value> <unit>".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			continue
+		}
+		res.Metrics[unit] = v
+	}
+	if len(res.Metrics) == 0 {
+		res.Metrics = nil
+	}
+	return res, true
+}

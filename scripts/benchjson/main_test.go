@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	res, ok := parseBenchLine("BenchmarkGreedyLargeN/n=512-8         \t       3\t  41234567 ns/op\t     120 B/op\t       2 allocs/op")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if res.Name != "BenchmarkGreedyLargeN/n=512" || res.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", res.Name, res.Procs)
+	}
+	if res.Iterations != 3 || res.NsPerOp != 41234567 {
+		t.Fatalf("iters/ns = %d/%v", res.Iterations, res.NsPerOp)
+	}
+	if res.Metrics["B/op"] != 120 || res.Metrics["allocs/op"] != 2 {
+		t.Fatalf("metrics = %v", res.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tgithub.com/lightning-creation-games/lcg\t1.2s",
+		"BenchmarkBroken",
+		"BenchmarkBad-8\tnot-a-number\t12 ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("line %q was accepted", line)
+		}
+	}
+}
+
+func TestHeaderLine(t *testing.T) {
+	key, val, ok := headerLine("cpu: Intel(R) Xeon(R) Processor @ 2.10GHz")
+	if !ok || key != "cpu" || val == "" {
+		t.Fatalf("header parse = %q %q %v", key, val, ok)
+	}
+	if _, _, ok := headerLine("BenchmarkX-8 1 2 ns/op"); ok {
+		t.Fatal("bench line parsed as header")
+	}
+}
