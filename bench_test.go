@@ -16,6 +16,7 @@ import (
 	"github.com/lightning-creation-games/lcg/internal/fee"
 	"github.com/lightning-creation-games/lcg/internal/game"
 	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/growth"
 	"github.com/lightning-creation-games/lcg/internal/payment"
 	"github.com/lightning-creation-games/lcg/internal/traffic"
 	"github.com/lightning-creation-games/lcg/internal/txdist"
@@ -370,3 +371,64 @@ func BenchmarkDemandEstimation(b *testing.B) {
 }
 
 func BenchmarkE18Boundary(b *testing.B) { benchExperiment(b, "E18") }
+
+// growBenchConfig is the growth-benchmark base: empty seed (the n=0→N
+// acceptance run), preferential candidates, fixed-rate pricing, uniform
+// demand snapshots.
+func growBenchConfig(arrivals int) growth.Config {
+	cfg := growth.DefaultConfig()
+	cfg.Seed = growth.SeedEmpty
+	cfg.SeedSize = 0
+	cfg.Arrivals = arrivals
+	cfg.Candidates = 16
+	cfg.Attach = growth.AttachPreferential
+	cfg.BudgetMin, cfg.BudgetMax = 3, 8
+	cfg.RateMin, cfg.RateMax = 0.5, 1.5
+	cfg.RefreshEvery = 64
+	cfg.EpochEvery = arrivals
+	cfg.Uniform = true
+	return cfg
+}
+
+// BenchmarkGrowArrivals measures the sequential-arrival engine end to
+// end on the incremental commit path: ns/op is the whole n=0→N run, and
+// the derived metric reports mean µs per join. The n=2000 size is the
+// acceptance run — it must stay well under 60s.
+func BenchmarkGrowArrivals(b *testing.B) {
+	for _, arrivals := range []int{512, 1024, 2000} {
+		b.Run(fmt.Sprintf("n=%d", arrivals), func(b *testing.B) {
+			cfg := growBenchConfig(arrivals)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := growth.Run(cfg, rand.New(rand.NewSource(1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Final.NumNodes() != arrivals {
+					b.Fatalf("grew %d nodes, want %d", res.Final.NumNodes(), arrivals)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(arrivals), "µs/join")
+		})
+	}
+}
+
+// BenchmarkGrowArrivalsRebuild is the baseline the commit path is
+// measured against: the differential oracle, which rebuilds a full
+// JoinEvaluator (all-pairs BFS + transpose) from scratch for every
+// arrival and prices through the scratch stats path. Compare µs/join
+// against BenchmarkGrowArrivals/n=512 — the incremental engine's
+// per-join cost is sublinear in n relative to this.
+func BenchmarkGrowArrivalsRebuild(b *testing.B) {
+	const arrivals = 512
+	cfg := growBenchConfig(arrivals)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := growth.ReferenceRun(cfg, rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(arrivals), "µs/join")
+}

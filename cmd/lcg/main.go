@@ -45,6 +45,8 @@ func run(args []string, w io.Writer) error {
 		return runSimulate(args[1:], w)
 	case "dynamics":
 		return runDynamics(args[1:], w)
+	case "grow":
+		return runGrow(args[1:], w)
 	case "network":
 		return runNetwork(args[1:], w)
 	case "help", "-h", "--help":
@@ -68,6 +70,7 @@ commands:
   stability   [flags]                    audit star/path/circle equilibria
   simulate    [flags]                    replay a Poisson workload over live channels
   dynamics    [flags]                    run best-response dynamics to an equilibrium
+  grow        [flags]                    grow a network through sequential selfish arrivals
   network     [flags]                    generate a topology and write it as JSON
 
 run 'lcg <command> -h' for command flags`)
@@ -360,6 +363,62 @@ func runDynamics(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "rounds: %d  moves: %d  converged: %v\n", report.Rounds, report.Moves, report.Converged)
 	fmt.Fprintf(w, "final topology: %s (%d channels), welfare %.4g\n",
 		report.FinalClass, report.Final.NumChannels(), report.Welfare)
+	return nil
+}
+
+func runGrow(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("grow", flag.ContinueOnError)
+	var (
+		topology    = fs.String("topology", "ba", "seed topology: empty|star|er|ba")
+		seedSize    = fs.Int("n", 12, "seed topology size")
+		arrivals    = fs.Int("arrivals", 500, "joiners to process")
+		candidates  = fs.Int("candidates", 16, "candidate peers per joiner (0 = all)")
+		attach      = fs.String("attach", "preferential", "candidate process: uniform|preferential")
+		churn       = fs.Float64("churn", 0, "per-arrival departure probability")
+		rewireEvery = fs.Int("rewire-every", 0, "best-response rewiring cadence in arrivals (0 = never)")
+		rewireCount = fs.Int("rewire-count", 2, "nodes rewired per round")
+		epochEvery  = fs.Int("epoch", 0, "metrics cadence in arrivals (0 = arrivals/8)")
+		uniform     = fs.Bool("uniform", false, "uniform transaction model instead of modified Zipf")
+		s           = fs.Float64("s", 1, "modified-Zipf scale parameter")
+		seed        = fs.Int64("seed", 1, "random seed; runs are bit-reproducible per seed")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *attach != "uniform" && *attach != "preferential" {
+		return fmt.Errorf("unknown attach process %q (uniform|preferential)", *attach)
+	}
+	report, err := lcg.Grow(lcg.GrowConfig{
+		Topology:     *topology,
+		SeedSize:     *seedSize,
+		Arrivals:     *arrivals,
+		Candidates:   *candidates,
+		Preferential: *attach == "preferential",
+		ChurnRate:    *churn,
+		RewireEvery:  *rewireEvery,
+		RewireCount:  *rewireCount,
+		EpochEvery:   *epochEvery,
+		Uniform:      *uniform,
+		ZipfS:        *s,
+		Seed:         *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "grow: %s seed n=%d, %d arrivals (%s candidates), churn %g\n",
+		*topology, *seedSize, *arrivals, *attach, *churn)
+	fmt.Fprintln(w, "arrival  nodes  channels  maxdeg  gini   central  diam  meandist  routable  eff    evals/join  class")
+	for _, ep := range report.Epochs {
+		fmt.Fprintf(w, "%-8d %-6d %-9d %-7d %-6.3f %-8.3f %-5d %-9.3f %-9.3f %-6.3f %-11.1f %s\n",
+			ep.Arrival, ep.Nodes, ep.Channels, ep.MaxDegree, ep.DegreeGini, ep.Centralization,
+			ep.Diameter, ep.MeanDistance, ep.Routable, ep.Efficiency, ep.EvalsPerJoin, ep.Class)
+	}
+	last := report.Epochs[len(report.Epochs)-1]
+	fmt.Fprintf(w, "final: %s — %d nodes, %d channels, %d departures, %d rewires\n",
+		last.Class, last.Nodes, last.Channels, report.Departures, report.Rewires)
+	fmt.Fprintf(w, "pricing: %d evaluations over %d joins; wall %.0f ms (%.2f ms/join)\n",
+		report.Evaluations, report.Joins, report.WallMS, report.WallMS/float64(max(report.Joins, 1)))
 	return nil
 }
 

@@ -1,0 +1,209 @@
+package lcg
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/lightning-creation-games/lcg/internal/growth"
+)
+
+// GrowConfig parametrises a sequential-arrival growth run (see
+// internal/growth): a network grows from a seed topology through a
+// stream of joiners, each pricing its attachment with Algorithm 1 over
+// the incremental evaluation engine, with optional churn and
+// best-response rewiring.
+type GrowConfig struct {
+	// Topology seeds the run: "empty", "star", "er" or "ba" (default).
+	Topology string
+	// SeedSize is the seed topology's node count (default 12; ignored
+	// for "empty").
+	SeedSize int
+	// SeedParam is the ER edge probability or the BA attachment count
+	// (0 picks the topology's default).
+	SeedParam float64
+	// Arrivals is the number of joiners to process.
+	Arrivals int
+	// Candidates bounds the peers each joiner prices; 0 (or negative)
+	// offers every alive node.
+	Candidates int
+	// Preferential samples candidates proportionally to degree+1
+	// instead of uniformly.
+	Preferential bool
+	// BudgetMin/Max, LockMin/Max and RateMin/Max draw each joiner's
+	// budget, per-channel lock and transaction rate uniformly; Min ==
+	// Max pins the value. Zero maxima fall back to the defaults
+	// (budget 3–8, lock 1, rate 0.5–1.5).
+	BudgetMin, BudgetMax float64
+	LockMin, LockMax     float64
+	RateMin, RateMax     float64
+	// ChurnRate is the per-arrival probability that one alive node
+	// departs, closing all its channels.
+	ChurnRate float64
+	// RewireEvery triggers a best-response rewiring round every k
+	// arrivals for RewireCount sampled nodes (0 disables).
+	RewireEvery, RewireCount int
+	// RefreshEvery sets the demand/λ̂ snapshot cadence in arrivals
+	// (default 32); EpochEvery the metric cadence (default Arrivals/8).
+	RefreshEvery, EpochEvery int
+	// Uniform switches the transaction model to the uniform baseline;
+	// otherwise the modified Zipf distribution with scale ZipfS
+	// (default 1) is used.
+	Uniform bool
+	ZipfS   float64
+	// Balance is the channel balance of seed channels and the peer-side
+	// balance of committed channels (default 1).
+	Balance float64
+	// Params are the economic parameters (default DefaultParams);
+	// OwnRate is overridden by each joiner's drawn rate.
+	Params *Params
+	// Seed drives the run's random stream; runs are bit-reproducible
+	// per seed.
+	Seed int64
+}
+
+// GrowEpoch is one streamed metric snapshot of a growth run. All fields
+// are deterministic per seed.
+type GrowEpoch struct {
+	// Arrival counts processed joiners at snapshot time.
+	Arrival int
+	// Nodes and Channels describe the alive network.
+	Nodes, Channels int
+	// MaxDegree, MeanDegree, DegreeGini and Centralization summarise
+	// the degree distribution.
+	MaxDegree      int
+	MeanDegree     float64
+	DegreeGini     float64
+	Centralization float64
+	// Diameter and MeanDistance summarise the finite shortest paths;
+	// Routable is the reachable fraction of ordered node pairs.
+	Diameter     int
+	MeanDistance float64
+	Routable     float64
+	// Efficiency is the welfare proxy (global network efficiency).
+	Efficiency float64
+	// EvalsPerJoin is the mean objective evaluations per join since the
+	// previous epoch.
+	EvalsPerJoin float64
+	// Class labels the emergent topology.
+	Class string
+}
+
+// GrowReport is the outcome of a growth run.
+type GrowReport struct {
+	// Epochs are the streamed snapshots, oldest first; the last one
+	// describes the final network.
+	Epochs []GrowEpoch
+	// Final is the grown network (departed nodes remain as isolated
+	// users).
+	Final *Network
+	// Joins, Departures and Rewires count processed events.
+	Joins, Departures, Rewires int
+	// Evaluations totals objective evaluations spent pricing.
+	Evaluations int64
+	// WallMS is the run's wall-clock time — the only non-deterministic
+	// field, excluded from every reproducible table.
+	WallMS float64
+}
+
+// Grow runs a sequential-arrival network-formation simulation and
+// returns its streamed metrics and final network. The result (wall time
+// aside) is a pure function of the configuration, bit-identical across
+// machines: every joiner's strategy matches what a from-scratch pricing
+// of the same arrival would choose, while the engine's incremental
+// commit path sustains thousands of arrivals.
+func Grow(cfg GrowConfig) (*GrowReport, error) {
+	gc := growth.DefaultConfig()
+	switch cfg.Topology {
+	case "", "ba":
+		gc.Seed = growth.SeedBA
+	case "empty":
+		gc.Seed = growth.SeedEmpty
+		gc.SeedSize = 0
+	case "star":
+		gc.Seed = growth.SeedStar
+	case "er":
+		gc.Seed = growth.SeedER
+	default:
+		return nil, fmt.Errorf("%w: unknown seed topology %q (empty|star|er|ba)", ErrBadInput, cfg.Topology)
+	}
+	if cfg.SeedSize > 0 {
+		gc.SeedSize = cfg.SeedSize
+	}
+	if cfg.SeedParam > 0 {
+		gc.SeedParam = cfg.SeedParam
+	} else if gc.Seed == growth.SeedER {
+		gc.SeedParam = 0.3
+	}
+	gc.Arrivals = cfg.Arrivals
+	gc.Candidates = cfg.Candidates // ≤ 0 offers every alive node
+	if cfg.Preferential {
+		gc.Attach = growth.AttachPreferential
+	} else {
+		gc.Attach = growth.AttachUniform
+	}
+	gc.BudgetMin, gc.BudgetMax = 3, 8
+	if cfg.BudgetMax > 0 {
+		gc.BudgetMin, gc.BudgetMax = cfg.BudgetMin, cfg.BudgetMax
+	}
+	gc.LockMin, gc.LockMax = 1, 1
+	if cfg.LockMax > 0 {
+		gc.LockMin, gc.LockMax = cfg.LockMin, cfg.LockMax
+	}
+	gc.RateMin, gc.RateMax = 0.5, 1.5
+	if cfg.RateMax > 0 {
+		gc.RateMin, gc.RateMax = cfg.RateMin, cfg.RateMax
+	}
+	gc.ChurnRate = cfg.ChurnRate
+	gc.RewireEvery, gc.RewireCount = cfg.RewireEvery, cfg.RewireCount
+	if cfg.RefreshEvery > 0 {
+		gc.RefreshEvery = cfg.RefreshEvery
+	}
+	gc.EpochEvery = cfg.EpochEvery
+	gc.Uniform = cfg.Uniform
+	if cfg.ZipfS > 0 {
+		gc.ZipfS = cfg.ZipfS
+	}
+	if cfg.Balance > 0 {
+		gc.Balance = cfg.Balance
+	}
+	if cfg.Params != nil {
+		gc.Params = cfg.Params.toCore()
+	}
+
+	start := time.Now()
+	res, err := growth.Run(gc, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	report := &GrowReport{
+		Final:       &Network{g: res.Final},
+		Departures:  res.Departures,
+		Rewires:     res.Rewires,
+		Evaluations: res.Evaluations,
+		WallMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, d := range res.Trace {
+		if d.Kind == growth.DecideJoin {
+			report.Joins++
+		}
+	}
+	for _, ep := range res.Epochs {
+		report.Epochs = append(report.Epochs, GrowEpoch{
+			Arrival:        ep.Arrival,
+			Nodes:          ep.Nodes,
+			Channels:       ep.Channels,
+			MaxDegree:      ep.MaxDegree,
+			MeanDegree:     ep.MeanDegree,
+			DegreeGini:     ep.DegreeGini,
+			Centralization: ep.Centralization,
+			Diameter:       ep.Diameter,
+			MeanDistance:   ep.MeanDistance,
+			Routable:       ep.Routable,
+			Efficiency:     ep.Efficiency,
+			EvalsPerJoin:   ep.EvalsPerJoin,
+			Class:          ep.Class,
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,74 @@
+package lcg
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGrowFacade(t *testing.T) {
+	cfg := GrowConfig{
+		Topology:     "ba",
+		SeedSize:     10,
+		Arrivals:     60,
+		Candidates:   8,
+		Preferential: true,
+		ChurnRate:    0.05,
+		RewireEvery:  20,
+		RewireCount:  1,
+		Seed:         1,
+	}
+	report, err := Grow(cfg)
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if report.Joins != 60 {
+		t.Fatalf("Joins = %d, want 60", report.Joins)
+	}
+	if report.Final.NumUsers() != 70 {
+		t.Fatalf("final users = %d, want 70", report.Final.NumUsers())
+	}
+	if len(report.Epochs) == 0 {
+		t.Fatal("no epochs")
+	}
+	last := report.Epochs[len(report.Epochs)-1]
+	if last.Class == "" || last.Nodes == 0 {
+		t.Fatalf("empty final epoch: %+v", last)
+	}
+	if report.Evaluations == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+// TestGrowFacadeDeterministicPerSeed: two runs of the same config are
+// identical in everything but wall time.
+func TestGrowFacadeDeterministicPerSeed(t *testing.T) {
+	cfg := GrowConfig{Arrivals: 40, Seed: 7}
+	a, err := Grow(cfg)
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	b, err := Grow(cfg)
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("epoch counts differ: %d vs %d", len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i] != b.Epochs[i] {
+			t.Fatalf("epoch %d differs:\n%+v\n%+v", i, a.Epochs[i], b.Epochs[i])
+		}
+	}
+	if a.Evaluations != b.Evaluations || a.Departures != b.Departures || a.Rewires != b.Rewires {
+		t.Fatal("run totals differ between identical seeds")
+	}
+}
+
+func TestGrowFacadeRejectsBadInput(t *testing.T) {
+	if _, err := Grow(GrowConfig{Topology: "torus"}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("error = %v, want ErrBadInput", err)
+	}
+	if _, err := Grow(GrowConfig{Arrivals: 10, ChurnRate: 2}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("error = %v, want ErrBadInput", err)
+	}
+}

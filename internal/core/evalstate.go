@@ -257,14 +257,14 @@ func (st *EvalState) applyPeer(v graph.NodeID) {
 // peer order — the scratch build's accumulation order.
 func (st *EvalState) resumIn(x int) {
 	d := st.inDist[x]
-	n := st.n
+	stride := st.e.apT.Stride
 	first := true
 	var sum float64
 	for _, w := range st.peers {
-		if st.e.apT.Dist[int(w)*n+x] != d {
+		if st.e.apT.Dist[int(w)*stride+x] != d {
 			continue
 		}
-		term := st.mult[w] * st.e.apT.Sigma[int(w)*n+x]
+		term := st.mult[w] * st.e.apT.Sigma[int(w)*stride+x]
 		if first {
 			sum = term
 			first = false
@@ -279,14 +279,14 @@ func (st *EvalState) resumIn(x int) {
 // in ascending peer order.
 func (st *EvalState) resumOut(x int) {
 	d := st.outDist[x]
-	n := st.n
+	stride := st.e.ap.Stride
 	first := true
 	var sig, cp float64
 	for _, w := range st.peers {
-		if st.e.ap.Dist[int(w)*n+x] != d {
+		if st.e.ap.Dist[int(w)*stride+x] != d {
 			continue
 		}
-		s := st.e.ap.Sigma[int(w)*n+x]
+		s := st.e.ap.Sigma[int(w)*stride+x]
 		if first {
 			sig = st.mult[w] * s
 			cp = st.phiMult[w] * s

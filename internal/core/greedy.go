@@ -20,6 +20,12 @@ type GreedyConfig struct {
 	// RevenueFixedRate, the model under which Theorem 4's guarantee is
 	// proven.
 	Model RevenueModel
+	// UtilityModel selects the revenue model of the reported
+	// Result.Utility; the zero value means RevenueExact (the paper's
+	// real objective). High-throughput callers — the growth engine
+	// pricing thousands of arrivals — set RevenueFixedRate to avoid the
+	// O(n²) exact transit scan per reported plan.
+	UtilityModel RevenueModel
 }
 
 // Greedy is Algorithm 1: with a fixed lock per channel, greedily add the
@@ -42,6 +48,10 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 	model := cfg.Model
 	if model == 0 {
 		model = RevenueFixedRate
+	}
+	utilityModel := cfg.UtilityModel
+	if utilityModel == 0 {
+		utilityModel = RevenueExact
 	}
 	perChannel := e.params.OnChainCost + cfg.Lock
 	maxChannels := int(cfg.Budget / perChannel)
@@ -93,7 +103,7 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 		return Result{
 			Strategy:    nil,
 			Objective:   e.Simplified(nil, model),
-			Utility:     e.Utility(nil, RevenueExact),
+			Utility:     e.Utility(nil, utilityModel),
 			Evaluations: e.Evaluations(),
 		}, nil
 	}
@@ -101,7 +111,7 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 	return Result{
 		Strategy:    bestPrefix,
 		Objective:   bestValue,
-		Utility:     e.Utility(bestPrefix, RevenueExact),
+		Utility:     e.Utility(bestPrefix, utilityModel),
 		Evaluations: e.Evaluations(),
 	}, nil
 }

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// GrowSession is the commit path of the evaluation engine: where a
+// JoinEvaluator prices a *virtual* joining user against an immutable
+// substrate, a GrowSession owns a substrate that arrivals join
+// permanently. Each arrival is priced by a zero-cost evaluator sharing
+// the session's live all-pairs structure, and Commit folds the chosen
+// strategy in — mutating the graph and extending the all-pairs structure
+// in one O(n²) array pass (graph.ExtendWithNode) instead of the
+// O(n·(n+m)) BFS rebuild a fresh NewJoinEvaluator would pay per arrival.
+//
+// Bit-identity contract: after any sequence of commits, the session's
+// structure equals — bit for bit, path counts included — what
+// AllPairsBFS would compute on the same graph. Deletions (channel
+// closures, departures) are the slow path: they invalidate incremental
+// maintenance, so callers close channels through the session and then
+// Rebuild before pricing again. The growth engine batches its churn
+// accordingly.
+//
+// A GrowSession is not safe for concurrent use; it is the single-writer
+// spine of a growth run, while read-only evaluator clones may fan out
+// between commits.
+type GrowSession struct {
+	g      *graph.Graph
+	ap     *graph.AllPairs
+	apT    *graph.AllPairs
+	demand *traffic.Demand
+	params Params
+	lambda *lambdaTable
+	remote float64
+}
+
+// NewGrowSession opens a session over g, which the session owns and
+// mutates from then on. capacityHint reserves all-pairs capacity for the
+// expected final node count (0 reserves nothing beyond the current size);
+// remoteBalance is the balance granted on the peer side of every
+// committed channel. The demand snapshot starts empty — install one with
+// SetDemand before pricing.
+func NewGrowSession(g *graph.Graph, params Params, capacityHint int, remoteBalance float64) (*GrowSession, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if remoteBalance < 0 {
+		return nil, fmt.Errorf("%w: remote balance %v", ErrBadParams, remoteBalance)
+	}
+	ap := g.AllPairsBFS()
+	apT := ap.Transposed()
+	if capacityHint > 0 {
+		ap.Reserve(capacityHint)
+		apT.Reserve(capacityHint)
+	}
+	return &GrowSession{
+		g:      g,
+		ap:     ap,
+		apT:    apT,
+		demand: &traffic.Demand{},
+		params: params,
+		lambda: emptyLambda(),
+		remote: remoteBalance,
+	}, nil
+}
+
+// emptyLambda returns a built λ̂ table with no entries, so pricing before
+// the first rate refresh sees zero rates instead of triggering an
+// estimation over a demand snapshot that does not exist yet.
+func emptyLambda() *lambdaTable {
+	t := &lambdaTable{rates: map[graph.NodeID]float64{}}
+	t.once.Do(func() {})
+	return t
+}
+
+// Graph returns the session's substrate. Callers must not mutate it
+// directly; channel and node changes go through Commit, Reattach and
+// CloseNode so the all-pairs structure stays coherent.
+func (gs *GrowSession) Graph() *graph.Graph { return gs.g }
+
+// NumNodes reports the current substrate size.
+func (gs *GrowSession) NumNodes() int { return gs.g.NumNodes() }
+
+// AllPairs exposes the live forward all-pairs structure for read-only
+// metric scans (diameter, mean distance, reachability).
+func (gs *GrowSession) AllPairs() *graph.AllPairs { return gs.ap }
+
+// SetDemand installs the existing-user demand snapshot used by evaluators
+// from now on. The snapshot may lag the substrate: nodes beyond its
+// coverage neither emit nor receive until the caller refreshes it, which
+// is how the growth engine amortizes the O(n²) demand build over a
+// refresh epoch.
+func (gs *GrowSession) SetDemand(d *traffic.Demand) {
+	if d == nil {
+		d = &traffic.Demand{}
+	}
+	gs.demand = d
+}
+
+// Demand returns the current demand snapshot.
+func (gs *GrowSession) Demand() *traffic.Demand { return gs.demand }
+
+// SetRates installs the λ̂ snapshot used by fixed-rate pricing from now
+// on. Peers absent from the table price at rate zero.
+func (gs *GrowSession) SetRates(rates map[graph.NodeID]float64) {
+	t := &lambdaTable{rates: rates}
+	t.once.Do(func() {})
+	gs.lambda = t
+}
+
+// RefreshRates re-estimates λ̂ over the given candidate peers against the
+// current structure and demand snapshot, installs the table, and returns
+// it. One O(n²) estimation pass, the same EstimateRates the one-shot
+// evaluator runs.
+func (gs *GrowSession) RefreshRates(candidates []graph.NodeID) map[graph.NodeID]float64 {
+	rates := gs.evaluator(nil, gs.params).EstimateRates(candidates)
+	gs.SetRates(rates)
+	return rates
+}
+
+// Evaluator returns a zero-cost evaluator pricing one arrival against the
+// current substrate: it shares the session's live all-pairs structure,
+// demand and λ̂ snapshots instead of recomputing anything. pu is the
+// arrival's recipient distribution (length NumNodes, the joinProbs
+// convention); params carries the arrival's economic profile — budgets
+// and rates vary per joiner while the session's base parameters shape
+// committed channels.
+//
+// The evaluator is valid until the next Commit, Reattach, CloseNode or
+// Rebuild; pricing through a stale evaluator reads torn state.
+func (gs *GrowSession) Evaluator(pu []float64, params Params) (*JoinEvaluator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pu) != gs.g.NumNodes() {
+		return nil, fmt.Errorf("%w: joinProbs covers %d nodes, substrate has %d",
+			ErrBadParams, len(pu), gs.g.NumNodes())
+	}
+	return gs.evaluator(pu, params), nil
+}
+
+func (gs *GrowSession) evaluator(pu []float64, params Params) *JoinEvaluator {
+	return &JoinEvaluator{
+		g:      gs.g,
+		ap:     gs.ap,
+		apT:    gs.apT,
+		demand: gs.demand,
+		pu:     pu,
+		params: params,
+		n:      gs.g.NumNodes(),
+		lambda: gs.lambda,
+	}
+}
+
+// Commit folds one arrival into the substrate permanently: a fresh node
+// joins with the strategy's channels (the joiner's lock on its side, the
+// session's remote balance on the peer side), and the all-pairs structure
+// is extended in place. Returns the new node's identifier.
+func (gs *GrowSession) Commit(s Strategy) (graph.NodeID, error) {
+	if err := gs.evaluator(nil, gs.params).ValidateStrategy(s); err != nil {
+		return graph.InvalidNode, err
+	}
+	inDist, inSigma, outDist, outSigma := gs.aggregates(s)
+	u := gs.g.AddNode()
+	if err := gs.openChannels(u, s); err != nil {
+		return graph.InvalidNode, err
+	}
+	graph.ExtendWithNode(gs.ap, gs.apT, int(u), inDist, inSigma, outDist, outSigma)
+	return u, nil
+}
+
+// Reattach folds a strategy back in for an existing node whose channels
+// were all closed (and the session rebuilt since): the rewiring move of
+// the growth engine. The node keeps its identifier and demand row.
+func (gs *GrowSession) Reattach(v graph.NodeID, s Strategy) error {
+	if !gs.g.HasNode(v) {
+		return fmt.Errorf("%w: reattach node %d not in substrate", ErrBadParams, v)
+	}
+	if gs.g.OutDegree(v) != 0 || gs.g.InDegree(v) != 0 {
+		return fmt.Errorf("%w: reattach node %d still has channels", ErrBadParams, v)
+	}
+	if err := gs.evaluator(nil, gs.params).ValidateStrategy(s); err != nil {
+		return err
+	}
+	for _, a := range s {
+		if a.Peer == v {
+			return fmt.Errorf("%w: reattach self-channel on node %d", ErrBadParams, v)
+		}
+	}
+	inDist, inSigma, outDist, outSigma := gs.aggregates(s)
+	if err := gs.openChannels(v, s); err != nil {
+		return err
+	}
+	graph.ExtendWithNode(gs.ap, gs.apT, int(v), inDist, inSigma, outDist, outSigma)
+	return nil
+}
+
+// aggregates computes the through-u joinStats of s over the current
+// structure by loading it into a fresh incremental state — O(n·|S|), the
+// same arrays ExtendWithNode consumes.
+func (gs *GrowSession) aggregates(s Strategy) (inDist []int32, inSigma []float64, outDist []int32, outSigma []float64) {
+	st := gs.evaluator(nil, gs.params).NewState()
+	st.Load(s)
+	return st.inDist, st.inSigma, st.outDist, st.outSigma
+}
+
+func (gs *GrowSession) openChannels(u graph.NodeID, s Strategy) error {
+	for _, a := range s {
+		if _, _, err := gs.g.AddChannel(u, a.Peer, a.Lock, gs.remote); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloseNode closes every channel incident to v — the departure (and the
+// first half of the rewiring) move — and reports how many channels went.
+// Deletions break incremental maintenance: the session must be Rebuilt
+// before the next pricing or commit. Batch closures and pay for one
+// rebuild.
+func (gs *GrowSession) CloseNode(v graph.NodeID) (closed int, err error) {
+	if !gs.g.HasNode(v) {
+		return 0, fmt.Errorf("%w: close node %d not in substrate", ErrBadParams, v)
+	}
+	for _, w := range gs.g.Neighbors(v) {
+		for gs.g.HasEdgeBetween(v, w) || gs.g.HasEdgeBetween(w, v) {
+			if err := gs.g.RemoveChannel(v, w); err != nil {
+				return closed, err
+			}
+			closed++
+		}
+	}
+	return closed, nil
+}
+
+// Rebuild recomputes the all-pairs structure from scratch — O(n·(n+m)),
+// the price of deletions — preserving the reserved capacity so subsequent
+// commits stay allocation-free.
+func (gs *GrowSession) Rebuild() {
+	stride := gs.ap.Stride
+	gs.ap = gs.g.AllPairsBFS()
+	gs.apT = gs.ap.Transposed()
+	gs.ap.Reserve(stride)
+	gs.apT.Reserve(stride)
+}

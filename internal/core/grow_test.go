@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func requireSessionMatchesRebuild(t *testing.T, tag string, gs *GrowSession) {
+	t.Helper()
+	want := gs.Graph().AllPairsBFS()
+	ap := gs.AllPairs()
+	if ap.N != want.N {
+		t.Fatalf("%s: session N = %d, graph has %d", tag, ap.N, want.N)
+	}
+	for s := 0; s < want.N; s++ {
+		for r := 0; r < want.N; r++ {
+			if ap.DistAt(graph.NodeID(s), graph.NodeID(r)) != want.DistAt(graph.NodeID(s), graph.NodeID(r)) ||
+				ap.SigmaAt(graph.NodeID(s), graph.NodeID(r)) != want.SigmaAt(graph.NodeID(s), graph.NodeID(r)) {
+				t.Fatalf("%s: all-pairs diverges from rebuild at [%d][%d]: (%d,%v) vs (%d,%v)",
+					tag, s, r,
+					ap.DistAt(graph.NodeID(s), graph.NodeID(r)), ap.SigmaAt(graph.NodeID(s), graph.NodeID(r)),
+					want.DistAt(graph.NodeID(s), graph.NodeID(r)), want.SigmaAt(graph.NodeID(s), graph.NodeID(r)))
+			}
+		}
+	}
+}
+
+// TestGrowSessionCommitMatchesRebuild drives a session through random
+// commits — multi-channel strategies, repeats, empty strategies — and
+// checks the incremental structure stays bit-identical to a from-scratch
+// BFS after every fold.
+func TestGrowSessionCommitMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gs, err := NewGrowSession(graph.New(0), testParams(), 32, 0)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	for arrival := 0; arrival < 20; arrival++ {
+		var s Strategy
+		for c := rng.Intn(4); c > 0 && gs.NumNodes() > 0; c-- {
+			s = append(s, Action{Peer: graph.NodeID(rng.Intn(gs.NumNodes())), Lock: float64(rng.Intn(3))})
+		}
+		u, err := gs.Commit(s)
+		if err != nil {
+			t.Fatalf("arrival %d: Commit: %v", arrival, err)
+		}
+		if int(u) != gs.NumNodes()-1 {
+			t.Fatalf("arrival %d: committed node %d, want %d", arrival, u, gs.NumNodes()-1)
+		}
+		requireSessionMatchesRebuild(t, "commit", gs)
+	}
+	if gs.NumNodes() != 20 {
+		t.Fatalf("NumNodes = %d, want 20", gs.NumNodes())
+	}
+}
+
+// TestGrowSessionPricingMatchesFreshEvaluator prices the same arrival
+// through a grown session and through a from-scratch NewJoinEvaluator and
+// requires bit-identical greedy plans: the cross-check that the zero-cost
+// evaluator sees exactly the state a rebuild would.
+func TestGrowSessionPricingMatchesFreshEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.BarabasiAlbert(9, 2, 1, rng)
+	gs, err := NewGrowSession(g.Clone(), testParams(), 64, 0)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	// Grow a few arrivals so the session state is genuinely incremental.
+	for arrival := 0; arrival < 8; arrival++ {
+		var s Strategy
+		for c := 1 + rng.Intn(2); c > 0; c-- {
+			s = append(s, Action{Peer: graph.NodeID(rng.Intn(gs.NumNodes())), Lock: 1})
+		}
+		if _, err := gs.Commit(s); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+
+	dist := txdist.ModifiedZipf{S: 1}
+	demand, err := traffic.NewUniformDemand(gs.Graph(), dist, float64(gs.NumNodes()))
+	if err != nil {
+		t.Fatalf("NewUniformDemand: %v", err)
+	}
+	gs.SetDemand(demand)
+	gs.RefreshRates(allNodes(gs.Graph()))
+	pu := dist.Probs(gs.Graph(), graph.InvalidNode)
+	sessionEval, err := gs.Evaluator(pu, testParams())
+	if err != nil {
+		t.Fatalf("Evaluator: %v", err)
+	}
+
+	fresh, err := NewJoinEvaluator(gs.Graph(), dist, demand, testParams())
+	if err != nil {
+		t.Fatalf("NewJoinEvaluator: %v", err)
+	}
+
+	cfg := GreedyConfig{Budget: 6, Lock: 1}
+	got, err := Greedy(sessionEval, cfg)
+	if err != nil {
+		t.Fatalf("Greedy(session): %v", err)
+	}
+	want, err := Greedy(fresh, cfg)
+	if err != nil {
+		t.Fatalf("Greedy(fresh): %v", err)
+	}
+	if !got.Strategy.Equal(want.Strategy) || got.Objective != want.Objective ||
+		got.Utility != want.Utility || got.Evaluations != want.Evaluations {
+		t.Fatalf("session plan diverges from fresh evaluator:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestGrowSessionReattachAndChurn exercises the deletion path: close a
+// node's channels, rebuild, re-attach it incrementally, and keep the
+// structure bit-identical throughout.
+func TestGrowSessionReattachAndChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := graph.BarabasiAlbert(12, 2, 1, rng)
+	gs, err := NewGrowSession(g, testParams(), 0, 0)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	for round := 0; round < 6; round++ {
+		v := graph.NodeID(rng.Intn(gs.NumNodes()))
+		closed, err := gs.CloseNode(v)
+		if err != nil {
+			t.Fatalf("CloseNode(%d): %v", v, err)
+		}
+		if gs.Graph().InDegree(v) != 0 || gs.Graph().OutDegree(v) != 0 {
+			t.Fatalf("node %d still has channels after CloseNode (closed %d)", v, closed)
+		}
+		gs.Rebuild()
+		requireSessionMatchesRebuild(t, "after close", gs)
+		var s Strategy
+		for c := 1 + rng.Intn(2); c > 0; c-- {
+			w := graph.NodeID(rng.Intn(gs.NumNodes()))
+			if w != v {
+				s = append(s, Action{Peer: w, Lock: 1})
+			}
+		}
+		if err := gs.Reattach(v, s); err != nil {
+			t.Fatalf("Reattach(%d): %v", v, err)
+		}
+		requireSessionMatchesRebuild(t, "after reattach", gs)
+	}
+}
+
+func TestGrowSessionReattachRejectsConnectedNode(t *testing.T) {
+	gs, err := NewGrowSession(graph.Star(4, 1), testParams(), 0, 0)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	if err := gs.Reattach(0, Strategy{{Peer: 1, Lock: 1}}); err == nil {
+		t.Fatal("Reattach on a connected node must fail")
+	}
+	if err := gs.Reattach(99, nil); err == nil {
+		t.Fatal("Reattach on a missing node must fail")
+	}
+}
+
+// TestScratchGreedyMatchesGreedy is the oracle self-check: the scratch
+// selection loop must reproduce the incremental Greedy bit for bit, so
+// growth differential failures implicate the incremental machinery and
+// not the oracle.
+func TestScratchGreedyMatchesGreedy(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ConnectedErdosRenyi(7+rng.Intn(5), 0.3, 1, rng, 20)
+		dist := txdist.ModifiedZipf{S: 1}
+		demand, err := traffic.NewUniformDemand(g, dist, float64(g.NumNodes()))
+		if err != nil {
+			t.Fatalf("seed %d: demand: %v", seed, err)
+		}
+		for _, model := range []RevenueModel{RevenueFixedRate, RevenueExact} {
+			inc, err := NewJoinEvaluator(g, dist, demand, testParams())
+			if err != nil {
+				t.Fatalf("seed %d: evaluator: %v", seed, err)
+			}
+			cfg := GreedyConfig{Budget: 5, Lock: 1, Model: model}
+			got, err := Greedy(inc, cfg)
+			if err != nil {
+				t.Fatalf("seed %d: Greedy: %v", seed, err)
+			}
+			oracle := inc.Clone()
+			want, err := ScratchGreedy(oracle, cfg)
+			if err != nil {
+				t.Fatalf("seed %d: ScratchGreedy: %v", seed, err)
+			}
+			if !got.Strategy.Equal(want.Strategy) || got.Objective != want.Objective ||
+				got.Utility != want.Utility || got.Evaluations != want.Evaluations {
+				t.Fatalf("seed %d model %v: greedy diverges from scratch oracle:\n got %+v\nwant %+v",
+					seed, model, got, want)
+			}
+		}
+	}
+}

@@ -158,9 +158,12 @@ type Result struct {
 	Strategy Strategy
 	// Objective is the value of the algorithm's objective at Strategy.
 	Objective float64
-	// Utility is the full utility U of Strategy under the exact revenue
-	// model (the paper's real objective), so results are comparable
-	// across algorithms and revenue models.
+	// Utility is the full utility U of Strategy. By default it is
+	// evaluated under the exact revenue model (the paper's real
+	// objective), so results are comparable across algorithms and
+	// revenue models; Greedy callers may select a different model via
+	// GreedyConfig.UtilityModel (the growth engine reports fixed-rate
+	// utilities to avoid the O(n²) exact scan per arrival).
 	Utility float64
 	// Evaluations counts objective evaluations consumed by the run, the
 	// unit in which Theorems 4 and 5 state their runtimes.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
@@ -209,4 +210,84 @@ func (e *JoinEvaluator) scratchUtility(s Strategy, model RevenueModel) float64 {
 // scratchSimplified is the oracle version of Simplified.
 func (e *JoinEvaluator) scratchSimplified(s Strategy, model RevenueModel) float64 {
 	return e.scratchRevenue(s, model) - e.scratchFees(s)
+}
+
+// ScratchGreedy is the oracle version of Greedy: the same Algorithm 1
+// selection loop, with every marginal probe priced through the
+// from-scratch stats rebuild instead of the incremental state. It exists
+// for differential testing — the growth engine's arrival-by-arrival
+// strategies are replayed against it bit for bit — and advances the
+// evaluation counter exactly like Greedy so the Result matches in full.
+func ScratchGreedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
+	if cfg.Lock < 0 || math.IsNaN(cfg.Lock) {
+		return Result{}, fmt.Errorf("%w: lock %v", ErrBadParams, cfg.Lock)
+	}
+	if cfg.Budget < 0 || math.IsNaN(cfg.Budget) {
+		return Result{}, fmt.Errorf("%w: budget %v", ErrBadParams, cfg.Budget)
+	}
+	model := cfg.Model
+	if model == 0 {
+		model = RevenueFixedRate
+	}
+	utilityModel := cfg.UtilityModel
+	if utilityModel == 0 {
+		utilityModel = RevenueExact
+	}
+	perChannel := e.params.OnChainCost + cfg.Lock
+	maxChannels := int(cfg.Budget / perChannel)
+	candidates := cfg.Candidates
+	if candidates == nil {
+		candidates = allNodes(e.g)
+	}
+	e.ResetEvaluations()
+
+	available := append([]graph.NodeID(nil), candidates...)
+	var (
+		current     Strategy
+		bestLen     int
+		bestValue   = math.Inf(-1)
+		prefixFound bool
+	)
+	for len(current) < maxChannels && len(available) > 0 {
+		bestIdx := -1
+		bestObj := math.Inf(-1)
+		for i, v := range available {
+			candidate := append(current.Clone(), Action{Peer: v, Lock: cfg.Lock})
+			obj := e.scratchSimplified(candidate, model)
+			e.evals++
+			if obj > bestObj {
+				bestObj = obj
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		current = append(current, Action{Peer: available[bestIdx], Lock: cfg.Lock})
+		available = append(available[:bestIdx], available[bestIdx+1:]...)
+		if bestObj > bestValue {
+			bestValue = bestObj
+			bestLen = len(current)
+			prefixFound = true
+		}
+	}
+	if !prefixFound {
+		result := Result{
+			Strategy:  nil,
+			Objective: e.scratchSimplified(nil, model),
+			Utility:   e.scratchUtility(nil, utilityModel),
+		}
+		e.evals += 2
+		result.Evaluations = e.Evaluations()
+		return result, nil
+	}
+	bestPrefix := current[:bestLen].Clone()
+	result := Result{
+		Strategy:  bestPrefix,
+		Objective: bestValue,
+		Utility:   e.scratchUtility(bestPrefix, utilityModel),
+	}
+	e.evals++
+	result.Evaluations = e.Evaluations()
+	return result, nil
 }

@@ -155,6 +155,9 @@ func All() []Spec {
 		{ID: "E16", Title: "extension: extended channel-cost model of [17]", Run: E16CostModel},
 		{ID: "E17", Title: "extension: price of anarchy of emergent equilibria", Run: E17Anarchy},
 		{ID: "E18", Title: "extension: star stability boundary l* (closed form vs exhaustive)", Run: E18StarBoundary},
+		{ID: "G1", Title: "growth: arrival-process comparison (uniform vs preferential)", Run: G1Arrivals},
+		{ID: "G2", Title: "growth: churn sensitivity (departures + rewiring)", Run: G2Churn},
+		{ID: "G3", Title: "growth: emergent-topology classification at n=500/2000", Run: G3Emergent},
 	}
 }
 

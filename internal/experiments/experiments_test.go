@@ -32,6 +32,9 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
+			if testing.Short() && spec.ID == "G3" {
+				t.Skip("G3's n=2000 flagship row in -short mode")
+			}
 			tbl, err := spec.Run(serialCtx(2))
 			if err != nil {
 				t.Fatalf("Run: %v", err)

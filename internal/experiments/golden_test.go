@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden tables under testdata/golden from the live output")
+
+// goldenMask is the placeholder written over non-reproducible cells
+// (wall-clock measurement columns) before rendering, so golden files are
+// byte-stable while still pinning the table's structure.
+const goldenMask = "MASKED"
+
+// volatileColumns names the columns whose cells differ between any two
+// runs even serially. Keep in sync with the package doc's determinism
+// exception (E5 and E12's "wall ms").
+var volatileColumns = map[string]bool{"wall ms": true}
+
+// goldenRender renders the table with volatile cells masked.
+func goldenRender(t *testing.T, tbl *Table) string {
+	t.Helper()
+	masked := *tbl
+	var volatile []int
+	for i, c := range tbl.Columns {
+		if volatileColumns[c] {
+			volatile = append(volatile, i)
+		}
+	}
+	if len(volatile) > 0 {
+		masked.Rows = make([][]string, len(tbl.Rows))
+		for r, row := range tbl.Rows {
+			cells := append([]string(nil), row...)
+			for _, c := range volatile {
+				if c < len(cells) {
+					cells[c] = goldenMask
+				}
+			}
+			masked.Rows[r] = cells
+		}
+	}
+	var buf bytes.Buffer
+	if err := masked.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.String()
+}
+
+// TestGolden locks every experiment id down against its committed golden
+// table at seed 1: any behavioural drift — a changed cell, a reordered
+// row, a renamed column — fails with a diffable mismatch. Regenerate
+// intentionally with
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// and review the diff like any other code change. This replaces ad-hoc
+// byte-identity spot checks: the corpus is the regression surface.
+func TestGolden(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			if testing.Short() && spec.ID == "G3" {
+				t.Skip("G3's n=2000 flagship row in -short mode")
+			}
+			t.Parallel()
+			tbl, err := spec.Run(NewCtx(Options{Seed: 1, Parallelism: 2}))
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			got := goldenRender(t, tbl)
+			path := filepath.Join("testdata", "golden", spec.ID+"_seed1.txt")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatalf("mkdir: %v", err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden table (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("output diverges from %s (regenerate with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, string(want))
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusComplete fails when an experiment id has no committed
+// golden table (or a stale file shadows a removed id), so the corpus
+// can't silently drift out of coverage.
+func TestGoldenCorpusComplete(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("golden corpus missing: %v", err)
+	}
+	files := map[string]bool{}
+	for _, e := range entries {
+		files[e.Name()] = true
+	}
+	for _, spec := range All() {
+		name := spec.ID + "_seed1.txt"
+		if !files[name] {
+			t.Errorf("experiment %s has no golden table %s", spec.ID, name)
+		}
+		delete(files, name)
+	}
+	for stale := range files {
+		t.Errorf("stale golden table %s matches no experiment id", stale)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestGrowthTablesParallelismSweep is the growth engine's race-safety
+// regression: the G-series tables must render byte-identically at
+// parallelism 1, 4 and 8 (the same contract as
+// TestParallelMatchesSerialByteForByte). Run with -race it also proves
+// the per-trial stream discipline holds inside the growth fan-out.
+//
+// G3 is excluded for runtime (its n=2000 flagship row); its trials use
+// the identical SubRand-per-cell pattern exercised here, and the golden
+// harness pins its serial output.
+func TestGrowthTablesParallelismSweep(t *testing.T) {
+	ids := []string{"G1", "G2"}
+	if testing.Short() {
+		ids = []string{"G1"}
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var want string
+			for _, workers := range []int{1, 4, 8} {
+				tbl, err := NewRunner(Options{Seed: 5, Parallelism: workers}).Run(id)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := tbl.Render(&buf); err != nil {
+					t.Fatalf("render: %v", err)
+				}
+				if want == "" {
+					want = buf.String()
+					continue
+				}
+				if buf.String() != want {
+					t.Fatalf("workers=%d output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						workers, want, buf.String())
+				}
+			}
+		})
+	}
+}
+
+// TestGrowthTableShapes sanity-checks the G-series structure without the
+// heavy flagship run: row counts and key columns.
+func TestGrowthTableShapes(t *testing.T) {
+	tbl, err := NewRunner(Options{Seed: 2, Parallelism: 0}).Run("G1")
+	if err != nil {
+		t.Fatalf("G1: %v", err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("G1 rows = %d, want 8", len(tbl.Rows))
+	}
+	classCol := columnIndex(t, tbl, "class")
+	for _, row := range tbl.Rows {
+		if row[classCol] == "" {
+			t.Fatalf("G1 row missing class: %v", row)
+		}
+	}
+	tbl, err = NewRunner(Options{Seed: 2, Parallelism: 0}).Run("G2")
+	if err != nil {
+		t.Fatalf("G2: %v", err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("G2 rows = %d, want 8", len(tbl.Rows))
+	}
+	churnCol := columnIndex(t, tbl, "churn")
+	if tbl.Rows[0][churnCol] != "0.00" {
+		t.Fatalf("G2 first churn cell = %q", tbl.Rows[0][churnCol])
+	}
+}

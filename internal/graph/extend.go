@@ -1,0 +1,164 @@
+package graph
+
+// This file is the incremental all-pairs maintenance used by the
+// network-growth commit path: when a joining user is folded into the
+// substrate permanently, the AllPairs structure is extended in one O(n²)
+// array pass instead of the O(n·(n+m)) re-BFS a full rebuild pays.
+//
+// The update exploits the same decomposition the join evaluator prices
+// with: every shortest x→y path in G+u either avoids u entirely (already
+// counted) or crosses u exactly once, entering through a channel (v_i, u)
+// and leaving through (u, v_j). With
+//
+//	inDist[x]   = min_{v_i} d(x, v_i)
+//	inSigma[x]  = Σ_{v_i achieving the min} mult(v_i)·σ(x, v_i)
+//	outDist[y]  = min_{v_j} d(v_j, y)
+//	outSigma[y] = Σ_{v_j achieving the min} mult(v_j)·σ(v_j, y)
+//
+// (the aggregates an EvalState maintains), the through-u distance of a
+// pair is inDist[x] + 2 + outDist[y] and its path count is
+// inSigma[x]·outSigma[y]. Path counts are sums of integers, exact in
+// float64 until 2⁵³, so the extended Sigma entries are bit-identical to a
+// fresh BFS recount — the growth differential tests enforce exactly that.
+
+// Reserve re-lays-out the matrices with row stride ≥ n, so that up to n
+// nodes fit without further allocation. It never shrinks.
+func (ap *AllPairs) Reserve(n int) {
+	if n <= ap.Stride {
+		return
+	}
+	dist := make([]int32, n*n)
+	sigma := make([]float64, n*n)
+	for s := 0; s < ap.N; s++ {
+		copy(dist[s*n:s*n+ap.N], ap.DistRow(s))
+		copy(sigma[s*n:s*n+ap.N], ap.SigmaRow(s))
+	}
+	ap.Stride = n
+	ap.Dist = dist
+	ap.Sigma = sigma
+}
+
+// ExtendWithNode folds one new (or newly re-attached) node u into the
+// forward structure ap and its transposed mirror apT in place, given the
+// through-u aggregates of u's channel set over the *current* structure.
+// The four slices must have length ap.N and follow the joinStats
+// conventions above (Unreachable where no peer is reachable).
+//
+// u == ap.N appends a fresh node (the arrival commit); u < ap.N
+// re-attaches an existing node whose row and column are currently
+// all-Unreachable — i.e. a node whose channels were all closed and whose
+// structure was rebuilt since (the rewiring path). Passing a u < ap.N
+// that is still connected corrupts the structure; callers rebuild after
+// closures precisely to avoid that.
+//
+// The pass is O(n²) with small constants: one contiguous scan of the
+// distance matrix, touching Sigma only where the new node creates or ties
+// shortest paths. Amortized allocation is O(1) per call thanks to the
+// geometric Reserve policy.
+func ExtendWithNode(ap, apT *AllPairs, u int, inDist []int32, inSigma []float64, outDist []int32, outSigma []float64) {
+	n := ap.N
+	if apT.N != n {
+		panic("graph: ExtendWithNode on mismatched structures")
+	}
+	if len(inDist) != n || len(inSigma) != n || len(outDist) != n || len(outSigma) != n {
+		panic("graph: ExtendWithNode aggregate length mismatch")
+	}
+	if u > n || u < 0 {
+		panic("graph: ExtendWithNode node out of range")
+	}
+	if u == n {
+		if n+1 > ap.Stride {
+			ap.Reserve(growTarget(n + 1))
+		}
+		if n+1 > apT.Stride {
+			apT.Reserve(growTarget(n + 1))
+		}
+		ap.N, apT.N = n+1, n+1
+		// Initialize the fresh row and column to the disconnected state;
+		// the buffers may hold stale values from a prior layout.
+		clearRow(ap, u, n+1)
+		clearRow(apT, u, n+1)
+		clearCol(ap, u, n)
+		clearCol(apT, u, n)
+	}
+
+	// Existing pairs: route through u where that creates or ties a
+	// shortest path. Row-major over ap, mirrored into apT.
+	sa, st := ap.Stride, apT.Stride
+	for x := 0; x < n; x++ {
+		if x == u || inDist[x] == Unreachable {
+			continue
+		}
+		dx := inDist[x] + 2
+		sx := inSigma[x]
+		rowD := ap.Dist[x*sa : x*sa+n]
+		rowS := ap.Sigma[x*sa : x*sa+n]
+		for y := 0; y < n; y++ {
+			if outDist[y] == Unreachable || y == x || y == u {
+				continue
+			}
+			dThru := dx + outDist[y]
+			switch d0 := rowD[y]; {
+			case d0 == Unreachable || dThru < d0:
+				rowD[y] = dThru
+				rowS[y] = sx * outSigma[y]
+				apT.Dist[y*st+x] = dThru
+				apT.Sigma[y*st+x] = rowS[y]
+			case dThru == d0:
+				rowS[y] += sx * outSigma[y]
+				apT.Sigma[y*st+x] = rowS[y]
+			}
+		}
+	}
+
+	// u's own row (distances from u) and column (distances to u). A first
+	// hop over one of mult(v) parallel channels to peer v, then a shortest
+	// path onwards; the aggregates already carry the multiplicities.
+	for y := 0; y < n; y++ {
+		if y == u {
+			continue
+		}
+		if d := outDist[y]; d != Unreachable {
+			ap.Dist[u*sa+y] = d + 1
+			ap.Sigma[u*sa+y] = outSigma[y]
+			apT.Dist[y*st+u] = d + 1
+			apT.Sigma[y*st+u] = outSigma[y]
+		}
+		if d := inDist[y]; d != Unreachable {
+			ap.Dist[y*sa+u] = d + 1
+			ap.Sigma[y*sa+u] = inSigma[y]
+			apT.Dist[u*st+y] = d + 1
+			apT.Sigma[u*st+y] = inSigma[y]
+		}
+	}
+	ap.Dist[u*sa+u] = 0
+	ap.Sigma[u*sa+u] = 1
+	apT.Dist[u*st+u] = 0
+	apT.Sigma[u*st+u] = 1
+}
+
+// growTarget picks the reserved capacity for a structure that just
+// outgrew its stride: geometric doubling amortizes the O(n²) re-layouts
+// to O(1) per appended node.
+func growTarget(need int) int {
+	target := need * 2
+	if target < 16 {
+		target = 16
+	}
+	return target
+}
+
+func clearRow(ap *AllPairs, r, width int) {
+	base := r * ap.Stride
+	for i := 0; i < width; i++ {
+		ap.Dist[base+i] = Unreachable
+		ap.Sigma[base+i] = 0
+	}
+}
+
+func clearCol(ap *AllPairs, c, rows int) {
+	for x := 0; x < rows; x++ {
+		ap.Dist[x*ap.Stride+c] = Unreachable
+		ap.Sigma[x*ap.Stride+c] = 0
+	}
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// joinAggregates computes the through-u aggregates of a peer multiset the
+// way the evaluation engine's joinStats defines them, straight off the
+// current AllPairs structure. peers maps peer → channel multiplicity.
+func joinAggregates(ap, apT *AllPairs, peers map[NodeID]int) (inDist []int32, inSigma []float64, outDist []int32, outSigma []float64) {
+	n := ap.N
+	inDist = make([]int32, n)
+	inSigma = make([]float64, n)
+	outDist = make([]int32, n)
+	outSigma = make([]float64, n)
+	for x := 0; x < n; x++ {
+		inDist[x] = Unreachable
+		outDist[x] = Unreachable
+		for v, mult := range peers {
+			if d := ap.Dist[x*ap.Stride+int(v)]; d != Unreachable {
+				switch {
+				case inDist[x] == Unreachable || d < inDist[x]:
+					inDist[x] = d
+					inSigma[x] = float64(mult) * ap.Sigma[x*ap.Stride+int(v)]
+				case d == inDist[x]:
+					inSigma[x] += float64(mult) * ap.Sigma[x*ap.Stride+int(v)]
+				}
+			}
+			if d := apT.Dist[x*apT.Stride+int(v)]; d != Unreachable {
+				switch {
+				case outDist[x] == Unreachable || d < outDist[x]:
+					outDist[x] = d
+					outSigma[x] = float64(mult) * apT.Sigma[x*apT.Stride+int(v)]
+				case d == outDist[x]:
+					outSigma[x] += float64(mult) * apT.Sigma[x*apT.Stride+int(v)]
+				}
+			}
+		}
+	}
+	return inDist, inSigma, outDist, outSigma
+}
+
+// requireAllPairsEqual asserts ap matches a freshly BFS'd structure of g
+// bit for bit on the live region.
+func requireAllPairsEqual(t *testing.T, tag string, g *Graph, ap, apT *AllPairs) {
+	t.Helper()
+	want := g.AllPairsBFS()
+	wantT := want.Transposed()
+	if ap.N != want.N || apT.N != want.N {
+		t.Fatalf("%s: N = %d/%d, want %d", tag, ap.N, apT.N, want.N)
+	}
+	for s := 0; s < want.N; s++ {
+		for r := 0; r < want.N; r++ {
+			if ap.DistAt(NodeID(s), NodeID(r)) != want.DistAt(NodeID(s), NodeID(r)) {
+				t.Fatalf("%s: dist[%d][%d] = %d, want %d",
+					tag, s, r, ap.DistAt(NodeID(s), NodeID(r)), want.DistAt(NodeID(s), NodeID(r)))
+			}
+			if ap.SigmaAt(NodeID(s), NodeID(r)) != want.SigmaAt(NodeID(s), NodeID(r)) {
+				t.Fatalf("%s: sigma[%d][%d] = %v, want %v",
+					tag, s, r, ap.SigmaAt(NodeID(s), NodeID(r)), want.SigmaAt(NodeID(s), NodeID(r)))
+			}
+			if apT.DistAt(NodeID(s), NodeID(r)) != wantT.DistAt(NodeID(s), NodeID(r)) ||
+				apT.SigmaAt(NodeID(s), NodeID(r)) != wantT.SigmaAt(NodeID(s), NodeID(r)) {
+				t.Fatalf("%s: transpose mismatch at [%d][%d]", tag, s, r)
+			}
+		}
+	}
+}
+
+// TestExtendWithNodeMatchesRebuild grows random graphs one arrival at a
+// time through the incremental extension and checks the structure stays
+// bit-identical to a from-scratch BFS after every commit — including
+// multi-channel strategies (parallel edges), empty strategies (isolated
+// arrivals), and arrivals onto a disconnected substrate.
+func TestExtendWithNodeMatchesRebuild(t *testing.T) {
+	for _, start := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"empty", New(0)},
+		{"singleton", New(1)},
+		{"path", Path(5, 1)},
+		{"sparse-er", ErdosRenyi(8, 0.18, 1, rand.New(rand.NewSource(3)))}, // usually disconnected
+		{"ba", BarabasiAlbert(10, 2, 1, rand.New(rand.NewSource(4)))},
+	} {
+		t.Run(start.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			g := start.g.Clone()
+			ap := g.AllPairsBFS()
+			apT := ap.Transposed()
+			for arrival := 0; arrival < 14; arrival++ {
+				n := g.NumNodes()
+				peers := map[NodeID]int{}
+				if n > 0 {
+					for c := rng.Intn(4); c > 0; c-- { // 0..3 channels, repeats allowed
+						peers[NodeID(rng.Intn(n))]++
+					}
+				}
+				inDist, inSigma, outDist, outSigma := joinAggregates(ap, apT, peers)
+				u := g.AddNode()
+				for v, mult := range peers {
+					for i := 0; i < mult; i++ {
+						mustChannel(g, u, v, 1, 1)
+					}
+				}
+				ExtendWithNode(ap, apT, int(u), inDist, inSigma, outDist, outSigma)
+				requireAllPairsEqual(t, start.name, g, ap, apT)
+			}
+		})
+	}
+}
+
+// TestExtendWithNodeReattach exercises the rewiring path: close every
+// channel of an existing node, rebuild, then fold a fresh channel set for
+// the same identifier back in incrementally.
+func TestExtendWithNodeReattach(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := BarabasiAlbert(12, 2, 1, rng)
+	for round := 0; round < 8; round++ {
+		v := NodeID(rng.Intn(g.NumNodes()))
+		for _, w := range g.Neighbors(v) {
+			for g.HasEdgeBetween(v, w) {
+				if err := g.RemoveChannel(v, w); err != nil {
+					t.Fatalf("RemoveChannel(%d,%d): %v", v, w, err)
+				}
+			}
+		}
+		// Deletions invalidate incremental maintenance: rebuild, as the
+		// growth engine does, then re-attach incrementally.
+		ap := g.AllPairsBFS()
+		apT := ap.Transposed()
+		peers := map[NodeID]int{}
+		for c := 1 + rng.Intn(3); c > 0; c-- {
+			w := NodeID(rng.Intn(g.NumNodes()))
+			if w != v {
+				peers[w]++
+			}
+		}
+		inDist, inSigma, outDist, outSigma := joinAggregates(ap, apT, peers)
+		for w, mult := range peers {
+			for i := 0; i < mult; i++ {
+				mustChannel(g, v, w, 1, 1)
+			}
+		}
+		ExtendWithNode(ap, apT, int(v), inDist, inSigma, outDist, outSigma)
+		requireAllPairsEqual(t, "reattach", g, ap, apT)
+	}
+}
+
+func TestReserveKeepsContents(t *testing.T) {
+	g := BarabasiAlbert(9, 2, 1, rand.New(rand.NewSource(5)))
+	ap := g.AllPairsBFS()
+	apT := ap.Transposed()
+	ap.Reserve(40)
+	apT.Reserve(40)
+	if ap.Stride != 40 || ap.N != 9 {
+		t.Fatalf("Reserve: N=%d Stride=%d, want 9/40", ap.N, ap.Stride)
+	}
+	requireAllPairsEqual(t, "reserved", g, ap, apT)
+	before := ap.Stride
+	ap.Reserve(10) // never shrinks
+	if ap.Stride != before {
+		t.Fatalf("Reserve shrank stride to %d", ap.Stride)
+	}
+}

@@ -53,14 +53,18 @@ func (g *Graph) BFSCounts(src NodeID) (dist []int, sigma []float64) {
 
 // AllPairs holds the all-pairs shortest-path structure of a graph snapshot:
 // hop distances and shortest-path counts for every ordered pair, stored as
-// contiguous row-major buffers with stride N. The flat layout keeps the
-// O(n²) pricing scans on one cache line per row instead of chasing a
-// pointer per source; int32 distances halve the footprint of the distance
-// matrix (hop counts never approach 2³¹).
+// contiguous row-major buffers. Row s starts at s·Stride; the first N
+// entries of each row are live. Freshly computed structures have
+// Stride == N, but a structure that grows node by node (ExtendWithNode)
+// reserves Stride > N so appending a node never re-lays-out the matrix.
+// The flat layout keeps the O(n²) pricing scans on one cache line per row
+// instead of chasing a pointer per source; int32 distances halve the
+// footprint of the distance matrix (hop counts never approach 2³¹).
 type AllPairs struct {
-	N     int
-	Dist  []int32   // Dist[s*N+t]: hops s→t, Unreachable if disconnected
-	Sigma []float64 // Sigma[s*N+t]: number of shortest s→t paths
+	N      int
+	Stride int       // row stride; N ≤ Stride
+	Dist   []int32   // Dist[s*Stride+t]: hops s→t, Unreachable if disconnected
+	Sigma  []float64 // Sigma[s*Stride+t]: number of shortest s→t paths
 }
 
 // AllPairsBFS computes hop distances and shortest-path counts between all
@@ -68,9 +72,10 @@ type AllPairs struct {
 func (g *Graph) AllPairsBFS() *AllPairs {
 	n := g.NumNodes()
 	ap := &AllPairs{
-		N:     n,
-		Dist:  make([]int32, n*n),
-		Sigma: make([]float64, n*n),
+		N:      n,
+		Stride: n,
+		Dist:   make([]int32, n*n),
+		Sigma:  make([]float64, n*n),
 	}
 	queue := make([]NodeID, 0, n)
 	for s := 0; s < n; s++ {
@@ -111,17 +116,17 @@ func (g *Graph) bfsCountsInto(src NodeID, dist []int32, sigma []float64, queue [
 }
 
 // DistAt returns the hop distance s→t (Unreachable when disconnected).
-func (ap *AllPairs) DistAt(s, t NodeID) int { return int(ap.Dist[int(s)*ap.N+int(t)]) }
+func (ap *AllPairs) DistAt(s, t NodeID) int { return int(ap.Dist[int(s)*ap.Stride+int(t)]) }
 
 // SigmaAt returns the number of shortest s→t paths.
-func (ap *AllPairs) SigmaAt(s, t NodeID) float64 { return ap.Sigma[int(s)*ap.N+int(t)] }
+func (ap *AllPairs) SigmaAt(s, t NodeID) float64 { return ap.Sigma[int(s)*ap.Stride+int(t)] }
 
 // DistRow returns the contiguous distance row of source s: DistRow(s)[t]
 // is the hop distance s→t.
-func (ap *AllPairs) DistRow(s int) []int32 { return ap.Dist[s*ap.N : (s+1)*ap.N] }
+func (ap *AllPairs) DistRow(s int) []int32 { return ap.Dist[s*ap.Stride : s*ap.Stride+ap.N] }
 
 // SigmaRow returns the contiguous path-count row of source s.
-func (ap *AllPairs) SigmaRow(s int) []float64 { return ap.Sigma[s*ap.N : (s+1)*ap.N] }
+func (ap *AllPairs) SigmaRow(s int) []float64 { return ap.Sigma[s*ap.Stride : s*ap.Stride+ap.N] }
 
 // Transposed returns the column-major mirror: in the result, row t holds
 // the distances (and path counts) *towards* t from every source, again as
@@ -130,13 +135,14 @@ func (ap *AllPairs) SigmaRow(s int) []float64 { return ap.Sigma[s*ap.N : (s+1)*a
 func (ap *AllPairs) Transposed() *AllPairs {
 	n := ap.N
 	t := &AllPairs{
-		N:     n,
-		Dist:  make([]int32, n*n),
-		Sigma: make([]float64, n*n),
+		N:      n,
+		Stride: n,
+		Dist:   make([]int32, n*n),
+		Sigma:  make([]float64, n*n),
 	}
 	for s := 0; s < n; s++ {
-		srow := ap.Dist[s*n : (s+1)*n]
-		grow := ap.Sigma[s*n : (s+1)*n]
+		srow := ap.DistRow(s)
+		grow := ap.SigmaRow(s)
 		for r := 0; r < n; r++ {
 			t.Dist[r*n+s] = srow[r]
 			t.Sigma[r*n+s] = grow[r]

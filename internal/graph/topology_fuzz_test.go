@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzConnectedErdosRenyi fuzzes the retry/fallback logic of the
+// connected-G(n,p) generator across the whole parameter space — sizes,
+// edge probabilities (including the degenerate 0 and 1), retry budgets
+// (including 0, which forces the fallback immediately) — and asserts the
+// invariants the experiment corpus relies on: strong connectivity,
+// symmetric channel pairs, no self loops, and determinism per seed.
+func FuzzConnectedErdosRenyi(f *testing.F) {
+	f.Add(int64(1), uint8(8), float64(0.2), uint8(5))
+	f.Add(int64(2), uint8(3), float64(0), uint8(0))
+	f.Add(int64(3), uint8(20), float64(1), uint8(1))
+	f.Add(int64(4), uint8(5), float64(0.01), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8, p float64, triesRaw uint8) {
+		n := int(nRaw%32) + 2
+		if p < 0 || p > 1 || p != p {
+			t.Skip()
+		}
+		maxTries := int(triesRaw % 8)
+		g := ConnectedErdosRenyi(n, p, 1, rand.New(rand.NewSource(seed)), maxTries)
+		if g.NumNodes() != n {
+			t.Fatalf("NumNodes = %d, want %d", g.NumNodes(), n)
+		}
+		if !g.StronglyConnected() {
+			t.Fatal("result not strongly connected")
+		}
+		// Channels are symmetric pairs with no self loops.
+		if pairs, unpaired := g.ChannelPairs(); len(unpaired) != 0 {
+			t.Fatalf("%d unpaired directed edges", len(unpaired))
+		} else {
+			for _, pr := range pairs {
+				if pr[0].From == pr[0].To {
+					t.Fatal("self loop")
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range g.Neighbors(NodeID(v)) {
+				if g.HasEdgeBetween(NodeID(v), w) != g.HasEdgeBetween(w, NodeID(v)) {
+					t.Fatalf("asymmetric adjacency between %d and %d", v, w)
+				}
+			}
+		}
+		// Determinism: the same seed reproduces the same graph.
+		h := ConnectedErdosRenyi(n, p, 1, rand.New(rand.NewSource(seed)), maxTries)
+		if h.NumEdges() != g.NumEdges() {
+			t.Fatalf("same seed produced %d vs %d edges", g.NumEdges(), h.NumEdges())
+		}
+	})
+}

@@ -144,6 +144,106 @@ func TestConnectedErdosRenyiAlwaysConnected(t *testing.T) {
 	}
 }
 
+// TestGeneratorCountsProperty pins the node/edge-count algebra of every
+// deterministic generator across sizes: Star(n) has n channels, Path(n)
+// n−1, Circle(n≥3) n, Complete(n) n(n−1)/2, Wheel(n) 2n.
+func TestGeneratorCountsProperty(t *testing.T) {
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%30) + 3
+		if g := Star(n, 1); g.NumNodes() != n+1 || g.NumChannels() != n {
+			return false
+		}
+		if g := Path(n, 1); g.NumNodes() != n || g.NumChannels() != n-1 {
+			return false
+		}
+		if g := Circle(n, 1); g.NumNodes() != n || g.NumChannels() != n {
+			return false
+		}
+		if g := Complete(n, 1); g.NumChannels() != n*(n-1)/2 {
+			return false
+		}
+		if g := Wheel(n, 1); g.NumNodes() != n+1 || g.NumChannels() != 2*n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeneratorConnectivityProperty: every deterministic generator and
+// the BA process yield strongly connected graphs at any size and seed.
+func TestGeneratorConnectivityProperty(t *testing.T) {
+	check := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%25) + 3
+		m := int(mRaw%3) + 1
+		rng := rand.New(rand.NewSource(seed))
+		for _, g := range []*Graph{
+			Star(n, 1), Path(n, 1), Circle(n, 1), Complete(n, 1), Wheel(n, 1),
+			BarabasiAlbert(n, m, 1, rng),
+			ConnectedErdosRenyi(n, 0.2, 1, rng, 10),
+		} {
+			if !g.StronglyConnected() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBarabasiAlbertDegreeBoundProperty: preferential attachment adds
+// exactly m channels per new node to *distinct* targets, so every node
+// past the initial clique has channel-degree ≥ m, the clique nodes have
+// degree ≥ m (clique edges), and no node exceeds the structural maximum
+// of one channel to every other node plus its own m attachments — in
+// particular the generator must never emit parallel channels.
+func TestBarabasiAlbertDegreeBoundProperty(t *testing.T) {
+	check := func(seed int64, nRaw, mRaw uint8) bool {
+		m := int(mRaw%4) + 1
+		n := int(nRaw%40) + m + 2
+		g := BarabasiAlbert(n, m, 1, rand.New(rand.NewSource(seed)))
+		for v := 0; v < g.NumNodes(); v++ {
+			deg := g.InDegree(NodeID(v))
+			if deg < m {
+				return false
+			}
+			if deg != len(g.Neighbors(NodeID(v))) {
+				return false // parallel channel slipped through
+			}
+		}
+		// Total channels: the m+1 clique plus m per later arrival.
+		want := (m+1)*m/2 + (g.NumNodes()-m-1)*m
+		return g.NumChannels() == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectedErdosRenyiFallbackSuperimposesCircle forces the
+// give-up path (p = 0 can never connect) and checks the fallback circle
+// both connects the graph and adds no duplicate channels.
+func TestConnectedErdosRenyiFallbackSuperimposesCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConnectedErdosRenyi(7, 0, 1, rng, 4)
+	if !g.StronglyConnected() {
+		t.Fatal("fallback graph not strongly connected")
+	}
+	if g.NumChannels() != 7 {
+		t.Fatalf("fallback circle channels = %d, want 7", g.NumChannels())
+	}
+	// With p = 1 the first draw is complete and already connected; the
+	// retry loop must return it untouched.
+	g = ConnectedErdosRenyi(6, 1, 1, rng, 4)
+	if g.NumChannels() != 15 {
+		t.Fatalf("ER(p=1) channels = %d, want 15", g.NumChannels())
+	}
+}
+
 func TestChannelSymmetryProperty(t *testing.T) {
 	// Property: in every generated topology, directed edges come in
 	// symmetric pairs — HasEdgeBetween(a,b) ⇔ HasEdgeBetween(b,a).

@@ -1,0 +1,72 @@
+package growth
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+)
+
+// FuzzGrowthMatchesScratch fuzzes the differential contract: an arbitrary
+// (seed, config-bytes) pair must produce bit-identical decision traces
+// from the incremental engine and the from-scratch oracle. The config
+// bytes steer every discrete knob — seed topology, candidate process,
+// churn, rewiring, cadences, revenue model — so the fuzzer explores
+// interaction corners the table-driven test does not enumerate.
+func FuzzGrowthMatchesScratch(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(3), uint8(0), false)
+	f.Add(int64(2), uint8(1), uint8(1), uint8(9), uint8(5), false)
+	f.Add(int64(3), uint8(2), uint8(0), uint8(14), uint8(2), true)
+	f.Add(int64(4), uint8(3), uint8(1), uint8(7), uint8(9), false)
+	f.Fuzz(func(t *testing.T, seed int64, topo, attach, arrivals, knobs uint8, exact bool) {
+		cfg := DefaultConfig()
+		cfg.Seed = []SeedKind{SeedEmpty, SeedStar, SeedER, SeedBA}[int(topo)%4]
+		cfg.SeedSize = 4 + int(topo)%5
+		cfg.SeedParam = 0.35
+		if cfg.Seed == SeedBA {
+			cfg.SeedParam = 1 + float64(int(topo)%2)
+		}
+		cfg.Arrivals = int(arrivals) % 24
+		cfg.Attach = []AttachKind{AttachUniform, AttachPreferential}[int(attach)%2]
+		cfg.Candidates = 2 + int(knobs)%6
+		cfg.BudgetMin, cfg.BudgetMax = 2, 2+float64(knobs%5)
+		cfg.LockMin, cfg.LockMax = 0.5, 0.5+float64(knobs%3)
+		cfg.RateMin, cfg.RateMax = 1, 1+float64(knobs%2)
+		cfg.ChurnRate = float64(knobs%4) * 0.05
+		if knobs%3 == 1 {
+			cfg.RewireEvery = 5
+			cfg.RewireCount = 1 + int(knobs)%2
+		}
+		cfg.RefreshEvery = 3 + int(knobs)%8
+		cfg.Uniform = knobs%2 == 0
+		if exact {
+			cfg.Model = core.RevenueExact
+			if cfg.Arrivals > 10 {
+				cfg.Arrivals = 10 // exact-model oracle is O(n³) per arrival
+			}
+		}
+		got, err := Run(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Skipf("config rejected: %v", err)
+		}
+		want, err := ReferenceRun(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("oracle rejected a config the engine accepted: %v", err)
+		}
+		if len(got.Trace) != len(want.Trace) {
+			t.Fatalf("trace length %d vs %d", len(got.Trace), len(want.Trace))
+		}
+		for i := range got.Trace {
+			g, w := got.Trace[i], want.Trace[i]
+			if g.Kind != w.Kind || g.Node != w.Node || !g.Strategy.Equal(w.Strategy) ||
+				g.Objective != w.Objective || g.Utility != w.Utility {
+				t.Fatalf("decision %d diverges:\n engine %+v\n oracle %+v", i, g, w)
+			}
+		}
+		if got.Final.NumNodes() != want.Final.NumNodes() || got.Final.NumEdges() != want.Final.NumEdges() {
+			t.Fatalf("final shape diverges: %d/%d vs %d/%d",
+				got.Final.NumNodes(), got.Final.NumEdges(),
+				want.Final.NumNodes(), want.Final.NumEdges())
+		}
+	})
+}

@@ -1,0 +1,580 @@
+// Package growth is the sequential-arrival network-formation engine: it
+// answers §IV's question — which topologies *emerge* when players act
+// selfishly — at production scale by growing a network from a seed
+// topology through a stream of arriving participants, each pricing its
+// attachment against the live network exactly the way the paper's joining
+// user does (Algorithm 1 over the incremental evaluation engine).
+//
+// Where the exhaustive BestResponseDynamics caps out near a dozen
+// players, the growth engine sustains thousands of arrivals: every joiner
+// is priced through a persistent core.GrowSession whose all-pairs
+// structure is *extended* per commit (one O(n²) array pass,
+// graph.ExtendWithNode) instead of rebuilt (O(n·(n+m)) BFS), and the
+// demand and λ̂ snapshots are refreshed on an amortized cadence. Churn
+// (departures) and best-response rewiring for sampled nodes ride on the
+// same session, paying the rebuild price only when channels close.
+//
+// Determinism contract: a Run is a pure function of (Config, rng stream).
+// Every strategy the engine commits is bit-identical to what a
+// from-scratch pricing of the same arrival would choose — enforced by the
+// differential oracle (ReferenceRun + FuzzGrowthMatchesScratch), which
+// replays the identical decision sequence through fresh
+// core.NewJoinEvaluator + core.ScratchGreedy calls per arrival.
+package growth
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// ErrBadConfig reports an invalid growth configuration.
+var ErrBadConfig = errors.New("growth: invalid config")
+
+// SeedKind names the seed topology a run grows from.
+type SeedKind string
+
+// Seed topologies.
+const (
+	SeedEmpty SeedKind = "empty" // organic growth from nothing
+	SeedStar  SeedKind = "star"
+	SeedER    SeedKind = "er" // connected Erdős–Rényi
+	SeedBA    SeedKind = "ba" // Barabási–Albert
+)
+
+// AttachKind names the candidate-sampling process offered to each joiner.
+type AttachKind string
+
+// Candidate processes.
+const (
+	// AttachUniform samples candidate peers uniformly from the alive
+	// nodes: the joiner "hears about" a random subset.
+	AttachUniform AttachKind = "uniform"
+	// AttachPreferential samples candidates proportionally to degree+1,
+	// the gossip-visibility model behind Barabási–Albert growth (§I).
+	AttachPreferential AttachKind = "preferential"
+)
+
+// Config parametrises one growth run. The zero value is not runnable; use
+// DefaultConfig as the base.
+type Config struct {
+	Seed      SeedKind
+	SeedSize  int     // nodes in the seed topology (ignored for empty)
+	SeedParam float64 // ER edge probability, or BA attachment count
+	Balance   float64 // seed channel balance; also the peer-side balance of committed channels
+
+	Arrivals int // joiners to process
+
+	// Joiner profiles are drawn uniformly from [Min, Max] per arrival:
+	// budget B_u, per-channel lock l, and demand weight N_u (the joiner's
+	// own transaction rate). Min == Max pins the value without consuming
+	// randomness.
+	BudgetMin, BudgetMax float64
+	LockMin, LockMax     float64
+	RateMin, RateMax     float64
+
+	Candidates int        // candidate peers offered per joiner (0 = every alive node)
+	Attach     AttachKind // candidate-sampling process
+
+	ChurnRate   float64 // per-arrival probability one alive node departs (closes all channels)
+	RewireEvery int     // every k arrivals, best-response rewire sampled nodes (0 = never)
+	RewireCount int     // nodes rewired per rewiring round
+
+	RefreshEvery int // arrivals between demand + λ̂ snapshot refreshes (default 32)
+	EpochEvery   int // arrivals between metric epochs (default Arrivals/8)
+
+	Uniform bool    // uniform transaction distribution instead of modified Zipf
+	ZipfS   float64 // modified-Zipf scale when !Uniform (default 1)
+
+	Params core.Params       // base economics; OwnRate is overridden by each joiner's drawn rate
+	Model  core.RevenueModel // pricing model (zero = fixed-rate, Algorithm 1's setting)
+}
+
+// DefaultConfig returns a runnable base configuration: BA-seeded growth,
+// preferential candidate sampling, fixed-rate pricing.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         SeedBA,
+		SeedSize:     12,
+		SeedParam:    2,
+		Balance:      1,
+		Arrivals:     100,
+		BudgetMin:    4,
+		BudgetMax:    8,
+		LockMin:      1,
+		LockMax:      1,
+		RateMin:      1,
+		RateMax:      1,
+		Candidates:   16,
+		Attach:       AttachPreferential,
+		RefreshEvery: 32,
+		ZipfS:        1,
+		Params: core.Params{
+			OnChainCost: 1,
+			OppCostRate: 0.05,
+			FAvg:        0.5,
+			FeePerHop:   0.5,
+			OwnRate:     1,
+		},
+	}
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.Arrivals < 0 {
+		return fmt.Errorf("%w: %d arrivals", ErrBadConfig, cfg.Arrivals)
+	}
+	if cfg.Seed == "" {
+		cfg.Seed = SeedEmpty
+	}
+	if cfg.Attach == "" {
+		cfg.Attach = AttachUniform
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 32
+	}
+	if cfg.EpochEvery <= 0 {
+		cfg.EpochEvery = (cfg.Arrivals + 7) / 8
+		if cfg.EpochEvery < 1 {
+			cfg.EpochEvery = 1
+		}
+	}
+	if cfg.ChurnRate < 0 || cfg.ChurnRate > 1 {
+		return fmt.Errorf("%w: churn rate %v", ErrBadConfig, cfg.ChurnRate)
+	}
+	if cfg.RewireEvery > 0 && cfg.RewireCount <= 0 {
+		cfg.RewireCount = 1
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	switch cfg.Attach {
+	case AttachUniform, AttachPreferential:
+	default:
+		return fmt.Errorf("%w: attach process %q", ErrBadConfig, cfg.Attach)
+	}
+	switch cfg.Seed {
+	case SeedEmpty, SeedStar, SeedER, SeedBA:
+	default:
+		return fmt.Errorf("%w: seed topology %q", ErrBadConfig, cfg.Seed)
+	}
+	return nil
+}
+
+// distribution returns the transaction distribution of the run.
+func (cfg *Config) distribution() txdist.Distribution {
+	if cfg.Uniform {
+		return txdist.Uniform{}
+	}
+	s := cfg.ZipfS
+	if s == 0 {
+		s = 1
+	}
+	return txdist.ModifiedZipf{S: s}
+}
+
+// Result is the outcome of one growth run.
+type Result struct {
+	// Epochs are the streamed metric snapshots, oldest first; the final
+	// state is always the last epoch.
+	Epochs []Epoch
+	// Trace records every committed decision in order: one entry per
+	// arrival, plus one per rewired node. The differential oracle
+	// replays against this bit for bit.
+	Trace []Decision
+	// Final is the grown substrate.
+	Final *graph.Graph
+	// Departed marks nodes that left through churn.
+	Departed []bool
+	// Departures and Rewires count churn events processed.
+	Departures, Rewires int
+	// Evaluations totals the objective evaluations spent pricing.
+	Evaluations int64
+}
+
+// DecisionKind distinguishes trace entries.
+type DecisionKind uint8
+
+// Trace entry kinds.
+const (
+	DecideJoin DecisionKind = iota + 1
+	DecideRewire
+)
+
+// Decision is one committed pricing outcome.
+type Decision struct {
+	Kind DecisionKind
+	// Node is the joining (or rewired) node identifier.
+	Node graph.NodeID
+	// Strategy is the committed channel set.
+	Strategy core.Strategy
+	// Objective is the optimiser's objective at the chosen strategy.
+	Objective float64
+	// Utility is the reported plan utility (fixed-rate model).
+	Utility float64
+}
+
+// backend abstracts the network+pricing substrate of the decision loop,
+// so the production engine (incremental GrowSession) and the differential
+// oracle (from-scratch evaluator per arrival) replay the *identical*
+// decision sequence — same rng draws, same candidate sets, same greedy
+// configuration — through different machinery.
+type backend interface {
+	Graph() *graph.Graph
+	// Refresh installs a new demand snapshot and re-estimates λ̂ over the
+	// candidates.
+	Refresh(d *traffic.Demand, candidates []graph.NodeID)
+	// Price runs Algorithm 1 for one joiner described by pu and params.
+	Price(pu []float64, params core.Params, cfg core.GreedyConfig) (core.Result, error)
+	// Commit folds a fresh arrival in; Reattach folds a rewired node back.
+	Commit(s core.Strategy) (graph.NodeID, error)
+	Reattach(v graph.NodeID, s core.Strategy) error
+	// Close removes every channel of v and restores internal coherence
+	// (the session rebuilds its all-pairs structure).
+	Close(v graph.NodeID) error
+	// AllPairs exposes the live structure for metric scans; the oracle
+	// returns nil and skips metrics.
+	AllPairs() *graph.AllPairs
+}
+
+// Run grows a network per cfg, driven by rng. The result is a pure
+// function of (cfg, rng stream) — byte-identical across machines and
+// parallelism, which is what lets multi-seed sweeps fan out.
+func Run(cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g, err := seedGraph(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := core.NewGrowSession(g, cfg.Params, g.NumNodes()+cfg.Arrivals, cfg.Balance)
+	if err != nil {
+		return nil, err
+	}
+	return runLoop(cfg, rng, &sessionBackend{gs: gs})
+}
+
+// sessionBackend is the production substrate: one persistent GrowSession.
+type sessionBackend struct {
+	gs *core.GrowSession
+}
+
+func (b *sessionBackend) Graph() *graph.Graph { return b.gs.Graph() }
+
+func (b *sessionBackend) Refresh(d *traffic.Demand, candidates []graph.NodeID) {
+	b.gs.SetDemand(d)
+	b.gs.RefreshRates(candidates)
+}
+
+func (b *sessionBackend) Price(pu []float64, params core.Params, cfg core.GreedyConfig) (core.Result, error) {
+	ev, err := b.gs.Evaluator(pu, params)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Greedy(ev, cfg)
+}
+
+func (b *sessionBackend) Commit(s core.Strategy) (graph.NodeID, error) { return b.gs.Commit(s) }
+
+func (b *sessionBackend) Reattach(v graph.NodeID, s core.Strategy) error { return b.gs.Reattach(v, s) }
+
+func (b *sessionBackend) Close(v graph.NodeID) error {
+	if _, err := b.gs.CloseNode(v); err != nil {
+		return err
+	}
+	b.gs.Rebuild()
+	return nil
+}
+
+func (b *sessionBackend) AllPairs() *graph.AllPairs { return b.gs.AllPairs() }
+
+// seedGraph builds the seed topology. Random seeds consume rng, so the
+// engine and the oracle grow identical substrates from a shared stream.
+func seedGraph(cfg Config, rng *rand.Rand) (*graph.Graph, error) {
+	n := cfg.SeedSize
+	switch cfg.Seed {
+	case SeedEmpty:
+		return graph.New(0), nil
+	case SeedStar:
+		if n < 2 {
+			return nil, fmt.Errorf("%w: star seed needs ≥ 2 nodes", ErrBadConfig)
+		}
+		return graph.Star(n-1, cfg.Balance), nil
+	case SeedER:
+		if n < 2 {
+			return nil, fmt.Errorf("%w: er seed needs ≥ 2 nodes", ErrBadConfig)
+		}
+		p := cfg.SeedParam
+		if p <= 0 || p > 1 {
+			p = 0.3
+		}
+		return graph.ConnectedErdosRenyi(n, p, cfg.Balance, rng, 50), nil
+	case SeedBA:
+		m := int(cfg.SeedParam)
+		if m < 1 {
+			m = 2
+		}
+		if n < m+1 {
+			return nil, fmt.Errorf("%w: ba seed needs ≥ m+1 nodes", ErrBadConfig)
+		}
+		return graph.BarabasiAlbert(n, m, cfg.Balance, rng), nil
+	}
+	return nil, fmt.Errorf("%w: seed topology %q", ErrBadConfig, cfg.Seed)
+}
+
+// runLoop is the shared decision loop. Per arrival, in this exact order:
+// profile draw, candidate draw, pricing, commit, churn draw, rewiring
+// round (on cadence), snapshot refresh (on cadence), metrics epoch (on
+// cadence). Every rng consumption is identical across backends; pricing
+// consumes none.
+func runLoop(cfg Config, rng *rand.Rand, b backend) (*Result, error) {
+	g := b.Graph()
+	res := &Result{}
+	departed := make([]bool, 0, g.NumNodes()+cfg.Arrivals)
+	alive := make([]graph.NodeID, 0, g.NumNodes()+cfg.Arrivals)
+	for v := 0; v < g.NumNodes(); v++ {
+		departed = append(departed, false)
+		alive = append(alive, graph.NodeID(v))
+	}
+	dist := cfg.distribution()
+
+	refresh := func() {
+		d := buildDemand(g, dist, departed)
+		b.Refresh(d, append([]graph.NodeID(nil), alive...))
+	}
+	refresh()
+
+	var epochEvals int64
+	var epochJoins int
+	for t := 0; t < cfg.Arrivals; t++ {
+		// 1. Arrival: draw a profile and a candidate set, price, commit.
+		profile := drawProfile(cfg, rng)
+		cands := drawCandidates(cfg, rng, g, alive, graph.InvalidNode)
+		pu := joinProbs(g, graph.InvalidNode, dist, departed)
+		plan, err := b.Price(pu, profile.params(cfg), profile.greedy(cfg, cands))
+		if err != nil {
+			return nil, err
+		}
+		u, err := b.Commit(plan.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		departed = append(departed, false)
+		alive = append(alive, u)
+		res.Trace = append(res.Trace, Decision{
+			Kind: DecideJoin, Node: u, Strategy: plan.Strategy,
+			Objective: plan.Objective, Utility: plan.Utility,
+		})
+		res.Evaluations += int64(plan.Evaluations)
+		epochEvals += int64(plan.Evaluations)
+		epochJoins++
+
+		// 2. Churn: with probability ChurnRate one alive node departs.
+		if cfg.ChurnRate > 0 && len(alive) >= 3 && rng.Float64() < cfg.ChurnRate {
+			idx := rng.Intn(len(alive))
+			v := alive[idx]
+			if err := b.Close(v); err != nil {
+				return nil, err
+			}
+			departed[v] = true
+			alive = append(alive[:idx], alive[idx+1:]...)
+			res.Departures++
+		}
+
+		// 3. Rewiring: sampled alive nodes re-run their best response.
+		if cfg.RewireEvery > 0 && (t+1)%cfg.RewireEvery == 0 {
+			for j := 0; j < cfg.RewireCount && len(alive) >= 2; j++ {
+				v := alive[rng.Intn(len(alive))]
+				profile := drawProfile(cfg, rng)
+				cands := drawCandidates(cfg, rng, g, alive, v)
+				if err := b.Close(v); err != nil {
+					return nil, err
+				}
+				pu := joinProbs(g, v, dist, departed)
+				plan, err := b.Price(pu, profile.params(cfg), profile.greedy(cfg, cands))
+				if err != nil {
+					return nil, err
+				}
+				if err := b.Reattach(v, plan.Strategy); err != nil {
+					return nil, err
+				}
+				res.Trace = append(res.Trace, Decision{
+					Kind: DecideRewire, Node: v, Strategy: plan.Strategy,
+					Objective: plan.Objective, Utility: plan.Utility,
+				})
+				res.Evaluations += int64(plan.Evaluations)
+				epochEvals += int64(plan.Evaluations)
+				res.Rewires++
+			}
+		}
+
+		// 4. Snapshot refresh.
+		if (t+1)%cfg.RefreshEvery == 0 {
+			refresh()
+		}
+
+		// 5. Metrics epoch.
+		if ap := b.AllPairs(); ap != nil && ((t+1)%cfg.EpochEvery == 0 || t == cfg.Arrivals-1) {
+			ep := computeEpoch(g, ap, alive, t+1)
+			if epochJoins > 0 {
+				ep.EvalsPerJoin = float64(epochEvals) / float64(epochJoins)
+			}
+			epochEvals, epochJoins = 0, 0
+			res.Epochs = append(res.Epochs, ep)
+		}
+	}
+	if cfg.Arrivals == 0 {
+		if ap := b.AllPairs(); ap != nil {
+			res.Epochs = append(res.Epochs, computeEpoch(g, ap, alive, 0))
+		}
+	}
+	res.Final = g
+	res.Departed = departed
+	return res, nil
+}
+
+// profile is one joiner's drawn economics.
+type profile struct {
+	budget, lock, rate float64
+}
+
+func (p profile) params(cfg Config) core.Params {
+	params := cfg.Params
+	params.OwnRate = p.rate
+	return params
+}
+
+func (p profile) greedy(cfg Config, candidates []graph.NodeID) core.GreedyConfig {
+	return core.GreedyConfig{
+		Budget:       p.budget,
+		Lock:         p.lock,
+		Candidates:   candidates,
+		Model:        cfg.Model,
+		UtilityModel: core.RevenueFixedRate,
+	}
+}
+
+func drawProfile(cfg Config, rng *rand.Rand) profile {
+	return profile{
+		budget: drawUniform(rng, cfg.BudgetMin, cfg.BudgetMax),
+		lock:   drawUniform(rng, cfg.LockMin, cfg.LockMax),
+		rate:   drawUniform(rng, cfg.RateMin, cfg.RateMax),
+	}
+}
+
+// drawUniform draws from [lo, hi]; a degenerate interval pins the value
+// without consuming randomness, so pinned configs replay faster streams.
+func drawUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// drawCandidates samples the candidate peer set offered to one joiner:
+// cfg.Candidates distinct alive nodes (excluding exclude), uniformly or
+// degree-preferentially. When the pool is no larger than the quota the
+// whole pool is offered without consuming randomness.
+func drawCandidates(cfg Config, rng *rand.Rand, g *graph.Graph, alive []graph.NodeID, exclude graph.NodeID) []graph.NodeID {
+	pool := make([]graph.NodeID, 0, len(alive))
+	for _, v := range alive {
+		if v != exclude {
+			pool = append(pool, v)
+		}
+	}
+	k := cfg.Candidates
+	if k <= 0 || k >= len(pool) {
+		return pool
+	}
+	chosen := make([]graph.NodeID, 0, k)
+	switch cfg.Attach {
+	case AttachPreferential:
+		weights := make([]float64, len(pool))
+		total := 0.0
+		for i, v := range pool {
+			weights[i] = float64(g.InDegree(v) + 1)
+			total += weights[i]
+		}
+		for len(chosen) < k {
+			x := rng.Float64() * total
+			idx := len(pool) - 1
+			for i, w := range weights {
+				if x < w {
+					idx = i
+					break
+				}
+				x -= w
+			}
+			chosen = append(chosen, pool[idx])
+			total -= weights[idx]
+			pool = append(pool[:idx], pool[idx+1:]...)
+			weights = append(weights[:idx], weights[idx+1:]...)
+		}
+	default: // uniform: partial Fisher-Yates
+		for i := 0; i < k; i++ {
+			j := i + rng.Intn(len(pool)-i)
+			pool[i], pool[j] = pool[j], pool[i]
+			chosen = append(chosen, pool[i])
+		}
+	}
+	return chosen
+}
+
+// joinProbs returns the recipient distribution of one joiner (or rewired
+// node) over the current substrate, with departed nodes masked out and
+// the mass renormalized. Departed nodes still occupy ranks in the Zipf
+// ordering — the joiner's view of the gossip layer lags reality the same
+// way the demand snapshot does.
+func joinProbs(g *graph.Graph, u graph.NodeID, dist txdist.Distribution, departed []bool) []float64 {
+	probs := dist.Probs(g, u)
+	var total float64
+	for v := range probs {
+		if departed[v] {
+			probs[v] = 0
+		}
+		total += probs[v]
+	}
+	if total > 0 {
+		for v := range probs {
+			probs[v] /= total
+		}
+	}
+	return probs
+}
+
+// buildDemand materialises the existing-user demand snapshot: every alive
+// node emits one transaction per time unit under the run's distribution;
+// departed nodes neither emit nor receive (their rows are zeroed and
+// their columns masked with rows renormalized).
+func buildDemand(g *graph.Graph, dist txdist.Distribution, departed []bool) *traffic.Demand {
+	n := g.NumNodes()
+	p := txdist.Matrix(g, dist)
+	rates := make([]float64, n)
+	for s := 0; s < n; s++ {
+		if departed[s] {
+			for r := range p[s] {
+				p[s][r] = 0
+			}
+			continue
+		}
+		rates[s] = 1
+		var total float64
+		for r := range p[s] {
+			if departed[r] {
+				p[s][r] = 0
+			}
+			total += p[s][r]
+		}
+		if total > 0 {
+			for r := range p[s] {
+				p[s][r] /= total
+			}
+		}
+	}
+	return &traffic.Demand{P: p, Rates: rates}
+}

@@ -1,0 +1,248 @@
+package growth
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// diffConfig is the differential-test base: every subsystem on — churn,
+// rewiring, refresh cadence, varied profiles — at oracle-affordable size.
+func diffConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = SeedBA
+	cfg.SeedSize = 8
+	cfg.Arrivals = 36
+	cfg.BudgetMin, cfg.BudgetMax = 3, 7
+	cfg.LockMin, cfg.LockMax = 0.5, 2
+	cfg.RateMin, cfg.RateMax = 0.5, 2
+	cfg.Candidates = 6
+	cfg.ChurnRate = 0.1
+	cfg.RewireEvery = 9
+	cfg.RewireCount = 2
+	cfg.RefreshEvery = 8
+	cfg.EpochEvery = 12
+	return cfg
+}
+
+func requireSameTrace(t *testing.T, tag string, got, want *Result) {
+	t.Helper()
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: trace length %d vs %d", tag, len(got.Trace), len(want.Trace))
+	}
+	for i, g := range got.Trace {
+		w := want.Trace[i]
+		if g.Kind != w.Kind || g.Node != w.Node || !g.Strategy.Equal(w.Strategy) ||
+			g.Objective != w.Objective || g.Utility != w.Utility {
+			t.Fatalf("%s: decision %d diverges:\n engine %+v\n oracle %+v", tag, i, g, w)
+		}
+	}
+	if got.Departures != want.Departures || got.Rewires != want.Rewires {
+		t.Fatalf("%s: churn counts diverge: %d/%d vs %d/%d",
+			tag, got.Departures, got.Rewires, want.Departures, want.Rewires)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("%s: evaluations %d vs %d", tag, got.Evaluations, want.Evaluations)
+	}
+}
+
+func requireSameGraph(t *testing.T, tag string, got, want *graph.Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: shape %d nodes/%d edges vs %d/%d",
+			tag, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for v := 0; v < got.NumNodes(); v++ {
+		a := got.OutEdges(graph.NodeID(v))
+		b := want.OutEdges(graph.NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("%s: node %d out-degree %d vs %d", tag, v, len(a), len(b))
+		}
+		for i := range a {
+			ea, _ := got.Edge(a[i])
+			eb, _ := want.Edge(b[i])
+			if ea.To != eb.To || ea.Capacity != eb.Capacity {
+				t.Fatalf("%s: node %d edge %d: (%d,%v) vs (%d,%v)",
+					tag, v, i, ea.To, ea.Capacity, eb.To, eb.Capacity)
+			}
+		}
+	}
+}
+
+// TestGrowthMatchesScratch is the engine's keystone differential test:
+// the incremental engine and the from-scratch oracle must produce
+// bit-identical decisions at every step — strategies, objectives,
+// utilities, churn — and identical final substrates, across seed
+// topologies and seeds.
+func TestGrowthMatchesScratch(t *testing.T) {
+	for _, seedKind := range []SeedKind{SeedEmpty, SeedStar, SeedER, SeedBA} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := diffConfig()
+			cfg.Seed = seedKind
+			if seedKind == SeedER {
+				cfg.SeedParam = 0.3
+			}
+			got, err := Run(cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("%s/%d: Run: %v", seedKind, seed, err)
+			}
+			want, err := ReferenceRun(cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("%s/%d: ReferenceRun: %v", seedKind, seed, err)
+			}
+			tag := string(seedKind)
+			requireSameTrace(t, tag, got, want)
+			requireSameGraph(t, tag, got.Final, want.Final)
+		}
+	}
+}
+
+// TestGrowthExactModelMatchesScratch re-runs the differential check under
+// exact-revenue pricing, where every probe walks the O(n²) transit scan.
+func TestGrowthExactModelMatchesScratch(t *testing.T) {
+	cfg := diffConfig()
+	cfg.Arrivals = 14
+	cfg.Model = core.RevenueExact
+	got, err := Run(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := ReferenceRun(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("ReferenceRun: %v", err)
+	}
+	requireSameTrace(t, "exact", got, want)
+	requireSameGraph(t, "exact", got.Final, want.Final)
+}
+
+// TestGrowthDeterministicPerSeed re-runs the engine on the same stream
+// and requires identical results, including epoch metrics.
+func TestGrowthDeterministicPerSeed(t *testing.T) {
+	cfg := diffConfig()
+	a, err := Run(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	requireSameTrace(t, "replay", a, b)
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("epoch counts %d vs %d", len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		if a.Epochs[i] != b.Epochs[i] {
+			t.Fatalf("epoch %d diverges:\n%+v\n%+v", i, a.Epochs[i], b.Epochs[i])
+		}
+	}
+}
+
+// TestGrowthInvariants checks the structural promises of a run: node
+// count, alive/departed bookkeeping, epoch monotonicity, and that the
+// final all-pairs state of the session equals a fresh BFS (the commit
+// path never drifts).
+func TestGrowthInvariants(t *testing.T) {
+	cfg := diffConfig()
+	res, err := Run(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantNodes := cfg.SeedSize + cfg.Arrivals
+	if res.Final.NumNodes() != wantNodes {
+		t.Fatalf("final nodes = %d, want %d", res.Final.NumNodes(), wantNodes)
+	}
+	if len(res.Departed) != wantNodes {
+		t.Fatalf("departed len = %d, want %d", len(res.Departed), wantNodes)
+	}
+	departures := 0
+	for v, gone := range res.Departed {
+		if !gone {
+			continue
+		}
+		departures++
+		// A departed node may have been re-connected only by later
+		// arrivals choosing it as a peer — candidates exclude departed
+		// nodes, so it must have no *outgoing-opened* channels. Its
+		// channels were all closed at departure; anything present now
+		// was opened by an alive node, which the engine forbids by
+		// masking departed nodes out of every candidate pool.
+		if res.Final.OutDegree(graph.NodeID(v))+res.Final.InDegree(graph.NodeID(v)) != 0 {
+			t.Fatalf("departed node %d still has channels", v)
+		}
+	}
+	if departures != res.Departures {
+		t.Fatalf("departed count %d, result says %d", departures, res.Departures)
+	}
+	if len(res.Epochs) == 0 {
+		t.Fatal("no epochs streamed")
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if last.Arrival != cfg.Arrivals {
+		t.Fatalf("last epoch at arrival %d, want %d", last.Arrival, cfg.Arrivals)
+	}
+	if last.Nodes != wantNodes-res.Departures {
+		t.Fatalf("last epoch nodes = %d, want %d", last.Nodes, wantNodes-res.Departures)
+	}
+	for i := 1; i < len(res.Epochs); i++ {
+		if res.Epochs[i].Arrival <= res.Epochs[i-1].Arrival {
+			t.Fatalf("epochs not strictly ordered: %+v", res.Epochs)
+		}
+	}
+	joins := 0
+	for _, d := range res.Trace {
+		if d.Kind == DecideJoin {
+			joins++
+		}
+	}
+	if joins != cfg.Arrivals {
+		t.Fatalf("trace has %d joins, want %d", joins, cfg.Arrivals)
+	}
+}
+
+// TestGrowthFromEmptyBootstraps grows a network from nothing: the first
+// arrival necessarily joins unconnected, later ones attach.
+func TestGrowthFromEmptyBootstraps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = SeedEmpty
+	cfg.SeedSize = 0
+	cfg.Arrivals = 24
+	cfg.Candidates = 4
+	res, err := Run(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Final.NumNodes() != 24 {
+		t.Fatalf("final nodes = %d, want 24", res.Final.NumNodes())
+	}
+	if len(res.Trace[0].Strategy) != 0 {
+		t.Fatalf("first arrival committed channels into an empty network: %+v", res.Trace[0])
+	}
+	if res.Final.NumChannels() == 0 {
+		t.Fatal("no channels emerged from organic growth")
+	}
+	last := res.Epochs[len(res.Epochs)-1]
+	if last.Routable == 0 {
+		t.Fatal("grown network fully unroutable")
+	}
+}
+
+func TestGrowthConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Arrivals = -1 },
+		func(c *Config) { c.ChurnRate = 1.5 },
+		func(c *Config) { c.Attach = "magnetic" },
+		func(c *Config) { c.Seed = "torus" },
+		func(c *Config) { c.Params.OnChainCost = 0 },
+		func(c *Config) { c.Seed = SeedStar; c.SeedSize = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}

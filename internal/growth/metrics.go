@@ -1,0 +1,156 @@
+package growth
+
+import (
+	"sort"
+
+	"github.com/lightning-creation-games/lcg/internal/game"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// Epoch is one streamed metric snapshot of a growth run. All fields are
+// deterministic functions of the run state — wall-clock latency is
+// deliberately excluded (benchmarks measure it) so epoch tables stay
+// byte-identical across machines and parallelism.
+type Epoch struct {
+	// Arrival is the number of arrivals processed when the snapshot was
+	// taken.
+	Arrival int
+	// Nodes and Channels describe the alive substrate.
+	Nodes, Channels int
+	// MaxDegree is the largest alive channel degree; MeanDegree the mean.
+	MaxDegree  int
+	MeanDegree float64
+	// DegreeGini is the Gini coefficient of the alive degree
+	// distribution: 0 = perfectly equal, →1 = hub-concentrated.
+	DegreeGini float64
+	// Centralization is the largest node's share of total degree.
+	Centralization float64
+	// Diameter is the longest finite shortest path between alive nodes.
+	Diameter int
+	// MeanDistance averages the finite pairwise distances.
+	MeanDistance float64
+	// Routable is the fraction of ordered alive pairs with a route.
+	Routable float64
+	// Efficiency is the welfare proxy: the Latora–Marchiori global
+	// efficiency, mean over ordered alive pairs of 1/d(x,y) (0 when
+	// unreachable). It rises with short paths and full reachability —
+	// exactly what routing welfare rewards — without pricing every
+	// node's utility.
+	Efficiency float64
+	// EvalsPerJoin is the mean objective evaluations spent pricing each
+	// join since the previous epoch — the deterministic cost measure
+	// (wall latency belongs to benchmarks).
+	EvalsPerJoin float64
+	// Class is the emergent-topology label, classified from the degree
+	// statistics.
+	Class string
+}
+
+// computeEpoch scans the live all-pairs structure restricted to the alive
+// nodes: one O(a²) pass for distances plus an O(a log a) degree sort.
+func computeEpoch(g *graph.Graph, ap *graph.AllPairs, alive []graph.NodeID, arrival int) Epoch {
+	ep := Epoch{Arrival: arrival, Nodes: len(alive)}
+	degrees := make([]int, 0, len(alive))
+	totalDeg := 0
+	for _, v := range alive {
+		d := g.InDegree(v)
+		degrees = append(degrees, d)
+		totalDeg += d
+		if d > ep.MaxDegree {
+			ep.MaxDegree = d
+		}
+	}
+	ep.Channels = totalDeg / 2
+	if len(alive) > 0 {
+		ep.MeanDegree = float64(totalDeg) / float64(len(alive))
+	}
+	ep.DegreeGini = gini(degrees)
+	if totalDeg > 0 {
+		ep.Centralization = float64(ep.MaxDegree) / float64(totalDeg)
+	}
+
+	var (
+		finitePairs int
+		totalPairs  int
+		distSum     float64
+		effSum      float64
+	)
+	for _, s := range alive {
+		row := ap.DistRow(int(s))
+		for _, r := range alive {
+			if s == r {
+				continue
+			}
+			totalPairs++
+			d := int(row[r])
+			if d == graph.Unreachable {
+				continue
+			}
+			finitePairs++
+			distSum += float64(d)
+			effSum += 1 / float64(d)
+			if d > ep.Diameter {
+				ep.Diameter = d
+			}
+		}
+	}
+	if finitePairs > 0 {
+		ep.MeanDistance = distSum / float64(finitePairs)
+	}
+	if totalPairs > 0 {
+		ep.Routable = float64(finitePairs) / float64(totalPairs)
+		ep.Efficiency = effSum / float64(totalPairs)
+	}
+	ep.Class = classify(ep)
+	// When the whole substrate is alive, §IV's exact classes take
+	// precedence over the statistical label: a run that converges to a
+	// literal star, path, circle, complete graph or tree names it. The
+	// channel-count gate skips the O(n·(n+m)) exact check whenever the
+	// counts already rule every exact class out.
+	if n := ep.Nodes; len(alive) == g.NumNodes() && n > 0 &&
+		(ep.Channels <= n || ep.Channels == n*(n-1)/2) {
+		if c := game.Classify(g); c != game.ClassOther && c != game.ClassDisconnected {
+			ep.Class = string(c)
+		}
+	}
+	return ep
+}
+
+// gini computes the Gini coefficient of a non-negative sample.
+func gini(values []int) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), values...)
+	sort.Ints(sorted)
+	var sum, weighted float64
+	for i, v := range sorted {
+		sum += float64(v)
+		weighted += float64(2*(i+1)-len(sorted)-1) * float64(v)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return weighted / (float64(len(sorted)) * sum)
+}
+
+// classify labels the emergent topology from the epoch's degree shape.
+// Thresholds are coarse on purpose: the label answers §IV's qualitative
+// question (did a hub emerge? a hub hierarchy? a flat mesh?), not a
+// clustering exercise.
+func classify(ep Epoch) string {
+	switch {
+	case ep.Nodes < 3:
+		return "degenerate"
+	case ep.Routable < 0.5:
+		return "fragmented"
+	case ep.Centralization >= 0.3:
+		return "star-like"
+	case ep.DegreeGini >= 0.45:
+		return "hub-hierarchy"
+	case ep.MeanDegree >= 5:
+		return "dense-mesh"
+	default:
+		return "sparse-mesh"
+	}
+}

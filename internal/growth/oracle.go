@@ -1,0 +1,150 @@
+package growth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// This file is the differential-testing oracle of the growth engine: the
+// same decision loop, with every piece of incremental machinery replaced
+// by its from-scratch counterpart. Each arrival builds a fresh
+// core.NewJoinEvaluator (a full BFS of the current substrate) and prices
+// through core.ScratchGreedy (a full stats rebuild per probe). The
+// determinism contract says a ReferenceRun must reproduce Run's trace bit
+// for bit — strategies, objectives, utilities — which pins down, in one
+// test, the incremental all-pairs extension, the zero-cost evaluator and
+// the Push/Pop pricing state against their oracle definitions.
+//
+// The oracle is O(n²·(n+m)) per run where the engine is ~O(n) per probe
+// and O(n²) per commit; use it at differential-test sizes only.
+
+// ReferenceRun replays cfg through the from-scratch oracle backend. The
+// rng stream must be seeded identically to the Run being checked.
+func ReferenceRun(cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g, err := seedGraph(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return runLoop(cfg, rng, &oracleBackend{
+		g:       g,
+		params:  cfg.Params,
+		balance: cfg.Balance,
+		demand:  &traffic.Demand{},
+		rates:   map[graph.NodeID]float64{},
+	})
+}
+
+// oracleBackend holds a plain graph plus the demand and λ̂ snapshots;
+// nothing is carried between arrivals except what the contract says is
+// carried (the snapshots).
+type oracleBackend struct {
+	g       *graph.Graph
+	params  core.Params
+	balance float64
+	demand  *traffic.Demand
+	rates   map[graph.NodeID]float64
+}
+
+func (b *oracleBackend) Graph() *graph.Graph { return b.g }
+
+// freshEvaluator builds a from-scratch evaluator for the current
+// substrate: full BFS, padded demand (the snapshot may lag the graph —
+// PairRate treats missing coverage as zero either way), explicit pu.
+func (b *oracleBackend) freshEvaluator(pu []float64, params core.Params) (*core.JoinEvaluator, error) {
+	n := b.g.NumNodes()
+	if pu == nil {
+		pu = make([]float64, n)
+	}
+	ev, err := core.NewJoinEvaluator(b.g, fixedProbs(pu), padDemand(b.demand, n), params)
+	if err != nil {
+		return nil, err
+	}
+	ev.SetFixedRates(b.rates)
+	return ev, nil
+}
+
+func (b *oracleBackend) Refresh(d *traffic.Demand, candidates []graph.NodeID) {
+	b.demand = d
+	ev, err := b.freshEvaluator(nil, b.params)
+	if err != nil {
+		// Refresh cannot fail on a coherent substrate; surface loudly.
+		panic(fmt.Sprintf("growth oracle: refresh evaluator: %v", err))
+	}
+	b.rates = ev.EstimateRates(candidates)
+}
+
+func (b *oracleBackend) Price(pu []float64, params core.Params, cfg core.GreedyConfig) (core.Result, error) {
+	ev, err := b.freshEvaluator(pu, params)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.ScratchGreedy(ev, cfg)
+}
+
+func (b *oracleBackend) Commit(s core.Strategy) (graph.NodeID, error) {
+	u := b.g.AddNode()
+	for _, a := range s {
+		if _, _, err := b.g.AddChannel(u, a.Peer, a.Lock, b.balance); err != nil {
+			return graph.InvalidNode, err
+		}
+	}
+	return u, nil
+}
+
+func (b *oracleBackend) Reattach(v graph.NodeID, s core.Strategy) error {
+	for _, a := range s {
+		if _, _, err := b.g.AddChannel(v, a.Peer, a.Lock, b.balance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *oracleBackend) Close(v graph.NodeID) error {
+	for _, w := range b.g.Neighbors(v) {
+		for b.g.HasEdgeBetween(v, w) || b.g.HasEdgeBetween(w, v) {
+			if err := b.g.RemoveChannel(v, w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AllPairs returns nil: the oracle maintains no incremental structure and
+// skips metric epochs.
+func (b *oracleBackend) AllPairs() *graph.AllPairs { return nil }
+
+// fixedProbs adapts a precomputed recipient distribution to the
+// txdist.Distribution interface, so the oracle's evaluator sees exactly
+// the pu slice the engine's zero-cost evaluator received.
+type fixedProbs []float64
+
+func (p fixedProbs) Name() string { return fmt.Sprintf("fixed(%d)", len(p)) }
+
+func (p fixedProbs) Probs(*graph.Graph, graph.NodeID) []float64 { return p }
+
+// padDemand extends a lagging demand snapshot to n nodes with zero rows,
+// matching PairRate's out-of-coverage-is-zero semantics while satisfying
+// the evaluator constructor's coverage check.
+func padDemand(d *traffic.Demand, n int) *traffic.Demand {
+	if len(d.Rates) == n {
+		return d
+	}
+	padded := &traffic.Demand{
+		P:     append([][]float64(nil), d.P...),
+		Rates: append([]float64(nil), d.Rates...),
+	}
+	for len(padded.Rates) < n {
+		padded.Rates = append(padded.Rates, 0)
+		padded.P = append(padded.P, nil)
+	}
+	return padded
+}
