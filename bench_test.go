@@ -17,6 +17,7 @@ import (
 	"github.com/lightning-creation-games/lcg/internal/game"
 	"github.com/lightning-creation-games/lcg/internal/graph"
 	"github.com/lightning-creation-games/lcg/internal/growth"
+	"github.com/lightning-creation-games/lcg/internal/market"
 	"github.com/lightning-creation-games/lcg/internal/payment"
 	"github.com/lightning-creation-games/lcg/internal/traffic"
 	"github.com/lightning-creation-games/lcg/internal/txdist"
@@ -412,6 +413,74 @@ func BenchmarkGrowArrivals(b *testing.B) {
 			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(arrivals), "µs/join")
 		})
 	}
+}
+
+// benchMarketConfig is the market-benchmark base: a BA(512,2) substrate
+// (the n=512 acceptance size), preferential candidates, fixed-rate
+// pricing, uniform demand snapshots, quotes refreshed every tick.
+func benchMarketConfig(batch, ticks int) market.Config {
+	cfg := market.DefaultConfig()
+	cfg.SeedSize = 512
+	cfg.SeedParam = 2
+	cfg.Batch = batch
+	cfg.Ticks = ticks
+	cfg.Candidates = 16
+	cfg.BudgetMin, cfg.BudgetMax = 3, 8
+	cfg.RateMin, cfg.RateMax = 0.5, 1.5
+	cfg.RefreshTicks = 1
+	cfg.Uniform = true
+	return cfg
+}
+
+// BenchmarkMarketTick measures the batch channel-market engine end to
+// end at n=512: one tick pricing `batch` concurrent join bids against a
+// shared frozen quote, resolved in up to 3 re-price rounds and folded
+// in through the incremental commit path. The derived metric is mean µs
+// per bid — compare against BenchmarkMarketPerBid, the per-bid
+// sequential baseline that re-quotes (demand + λ̂ refresh) before every
+// single bid exactly as a sequential arrival process must. Batching
+// amortizes the O(n²) quote maintenance across the whole tick and lets
+// the pricing fan out across cores; batch=256 must clear ≥3× the
+// sequential baseline's throughput.
+func BenchmarkMarketTick(b *testing.B) {
+	for _, batch := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			cfg := benchMarketConfig(batch, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := market.Run(cfg, rand.New(rand.NewSource(1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Admitted != batch {
+					b.Fatalf("admitted %d bids, want %d", res.Admitted, batch)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(batch), "µs/bid")
+		})
+	}
+}
+
+// BenchmarkMarketPerBid is the sequential baseline BenchmarkMarketTick
+// is measured against: the same 256 bids priced one at a time — ticks
+// of batch 1, each paying its own demand/λ̂ re-quote against the live
+// substrate, the way a sequential arrival stream prices joins.
+func BenchmarkMarketPerBid(b *testing.B) {
+	const bids = 256
+	cfg := benchMarketConfig(1, bids)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := market.Run(cfg, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Admitted != bids {
+			b.Fatalf("admitted %d bids, want %d", res.Admitted, bids)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(bids), "µs/bid")
 }
 
 // BenchmarkGrowArrivalsRebuild is the baseline the commit path is

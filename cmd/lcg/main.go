@@ -8,6 +8,8 @@
 //	lcg join        [flags]                                price and optimise a join
 //	lcg stability   [flags]                                audit star/path/circle equilibria
 //	lcg simulate    [flags]                                replay a Poisson workload
+//	lcg grow        [flags]                                grow a network by sequential arrivals
+//	lcg market      [flags]                                run a batch channel-market auction
 package main
 
 import (
@@ -47,6 +49,8 @@ func run(args []string, w io.Writer) error {
 		return runDynamics(args[1:], w)
 	case "grow":
 		return runGrow(args[1:], w)
+	case "market":
+		return runMarket(args[1:], w)
 	case "network":
 		return runNetwork(args[1:], w)
 	case "help", "-h", "--help":
@@ -71,6 +75,7 @@ commands:
   simulate    [flags]                    replay a Poisson workload over live channels
   dynamics    [flags]                    run best-response dynamics to an equilibrium
   grow        [flags]                    grow a network through sequential selfish arrivals
+  market      [flags]                    run a batch channel-market auction over join bids
   network     [flags]                    generate a topology and write it as JSON
 
 run 'lcg <command> -h' for command flags`)
@@ -419,6 +424,69 @@ func runGrow(args []string, w io.Writer) error {
 		last.Class, last.Nodes, last.Channels, report.Departures, report.Rewires)
 	fmt.Fprintf(w, "pricing: %d evaluations over %d joins; wall %.0f ms (%.2f ms/join)\n",
 		report.Evaluations, report.Joins, report.WallMS, report.WallMS/float64(max(report.Joins, 1)))
+	return nil
+}
+
+func runMarket(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("market", flag.ContinueOnError)
+	var (
+		topology   = fs.String("topology", "ba", "seed topology: empty|star|er|ba")
+		seedSize   = fs.Int("n", 12, "seed topology size")
+		ticks      = fs.Int("ticks", 8, "auction ticks to run")
+		batch      = fs.Int("batch", 64, "join bids per tick")
+		rounds     = fs.Int("rounds", 3, "re-price rounds per tick (1 = one-shot auction)")
+		candidates = fs.Int("candidates", 16, "candidate peers per bid (0 = all)")
+		attach     = fs.String("attach", "preferential", "candidate process: uniform|preferential")
+		reserve    = fs.Float64("reserve", 0, "reserve utility; bids priced below it withdraw (0 = off)")
+		refresh    = fs.Int("refresh", 1, "quote (demand/λ̂) refresh cadence in ticks")
+		uniform    = fs.Bool("uniform", false, "uniform transaction model instead of modified Zipf")
+		s          = fs.Float64("s", 1, "modified-Zipf scale parameter")
+		parallel   = fs.Int("parallel", 0, "pricing workers (0 = all cores); output is identical at any setting")
+		seed       = fs.Int64("seed", 1, "random seed; runs are bit-reproducible per seed")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *attach != "uniform" && *attach != "preferential" {
+		return fmt.Errorf("unknown attach process %q (uniform|preferential)", *attach)
+	}
+	cfg := lcg.MarketConfig{
+		Topology:     *topology,
+		SeedSize:     *seedSize,
+		Ticks:        *ticks,
+		Batch:        *batch,
+		MaxRounds:    *rounds,
+		Candidates:   *candidates,
+		Preferential: *attach == "preferential",
+		RefreshTicks: *refresh,
+		Uniform:      *uniform,
+		ZipfS:        *s,
+		Parallelism:  *parallel,
+		Seed:         *seed,
+	}
+	if *reserve != 0 {
+		cfg.Reserve = true
+		cfg.ReserveMin, cfg.ReserveMax = *reserve, *reserve
+	}
+	report, err := lcg.Market(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "market: %s seed n=%d, %d ticks × %d bids (%s candidates), %d re-price rounds\n",
+		*topology, *seedSize, *ticks, *batch, *attach, *rounds)
+	fmt.Fprintln(w, "tick  nodes  channels  admit  wdraw  defer  reprice  meanregret  maxregret  gini   central  diam  eff    class")
+	for _, ts := range report.Ticks {
+		fmt.Fprintf(w, "%-5d %-6d %-9d %-6d %-6d %-6d %-8d %-11.4f %-10.4f %-6.3f %-8.3f %-5d %-6.3f %s\n",
+			ts.Tick, ts.Nodes, ts.Channels, ts.Admitted, ts.Withdrawn, ts.Deferrals, ts.Repricings,
+			ts.MeanRegret, ts.MaxRegret, ts.DegreeGini, ts.Centralization, ts.Diameter, ts.Efficiency, ts.Class)
+	}
+	last := report.Ticks[len(report.Ticks)-1]
+	fmt.Fprintf(w, "final: %s — %d nodes, %d channels; %d admitted, %d withdrawn, %d deferrals, %d repricings\n",
+		last.Class, last.Nodes, last.Channels, report.Admitted, report.Withdrawn, report.Deferrals, report.Repricings)
+	bids := report.Admitted + report.Withdrawn
+	fmt.Fprintf(w, "pricing: %d evaluations over %d bids; wall %.0f ms (%.2f ms/bid)\n",
+		report.Evaluations, bids, report.WallMS, report.WallMS/float64(max(bids, 1)))
 	return nil
 }
 

@@ -168,6 +168,64 @@ func TestDynamicsCommand(t *testing.T) {
 	}
 }
 
+func TestGrowCommand(t *testing.T) {
+	out, err := runCLI(t, "grow", "-topology", "ba", "-n", "10", "-arrivals", "40", "-candidates", "6")
+	if err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if !strings.Contains(out, "final:") || !strings.Contains(out, "pricing:") {
+		t.Fatalf("grow output: %s", out)
+	}
+	if _, err := runCLI(t, "grow", "-topology", "torus"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := runCLI(t, "grow", "-attach", "magnetic"); err == nil {
+		t.Fatal("unknown attach process accepted")
+	}
+}
+
+func TestMarketCommand(t *testing.T) {
+	out, err := runCLI(t, "market", "-topology", "ba", "-n", "10", "-ticks", "2", "-batch", "12", "-candidates", "6")
+	if err != nil {
+		t.Fatalf("market: %v", err)
+	}
+	for _, want := range []string{"market: ba seed", "tick", "final:", "pricing:", "admitted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("market output missing %q:\n%s", want, out)
+		}
+	}
+	// The same seed replays byte-identically at a different worker
+	// count, wall-time lines aside.
+	a, err := runCLI(t, "market", "-ticks", "2", "-batch", "8", "-parallel", "1")
+	if err != nil {
+		t.Fatalf("market serial: %v", err)
+	}
+	b, err := runCLI(t, "market", "-ticks", "2", "-batch", "8", "-parallel", "4")
+	if err != nil {
+		t.Fatalf("market parallel: %v", err)
+	}
+	if cut := func(s string) string { return s[:strings.Index(s, "pricing:")] }; cut(a) != cut(b) {
+		t.Fatalf("-parallel 4 market output diverges from -parallel 1:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	// An unmeetable reserve withdraws everything.
+	out, err = runCLI(t, "market", "-ticks", "1", "-batch", "6", "-reserve", "1000000")
+	if err != nil {
+		t.Fatalf("market reserve: %v", err)
+	}
+	if !strings.Contains(out, "6 withdrawn") {
+		t.Fatalf("reserve output: %s", out)
+	}
+	if _, err := runCLI(t, "market", "-topology", "torus"); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := runCLI(t, "market", "-attach", "magnetic"); err == nil {
+		t.Fatal("unknown attach process accepted")
+	}
+	if _, err := runCLI(t, "market", "-ticks", "-1"); err == nil {
+		t.Fatal("negative tick count accepted")
+	}
+}
+
 func TestNetworkCommandAndFileLoading(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/net.json"

@@ -65,10 +65,32 @@ func TestGrowFacadeDeterministicPerSeed(t *testing.T) {
 }
 
 func TestGrowFacadeRejectsBadInput(t *testing.T) {
-	if _, err := Grow(GrowConfig{Topology: "torus"}); !errors.Is(err, ErrBadInput) {
-		t.Fatalf("error = %v, want ErrBadInput", err)
+	cases := []GrowConfig{
+		{Topology: "torus"},
+		{Arrivals: 10, ChurnRate: 2},
+		{Arrivals: -1},
+		{Topology: "star", SeedSize: 1},            // a 1-node star has no leaves
+		{Arrivals: 5, Params: &Params{}},           // zero OnChainCost is invalid
+		{Arrivals: 5, BudgetMin: -2, BudgetMax: 4}, // negative budgets are uninterpretable
 	}
-	if _, err := Grow(GrowConfig{Arrivals: 10, ChurnRate: 2}); !errors.Is(err, ErrBadInput) {
-		t.Fatalf("error = %v, want ErrBadInput", err)
+	for i, cfg := range cases {
+		if _, err := Grow(cfg); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("case %d (%+v): error = %v, want ErrBadInput", i, cfg, err)
+		}
+	}
+}
+
+// TestGrowFacadeZeroArrivals: a zero-arrival run is valid and reports a
+// single epoch describing the untouched seed.
+func TestGrowFacadeZeroArrivals(t *testing.T) {
+	report, err := Grow(GrowConfig{Topology: "star", SeedSize: 8, Arrivals: 0, Seed: 1})
+	if err != nil {
+		t.Fatalf("Grow: %v", err)
+	}
+	if report.Joins != 0 || report.Final.NumUsers() != 8 {
+		t.Fatalf("zero-arrival run mutated state: %d joins, %d users", report.Joins, report.Final.NumUsers())
+	}
+	if len(report.Epochs) != 1 || report.Epochs[0].Nodes != 8 {
+		t.Fatalf("epochs = %+v, want one 8-node snapshot", report.Epochs)
 	}
 }

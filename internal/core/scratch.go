@@ -212,6 +212,15 @@ func (e *JoinEvaluator) scratchSimplified(s Strategy, model RevenueModel) float6
 	return e.scratchRevenue(s, model) - e.scratchFees(s)
 }
 
+// ScratchSimplified evaluates U'(S) through the from-scratch stats
+// rebuild — the oracle path differential suites price against. Like every
+// scratch method it leaves the evaluation counter alone: oracles are
+// free. The market oracle (internal/market) uses it to reproduce the
+// engine's realized-objective (regret) measurements bit for bit.
+func (e *JoinEvaluator) ScratchSimplified(s Strategy, model RevenueModel) float64 {
+	return e.scratchSimplified(s, model)
+}
+
 // ScratchGreedy is the oracle version of Greedy: the same Algorithm 1
 // selection loop, with every marginal probe priced through the
 // from-scratch stats rebuild instead of the incremental state. It exists

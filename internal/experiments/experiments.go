@@ -158,6 +158,9 @@ func All() []Spec {
 		{ID: "G1", Title: "growth: arrival-process comparison (uniform vs preferential)", Run: G1Arrivals},
 		{ID: "G2", Title: "growth: churn sensitivity (departures + rewiring)", Run: G2Churn},
 		{ID: "G3", Title: "growth: emergent-topology classification at n=500/2000", Run: G3Emergent},
+		{ID: "M1", Title: "market: batch width vs welfare and centralization", Run: M1Batch},
+		{ID: "M2", Title: "market: snapshot staleness — re-price rounds vs regret", Run: M2Staleness},
+		{ID: "M3", Title: "market: batch market vs sequential arrival at n=2000", Run: M3MarketVsSequential},
 	}
 }
 

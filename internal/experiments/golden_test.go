@@ -62,8 +62,8 @@ func TestGolden(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
-			if testing.Short() && spec.ID == "G3" {
-				t.Skip("G3's n=2000 flagship row in -short mode")
+			if testing.Short() && (spec.ID == "G3" || spec.ID == "M3") {
+				t.Skip("n=2000 flagship rows in -short mode")
 			}
 			t.Parallel()
 			tbl, err := spec.Run(NewCtx(Options{Seed: 1, Parallelism: 2}))
@@ -112,8 +112,20 @@ func TestGoldenCorpusComplete(t *testing.T) {
 		name := spec.ID + "_seed1.txt"
 		if !files[name] {
 			t.Errorf("experiment %s has no golden table %s", spec.ID, name)
+			continue
 		}
 		delete(files, name)
+		// A golden file must actually pin its experiment: non-empty, and
+		// headed by the id it is named for (catches copy-paste goldens
+		// committed for a freshly added experiment).
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+		if err != nil {
+			t.Errorf("golden table %s unreadable: %v", name, err)
+			continue
+		}
+		if want := "== " + spec.ID + ":"; !bytes.HasPrefix(data, []byte(want)) {
+			t.Errorf("golden table %s does not open with %q", name, want)
+		}
 	}
 	for stale := range files {
 		t.Errorf("stale golden table %s matches no experiment id", stale)

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// TestMarketParallelismSweep is the market engine's race-safety
+// regression at the table level: the M-series tables must render
+// byte-identically at parallelism 1, 4 and 8. Unlike the G-series sweep
+// this exercises two nested parallel layers — the per-cell fan-out AND
+// the market's internal concurrent bid pricing, whose worker bound
+// follows the context's — so run with -race it proves the frozen-
+// snapshot pricing discipline holds end to end.
+//
+// M3 joins the sweep only outside -short (its rows are n=2000 flagship
+// runs); its cells use the identical runMarket/SubRand pattern
+// exercised here, and the golden harness pins its output.
+func TestMarketParallelismSweep(t *testing.T) {
+	ids := []string{"M1", "M2"}
+	if !testing.Short() {
+		ids = append(ids, "M3")
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var want string
+			for _, workers := range []int{1, 4, 8} {
+				tbl, err := NewRunner(Options{Seed: 5, Parallelism: workers}).Run(id)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := tbl.Render(&buf); err != nil {
+					t.Fatalf("render: %v", err)
+				}
+				if want == "" {
+					want = buf.String()
+					continue
+				}
+				if buf.String() != want {
+					t.Fatalf("workers=%d output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						workers, want, buf.String())
+				}
+			}
+		})
+	}
+}
+
+// TestMarketTableShapes sanity-checks the M-series structure without
+// the flagship run: row counts, key columns, and the monotone
+// re-pricing shape M2 exists to show.
+func TestMarketTableShapes(t *testing.T) {
+	tbl, err := NewRunner(Options{Seed: 2, Parallelism: 0}).Run("M1")
+	if err != nil {
+		t.Fatalf("M1: %v", err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("M1 rows = %d, want 8", len(tbl.Rows))
+	}
+	batchCol := columnIndex(t, tbl, "batch")
+	admittedCol := columnIndex(t, tbl, "admitted")
+	for _, row := range tbl.Rows {
+		if row[admittedCol] != "256" {
+			t.Fatalf("M1 row admitted %s bids, want 256 (reserves are off): %v", row[admittedCol], row)
+		}
+	}
+	if tbl.Rows[0][batchCol] != "1" {
+		t.Fatalf("M1 first batch cell = %q", tbl.Rows[0][batchCol])
+	}
+
+	tbl, err = NewRunner(Options{Seed: 2, Parallelism: 0}).Run("M2")
+	if err != nil {
+		t.Fatalf("M2: %v", err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("M2 rows = %d, want 8", len(tbl.Rows))
+	}
+	roundsCol := columnIndex(t, tbl, "rounds")
+	repricedCol := columnIndex(t, tbl, "repriced")
+	// One-shot auctions never re-price; deeper budgets may.
+	for _, row := range tbl.Rows {
+		if row[roundsCol] == "1" && row[repricedCol] != "0" {
+			t.Fatalf("M2 one-round row re-priced %s bids: %v", row[repricedCol], row)
+		}
+	}
+	// Evaluations per bid must be non-decreasing in the round budget for
+	// a fixed seed: re-pricing only ever adds work.
+	evalsCol := columnIndex(t, tbl, "evals/bid")
+	seedCol := columnIndex(t, tbl, "seed")
+	prev := map[string]float64{}
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[evalsCol], 64)
+		if err != nil {
+			t.Fatalf("M2 evals/bid cell %q: %v", row[evalsCol], err)
+		}
+		if p, ok := prev[row[seedCol]]; ok && v < p {
+			t.Fatalf("M2 evals/bid fell from %v to %v as rounds grew: %v", p, v, row)
+		}
+		prev[row[seedCol]] = v
+	}
+}

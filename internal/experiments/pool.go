@@ -1,84 +1,18 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "github.com/lightning-creation-games/lcg/internal/par"
 
-// Pool bounds the number of goroutines used by experiment inner loops and
-// by the runner when it executes several experiments at once.
-//
-// A Pool holds no long-lived goroutines: every ForEach/collect call spins
-// up at most Workers() goroutines and tears them down before returning,
-// so pools may be nested (the runner's outer loop and an experiment's
-// inner loop each bound their own fan-out) without any risk of deadlock.
-type Pool struct {
-	workers int
-}
+// Pool is the bounded, determinism-preserving worker pool the experiment
+// engine fans out on. The implementation lives in internal/par so that
+// the engines experiments drive (internal/market's concurrent bid
+// pricing) share one pool substrate; the alias keeps every experiment
+// call site unchanged.
+type Pool = par.Pool
 
 // NewPool returns a pool running at most parallelism tasks at once; a
 // value ≤ 0 selects runtime.GOMAXPROCS(0). A one-worker pool executes
 // everything inline in index order.
-func NewPool(parallelism int) *Pool {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	return &Pool{workers: parallelism}
-}
-
-// Workers returns the concurrency bound.
-func (p *Pool) Workers() int {
-	if p == nil || p.workers < 1 {
-		return 1
-	}
-	return p.workers
-}
-
-// ForEach runs fn(i) for every i in [0, n) with at most Workers()
-// invocations in flight. After the first observed failure no further
-// items are launched (in-flight items finish), and the error of the
-// lowest failing index among the items that ran is returned. Work items
-// must be independent of each other: results may only flow out through
-// index-addressed slots (slices indexed by i), never through shared
-// accumulators, which is what keeps every caller bit-for-bit identical
-// to its serial execution.
-func (p *Pool) ForEach(n int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if p.Workers() == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	sem := make(chan struct{}, p.Workers())
-	var wg sync.WaitGroup
-	var failed atomic.Bool
-	for i := 0; i < n && !failed.Load(); i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				errs[i] = err
-				failed.Store(true)
-			}
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func NewPool(parallelism int) *Pool { return par.NewPool(parallelism) }
 
 // addRows runs fn over [0, n) on the pool and appends the returned rows
 // to t in index order. A nil row with a nil error skips that item — the
@@ -100,17 +34,5 @@ func addRows(t *Table, p *Pool, n int, fn func(i int) ([]any, error)) error {
 // collect runs fn over [0, n) on the pool and returns the results in
 // index order, so the output is independent of scheduling.
 func collect[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := p.ForEach(n, func(i int) error {
-		v, err := fn(i)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return par.Collect(p, n, fn)
 }

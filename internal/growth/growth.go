@@ -25,6 +25,7 @@ package growth
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/lightning-creation-games/lcg/internal/core"
@@ -145,6 +146,18 @@ func (cfg *Config) normalize() error {
 	}
 	if cfg.ChurnRate < 0 || cfg.ChurnRate > 1 {
 		return fmt.Errorf("%w: churn rate %v", ErrBadConfig, cfg.ChurnRate)
+	}
+	for _, r := range [][2]float64{
+		{cfg.BudgetMin, cfg.BudgetMax},
+		{cfg.LockMin, cfg.LockMax},
+		{cfg.RateMin, cfg.RateMax},
+	} {
+		if r[0] < 0 || math.IsNaN(r[0]) {
+			return fmt.Errorf("%w: negative joiner profile bound %v", ErrBadConfig, r[0])
+		}
+		if r[1] < r[0] {
+			return fmt.Errorf("%w: inverted joiner profile range [%v, %v]", ErrBadConfig, r[0], r[1])
+		}
 	}
 	if cfg.RewireEvery > 0 && cfg.RewireCount <= 0 {
 		cfg.RewireCount = 1
@@ -296,35 +309,44 @@ func (b *sessionBackend) AllPairs() *graph.AllPairs { return b.gs.AllPairs() }
 // seedGraph builds the seed topology. Random seeds consume rng, so the
 // engine and the oracle grow identical substrates from a shared stream.
 func seedGraph(cfg Config, rng *rand.Rand) (*graph.Graph, error) {
-	n := cfg.SeedSize
-	switch cfg.Seed {
+	return BuildSeed(cfg.Seed, cfg.SeedSize, cfg.SeedParam, cfg.Balance, rng)
+}
+
+// BuildSeed constructs a seed topology by kind: the substrate a growth
+// run — or a channel-market run (internal/market) — starts from. param is
+// the ER edge probability or the BA attachment count (out-of-range values
+// select the kind's default). Random kinds consume rng, so engines and
+// their differential oracles grow identical substrates from a shared
+// stream.
+func BuildSeed(kind SeedKind, n int, param, balance float64, rng *rand.Rand) (*graph.Graph, error) {
+	switch kind {
 	case SeedEmpty:
 		return graph.New(0), nil
 	case SeedStar:
 		if n < 2 {
 			return nil, fmt.Errorf("%w: star seed needs ≥ 2 nodes", ErrBadConfig)
 		}
-		return graph.Star(n-1, cfg.Balance), nil
+		return graph.Star(n-1, balance), nil
 	case SeedER:
 		if n < 2 {
 			return nil, fmt.Errorf("%w: er seed needs ≥ 2 nodes", ErrBadConfig)
 		}
-		p := cfg.SeedParam
+		p := param
 		if p <= 0 || p > 1 {
 			p = 0.3
 		}
-		return graph.ConnectedErdosRenyi(n, p, cfg.Balance, rng, 50), nil
+		return graph.ConnectedErdosRenyi(n, p, balance, rng, 50), nil
 	case SeedBA:
-		m := int(cfg.SeedParam)
+		m := int(param)
 		if m < 1 {
 			m = 2
 		}
 		if n < m+1 {
 			return nil, fmt.Errorf("%w: ba seed needs ≥ m+1 nodes", ErrBadConfig)
 		}
-		return graph.BarabasiAlbert(n, m, cfg.Balance, rng), nil
+		return graph.BarabasiAlbert(n, m, balance, rng), nil
 	}
-	return nil, fmt.Errorf("%w: seed topology %q", ErrBadConfig, cfg.Seed)
+	return nil, fmt.Errorf("%w: seed topology %q", ErrBadConfig, kind)
 }
 
 // runLoop is the shared decision loop. Per arrival, in this exact order:
@@ -467,14 +489,19 @@ func drawProfile(cfg Config, rng *rand.Rand) profile {
 	}
 }
 
-// drawUniform draws from [lo, hi]; a degenerate interval pins the value
+// DrawUniform draws from [lo, hi]; a degenerate interval pins the value
 // without consuming randomness, so pinned configs replay faster streams.
-func drawUniform(rng *rand.Rand, lo, hi float64) float64 {
+// Shared by the growth and market engines so joiner/bidder profile draws
+// consume identical streams across engines and oracles.
+func DrawUniform(rng *rand.Rand, lo, hi float64) float64 {
 	if hi <= lo {
 		return lo
 	}
 	return lo + rng.Float64()*(hi-lo)
 }
+
+// drawUniform is the package-internal spelling of DrawUniform.
+func drawUniform(rng *rand.Rand, lo, hi float64) float64 { return DrawUniform(rng, lo, hi) }
 
 // drawCandidates samples the candidate peer set offered to one joiner:
 // cfg.Candidates distinct alive nodes (excluding exclude), uniformly or
@@ -487,13 +514,22 @@ func drawCandidates(cfg Config, rng *rand.Rand, g *graph.Graph, alive []graph.No
 			pool = append(pool, v)
 		}
 	}
-	k := cfg.Candidates
+	return SampleCandidates(rng, g, pool, cfg.Candidates, cfg.Attach == AttachPreferential)
+}
+
+// SampleCandidates draws k distinct candidate peers from pool, uniformly
+// or proportionally to degree+1 (the gossip-visibility model behind
+// Barabási–Albert growth, §I). The pool slice is consumed (reordered and
+// truncated); when it is no larger than the quota — or k ≤ 0 — the whole
+// pool is offered without consuming randomness. Both the growth engine's
+// arrival loop and the market engine's bid draw sample through this one
+// function, so their candidate streams replay identically.
+func SampleCandidates(rng *rand.Rand, g *graph.Graph, pool []graph.NodeID, k int, preferential bool) []graph.NodeID {
 	if k <= 0 || k >= len(pool) {
 		return pool
 	}
 	chosen := make([]graph.NodeID, 0, k)
-	switch cfg.Attach {
-	case AttachPreferential:
+	if preferential {
 		weights := make([]float64, len(pool))
 		total := 0.0
 		for i, v := range pool {
@@ -515,7 +551,7 @@ func drawCandidates(cfg Config, rng *rand.Rand, g *graph.Graph, alive []graph.No
 			pool = append(pool[:idx], pool[idx+1:]...)
 			weights = append(weights[:idx], weights[idx+1:]...)
 		}
-	default: // uniform: partial Fisher-Yates
+	} else { // uniform: partial Fisher-Yates
 		for i := 0; i < k; i++ {
 			j := i + rng.Intn(len(pool)-i)
 			pool[i], pool[j] = pool[j], pool[i]
@@ -531,7 +567,19 @@ func drawCandidates(cfg Config, rng *rand.Rand, g *graph.Graph, alive []graph.No
 // ordering — the joiner's view of the gossip layer lags reality the same
 // way the demand snapshot does.
 func joinProbs(g *graph.Graph, u graph.NodeID, dist txdist.Distribution, departed []bool) []float64 {
+	return JoinProbs(g, u, dist, departed)
+}
+
+// JoinProbs returns the recipient distribution of one joiner (or rewired
+// node u; graph.InvalidNode for a fresh arrival) over the current
+// substrate. A non-nil departed mask zeroes departed recipients and
+// renormalizes the mass; nil means every node is alive (the market
+// engine's setting — its substrate has no churn).
+func JoinProbs(g *graph.Graph, u graph.NodeID, dist txdist.Distribution, departed []bool) []float64 {
 	probs := dist.Probs(g, u)
+	if departed == nil {
+		return probs
+	}
 	var total float64
 	for v := range probs {
 		if departed[v] {
@@ -547,22 +595,31 @@ func joinProbs(g *graph.Graph, u graph.NodeID, dist txdist.Distribution, departe
 	return probs
 }
 
-// buildDemand materialises the existing-user demand snapshot: every alive
-// node emits one transaction per time unit under the run's distribution;
-// departed nodes neither emit nor receive (their rows are zeroed and
-// their columns masked with rows renormalized).
+// buildDemand is the package-internal spelling of BuildDemand.
 func buildDemand(g *graph.Graph, dist txdist.Distribution, departed []bool) *traffic.Demand {
+	return BuildDemand(g, dist, departed)
+}
+
+// BuildDemand materialises the existing-user demand snapshot: every alive
+// node emits one transaction per time unit under the run's distribution.
+// With a non-nil departed mask, departed nodes neither emit nor receive
+// (their rows are zeroed and their columns masked with rows
+// renormalized); nil means every node is alive.
+func BuildDemand(g *graph.Graph, dist txdist.Distribution, departed []bool) *traffic.Demand {
 	n := g.NumNodes()
 	p := txdist.Matrix(g, dist)
 	rates := make([]float64, n)
 	for s := 0; s < n; s++ {
-		if departed[s] {
+		if departed != nil && departed[s] {
 			for r := range p[s] {
 				p[s][r] = 0
 			}
 			continue
 		}
 		rates[s] = 1
+		if departed == nil {
+			continue
+		}
 		var total float64
 		for r := range p[s] {
 			if departed[r] {

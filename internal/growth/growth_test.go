@@ -237,6 +237,9 @@ func TestGrowthConfigValidation(t *testing.T) {
 		func(c *Config) { c.Seed = "torus" },
 		func(c *Config) { c.Params.OnChainCost = 0 },
 		func(c *Config) { c.Seed = SeedStar; c.SeedSize = 1 },
+		func(c *Config) { c.BudgetMin = -1 },
+		func(c *Config) { c.BudgetMin, c.BudgetMax = 10, 5 },
+		func(c *Config) { c.LockMin, c.LockMax = 2, 1 },
 	}
 	for i, mutate := range bad {
 		cfg := DefaultConfig()

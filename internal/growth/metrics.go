@@ -46,9 +46,16 @@ type Epoch struct {
 	Class string
 }
 
-// computeEpoch scans the live all-pairs structure restricted to the alive
-// nodes: one O(a²) pass for distances plus an O(a log a) degree sort.
+// computeEpoch is the package-internal spelling of ComputeEpoch.
 func computeEpoch(g *graph.Graph, ap *graph.AllPairs, alive []graph.NodeID, arrival int) Epoch {
+	return ComputeEpoch(g, ap, alive, arrival)
+}
+
+// ComputeEpoch scans the live all-pairs structure restricted to the alive
+// nodes: one O(a²) pass for distances plus an O(a log a) degree sort. The
+// market engine reuses it for per-tick snapshots (Arrival then counts
+// ticks), so growth and market tables report comparable metrics.
+func ComputeEpoch(g *graph.Graph, ap *graph.AllPairs, alive []graph.NodeID, arrival int) Epoch {
 	ep := Epoch{Arrival: arrival, Nodes: len(alive)}
 	degrees := make([]int, 0, len(alive))
 	totalDeg := 0

@@ -122,19 +122,29 @@ func (b *oracleBackend) Close(v graph.NodeID) error {
 // skips metric epochs.
 func (b *oracleBackend) AllPairs() *graph.AllPairs { return nil }
 
-// fixedProbs adapts a precomputed recipient distribution to the
-// txdist.Distribution interface, so the oracle's evaluator sees exactly
-// the pu slice the engine's zero-cost evaluator received.
-type fixedProbs []float64
+// fixedProbs is the package-internal spelling of FixedProbs.
+type fixedProbs = FixedProbs
 
-func (p fixedProbs) Name() string { return fmt.Sprintf("fixed(%d)", len(p)) }
+// FixedProbs adapts a precomputed recipient distribution to the
+// txdist.Distribution interface, so an oracle's from-scratch evaluator
+// sees exactly the pu slice the engine's zero-cost evaluator received.
+// Shared with the market oracle (internal/market).
+type FixedProbs []float64
 
-func (p fixedProbs) Probs(*graph.Graph, graph.NodeID) []float64 { return p }
+// Name identifies the adapted distribution.
+func (p FixedProbs) Name() string { return fmt.Sprintf("fixed(%d)", len(p)) }
 
-// padDemand extends a lagging demand snapshot to n nodes with zero rows,
+// Probs returns the wrapped slice verbatim.
+func (p FixedProbs) Probs(*graph.Graph, graph.NodeID) []float64 { return p }
+
+// padDemand is the package-internal spelling of PadDemand.
+func padDemand(d *traffic.Demand, n int) *traffic.Demand { return PadDemand(d, n) }
+
+// PadDemand extends a lagging demand snapshot to n nodes with zero rows,
 // matching PairRate's out-of-coverage-is-zero semantics while satisfying
-// the evaluator constructor's coverage check.
-func padDemand(d *traffic.Demand, n int) *traffic.Demand {
+// the evaluator constructor's coverage check. Shared with the market
+// oracle (internal/market).
+func PadDemand(d *traffic.Demand, n int) *traffic.Demand {
 	if len(d.Rates) == n {
 		return d
 	}

@@ -1,0 +1,63 @@
+package market
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/growth"
+)
+
+// FuzzMarketMatchesReference fuzzes the differential contract: an
+// arbitrary (seed, config-bytes) pair must produce bit-identical bid
+// traces from the concurrent batch engine and the sequential
+// from-scratch oracle. The config bytes steer every discrete knob —
+// seed topology, batch size, re-price budget, reserves, candidate
+// process, refresh cadence, revenue model — so the fuzzer explores
+// interaction corners the table-driven tests do not enumerate. The
+// engine side runs at parallelism 4, so a fuzz session under -race also
+// hunts pricing races.
+func FuzzMarketMatchesReference(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(4), uint8(1), uint8(0), false)
+	f.Add(int64(2), uint8(1), uint8(7), uint8(3), uint8(5), false)
+	f.Add(int64(3), uint8(2), uint8(1), uint8(2), uint8(9), true)
+	f.Add(int64(4), uint8(3), uint8(12), uint8(5), uint8(2), false)
+	f.Fuzz(func(t *testing.T, seed int64, topo, batch, rounds, knobs uint8, exact bool) {
+		cfg := DefaultConfig()
+		cfg.Seed = []growth.SeedKind{growth.SeedEmpty, growth.SeedStar, growth.SeedER, growth.SeedBA}[int(topo)%4]
+		cfg.SeedSize = 4 + int(topo)%5
+		cfg.SeedParam = 0.35
+		if cfg.Seed == growth.SeedBA {
+			cfg.SeedParam = 1 + float64(int(topo)%2)
+		}
+		cfg.Ticks = 1 + int(knobs)%3
+		cfg.Batch = 1 + int(batch)%12
+		cfg.MaxRounds = 1 + int(rounds)%5
+		cfg.Candidates = 2 + int(knobs)%6
+		cfg.Preferential = knobs%3 == 0
+		cfg.BudgetMin, cfg.BudgetMax = 2, 2+float64(knobs%5)
+		cfg.LockMin, cfg.LockMax = 0.5, 0.5+float64(knobs%3)
+		cfg.RateMin, cfg.RateMax = 1, 1+float64(knobs%2)
+		cfg.Reserve = knobs%2 == 1
+		cfg.ReserveMin, cfg.ReserveMax = -2, float64(knobs%4)-1
+		cfg.RefreshTicks = 1 + int(knobs)%3
+		cfg.Uniform = rounds%2 == 0
+		cfg.Parallelism = 4
+		if exact {
+			cfg.Model = core.RevenueExact
+			if cfg.Batch > 6 {
+				cfg.Batch = 6 // exact-model oracle is O(n³) per pricing
+			}
+		}
+		got, err := Run(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Skipf("config rejected: %v", err)
+		}
+		want, err := ReferenceMarket(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("oracle rejected a config the engine accepted: %v", err)
+		}
+		requireSameTrace(t, "fuzz", got, want)
+		requireSameGraph(t, "fuzz", got.Final, want.Final)
+	})
+}

@@ -1,0 +1,587 @@
+// Package market is the batch channel-market engine: a tick-based
+// auction that prices many concurrent join bids per tick, the
+// heavy-traffic shape of a production channel marketplace (Lightning
+// Pool matches and prices batches of channel leases per epoch) layered
+// over the paper's Algorithm 1.
+//
+// Each tick collects a batch of bids — profile-drawn joiners with
+// budgets, locks, transaction rates and optional reserve utilities —
+// and resolves them in bounded re-pricing rounds:
+//
+//  1. Price. Every pending bid runs Algorithm 1 against the *same
+//     frozen snapshot* (the substrate, demand and λ̂ tables at round
+//     start). Pricings are independent, so the engine fans them out
+//     over a bounded worker pool of zero-cost evaluators sharing the
+//     session's live all-pairs structure (core.GrowSession.Evaluator);
+//     results land in bid-indexed slots, keeping the outcome
+//     bit-identical at any parallelism.
+//  2. Withdraw. A bid whose priced objective falls below its drawn
+//     reserve utility leaves the auction.
+//  3. Resolve. Surviving bids are ranked by priced objective
+//     (descending, bid index breaking ties) and committed in rank
+//     order. A bid whose strategy shares a peer with a strategy already
+//     committed this round is deferred to the next round for
+//     re-pricing — its quote is stale where it matters most. The final
+//     round commits everything, stale or not.
+//
+// Commits fold winners into the live substrate through the incremental
+// commit path (core.GrowSession.Commit → graph.ExtendWithNode, one
+// O(n²) pass per winner). At each commit the engine also measures the
+// bid's *realized* objective against the pre-commit substrate; the
+// difference to the as-priced objective is the bid's regret — the price
+// of snapshot staleness, which the M2 experiment trades off against
+// re-pricing rounds.
+//
+// Determinism contract: a Run is a pure function of (Config, rng
+// stream), byte-identical across machines and at any Parallelism. Every
+// decision — strategies, objectives, utilities, regrets, outcomes — is
+// bit-identical to ReferenceMarket, the from-scratch sequential oracle
+// that replays the identical rng stream one bid at a time (fresh
+// core.NewJoinEvaluator + core.ScratchGreedy per pricing); enforced by
+// TestMarketMatchesReference and FuzzMarketMatchesReference.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/growth"
+	"github.com/lightning-creation-games/lcg/internal/par"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// ErrBadConfig reports an invalid market configuration.
+var ErrBadConfig = errors.New("market: invalid config")
+
+// Config parametrises one market run. The zero value is not runnable;
+// use DefaultConfig as the base.
+type Config struct {
+	Seed      growth.SeedKind // seed topology the market opens over
+	SeedSize  int             // nodes in the seed topology (ignored for empty)
+	SeedParam float64         // ER edge probability, or BA attachment count
+	Balance   float64         // seed channel balance; also the peer-side balance of committed channels
+
+	Ticks     int // auction ticks to run
+	Batch     int // join bids collected per tick
+	MaxRounds int // pricing/conflict-resolution rounds per tick (default 3)
+
+	// Bid profiles are drawn uniformly from [Min, Max] per bid: budget
+	// B_u, per-channel lock l, and the bidder's own transaction rate.
+	// Min == Max pins the value without consuming randomness.
+	BudgetMin, BudgetMax float64
+	LockMin, LockMax     float64
+	RateMin, RateMax     float64
+
+	// Reserve enables reserve utilities: each bid draws a reserve from
+	// [ReserveMin, ReserveMax] and withdraws from the auction when its
+	// priced objective falls below it. Off, every bid is admitted.
+	Reserve                bool
+	ReserveMin, ReserveMax float64
+
+	Candidates   int  // candidate peers offered per bid (0 = every node)
+	Preferential bool // sample candidates ∝ degree+1 instead of uniformly
+
+	RefreshTicks int // ticks between demand + λ̂ snapshot refreshes (default 1: re-quote every tick)
+
+	Uniform bool    // uniform transaction distribution instead of modified Zipf
+	ZipfS   float64 // modified-Zipf scale when !Uniform (default 1)
+
+	Params core.Params       // base economics; OwnRate is overridden by each bid's drawn rate
+	Model  core.RevenueModel // pricing model (zero = fixed-rate, Algorithm 1's setting)
+
+	// Parallelism bounds the workers pricing a round's bids; values ≤ 0
+	// select all cores. The result is bit-identical at every setting —
+	// pricing happens against a frozen snapshot into bid-indexed slots.
+	Parallelism int
+}
+
+// DefaultConfig returns a runnable base configuration: a BA-seeded
+// market, preferential candidate sampling, fixed-rate pricing, 64-bid
+// ticks resolved in up to 3 rounds, quotes refreshed every tick.
+func DefaultConfig() Config {
+	return Config{
+		Seed:         growth.SeedBA,
+		SeedSize:     12,
+		SeedParam:    2,
+		Balance:      1,
+		Ticks:        4,
+		Batch:        64,
+		MaxRounds:    3,
+		BudgetMin:    4,
+		BudgetMax:    8,
+		LockMin:      1,
+		LockMax:      1,
+		RateMin:      1,
+		RateMax:      1,
+		Candidates:   16,
+		Preferential: true,
+		RefreshTicks: 1,
+		ZipfS:        1,
+		Params: core.Params{
+			OnChainCost: 1,
+			OppCostRate: 0.05,
+			FAvg:        0.5,
+			FeePerHop:   0.5,
+			OwnRate:     1,
+		},
+	}
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.Ticks < 0 {
+		return fmt.Errorf("%w: %d ticks", ErrBadConfig, cfg.Ticks)
+	}
+	if cfg.Batch < 0 {
+		return fmt.Errorf("%w: batch %d", ErrBadConfig, cfg.Batch)
+	}
+	if cfg.Batch == 0 {
+		cfg.Batch = 1
+	}
+	if cfg.MaxRounds < 0 {
+		return fmt.Errorf("%w: %d re-price rounds", ErrBadConfig, cfg.MaxRounds)
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 3
+	}
+	if cfg.RefreshTicks <= 0 {
+		cfg.RefreshTicks = 1
+	}
+	if cfg.Seed == "" {
+		cfg.Seed = growth.SeedEmpty
+	}
+	switch cfg.Seed {
+	case growth.SeedEmpty, growth.SeedStar, growth.SeedER, growth.SeedBA:
+	default:
+		return fmt.Errorf("%w: seed topology %q", ErrBadConfig, cfg.Seed)
+	}
+	for _, r := range [][2]float64{
+		{cfg.BudgetMin, cfg.BudgetMax},
+		{cfg.LockMin, cfg.LockMax},
+		{cfg.RateMin, cfg.RateMax},
+	} {
+		if r[0] < 0 || math.IsNaN(r[0]) {
+			return fmt.Errorf("%w: negative bid profile bound %v", ErrBadConfig, r[0])
+		}
+		if r[1] < r[0] {
+			return fmt.Errorf("%w: inverted bid profile range [%v, %v]", ErrBadConfig, r[0], r[1])
+		}
+	}
+	if cfg.Reserve && cfg.ReserveMax < cfg.ReserveMin {
+		return fmt.Errorf("%w: inverted reserve range [%v, %v]", ErrBadConfig, cfg.ReserveMin, cfg.ReserveMax)
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return nil
+}
+
+// distribution returns the transaction distribution of the run.
+func (cfg *Config) distribution() txdist.Distribution {
+	if cfg.Uniform {
+		return txdist.Uniform{}
+	}
+	s := cfg.ZipfS
+	if s == 0 {
+		s = 1
+	}
+	return txdist.ModifiedZipf{S: s}
+}
+
+// Outcome labels a bid's fate.
+type Outcome uint8
+
+// Bid outcomes.
+const (
+	// Admitted bids joined the network with their priced strategy.
+	Admitted Outcome = iota + 1
+	// Withdrawn bids left the auction: their priced objective fell below
+	// their reserve utility.
+	Withdrawn
+)
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Admitted:
+		return "admitted"
+	case Withdrawn:
+		return "withdrawn"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Bid is one resolved join bid — a trace entry. The differential oracle
+// replays against these bit for bit.
+type Bid struct {
+	// Tick and Index locate the bid: batch position Index of tick Tick
+	// (both 0-based).
+	Tick, Index int
+	// Outcome is the bid's fate; Round the 1-based round that decided it.
+	Outcome Outcome
+	Round   int
+	// Node is the admitted bidder's node identifier (graph.InvalidNode
+	// when withdrawn).
+	Node graph.NodeID
+	// Strategy is the priced channel set (committed when admitted).
+	Strategy core.Strategy
+	// Objective is the as-priced objective of the deciding round;
+	// Utility the reported plan utility (fixed-rate model).
+	Objective float64
+	Utility   float64
+	// Reserve is the drawn reserve utility (−Inf when reserves are off).
+	Reserve float64
+	// Regret is the staleness cost of an admitted bid: as-priced
+	// objective minus the realized objective measured against the
+	// substrate at commit time (0 when either side is −Inf, and always 0
+	// for the first commit of a round — its quote is fresh by
+	// construction).
+	Regret float64
+}
+
+// TickStats is one tick's deterministic summary: the auction counters
+// plus a growth.Epoch metric snapshot of the post-tick substrate.
+type TickStats struct {
+	// Tick counts processed ticks at snapshot time (1-based).
+	Tick int
+	// Epoch is the substrate metric snapshot (Epoch.Arrival = Tick).
+	Epoch growth.Epoch
+	// Admitted and Withdrawn count the tick's resolved bids; Deferrals
+	// counts bid-round deferral events; Repricings counts greedy runs
+	// beyond each bid's first.
+	Admitted, Withdrawn, Deferrals, Repricings int
+	// MeanRegret and MaxRegret summarise the tick's admitted-bid regret
+	// (MaxRegret clamps at 0: only staleness losses count).
+	MeanRegret, MaxRegret float64
+}
+
+// Result is the outcome of one market run.
+type Result struct {
+	// Ticks are the per-tick summaries, oldest first (empty for the
+	// metric-free oracle).
+	Ticks []TickStats
+	// Trace records every bid's resolution, tick by tick and round by
+	// round: each round's withdrawals first (in the order the round
+	// priced them — bid order in round 1, the previous round's rank
+	// order after), then its commits in commit order.
+	Trace []Bid
+	// Final is the grown substrate.
+	Final *graph.Graph
+	// Admitted, Withdrawn, Deferrals and Repricings total the trace.
+	Admitted, Withdrawn, Deferrals int
+	Repricings                     int64
+	// Evaluations totals the objective evaluations spent pricing.
+	Evaluations int64
+}
+
+// backend abstracts the network+pricing substrate of the auction loop,
+// so the production engine (incremental GrowSession, concurrent
+// pricing) and the differential oracle (from-scratch evaluator per
+// pricing, strictly sequential) replay the *identical* decision
+// sequence — same rng draws, same frozen-round snapshots, same ranking —
+// through different machinery.
+type backend interface {
+	Graph() *graph.Graph
+	// Refresh installs a new demand snapshot and re-estimates λ̂ over the
+	// candidates.
+	Refresh(d *traffic.Demand, candidates []graph.NodeID)
+	// Price runs Algorithm 1 for one bid. The engine calls it
+	// concurrently between commits; implementations must not share
+	// mutable state across calls.
+	Price(pu []float64, params core.Params, cfg core.GreedyConfig) (core.Result, error)
+	// Realized evaluates a strategy's objective against the current
+	// substrate — the regret measurement at commit time.
+	Realized(pu []float64, params core.Params, s core.Strategy, model core.RevenueModel) (float64, error)
+	// Commit folds an admitted bid in and returns its node identifier.
+	Commit(s core.Strategy) (graph.NodeID, error)
+	// AllPairs exposes the live structure for metric scans; the oracle
+	// returns nil and skips tick stats.
+	AllPairs() *graph.AllPairs
+}
+
+// Run executes a batch channel-market auction per cfg, driven by rng.
+// The result is a pure function of (cfg, rng stream) — byte-identical
+// across machines and at any cfg.Parallelism.
+func Run(cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g, err := growth.BuildSeed(cfg.Seed, cfg.SeedSize, cfg.SeedParam, cfg.Balance, rng)
+	if err != nil {
+		return nil, err
+	}
+	gs, err := core.NewGrowSession(g, cfg.Params, g.NumNodes()+cfg.Ticks*cfg.Batch, cfg.Balance)
+	if err != nil {
+		return nil, err
+	}
+	return runAuction(cfg, rng, &sessionBackend{gs: gs}, par.NewPool(cfg.Parallelism))
+}
+
+// sessionBackend is the production substrate: one persistent GrowSession
+// whose zero-cost evaluators price concurrent bids against the live
+// immutable snapshot.
+type sessionBackend struct {
+	gs *core.GrowSession
+}
+
+func (b *sessionBackend) Graph() *graph.Graph { return b.gs.Graph() }
+
+func (b *sessionBackend) Refresh(d *traffic.Demand, candidates []graph.NodeID) {
+	b.gs.SetDemand(d)
+	b.gs.RefreshRates(candidates)
+}
+
+func (b *sessionBackend) Price(pu []float64, params core.Params, cfg core.GreedyConfig) (core.Result, error) {
+	ev, err := b.gs.Evaluator(pu, params)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.Greedy(ev, cfg)
+}
+
+func (b *sessionBackend) Realized(pu []float64, params core.Params, s core.Strategy, model core.RevenueModel) (float64, error) {
+	ev, err := b.gs.Evaluator(pu, params)
+	if err != nil {
+		return 0, err
+	}
+	return ev.Simplified(s, model), nil
+}
+
+func (b *sessionBackend) Commit(s core.Strategy) (graph.NodeID, error) { return b.gs.Commit(s) }
+
+func (b *sessionBackend) AllPairs() *graph.AllPairs { return b.gs.AllPairs() }
+
+// bid is one drawn join bid and its latest pricing.
+type bid struct {
+	budget, lock, rate, reserve float64
+	cands                       []graph.NodeID
+	plan                        core.Result
+}
+
+func (bd *bid) params(cfg Config) core.Params {
+	params := cfg.Params
+	params.OwnRate = bd.rate
+	return params
+}
+
+func (bd *bid) greedy(cfg Config) core.GreedyConfig {
+	return core.GreedyConfig{
+		Budget:       bd.budget,
+		Lock:         bd.lock,
+		Candidates:   bd.cands,
+		Model:        cfg.Model,
+		UtilityModel: core.RevenueFixedRate,
+	}
+}
+
+// runAuction is the shared tick loop. Per tick, in this exact order:
+// snapshot refresh (on cadence), batch draw (profile then candidates per
+// bid, in bid order), then up to MaxRounds resolution rounds of
+// price → withdraw → rank → commit/defer. Every rng consumption is
+// identical across backends; pricing and committing consume none.
+func runAuction(cfg Config, rng *rand.Rand, b backend, pool *par.Pool) (*Result, error) {
+	g := b.Graph()
+	dist := cfg.distribution()
+	model := cfg.Model
+	if model == 0 {
+		model = core.RevenueFixedRate
+	}
+	res := &Result{}
+
+	refresh := func() {
+		all := make([]graph.NodeID, g.NumNodes())
+		for i := range all {
+			all[i] = graph.NodeID(i)
+		}
+		b.Refresh(growth.BuildDemand(g, dist, nil), all)
+	}
+
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		// 0. Snapshot refresh: re-quote demand and λ̂ on cadence.
+		if tick%cfg.RefreshTicks == 0 {
+			refresh()
+		}
+
+		// 1. Batch draw. Candidates come from the tick-start substrate:
+		// bidders of one tick cannot see each other, only prior ticks.
+		bids := make([]bid, cfg.Batch)
+		for i := range bids {
+			bd := &bids[i]
+			bd.budget = growth.DrawUniform(rng, cfg.BudgetMin, cfg.BudgetMax)
+			bd.lock = growth.DrawUniform(rng, cfg.LockMin, cfg.LockMax)
+			bd.rate = growth.DrawUniform(rng, cfg.RateMin, cfg.RateMax)
+			bd.reserve = math.Inf(-1)
+			if cfg.Reserve {
+				bd.reserve = growth.DrawUniform(rng, cfg.ReserveMin, cfg.ReserveMax)
+			}
+			nodes := make([]graph.NodeID, g.NumNodes())
+			for v := range nodes {
+				nodes[v] = graph.NodeID(v)
+			}
+			bd.cands = growth.SampleCandidates(rng, g, nodes, cfg.Candidates, cfg.Preferential)
+		}
+
+		// 2. Resolution rounds.
+		pending := make([]int, cfg.Batch)
+		for i := range pending {
+			pending[i] = i
+		}
+		var (
+			tickAdmitted, tickWithdrawn, tickDeferrals, tickRepricings int
+			regretSum, regretMax                                       float64
+		)
+		for round := 1; round <= cfg.MaxRounds && len(pending) > 0; round++ {
+			// 2a. Price every pending bid against the frozen round-start
+			// snapshot. The engine fans out here; bid-indexed slots keep
+			// the outcome independent of scheduling.
+			pu := growth.JoinProbs(g, graph.InvalidNode, dist, nil)
+			plans, err := par.Collect(pool, len(pending), func(k int) (core.Result, error) {
+				bd := &bids[pending[k]]
+				return b.Price(pu, bd.params(cfg), bd.greedy(cfg))
+			})
+			if err != nil {
+				return nil, err
+			}
+			ranked := pending[:0]
+			for k, bi := range pending {
+				bd := &bids[bi]
+				bd.plan = plans[k]
+				res.Evaluations += int64(plans[k].Evaluations)
+				if round > 1 {
+					tickRepricings++
+					res.Repricings++
+				}
+				// 2b. Withdrawals, in bid order.
+				if bd.plan.Objective < bd.reserve {
+					res.Trace = append(res.Trace, Bid{
+						Tick: tick, Index: bi, Outcome: Withdrawn, Round: round,
+						Node: graph.InvalidNode, Strategy: bd.plan.Strategy,
+						Objective: bd.plan.Objective, Utility: bd.plan.Utility,
+						Reserve: bd.reserve,
+					})
+					tickWithdrawn++
+					res.Withdrawn++
+					continue
+				}
+				ranked = append(ranked, bi)
+			}
+
+			// 2c. Rank by priced objective, bid index breaking ties.
+			sort.Slice(ranked, func(i, j int) bool {
+				oi, oj := bids[ranked[i]].plan.Objective, bids[ranked[j]].plan.Objective
+				if oi != oj {
+					return oi > oj
+				}
+				return ranked[i] < ranked[j]
+			})
+
+			// 2d. Commit in rank order; defer peer-conflicting bids to the
+			// next round (the final round commits everything, stale or not).
+			final := round == cfg.MaxRounds
+			committedPeers := make(map[graph.NodeID]bool)
+			fresh := true // no commit since this round's pricing yet
+			var next []int
+			for _, bi := range ranked {
+				bd := &bids[bi]
+				if !final && conflicts(bd.plan.Strategy, committedPeers) {
+					next = append(next, bi)
+					tickDeferrals++
+					res.Deferrals++
+					continue
+				}
+				// Regret: re-measure the strategy on the live pre-commit
+				// substrate. The first commit of a round sees the pricing
+				// snapshot unchanged, so its regret is exactly 0 (the
+				// EvalState ≡ buildStats contract makes the re-measurement
+				// bit-equal to the priced objective) and the measurement
+				// is skipped.
+				regret := 0.0
+				if !fresh {
+					realized, err := b.Realized(growth.JoinProbs(g, graph.InvalidNode, dist, nil),
+						bd.params(cfg), bd.plan.Strategy, model)
+					if err != nil {
+						return nil, err
+					}
+					regret = bd.plan.Objective - realized
+					if math.IsInf(bd.plan.Objective, -1) || math.IsInf(realized, -1) {
+						regret = 0
+					}
+				}
+				node, err := b.Commit(bd.plan.Strategy)
+				if err != nil {
+					return nil, err
+				}
+				fresh = false
+				for _, p := range bd.plan.Strategy.Peers() {
+					committedPeers[p] = true
+				}
+				res.Trace = append(res.Trace, Bid{
+					Tick: tick, Index: bi, Outcome: Admitted, Round: round,
+					Node: node, Strategy: bd.plan.Strategy,
+					Objective: bd.plan.Objective, Utility: bd.plan.Utility,
+					Reserve: bd.reserve, Regret: regret,
+				})
+				tickAdmitted++
+				res.Admitted++
+				regretSum += regret
+				if regret > regretMax {
+					regretMax = regret
+				}
+			}
+			pending = next
+		}
+
+		// 3. Tick stats (engine only; the oracle carries no live
+		// all-pairs structure and skips metrics).
+		if ap := b.AllPairs(); ap != nil {
+			res.Ticks = append(res.Ticks, tickStats(g, ap, tick+1, tickAdmitted,
+				tickWithdrawn, tickDeferrals, tickRepricings, regretSum, regretMax))
+		}
+	}
+	if cfg.Ticks == 0 {
+		if ap := b.AllPairs(); ap != nil {
+			res.Ticks = append(res.Ticks, tickStats(g, ap, 0, 0, 0, 0, 0, 0, 0))
+		}
+	}
+	res.Final = g
+	return res, nil
+}
+
+// conflicts reports whether a strategy shares a peer with the set of
+// peers already committed this round.
+func conflicts(s core.Strategy, committed map[graph.NodeID]bool) bool {
+	for _, a := range s {
+		if committed[a.Peer] {
+			return true
+		}
+	}
+	return false
+}
+
+// tickStats assembles one tick's summary with a metric snapshot of the
+// post-tick substrate.
+func tickStats(g *graph.Graph, ap *graph.AllPairs, tick, admitted, withdrawn, deferrals, repricings int, regretSum, regretMax float64) TickStats {
+	alive := make([]graph.NodeID, g.NumNodes())
+	for v := range alive {
+		alive[v] = graph.NodeID(v)
+	}
+	ts := TickStats{
+		Tick:       tick,
+		Epoch:      growth.ComputeEpoch(g, ap, alive, tick),
+		Admitted:   admitted,
+		Withdrawn:  withdrawn,
+		Deferrals:  deferrals,
+		Repricings: repricings,
+		MaxRegret:  regretMax,
+	}
+	if admitted > 0 {
+		ts.MeanRegret = regretSum / float64(admitted)
+	}
+	return ts
+}

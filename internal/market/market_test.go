@@ -1,0 +1,435 @@
+package market
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/growth"
+)
+
+// diffConfig is the differential-test base: every subsystem on — varied
+// profiles, reserves, multi-round conflict resolution, refresh cadence —
+// at oracle-affordable size.
+func diffConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Seed = growth.SeedBA
+	cfg.SeedSize = 8
+	cfg.Ticks = 3
+	cfg.Batch = 8
+	cfg.MaxRounds = 3
+	cfg.BudgetMin, cfg.BudgetMax = 3, 7
+	cfg.LockMin, cfg.LockMax = 0.5, 2
+	cfg.RateMin, cfg.RateMax = 0.5, 2
+	cfg.Reserve = true
+	cfg.ReserveMin, cfg.ReserveMax = -3, 0
+	cfg.Candidates = 5
+	cfg.RefreshTicks = 2
+	return cfg
+}
+
+// requireSameTrace takes testing.TB so the fuzz target shares the one
+// field-by-field comparison; adding a Bid field updates the whole
+// differential contract in one place.
+func requireSameTrace(t testing.TB, tag string, got, want *Result) {
+	t.Helper()
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: trace length %d vs %d", tag, len(got.Trace), len(want.Trace))
+	}
+	for i, g := range got.Trace {
+		w := want.Trace[i]
+		if g.Tick != w.Tick || g.Index != w.Index || g.Outcome != w.Outcome ||
+			g.Round != w.Round || g.Node != w.Node || !g.Strategy.Equal(w.Strategy) ||
+			g.Objective != w.Objective || g.Utility != w.Utility ||
+			g.Reserve != w.Reserve || g.Regret != w.Regret {
+			t.Fatalf("%s: bid %d diverges:\n engine %+v\n oracle %+v", tag, i, g, w)
+		}
+	}
+	if got.Admitted != want.Admitted || got.Withdrawn != want.Withdrawn ||
+		got.Deferrals != want.Deferrals || got.Repricings != want.Repricings {
+		t.Fatalf("%s: counters diverge: %d/%d/%d/%d vs %d/%d/%d/%d", tag,
+			got.Admitted, got.Withdrawn, got.Deferrals, got.Repricings,
+			want.Admitted, want.Withdrawn, want.Deferrals, want.Repricings)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("%s: evaluations %d vs %d", tag, got.Evaluations, want.Evaluations)
+	}
+}
+
+func requireSameGraph(t testing.TB, tag string, got, want *graph.Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: shape %d nodes/%d edges vs %d/%d",
+			tag, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	for v := 0; v < got.NumNodes(); v++ {
+		a := got.OutEdges(graph.NodeID(v))
+		b := want.OutEdges(graph.NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("%s: node %d out-degree %d vs %d", tag, v, len(a), len(b))
+		}
+		for i := range a {
+			ea, _ := got.Edge(a[i])
+			eb, _ := want.Edge(b[i])
+			if ea.To != eb.To || ea.Capacity != eb.Capacity {
+				t.Fatalf("%s: node %d edge %d: (%d,%v) vs (%d,%v)",
+					tag, v, i, ea.To, ea.Capacity, eb.To, eb.Capacity)
+			}
+		}
+	}
+}
+
+// TestMarketMatchesReference is the engine's keystone differential test:
+// the concurrent batch engine and the sequential from-scratch oracle
+// must produce bit-identical bid traces — outcomes, strategies,
+// objectives, utilities, regrets — and identical final substrates,
+// across seed topologies, batch sizes, re-price budgets and seeds. The
+// engine side runs at parallelism 4, so under -race this is also the
+// concurrent-pricing race regression.
+func TestMarketMatchesReference(t *testing.T) {
+	for _, seedKind := range []growth.SeedKind{growth.SeedEmpty, growth.SeedStar, growth.SeedER, growth.SeedBA} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := diffConfig()
+			cfg.Seed = seedKind
+			if seedKind == growth.SeedER {
+				cfg.SeedParam = 0.3
+			}
+			cfg.Parallelism = 4
+			got, err := Run(cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("%s/%d: Run: %v", seedKind, seed, err)
+			}
+			want, err := ReferenceMarket(cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("%s/%d: ReferenceMarket: %v", seedKind, seed, err)
+			}
+			tag := string(seedKind)
+			requireSameTrace(t, tag, got, want)
+			requireSameGraph(t, tag, got.Final, want.Final)
+		}
+	}
+}
+
+// TestMarketMatchesReferenceAcrossShapes varies the auction shape: batch
+// sizes from per-bid sequential (1) to wide, re-price budgets from
+// one-shot to deep, with and without reserves.
+func TestMarketMatchesReferenceAcrossShapes(t *testing.T) {
+	shapes := []struct {
+		batch, rounds int
+		reserve       bool
+	}{
+		{1, 1, false},
+		{4, 1, true},
+		{12, 2, false},
+		{16, 5, true},
+	}
+	for _, sh := range shapes {
+		cfg := diffConfig()
+		cfg.Ticks = 2
+		cfg.Batch = sh.batch
+		cfg.MaxRounds = sh.rounds
+		cfg.Reserve = sh.reserve
+		cfg.Parallelism = 3
+		got, err := Run(cfg, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("batch=%d: Run: %v", sh.batch, err)
+		}
+		want, err := ReferenceMarket(cfg, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("batch=%d: ReferenceMarket: %v", sh.batch, err)
+		}
+		tag := "shape"
+		requireSameTrace(t, tag, got, want)
+		requireSameGraph(t, tag, got.Final, want.Final)
+	}
+}
+
+// TestMarketExactModelMatchesReference re-runs the differential check
+// under exact-revenue pricing, where every probe walks the O(n²)
+// transit scan.
+func TestMarketExactModelMatchesReference(t *testing.T) {
+	cfg := diffConfig()
+	cfg.Ticks = 2
+	cfg.Batch = 5
+	cfg.Model = core.RevenueExact
+	cfg.Parallelism = 4
+	got, err := Run(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want, err := ReferenceMarket(cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("ReferenceMarket: %v", err)
+	}
+	requireSameTrace(t, "exact", got, want)
+	requireSameGraph(t, "exact", got.Final, want.Final)
+}
+
+// TestMarketParallelismInvariance locks the engine-side contract the
+// experiments rely on: the full result — trace, counters and per-tick
+// stats — is bit-identical at any worker count.
+func TestMarketParallelismInvariance(t *testing.T) {
+	cfg := diffConfig()
+	cfg.Batch = 12
+	var want *Result
+	for _, workers := range []int{1, 4, 8} {
+		cfg.Parallelism = workers
+		res, err := Run(cfg, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		requireSameTrace(t, "parallelism", res, want)
+		if len(res.Ticks) != len(want.Ticks) {
+			t.Fatalf("workers=%d: tick counts %d vs %d", workers, len(res.Ticks), len(want.Ticks))
+		}
+		for i := range res.Ticks {
+			if res.Ticks[i] != want.Ticks[i] {
+				t.Fatalf("workers=%d: tick %d diverges:\n%+v\n%+v",
+					workers, i, res.Ticks[i], want.Ticks[i])
+			}
+		}
+	}
+}
+
+// TestMarketInvariants checks the structural promises of a run: every
+// bid resolved exactly once, node accounting, fresh-quote regret,
+// round bounds, and tick bookkeeping.
+func TestMarketInvariants(t *testing.T) {
+	cfg := diffConfig()
+	cfg.Ticks = 4
+	cfg.Batch = 10
+	res, err := Run(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Trace) != cfg.Ticks*cfg.Batch {
+		t.Fatalf("trace has %d bids, want %d", len(res.Trace), cfg.Ticks*cfg.Batch)
+	}
+	seen := make(map[[2]int]bool)
+	admitted, withdrawn := 0, 0
+	firstCommitOfRound := make(map[[2]int]bool)
+	for _, bd := range res.Trace {
+		key := [2]int{bd.Tick, bd.Index}
+		if seen[key] {
+			t.Fatalf("bid %v resolved twice", key)
+		}
+		seen[key] = true
+		if bd.Round < 1 || bd.Round > cfg.MaxRounds {
+			t.Fatalf("bid %v decided in round %d (max %d)", key, bd.Round, cfg.MaxRounds)
+		}
+		switch bd.Outcome {
+		case Admitted:
+			admitted++
+			if bd.Node == graph.InvalidNode {
+				t.Fatalf("admitted bid %v has no node", key)
+			}
+			rk := [2]int{bd.Tick, bd.Round}
+			if !firstCommitOfRound[rk] {
+				firstCommitOfRound[rk] = true
+				if bd.Regret != 0 {
+					t.Fatalf("first commit of tick %d round %d has regret %v (quote was fresh)",
+						bd.Tick, bd.Round, bd.Regret)
+				}
+			}
+			if bd.Objective < bd.Reserve {
+				t.Fatalf("admitted bid %v priced below reserve: %v < %v", key, bd.Objective, bd.Reserve)
+			}
+		case Withdrawn:
+			withdrawn++
+			if bd.Node != graph.InvalidNode {
+				t.Fatalf("withdrawn bid %v has node %d", key, bd.Node)
+			}
+			if !(bd.Objective < bd.Reserve) {
+				t.Fatalf("withdrawn bid %v priced at/above reserve: %v ≥ %v", key, bd.Objective, bd.Reserve)
+			}
+		default:
+			t.Fatalf("bid %v has outcome %v", key, bd.Outcome)
+		}
+	}
+	if admitted != res.Admitted || withdrawn != res.Withdrawn {
+		t.Fatalf("counters %d/%d, trace says %d/%d", res.Admitted, res.Withdrawn, admitted, withdrawn)
+	}
+	if res.Final.NumNodes() != cfg.SeedSize+admitted {
+		t.Fatalf("final nodes = %d, want %d seed + %d admitted",
+			res.Final.NumNodes(), cfg.SeedSize, admitted)
+	}
+	if len(res.Ticks) != cfg.Ticks {
+		t.Fatalf("tick stats = %d, want %d", len(res.Ticks), cfg.Ticks)
+	}
+	for i, ts := range res.Ticks {
+		if ts.Tick != i+1 {
+			t.Fatalf("tick %d labelled %d", i, ts.Tick)
+		}
+		if ts.MaxRegret < 0 || ts.MaxRegret < ts.MeanRegret && ts.MeanRegret > 0 {
+			t.Fatalf("tick %d regret stats inconsistent: mean %v max %v", i, ts.MeanRegret, ts.MaxRegret)
+		}
+	}
+}
+
+// TestMarketDeterministicPerSeed re-runs the engine on the same stream
+// and requires identical results, including tick metrics.
+func TestMarketDeterministicPerSeed(t *testing.T) {
+	cfg := diffConfig()
+	a, err := Run(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	requireSameTrace(t, "replay", a, b)
+	for i := range a.Ticks {
+		if a.Ticks[i] != b.Ticks[i] {
+			t.Fatalf("tick %d diverges:\n%+v\n%+v", i, a.Ticks[i], b.Ticks[i])
+		}
+	}
+}
+
+// TestMarketEmptySeedStaysFragmented pins a real — and intended —
+// difference from the sequential growth engine: a batch market opened
+// over nothing never wires up. Tick 0's bids join unconnected (there is
+// nothing to price), and every later bid faces an all-isolated cohort
+// where no single channel reaches every recipient, so each greedy probe
+// prices at −∞ (§II-C, d = +∞) and the empty strategy wins. Sequential
+// arrival bootstraps connectivity one joiner at a time; a batch market
+// needs a connected seed.
+func TestMarketEmptySeedStaysFragmented(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = growth.SeedEmpty
+	cfg.SeedSize = 0
+	cfg.Ticks = 3
+	cfg.Batch = 6
+	cfg.Candidates = 0 // every node visible
+	cfg.BudgetMin, cfg.BudgetMax = 20, 20
+	res, err := Run(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Final.NumNodes() != 18 {
+		t.Fatalf("final nodes = %d, want 18", res.Final.NumNodes())
+	}
+	if res.Final.NumChannels() != 0 {
+		t.Fatalf("%d channels emerged: unreachable recipients should price every attachment at −∞",
+			res.Final.NumChannels())
+	}
+}
+
+// TestMarketTickStartVisibility checks the intra-tick information rule
+// on a connected seed: bidders of one tick can only attach to nodes
+// that existed when the tick opened, never to each other.
+func TestMarketTickStartVisibility(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = growth.SeedStar
+	cfg.SeedSize = 6
+	cfg.Ticks = 3
+	cfg.Batch = 5
+	cfg.Candidates = 3
+	res, err := Run(cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Final.NumChannels() <= 5 {
+		t.Fatalf("only %d channels over a connected seed", res.Final.NumChannels())
+	}
+	for _, bd := range res.Trace {
+		tickStart := cfg.SeedSize + cfg.Batch*bd.Tick // reserves off: every bid admitted
+		for _, a := range bd.Strategy {
+			if int(a.Peer) >= tickStart {
+				t.Fatalf("tick-%d bid attached to same-tick node %d (tick opened with %d nodes)",
+					bd.Tick, a.Peer, tickStart)
+			}
+		}
+	}
+}
+
+// TestMarketReserveWithdrawals drives reserves high enough that every
+// bid withdraws, and checks the market stays empty-handed but coherent.
+func TestMarketReserveWithdrawals(t *testing.T) {
+	cfg := diffConfig()
+	cfg.Ticks = 2
+	cfg.Reserve = true
+	cfg.ReserveMin, cfg.ReserveMax = 1e9, 1e9
+	res, err := Run(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Admitted != 0 {
+		t.Fatalf("admitted %d bids against an unmeetable reserve", res.Admitted)
+	}
+	if res.Withdrawn != cfg.Ticks*cfg.Batch {
+		t.Fatalf("withdrawn %d, want %d", res.Withdrawn, cfg.Ticks*cfg.Batch)
+	}
+	if res.Final.NumNodes() != cfg.SeedSize {
+		t.Fatalf("substrate grew to %d nodes despite full withdrawal", res.Final.NumNodes())
+	}
+	for _, bd := range res.Trace {
+		if bd.Round != 1 {
+			t.Fatalf("withdrawal deferred to round %d", bd.Round)
+		}
+	}
+}
+
+// TestMarketSingleRoundNeverReprices pins the MaxRounds=1 degenerate
+// case: one-shot batch pricing, everything committed stale, no
+// deferrals.
+func TestMarketSingleRoundNeverReprices(t *testing.T) {
+	cfg := diffConfig()
+	cfg.Reserve = false
+	cfg.MaxRounds = 1
+	res, err := Run(cfg, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Repricings != 0 || res.Deferrals != 0 {
+		t.Fatalf("one-round market re-priced %d / deferred %d", res.Repricings, res.Deferrals)
+	}
+	if res.Admitted != cfg.Ticks*cfg.Batch {
+		t.Fatalf("admitted %d, want %d", res.Admitted, cfg.Ticks*cfg.Batch)
+	}
+}
+
+// TestMarketTicksZero emits a single snapshot of the untouched seed.
+func TestMarketTicksZero(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ticks = 0
+	res, err := Run(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Ticks) != 1 || res.Ticks[0].Tick != 0 {
+		t.Fatalf("tick stats %+v, want one tick-0 snapshot", res.Ticks)
+	}
+	if len(res.Trace) != 0 || res.Final.NumNodes() != cfg.SeedSize {
+		t.Fatalf("empty run mutated state: %d bids, %d nodes", len(res.Trace), res.Final.NumNodes())
+	}
+}
+
+func TestMarketConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Ticks = -1 },
+		func(c *Config) { c.Batch = -2 },
+		func(c *Config) { c.MaxRounds = -1 },
+		func(c *Config) { c.Seed = "torus" },
+		func(c *Config) { c.BudgetMin = -1 },
+		func(c *Config) { c.LockMin = math.NaN() },
+		func(c *Config) { c.BudgetMin, c.BudgetMax = 10, 5 },
+		func(c *Config) { c.RateMin, c.RateMax = 2, 1 },
+		func(c *Config) { c.Reserve = true; c.ReserveMin, c.ReserveMax = 1, -1 },
+		func(c *Config) { c.Params.OnChainCost = 0 },
+		func(c *Config) { c.Seed = growth.SeedStar; c.SeedSize = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}

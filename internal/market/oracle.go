@@ -1,0 +1,120 @@
+package market
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/growth"
+	"github.com/lightning-creation-games/lcg/internal/par"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// This file is the differential-testing oracle of the market engine: the
+// same auction loop, with every piece of concurrent and incremental
+// machinery replaced by its sequential from-scratch counterpart. Each
+// pricing builds a fresh core.NewJoinEvaluator (a full BFS of the
+// current substrate) and runs core.ScratchGreedy (a full stats rebuild
+// per probe); each regret measurement goes through ScratchSimplified;
+// commits mutate a plain graph with no incremental all-pairs extension;
+// and the whole replay is strictly sequential — one bid at a time on a
+// one-worker pool. The determinism contract says a ReferenceMarket must
+// reproduce Run's trace bit for bit — outcomes, strategies, objectives,
+// utilities, regrets — which pins down, in one test, the concurrent
+// round pricing, the zero-cost evaluator sharing, the incremental
+// commit path and the conflict resolver against their oracle
+// definitions.
+//
+// The oracle is O(n²·(n+m)) per tick where the engine is ~O(n) per probe
+// and O(n²) per commit; use it at differential-test sizes only.
+
+// ReferenceMarket replays cfg through the from-scratch sequential
+// backend. The rng stream must be seeded identically to the Run being
+// checked; cfg.Parallelism is ignored — the oracle prices one bid at a
+// time by construction.
+func ReferenceMarket(cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	g, err := growth.BuildSeed(cfg.Seed, cfg.SeedSize, cfg.SeedParam, cfg.Balance, rng)
+	if err != nil {
+		return nil, err
+	}
+	return runAuction(cfg, rng, &oracleBackend{
+		g:       g,
+		params:  cfg.Params,
+		balance: cfg.Balance,
+		demand:  &traffic.Demand{},
+		rates:   map[graph.NodeID]float64{},
+	}, par.NewPool(1))
+}
+
+// oracleBackend holds a plain graph plus the demand and λ̂ snapshots;
+// nothing is carried between pricings except what the contract says is
+// carried (the snapshots).
+type oracleBackend struct {
+	g       *graph.Graph
+	params  core.Params
+	balance float64
+	demand  *traffic.Demand
+	rates   map[graph.NodeID]float64
+}
+
+func (b *oracleBackend) Graph() *graph.Graph { return b.g }
+
+// freshEvaluator builds a from-scratch evaluator for the current
+// substrate: full BFS, padded demand (the snapshot may lag the graph),
+// explicit pu.
+func (b *oracleBackend) freshEvaluator(pu []float64, params core.Params) (*core.JoinEvaluator, error) {
+	n := b.g.NumNodes()
+	if pu == nil {
+		pu = make([]float64, n)
+	}
+	ev, err := core.NewJoinEvaluator(b.g, growth.FixedProbs(pu), growth.PadDemand(b.demand, n), params)
+	if err != nil {
+		return nil, err
+	}
+	ev.SetFixedRates(b.rates)
+	return ev, nil
+}
+
+func (b *oracleBackend) Refresh(d *traffic.Demand, candidates []graph.NodeID) {
+	b.demand = d
+	ev, err := b.freshEvaluator(nil, b.params)
+	if err != nil {
+		// Refresh cannot fail on a coherent substrate; surface loudly.
+		panic(fmt.Sprintf("market oracle: refresh evaluator: %v", err))
+	}
+	b.rates = ev.EstimateRates(candidates)
+}
+
+func (b *oracleBackend) Price(pu []float64, params core.Params, cfg core.GreedyConfig) (core.Result, error) {
+	ev, err := b.freshEvaluator(pu, params)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return core.ScratchGreedy(ev, cfg)
+}
+
+func (b *oracleBackend) Realized(pu []float64, params core.Params, s core.Strategy, model core.RevenueModel) (float64, error) {
+	ev, err := b.freshEvaluator(pu, params)
+	if err != nil {
+		return 0, err
+	}
+	return ev.ScratchSimplified(s, model), nil
+}
+
+func (b *oracleBackend) Commit(s core.Strategy) (graph.NodeID, error) {
+	u := b.g.AddNode()
+	for _, a := range s {
+		if _, _, err := b.g.AddChannel(u, a.Peer, a.Lock, b.balance); err != nil {
+			return graph.InvalidNode, err
+		}
+	}
+	return u, nil
+}
+
+// AllPairs returns nil: the oracle maintains no incremental structure
+// and skips tick stats.
+func (b *oracleBackend) AllPairs() *graph.AllPairs { return nil }

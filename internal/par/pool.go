@@ -1,0 +1,104 @@
+// Package par provides the bounded, determinism-preserving worker pool
+// shared by every parallel engine in the repository: the experiment
+// runner's outer and inner fan-outs and the channel market's concurrent
+// bid pricing. It lives below internal/experiments so that engines the
+// experiments drive (internal/market) can fan out on the same substrate
+// without an import cycle.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds the number of goroutines used by a parallel loop.
+//
+// A Pool holds no long-lived goroutines: every ForEach/Collect call spins
+// up at most Workers() goroutines and tears them down before returning,
+// so pools may be nested (an outer experiment loop and an inner trial
+// loop each bound their own fan-out) without any risk of deadlock.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most parallelism tasks at once; a
+// value ≤ 0 selects runtime.GOMAXPROCS(0). A one-worker pool executes
+// everything inline in index order.
+func NewPool(parallelism int) *Pool {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: parallelism}
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) with at most Workers()
+// invocations in flight. After the first observed failure no further
+// items are launched (in-flight items finish), and the error of the
+// lowest failing index among the items that ran is returned. Work items
+// must be independent of each other: results may only flow out through
+// index-addressed slots (slices indexed by i), never through shared
+// accumulators, which is what keeps every caller bit-for-bit identical
+// to its serial execution.
+func (p *Pool) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if p.Workers() == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, p.Workers())
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for i := 0; i < n && !failed.Load(); i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errs[i] = err
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Collect runs fn over [0, n) on the pool and returns the results in
+// index order, so the output is independent of scheduling.
+func Collect[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.ForEach(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersBounds(t *testing.T) {
+	if w := NewPool(3).Workers(); w != 3 {
+		t.Fatalf("Workers() = %d, want 3", w)
+	}
+	if w := NewPool(0).Workers(); w < 1 {
+		t.Fatalf("all-cores pool reports %d workers", w)
+	}
+	if w := NewPool(-5).Workers(); w < 1 {
+		t.Fatalf("negative parallelism pool reports %d workers", w)
+	}
+	var nilPool *Pool
+	if w := nilPool.Workers(); w != 1 {
+		t.Fatalf("nil pool reports %d workers, want 1", w)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 100
+		counts := make([]int32, n)
+		err := NewPool(workers).ForEach(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestFailingIndex(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := NewPool(workers).ForEach(50, func(i int) error {
+			if i == 7 || i == 31 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: error = %v, want sentinel", workers, err)
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := NewPool(4).ForEach(0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatalf("empty ForEach: %v", err)
+	}
+}
+
+func TestCollectIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		out, err := Collect(NewPool(workers), 64, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d holds %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestCollectPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	if _, err := Collect(NewPool(4), 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, sentinel
+		}
+		return i, nil
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+}

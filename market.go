@@ -1,0 +1,219 @@
+package lcg
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/lightning-creation-games/lcg/internal/growth"
+	"github.com/lightning-creation-games/lcg/internal/market"
+)
+
+// MarketConfig parametrises a batch channel-market run (see
+// internal/market): a tick-based auction where each tick collects a
+// batch of join bids, prices them concurrently against a shared frozen
+// snapshot with Algorithm 1, and resolves conflicts by utility-ranked
+// commits with bounded re-pricing rounds.
+type MarketConfig struct {
+	// Topology seeds the market: "empty", "star", "er" or "ba" (default).
+	Topology string
+	// SeedSize is the seed topology's node count (default 12; ignored
+	// for "empty").
+	SeedSize int
+	// SeedParam is the ER edge probability or the BA attachment count
+	// (0 picks the topology's default).
+	SeedParam float64
+	// Ticks is the number of auction ticks to run; Batch the number of
+	// join bids collected per tick (default 64).
+	Ticks, Batch int
+	// MaxRounds bounds the per-tick price → rank → commit/defer rounds
+	// (default 3). 1 is the one-shot auction: every conflict commits
+	// against a stale quote.
+	MaxRounds int
+	// Candidates bounds the peers each bid prices; 0 (or negative)
+	// offers every node.
+	Candidates int
+	// Preferential samples candidates proportionally to degree+1
+	// instead of uniformly.
+	Preferential bool
+	// BudgetMin/Max, LockMin/Max and RateMin/Max draw each bid's
+	// budget, per-channel lock and transaction rate uniformly; Min ==
+	// Max pins the value. Zero maxima fall back to the defaults
+	// (budget 3–8, lock 1, rate 0.5–1.5).
+	BudgetMin, BudgetMax float64
+	LockMin, LockMax     float64
+	RateMin, RateMax     float64
+	// Reserve enables reserve utilities drawn from
+	// [ReserveMin, ReserveMax]: a bid whose priced objective falls below
+	// its reserve withdraws from the auction.
+	Reserve                bool
+	ReserveMin, ReserveMax float64
+	// RefreshTicks sets the demand/λ̂ quote cadence in ticks (default 1:
+	// re-quote every tick).
+	RefreshTicks int
+	// Uniform switches the transaction model to the uniform baseline;
+	// otherwise the modified Zipf distribution with scale ZipfS
+	// (default 1) is used.
+	Uniform bool
+	ZipfS   float64
+	// Balance is the channel balance of seed channels and the peer-side
+	// balance of committed channels (default 1).
+	Balance float64
+	// Params are the economic parameters (default DefaultParams);
+	// OwnRate is overridden by each bid's drawn rate.
+	Params *Params
+	// Parallelism bounds the workers pricing a tick's bids; ≤ 0 uses
+	// all cores. The report is bit-identical at every setting.
+	Parallelism int
+	// Seed drives the run's random stream; runs are bit-reproducible
+	// per seed.
+	Seed int64
+}
+
+// MarketTick is one tick's deterministic summary. All fields are
+// byte-reproducible per seed at any parallelism.
+type MarketTick struct {
+	// Tick counts processed ticks (1-based).
+	Tick int
+	// Nodes and Channels describe the post-tick network.
+	Nodes, Channels int
+	// MaxDegree, DegreeGini and Centralization summarise the degree
+	// distribution; Diameter, MeanDistance and Efficiency the routing
+	// structure (Efficiency is the welfare proxy).
+	MaxDegree      int
+	DegreeGini     float64
+	Centralization float64
+	Diameter       int
+	MeanDistance   float64
+	Efficiency     float64
+	// Class labels the emergent topology.
+	Class string
+	// Admitted and Withdrawn count the tick's resolved bids; Deferrals
+	// counts conflict deferrals; Repricings the extra pricing runs they
+	// triggered.
+	Admitted, Withdrawn, Deferrals, Repricings int
+	// MeanRegret and MaxRegret summarise the tick's admitted-bid regret
+	// (the staleness cost of committing against a superseded quote).
+	MeanRegret, MaxRegret float64
+}
+
+// MarketReport is the outcome of a market run.
+type MarketReport struct {
+	// Ticks are the per-tick summaries, oldest first.
+	Ticks []MarketTick
+	// Final is the grown network.
+	Final *Network
+	// Admitted, Withdrawn, Deferrals and Repricings total the run.
+	Admitted, Withdrawn, Deferrals int
+	Repricings                     int64
+	// Evaluations totals objective evaluations spent pricing.
+	Evaluations int64
+	// WallMS is the run's wall-clock time — the only non-deterministic
+	// field, excluded from every reproducible table.
+	WallMS float64
+}
+
+// Market runs a batch channel-market auction and returns its per-tick
+// summaries and final network. The result (wall time aside) is a pure
+// function of the configuration, bit-identical across machines and at
+// any Parallelism: every admitted bid's strategy matches what a
+// sequential from-scratch replay of the same auction would commit,
+// while the engine prices whole batches concurrently over the
+// incremental evaluation engine.
+func Market(cfg MarketConfig) (*MarketReport, error) {
+	mc := market.DefaultConfig()
+	switch cfg.Topology {
+	case "", "ba":
+		mc.Seed = growth.SeedBA
+	case "empty":
+		mc.Seed = growth.SeedEmpty
+		mc.SeedSize = 0
+	case "star":
+		mc.Seed = growth.SeedStar
+	case "er":
+		mc.Seed = growth.SeedER
+	default:
+		return nil, fmt.Errorf("%w: unknown seed topology %q (empty|star|er|ba)", ErrBadInput, cfg.Topology)
+	}
+	if cfg.SeedSize > 0 {
+		mc.SeedSize = cfg.SeedSize
+	}
+	if cfg.SeedParam > 0 {
+		mc.SeedParam = cfg.SeedParam
+	} else if mc.Seed == growth.SeedER {
+		mc.SeedParam = 0.3
+	}
+	mc.Ticks = cfg.Ticks
+	if cfg.Batch != 0 { // negatives pass through so validation reports them
+		mc.Batch = cfg.Batch
+	}
+	if cfg.MaxRounds != 0 {
+		mc.MaxRounds = cfg.MaxRounds
+	}
+	mc.Candidates = cfg.Candidates // ≤ 0 offers every node
+	mc.Preferential = cfg.Preferential
+	mc.BudgetMin, mc.BudgetMax = 3, 8
+	if cfg.BudgetMax > 0 {
+		mc.BudgetMin, mc.BudgetMax = cfg.BudgetMin, cfg.BudgetMax
+	}
+	mc.LockMin, mc.LockMax = 1, 1
+	if cfg.LockMax > 0 {
+		mc.LockMin, mc.LockMax = cfg.LockMin, cfg.LockMax
+	}
+	mc.RateMin, mc.RateMax = 0.5, 1.5
+	if cfg.RateMax > 0 {
+		mc.RateMin, mc.RateMax = cfg.RateMin, cfg.RateMax
+	}
+	mc.Reserve = cfg.Reserve
+	mc.ReserveMin, mc.ReserveMax = cfg.ReserveMin, cfg.ReserveMax
+	if cfg.RefreshTicks > 0 {
+		mc.RefreshTicks = cfg.RefreshTicks
+	}
+	mc.Uniform = cfg.Uniform
+	if cfg.ZipfS > 0 {
+		mc.ZipfS = cfg.ZipfS
+	}
+	if cfg.Balance > 0 {
+		mc.Balance = cfg.Balance
+	}
+	if cfg.Params != nil {
+		mc.Params = cfg.Params.toCore()
+	}
+	mc.Parallelism = cfg.Parallelism
+
+	start := time.Now()
+	res, err := market.Run(mc, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	report := &MarketReport{
+		Final:       &Network{g: res.Final},
+		Admitted:    res.Admitted,
+		Withdrawn:   res.Withdrawn,
+		Deferrals:   res.Deferrals,
+		Repricings:  res.Repricings,
+		Evaluations: res.Evaluations,
+		WallMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, ts := range res.Ticks {
+		report.Ticks = append(report.Ticks, MarketTick{
+			Tick:           ts.Tick,
+			Nodes:          ts.Epoch.Nodes,
+			Channels:       ts.Epoch.Channels,
+			MaxDegree:      ts.Epoch.MaxDegree,
+			DegreeGini:     ts.Epoch.DegreeGini,
+			Centralization: ts.Epoch.Centralization,
+			Diameter:       ts.Epoch.Diameter,
+			MeanDistance:   ts.Epoch.MeanDistance,
+			Efficiency:     ts.Epoch.Efficiency,
+			Class:          ts.Epoch.Class,
+			Admitted:       ts.Admitted,
+			Withdrawn:      ts.Withdrawn,
+			Deferrals:      ts.Deferrals,
+			Repricings:     ts.Repricings,
+			MeanRegret:     ts.MeanRegret,
+			MaxRegret:      ts.MaxRegret,
+		})
+	}
+	return report, nil
+}

@@ -1,0 +1,102 @@
+package lcg
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMarketFacade(t *testing.T) {
+	cfg := MarketConfig{
+		Topology:     "ba",
+		SeedSize:     10,
+		Ticks:        3,
+		Batch:        16,
+		MaxRounds:    3,
+		Candidates:   8,
+		Preferential: true,
+		Seed:         1,
+	}
+	report, err := Market(cfg)
+	if err != nil {
+		t.Fatalf("Market: %v", err)
+	}
+	if report.Admitted != 48 {
+		t.Fatalf("Admitted = %d, want 48 (reserves off)", report.Admitted)
+	}
+	if report.Final.NumUsers() != 58 {
+		t.Fatalf("final users = %d, want 58", report.Final.NumUsers())
+	}
+	if len(report.Ticks) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(report.Ticks))
+	}
+	last := report.Ticks[len(report.Ticks)-1]
+	if last.Class == "" || last.Nodes != 58 {
+		t.Fatalf("empty final tick: %+v", last)
+	}
+	if report.Evaluations == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+// TestMarketFacadeDeterministicAcrossParallelism: the report is
+// bit-identical in everything but wall time at any worker count.
+func TestMarketFacadeDeterministicAcrossParallelism(t *testing.T) {
+	var want *MarketReport
+	for _, workers := range []int{1, 4} {
+		cfg := MarketConfig{Ticks: 2, Batch: 12, Seed: 7, Parallelism: workers}
+		report, err := Market(cfg)
+		if err != nil {
+			t.Fatalf("Market: %v", err)
+		}
+		if want == nil {
+			want = report
+			continue
+		}
+		if len(report.Ticks) != len(want.Ticks) {
+			t.Fatalf("tick counts differ: %d vs %d", len(report.Ticks), len(want.Ticks))
+		}
+		for i := range report.Ticks {
+			if report.Ticks[i] != want.Ticks[i] {
+				t.Fatalf("tick %d differs across parallelism:\n%+v\n%+v", i, report.Ticks[i], want.Ticks[i])
+			}
+		}
+		if report.Admitted != want.Admitted || report.Evaluations != want.Evaluations ||
+			report.Deferrals != want.Deferrals || report.Repricings != want.Repricings {
+			t.Fatal("run totals differ across parallelism")
+		}
+	}
+}
+
+// TestMarketFacadeReserve: an unmeetable pinned reserve withdraws every
+// bid and leaves the seed untouched.
+func TestMarketFacadeReserve(t *testing.T) {
+	report, err := Market(MarketConfig{
+		Ticks: 2, Batch: 8, Seed: 3,
+		Reserve: true, ReserveMin: 1e9, ReserveMax: 1e9,
+	})
+	if err != nil {
+		t.Fatalf("Market: %v", err)
+	}
+	if report.Admitted != 0 || report.Withdrawn != 16 {
+		t.Fatalf("admitted/withdrawn = %d/%d, want 0/16", report.Admitted, report.Withdrawn)
+	}
+	if report.Final.NumUsers() != 12 {
+		t.Fatalf("final users = %d, want the untouched 12-node seed", report.Final.NumUsers())
+	}
+}
+
+func TestMarketFacadeRejectsBadInput(t *testing.T) {
+	cases := []MarketConfig{
+		{Topology: "torus"},
+		{Ticks: -1},
+		{Ticks: 2, Batch: -4},
+		{Ticks: 2, MaxRounds: -1},
+		{Ticks: 2, BudgetMin: -1, BudgetMax: 5},
+		{Ticks: 2, Params: &Params{}}, // zero OnChainCost is invalid
+	}
+	for i, cfg := range cases {
+		if _, err := Market(cfg); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("case %d: error = %v, want ErrBadInput", i, err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command covercheck enforces the repository's coverage ratchet: it
+// reads `go tool cover -func` output on stdin, extracts the total
+// statement coverage, and compares it against the recorded baseline.
+// CI fails when coverage drops more than the allowed slack below the
+// baseline, so test coverage can only ratchet upward (raise the
+// baseline deliberately, in the same commit that earns it).
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go tool cover -func=cover.out | go run ./scripts/covercheck -baseline scripts/covercheck/baseline.txt
+//
+// With -write, the tool records the measured total as the new baseline
+// instead of checking.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "scripts/covercheck/baseline.txt", "file recording the baseline total coverage (percent)")
+	slack := flag.Float64("slack", 1.0, "allowed drop below the baseline in coverage points")
+	write := flag.Bool("write", false, "record the measured total as the new baseline instead of checking")
+	flag.Parse()
+
+	total, err := parseTotal(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := os.WriteFile(*baselinePath, []byte(fmt.Sprintf("%.1f\n", total)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "covercheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("covercheck: baseline set to %.1f%%\n", total)
+		return
+	}
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	verdict, ok := check(total, baseline, *slack)
+	fmt.Println(verdict)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// parseTotal extracts the "total: (statements) NN.N%" line from
+// `go tool cover -func` output.
+func parseTotal(r io.Reader) (float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	found, total := false, 0.0
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || fields[0] != "total:" {
+			continue
+		}
+		pct := strings.TrimSuffix(fields[len(fields)-1], "%")
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			return 0, fmt.Errorf("malformed total line %q: %v", sc.Text(), err)
+		}
+		found, total = true, v
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("no total: line found on stdin (pipe `go tool cover -func` output)")
+	}
+	return total, nil
+}
+
+// readBaseline reads the recorded baseline percentage.
+func readBaseline(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(string(data)), 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed baseline %q: %v", strings.TrimSpace(string(data)), err)
+	}
+	return v, nil
+}
+
+// check renders the verdict line and reports whether the ratchet holds.
+func check(total, baseline, slack float64) (string, bool) {
+	switch {
+	case total+slack < baseline:
+		return fmt.Sprintf("covercheck: FAIL — total coverage %.1f%% fell more than %.1f points below the %.1f%% baseline", total, slack, baseline), false
+	case total > baseline:
+		return fmt.Sprintf("covercheck: OK — total coverage %.1f%% exceeds the %.1f%% baseline (consider ratcheting it up)", total, baseline), true
+	default:
+		return fmt.Sprintf("covercheck: OK — total coverage %.1f%% within %.1f points of the %.1f%% baseline", total, slack, baseline), true
+	}
+}

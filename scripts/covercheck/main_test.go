@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleFunc = `github.com/lightning-creation-games/lcg/internal/market/market.go:289:	Run			95.0%
+github.com/lightning-creation-games/lcg/internal/market/oracle.go:38:	ReferenceMarket		100.0%
+total:									(statements)		81.4%
+`
+
+func TestParseTotal(t *testing.T) {
+	total, err := parseTotal(strings.NewReader(sampleFunc))
+	if err != nil {
+		t.Fatalf("parseTotal: %v", err)
+	}
+	if total != 81.4 {
+		t.Fatalf("total = %v, want 81.4", total)
+	}
+}
+
+func TestParseTotalMissing(t *testing.T) {
+	if _, err := parseTotal(strings.NewReader("no totals here\n")); err == nil {
+		t.Fatal("accepted input without a total line")
+	}
+}
+
+func TestParseTotalMalformed(t *testing.T) {
+	if _, err := parseTotal(strings.NewReader("total:\t(statements)\tNaN%%garbage\n")); err == nil {
+		t.Fatal("accepted malformed percentage")
+	}
+}
+
+func TestCheckRatchet(t *testing.T) {
+	cases := []struct {
+		total, baseline, slack float64
+		ok                     bool
+	}{
+		{80.0, 80.0, 1.0, true},  // exactly at baseline
+		{79.1, 80.0, 1.0, true},  // within slack
+		{78.9, 80.0, 1.0, false}, // dropped past slack
+		{82.3, 80.0, 1.0, true},  // improved
+		{78.9, 80.0, 2.0, true},  // wider slack
+	}
+	for i, c := range cases {
+		verdict, ok := check(c.total, c.baseline, c.slack)
+		if ok != c.ok {
+			t.Fatalf("case %d: check(%v, %v, %v) = %q, ok=%v, want %v",
+				i, c.total, c.baseline, c.slack, verdict, ok, c.ok)
+		}
+		wantPrefix := "covercheck: OK"
+		if !c.ok {
+			wantPrefix = "covercheck: FAIL"
+		}
+		if !strings.HasPrefix(verdict, wantPrefix) {
+			t.Fatalf("case %d: verdict %q does not open with %q", i, verdict, wantPrefix)
+		}
+	}
+}
+
+func TestReadBaseline(t *testing.T) {
+	path := t.TempDir() + "/baseline.txt"
+	if _, err := readBaseline(path); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}
