@@ -375,7 +375,10 @@ func BenchmarkE18Boundary(b *testing.B) { benchExperiment(b, "E18") }
 
 // growBenchConfig is the growth-benchmark base: empty seed (the n=0→N
 // acceptance run), preferential candidates, fixed-rate pricing, uniform
-// demand snapshots.
+// demand snapshots. The demand/λ̂ re-quote cadence scales with n past the
+// n=2000 flagship (staleness proportional to network size), so the large
+// sizes measure the substrate rather than repeated O(n²) re-quoting; the
+// substrate passes fan out over all cores.
 func growBenchConfig(arrivals int) growth.Config {
 	cfg := growth.DefaultConfig()
 	cfg.Seed = growth.SeedEmpty
@@ -386,6 +389,10 @@ func growBenchConfig(arrivals int) growth.Config {
 	cfg.BudgetMin, cfg.BudgetMax = 3, 8
 	cfg.RateMin, cfg.RateMax = 0.5, 1.5
 	cfg.RefreshEvery = 64
+	if arrivals > 2000 {
+		cfg.RefreshEvery = arrivals / 32
+		cfg.Parallelism = -1
+	}
 	cfg.EpochEvery = arrivals
 	cfg.Uniform = true
 	return cfg
@@ -394,10 +401,15 @@ func growBenchConfig(arrivals int) growth.Config {
 // BenchmarkGrowArrivals measures the sequential-arrival engine end to
 // end on the incremental commit path: ns/op is the whole n=0→N run, and
 // the derived metric reports mean µs per join. The n=2000 size is the
-// acceptance run — it must stay well under 60s.
+// flagship; n=5000 and n=10000 are the CSR-substrate scale runs (the
+// n=10000 acceptance bound is <60s) and are skipped in -short mode so
+// the CI bench smoke stays fast.
 func BenchmarkGrowArrivals(b *testing.B) {
-	for _, arrivals := range []int{512, 1024, 2000} {
+	for _, arrivals := range []int{512, 1024, 2000, 5000, 10000} {
 		b.Run(fmt.Sprintf("n=%d", arrivals), func(b *testing.B) {
+			if testing.Short() && arrivals > 2000 {
+				b.Skip("scale rows in -short mode")
+			}
 			cfg := growBenchConfig(arrivals)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -443,9 +455,19 @@ func benchMarketConfig(batch, ticks int) market.Config {
 // the pricing fan out across cores; batch=256 must clear ≥3× the
 // sequential baseline's throughput.
 func BenchmarkMarketTick(b *testing.B) {
-	for _, batch := range []int{64, 256, 1024} {
+	for _, batch := range []int{64, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			if testing.Short() && batch > 1024 {
+				b.Skip("scale rows in -short mode")
+			}
 			cfg := benchMarketConfig(batch, 1)
+			if batch > 1024 {
+				// The wide-tick scale row runs the fused commit fold (the
+				// throughput configuration); regret telemetry is off by
+				// construction there.
+				cfg.BatchCommit = true
+				cfg.Parallelism = -1
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -500,4 +522,73 @@ func BenchmarkGrowArrivalsRebuild(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N)/float64(arrivals), "µs/join")
+}
+
+// BenchmarkAllPairsRebuild measures the deletion slow path (and the
+// cold start): the row-sharded parallel rebuild against the serial one
+// at the growth flagship size. On a single-core runner the parallel
+// variant degenerates to the serial loop; on k cores the rows shard
+// evenly, and the acceptance bar is ≥4× at n=2000 on 8 cores.
+func BenchmarkAllPairsRebuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.BarabasiAlbert(2000, 2, 1, rng)
+	g.AllPairsBFS() // warm the CSR cache outside the timed loops
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.AllPairsBFSParallel(1)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.AllPairsBFSParallel(0)
+		}
+	})
+}
+
+// BenchmarkExtendBatch measures the batched commit fold against k
+// sequential commits at batch=256 over an n=512 seed — the market
+// cohort shape. The batched variant must clear ≥3× the sequential
+// fold's throughput.
+func BenchmarkExtendBatch(b *testing.B) {
+	const batch = 256
+	rng := rand.New(rand.NewSource(1))
+	seed := graph.BarabasiAlbert(512, 2, 1, rng)
+	strategies := make([]core.Strategy, batch)
+	for j := range strategies {
+		strategies[j] = core.Strategy{
+			{Peer: graph.NodeID(rng.Intn(512)), Lock: 1},
+			{Peer: graph.NodeID(rng.Intn(512)), Lock: 1},
+			{Peer: graph.NodeID(rng.Intn(512)), Lock: 1},
+		}
+	}
+	params := core.Params{OnChainCost: 1, OppCostRate: 0.05, FAvg: 0.5, FeePerHop: 0.5, OwnRate: 1}
+	newSession := func(b *testing.B) *core.GrowSession {
+		gs, err := core.NewGrowSession(seed.Clone(), params, 512+batch, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return gs
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gs := newSession(b)
+			b.StartTimer()
+			for _, s := range strategies {
+				if _, err := gs.Commit(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			gs := newSession(b)
+			b.StartTimer()
+			if _, err := gs.CommitBatch(strategies); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

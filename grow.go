@@ -57,6 +57,11 @@ type GrowConfig struct {
 	// Params are the economic parameters (default DefaultParams);
 	// OwnRate is overridden by each joiner's drawn rate.
 	Params *Params
+	// Parallelism bounds the workers of the engine's substrate passes
+	// (the row-sharded all-pairs rebuild after churn and the commit
+	// fold): 0 runs single-threaded, negative uses all cores, positive
+	// bounds the workers. The report is bit-identical at every setting.
+	Parallelism int
 	// Seed drives the run's random stream; runs are bit-reproducible
 	// per seed.
 	Seed int64
@@ -170,6 +175,7 @@ func Grow(cfg GrowConfig) (*GrowReport, error) {
 	if cfg.Params != nil {
 		gc.Params = cfg.Params.toCore()
 	}
+	gc.Parallelism = cfg.Parallelism
 
 	start := time.Now()
 	res, err := growth.Run(gc, rand.New(rand.NewSource(cfg.Seed)))

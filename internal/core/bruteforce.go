@@ -81,6 +81,7 @@ func BruteForce(e *JoinEvaluator, cfg BruteForceConfig) (Result, error) {
 	// slice allocation plus a scratch stats rebuild.
 	st := e.session()
 	st.Reset()
+	st.setLean(false)
 	var current Strategy
 	var rec func(idx int, spent float64)
 	rec = func(idx int, spent float64) {

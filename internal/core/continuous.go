@@ -99,6 +99,7 @@ func bestSingleton(e *JoinEvaluator, budget float64, candidates []graph.NodeID, 
 	)
 	st := e.session()
 	st.Reset()
+	st.setLean(false)
 	for _, v := range candidates {
 		for _, lock := range grid {
 			// Feasibility of a singleton is its own spent budget; the
@@ -130,6 +131,8 @@ func bestMove(e *JoinEvaluator, current Strategy, value, budget float64, candida
 	var best Strategy
 
 	st := e.session()
+	st.Reset()
+	st.setLean(false)
 	// consider prices the base loaded into st plus one extra action.
 	// Feasibility is baseSpent + (C + lock): bit-identical to
 	// base.With(a).SpentBudget, whose final addition is exactly that

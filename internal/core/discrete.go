@@ -119,6 +119,7 @@ func greedyWithLocks(e *JoinEvaluator, budget, unit float64, lockUnits []int, ca
 	available := append([]graph.NodeID(nil), candidates...)
 	st := e.session()
 	st.Reset()
+	st.setLean(false)
 	var (
 		current   Strategy
 		spent     float64

@@ -39,9 +39,9 @@ type EvalState struct {
 	n int
 
 	// Live joinStats aggregates for the pushed multiset.
-	inDist   []int32
+	inDist   []uint16
 	inSigma  []float64
-	outDist  []int32
+	outDist  []uint16
 	outSigma []float64
 	outCap   []float64
 
@@ -54,6 +54,17 @@ type EvalState struct {
 	frames []evalFrame
 	depth  int
 	cost   float64 // Σ ChannelCost(lock) over pushed actions, push order
+
+	// lean marks the fixed-rate probe mode: only the outgoing distance
+	// aggregate is maintained (and snapshotted), which is all the
+	// fixed-rate objectives read — Fees and the disconnection test scan
+	// outDist, revenue comes off the λ̂ table. A lean probe touches ~2
+	// bytes per node against the ~34 the full state moves, which is
+	// what makes Algorithm 1 pricing scale to the n=10k substrate. The
+	// mode may only change while the state is empty; the in-direction
+	// and path-count reading methods panic on a lean state rather than
+	// serve stale aggregates.
+	lean bool
 }
 
 // evalFrame is the undo record of one push: the action, the prior scalar
@@ -69,9 +80,9 @@ type evalFrame struct {
 	prevPhi  float64
 	prevCost float64
 
-	inDist   []int32
+	inDist   []uint16
 	inSigma  []float64
-	outDist  []int32
+	outDist  []uint16
 	outSigma []float64
 	outCap   []float64
 }
@@ -83,23 +94,44 @@ func (e *JoinEvaluator) NewState() *EvalState {
 	st := &EvalState{
 		e:        e,
 		n:        e.n,
-		inDist:   make([]int32, e.n),
+		inDist:   make([]uint16, e.n),
 		inSigma:  make([]float64, e.n),
-		outDist:  make([]int32, e.n),
+		outDist:  make([]uint16, e.n),
 		outSigma: make([]float64, e.n),
 		outCap:   make([]float64, e.n),
 		mult:     make([]float64, e.n),
 		phiMult:  make([]float64, e.n),
 	}
 	for i := 0; i < st.n; i++ {
-		st.inDist[i] = graph.Unreachable
-		st.outDist[i] = graph.Unreachable
+		st.inDist[i] = graph.Inf16
+		st.outDist[i] = graph.Inf16
 	}
 	return st
 }
 
 // Depth reports the number of pushed actions.
 func (st *EvalState) Depth() int { return st.depth }
+
+// setLean switches the probe mode; only legal on an empty state so that
+// every frame on the undo stack was snapshotted under one mode.
+func (st *EvalState) setLean(lean bool) {
+	if lean == st.lean {
+		return
+	}
+	if st.depth != 0 {
+		panic("core: probe-mode switch on a non-empty EvalState")
+	}
+	st.lean = lean
+}
+
+// loadFor resets the session into the given probe mode and loads s.
+func (st *EvalState) loadFor(s Strategy, lean bool) {
+	st.Reset()
+	st.setLean(lean)
+	for _, a := range s {
+		st.Push(a)
+	}
+}
 
 // Strategy returns the pushed actions as a fresh Strategy slice, oldest
 // push first.
@@ -120,15 +152,18 @@ func (st *EvalState) Cost() float64 { return st.cost }
 // contribute nothing to the path structure, exactly like buildStats.
 func (st *EvalState) Push(a Action) {
 	if st.depth == len(st.frames) {
-		st.frames = append(st.frames, evalFrame{
-			inDist:   make([]int32, st.n),
-			inSigma:  make([]float64, st.n),
-			outDist:  make([]int32, st.n),
-			outSigma: make([]float64, st.n),
-			outCap:   make([]float64, st.n),
-		})
+		// Frames are mode-aware: the outgoing-distance snapshot is always
+		// needed, the four full-state arrays only on the first full-mode
+		// push at this depth — lean probes never pay for them.
+		st.frames = append(st.frames, evalFrame{outDist: make([]uint16, st.n)})
 	}
 	f := &st.frames[st.depth]
+	if !st.lean && f.inDist == nil {
+		f.inDist = make([]uint16, st.n)
+		f.inSigma = make([]float64, st.n)
+		f.outSigma = make([]float64, st.n)
+		f.outCap = make([]float64, st.n)
+	}
 	st.depth++
 	f.action = a
 	f.prevCost = st.cost
@@ -138,11 +173,15 @@ func (st *EvalState) Push(a Action) {
 	if !f.valid {
 		return
 	}
-	copy(f.inDist, st.inDist)
-	copy(f.inSigma, st.inSigma)
-	copy(f.outDist, st.outDist)
-	copy(f.outSigma, st.outSigma)
-	copy(f.outCap, st.outCap)
+	if st.lean {
+		copy(f.outDist, st.outDist)
+	} else {
+		copy(f.inDist, st.inDist)
+		copy(f.inSigma, st.inSigma)
+		copy(f.outDist, st.outDist)
+		copy(f.outSigma, st.outSigma)
+		copy(f.outCap, st.outCap)
+	}
 
 	v := a.Peer
 	f.prevMult = st.mult[v]
@@ -153,7 +192,11 @@ func (st *EvalState) Push(a Action) {
 		f.newPeer = true
 		f.peerIdx = st.insertPeer(v)
 	}
-	st.applyPeer(v)
+	if st.lean {
+		st.applyPeerLean(v)
+	} else {
+		st.applyPeer(v)
+	}
 }
 
 // Pop undoes the most recent push exactly (bitwise), restoring the
@@ -173,6 +216,10 @@ func (st *EvalState) Pop() {
 	st.phiMult[v] = f.prevPhi
 	if f.newPeer {
 		st.peers = append(st.peers[:f.peerIdx], st.peers[f.peerIdx+1:]...)
+	}
+	if st.lean {
+		copy(st.outDist, f.outDist)
+		return
 	}
 	copy(st.inDist, f.inDist)
 	copy(st.inSigma, f.inSigma)
@@ -231,24 +278,39 @@ func (st *EvalState) applyPeer(v graph.NodeID) {
 	mv := st.mult[v]
 	pv := st.phiMult[v]
 	for x := 0; x < st.n; x++ {
-		if d := distTo[x]; d != graph.Unreachable {
+		if d := distTo[x]; d != graph.Inf16 {
 			switch {
-			case st.inDist[x] == graph.Unreachable || d < st.inDist[x]:
+			case st.inDist[x] == graph.Inf16 || d < st.inDist[x]:
 				st.inDist[x] = d
 				st.inSigma[x] = mv * sigTo[x]
 			case d == st.inDist[x]:
 				st.resumIn(x)
 			}
 		}
-		if d := distFrom[x]; d != graph.Unreachable {
+		if d := distFrom[x]; d != graph.Inf16 {
 			switch {
-			case st.outDist[x] == graph.Unreachable || d < st.outDist[x]:
+			case st.outDist[x] == graph.Inf16 || d < st.outDist[x]:
 				st.outDist[x] = d
 				st.outSigma[x] = mv * sigFrom[x]
 				st.outCap[x] = pv * sigFrom[x]
 			case d == st.outDist[x]:
 				st.resumOut(x)
 			}
+		}
+	}
+}
+
+// applyPeerLean is the fixed-rate probe's applyPeer: only the outgoing
+// minimum distance is maintained. Inf16 encodes +∞ as the maximum
+// value, so one unsigned compare per node is the whole update — ties
+// change nothing (they only affect path counts, which lean probes never
+// read).
+func (st *EvalState) applyPeerLean(v graph.NodeID) {
+	distFrom := st.e.ap.DistRow(int(v))
+	out := st.outDist
+	for x, d := range distFrom {
+		if d < out[x] {
+			out[x] = d
 		}
 	}
 }
@@ -312,7 +374,7 @@ func (st *EvalState) Disconnected() bool {
 	}
 	pu := st.e.pu
 	for v := 0; v < st.n; v++ {
-		if pu[v] > 0 && st.outDist[v] == graph.Unreachable {
+		if pu[v] > 0 && st.outDist[v] == graph.Inf16 {
 			return true
 		}
 	}
@@ -331,14 +393,14 @@ func (st *EvalState) Fees() float64 {
 		if p == 0 {
 			continue
 		}
-		if st.outDist[v] == graph.Unreachable {
+		if st.outDist[v] == graph.Inf16 {
 			if scale > 0 {
 				return math.Inf(1)
 			}
 			continue
 		}
 		// d_{G+S}(u, v) = 1 + min_j d(v_j, v).
-		sum += p * float64(1+st.outDist[v])
+		sum += p * float64(1+int(st.outDist[v]))
 	}
 	return scale * sum
 }
@@ -347,19 +409,22 @@ func (st *EvalState) Fees() float64 {
 // whose shortest path in G+S routes through the joining user, weighted by
 // the capacity factor of the exit channels.
 func (st *EvalState) TransitRate() float64 {
+	if st.lean {
+		panic("core: TransitRate on a lean (fixed-rate) evaluation state")
+	}
 	e := st.e
 	if len(st.peers) == 0 {
 		return 0
 	}
 	var total float64
 	for src := 0; src < st.n; src++ {
-		if st.inDist[src] == graph.Unreachable {
+		if st.inDist[src] == graph.Inf16 {
 			continue
 		}
 		rowDist := e.ap.DistRow(src)
 		rowSigma := e.ap.SigmaRow(src)
 		for dst := 0; dst < st.n; dst++ {
-			if dst == src || st.outDist[dst] == graph.Unreachable {
+			if dst == src || st.outDist[dst] == graph.Inf16 {
 				continue
 			}
 			w := e.demand.PairRate(graph.NodeID(src), graph.NodeID(dst))
@@ -370,7 +435,7 @@ func (st *EvalState) TransitRate() float64 {
 			d0 := int(rowDist[dst])
 			var frac float64
 			switch {
-			case d0 == graph.Unreachable || dThru < d0:
+			case rowDist[dst] == graph.Inf16 || dThru < d0:
 				frac = 1
 			case dThru == d0:
 				sThru := st.inSigma[src] * st.outSigma[dst]
@@ -426,12 +491,12 @@ func (st *EvalState) Utility(model RevenueModel) float64 {
 		if p == 0 {
 			continue
 		}
-		if st.outDist[v] == graph.Unreachable {
+		if st.outDist[v] == graph.Inf16 {
 			// A positive-probability recipient is unreachable: the
 			// strategy disconnects the user regardless of fee scale.
 			return math.Inf(-1)
 		}
-		feeSum += p * float64(1+st.outDist[v])
+		feeSum += p * float64(1+int(st.outDist[v]))
 	}
 	return st.Revenue(model) - scale*feeSum - st.cost
 }

@@ -215,29 +215,55 @@ func (e *JoinEvaluator) EstimateRates(candidates []graph.NodeID) map[graph.NodeI
 	}
 	n := e.n
 	st := e.buildStats(ref)
-	// Pre-collect the argmin peer sets per node for entry and exit.
-	entry := make([][]graph.NodeID, n)
-	exit := make([][]graph.NodeID, n)
+	// Pre-collect the argmin peer sets per node for entry and exit, as
+	// flat CSR-style lists, and accumulate the per-peer mass into a
+	// dense vector — the hot loop then touches no maps and no per-node
+	// slice headers. Each peer's additions happen in exactly the order
+	// the map-based accumulation performed them, so the totals are
+	// bit-identical.
+	acc := make([]float64, n)
+	entryOff := make([]int32, n+1)
+	exitOff := make([]int32, n+1)
+	var entryCnt, exitCnt int
 	for x := 0; x < n; x++ {
 		toX := e.apT.DistRow(x)
 		fromX := e.ap.DistRow(x)
 		for _, v := range st.peers {
-			if d := fromX[v]; d != graph.Unreachable && d == st.inDist[x] {
-				entry[x] = append(entry[x], v)
+			if d := fromX[v]; d != graph.Inf16 && d == st.inDist[x] {
+				entryCnt++
 			}
-			if d := toX[v]; d != graph.Unreachable && d == st.outDist[x] {
-				exit[x] = append(exit[x], v)
+			if d := toX[v]; d != graph.Inf16 && d == st.outDist[x] {
+				exitCnt++
+			}
+		}
+		entryOff[x+1] = int32(entryCnt)
+		exitOff[x+1] = int32(exitCnt)
+	}
+	entry := make([]int32, entryCnt)
+	exit := make([]int32, exitCnt)
+	entryCnt, exitCnt = 0, 0
+	for x := 0; x < n; x++ {
+		toX := e.apT.DistRow(x)
+		fromX := e.ap.DistRow(x)
+		for _, v := range st.peers {
+			if d := fromX[v]; d != graph.Inf16 && d == st.inDist[x] {
+				entry[entryCnt] = int32(v)
+				entryCnt++
+			}
+			if d := toX[v]; d != graph.Inf16 && d == st.outDist[x] {
+				exit[exitCnt] = int32(v)
+				exitCnt++
 			}
 		}
 	}
 	for src := 0; src < n; src++ {
-		if st.inDist[src] == graph.Unreachable {
+		if st.inDist[src] == graph.Inf16 {
 			continue
 		}
 		rowDist := e.ap.DistRow(src)
 		rowSigma := e.ap.SigmaRow(src)
 		for dst := 0; dst < n; dst++ {
-			if dst == src || st.outDist[dst] == graph.Unreachable {
+			if dst == src || st.outDist[dst] == graph.Inf16 {
 				continue
 			}
 			w := e.demand.PairRate(graph.NodeID(src), graph.NodeID(dst))
@@ -248,7 +274,7 @@ func (e *JoinEvaluator) EstimateRates(candidates []graph.NodeID) map[graph.NodeI
 			d0 := int(rowDist[dst])
 			var frac float64
 			switch {
-			case d0 == graph.Unreachable || dThru < d0:
+			case rowDist[dst] == graph.Inf16 || dThru < d0:
 				frac = 1
 			case dThru == d0:
 				sThru := st.inSigma[src] * st.outSigma[dst]
@@ -257,13 +283,16 @@ func (e *JoinEvaluator) EstimateRates(candidates []graph.NodeID) map[graph.NodeI
 				continue
 			}
 			flow := w * frac
-			for _, vi := range entry[src] {
-				rates[vi] += 0.5 * flow * e.ap.SigmaAt(graph.NodeID(src), vi) / st.inSigma[src]
+			for _, vi := range entry[entryOff[src]:entryOff[src+1]] {
+				acc[vi] += 0.5 * flow * e.ap.SigmaAt(graph.NodeID(src), graph.NodeID(vi)) / st.inSigma[src]
 			}
-			for _, vj := range exit[dst] {
-				rates[vj] += 0.5 * flow * e.ap.SigmaAt(vj, graph.NodeID(dst)) / st.outSigma[dst]
+			for _, vj := range exit[exitOff[dst]:exitOff[dst+1]] {
+				acc[vj] += 0.5 * flow * e.ap.SigmaAt(graph.NodeID(vj), graph.NodeID(dst)) / st.outSigma[dst]
 			}
 		}
+	}
+	for v := range rates {
+		rates[v] = acc[v]
 	}
 	return rates
 }

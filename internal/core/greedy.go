@@ -64,6 +64,10 @@ func Greedy(e *JoinEvaluator, cfg GreedyConfig) (Result, error) {
 	available := append([]graph.NodeID(nil), candidates...)
 	st := e.session()
 	st.Reset()
+	// Under the fixed-rate model every marginal probe reads only the
+	// outgoing distances, so the session runs in lean mode — the final
+	// reported utility reloads the session under its own model below.
+	st.setLean(model == RevenueFixedRate)
 	var (
 		current     Strategy
 		bestLen     int

@@ -35,6 +35,19 @@ type GrowSession struct {
 	params Params
 	lambda *lambdaTable
 	remote float64
+
+	// workers bounds the fan-out of the parallel substrate passes (the
+	// row-sharded rebuild and the batched fold); 1 runs everything
+	// inline. Results are bit-identical at every setting.
+	workers  int
+	rebuilds int
+
+	// Reusable commit-path scratch: peer-set conversions and the batched
+	// extender's buffers, so steady-state commits allocate nothing.
+	extendScratch graph.ExtendScratch
+	batchSets     []graph.PeerSet
+	one           [1]Strategy
+	oneID         [1]graph.NodeID
 }
 
 // NewGrowSession opens a session over g, which the session owns and
@@ -52,20 +65,40 @@ func NewGrowSession(g *graph.Graph, params Params, capacityHint int, remoteBalan
 	}
 	ap := g.AllPairsBFS()
 	apT := ap.Transposed()
+	gs := &GrowSession{
+		g:       g,
+		ap:      ap,
+		apT:     apT,
+		demand:  &traffic.Demand{},
+		params:  params,
+		lambda:  emptyLambda(),
+		remote:  remoteBalance,
+		workers: 1,
+	}
 	if capacityHint > 0 {
 		ap.Reserve(capacityHint)
 		apT.Reserve(capacityHint)
+		gs.extendScratch.Reserve(capacityHint)
 	}
-	return &GrowSession{
-		g:      g,
-		ap:     ap,
-		apT:    apT,
-		demand: &traffic.Demand{},
-		params: params,
-		lambda: emptyLambda(),
-		remote: remoteBalance,
-	}, nil
+	return gs, nil
 }
+
+// SetParallelism bounds the worker fan-out of the session's substrate
+// passes: the row-sharded all-pairs rebuild (the deletion slow path) and
+// the batched commit fold. Values ≤ 0 select all cores; every result is
+// bit-identical at any setting, so this is purely a wall-clock knob.
+func (gs *GrowSession) SetParallelism(workers int) {
+	if workers <= 0 {
+		gs.workers = 0
+	} else {
+		gs.workers = workers
+	}
+}
+
+// RebuildCount reports how many full all-pairs rebuilds the session has
+// paid — the deletion-slow-path odometer the growth engine's
+// skip-isolated-closures optimization is measured by.
+func (gs *GrowSession) RebuildCount() int { return gs.rebuilds }
 
 // emptyLambda returns a built λ̂ table with no entries, so pricing before
 // the first rate refresh sees zero rates instead of triggering an
@@ -159,17 +192,85 @@ func (gs *GrowSession) evaluator(pu []float64, params Params) *JoinEvaluator {
 // joins with the strategy's channels (the joiner's lock on its side, the
 // session's remote balance on the peer side), and the all-pairs structure
 // is extended in place. Returns the new node's identifier.
+//
+// Commit is the batch fold of size one: it shares CommitBatch's
+// machinery (and scratch) so the single-arrival growth loop and the
+// market's batched cohorts exercise the same code path, and a
+// steady-state commit allocates nothing.
 func (gs *GrowSession) Commit(s Strategy) (graph.NodeID, error) {
-	if err := gs.evaluator(nil, gs.params).ValidateStrategy(s); err != nil {
+	gs.one[0] = s
+	ids, err := gs.commitBatch(gs.one[:], gs.oneID[:0])
+	if err != nil {
 		return graph.InvalidNode, err
 	}
-	inDist, inSigma, outDist, outSigma := gs.aggregates(s)
-	u := gs.g.AddNode()
-	if err := gs.openChannels(u, s); err != nil {
-		return graph.InvalidNode, err
+	return ids[0], nil
+}
+
+// CommitBatch folds a whole cohort of arrivals in one fused pass: node
+// j joins with strategies[j]'s channels, identifiers are assigned in
+// order, and the all-pairs structure is extended by the batched fold
+// (graph.ExtendWithNodes) — bit-identical to len(strategies) sequential
+// Commits, but streaming the distance plane once per chunk instead of
+// once per winner, with the row passes sharded per SetParallelism.
+//
+// Every strategy must reference peers that predate the batch (the
+// market's cohorts satisfy this by construction: bids are priced against
+// the tick-start substrate). Strategies may be empty — the arrival joins
+// isolated.
+func (gs *GrowSession) CommitBatch(strategies []Strategy) ([]graph.NodeID, error) {
+	return gs.commitBatch(strategies, make([]graph.NodeID, 0, len(strategies)))
+}
+
+func (gs *GrowSession) commitBatch(strategies []Strategy, ids []graph.NodeID) ([]graph.NodeID, error) {
+	ev := gs.evaluator(nil, gs.params)
+	for _, s := range strategies {
+		if err := ev.ValidateStrategy(s); err != nil {
+			return nil, err
+		}
 	}
-	graph.ExtendWithNode(gs.ap, gs.apT, int(u), inDist, inSigma, outDist, outSigma)
-	return u, nil
+	sets := gs.peerSets(strategies)
+	for _, s := range strategies {
+		u := gs.g.AddNode()
+		ids = append(ids, u)
+		if err := gs.openChannels(u, s); err != nil {
+			return nil, err
+		}
+	}
+	graph.ExtendWithNodes(gs.ap, gs.apT, sets, gs.workers, &gs.extendScratch)
+	return ids, nil
+}
+
+// peerSets converts the strategies into the batched extender's peer
+// multiset form — ascending distinct peers with channel multiplicities —
+// reusing the session's buffers.
+func (gs *GrowSession) peerSets(strategies []Strategy) []graph.PeerSet {
+	if cap(gs.batchSets) < len(strategies) {
+		gs.batchSets = make([]graph.PeerSet, len(strategies))
+	}
+	sets := gs.batchSets[:len(strategies)]
+	for j, s := range strategies {
+		set := &sets[j]
+		set.Peers = set.Peers[:0]
+		set.Mult = set.Mult[:0]
+		for _, a := range s {
+			// Insert in ascending order; strategies are small.
+			i := len(set.Peers)
+			for i > 0 && set.Peers[i-1] > a.Peer {
+				i--
+			}
+			if i > 0 && set.Peers[i-1] == a.Peer {
+				set.Mult[i-1]++
+				continue
+			}
+			set.Peers = append(set.Peers, 0)
+			set.Mult = append(set.Mult, 0)
+			copy(set.Peers[i+1:], set.Peers[i:])
+			copy(set.Mult[i+1:], set.Mult[i:])
+			set.Peers[i] = a.Peer
+			set.Mult[i] = 1
+		}
+	}
+	return sets
 }
 
 // Reattach folds a strategy back in for an existing node whose channels
@@ -201,7 +302,7 @@ func (gs *GrowSession) Reattach(v graph.NodeID, s Strategy) error {
 // aggregates computes the through-u joinStats of s over the current
 // structure by loading it into a fresh incremental state — O(n·|S|), the
 // same arrays ExtendWithNode consumes.
-func (gs *GrowSession) aggregates(s Strategy) (inDist []int32, inSigma []float64, outDist []int32, outSigma []float64) {
+func (gs *GrowSession) aggregates(s Strategy) (inDist []uint16, inSigma []float64, outDist []uint16, outSigma []float64) {
 	st := gs.evaluator(nil, gs.params).NewState()
 	st.Load(s)
 	return st.inDist, st.inSigma, st.outDist, st.outSigma
@@ -238,11 +339,14 @@ func (gs *GrowSession) CloseNode(v graph.NodeID) (closed int, err error) {
 
 // Rebuild recomputes the all-pairs structure from scratch — O(n·(n+m)),
 // the price of deletions — preserving the reserved capacity so subsequent
-// commits stay allocation-free.
+// commits stay allocation-free. The n source rows shard across the
+// session's parallelism bound (SetParallelism); the result is
+// bit-identical at any setting.
 func (gs *GrowSession) Rebuild() {
 	stride := gs.ap.Stride
-	gs.ap = gs.g.AllPairsBFS()
-	gs.apT = gs.ap.Transposed()
+	gs.ap = gs.g.AllPairsBFSParallel(gs.workers)
+	gs.apT = gs.ap.TransposedParallel(gs.workers)
 	gs.ap.Reserve(stride)
 	gs.apT.Reserve(stride)
+	gs.rebuilds++
 }

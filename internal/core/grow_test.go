@@ -197,3 +197,127 @@ func TestScratchGreedyMatchesGreedy(t *testing.T) {
 		}
 	}
 }
+
+// TestGrowSessionCommitBatchMatchesSequential drives two sessions over
+// identical cohorts — one folding through CommitBatch, one through
+// sequential Commits — and requires bit-identical identifiers and
+// structures, plus agreement with a from-scratch rebuild.
+func TestGrowSessionCommitBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	seed := graph.BarabasiAlbert(8, 2, 1, rng)
+	seq, err := NewGrowSession(seed.Clone(), testParams(), 128, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	bat, err := NewGrowSession(seed.Clone(), testParams(), 128, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	bat.SetParallelism(3)
+	for round := 0; round < 3; round++ {
+		base := seq.NumNodes()
+		cohort := make([]Strategy, 5+round*20) // crosses the chunk boundary on the last round
+		for j := range cohort {
+			var s Strategy
+			for c := rng.Intn(4); c > 0; c-- {
+				s = append(s, Action{Peer: graph.NodeID(rng.Intn(base)), Lock: float64(rng.Intn(3))})
+			}
+			cohort[j] = s
+		}
+		var want []graph.NodeID
+		for _, s := range cohort {
+			u, err := seq.Commit(s)
+			if err != nil {
+				t.Fatalf("Commit: %v", err)
+			}
+			want = append(want, u)
+		}
+		got, err := bat.CommitBatch(cohort)
+		if err != nil {
+			t.Fatalf("CommitBatch: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("CommitBatch returned %d ids, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("cohort member %d: node %d vs %d", i, got[i], want[i])
+			}
+		}
+		requireSessionMatchesRebuild(t, "batch", bat)
+		sap, bap := seq.AllPairs(), bat.AllPairs()
+		for s := 0; s < sap.N; s++ {
+			for r := 0; r < sap.N; r++ {
+				if sap.DistAt(graph.NodeID(s), graph.NodeID(r)) != bap.DistAt(graph.NodeID(s), graph.NodeID(r)) ||
+					sap.SigmaAt(graph.NodeID(s), graph.NodeID(r)) != bap.SigmaAt(graph.NodeID(s), graph.NodeID(r)) {
+					t.Fatalf("seq/batch planes diverge at [%d][%d]", s, r)
+				}
+			}
+		}
+	}
+}
+
+// TestGrowSessionCommitBatchRejectsBatchPeers pins the cohort contract:
+// strategies may not reference nodes created inside the same batch.
+func TestGrowSessionCommitBatchRejectsBatchPeers(t *testing.T) {
+	gs, err := NewGrowSession(graph.Star(3, 1), testParams(), 16, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	// Peer 4 would be the first batch member's identifier.
+	_, err = gs.CommitBatch([]Strategy{nil, {Action{Peer: 4, Lock: 1}}})
+	if err == nil {
+		t.Fatal("CommitBatch accepted a peer from inside the batch")
+	}
+	if gs.NumNodes() != 4 {
+		t.Fatalf("failed batch mutated the substrate: %d nodes", gs.NumNodes())
+	}
+}
+
+// TestGrowSessionCloseIsolatedSkipsRebuild is the regression test for
+// the deletion fast path: closing an already-isolated node removes no
+// channels, so callers keyed on the closed count (the growth engine's
+// churn step) skip the O(n·(n+m)) rebuild entirely.
+func TestGrowSessionCloseIsolatedSkipsRebuild(t *testing.T) {
+	gs, err := NewGrowSession(graph.Star(4, 1), testParams(), 16, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	// An arrival with an empty strategy joins isolated — the shape churn
+	// hits when a budget never afforded a channel.
+	u, err := gs.Commit(nil)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	closed, err := gs.CloseNode(u)
+	if err != nil {
+		t.Fatalf("CloseNode: %v", err)
+	}
+	if closed != 0 {
+		t.Fatalf("CloseNode(isolated) closed %d channels, want 0", closed)
+	}
+	if gs.RebuildCount() != 0 {
+		t.Fatalf("RebuildCount = %d before any Rebuild", gs.RebuildCount())
+	}
+	// The structure must still be coherent without any rebuild: pricing
+	// and committing proceed as if the closure never happened.
+	requireSessionMatchesRebuild(t, "isolated-close", gs)
+	if _, err := gs.Commit(Strategy{{Peer: 0, Lock: 1}}); err != nil {
+		t.Fatalf("Commit after skipped rebuild: %v", err)
+	}
+	requireSessionMatchesRebuild(t, "post-commit", gs)
+
+	// A connected node's closure still demands the slow path.
+	closed, err = gs.CloseNode(1)
+	if err != nil {
+		t.Fatalf("CloseNode(connected): %v", err)
+	}
+	if closed == 0 {
+		t.Fatal("CloseNode(connected) closed nothing")
+	}
+	gs.Rebuild()
+	if gs.RebuildCount() != 1 {
+		t.Fatalf("RebuildCount = %d after one Rebuild", gs.RebuildCount())
+	}
+	requireSessionMatchesRebuild(t, "post-rebuild", gs)
+}

@@ -47,7 +47,7 @@ func (k ObjectiveKind) String() string {
 // is exactly the through-u transit rate.
 func (e *JoinEvaluator) TransitRate(s Strategy) float64 {
 	st := e.session()
-	st.Load(s)
+	st.loadFor(s, false)
 	return st.TransitRate()
 }
 
@@ -74,7 +74,7 @@ func (e *JoinEvaluator) Revenue(s Strategy, model RevenueModel) float64 {
 // positive).
 func (e *JoinEvaluator) Fees(s Strategy) float64 {
 	st := e.session()
-	st.Load(s)
+	st.loadFor(s, true) // fees read only the outgoing distances
 	return st.Fees()
 }
 
@@ -95,7 +95,7 @@ func (e *JoinEvaluator) Disconnected(s Strategy) bool {
 		return false
 	}
 	st := e.session()
-	st.Load(s)
+	st.loadFor(s, true) // reachability reads only the outgoing distances
 	return st.Disconnected()
 }
 
@@ -105,7 +105,7 @@ func (e *JoinEvaluator) Disconnected(s Strategy) bool {
 // incremental state instead of the historical three stats rebuilds.
 func (e *JoinEvaluator) Utility(s Strategy, model RevenueModel) float64 {
 	st := e.session()
-	st.Load(s)
+	st.loadFor(s, model == RevenueFixedRate)
 	return st.Utility(model)
 }
 
@@ -113,7 +113,7 @@ func (e *JoinEvaluator) Utility(s Strategy, model RevenueModel) float64 {
 // Theorem 2, the objective of Algorithms 1 and 2.
 func (e *JoinEvaluator) Simplified(s Strategy, model RevenueModel) float64 {
 	st := e.session()
-	st.Load(s)
+	st.loadFor(s, model == RevenueFixedRate)
 	return st.Simplified(model)
 }
 

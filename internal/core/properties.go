@@ -50,6 +50,8 @@ func CheckSubmodularity(e *JoinEvaluator, kind ObjectiveKind, model RevenueModel
 		return report
 	}
 	st := e.session()
+	st.Reset()
+	st.setLean(false)
 	for t := 0; t < trials; t++ {
 		s2, x := randomNestedConfig(n, locks, rng)
 		cut := rng.Intn(len(s2) + 1)
@@ -92,6 +94,8 @@ func CheckMonotonicity(e *JoinEvaluator, kind ObjectiveKind, model RevenueModel,
 		return report
 	}
 	st := e.session()
+	st.Reset()
+	st.setLean(false)
 	for t := 0; t < trials; t++ {
 		s, x := randomNestedConfig(n, locks, rng)
 		st.Load(s)

@@ -32,9 +32,9 @@ import (
 // argument shows each such concatenation is a valid simple path whenever
 // it achieves the true G+S distance.
 type joinStats struct {
-	inDist   []int32
+	inDist   []uint16
 	inSigma  []float64
-	outDist  []int32
+	outDist  []uint16
 	outSigma []float64
 	outCap   []float64
 	peers    []graph.NodeID
@@ -60,33 +60,33 @@ func (e *JoinEvaluator) buildStats(s Strategy) joinStats {
 	// ascending-peer order, which is what makes the two paths bit-equal.
 	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	st := joinStats{
-		inDist:   make([]int32, e.n),
+		inDist:   make([]uint16, e.n),
 		inSigma:  make([]float64, e.n),
-		outDist:  make([]int32, e.n),
+		outDist:  make([]uint16, e.n),
 		outSigma: make([]float64, e.n),
 		outCap:   make([]float64, e.n),
 		peers:    peers,
 	}
 	for x := 0; x < e.n; x++ {
-		st.inDist[x] = graph.Unreachable
-		st.outDist[x] = graph.Unreachable
+		st.inDist[x] = graph.Inf16
+		st.outDist[x] = graph.Inf16
 		fromX := e.ap.DistRow(x) // d(x, ·)
 		fromXSig := e.ap.SigmaRow(x)
 		toX := e.apT.DistRow(x) // d(·, x)
 		toXSig := e.apT.SigmaRow(x)
 		for _, v := range peers {
-			if d := fromX[v]; d != graph.Unreachable {
+			if d := fromX[v]; d != graph.Inf16 {
 				switch {
-				case st.inDist[x] == graph.Unreachable || d < st.inDist[x]:
+				case st.inDist[x] == graph.Inf16 || d < st.inDist[x]:
 					st.inDist[x] = d
 					st.inSigma[x] = mult[v] * fromXSig[v]
 				case d == st.inDist[x]:
 					st.inSigma[x] += mult[v] * fromXSig[v]
 				}
 			}
-			if d := toX[v]; d != graph.Unreachable {
+			if d := toX[v]; d != graph.Inf16 {
 				switch {
-				case st.outDist[x] == graph.Unreachable || d < st.outDist[x]:
+				case st.outDist[x] == graph.Inf16 || d < st.outDist[x]:
 					st.outDist[x] = d
 					st.outSigma[x] = mult[v] * toXSig[v]
 					st.outCap[x] = phiMult[v] * toXSig[v]
@@ -109,13 +109,13 @@ func (e *JoinEvaluator) scratchTransitRate(s Strategy) float64 {
 	}
 	var total float64
 	for src := 0; src < e.n; src++ {
-		if st.inDist[src] == graph.Unreachable {
+		if st.inDist[src] == graph.Inf16 {
 			continue
 		}
 		rowDist := e.ap.DistRow(src)
 		rowSigma := e.ap.SigmaRow(src)
 		for dst := 0; dst < e.n; dst++ {
-			if dst == src || st.outDist[dst] == graph.Unreachable {
+			if dst == src || st.outDist[dst] == graph.Inf16 {
 				continue
 			}
 			w := e.demand.PairRate(graph.NodeID(src), graph.NodeID(dst))
@@ -126,7 +126,7 @@ func (e *JoinEvaluator) scratchTransitRate(s Strategy) float64 {
 			d0 := int(rowDist[dst])
 			var frac float64
 			switch {
-			case d0 == graph.Unreachable || dThru < d0:
+			case rowDist[dst] == graph.Inf16 || dThru < d0:
 				frac = 1
 			case dThru == d0:
 				sThru := st.inSigma[src] * st.outSigma[dst]
@@ -154,14 +154,14 @@ func (e *JoinEvaluator) scratchFees(s Strategy) float64 {
 		if p == 0 {
 			continue
 		}
-		if st.outDist[v] == graph.Unreachable {
+		if st.outDist[v] == graph.Inf16 {
 			if scale > 0 {
 				return math.Inf(1)
 			}
 			continue
 		}
 		// d_{G+S}(u, v) = 1 + min_j d(v_j, v).
-		sum += p * float64(1+st.outDist[v])
+		sum += p * float64(1+int(st.outDist[v]))
 	}
 	return scale * sum
 }
@@ -176,7 +176,7 @@ func (e *JoinEvaluator) scratchDisconnected(s Strategy) bool {
 		return true
 	}
 	for v := 0; v < e.n; v++ {
-		if e.pu[v] > 0 && st.outDist[v] == graph.Unreachable {
+		if e.pu[v] > 0 && st.outDist[v] == graph.Inf16 {
 			return true
 		}
 	}

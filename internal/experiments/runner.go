@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/rand"
 	"sync/atomic"
+
+	"github.com/lightning-creation-games/lcg/internal/par"
 )
 
 // Options configure one experiment run.
@@ -26,24 +28,24 @@ type Options struct {
 // Experiments with randomised trial loops must derive one independent
 // random stream per work item with SubRand, indexed by the item's
 // position in the loop, never by scheduling order. That discipline —
-// per-item streams plus index-ordered result slots (Pool.ForEach) — is
+// per-item streams plus index-ordered result slots (par.Pool.ForEach) — is
 // what keeps tables bit-for-bit identical across parallelism settings.
 type Ctx struct {
 	// Seed is the experiment corpus seed.
 	Seed int64
 
-	pool *Pool
+	pool *par.Pool
 }
 
 // NewCtx builds an execution context from options.
 func NewCtx(opts Options) *Ctx {
-	return &Ctx{Seed: opts.Seed, pool: NewPool(opts.Parallelism)}
+	return &Ctx{Seed: opts.Seed, pool: par.NewPool(opts.Parallelism)}
 }
 
 // serialCtx is the context of the compatibility entry points: one worker,
 // everything inline.
 func serialCtx(seed int64) *Ctx {
-	return &Ctx{Seed: seed, pool: NewPool(1)}
+	return &Ctx{Seed: seed, pool: par.NewPool(1)}
 }
 
 // Parallelism returns the worker bound of the context's pool.
@@ -70,8 +72,8 @@ func (c *Ctx) SubRand(path ...int) *rand.Rand {
 	return rand.New(rand.NewSource(c.SubSeed(path...)))
 }
 
-// ForEach runs fn over [0, n) on the context's pool; see Pool.ForEach for
-// the determinism contract.
+// ForEach runs fn over [0, n) on the context's pool; see par.Pool.ForEach
+// for the determinism contract.
 func (c *Ctx) ForEach(n int, fn func(i int) error) error {
 	return c.pool.ForEach(n, fn)
 }
@@ -156,7 +158,7 @@ func (r *Runner) RunEach(ids []string, fn func(i int, tbl *Table) error) error {
 	// the errAbandoned sentinel trips ForEach's short-circuit.
 	var abandoned atomic.Bool
 	errAbandoned := errors.New("experiments: run abandoned")
-	outer := NewPool(r.opts.Parallelism)
+	outer := par.NewPool(r.opts.Parallelism)
 	go outer.ForEach(n, func(i int) error {
 		defer close(done[i])
 		if abandoned.Load() {
@@ -177,4 +179,27 @@ func (r *Runner) RunEach(ids []string, fn func(i int, tbl *Table) error) error {
 		}
 	}
 	return nil
+}
+
+// addRows runs fn over [0, n) on the pool and appends the returned rows
+// to t in index order. A nil row with a nil error skips that item — the
+// vacuous-trial convention shared by every experiment with skippable
+// work items.
+func addRows(t *Table, p *par.Pool, n int, fn func(i int) ([]any, error)) error {
+	rows, err := collect(p, n, fn)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if row != nil {
+			t.AddRow(row...)
+		}
+	}
+	return nil
+}
+
+// collect runs fn over [0, n) on the pool and returns the results in
+// index order, so the output is independent of scheduling.
+func collect[T any](p *par.Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	return par.Collect(p, n, fn)
 }

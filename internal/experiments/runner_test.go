@@ -4,99 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"testing"
-	"time"
+
+	"github.com/lightning-creation-games/lcg/internal/par"
 )
-
-func TestPoolSerialWhenOneWorker(t *testing.T) {
-	p := NewPool(1)
-	if p.Workers() != 1 {
-		t.Fatalf("Workers() = %d, want 1", p.Workers())
-	}
-	var order []int
-	err := p.ForEach(5, func(i int) error {
-		order = append(order, i)
-		return nil
-	})
-	if err != nil {
-		t.Fatalf("ForEach: %v", err)
-	}
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("serial order = %v", order)
-		}
-	}
-}
-
-func TestPoolDefaultsToGOMAXPROCS(t *testing.T) {
-	if w := NewPool(0).Workers(); w < 1 {
-		t.Fatalf("Workers() = %d", w)
-	}
-	if w := NewPool(-3).Workers(); w < 1 {
-		t.Fatalf("Workers() = %d", w)
-	}
-}
-
-func TestPoolRunsEveryIndexOnce(t *testing.T) {
-	p := NewPool(4)
-	const n = 100
-	var counts [n]int32
-	if err := p.ForEach(n, func(i int) error {
-		atomic.AddInt32(&counts[i], 1)
-		return nil
-	}); err != nil {
-		t.Fatalf("ForEach: %v", err)
-	}
-	for i, c := range counts {
-		if c != 1 {
-			t.Fatalf("index %d ran %d times", i, c)
-		}
-	}
-}
-
-func TestPoolReturnsLowestIndexError(t *testing.T) {
-	for _, workers := range []int{1, 4} {
-		p := NewPool(workers)
-		errLow := errors.New("low")
-		errHigh := errors.New("high")
-		err := p.ForEach(10, func(i int) error {
-			switch i {
-			case 3:
-				return errLow
-			case 7:
-				return errHigh
-			}
-			return nil
-		})
-		if !errors.Is(err, errLow) {
-			t.Fatalf("workers=%d: error = %v, want lowest-index error", workers, err)
-		}
-	}
-}
-
-func TestPoolStopsLaunchingAfterFailure(t *testing.T) {
-	p := NewPool(2)
-	boom := errors.New("boom")
-	const n = 64
-	var executed int32
-	err := p.ForEach(n, func(i int) error {
-		if i == 0 {
-			return boom // fails while the launcher is still gated on the semaphore
-		}
-		time.Sleep(time.Millisecond)
-		atomic.AddInt32(&executed, 1)
-		return nil
-	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("error = %v, want boom", err)
-	}
-	// Item 0 fails without incrementing, so a launch-gate-less pool
-	// would execute all n-1 remaining items.
-	if got := atomic.LoadInt32(&executed); got >= n-1 {
-		t.Fatalf("all %d remaining items ran despite early failure", got)
-	}
-}
 
 func TestRunEachStopsOnConsumerError(t *testing.T) {
 	r := NewRunner(Options{Seed: 1, Parallelism: 2})
@@ -118,7 +29,7 @@ func TestRunEachStopsOnConsumerError(t *testing.T) {
 }
 
 func TestCollectOrdersResults(t *testing.T) {
-	p := NewPool(8)
+	p := par.NewPool(8)
 	got, err := collect(p, 50, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatalf("collect: %v", err)

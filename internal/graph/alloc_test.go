@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBFSCountsIntoAllocFree enforces the zero-alloc contract of the
+// per-source BFS kernel: after the CSR cache and the scratch warm up,
+// one source pass allocates nothing. This is the property that lets the
+// all-pairs rebuild run n sources over a fixed set of worker scratches
+// at n=10k without GC pressure.
+func TestBFSCountsIntoAllocFree(t *testing.T) {
+	g := BarabasiAlbert(256, 2, 1, rand.New(rand.NewSource(1)))
+	n := g.NumNodes()
+	dist := make([]uint16, n)
+	sigma := make([]float64, n)
+	var sc BFSScratch
+	g.BFSCountsInto(0, dist, sigma, &sc) // warm the CSR cache and the queue
+	src := 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		g.BFSCountsInto(NodeID(src%n), dist, sigma, &sc)
+		src++
+	}); allocs != 0 {
+		t.Fatalf("per-source BFS allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestBFSCountsIntoAllocFreeWithAppends keeps the probe workload honest:
+// Mark → add channels → BFS → Rollback must stay allocation-free in
+// steady state too, since the CSR append regions reuse their buffers.
+func TestBFSCountsIntoAllocFreeWithAppends(t *testing.T) {
+	g := BarabasiAlbert(128, 2, 1, rand.New(rand.NewSource(2)))
+	n := g.NumNodes()
+	dist := make([]uint16, n)
+	sigma := make([]float64, n)
+	var sc BFSScratch
+	// Warm: one probe cycle sizes the append regions and the queue.
+	probe := func() {
+		mark := g.Mark()
+		mustChannel(g, 3, 77, 1, 1)
+		mustChannel(g, 9, 50, 1, 1)
+		g.BFSCountsInto(3, dist, sigma, &sc)
+		g.Rollback(mark)
+	}
+	probe()
+	if allocs := testing.AllocsPerRun(100, probe); allocs != 0 {
+		t.Fatalf("probe cycle allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// TestExtendWithNodesAllocFree enforces the batched extender's zero-alloc
+// contract: with reserved structures and a warmed scratch, folding a
+// cohort allocates nothing.
+func TestExtendWithNodesAllocFree(t *testing.T) {
+	seed := BarabasiAlbert(64, 2, 1, rand.New(rand.NewSource(3)))
+	ap := seed.AllPairsBFS()
+	apT := ap.Transposed()
+	const batch = 4
+	const runs = 40
+	// Reserve past every fold the measured runs will perform.
+	ap.Reserve(seed.NumNodes() + batch*(runs+8))
+	apT.Reserve(seed.NumNodes() + batch*(runs+8))
+	sets := make([]PeerSet, batch)
+	for j := range sets {
+		sets[j] = PeerSet{Peers: []NodeID{NodeID(j), NodeID(j + 7)}, Mult: []float64{1, 1}}
+	}
+	sc := &ExtendScratch{}
+	ExtendWithNodes(ap, apT, sets, 1, sc) // warm the scratch
+	if allocs := testing.AllocsPerRun(runs-1, func() {
+		ExtendWithNodes(ap, apT, sets, 1, sc)
+	}); allocs != 0 {
+		t.Fatalf("batched extend allocates %.1f objects/run, want 0", allocs)
+	}
+}

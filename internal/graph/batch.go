@@ -1,0 +1,677 @@
+package graph
+
+import "github.com/lightning-creation-games/lcg/internal/par"
+
+// This file is the batched all-pairs extension: ExtendWithNodes folds a
+// whole cohort of appended nodes (a market tick's winners) into the
+// structure in fused passes, bit-identical to folding them one at a time
+// with ExtendWithNode but without re-streaming the O(n²) matrix once per
+// winner.
+//
+// Why a fused fold is possible. Sequential folds are coupled — winner
+// j's aggregates (inDist_j, outDist_j, …) are defined over the structure
+// *after* winners 0..j-1 — but the fold rule itself is an elementwise
+// minimum: after folding winners 0..j-1, every cell satisfies
+//
+//	d(x,y) = min( d₀(x,y), min_{i<j} inDist_i[x] + 2 + outDist_i[y] )
+//
+// with the matching path-count accumulation (ties add in fold order, a
+// strict improvement resets). The matrix after any prefix of folds is
+// therefore a pure function of the base matrix and the aggregate
+// vectors, so the aggregates of every winner can be computed *without
+// materializing the intermediate matrices*: phase A below derives each
+// winner's aggregates from the base rows plus the correction terms of
+// the winners before it, and phase B rewrites every row once, replaying
+// all the winners' updates against that row in commit order. Each row's
+// final state is exactly what k sequential folds would have produced —
+// enforced bit-for-bit by TestExtendWithNodesMatchesSequential and the
+// growth/market differential suites that run on top of it.
+//
+// Cost. Sequential folds stream the distance plane k times (k·n² cell
+// reads); the fused fold streams it roughly once per chunk and replaces
+// the re-reads with per-cell candidate scans that exit as soon as the
+// sorted through-distances exceed the cell's current value — in
+// small-diameter PCN topologies almost immediately. Winners are
+// processed in chunks of extendChunk so the phase-A correction recursion
+// stays O(chunk) per cell; all buffers live in an ExtendScratch and are
+// reused across calls (zero allocations in steady state, enforced by
+// TestExtendWithNodesAllocFree). Phase B rows are independent and shard
+// across a bounded worker pool, deterministically.
+
+// extendChunk bounds the winners fused per pass: large enough to
+// amortize the row streaming, small enough that the per-cell candidate
+// scans and the phase-A recursion stay cheap.
+const extendChunk = 64
+
+// PeerSet describes one appended node's channel endpoints: the distinct
+// peers in ascending order with the channel multiplicity of each. All
+// peers must already be in the structure when the batch starts —
+// batch members cannot reference each other (market cohorts satisfy
+// this by construction: candidates come from the tick-start substrate).
+type PeerSet struct {
+	Peers []NodeID
+	Mult  []float64
+}
+
+// ExtendScratch holds the reusable buffers of ExtendWithNodes. The zero
+// value is ready; after the first call at a given size, subsequent calls
+// allocate nothing.
+type ExtendScratch struct {
+	// Per-winner aggregate planes, chunk-local: row j of each holds
+	// winner j's aggregates over the m = base+chunk nodes (entries past
+	// the winner's own horizon are unused).
+	inD  []uint16
+	inS  []float64
+	outD []uint16
+	outS []float64
+
+	// Per-block row scratch for the phase-B shards.
+	blocks []extendRowScratch
+
+	// Phase-A cell overlay buffers (one column or row of evolving cell
+	// values) and the chunk-wide column minimum of the outgoing
+	// aggregates (the phase-B cell prefilter).
+	cellD []uint16
+	cellS []float64
+	minOD []uint16
+	out32 []int32
+
+	// pool is the cached phase-B worker pool (keyed by the requested
+	// worker bound, so repeated calls reuse it).
+	pool    *par.Pool
+	poolFor int
+}
+
+// extendRowScratch is one phase-B worker's row state.
+type extendRowScratch struct {
+	dxByJ []int32   // winner j's inDist[x]+2 for the current row, -1 if unreachable
+	sxByJ []float64 // winner j's inSigma[x] for the current row
+	sdx   []int32   // winner list sorted by dx (the early-exit scan order)
+	sj    []int32
+	cand  []int32 // candidate winners recorded by the pass-1 scan
+}
+
+// Reserve pre-sizes the scratch for folding chunks onto structures of up
+// to maxNodes nodes, so subsequent ExtendWithNodes calls allocate
+// nothing. Sessions with a known final size (GrowSession's capacity
+// hint) call it once up front.
+func (sc *ExtendScratch) Reserve(maxNodes int) {
+	sc.grow(extendChunk * (maxNodes + extendChunk))
+	sc.growCells(maxNodes + extendChunk)
+}
+
+// growCells ensures the overlay and prefilter vectors span m nodes,
+// geometrically.
+func (sc *ExtendScratch) growCells(m int) {
+	if cap(sc.cellD) >= m {
+		return
+	}
+	size := 2 * m
+	if c := 2 * cap(sc.cellD); c > size {
+		size = c
+	}
+	sc.cellD = make([]uint16, size)
+	sc.cellS = make([]float64, size)
+	sc.minOD = make([]uint16, size)
+}
+
+// grow ensures the aggregate planes hold need cells, geometrically so
+// steadily growing substrates amortize to O(1) allocations per fold.
+func (sc *ExtendScratch) grow(need int) {
+	if cap(sc.inD) >= need {
+		return
+	}
+	size := 2 * need
+	if c := 2 * cap(sc.inD); c > size {
+		size = c
+	}
+	sc.inD = make([]uint16, size)
+	sc.outD = make([]uint16, size)
+	sc.inS = make([]float64, size)
+	sc.outS = make([]float64, size)
+}
+
+func (sc *ExtendScratch) reserve(c, m, workers int) {
+	sc.grow(c * m)
+	sc.inD = sc.inD[:c*m]
+	sc.outD = sc.outD[:c*m]
+	sc.inS = sc.inS[:c*m]
+	sc.outS = sc.outS[:c*m]
+	sc.growCells(m)
+	sc.cellD = sc.cellD[:m]
+	sc.cellS = sc.cellS[:m]
+	sc.minOD = sc.minOD[:m]
+	if len(sc.blocks) < workers {
+		sc.blocks = append(sc.blocks, make([]extendRowScratch, workers-len(sc.blocks))...)
+	}
+	for b := range sc.blocks[:workers] {
+		bs := &sc.blocks[b]
+		if cap(bs.dxByJ) < c {
+			bs.dxByJ = make([]int32, c)
+			bs.sxByJ = make([]float64, c)
+			bs.sdx = make([]int32, 0, c)
+			bs.sj = make([]int32, 0, c)
+			bs.cand = make([]int32, 0, c)
+		}
+		bs.dxByJ = bs.dxByJ[:c]
+		bs.sxByJ = bs.sxByJ[:c]
+	}
+}
+
+// ExtendWithNodes appends len(sets) nodes to ap and its transposed
+// mirror apT, assigning them identifiers ap.N, ap.N+1, … in order. The
+// result is bit-identical — distances, path counts, accumulation order —
+// to len(sets) sequential ExtendWithNode calls with aggregates
+// recomputed between folds. workers bounds the phase-B row fan-out
+// (≤ 0 selects all cores); the output is identical at any setting. sc
+// may be shared across calls from one goroutine; nil allocates a
+// throwaway.
+func ExtendWithNodes(ap, apT *AllPairs, sets []PeerSet, workers int, sc *ExtendScratch) {
+	if ap.N != apT.N {
+		panic("graph: ExtendWithNodes on mismatched structures")
+	}
+	if sc == nil {
+		sc = &ExtendScratch{}
+	}
+	baseN := ap.N
+	for _, s := range sets {
+		if len(s.Peers) != len(s.Mult) {
+			panic("graph: ExtendWithNodes peer/multiplicity length mismatch")
+		}
+		for i, v := range s.Peers {
+			if int(v) < 0 || int(v) >= baseN {
+				panic("graph: ExtendWithNodes peer outside the pre-batch structure")
+			}
+			if i > 0 && s.Peers[i-1] >= v {
+				panic("graph: ExtendWithNodes peers not strictly ascending")
+			}
+		}
+	}
+	if sc.pool == nil || sc.poolFor != workers {
+		sc.pool = par.NewPool(workers)
+		sc.poolFor = workers
+	}
+	if len(sets) == 1 {
+		// Single-arrival fast path (the growth engine's per-commit
+		// shape): aggregates straight off the coherent structure, then
+		// the one-winner fold kernel with its rows sharded.
+		extendSingle(ap, apT, sets[0], sc.pool, sc)
+		return
+	}
+	for off := 0; off < len(sets); off += extendChunk {
+		end := off + extendChunk
+		if end > len(sets) {
+			end = len(sets)
+		}
+		extendChunkFold(ap, apT, sets[off:end], sc.pool, sc)
+	}
+}
+
+// extendSingle folds one appended node: the batch machinery degenerates
+// to computing the aggregates by direct row scans (ascending peers, the
+// scratch-stats accumulation order) and running the proven one-winner
+// kernel, with the existing-pairs rows sharded over the pool.
+func extendSingle(ap, apT *AllPairs, set PeerSet, pool *par.Pool, sc *ExtendScratch) {
+	n := ap.N
+	m := n + 1
+	workers := pool.Workers()
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sc.reserve(1, m, workers)
+	inD := sc.inD[:n]
+	inS := sc.inS[:n]
+	outD := sc.outD[:n]
+	outS := sc.outS[:n]
+	for x := 0; x < n; x++ {
+		inD[x] = Inf16
+		inS[x] = 0
+		outD[x] = Inf16
+		outS[x] = 0
+	}
+	for pi, v := range set.Peers {
+		mv := set.Mult[pi]
+		vi := int(v)
+		foldAggregateCol(inD, inS, apT.DistRow(vi), apT.SigmaRow(vi), mv)
+		foldAggregateCol(outD, outS, ap.DistRow(vi), ap.SigmaRow(vi), mv)
+	}
+	// Grow the structures, then run the existing-pairs pass — inline or
+	// in independent row blocks — and the new node's own row and column.
+	if m > ap.Stride {
+		ap.Reserve(growTarget(m))
+	}
+	if m > apT.Stride {
+		apT.Reserve(growTarget(m))
+	}
+	ap.N, apT.N = m, m
+	clearRow(ap, n, m)
+	clearRow(apT, n, m)
+	clearCol(ap, n, n)
+	clearCol(apT, n, n)
+	sc.out32 = promoteDist(outD, sc.out32)
+	if workers == 1 || n < 256 {
+		extendPairsRowsPromoted(ap, apT, inD, inS, sc.out32, outS, 0, n)
+	} else {
+		pool.ForEachBlock(n, func(lo, hi int) {
+			extendPairsRowsPromoted(ap, apT, inD, inS, sc.out32, outS, lo, hi)
+		})
+	}
+	extendOwnRowCol(ap, apT, n, inD, inS, outD, outS)
+}
+
+// extendChunkFold folds one chunk of winners: phase A computes every
+// winner's aggregates from the coherent pre-chunk structure plus the
+// correction terms of earlier chunk members; phase B rewrites each row
+// once with all winners applied in commit order.
+func extendChunkFold(ap, apT *AllPairs, sets []PeerSet, pool *par.Pool, sc *ExtendScratch) {
+	base := ap.N
+	c := len(sets)
+	m := base + c
+	workers := pool.Workers()
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sc.reserve(c, m, workers)
+
+	// Phase A: aggregates. Winner j's entry for node x is the min (and
+	// tie-ordered path-count sum) over its peers v of the cell (x,v)
+	// [incoming] or (v,x) [outgoing] as it stands after winners < j. The
+	// cell values are materialized one peer column (or row) at a time:
+	// copy the coherent pre-chunk base, overlay each earlier winner's
+	// through terms in commit order — every overlay reads and writes
+	// contiguously, with the winner's side of the term a scalar — then
+	// fold the finished column into the aggregates.
+	for j := 0; j < c; j++ {
+		nj := base + j // nodes preceding winner j
+		inD := sc.inD[j*m : j*m+m]
+		inS := sc.inS[j*m : j*m+m]
+		outD := sc.outD[j*m : j*m+m]
+		outS := sc.outS[j*m : j*m+m]
+		for x := 0; x < nj; x++ {
+			inD[x] = Inf16
+			inS[x] = 0
+			outD[x] = Inf16
+			outS[x] = 0
+		}
+		for pi, v := range sets[j].Peers {
+			mv := sets[j].Mult[pi]
+			vi := int(v)
+			// Incoming: cells (x, v) — base from the transposed row,
+			// overlay term inDist_i[x] + 2 + outDist_i[v].
+			sc.materializeCells(base, j, m, apT.DistRow(vi), apT.SigmaRow(vi), vi, true)
+			foldAggregateCol(inD, inS, sc.cellD[:nj], sc.cellS[:nj], mv)
+			// Outgoing: cells (v, y) — base from the forward row,
+			// overlay term inDist_i[v] + 2 + outDist_i[y].
+			sc.materializeCells(base, j, m, ap.DistRow(vi), ap.SigmaRow(vi), vi, false)
+			foldAggregateCol(outD, outS, sc.cellD[:nj], sc.cellS[:nj], mv)
+		}
+	}
+
+	// The phase-B prefilter: the chunk-wide minimum outgoing aggregate
+	// per target. A cell (x,y) can only be touched by a winner whose
+	// through term dx + od_j[y] reaches the cell value; dxMin + minOD[y]
+	// bounds that from below, skipping the candidate scan outright on
+	// most cells.
+	for y := 0; y < m; y++ {
+		sc.minOD[y] = Inf16
+	}
+	for j := 0; j < c; j++ {
+		outD := sc.outD[j*m : j*m+m]
+		for y := 0; y < m; y++ {
+			if outD[y] < sc.minOD[y] {
+				sc.minOD[y] = outD[y]
+			}
+		}
+	}
+
+	// Phase B: rewrite the matrix. Reserve first so the row slices span
+	// the chunk's columns, then shard the rows.
+	if m > ap.Stride {
+		ap.Reserve(growTarget(m))
+	}
+	if m > apT.Stride {
+		apT.Reserve(growTarget(m))
+	}
+	ap.N, apT.N = m, m
+	if workers == 1 {
+		// Inline fast path: no pool dispatch, no closure — the
+		// steady-state single-threaded commit fold allocates nothing.
+		bs := &sc.blocks[0]
+		for x := 0; x < m; x++ {
+			if x < base {
+				sc.foldExistingRow(ap, apT, bs, base, c, m, x)
+			} else {
+				sc.foldChunkRow(ap, apT, bs, base, c, m, x-base)
+			}
+		}
+		return
+	}
+	block := (m + workers - 1) / workers
+	pool.ForEachBlock(m, func(lo, hi int) {
+		bs := &sc.blocks[lo/block]
+		for x := lo; x < hi; x++ {
+			if x < base {
+				sc.foldExistingRow(ap, apT, bs, base, c, m, x)
+			} else {
+				sc.foldChunkRow(ap, apT, bs, base, c, m, x-base)
+			}
+		}
+	})
+}
+
+// materializeCells fills sc.cellD/cellS with the values of one peer's
+// cell column (incoming: cells (x,v) over x) or cell row (outgoing:
+// cells (v,y) over y) as they stand after winners 0..j-1: the coherent
+// pre-chunk base copied in, the chunk members' birth values appended,
+// then each earlier winner's through terms overlaid in commit order — a
+// strict improvement resets the path count, a tie accumulates, exactly
+// the sequential fold rule. Every overlay pass streams two contiguous
+// aggregate rows with the peer-side term a scalar.
+func (sc *ExtendScratch) materializeCells(base, j, m int, baseD []uint16, baseS []float64, vi int, incoming bool) {
+	cd, cs := sc.cellD, sc.cellS
+	copy(cd[:base], baseD[:base])
+	copy(cs[:base], baseS[:base])
+	// Chunk members' cells are born when they fold: node base+i reaches
+	// v through its own outgoing aggregate (incoming direction), v
+	// reaches base+i through the member's incoming aggregate (outgoing).
+	for i := 0; i < j; i++ {
+		var bd uint16
+		var bs float64
+		if incoming {
+			bd, bs = sc.outD[i*m+vi], sc.outS[i*m+vi]
+		} else {
+			bd, bs = sc.inD[i*m+vi], sc.inS[i*m+vi]
+		}
+		if bd != Inf16 {
+			cd[base+i] = bd + 1
+			cs[base+i] = bs
+		} else {
+			cd[base+i] = Inf16
+			cs[base+i] = 0
+		}
+	}
+	for i := 0; i < j; i++ {
+		var scalarD uint16
+		var scalarS float64
+		var varD []uint16
+		var varS []float64
+		if incoming {
+			// t = inDist_i[x] + 2 + outDist_i[v]: the x side varies.
+			scalarD, scalarS = sc.outD[i*m+vi], sc.outS[i*m+vi]
+			varD, varS = sc.inD[i*m:i*m+m], sc.inS[i*m:i*m+m]
+		} else {
+			// t = inDist_i[v] + 2 + outDist_i[y]: the y side varies.
+			scalarD, scalarS = sc.inD[i*m+vi], sc.inS[i*m+vi]
+			varD, varS = sc.outD[i*m:i*m+m], sc.outS[i*m:i*m+m]
+		}
+		if scalarD == Inf16 {
+			continue
+		}
+		t0 := int32(scalarD) + 2
+		lim := base + i // the winner's own horizon
+		for x := 0; x < lim; x++ {
+			dv := varD[x]
+			if dv == Inf16 {
+				continue
+			}
+			t := t0 + int32(dv)
+			cur := cell32(cd[x])
+			if t > cur {
+				continue
+			}
+			if t < cur {
+				if t > maxDist32 {
+					panic("graph: distance plane overflow in batched extend")
+				}
+				cd[x] = uint16(t)
+				cs[x] = varS[x] * scalarS
+			} else {
+				cs[x] += varS[x] * scalarS
+			}
+		}
+	}
+}
+
+// foldAggregateCol merges one materialized peer column into a winner's
+// aggregate rows with the ascending-peer min/tie-sum rule of the scratch
+// stats build.
+func foldAggregateCol(aggD []uint16, aggS []float64, cd []uint16, cs []float64, mult float64) {
+	for x := range cd {
+		d := cd[x]
+		if d == Inf16 {
+			continue
+		}
+		switch {
+		case d < aggD[x]:
+			aggD[x] = d
+			aggS[x] = mult * cs[x]
+		case d == aggD[x]:
+			aggS[x] += mult * cs[x]
+		}
+	}
+}
+
+// foldExistingRow replays every winner against one pre-chunk row: old
+// cells via the sorted early-exit scan, the chunk's new columns by
+// direct construction.
+func (sc *ExtendScratch) foldExistingRow(ap, apT *AllPairs, bs *extendRowScratch, base, c, m, x int) {
+	sa, st := ap.Stride, apT.Stride
+	rowD := ap.Dist[x*sa : x*sa+m]
+	rowS := ap.Sigma[x*sa : x*sa+m]
+	nList := sc.buildRowList(bs, c, m, x, 0)
+
+	// Old cells: the column-min prefilter rejects most cells in O(1),
+	// the sorted scan finds the exact minimum with an early exit, and
+	// the recorded candidates reproduce the commit-order path-count
+	// accumulation on the few cells a winner actually touches.
+	if nList > 0 {
+		dxMin := bs.sdx[0]
+		minOD := sc.minOD
+		for y := 0; y < base; y++ {
+			d0 := cell32(rowD[y])
+			if dxMin+cell32(minOD[y]) > d0 {
+				continue
+			}
+			bnd := d0
+			minT := unreach32 + unreach32/2
+			cand := bs.cand[:0]
+			for l := 0; l < nList; l++ {
+				dx := bs.sdx[l]
+				if dx > bnd {
+					break
+				}
+				t := dx + cell32(sc.outD[int(bs.sj[l])*m+y])
+				if t <= bnd {
+					cand = append(cand, bs.sj[l])
+					if t < minT {
+						minT = t
+						bnd = t
+					}
+				} else if t < minT {
+					minT = t
+				}
+			}
+			if minT > d0 {
+				continue
+			}
+			// Contributors: base first (when it survives), then the
+			// candidates that hit the final minimum, in commit order.
+			var sum float64
+			started := false
+			if minT == d0 {
+				sum = rowS[y]
+				started = true
+			}
+			insertionSortInt32(cand)
+			for _, j := range cand {
+				if bs.dxByJ[j]+cell32(sc.outD[int(j)*m+y]) != minT {
+					continue
+				}
+				p := bs.sxByJ[j] * sc.outS[int(j)*m+y]
+				if !started {
+					sum = p
+					started = true
+				} else {
+					sum += p
+				}
+			}
+			if minT < d0 {
+				if minT > maxDist32 {
+					panic("graph: distance plane overflow in batched extend")
+				}
+				rowD[y] = uint16(minT)
+				apT.Dist[y*st+x] = uint16(minT)
+			}
+			rowS[y] = sum
+			apT.Sigma[y*st+x] = sum
+		}
+	}
+
+	// New columns (x, base+i): born when winner i folded, then improved
+	// by later winners. Stale buffer contents must be overwritten even
+	// when the cell stays unreachable.
+	for i := 0; i < c; i++ {
+		y := base + i
+		bd, bsig := unreach32, 0.0
+		if id := sc.inD[i*m+x]; id != Inf16 {
+			bd, bsig = int32(id)+1, sc.inS[i*m+x]
+		}
+		d, s := sc.replayCell(bs, m, y, i+1, c, bd, bsig)
+		writeCell(rowD, rowS, apT, st, x, y, d, s)
+	}
+}
+
+// foldChunkRow constructs the full row of chunk member i (node base+i):
+// born from its outgoing aggregates, improved by later winners.
+func (sc *ExtendScratch) foldChunkRow(ap, apT *AllPairs, bs *extendRowScratch, base, c, m, i int) {
+	sa, st := ap.Stride, apT.Stride
+	x := base + i
+	rowD := ap.Dist[x*sa : x*sa+m]
+	rowS := ap.Sigma[x*sa : x*sa+m]
+	sc.buildRowList(bs, c, m, x, i+1)
+
+	outD := sc.outD[i*m : i*m+m]
+	outS := sc.outS[i*m : i*m+m]
+	for y := 0; y < base; y++ {
+		bd, bsig := unreach32, 0.0
+		if od := outD[y]; od != Inf16 {
+			bd, bsig = int32(od)+1, outS[y]
+		}
+		d, s := sc.replayCell(bs, m, y, i+1, c, bd, bsig)
+		writeCell(rowD, rowS, apT, st, x, y, d, s)
+	}
+	for mm := 0; mm < c; mm++ {
+		y := base + mm
+		if mm == i {
+			rowD[y] = 0
+			rowS[y] = 1
+			apT.Dist[y*st+x] = 0
+			apT.Sigma[y*st+x] = 1
+			continue
+		}
+		// Born when the later of the two members folded.
+		bd, bsig := unreach32, 0.0
+		if mm > i {
+			if id := sc.inD[mm*m+x]; id != Inf16 {
+				bd, bsig = int32(id)+1, sc.inS[mm*m+x]
+			}
+		} else {
+			if od := outD[y]; od != Inf16 {
+				bd, bsig = int32(od)+1, outS[y]
+			}
+		}
+		from := i + 1
+		if mm+1 > from {
+			from = mm + 1
+		}
+		d, s := sc.replayCell(bs, m, y, from, c, bd, bsig)
+		writeCell(rowD, rowS, apT, st, x, y, d, s)
+	}
+}
+
+// buildRowList gathers the winners that can reach row x (inDist finite,
+// index ≥ minJ) into dxByJ and the dx-sorted scan order. Returns the
+// list length.
+func (sc *ExtendScratch) buildRowList(bs *extendRowScratch, c, m, x, minJ int) int {
+	bs.sdx = bs.sdx[:0]
+	bs.sj = bs.sj[:0]
+	for j := 0; j < c; j++ {
+		bs.dxByJ[j] = -1
+		if j < minJ {
+			continue
+		}
+		if di := sc.inD[j*m+x]; di != Inf16 {
+			dx := int32(di) + 2
+			bs.dxByJ[j] = dx
+			bs.sxByJ[j] = sc.inS[j*m+x]
+			// Insertion sort by dx: chunk lists are short.
+			k := len(bs.sdx)
+			bs.sdx = append(bs.sdx, 0)
+			bs.sj = append(bs.sj, 0)
+			for k > 0 && bs.sdx[k-1] > dx {
+				bs.sdx[k] = bs.sdx[k-1]
+				bs.sj[k] = bs.sj[k-1]
+				k--
+			}
+			bs.sdx[k] = dx
+			bs.sj[k] = int32(j)
+		}
+	}
+	return len(bs.sdx)
+}
+
+// replayCell applies winners [from, to) to one cell in commit order,
+// starting from its base (or birth) value — the sequential fold rule
+// verbatim: strict improvement resets the path count, a tie adds.
+func (sc *ExtendScratch) replayCell(bs *extendRowScratch, m, y, from, to int, d int32, s float64) (int32, float64) {
+	for j := from; j < to; j++ {
+		dx := bs.dxByJ[j]
+		if dx < 0 {
+			continue
+		}
+		od := sc.outD[j*m+y]
+		if od == Inf16 {
+			continue
+		}
+		t := dx + int32(od)
+		if t < d {
+			d, s = t, bs.sxByJ[j]*sc.outS[j*m+y]
+		} else if t == d {
+			s += bs.sxByJ[j] * sc.outS[j*m+y]
+		}
+	}
+	return d, s
+}
+
+// insertionSortInt32 sorts a tiny candidate list ascending.
+func insertionSortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for k := i; k > 0 && a[k-1] > a[k]; k-- {
+			a[k-1], a[k] = a[k], a[k-1]
+		}
+	}
+}
+
+// writeCell stores one constructed cell in both planes.
+func writeCell(rowD []uint16, rowS []float64, apT *AllPairs, st, x, y int, d int32, s float64) {
+	if d >= unreach32 {
+		rowD[y] = Inf16
+		rowS[y] = 0
+		apT.Dist[y*st+x] = Inf16
+		apT.Sigma[y*st+x] = 0
+		return
+	}
+	if d > maxDist32 {
+		panic("graph: distance plane overflow in batched extend")
+	}
+	rowD[y] = uint16(d)
+	rowS[y] = s
+	apT.Dist[y*st+x] = uint16(d)
+	apT.Sigma[y*st+x] = s
+}

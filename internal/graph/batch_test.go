@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomPeerSets draws k peer sets over the first n nodes: ascending
+// distinct peers with multiplicities 1-2, occasionally empty (isolated
+// cohort members).
+func randomPeerSets(rng *rand.Rand, n, k int) []PeerSet {
+	sets := make([]PeerSet, k)
+	for j := range sets {
+		if n == 0 || rng.Intn(8) == 0 {
+			continue // empty strategy: the joiner stays isolated
+		}
+		picked := map[int]float64{}
+		for c := 1 + rng.Intn(3); c > 0; c-- {
+			picked[rng.Intn(n)] += 1 + float64(rng.Intn(2))
+		}
+		set := PeerSet{}
+		for v := 0; v < n; v++ {
+			if m, ok := picked[v]; ok {
+				set.Peers = append(set.Peers, NodeID(v))
+				set.Mult = append(set.Mult, m)
+			}
+		}
+		sets[j] = set
+	}
+	return sets
+}
+
+// applySequential folds the sets one at a time through ExtendWithNode,
+// recomputing the aggregates between folds — the reference the batched
+// fold must reproduce bit for bit.
+func applySequential(ap, apT *AllPairs, sets []PeerSet) {
+	for _, set := range sets {
+		peers := map[NodeID]int{}
+		for i, v := range set.Peers {
+			peers[v] = int(set.Mult[i])
+		}
+		inDist, inSigma, outDist, outSigma := joinAggregates(ap, apT, peers)
+		ExtendWithNode(ap, apT, ap.N, inDist, inSigma, outDist, outSigma)
+	}
+}
+
+// clonePairs deep-copies a structure.
+func clonePairs(ap *AllPairs) *AllPairs {
+	return &AllPairs{
+		N:      ap.N,
+		Stride: ap.Stride,
+		Dist:   append([]uint16(nil), ap.Dist...),
+		Sigma:  append([]float64(nil), ap.Sigma...),
+	}
+}
+
+// requirePairsIdentical asserts two structures agree bit for bit on the
+// live region (strides may differ).
+func requirePairsIdentical(t *testing.T, tag string, got, want, gotT, wantT *AllPairs) {
+	t.Helper()
+	if got.N != want.N || gotT.N != wantT.N {
+		t.Fatalf("%s: N = %d/%d, want %d/%d", tag, got.N, gotT.N, want.N, wantT.N)
+	}
+	for s := 0; s < want.N; s++ {
+		gd, wd := got.DistRow(s), want.DistRow(s)
+		gs, ws := got.SigmaRow(s), want.SigmaRow(s)
+		gdT, wdT := gotT.DistRow(s), wantT.DistRow(s)
+		gsT, wsT := gotT.SigmaRow(s), wantT.SigmaRow(s)
+		for r := 0; r < want.N; r++ {
+			if gd[r] != wd[r] || gs[r] != ws[r] {
+				t.Fatalf("%s: cell [%d][%d] = (%d, %v), want (%d, %v)",
+					tag, s, r, gd[r], gs[r], wd[r], ws[r])
+			}
+			if gdT[r] != wdT[r] || gsT[r] != wsT[r] {
+				t.Fatalf("%s: transposed cell [%d][%d] = (%d, %v), want (%d, %v)",
+					tag, s, r, gdT[r], gsT[r], wdT[r], wsT[r])
+			}
+		}
+	}
+}
+
+// TestExtendWithNodesMatchesSequential pins the batched fold to the
+// sequential one on random substrates — including disconnected seeds,
+// empty strategies, multi-channel peers, batches spanning multiple
+// chunks, and every worker setting — bit for bit in both planes.
+func TestExtendWithNodesMatchesSequential(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		seed    *Graph
+		batch   int
+		workers int
+	}{
+		{"empty-seed", New(0), 12, 1},
+		{"singleton", New(1), 9, 1},
+		{"path", Path(6, 1), 17, 2},
+		{"sparse-er", ErdosRenyi(10, 0.15, 1, rand.New(rand.NewSource(3))), 23, 3},
+		{"ba", BarabasiAlbert(12, 2, 1, rand.New(rand.NewSource(4))), 40, 4},
+		{"ba-multichunk", BarabasiAlbert(14, 2, 1, rand.New(rand.NewSource(5))), 2*extendChunk + 7, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(99))
+			n := tc.seed.NumNodes()
+			sets := randomPeerSets(rng, n, tc.batch)
+
+			apSeq := tc.seed.AllPairsBFS()
+			apSeqT := apSeq.Transposed()
+			applySequential(apSeq, apSeqT, sets)
+
+			apBat := tc.seed.AllPairsBFS()
+			apBatT := apBat.Transposed()
+			ExtendWithNodes(apBat, apBatT, sets, tc.workers, nil)
+
+			requirePairsIdentical(t, tc.name, apBat, apSeq, apBatT, apSeqT)
+
+			// And both must equal a from-scratch BFS of the grown graph.
+			g := tc.seed.Clone()
+			for _, set := range sets {
+				u := g.AddNode()
+				for i, v := range set.Peers {
+					for c := 0; c < int(set.Mult[i]); c++ {
+						mustChannel(g, u, v, 1, 1)
+					}
+				}
+			}
+			requireAllPairsEqual(t, tc.name+"/rebuild", g, apBat, apBatT)
+		})
+	}
+}
+
+// TestExtendWithNodesWorkerInvariance pins the fused fold across worker
+// counts: the row shards must compose to the identical structure.
+func TestExtendWithNodesWorkerInvariance(t *testing.T) {
+	seed := BarabasiAlbert(16, 2, 1, rand.New(rand.NewSource(8)))
+	sets := randomPeerSets(rand.New(rand.NewSource(21)), seed.NumNodes(), extendChunk+9)
+	var ref, refT *AllPairs
+	for _, workers := range []int{1, 2, 3, 8} {
+		ap := seed.AllPairsBFS()
+		apT := ap.Transposed()
+		ExtendWithNodes(ap, apT, sets, workers, &ExtendScratch{})
+		if ref == nil {
+			ref, refT = ap, apT
+			continue
+		}
+		requirePairsIdentical(t, fmt.Sprintf("workers=%d", workers), ap, ref, apT, refT)
+	}
+}
+
+// TestExtendWithNodesValidation pins the contract panics: peers must
+// predate the batch and arrive strictly ascending with multiplicities.
+func TestExtendWithNodesValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		set  PeerSet
+	}{
+		{"peer-in-batch", PeerSet{Peers: []NodeID{5}, Mult: []float64{1}}},
+		{"unsorted", PeerSet{Peers: []NodeID{2, 1}, Mult: []float64{1, 1}}},
+		{"duplicate", PeerSet{Peers: []NodeID{1, 1}, Mult: []float64{1, 1}}},
+		{"length-mismatch", PeerSet{Peers: []NodeID{1}, Mult: nil}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := Path(5, 1)
+			ap := g.AllPairsBFS()
+			apT := ap.Transposed()
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("ExtendWithNodes accepted %s", tc.name)
+				}
+			}()
+			ExtendWithNodes(ap, apT, []PeerSet{tc.set}, 1, nil)
+		})
+	}
+}
+
+// TestParallelRebuildMatchesSerial pins AllPairsBFSParallel (and the
+// sharded transpose) to the serial build bit for bit at several worker
+// counts.
+func TestParallelRebuildMatchesSerial(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"ba", BarabasiAlbert(40, 2, 1, rand.New(rand.NewSource(1)))},
+		{"sparse-er", ErdosRenyi(30, 0.1, 1, rand.New(rand.NewSource(2)))},
+		{"empty", New(0)},
+		{"isolated", New(7)},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			want := build.g.AllPairsBFS()
+			wantT := want.Transposed()
+			for _, workers := range []int{2, 3, 8, 0} {
+				got := build.g.AllPairsBFSParallel(workers)
+				gotT := got.TransposedParallel(workers)
+				requirePairsIdentical(t, fmt.Sprintf("workers=%d", workers), got, want, gotT, wantT)
+			}
+		})
+	}
+}

@@ -57,8 +57,14 @@ func (g *Graph) Betweenness(w PairWeight) (edge []float64, node []float64) {
 
 // accumulateFromSource runs one Brandes iteration from source s, adding the
 // source's contribution into edgeBC and/or nodeBC (either may be nil).
+// The forward sweep walks the CSR adjacency (csr.go) — one contiguous
+// int32 run per node instead of an EdgeID slice and an Edge struct per
+// neighbor — in exactly the out-list order, so predecessor lists and
+// every float accumulation are bit-identical to the slice-of-slice
+// traversal.
 func (g *Graph) accumulateFromSource(s NodeID, w PairWeight, edgeBC, nodeBC []float64) {
 	n := g.NumNodes()
+	c := g.ensureCSR()
 	var (
 		dist  = make([]int, n)
 		sigma = make([]float64, n)
@@ -74,21 +80,30 @@ func (g *Graph) accumulateFromSource(s NodeID, w PairWeight, edgeBC, nodeBC []fl
 	dist[s] = 0
 	sigma[s] = 1
 	queue = append(queue, s)
+	relax := func(v, t NodeID, id EdgeID) {
+		switch {
+		case dist[t] == Unreachable:
+			dist[t] = dist[v] + 1
+			sigma[t] = sigma[v]
+			preds[t] = append(preds[t], id)
+			queue = append(queue, t)
+		case dist[t] == dist[v]+1:
+			sigma[t] += sigma[v]
+			preds[t] = append(preds[t], id)
+		}
+	}
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, id := range g.out[v] {
-			t := g.edges[id].To
-			switch {
-			case dist[t] == Unreachable:
-				dist[t] = dist[v] + 1
-				sigma[t] = sigma[v]
-				preds[t] = append(preds[t], id)
-				queue = append(queue, t)
-			case dist[t] == dist[v]+1:
-				sigma[t] += sigma[v]
-				preds[t] = append(preds[t], id)
+		if int(v) < c.nodes {
+			for i := c.Offsets[v]; i < c.Offsets[v+1]; i++ {
+				relax(v, NodeID(c.Neighbors[i]), EdgeID(c.EdgeIDs[i]))
+			}
+		}
+		if int(v) < len(c.extra) {
+			for _, e := range c.extra[v] {
+				relax(v, e.to, e.id)
 			}
 		}
 	}

@@ -1,0 +1,179 @@
+package graph
+
+// This file is the CSR (compressed sparse row) adjacency cache: the flat
+// neighbor layout every BFS inner loop in the package runs on. The
+// mutable source of truth stays the per-node edge-identifier lists of
+// graph.go; the CSR is a derived view that the hot traversals —
+// AllPairsBFS and its parallel variant, BFSCounts, the Brandes
+// betweenness accumulation — iterate instead of chasing an EdgeID slice
+// and an Edge struct per neighbor visit. One BFS step reads a contiguous
+// int32 run per node, which at n=10k is the difference between streaming
+// a few megabytes and pointer-hopping across the edge table.
+//
+// Coherence contract. A built CSR snapshot covers every edge with
+// identifier below its watermark. Edges added later land in per-node
+// *append regions* (extra), so the probe workloads that dominate the
+// library — Mark, add a few candidate channels, BFS, Rollback, repeat —
+// never invalidate the snapshot: AddEdge appends to the region, Rollback
+// (and RemoveEdge of a post-watermark edge) pops it again, and the
+// steady state allocates nothing. Only removing a pre-watermark edge
+// tears the snapshot down (deletions are the slow path everywhere in
+// this repository); the next traversal rebuilds it in O(n+m). When the
+// append regions outgrow a fraction of the snapshot the next ensureCSR
+// folds them in, so long append-only growth (the GrowSession commit
+// path) re-bases at amortized O(1) per edge.
+//
+// Iteration order equals g.out[v] order — pre-watermark edges first (in
+// out-list order), then the append region (in insertion order) — so a
+// CSR traversal visits edges in exactly the sequence the slice-of-slice
+// adjacency would. Path-count accumulation order is therefore unchanged,
+// which keeps every BFS-derived float bit-identical to the pre-CSR
+// substrate.
+
+// csrEdge is one append-region entry: the neighbor and the edge that
+// reaches it (betweenness needs the identifier, plain BFS only the
+// target).
+type csrEdge struct {
+	to NodeID
+	id EdgeID
+}
+
+// csrAdj is one built adjacency snapshot plus its append regions.
+type csrAdj struct {
+	// Offsets has length NumNodes+1 at build time; node v's baked
+	// neighbors occupy Neighbors[Offsets[v]:Offsets[v+1]]. Nodes added
+	// after the build have no baked run and live purely in extra.
+	Offsets []int32
+	// Neighbors holds the target node of every baked edge, grouped by
+	// source in out-list order; EdgeIDs is the parallel edge identifier
+	// array.
+	Neighbors []int32
+	EdgeIDs   []int32
+	// watermark is len(g.edges) at build time: every edge with id <
+	// watermark is baked, everything newer lives in extra.
+	watermark int
+	// nodes is the node count covered by Offsets.
+	nodes int
+	// extra holds the per-node append regions; extraCount totals their
+	// entries (the rebuild trigger).
+	extra      [][]csrEdge
+	extraCount int
+}
+
+// ensureCSR returns a coherent CSR view of the graph, building or
+// re-basing it as needed. Callers must not mutate the graph while
+// holding the returned view.
+func (g *Graph) ensureCSR() *csrAdj {
+	c := g.csr
+	if c != nil && c.extraCount*4 <= len(c.Neighbors)+64 {
+		return c
+	}
+	return g.rebuildCSR()
+}
+
+// rebuildCSR bakes the stable live adjacency into a fresh snapshot.
+// Edges added by an in-flight probe (at or above the outstanding Mark
+// floor) stay in the append regions, so the probe's Rollback pops them
+// instead of tearing the snapshot down.
+func (g *Graph) rebuildCSR() *csrAdj {
+	n := len(g.out)
+	wm := len(g.edges)
+	if g.markFloor >= 0 && g.markFloor < wm {
+		wm = g.markFloor
+	}
+	c := &csrAdj{
+		Offsets:   make([]int32, n+1),
+		watermark: wm,
+		nodes:     n,
+	}
+	// Reuse the extra regions' backing arrays across rebuilds: the
+	// append/pop steady state then stays allocation-free.
+	if g.csr != nil && len(g.csr.extra) >= n {
+		c.extra = g.csr.extra[:n]
+		for i := range c.extra {
+			c.extra[i] = c.extra[i][:0]
+		}
+	} else {
+		c.extra = make([][]csrEdge, n)
+	}
+	total := 0
+	for v := range g.out {
+		for _, id := range g.out[v] {
+			if int(id) < wm {
+				total++
+			}
+		}
+		c.Offsets[v+1] = int32(total)
+	}
+	c.Neighbors = make([]int32, total)
+	c.EdgeIDs = make([]int32, total)
+	i := 0
+	for v := range g.out {
+		for _, id := range g.out[v] {
+			if int(id) < wm {
+				c.Neighbors[i] = int32(g.edges[id].To)
+				c.EdgeIDs[i] = int32(id)
+				i++
+			} else {
+				c.extra[v] = append(c.extra[v], csrEdge{to: g.edges[id].To, id: id})
+				c.extraCount++
+			}
+		}
+	}
+	g.csr = c
+	return c
+}
+
+// csrAddNode extends the cache for a freshly appended node.
+func (g *Graph) csrAddNode() {
+	c := g.csr
+	if c == nil {
+		return
+	}
+	if len(c.extra) < cap(c.extra) {
+		// Re-extend into retained capacity, reusing the region buffer a
+		// previous rebuild may have left there.
+		c.extra = c.extra[:len(c.extra)+1]
+		c.extra[len(c.extra)-1] = c.extra[len(c.extra)-1][:0]
+	} else {
+		c.extra = append(c.extra, nil)
+	}
+}
+
+// csrAddEdge records a freshly added edge in its append region.
+func (g *Graph) csrAddEdge(from, to NodeID, id EdgeID) {
+	c := g.csr
+	if c == nil {
+		return
+	}
+	c.extra[from] = append(c.extra[from], csrEdge{to: to, id: id})
+	c.extraCount++
+}
+
+// csrRemoveEdge reconciles the cache with an edge removal: post-watermark
+// edges pop out of their append region, pre-watermark removals tear the
+// snapshot down (the next traversal rebuilds).
+func (g *Graph) csrRemoveEdge(e Edge) {
+	c := g.csr
+	if c == nil {
+		return
+	}
+	if int(e.ID) < c.watermark {
+		g.csr = nil
+		return
+	}
+	// Rollback removes newest-first, so scan the region from the tail.
+	ex := c.extra[e.From]
+	for i := len(ex) - 1; i >= 0; i-- {
+		if ex[i].id == e.ID {
+			copy(ex[i:], ex[i+1:])
+			c.extra[e.From] = ex[:len(ex)-1]
+			c.extraCount--
+			return
+		}
+	}
+	// An appended edge that is not in its region means the cache has
+	// drifted; fail safe by invalidating.
+	g.csr = nil
+}
+

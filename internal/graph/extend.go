@@ -4,6 +4,7 @@ package graph
 // network-growth commit path: when a joining user is folded into the
 // substrate permanently, the AllPairs structure is extended in one O(n²)
 // array pass instead of the O(n·(n+m)) re-BFS a full rebuild pays.
+// (extend one node; batch.go fuses whole cohorts).
 //
 // The update exploits the same decomposition the join evaluator prices
 // with: every shortest x→y path in G+u either avoids u entirely (already
@@ -20,6 +21,33 @@ package graph
 // inSigma[x]·outSigma[y]. Path counts are sums of integers, exact in
 // float64 until 2⁵³, so the extended Sigma entries are bit-identical to a
 // fresh BFS recount — the growth differential tests enforce exactly that.
+//
+// Distances are uint16 with Inf16 = +∞ encoded as the maximum value:
+// promoting to int for the through-sum makes every unreachable operand
+// push the sum past any representable cell value, so the single
+// comparison dThru ≤ d0 subsumes all the sentinel case analysis the
+// int32 plane needed.
+
+// Sentinels of the int32 arithmetic the fold rules run in: unreach32
+// stands in for +∞ when a cell value is promoted, far enough above any
+// through-sum of two in-envelope distances that no finite sum can ever
+// collide with (or tie) it. maxDist32 is the MaxDist envelope every
+// write path enforces — the same bound the BFS kernels panic past, so a
+// topology that outgrows the compact plane fails at the write that
+// crosses the line, not at some later rebuild.
+const (
+	inf32     = int32(Inf16)
+	maxDist32 = int32(MaxDist)
+	unreach32 = int32(1) << 30
+)
+
+// cell32 promotes one stored distance to fold arithmetic.
+func cell32(d uint16) int32 {
+	if d == Inf16 {
+		return unreach32
+	}
+	return int32(d)
+}
 
 // Reserve re-lays-out the matrices with row stride ≥ n, so that up to n
 // nodes fit without further allocation. It never shrinks.
@@ -27,7 +55,7 @@ func (ap *AllPairs) Reserve(n int) {
 	if n <= ap.Stride {
 		return
 	}
-	dist := make([]int32, n*n)
+	dist := make([]uint16, n*n)
 	sigma := make([]float64, n*n)
 	for s := 0; s < ap.N; s++ {
 		copy(dist[s*n:s*n+ap.N], ap.DistRow(s))
@@ -42,11 +70,11 @@ func (ap *AllPairs) Reserve(n int) {
 // forward structure ap and its transposed mirror apT in place, given the
 // through-u aggregates of u's channel set over the *current* structure.
 // The four slices must have length ap.N and follow the joinStats
-// conventions above (Unreachable where no peer is reachable).
+// conventions above (Inf16 where no peer is reachable).
 //
 // u == ap.N appends a fresh node (the arrival commit); u < ap.N
 // re-attaches an existing node whose row and column are currently
-// all-Unreachable — i.e. a node whose channels were all closed and whose
+// all-Inf16 — i.e. a node whose channels were all closed and whose
 // structure was rebuilt since (the rewiring path). Passing a u < ap.N
 // that is still connected corrupts the structure; callers rebuild after
 // closures precisely to avoid that.
@@ -55,7 +83,7 @@ func (ap *AllPairs) Reserve(n int) {
 // distance matrix, touching Sigma only where the new node creates or ties
 // shortest paths. Amortized allocation is O(1) per call thanks to the
 // geometric Reserve policy.
-func ExtendWithNode(ap, apT *AllPairs, u int, inDist []int32, inSigma []float64, outDist []int32, outSigma []float64) {
+func ExtendWithNode(ap, apT *AllPairs, u int, inDist []uint16, inSigma []float64, outDist []uint16, outSigma []float64) {
 	n := ap.N
 	if apT.N != n {
 		panic("graph: ExtendWithNode on mismatched structures")
@@ -82,49 +110,98 @@ func ExtendWithNode(ap, apT *AllPairs, u int, inDist []int32, inSigma []float64,
 		clearCol(apT, u, n)
 	}
 
-	// Existing pairs: route through u where that creates or ties a
-	// shortest path. Row-major over ap, mirrored into apT.
+	extendPairsRows(ap, apT, u, inDist, inSigma, outDist, outSigma, 0, n)
+	extendOwnRowCol(ap, apT, u, inDist, inSigma, outDist, outSigma)
+}
+
+// extendPairsRows is the existing-pairs section of the one-winner fold
+// over the row range [lo, hi): route through u where that creates or
+// ties a shortest path. Row-major over ap, mirrored into apT. The int
+// promotion makes unreachable aggregates (Inf16) overshoot every cell,
+// self pairs (d0 = 0) unbeatable, and a reattached u's own all-Inf16 row
+// and column no-ops — no per-cell index checks needed. Rows are
+// independent, so the batch extender shards this across workers.
+func extendPairsRows(ap, apT *AllPairs, u int, inDist []uint16, inSigma []float64, outDist []uint16, outSigma []float64, lo, hi int) {
+	extendPairsRowsPromoted(ap, apT, inDist, inSigma, promoteDist(outDist, nil), outSigma, lo, hi)
+}
+
+// promoteDist lifts a distance vector into fold arithmetic (Inf16 →
+// unreach32) once, so the O(n²) pass below spends no sentinel branch on
+// the outgoing side. buf is reused when large enough.
+func promoteDist(d []uint16, buf []int32) []int32 {
+	if cap(buf) < len(d) {
+		size := 2 * len(d)
+		if c := 2 * cap(buf); c > size {
+			size = c
+		}
+		buf = make([]int32, size)
+	}
+	buf = buf[:len(d)]
+	for i, v := range d {
+		buf[i] = cell32(v)
+	}
+	return buf
+}
+
+// extendPairsRowsPromoted is extendPairsRows with the outgoing distances
+// pre-promoted.
+func extendPairsRowsPromoted(ap, apT *AllPairs, inDist []uint16, inSigma []float64, out32 []int32, outSigma []float64, lo, hi int) {
+	n := len(inDist)
 	sa, st := ap.Stride, apT.Stride
-	for x := 0; x < n; x++ {
-		if x == u || inDist[x] == Unreachable {
+	for x := lo; x < hi; x++ {
+		if inDist[x] == Inf16 {
 			continue
 		}
-		dx := inDist[x] + 2
+		dx := int32(inDist[x]) + 2
 		sx := inSigma[x]
 		rowD := ap.Dist[x*sa : x*sa+n]
 		rowS := ap.Sigma[x*sa : x*sa+n]
 		for y := 0; y < n; y++ {
-			if outDist[y] == Unreachable || y == x || y == u {
+			dThru := dx + out32[y]
+			d0 := cell32(rowD[y])
+			if dThru > d0 {
 				continue
 			}
-			dThru := dx + outDist[y]
-			switch d0 := rowD[y]; {
-			case d0 == Unreachable || dThru < d0:
-				rowD[y] = dThru
+			if dThru < d0 {
+				if dThru > maxDist32 {
+					panic("graph: distance plane overflow in extend")
+				}
+				rowD[y] = uint16(dThru)
 				rowS[y] = sx * outSigma[y]
-				apT.Dist[y*st+x] = dThru
+				apT.Dist[y*st+x] = uint16(dThru)
 				apT.Sigma[y*st+x] = rowS[y]
-			case dThru == d0:
+			} else {
 				rowS[y] += sx * outSigma[y]
 				apT.Sigma[y*st+x] = rowS[y]
 			}
 		}
 	}
+}
 
-	// u's own row (distances from u) and column (distances to u). A first
-	// hop over one of mult(v) parallel channels to peer v, then a shortest
-	// path onwards; the aggregates already carry the multiplicities.
+// extendOwnRowCol writes u's own row (distances from u) and column
+// (distances to u): a first hop over one of mult(v) parallel channels to
+// peer v, then a shortest path onwards; the aggregates already carry the
+// multiplicities.
+func extendOwnRowCol(ap, apT *AllPairs, u int, inDist []uint16, inSigma []float64, outDist []uint16, outSigma []float64) {
+	n := len(inDist)
+	sa, st := ap.Stride, apT.Stride
 	for y := 0; y < n; y++ {
 		if y == u {
 			continue
 		}
-		if d := outDist[y]; d != Unreachable {
+		if d := outDist[y]; d != Inf16 {
+			if d >= MaxDist {
+				panic("graph: distance plane overflow in extend")
+			}
 			ap.Dist[u*sa+y] = d + 1
 			ap.Sigma[u*sa+y] = outSigma[y]
 			apT.Dist[y*st+u] = d + 1
 			apT.Sigma[y*st+u] = outSigma[y]
 		}
-		if d := inDist[y]; d != Unreachable {
+		if d := inDist[y]; d != Inf16 {
+			if d >= MaxDist {
+				panic("graph: distance plane overflow in extend")
+			}
 			ap.Dist[y*sa+u] = d + 1
 			ap.Sigma[y*sa+u] = inSigma[y]
 			apT.Dist[u*st+y] = d + 1
@@ -151,14 +228,14 @@ func growTarget(need int) int {
 func clearRow(ap *AllPairs, r, width int) {
 	base := r * ap.Stride
 	for i := 0; i < width; i++ {
-		ap.Dist[base+i] = Unreachable
+		ap.Dist[base+i] = Inf16
 		ap.Sigma[base+i] = 0
 	}
 }
 
 func clearCol(ap *AllPairs, c, rows int) {
 	for x := 0; x < rows; x++ {
-		ap.Dist[x*ap.Stride+c] = Unreachable
+		ap.Dist[x*ap.Stride+c] = Inf16
 		ap.Sigma[x*ap.Stride+c] = 0
 	}
 }

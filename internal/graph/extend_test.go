@@ -8,28 +8,28 @@ import (
 // joinAggregates computes the through-u aggregates of a peer multiset the
 // way the evaluation engine's joinStats defines them, straight off the
 // current AllPairs structure. peers maps peer → channel multiplicity.
-func joinAggregates(ap, apT *AllPairs, peers map[NodeID]int) (inDist []int32, inSigma []float64, outDist []int32, outSigma []float64) {
+func joinAggregates(ap, apT *AllPairs, peers map[NodeID]int) (inDist []uint16, inSigma []float64, outDist []uint16, outSigma []float64) {
 	n := ap.N
-	inDist = make([]int32, n)
+	inDist = make([]uint16, n)
 	inSigma = make([]float64, n)
-	outDist = make([]int32, n)
+	outDist = make([]uint16, n)
 	outSigma = make([]float64, n)
 	for x := 0; x < n; x++ {
-		inDist[x] = Unreachable
-		outDist[x] = Unreachable
+		inDist[x] = Inf16
+		outDist[x] = Inf16
 		for v, mult := range peers {
-			if d := ap.Dist[x*ap.Stride+int(v)]; d != Unreachable {
+			if d := ap.Dist[x*ap.Stride+int(v)]; d != Inf16 {
 				switch {
-				case inDist[x] == Unreachable || d < inDist[x]:
+				case inDist[x] == Inf16 || d < inDist[x]:
 					inDist[x] = d
 					inSigma[x] = float64(mult) * ap.Sigma[x*ap.Stride+int(v)]
 				case d == inDist[x]:
 					inSigma[x] += float64(mult) * ap.Sigma[x*ap.Stride+int(v)]
 				}
 			}
-			if d := apT.Dist[x*apT.Stride+int(v)]; d != Unreachable {
+			if d := apT.Dist[x*apT.Stride+int(v)]; d != Inf16 {
 				switch {
-				case outDist[x] == Unreachable || d < outDist[x]:
+				case outDist[x] == Inf16 || d < outDist[x]:
 					outDist[x] = d
 					outSigma[x] = float64(mult) * apT.Sigma[x*apT.Stride+int(v)]
 				case d == outDist[x]:

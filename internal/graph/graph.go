@@ -54,6 +54,17 @@ type Graph struct {
 	edges    []Edge
 	alive    []bool
 	numAlive int
+
+	// csr is the flat adjacency cache BFS traversals run on (csr.go);
+	// nil until the first traversal and after a pre-watermark removal.
+	csr *csrAdj
+	// markFloor is the lowest outstanding Mark watermark (-1 when no
+	// probe is in flight). CSR rebuilds bake only edges below it, so a
+	// traversal that runs mid-probe keeps the probe's additions in the
+	// append regions and the following Rollback cannot invalidate the
+	// snapshot — the probe loops that dominate best-response search stay
+	// allocation-free.
+	markFloor int
 }
 
 // New returns a graph with n nodes (0..n-1) and no edges.
@@ -62,8 +73,9 @@ func New(n int) *Graph {
 		n = 0
 	}
 	return &Graph{
-		out: make([][]EdgeID, n),
-		in:  make([][]EdgeID, n),
+		out:       make([][]EdgeID, n),
+		in:        make([][]EdgeID, n),
+		markFloor: -1,
 	}
 }
 
@@ -72,6 +84,7 @@ func (g *Graph) AddNode() NodeID {
 	id := NodeID(len(g.out))
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.csrAddNode()
 	return id
 }
 
@@ -106,6 +119,7 @@ func (g *Graph) AddEdge(from, to NodeID, capacity float64) (EdgeID, error) {
 	g.alive = append(g.alive, true)
 	g.out[from] = append(g.out[from], id)
 	g.in[to] = append(g.in[to], id)
+	g.csrAddEdge(from, to, id)
 	g.numAlive++
 	return id, nil
 }
@@ -137,6 +151,7 @@ func (g *Graph) RemoveEdge(id EdgeID) error {
 	g.alive[id] = false
 	g.out[e.From] = removeID(g.out[e.From], id)
 	g.in[e.To] = removeID(g.in[e.To], id)
+	g.csrRemoveEdge(e)
 	g.numAlive--
 	return nil
 }
@@ -293,11 +308,12 @@ func (g *Graph) EdgesBetween(from, to NodeID) []EdgeID {
 // Clone returns a deep copy of the graph. Edge identifiers are preserved.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		out:      make([][]EdgeID, len(g.out)),
-		in:       make([][]EdgeID, len(g.in)),
-		edges:    append([]Edge(nil), g.edges...),
-		alive:    append([]bool(nil), g.alive...),
-		numAlive: g.numAlive,
+		out:       make([][]EdgeID, len(g.out)),
+		in:        make([][]EdgeID, len(g.in)),
+		edges:     append([]Edge(nil), g.edges...),
+		alive:     append([]bool(nil), g.alive...),
+		numAlive:  g.numAlive,
+		markFloor: g.markFloor,
 	}
 	for i := range g.out {
 		c.out[i] = append([]EdgeID(nil), g.out[i]...)
@@ -317,7 +333,12 @@ func (g *Graph) MaxEdgeID() EdgeID { return EdgeID(len(g.edges)) }
 // Rollback, which is how probe-style workloads (best-response searches
 // trying thousands of candidate channel sets) reuse one graph instead of
 // cloning per candidate.
-func (g *Graph) Mark() EdgeID { return EdgeID(len(g.edges)) }
+func (g *Graph) Mark() EdgeID {
+	if g.markFloor < 0 || len(g.edges) < g.markFloor {
+		g.markFloor = len(g.edges)
+	}
+	return EdgeID(len(g.edges))
+}
 
 // Rollback removes every edge added since the corresponding Mark and
 // truncates the identifier space back to the mark, so the next AddEdge
@@ -328,6 +349,9 @@ func (g *Graph) Mark() EdgeID { return EdgeID(len(g.edges)) }
 func (g *Graph) Rollback(mark EdgeID) {
 	if mark < 0 {
 		mark = 0
+	}
+	if g.markFloor >= 0 && int(mark) <= g.markFloor {
+		g.markFloor = -1 // the outermost probe is over
 	}
 	if int(mark) >= len(g.edges) {
 		return
@@ -340,6 +364,7 @@ func (g *Graph) Rollback(mark EdgeID) {
 		g.alive[id] = false
 		g.out[e.From] = removeID(g.out[e.From], id)
 		g.in[e.To] = removeID(g.in[e.To], id)
+		g.csrRemoveEdge(e)
 		g.numAlive--
 	}
 	g.edges = g.edges[:mark]

@@ -1,11 +1,34 @@
 package graph
 
-import "math"
+import (
+	"math"
 
-// Unreachable is the hop distance reported between disconnected nodes.
-// The paper sets d(u,v) = +∞ for disconnected pairs (§II-C); callers that
+	"github.com/lightning-creation-games/lcg/internal/par"
+)
+
+// Unreachable is the hop distance reported between disconnected nodes by
+// the []int-valued traversal APIs (BFS, HopDistance, Diameter …). The
+// paper sets d(u,v) = +∞ for disconnected pairs (§II-C); callers that
 // need the infinite-cost semantics should compare against Unreachable.
 const Unreachable = -1
+
+// Inf16 is the unreachable sentinel of the compact distance plane: the
+// all-pairs structure stores hop distances as uint16 with +∞ encoded as
+// the maximum value. Encoding +∞ as the largest representable distance
+// keeps every "is this path shorter" comparison a single unsigned
+// compare — no sentinel branch — and halves the distance plane's memory
+// against the previous int32 layout (200MB instead of 400MB per
+// direction at n=10k).
+//
+// Envelope: finite hop distances must stay ≤ MaxDist so that
+// through-node sums d(x,vᵢ)+2+d(vⱼ,y) computed in int arithmetic never
+// collide with the sentinel. Real PCN topologies have single-digit
+// diameters; the BFS kernels panic loudly if a graph ever exceeds the
+// envelope rather than corrupting the plane.
+const (
+	Inf16   uint16 = math.MaxUint16
+	MaxDist uint16 = math.MaxUint16/2 - 1
+)
 
 // BFS returns the hop distances from src to every node, following directed
 // edges. Unreachable nodes are reported as Unreachable (-1).
@@ -23,32 +46,96 @@ func (g *Graph) BFSCounts(src NodeID) (dist []int, sigma []float64) {
 	n := g.NumNodes()
 	dist = make([]int, n)
 	sigma = make([]float64, n)
-	for i := range dist {
-		dist[i] = Unreachable
-	}
-	if !g.HasNode(src) {
-		return dist, sigma
-	}
-	dist[src] = 0
-	sigma[src] = 1
-	queue := make([]NodeID, 0, n)
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, id := range g.out[v] {
-			w := g.edges[id].To
-			switch {
-			case dist[w] == Unreachable:
-				dist[w] = dist[v] + 1
-				sigma[w] = sigma[v]
-				queue = append(queue, w)
-			case dist[w] == dist[v]+1:
-				sigma[w] += sigma[v]
-			}
+	d16 := make([]uint16, n)
+	var sc BFSScratch
+	g.BFSCountsInto(src, d16, sigma, &sc)
+	for i, d := range d16 {
+		if d == Inf16 {
+			dist[i] = Unreachable
+		} else {
+			dist[i] = int(d)
 		}
 	}
 	return dist, sigma
+}
+
+// BFSScratch is the reusable per-worker state of one BFS source pass:
+// holding one between calls makes every pass after the first
+// allocation-free, which is what lets the all-pairs rebuild run n
+// sources over a fixed set of worker scratches.
+type BFSScratch struct {
+	queue []int32
+}
+
+// BFSCountsInto runs one source pass of the all-pairs kernel: hop
+// distances (Inf16 where unreachable) and shortest-path counts from src
+// written into the caller's row buffers, which must have length
+// NumNodes. The traversal iterates the CSR adjacency; after the scratch
+// warms up the pass performs no allocation (enforced by
+// TestBFSCountsIntoAllocFree).
+func (g *Graph) BFSCountsInto(src NodeID, dist []uint16, sigma []float64, sc *BFSScratch) {
+	c := g.ensureCSR()
+	g.bfsCountsCSR(c, src, dist, sigma, sc)
+}
+
+// bfsCountsCSR is BFSCountsInto against an already-ensured CSR view; the
+// parallel rebuild calls it so workers never race on the cache build.
+func (g *Graph) bfsCountsCSR(c *csrAdj, src NodeID, dist []uint16, sigma []float64, sc *BFSScratch) {
+	for i := range dist {
+		dist[i] = Inf16
+		sigma[i] = 0
+	}
+	if !g.HasNode(src) {
+		return
+	}
+	if cap(sc.queue) < len(dist) {
+		sc.queue = make([]int32, 0, len(dist))
+	}
+	queue := sc.queue[:0]
+	dist[src] = 0
+	sigma[src] = 1
+	queue = append(queue, int32(src))
+	off, nbr := c.Offsets, c.Neighbors
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		dv := dist[v]
+		nd := dv + 1
+		relax := dv < MaxDist // a write of nd would stay in the envelope
+		sv := sigma[v]
+		if int(v) < c.nodes {
+			for i := off[v]; i < off[v+1]; i++ {
+				w := nbr[i]
+				switch dist[w] {
+				case Inf16:
+					if !relax {
+						panic("graph: distance plane overflow (diameter exceeds the uint16 envelope)")
+					}
+					dist[w] = nd
+					sigma[w] = sv
+					queue = append(queue, w)
+				case nd:
+					sigma[w] += sv
+				}
+			}
+		}
+		if int(v) < len(c.extra) {
+			for _, e := range c.extra[v] {
+				w := e.to
+				switch dist[w] {
+				case Inf16:
+					if !relax {
+						panic("graph: distance plane overflow (diameter exceeds the uint16 envelope)")
+					}
+					dist[w] = nd
+					sigma[w] = sv
+					queue = append(queue, int32(w))
+				case nd:
+					sigma[w] += sv
+				}
+			}
+		}
+	}
+	sc.queue = queue[:0]
 }
 
 // AllPairs holds the all-pairs shortest-path structure of a graph snapshot:
@@ -58,72 +145,71 @@ func (g *Graph) BFSCounts(src NodeID) (dist []int, sigma []float64) {
 // Stride == N, but a structure that grows node by node (ExtendWithNode)
 // reserves Stride > N so appending a node never re-lays-out the matrix.
 // The flat layout keeps the O(n²) pricing scans on one cache line per row
-// instead of chasing a pointer per source; int32 distances halve the
-// footprint of the distance matrix (hop counts never approach 2³¹).
+// instead of chasing a pointer per source; uint16 distances (Inf16 = +∞)
+// quarter the footprint of the distance plane against an int-per-cell
+// layout — hop counts in the supported envelope never approach 2¹⁵.
 type AllPairs struct {
 	N      int
 	Stride int       // row stride; N ≤ Stride
-	Dist   []int32   // Dist[s*Stride+t]: hops s→t, Unreachable if disconnected
+	Dist   []uint16  // Dist[s*Stride+t]: hops s→t, Inf16 if disconnected
 	Sigma  []float64 // Sigma[s*Stride+t]: number of shortest s→t paths
 }
 
 // AllPairsBFS computes hop distances and shortest-path counts between all
-// ordered node pairs in O(n·(n+m)) time.
+// ordered node pairs in O(n·(n+m)) time, single-threaded.
 func (g *Graph) AllPairsBFS() *AllPairs {
+	return g.AllPairsBFSParallel(1)
+}
+
+// AllPairsBFSParallel is the row-sharded all-pairs rebuild: source rows
+// are independent, so they fan out over a bounded worker pool in
+// contiguous blocks, each worker owning one BFSScratch and writing only
+// its own rows. The result is deterministic by construction — every row
+// is a pure function of (graph, source) — and bit-identical to the
+// serial rebuild at any worker count. workers ≤ 0 selects all cores.
+//
+// This is the deletion slow path (GrowSession.Rebuild) and the cold
+// start made embarrassingly parallel: at n=2000 the rebuild drops from
+// the dominant cost of a churn event to roughly its serial cost divided
+// by the core count.
+func (g *Graph) AllPairsBFSParallel(workers int) *AllPairs {
 	n := g.NumNodes()
 	ap := &AllPairs{
 		N:      n,
 		Stride: n,
-		Dist:   make([]int32, n*n),
+		Dist:   make([]uint16, n*n),
 		Sigma:  make([]float64, n*n),
 	}
-	queue := make([]NodeID, 0, n)
-	for s := 0; s < n; s++ {
-		g.bfsCountsInto(NodeID(s), ap.Dist[s*n:(s+1)*n], ap.Sigma[s*n:(s+1)*n], queue)
+	if n == 0 {
+		return ap
 	}
+	c := g.ensureCSR()
+	// One scratch per block: blocks run at most pool-wide, and the
+	// scratch count stays proportional to the worker bound.
+	par.NewPool(workers).ForEachBlock(n, func(lo, hi int) {
+		var sc BFSScratch
+		for s := lo; s < hi; s++ {
+			g.bfsCountsCSR(c, NodeID(s), ap.Dist[s*n:(s+1)*n], ap.Sigma[s*n:(s+1)*n], &sc)
+		}
+	})
 	return ap
 }
 
-// bfsCountsInto is BFSCounts writing into caller-provided row buffers,
-// reusing the queue backing array across sources to keep AllPairsBFS
-// allocation-light. dist and sigma must have length NumNodes.
-func (g *Graph) bfsCountsInto(src NodeID, dist []int32, sigma []float64, queue []NodeID) {
-	for i := range dist {
-		dist[i] = Unreachable
-		sigma[i] = 0
-	}
-	if !g.HasNode(src) {
-		return
-	}
-	dist[src] = 0
-	sigma[src] = 1
-	queue = append(queue[:0], src)
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for _, id := range g.out[v] {
-			w := g.edges[id].To
-			switch {
-			case dist[w] == Unreachable:
-				dist[w] = dist[v] + 1
-				sigma[w] = sigma[v]
-				queue = append(queue, w)
-			case dist[w] == dist[v]+1:
-				sigma[w] += sigma[v]
-			}
-		}
-	}
-}
-
 // DistAt returns the hop distance s→t (Unreachable when disconnected).
-func (ap *AllPairs) DistAt(s, t NodeID) int { return int(ap.Dist[int(s)*ap.Stride+int(t)]) }
+func (ap *AllPairs) DistAt(s, t NodeID) int {
+	d := ap.Dist[int(s)*ap.Stride+int(t)]
+	if d == Inf16 {
+		return Unreachable
+	}
+	return int(d)
+}
 
 // SigmaAt returns the number of shortest s→t paths.
 func (ap *AllPairs) SigmaAt(s, t NodeID) float64 { return ap.Sigma[int(s)*ap.Stride+int(t)] }
 
 // DistRow returns the contiguous distance row of source s: DistRow(s)[t]
-// is the hop distance s→t.
-func (ap *AllPairs) DistRow(s int) []int32 { return ap.Dist[s*ap.Stride : s*ap.Stride+ap.N] }
+// is the hop distance s→t (Inf16 when disconnected).
+func (ap *AllPairs) DistRow(s int) []uint16 { return ap.Dist[s*ap.Stride : s*ap.Stride+ap.N] }
 
 // SigmaRow returns the contiguous path-count row of source s.
 func (ap *AllPairs) SigmaRow(s int) []float64 { return ap.Sigma[s*ap.Stride : s*ap.Stride+ap.N] }
@@ -133,21 +219,36 @@ func (ap *AllPairs) SigmaRow(s int) []float64 { return ap.Sigma[s*ap.Stride : s*
 // contiguous buffers. Incoming-direction scans (d(x, v) for all x) walk a
 // transposed row linearly instead of striding through the original.
 func (ap *AllPairs) Transposed() *AllPairs {
+	return ap.TransposedParallel(1)
+}
+
+// TransposedParallel builds the mirror with the output rows sharded over
+// a bounded worker pool — bit-identical to Transposed at any worker
+// count (each output row is copied from one input column). workers ≤ 0
+// selects all cores.
+func (ap *AllPairs) TransposedParallel(workers int) *AllPairs {
 	n := ap.N
 	t := &AllPairs{
 		N:      n,
 		Stride: n,
-		Dist:   make([]int32, n*n),
+		Dist:   make([]uint16, n*n),
 		Sigma:  make([]float64, n*n),
 	}
-	for s := 0; s < n; s++ {
-		srow := ap.DistRow(s)
-		grow := ap.SigmaRow(s)
-		for r := 0; r < n; r++ {
-			t.Dist[r*n+s] = srow[r]
-			t.Sigma[r*n+s] = grow[r]
-		}
+	if n == 0 {
+		return t
 	}
+	par.NewPool(workers).ForEachBlock(n, func(lo, hi int) {
+		// Walk the input row-major and scatter into the block's output
+		// rows: the reads stream, the writes stay within the block.
+		for s := 0; s < n; s++ {
+			srow := ap.DistRow(s)
+			grow := ap.SigmaRow(s)
+			for r := lo; r < hi; r++ {
+				t.Dist[r*n+s] = srow[r]
+				t.Sigma[r*n+s] = grow[r]
+			}
+		}
+	})
 	return t
 }
 

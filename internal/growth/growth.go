@@ -94,6 +94,15 @@ type Config struct {
 
 	Params core.Params       // base economics; OwnRate is overridden by each joiner's drawn rate
 	Model  core.RevenueModel // pricing model (zero = fixed-rate, Algorithm 1's setting)
+
+	// Parallelism bounds the workers of the session's substrate passes —
+	// the row-sharded all-pairs rebuild after churn and the commit fold.
+	// Results are bit-identical at every setting (each row is an
+	// independent pure function of the substrate), so this is a
+	// wall-clock knob only: 0 (the zero value) keeps the substrate
+	// single-threaded, negative selects all cores, positive bounds the
+	// workers.
+	Parallelism int
 }
 
 // DefaultConfig returns a runnable base configuration: BA-seeded growth,
@@ -269,6 +278,9 @@ func Run(cfg Config, rng *rand.Rand) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Parallelism != 0 {
+		gs.SetParallelism(cfg.Parallelism)
+	}
 	return runLoop(cfg, rng, &sessionBackend{gs: gs})
 }
 
@@ -297,10 +309,18 @@ func (b *sessionBackend) Commit(s core.Strategy) (graph.NodeID, error) { return 
 func (b *sessionBackend) Reattach(v graph.NodeID, s core.Strategy) error { return b.gs.Reattach(v, s) }
 
 func (b *sessionBackend) Close(v graph.NodeID) error {
-	if _, err := b.gs.CloseNode(v); err != nil {
+	closed, err := b.gs.CloseNode(v)
+	if err != nil {
 		return err
 	}
-	b.gs.Rebuild()
+	// An already-isolated departer (a joiner that never afforded a
+	// channel, or a node whose peers all left) closes nothing: the
+	// substrate is untouched, so the O(n·(n+m)) rebuild is skipped —
+	// vacuously bit-identical, since rebuilding an unchanged graph
+	// reproduces the unchanged structure.
+	if closed > 0 {
+		b.gs.Rebuild()
+	}
 	return nil
 }
 

@@ -249,3 +249,68 @@ func TestGrowthConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendCloseIsolatedSkipsRebuild pins the churn fast path: the
+// engine backend must not pay an all-pairs rebuild for a departer that
+// has no channels left to close.
+func TestBackendCloseIsolatedSkipsRebuild(t *testing.T) {
+	cfg := DefaultConfig()
+	g, err := BuildSeed(SeedStar, 5, 0, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("BuildSeed: %v", err)
+	}
+	gs, err := core.NewGrowSession(g, cfg.Params, 16, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	b := &sessionBackend{gs: gs}
+	u, err := b.Commit(nil) // isolated arrival
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if err := b.Close(u); err != nil {
+		t.Fatalf("Close(isolated): %v", err)
+	}
+	if gs.RebuildCount() != 0 {
+		t.Fatalf("isolated close paid %d rebuilds, want 0", gs.RebuildCount())
+	}
+	if err := b.Close(1); err != nil { // a leaf of the star: real channels
+		t.Fatalf("Close(leaf): %v", err)
+	}
+	if gs.RebuildCount() != 1 {
+		t.Fatalf("connected close paid %d rebuilds, want 1", gs.RebuildCount())
+	}
+}
+
+// TestGrowthParallelismInvariance pins the engine across substrate
+// worker bounds: the trace must be byte-identical whether rebuilds and
+// folds run inline or sharded.
+func TestGrowthParallelismInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SeedSize = 6
+	cfg.Arrivals = 40
+	cfg.ChurnRate = 0.2 // force rebuilds through the sharded path
+	cfg.RewireEvery, cfg.RewireCount = 7, 2
+	var ref *Result
+	for _, workers := range []int{0, 3, -1} {
+		cfg.Parallelism = workers
+		res, err := Run(cfg, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("workers=%d: Run: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Trace) != len(ref.Trace) {
+			t.Fatalf("workers=%d: trace length %d vs %d", workers, len(res.Trace), len(ref.Trace))
+		}
+		for i, d := range res.Trace {
+			w := ref.Trace[i]
+			if d.Kind != w.Kind || d.Node != w.Node || !d.Strategy.Equal(w.Strategy) ||
+				d.Objective != w.Objective || d.Utility != w.Utility {
+				t.Fatalf("workers=%d: decision %d diverges", workers, i)
+			}
+		}
+	}
+}

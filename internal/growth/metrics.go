@@ -89,10 +89,10 @@ func ComputeEpoch(g *graph.Graph, ap *graph.AllPairs, alive []graph.NodeID, arri
 				continue
 			}
 			totalPairs++
-			d := int(row[r])
-			if d == graph.Unreachable {
+			if row[r] == graph.Inf16 {
 				continue
 			}
+			d := int(row[r])
 			finitePairs++
 			distSum += float64(d)
 			effSum += 1 / float64(d)

@@ -95,10 +95,25 @@ type Config struct {
 	Params core.Params       // base economics; OwnRate is overridden by each bid's drawn rate
 	Model  core.RevenueModel // pricing model (zero = fixed-rate, Algorithm 1's setting)
 
-	// Parallelism bounds the workers pricing a round's bids; values ≤ 0
+	// Parallelism bounds the workers pricing a round's bids — and, in the
+	// engine, the row shards of the substrate's fold passes; values ≤ 0
 	// select all cores. The result is bit-identical at every setting —
-	// pricing happens against a frozen snapshot into bid-indexed slots.
+	// pricing happens against a frozen snapshot into bid-indexed slots,
+	// and the fold rows are independent pure functions.
 	Parallelism int
+
+	// BatchCommit folds each round's admitted cohort into the substrate
+	// in one fused pass (core.GrowSession.CommitBatch →
+	// graph.ExtendWithNodes) instead of one O(n²) fold per winner. Every
+	// auction decision — outcomes, strategies, objectives, deferrals,
+	// node identifiers — is bit-identical to the sequential commit path;
+	// what batching gives up is regret observability: regret is defined
+	// against the live pre-commit substrate, which a fused fold never
+	// materializes, so admitted bids report regret 0 and the per-tick
+	// regret summaries are zero. Use it for throughput workloads (wide
+	// ticks at scale) where the regret telemetry is not the point; M2's
+	// regret-vs-rounds trade-off keeps the default per-winner path.
+	BatchCommit bool
 }
 
 // DefaultConfig returns a runnable base configuration: a BA-seeded
@@ -300,6 +315,11 @@ type backend interface {
 	Realized(pu []float64, params core.Params, s core.Strategy, model core.RevenueModel) (float64, error)
 	// Commit folds an admitted bid in and returns its node identifier.
 	Commit(s core.Strategy) (graph.NodeID, error)
+	// CommitBatch folds a whole round's admitted cohort in commit order,
+	// returning the node identifiers — the engine fuses the folds, the
+	// oracle loops; identifiers and substrate must match Commit-by-Commit
+	// exactly.
+	CommitBatch(ss []core.Strategy) ([]graph.NodeID, error)
 	// AllPairs exposes the live structure for metric scans; the oracle
 	// returns nil and skips tick stats.
 	AllPairs() *graph.AllPairs
@@ -320,6 +340,7 @@ func Run(cfg Config, rng *rand.Rand) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	gs.SetParallelism(cfg.Parallelism)
 	return runAuction(cfg, rng, &sessionBackend{gs: gs}, par.NewPool(cfg.Parallelism))
 }
 
@@ -354,6 +375,10 @@ func (b *sessionBackend) Realized(pu []float64, params core.Params, s core.Strat
 }
 
 func (b *sessionBackend) Commit(s core.Strategy) (graph.NodeID, error) { return b.gs.Commit(s) }
+
+func (b *sessionBackend) CommitBatch(ss []core.Strategy) ([]graph.NodeID, error) {
+	return b.gs.CommitBatch(ss)
+}
 
 func (b *sessionBackend) AllPairs() *graph.AllPairs { return b.gs.AllPairs() }
 
@@ -485,8 +510,47 @@ func runAuction(cfg Config, rng *rand.Rand, b backend, pool *par.Pool) (*Result,
 			// next round (the final round commits everything, stale or not).
 			final := round == cfg.MaxRounds
 			committedPeers := make(map[graph.NodeID]bool)
-			fresh := true // no commit since this round's pricing yet
 			var next []int
+			if cfg.BatchCommit {
+				// Batched resolution: identical commit decisions (the
+				// conflict test reads only strategies), one fused fold
+				// per round, no regret measurements (their substrate
+				// snapshots are never materialized).
+				var cohort []int
+				var batch []core.Strategy
+				for _, bi := range ranked {
+					bd := &bids[bi]
+					if !final && conflicts(bd.plan.Strategy, committedPeers) {
+						next = append(next, bi)
+						tickDeferrals++
+						res.Deferrals++
+						continue
+					}
+					for _, p := range bd.plan.Strategy.Peers() {
+						committedPeers[p] = true
+					}
+					cohort = append(cohort, bi)
+					batch = append(batch, bd.plan.Strategy)
+				}
+				nodes, err := b.CommitBatch(batch)
+				if err != nil {
+					return nil, err
+				}
+				for k, bi := range cohort {
+					bd := &bids[bi]
+					res.Trace = append(res.Trace, Bid{
+						Tick: tick, Index: bi, Outcome: Admitted, Round: round,
+						Node: nodes[k], Strategy: bd.plan.Strategy,
+						Objective: bd.plan.Objective, Utility: bd.plan.Utility,
+						Reserve: bd.reserve,
+					})
+					tickAdmitted++
+					res.Admitted++
+				}
+				pending = next
+				continue
+			}
+			fresh := true // no commit since this round's pricing yet
 			for _, bi := range ranked {
 				bd := &bids[bi]
 				if !final && conflicts(bd.plan.Strategy, committedPeers) {

@@ -433,3 +433,96 @@ func TestMarketConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestMarketBatchCommitMatchesSequential pins the fused commit path: a
+// BatchCommit run must reproduce the sequential engine's every decision —
+// outcomes, strategies, objectives, node identifiers, deferrals — and
+// the identical final substrate. Only the regret fields differ (the
+// fused fold never materializes the pre-commit snapshots regret is
+// defined against, so batched bids report 0).
+func TestMarketBatchCommitMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := diffConfig()
+		seq, err := Run(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("sequential Run: %v", err)
+		}
+		cfg.BatchCommit = true
+		bat, err := Run(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("batched Run: %v", err)
+		}
+		if len(bat.Trace) != len(seq.Trace) {
+			t.Fatalf("trace length %d vs %d", len(bat.Trace), len(seq.Trace))
+		}
+		for i, g := range bat.Trace {
+			w := seq.Trace[i]
+			if g.Tick != w.Tick || g.Index != w.Index || g.Outcome != w.Outcome ||
+				g.Round != w.Round || g.Node != w.Node || !g.Strategy.Equal(w.Strategy) ||
+				g.Objective != w.Objective || g.Utility != w.Utility || g.Reserve != w.Reserve {
+				t.Fatalf("bid %d diverges:\n batched    %+v\n sequential %+v", i, g, w)
+			}
+			if g.Regret != 0 {
+				t.Fatalf("bid %d: batched regret %v, want 0", i, g.Regret)
+			}
+		}
+		if bat.Admitted != seq.Admitted || bat.Withdrawn != seq.Withdrawn || bat.Deferrals != seq.Deferrals {
+			t.Fatalf("counters diverge: %d/%d/%d vs %d/%d/%d",
+				bat.Admitted, bat.Withdrawn, bat.Deferrals,
+				seq.Admitted, seq.Withdrawn, seq.Deferrals)
+		}
+		requireSameGraph(t, "batch-commit", bat.Final, seq.Final)
+	}
+}
+
+// TestMarketBatchCommitMatchesReference runs the full differential in
+// batch mode: the fused engine against the from-scratch oracle replaying
+// the identical stream with looped plain-graph commits — bit for bit,
+// regrets included (both zero).
+func TestMarketBatchCommitMatchesReference(t *testing.T) {
+	for _, seedKind := range []growth.SeedKind{growth.SeedEmpty, growth.SeedBA} {
+		cfg := diffConfig()
+		cfg.Seed = seedKind
+		cfg.Batch = 16 // wide enough that rounds commit real cohorts
+		cfg.BatchCommit = true
+		cfg.Parallelism = 4
+		got, err := Run(cfg, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("%s: Run: %v", seedKind, err)
+		}
+		want, err := ReferenceMarket(cfg, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("%s: ReferenceMarket: %v", seedKind, err)
+		}
+		requireSameTrace(t, string(seedKind), got, want)
+		requireSameGraph(t, string(seedKind), got.Final, want.Final)
+	}
+}
+
+// TestMarketBatchCommitSubstrate checks the fused fold leaves the live
+// all-pairs structure bit-identical to a from-scratch BFS of the final
+// substrate (the engine's structure backs the per-tick metric scans).
+func TestMarketBatchCommitSubstrate(t *testing.T) {
+	cfg := diffConfig()
+	cfg.BatchCommit = true
+	cfg.Ticks = 2
+	cfg.Batch = 12
+	res, err := Run(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := res.Final.AllPairsBFS()
+	// The final tick stats were computed from the live structure; since
+	// the engine's structure is internal, re-derive the check through
+	// the epoch scan: recompute from the fresh structure and compare.
+	alive := make([]graph.NodeID, res.Final.NumNodes())
+	for v := range alive {
+		alive[v] = graph.NodeID(v)
+	}
+	ep := growth.ComputeEpoch(res.Final, want, alive, len(res.Ticks))
+	last := res.Ticks[len(res.Ticks)-1].Epoch
+	if ep.Diameter != last.Diameter || ep.MeanDistance != last.MeanDistance ||
+		ep.Routable != last.Routable || ep.Efficiency != last.Efficiency {
+		t.Fatalf("live metrics diverge from rebuild: %+v vs %+v", last, ep)
+	}
+}

@@ -115,6 +115,20 @@ func (b *oracleBackend) Commit(s core.Strategy) (graph.NodeID, error) {
 	return u, nil
 }
 
+// CommitBatch is the oracle's spelling of the fused fold: plain
+// sequential commits, one node at a time, no incremental structure.
+func (b *oracleBackend) CommitBatch(ss []core.Strategy) ([]graph.NodeID, error) {
+	ids := make([]graph.NodeID, 0, len(ss))
+	for _, s := range ss {
+		u, err := b.Commit(s)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, u)
+	}
+	return ids, nil
+}
+
 // AllPairs returns nil: the oracle maintains no incremental structure
 // and skips tick stats.
 func (b *oracleBackend) AllPairs() *graph.AllPairs { return nil }

@@ -102,3 +102,37 @@ func Collect[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	return out, nil
 }
+
+// ForEachBlock partitions [0, n) into one contiguous block per worker
+// (at most Workers(), never more than n) and runs fn(lo, hi) for each
+// block on the pool. It is the row-sharding primitive of the substrate
+// passes: callers rely on the partition being a pure function of
+// (n, Workers()) so sharded writes into disjoint row ranges stay
+// deterministic at any worker count.
+func (p *Pool) ForEachBlock(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	block := (n + w - 1) / w
+	nBlocks := (n + block - 1) / block
+	if nBlocks == 1 {
+		fn(0, n)
+		return
+	}
+	err := p.ForEach(nBlocks, func(b int) error {
+		lo, hi := b*block, (b+1)*block
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+		return nil
+	})
+	if err != nil {
+		// Unreachable: the block closures never fail.
+		panic(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersBounds(t *testing.T) {
@@ -85,5 +86,44 @@ func TestCollectPropagatesError(t *testing.T) {
 		return i, nil
 	}); !errors.Is(err, sentinel) {
 		t.Fatalf("error = %v, want sentinel", err)
+	}
+}
+
+func TestForEachSerialWhenOneWorker(t *testing.T) {
+	p := NewPool(1)
+	var order []int
+	if err := p.ForEach(5, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestForEachStopsLaunchingAfterFailure(t *testing.T) {
+	p := NewPool(2)
+	boom := errors.New("boom")
+	const n = 64
+	var executed int32
+	err := p.ForEach(n, func(i int) error {
+		if i == 0 {
+			return boom // fails while the launcher is still gated on the semaphore
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&executed, 1)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want boom", err)
+	}
+	// Item 0 fails without incrementing, so a launch-gate-less pool
+	// would execute all n-1 remaining items.
+	if got := atomic.LoadInt32(&executed); got >= n-1 {
+		t.Fatalf("all %d remaining items ran despite early failure", got)
 	}
 }

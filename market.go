@@ -65,6 +65,12 @@ type MarketConfig struct {
 	// Parallelism bounds the workers pricing a tick's bids; ≤ 0 uses
 	// all cores. The report is bit-identical at every setting.
 	Parallelism int
+	// BatchCommit folds each round's admitted cohort into the substrate
+	// in one fused pass instead of one O(n²) fold per winner. Every
+	// auction decision is bit-identical to the per-winner path; admitted
+	// bids report regret 0, since the pre-commit snapshots regret is
+	// measured against are never materialized.
+	BatchCommit bool
 	// Seed drives the run's random stream; runs are bit-reproducible
 	// per seed.
 	Seed int64
@@ -180,6 +186,7 @@ func Market(cfg MarketConfig) (*MarketReport, error) {
 		mc.Params = cfg.Params.toCore()
 	}
 	mc.Parallelism = cfg.Parallelism
+	mc.BatchCommit = cfg.BatchCommit
 
 	start := time.Now()
 	res, err := market.Run(mc, rand.New(rand.NewSource(cfg.Seed)))

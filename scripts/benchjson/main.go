@@ -6,11 +6,21 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime=1x ./... | go run ./scripts/benchjson -sha "$GITHUB_SHA" > BENCH_$GITHUB_SHA.json
+//	go run ./scripts/benchjson diff BENCH_$GITHUB_SHA.json scripts/benchjson/baseline.json
 //
 // The parser understands the standard benchmark result line — name,
 // iteration count, ns/op, and the optional -benchmem columns (B/op,
 // allocs/op) plus any custom ReportMetric columns — and carries the
 // goos/goarch/pkg/cpu header lines into the document metadata.
+//
+// The diff mode compares a fresh artifact against the committed
+// baseline (scripts/benchjson/baseline.json) and fails — exit status
+// 1 — when any pinned benchmark regresses by more than the threshold
+// (default 25%) in ns/op, which is the CI gate that anchors the bench
+// trajectory. Refresh the baseline intentionally, in the commit that
+// justifies it:
+//
+//	go test -run '^$' -short -bench '<pinned>' . | go run ./scripts/benchjson > scripts/benchjson/baseline.json
 package main
 
 import (
@@ -47,7 +57,15 @@ type Document struct {
 	Results   []Result          `json:"results"`
 }
 
+// defaultPins are the benchmark families the CI regression gate tracks:
+// the per-probe delta, the growth engine's arrival series and the
+// market engine's tick series.
+var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick"}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diffMain(os.Args[2:]))
+	}
 	sha := flag.String("sha", "", "commit SHA recorded in the artifact")
 	flag.Parse()
 
@@ -139,4 +157,96 @@ func parseBenchLine(line string) (Result, bool) {
 		res.Metrics = nil
 	}
 	return res, true
+}
+
+// diffMain implements `benchjson diff <fresh.json> <baseline.json>`.
+func diffMain(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.25, "maximum allowed ns/op regression (fraction)")
+	pins := fs.String("pins", strings.Join(defaultPins, ","), "comma-separated pinned benchmark name prefixes")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-threshold 0.25] [-pins a,b] <fresh.json> <baseline.json>")
+		return 2
+	}
+	fresh, err := loadDocument(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+		return 1
+	}
+	base, err := loadDocument(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson diff:", err)
+		return 1
+	}
+	report, failed := diffDocs(fresh, base, *threshold, strings.Split(*pins, ","))
+	fmt.Print(report)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// loadDocument reads one benchjson artifact.
+func loadDocument(path string) (*Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// diffDocs compares the pinned benchmarks of a fresh artifact against
+// the baseline: a pinned baseline entry missing from the fresh run, or
+// regressing by more than threshold in ns/op, fails the diff. Pinned
+// benchmarks present only in the fresh run (new rows) are reported but
+// never fail — they have no anchor yet.
+func diffDocs(fresh, base *Document, threshold float64, pins []string) (report string, failed bool) {
+	pinned := func(name string) bool {
+		for _, p := range pins {
+			if p != "" && strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	freshByName := map[string]Result{}
+	for _, r := range fresh.Results {
+		freshByName[r.Name] = r
+	}
+	var b strings.Builder
+	for _, want := range base.Results {
+		if !pinned(want.Name) || want.NsPerOp <= 0 {
+			continue
+		}
+		got, ok := freshByName[want.Name]
+		if !ok {
+			fmt.Fprintf(&b, "FAIL %s: pinned benchmark missing from fresh run\n", want.Name)
+			failed = true
+			continue
+		}
+		ratio := got.NsPerOp / want.NsPerOp
+		switch {
+		case ratio > 1+threshold:
+			fmt.Fprintf(&b, "FAIL %s: %.0f ns/op vs baseline %.0f (%.1f%% regression > %.0f%% allowed)\n",
+				want.Name, got.NsPerOp, want.NsPerOp, (ratio-1)*100, threshold*100)
+			failed = true
+		default:
+			fmt.Fprintf(&b, "ok   %s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n",
+				want.Name, got.NsPerOp, want.NsPerOp, (ratio-1)*100)
+		}
+		delete(freshByName, want.Name)
+	}
+	for _, r := range fresh.Results {
+		if _, stillNew := freshByName[r.Name]; stillNew && pinned(r.Name) {
+			fmt.Fprintf(&b, "new  %s: %.0f ns/op (no baseline anchor yet)\n", r.Name, r.NsPerOp)
+		}
+	}
+	return b.String(), failed
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	res, ok := parseBenchLine("BenchmarkGreedyLargeN/n=512-8         \t       3\t  41234567 ns/op\t     120 B/op\t       2 allocs/op")
@@ -38,5 +41,56 @@ func TestHeaderLine(t *testing.T) {
 	}
 	if _, _, ok := headerLine("BenchmarkX-8 1 2 ns/op"); ok {
 		t.Fatal("bench line parsed as header")
+	}
+}
+
+func docOf(results ...Result) *Document { return &Document{Results: results} }
+
+func TestDiffDocsPassesWithinThreshold(t *testing.T) {
+	base := docOf(
+		Result{Name: "BenchmarkMarginalProbe/incremental/n=512", NsPerOp: 1000},
+		Result{Name: "BenchmarkGrowArrivals/n=2000", NsPerOp: 5e9},
+		Result{Name: "BenchmarkUnpinned", NsPerOp: 10},
+	)
+	fresh := docOf(
+		Result{Name: "BenchmarkMarginalProbe/incremental/n=512", NsPerOp: 1200},
+		Result{Name: "BenchmarkGrowArrivals/n=2000", NsPerOp: 4e9},
+		Result{Name: "BenchmarkUnpinned", NsPerOp: 1e9}, // not pinned: free to drift
+	)
+	report, failed := diffDocs(fresh, base, 0.25, defaultPins)
+	if failed {
+		t.Fatalf("diff failed within threshold:\n%s", report)
+	}
+}
+
+func TestDiffDocsFailsOnRegression(t *testing.T) {
+	base := docOf(Result{Name: "BenchmarkMarketTick/batch=64", NsPerOp: 1000})
+	fresh := docOf(Result{Name: "BenchmarkMarketTick/batch=64", NsPerOp: 1300})
+	report, failed := diffDocs(fresh, base, 0.25, defaultPins)
+	if !failed {
+		t.Fatalf("30%% regression passed a 25%% gate:\n%s", report)
+	}
+}
+
+func TestDiffDocsFailsOnMissingPinned(t *testing.T) {
+	base := docOf(Result{Name: "BenchmarkGrowArrivals/n=512", NsPerOp: 1000})
+	fresh := docOf(Result{Name: "BenchmarkGrowArrivals/n=1024", NsPerOp: 900})
+	report, failed := diffDocs(fresh, base, 0.25, defaultPins)
+	if !failed {
+		t.Fatalf("missing pinned benchmark passed:\n%s", report)
+	}
+	if !strings.Contains(report, "missing") || !strings.Contains(report, "no baseline anchor") {
+		t.Fatalf("report lacks missing/new annotations:\n%s", report)
+	}
+}
+
+func TestDiffDocsNewRowsNeverFail(t *testing.T) {
+	base := docOf(Result{Name: "BenchmarkGrowArrivals/n=512", NsPerOp: 1000})
+	fresh := docOf(
+		Result{Name: "BenchmarkGrowArrivals/n=512", NsPerOp: 1000},
+		Result{Name: "BenchmarkGrowArrivals/n=10000", NsPerOp: 9e10},
+	)
+	if report, failed := diffDocs(fresh, base, 0.25, defaultPins); failed {
+		t.Fatalf("new row failed the gate:\n%s", report)
 	}
 }
