@@ -20,6 +20,7 @@ import (
 	"github.com/lightning-creation-games/lcg/internal/market"
 	"github.com/lightning-creation-games/lcg/internal/payment"
 	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/traffic2"
 	"github.com/lightning-creation-games/lcg/internal/txdist"
 )
 
@@ -591,4 +592,51 @@ func BenchmarkExtendBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTrafficReplay measures the production-rate traffic engine on
+// its acceptance workload: n=2000 BA substrate, 8 shard windows replayed
+// on a single worker (so the derived metrics are per-core), sizes well
+// under the balance so nearly every payment routes. The acceptance bound
+// is ≥ 1M routed payments per minute single-core; the derived metrics
+// report µs/payment and payments/min. The full 1M-event row is skipped
+// in -short mode so the CI bench smoke stays fast.
+func BenchmarkTrafficReplay(b *testing.B) {
+	g := graph.BarabasiAlbert(2000, 2, 10, rand.New(rand.NewSource(1)))
+	demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, float64(g.NumNodes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, events := range []int{100000, 1000000} {
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			if testing.Short() && events > 100000 {
+				b.Skip("full-scale row in -short mode")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var routed int
+			for i := 0; i < b.N; i++ {
+				res, err := traffic2.Replay(g, traffic2.Config{
+					Demand:         demand,
+					Sizes:          fee.UniformSize{T: 2},
+					Fee:            fee.Linear{Base: 0.01, Rate: 0.001},
+					Events:         events,
+					Seed:           1,
+					Shards:         8,
+					Parallelism:    1,
+					RebalanceEvery: 500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Successes == 0 {
+					b.Fatal("replay routed nothing")
+				}
+				routed = res.Successes
+			}
+			perPayment := float64(b.Elapsed().Microseconds()) / float64(b.N) / float64(events)
+			b.ReportMetric(perPayment, "µs/payment")
+			b.ReportMetric(float64(routed)*60e6/(float64(b.Elapsed().Microseconds())/float64(b.N)), "routed/min")
+		})
+	}
 }

@@ -273,15 +273,19 @@ func runStability(args []string, w io.Writer) error {
 func runSimulate(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	var (
-		topology = fs.String("topology", "ba", "star|path|circle|complete|ba|er")
-		n        = fs.Int("n", 16, "network size")
-		seed     = fs.Int64("seed", 1, "seed")
-		s        = fs.Float64("s", 1, "modified-Zipf scale parameter")
-		events   = fs.Int("events", 20000, "transactions to replay")
-		txSize   = fs.Float64("txsize", 1, "transaction size")
-		hopFee   = fs.Float64("hopfee", 0.01, "fee per forwarded tx")
-		steady   = fs.Bool("steady", true, "rebalance periodically (steady state)")
-		top      = fs.Int("top", 5, "nodes to report")
+		topology  = fs.String("topology", "ba", "star|path|circle|complete|ba|er")
+		n         = fs.Int("n", 16, "network size")
+		seed      = fs.Int64("seed", 1, "seed")
+		s         = fs.Float64("s", 1, "modified-Zipf scale parameter")
+		events    = fs.Int("events", 20000, "transactions to replay")
+		txSize    = fs.Float64("txsize", 1, "transaction size")
+		hopFee    = fs.Float64("hopfee", 0.01, "fee per forwarded tx")
+		steady    = fs.Bool("steady", true, "rebalance periodically (steady state)")
+		top       = fs.Int("top", 5, "nodes to report")
+		engine    = fs.String("engine", "reference", "reference (live payment network) | fast (sharded traffic engine)")
+		shards    = fs.Int("shards", 8, "fast engine: independent measurement windows (part of the result's identity)")
+		parallel  = fs.Int("parallel", 0, "fast engine: worker goroutines (0 = all cores); never changes the result")
+		rebalance = fs.Int("rebalance", 1000, "fast engine: rebalance a window to deposits every that many events (0 = never)")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -290,6 +294,42 @@ func runSimulate(args []string, w io.Writer) error {
 	network, err := buildNetwork(*topology, *n, *seed)
 	if err != nil {
 		return err
+	}
+	switch *engine {
+	case "fast":
+		reb := *rebalance
+		if !*steady {
+			reb = 0
+		}
+		report, err := lcg.ReplayTraffic(network, lcg.TrafficConfig{
+			Events:         *events,
+			ZipfS:          *s,
+			TxSize:         *txSize,
+			FeePerHop:      *hopFee,
+			Seed:           *seed,
+			Shards:         *shards,
+			Parallelism:    *parallel,
+			RebalanceEvery: reb,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "network: %s n=%d channels=%d  engine: fast (%d shards)\n",
+			*topology, network.NumUsers(), network.NumChannels(), *shards)
+		fmt.Fprintf(w, "events: %d  success rate: %.3f  retried: %d  depleted arcs: %d\n",
+			report.Events, report.SuccessRate, report.Retried, report.DepletedArcs)
+		fmt.Fprintf(w, "volume: %.4g  fees paid: %.4g  routed/time: %.1f\n",
+			report.Volume, report.FeesPaid, float64(report.Successes)/report.Elapsed)
+		fmt.Fprintln(w, "busiest forwarders (measured vs predicted transit rate, realized revenue rate):")
+		order := busiest(report.PredictedTransit, *top)
+		for _, v := range order {
+			fmt.Fprintf(w, "  user %-3d measured %-8.4f predicted %-8.4f revenue/time %-8.4f\n",
+				v, report.MeasuredTransit[v], report.PredictedTransit[v], report.RevenueRate[v])
+		}
+		return nil
+	case "reference":
+	default:
+		return fmt.Errorf("unknown engine %q (want reference or fast)", *engine)
 	}
 	report, err := lcg.Simulate(network, lcg.SimConfig{
 		Events:      *events,

@@ -145,6 +145,32 @@ func TestSimulateCommand(t *testing.T) {
 	}
 }
 
+func TestSimulateFastEngine(t *testing.T) {
+	out, err := runCLI(t, "simulate", "-engine", "fast", "-topology", "ba", "-n", "64",
+		"-events", "5000", "-txsize", "2", "-shards", "4", "-rebalance", "500")
+	if err != nil {
+		t.Fatalf("simulate -engine fast: %v", err)
+	}
+	for _, want := range []string{"engine: fast (4 shards)", "success rate", "depleted arcs", "revenue/time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fast engine output missing %q:\n%s", want, out)
+		}
+	}
+	// The result is a pure function of the config: worker count must not
+	// change a byte of the report.
+	serial, err := runCLI(t, "simulate", "-engine", "fast", "-topology", "ba", "-n", "64",
+		"-events", "5000", "-txsize", "2", "-shards", "4", "-rebalance", "500", "-parallel", "1")
+	if err != nil {
+		t.Fatalf("simulate -parallel 1: %v", err)
+	}
+	if serial != out {
+		t.Fatalf("fast engine output depends on parallelism:\n--- parallel ---\n%s--- serial ---\n%s", out, serial)
+	}
+	if _, err := runCLI(t, "simulate", "-engine", "warp"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
 func TestHelpCommand(t *testing.T) {
 	out, err := runCLI(t, "help")
 	if err != nil {

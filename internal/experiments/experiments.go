@@ -161,6 +161,9 @@ func All() []Spec {
 		{ID: "M1", Title: "market: batch width vs welfare and centralization", Run: M1Batch},
 		{ID: "M2", Title: "market: snapshot staleness — re-price rounds vs regret", Run: M2Staleness},
 		{ID: "M3", Title: "market: batch market vs sequential arrival at n=2000", Run: M3MarketVsSequential},
+		{ID: "T1", Title: "traffic: throughput and failure vs offered load", Run: T1Load},
+		{ID: "T2", Title: "traffic: realized vs predicted per-node revenue rates", Run: T2Revenue},
+		{ID: "T3", Title: "traffic: depletion vs rebalance cadence and shard windows", Run: T3Windows},
 	}
 }
 

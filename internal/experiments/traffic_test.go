@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// TestTrafficTablesParallelismSweep is the traffic engine's race-safety
+// regression at the experiment layer: the T-series tables must render
+// byte-identically at parallelism 1, 4 and 8 — both the addRows fan-out
+// across cells and traffic2's own sharded replay underneath it.
+func TestTrafficTablesParallelismSweep(t *testing.T) {
+	ids := []string{"T1", "T2", "T3"}
+	if testing.Short() {
+		ids = []string{"T3"}
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var want string
+			for _, workers := range []int{1, 4, 8} {
+				tbl, err := NewRunner(Options{Seed: 5, Parallelism: workers}).Run(id)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				var buf bytes.Buffer
+				if err := tbl.Render(&buf); err != nil {
+					t.Fatalf("render: %v", err)
+				}
+				if want == "" {
+					want = buf.String()
+					continue
+				}
+				if buf.String() != want {
+					t.Fatalf("workers=%d output diverges from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+						workers, want, buf.String())
+				}
+			}
+		})
+	}
+}
+
+// TestTrafficTableShapes sanity-checks the T-series structure: row
+// counts, and that T2 carries a finite realized-vs-predicted delta for
+// every reported node.
+func TestTrafficTableShapes(t *testing.T) {
+	tbl, err := NewRunner(Options{Seed: 2, Parallelism: 0}).Run("T3")
+	if err != nil {
+		t.Fatalf("T3: %v", err)
+	}
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("T3 rows = %d, want 8", len(tbl.Rows))
+	}
+	successCol := columnIndex(t, tbl, "success")
+	for _, row := range tbl.Rows {
+		rate, err := strconv.ParseFloat(row[successCol], 64)
+		if err != nil || rate < 0 || rate > 1 {
+			t.Fatalf("success %q not a rate in [0,1]", row[successCol])
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	t2, err := NewRunner(Options{Seed: 2, Parallelism: 0}).Run("T2")
+	if err != nil {
+		t.Fatalf("T2: %v", err)
+	}
+	if len(t2.Rows) != 12 {
+		t.Fatalf("T2 rows = %d, want 12 (3 per topology)", len(t2.Rows))
+	}
+	deltaCol := columnIndex(t, t2, "delta %")
+	for _, row := range t2.Rows {
+		if _, err := strconv.ParseFloat(row[deltaCol], 64); err != nil {
+			t.Fatalf("delta %q not numeric: %v", row[deltaCol], err)
+		}
+	}
+}

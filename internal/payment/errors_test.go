@@ -1,0 +1,127 @@
+package payment
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+)
+
+// TestPayEpsilonEdgeCommitsAtomically locks the fix for a latent commit
+// bug: the routing epsilon admits a hop whose fee-laden carry exceeds the
+// balance by under 1e-12, and the commit used to drive that balance a
+// hair negative, fail SetCapacity mid-path, and leave the upstream hops
+// committed — a silent atomicity violation. The drained side must now
+// clamp to exactly zero and the payment succeed in one attempt.
+func TestPayEpsilonEdgeCommitsAtomically(t *testing.T) {
+	n := newTestNetwork(t, fee.Constant{F: 0.05}, 3, 100)
+	first, err := n.OpenChannel(0, 1, 10, 10)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	// The last hop's balance sits within the 1e-12 feasibility epsilon of
+	// the carry (the base amount, 2).
+	last, err := n.OpenChannel(1, 2, 2-1e-13, 5)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	receipt, err := n.Pay(0, 2, 2)
+	if err != nil {
+		t.Fatalf("Pay across the epsilon edge: %v", err)
+	}
+	if len(receipt.Path) != 3 {
+		t.Fatalf("expected the direct 2-hop path, got %v", receipt.Path)
+	}
+	balA, balB, err := n.Balances(last)
+	if err != nil {
+		t.Fatalf("Balances: %v", err)
+	}
+	if balA != 0 {
+		t.Errorf("drained side must clamp to exactly zero, got %v", balA)
+	}
+	if balB != 5+2 {
+		t.Errorf("credited side = %v, want 7", balB)
+	}
+	// The upstream hop carried amount+fee and must be committed too.
+	balA, balB, err = n.Balances(first)
+	if err != nil {
+		t.Fatalf("Balances: %v", err)
+	}
+	if balA != 10-2.05 || balB != 10+2.05 {
+		t.Errorf("upstream hop balances = (%v,%v), want (7.95,12.05)", balA, balB)
+	}
+}
+
+// TestCloseChannelErrorPaths exercises the lifecycle errors: closing an
+// unknown channel, closing twice, and the accessors on dead channels.
+func TestCloseChannelErrorPaths(t *testing.T) {
+	n := newTestNetwork(t, fee.Constant{F: 0}, 2, 100)
+	id, err := n.OpenChannel(0, 1, 5, 5)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if err := n.CloseChannel(id+99, chain.TxCooperativeClose, 0); !errors.Is(err, ErrUnknownChannel) {
+		t.Errorf("close unknown channel: got %v, want ErrUnknownChannel", err)
+	}
+	if a, b, err := n.Channel(id); err != nil || a != 0 || b != 1 {
+		t.Errorf("Channel(%d) = (%d,%d,%v), want (0,1,nil)", id, a, b, err)
+	}
+	if err := n.CloseChannel(id, chain.TxCooperativeClose, 0); err != nil {
+		t.Fatalf("CloseChannel: %v", err)
+	}
+	if err := n.CloseChannel(id, chain.TxCooperativeClose, 0); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("double close: got %v, want ErrChannelClosed", err)
+	}
+	if _, _, err := n.Channel(id); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("Channel on closed: got %v, want ErrChannelClosed", err)
+	}
+	if _, _, err := n.Balances(id); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("Balances on closed: got %v, want ErrChannelClosed", err)
+	}
+	if _, _, err := n.Channel(id + 99); !errors.Is(err, ErrUnknownChannel) {
+		t.Errorf("Channel unknown id: got %v, want ErrUnknownChannel", err)
+	}
+}
+
+// TestResetBalancesSkipsClosedChannels pins that rebalancing only touches
+// live channels: a closed channel stays closed and the open one returns
+// to deposits.
+func TestResetBalancesSkipsClosedChannels(t *testing.T) {
+	n := newTestNetwork(t, fee.Constant{F: 0}, 3, 100)
+	closed, err := n.OpenChannel(0, 1, 4, 4)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	live, err := n.OpenChannel(1, 2, 6, 6)
+	if err != nil {
+		t.Fatalf("OpenChannel: %v", err)
+	}
+	if _, err := n.Pay(1, 2, 2.5); err != nil {
+		t.Fatalf("Pay: %v", err)
+	}
+	if err := n.CloseChannel(closed, chain.TxCooperativeClose, 0); err != nil {
+		t.Fatalf("CloseChannel: %v", err)
+	}
+	if err := n.ResetBalances(); err != nil {
+		t.Fatalf("ResetBalances: %v", err)
+	}
+	if balA, balB, err := n.Balances(live); err != nil || balA != 6 || balB != 6 {
+		t.Errorf("live channel after reset = (%v,%v,%v), want (6,6,nil)", balA, balB, err)
+	}
+	if _, _, err := n.Balances(closed); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("closed channel resurrected by reset: %v", err)
+	}
+}
+
+// TestOpenChannelLedgerRejection verifies a deposit exceeding the on-chain
+// funds fails cleanly without registering a channel.
+func TestOpenChannelLedgerRejection(t *testing.T) {
+	n := newTestNetwork(t, fee.Constant{F: 0}, 2, 3)
+	if _, err := n.OpenChannel(0, 1, 100, 0); err == nil {
+		t.Fatal("OpenChannel with unfundable deposit succeeded")
+	}
+	if got := n.Topology().NumChannels(); got != 0 {
+		t.Errorf("failed open left %d channels in the topology", got)
+	}
+}

@@ -219,7 +219,11 @@ func (n *Network) channelForEdge(id graph.EdgeID) (*channelState, bool /*a→b*/
 
 // move shifts amount across a channel in the given direction, keeping the
 // topology mirror's capacities in sync. The caller has already verified
-// feasibility.
+// feasibility under the routing epsilon, which admits carries exceeding
+// the balance by up to 1e-12 of floating-point drift; the debited side is
+// clamped to zero in that window so the commit can never leave a
+// hair-negative balance that SetCapacity would reject mid-path (a partial
+// commit would break payment atomicity).
 func (ch *channelState) move(n *Network, aToB bool, amount float64) error {
 	if aToB {
 		ch.balA -= amount
@@ -227,6 +231,13 @@ func (ch *channelState) move(n *Network, aToB bool, amount float64) error {
 	} else {
 		ch.balB -= amount
 		ch.balA += amount
+	}
+	const slack = 1e-9
+	if ch.balA < 0 && ch.balA > -slack {
+		ch.balA = 0
+	}
+	if ch.balB < 0 && ch.balB > -slack {
+		ch.balB = 0
 	}
 	if err := n.topo.SetCapacity(ch.abEdge, ch.balA); err != nil {
 		return err

@@ -1,0 +1,100 @@
+package traffic
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// TestEstimateDemandMoreRejections covers the rejection branches the
+// base validation test leaves out: negative node counts, negative
+// durations, and senders below the index range.
+func TestEstimateDemandMoreRejections(t *testing.T) {
+	good := []Tx{{From: 0, To: 1, Amount: 1}}
+	if _, err := EstimateDemand(-3, good, 1, 0); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("negative nodes = %v, want ErrBadDemand", err)
+	}
+	if _, err := EstimateDemand(2, good, -1, 0); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("negative duration = %v, want ErrBadDemand", err)
+	}
+	if _, err := EstimateDemand(2, []Tx{{From: -1, To: 1}}, 1, 0); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("negative sender = %v, want ErrBadDemand", err)
+	}
+}
+
+// TestEstimateDemandEmptyLog pins the no-observations case: rates are
+// zero and rows carry no mass, but the structure is well formed.
+func TestEstimateDemandEmptyLog(t *testing.T) {
+	d, err := EstimateDemand(3, nil, 10, 0)
+	if err != nil {
+		t.Fatalf("EstimateDemand: %v", err)
+	}
+	if d.TotalRate() != 0 {
+		t.Errorf("TotalRate = %v, want 0", d.TotalRate())
+	}
+	if len(d.P) != 3 || len(d.Rates) != 3 {
+		t.Errorf("shape = (%d,%d), want (3,3)", len(d.P), len(d.Rates))
+	}
+}
+
+// TestNewUniformDemandEmptyGraph rejects a demand over zero nodes.
+func TestNewUniformDemandEmptyGraph(t *testing.T) {
+	if _, err := NewUniformDemand(graph.New(0), txdist.Uniform{}, 1); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("NewUniformDemand on empty graph = %v, want ErrBadDemand", err)
+	}
+}
+
+// TestGeneratorSkipsDeadSenders drives a demand where one sender has an
+// all-zero recipient row: Next must keep the stream well-formed by
+// resampling, never emitting a self-payment or a dead pair.
+func TestGeneratorSkipsDeadSenders(t *testing.T) {
+	g := graph.Star(3, 1) // hub + 3 leaves
+	d, err := NewDemand(g, txdist.Uniform{}, []float64{1, 0, 1, 1})
+	if err != nil {
+		t.Fatalf("NewDemand: %v", err)
+	}
+	// Zero out sender 2's row by hand: it still has positive rate, so the
+	// generator will draw it and must skip to a live sender.
+	for r := range d.P[2] {
+		d.P[2][r] = 0
+	}
+	gen, err := NewGenerator(d, nil, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		tx := gen.Next()
+		if tx.From == tx.To {
+			t.Fatalf("self payment emitted: %+v", tx)
+		}
+		if tx.From == 2 {
+			t.Fatalf("dead sender emitted: %+v", tx)
+		}
+	}
+}
+
+// TestPoissonCountEdges covers the non-positive-λ guard and the
+// normal-approximation branch used for large λ.
+func TestPoissonCountEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	if got := PoissonCount(0, rng); got != 0 {
+		t.Errorf("PoissonCount(0) = %d, want 0", got)
+	}
+	if got := PoissonCount(-3, rng); got != 0 {
+		t.Errorf("PoissonCount(-3) = %d, want 0", got)
+	}
+	// Large λ takes the normal branch; the sample must stay non-negative
+	// and land within a loose ±6σ window.
+	for i := 0; i < 100; i++ {
+		got := PoissonCount(1e4, rng)
+		if got < 0 {
+			t.Fatalf("negative count %d", got)
+		}
+		if got < 9000 || got > 11000 {
+			t.Fatalf("PoissonCount(1e4) = %d, far outside ±6σ", got)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package traffic2
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// FuzzTrafficReplayMatchesReference steers the replay configuration space
+// — topology family and size, balances, fee function, size distribution,
+// shard count, rebalance cadence — and requires the CSR engine and the
+// payment.Pay reference to agree bit-for-bit on every aggregate and every
+// receipt. The config bytes are knobs, not raw input: rejected
+// combinations skip, accepted ones must match.
+func FuzzTrafficReplayMatchesReference(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(8), uint8(3), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(2), uint8(20), uint8(9), uint8(3), uint8(1), uint8(1), uint8(16))
+	f.Add(int64(42), uint8(3), uint8(14), uint8(5), uint8(2), uint8(2), uint8(2), uint8(0))
+	f.Add(int64(-9), uint8(1), uint8(5), uint8(7), uint8(4), uint8(1), uint8(2), uint8(32))
+	f.Fuzz(func(t *testing.T, seed int64, topoKind, sizeRaw, eventsRaw, shardsRaw, feeRaw, sizesRaw, rebRaw uint8) {
+		n := 4 + int(sizeRaw)%21 // 4..24 nodes
+		balance := 2 + float64(sizeRaw%5)
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		switch topoKind % 4 {
+		case 0:
+			g = graph.Star(n, balance)
+		case 1:
+			g = graph.Circle(n, balance)
+		case 2:
+			g = graph.BarabasiAlbert(n, 2, balance, rng)
+		default:
+			g = graph.ConnectedErdosRenyi(n, 0.3, balance, rng, 100)
+		}
+		demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1.2}, float64(g.NumNodes()))
+		if err != nil {
+			t.Skipf("config rejected: %v", err)
+		}
+		var feeFn fee.Func
+		switch feeRaw % 3 {
+		case 0:
+			feeFn = fee.Constant{F: 0.05}
+		case 1:
+			feeFn = fee.Linear{Base: 0.01, Rate: 0.02}
+		default:
+			feeFn = fee.Capped{Inner: fee.Linear{Base: 0.02, Rate: 0.05}, Cap: 0.1}
+		}
+		var sizes traffic.SizeSampler
+		switch sizesRaw % 3 {
+		case 0:
+			sizes = fee.FixedSize{T: balance / 2}
+		case 1:
+			sizes = fee.UniformSize{T: balance * 1.2}
+		default:
+			sizes = nil // zero-sized probes, the simulate convention
+		}
+		cfg := Config{
+			Demand:         demand,
+			Sizes:          sizes,
+			Fee:            feeFn,
+			Events:         40 + int(eventsRaw)%360,
+			Seed:           seed,
+			Shards:         1 + int(shardsRaw)%4,
+			Parallelism:    1 + int(shardsRaw)%3,
+			RebalanceEvery: int(rebRaw) % 64,
+			TrackTxs:       true,
+			RecordReceipts: true,
+		}
+		got, err := Replay(g, cfg)
+		if err != nil {
+			t.Skipf("config rejected: %v", err)
+		}
+		want, err := ReferenceReplay(g, cfg)
+		if err != nil {
+			t.Fatalf("engine accepted a config the reference rejects: %v", err)
+		}
+		compareResults(t, got, want)
+	})
+}

@@ -1,0 +1,140 @@
+package traffic2
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// ReferenceReplay replays the same sharded workload as Replay through the
+// seed payment.Network — map-based topology, two-attempt Pay, live
+// balance mirror — and folds the windows with the same merge the engine
+// uses. It is the differential oracle the fast path is locked against:
+// identical Result (bar Retried, which payment.Pay does not expose) and,
+// under Config.RecordReceipts, bit-identical receipts.
+//
+// Windows run sequentially; Parallelism is ignored. Between windows the
+// network rebalances to deposits, which is exactly the shard-start state
+// the engine's private balance planes encode.
+func ReferenceReplay(g *graph.Graph, cfg Config) (*Result, error) {
+	if err := cfg.normalize(g); err != nil {
+		return nil, err
+	}
+	net, err := newFlatNet(g) // deposit census for the depletion count
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := chain.NewLedger(0)
+	if err != nil {
+		return nil, err
+	}
+	network, err := payment.FromGraph(ledger, cfg.Fee, g)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]shardResult, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		if err := runReferenceShard(network, net, &cfg, s, &shards[s]); err != nil {
+			return nil, err
+		}
+	}
+	return mergeShards(net.n, shards, &cfg), nil
+}
+
+// runReferenceShard replays one window through payment.Pay, accumulating
+// the same per-shard aggregates — in the same floating-point order — as
+// the engine's runShard.
+func runReferenceShard(network *payment.Network, net *flatNet, cfg *Config, s int, out *shardResult) error {
+	if err := network.ResetBalances(); err != nil {
+		return err
+	}
+	gen, err := traffic.NewGenerator(cfg.Demand, cfg.Sizes,
+		rand.New(rand.NewSource(shardSeed(cfg.Seed, s))))
+	if err != nil {
+		return err
+	}
+	events := shardEvents(cfg.Events, cfg.Shards, s)
+	out.earned = make([]float64, net.n)
+	out.forwarded = make([]int, net.n)
+	if cfg.TrackTxs {
+		out.txs = make([]traffic.Tx, 0, events)
+	}
+	if cfg.RecordReceipts {
+		out.receipts = make([]Receipt, 0, events)
+	}
+	for i := 0; i < events; i++ {
+		if cfg.RebalanceEvery > 0 && i > 0 && i%cfg.RebalanceEvery == 0 {
+			if err := network.ResetBalances(); err != nil {
+				return err
+			}
+		}
+		tx := gen.Next()
+		if cfg.TrackTxs {
+			out.txs = append(out.txs, tx)
+		}
+		out.events++
+		amount := tx.Amount
+		if amount <= 0 {
+			amount = 1e-9
+		}
+		perHop := cfg.Fee.Fee(amount)
+		receipt, err := network.Pay(tx.From, tx.To, amount)
+		if err != nil {
+			if !errors.Is(err, payment.ErrNoRoute) {
+				return err
+			}
+			out.failures++
+			if cfg.RecordReceipts {
+				out.receipts = append(out.receipts, Receipt{})
+			}
+			continue
+		}
+		out.successes++
+		out.volume += amount
+		out.feesPaid += float64(len(receipt.Path)-2) * perHop
+		// Credit intermediaries in path order with the same additions the
+		// engine performs, so the per-shard floats agree bit-for-bit.
+		for k := 1; k+1 < len(receipt.Path); k++ {
+			v := receipt.Path[k]
+			out.earned[v] += perHop
+			out.forwarded[v]++
+		}
+		if cfg.RecordReceipts {
+			out.receipts = append(out.receipts, Receipt{
+				OK:         true,
+				Path:       receipt.Path,
+				Amount:     receipt.Amount,
+				TotalFee:   receipt.TotalFee,
+				HopAmounts: receipt.HopAmounts,
+			})
+		}
+	}
+	out.elapsed = gen.Now()
+	depleted, err := referenceDepleted(network, net)
+	if err != nil {
+		return err
+	}
+	out.depleted = depleted
+	return nil
+}
+
+// referenceDepleted runs the engine's window-end depletion census over
+// the live network's balances. payment.FromGraph opens channel c in the
+// same pairing order newFlatNet lays out arcs (2c, 2c+1), so ChannelID c
+// maps onto exactly that deposit pair.
+func referenceDepleted(network *payment.Network, net *flatNet) (int, error) {
+	caps := make([]float64, len(net.deposit))
+	for c := 0; c < net.channels(); c++ {
+		balA, balB, err := network.Balances(payment.ChannelID(c))
+		if err != nil {
+			return 0, err
+		}
+		caps[2*c] = balA
+		caps[2*c+1] = balB
+	}
+	return countDepleted(caps, net.deposit), nil
+}

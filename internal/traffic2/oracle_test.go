@@ -1,0 +1,190 @@
+package traffic2
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/chain"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// oracleTopologies builds the differential corpus: every structural
+// family the router must agree with payment.Pay on, including graphs
+// with parallel channels and tight balances that force fee-laden retries
+// and depletion failures.
+func oracleTopologies(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tight := graph.BarabasiAlbert(24, 2, 2.5, rng)
+	parallel := graph.Circle(10, 4)
+	if _, _, err := parallel.AddChannel(0, 1, 3, 3); err != nil {
+		t.Fatalf("parallel channel: %v", err)
+	}
+	if _, _, err := parallel.AddChannel(4, 7, 2, 2); err != nil {
+		t.Fatalf("chord channel: %v", err)
+	}
+	return map[string]*graph.Graph{
+		"star":     graph.Star(12, 5),
+		"circle":   graph.Circle(16, 3),
+		"ba":       graph.BarabasiAlbert(32, 2, 10, rand.New(rand.NewSource(3))),
+		"tight":    tight,
+		"parallel": parallel,
+	}
+}
+
+// diffConfig is the shared workload shape of the differential tests:
+// sizes near the channel balances so depletion, retries and failures all
+// occur, and receipts recorded for bitwise comparison.
+func diffConfig(g *graph.Graph, seed int64, shards int) (Config, error) {
+	demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, float64(g.NumNodes()))
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Demand:         demand,
+		Sizes:          fee.UniformSize{T: 3},
+		Fee:            fee.Linear{Base: 0.02, Rate: 0.01},
+		Events:         600,
+		Seed:           seed,
+		Shards:         shards,
+		RebalanceEvery: 150,
+		RecordReceipts: true,
+		TrackTxs:       true,
+	}, nil
+}
+
+// compareResults asserts bit-identical aggregates and receipts. Retried
+// is engine-only telemetry and excluded (the oracle cannot observe
+// payment.Pay's internal attempt loop).
+func compareResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Events != want.Events || got.Successes != want.Successes || got.Failures != want.Failures {
+		t.Fatalf("counters diverge: engine %d/%d/%d oracle %d/%d/%d",
+			got.Events, got.Successes, got.Failures, want.Events, want.Successes, want.Failures)
+	}
+	if got.Elapsed != want.Elapsed {
+		t.Fatalf("elapsed diverges: engine %v oracle %v", got.Elapsed, want.Elapsed)
+	}
+	if got.Volume != want.Volume || got.FeesPaid != want.FeesPaid {
+		t.Fatalf("volume/fees diverge: engine %v/%v oracle %v/%v",
+			got.Volume, got.FeesPaid, want.Volume, want.FeesPaid)
+	}
+	if got.DepletedArcs != want.DepletedArcs {
+		t.Fatalf("depletion diverges: engine %d oracle %d", got.DepletedArcs, want.DepletedArcs)
+	}
+	if !reflect.DeepEqual(got.Earned, want.Earned) {
+		t.Fatalf("earned fees diverge:\nengine %v\noracle %v", got.Earned, want.Earned)
+	}
+	if !reflect.DeepEqual(got.Forwarded, want.Forwarded) {
+		t.Fatalf("forwarded counts diverge:\nengine %v\noracle %v", got.Forwarded, want.Forwarded)
+	}
+	if !reflect.DeepEqual(got.Txs, want.Txs) {
+		t.Fatalf("tracked txs diverge")
+	}
+	if len(got.Receipts) != len(want.Receipts) {
+		t.Fatalf("receipt counts diverge: engine %d oracle %d", len(got.Receipts), len(want.Receipts))
+	}
+	for i := range got.Receipts {
+		if !reflect.DeepEqual(got.Receipts[i], want.Receipts[i]) {
+			t.Fatalf("receipt %d diverges:\nengine %+v\noracle %+v", i, got.Receipts[i], want.Receipts[i])
+		}
+	}
+}
+
+// TestReplayMatchesReference is the differential oracle lockdown
+// (run under -race in CI): across random histories on every topology
+// family, the CSR engine must reproduce payment.Pay's receipts — path,
+// fees, hop amounts — and every merged aggregate bit-for-bit, at one
+// shard and at several.
+func TestReplayMatchesReference(t *testing.T) {
+	for name, g := range oracleTopologies(t) {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			failures := 0
+			for _, shards := range []int{1, 3} {
+				for seed := int64(1); seed <= 3; seed++ {
+					cfg, err := diffConfig(g, seed, shards)
+					if err != nil {
+						t.Fatalf("config: %v", err)
+					}
+					got, err := Replay(g, cfg)
+					if err != nil {
+						t.Fatalf("replay: %v", err)
+					}
+					want, err := ReferenceReplay(g, cfg)
+					if err != nil {
+						t.Fatalf("reference: %v", err)
+					}
+					compareResults(t, got, want)
+					failures += got.Failures
+				}
+			}
+			if name == "tight" && failures == 0 {
+				t.Errorf("tight corpus routed everything; the differential is not exercising failures")
+			}
+		})
+	}
+}
+
+// TestReplayMatchesPaymentCounters cross-checks the engine against the
+// payment network's own internal accounting (EarnedFees, ForwardedCount,
+// Stats) on a single-shard run, where the seed network accumulates in
+// exactly the engine's order.
+func TestReplayMatchesPaymentCounters(t *testing.T) {
+	g := graph.BarabasiAlbert(20, 2, 6, rand.New(rand.NewSource(5)))
+	demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, float64(g.NumNodes()))
+	if err != nil {
+		t.Fatalf("demand: %v", err)
+	}
+	cfg := Config{
+		Demand: demand,
+		Sizes:  fee.FixedSize{T: 2},
+		Fee:    fee.Constant{F: 0.05},
+		Events: 500,
+		Seed:   11,
+		Shards: 1,
+	}
+	res, err := Replay(g, cfg)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	ledger, err := chain.NewLedger(0)
+	if err != nil {
+		t.Fatalf("ledger: %v", err)
+	}
+	network, err := payment.FromGraph(ledger, cfg.Fee, g)
+	if err != nil {
+		t.Fatalf("from graph: %v", err)
+	}
+	gen, err := traffic.NewGenerator(demand, cfg.Sizes, rand.New(rand.NewSource(shardSeed(cfg.Seed, 0))))
+	if err != nil {
+		t.Fatalf("generator: %v", err)
+	}
+	for i := 0; i < cfg.Events; i++ {
+		tx := gen.Next()
+		network.Pay(tx.From, tx.To, tx.Amount) // failures are part of the workload
+	}
+	successes, failures := network.Stats()
+	if res.Successes != successes || res.Failures != failures {
+		t.Fatalf("stats diverge: engine %d/%d payment %d/%d", res.Successes, res.Failures, successes, failures)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		if got, want := res.Earned[v], network.EarnedFees(id); got != want {
+			t.Fatalf("earned[%d] diverges: engine %v payment %v", v, got, want)
+		}
+		if got, want := res.Forwarded[v], network.ForwardedCount(id); got != want {
+			t.Fatalf("forwarded[%d] diverges: engine %d payment %d", v, got, want)
+		}
+		if math.IsNaN(res.Earned[v]) || math.IsInf(res.Earned[v], 0) {
+			t.Fatalf("earned[%d] is not finite: %v", v, res.Earned[v])
+		}
+	}
+}

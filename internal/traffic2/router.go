@@ -1,0 +1,147 @@
+package traffic2
+
+import "github.com/lightning-creation-games/lcg/internal/graph"
+
+// scratch is one shard's reusable routing workspace. All slices are
+// allocated once per shard and reused for every event; visited marks are
+// epoch-stamped so a new BFS costs no clearing pass.
+type scratch struct {
+	epoch int32
+	seen  []int32 // seen[v] == epoch ⇔ v visited this BFS
+	via   []int32 // arc that reached v
+	prev  []int32 // node that reached v
+	queue []int32
+	path  []int32 // arc sequence of the last routed path, sender first
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		seen:  make([]int32, n),
+		via:   make([]int32, n),
+		prev:  make([]int32, n),
+		queue: make([]int32, 0, n),
+		path:  make([]int32, 0, 16),
+	}
+}
+
+// pay routes amount from s to r with payment.Pay's exact semantics: a
+// first attempt requiring the base amount on every hop, then — if routing
+// or the fee-laden verification fails — a conservative attempt requiring
+// the worst-case laden amount amount+(n−1)·perHop everywhere. On success
+// it commits the balance moves into caps, credits intermediaries, and
+// returns the hop count with the retry flag; on failure it returns 0 and
+// caps is untouched (HTLC atomicity).
+func (sc *scratch) pay(net *flatNet, caps []float64, s, r int32, amount, perHop float64,
+	earned []float64, forwarded []int) (hops int, retried bool) {
+	for attempt := 0; attempt < 2; attempt++ {
+		need := amount
+		if attempt == 1 {
+			// Worst case: first hop of the longest plausible path.
+			need = amount + float64(net.n-1)*perHop
+		}
+		if !sc.bfs(net, caps, s, r, need) {
+			continue
+		}
+		sc.buildPath(s, r)
+		if sc.execute(net, caps, amount, perHop, earned, forwarded) {
+			return len(sc.path), attempt == 1
+		}
+	}
+	return 0, false
+}
+
+// bfs finds one shortest s→r path over arcs with capacity ≥ need (under
+// payment.Pay's 1e-12 feasibility epsilon), recording via/prev links. It
+// mirrors the reference BFS exactly: FIFO order, arcs scanned in
+// channel-creation order, the scan stopping the moment r is labelled.
+func (sc *scratch) bfs(net *flatNet, caps []float64, s, r int32, need float64) bool {
+	sc.epoch++
+	epoch := sc.epoch
+	sc.seen[s] = epoch
+	sc.queue = sc.queue[:0]
+	sc.queue = append(sc.queue, s)
+	for head := 0; head < len(sc.queue); head++ {
+		v := sc.queue[head]
+		for _, a := range net.arcs[net.offs[v]:net.offs[v+1]] {
+			if caps[a]+1e-12 < need {
+				continue
+			}
+			w := net.arcTo[a]
+			if sc.seen[w] == epoch {
+				continue
+			}
+			sc.seen[w] = epoch
+			sc.via[w] = a
+			sc.prev[w] = v
+			if w == r {
+				return true
+			}
+			sc.queue = append(sc.queue, w)
+		}
+	}
+	return false
+}
+
+// buildPath reconstructs the arc sequence of the last BFS into sc.path.
+func (sc *scratch) buildPath(s, r int32) {
+	sc.path = sc.path[:0]
+	for at := r; at != s; at = sc.prev[at] {
+		sc.path = append(sc.path, sc.via[at])
+	}
+	// Reverse in place: the walk collected arcs receiver-first.
+	for i, j := 0, len(sc.path)-1; i < j; i, j = i+1, j-1 {
+		sc.path[i], sc.path[j] = sc.path[j], sc.path[i]
+	}
+}
+
+// execute verifies every hop of sc.path against its fee-laden carry and
+// then commits all balance moves — the verify-then-commit split of
+// payment.executePath. Hop k of an L-hop path carries
+// amount + (L−1−k)·perHop; each intermediary keeps perHop.
+func (sc *scratch) execute(net *flatNet, caps []float64, amount, perHop float64,
+	earned []float64, forwarded []int) bool {
+	hops := len(sc.path)
+	for k, a := range sc.path {
+		carry := amount + float64(hops-1-k)*perHop
+		if caps[a]+1e-12 < carry {
+			return false
+		}
+	}
+	for k, a := range sc.path {
+		carry := amount + float64(hops-1-k)*perHop
+		caps[a] -= carry
+		// Mirror payment's channelState.move: the feasibility epsilon can
+		// leave the debited side negative by a hair; clamp it to zero so
+		// both planes stay bit-identical.
+		if caps[a] < 0 && caps[a] > -1e-9 {
+			caps[a] = 0
+		}
+		caps[a^1] += carry
+		if k > 0 {
+			from := net.arcFrom[a]
+			earned[from] += perHop
+			forwarded[from]++
+		}
+	}
+	return true
+}
+
+// receipt materialises the last committed path as a payment.Pay-shaped
+// receipt — differential-oracle surface only, never on the hot path.
+func (sc *scratch) receipt(net *flatNet, amount, perHop float64) Receipt {
+	hops := len(sc.path)
+	path := make([]graph.NodeID, 0, hops+1)
+	hopAmounts := make([]float64, hops)
+	for k, a := range sc.path {
+		path = append(path, graph.NodeID(net.arcFrom[a]))
+		hopAmounts[k] = amount + float64(hops-1-k)*perHop
+	}
+	path = append(path, graph.NodeID(net.arcTo[sc.path[hops-1]]))
+	return Receipt{
+		OK:         true,
+		Path:       path,
+		Amount:     amount,
+		TotalFee:   float64(hops-1) * perHop,
+		HopAmounts: hopAmounts,
+	}
+}

@@ -1,0 +1,74 @@
+package traffic2
+
+import (
+	"fmt"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// flatNet is the immutable topology half of the engine's channel-state
+// machine: channel c becomes the arc pair (2c, 2c+1) — forward then
+// reverse, so an arc's partner is always arc^1 — over dense arrays, and
+// adjacency is a static CSR whose per-node arc order reproduces the
+// out-edge order payment.FromGraph's OpenChannel sequence creates. That
+// ordering is what makes the engine's BFS visit nodes in exactly
+// payment.Pay's order and hence return bit-identical paths.
+//
+// The mutable half — the per-arc balance plane — lives outside, one
+// []float64 per shard, so windows deplete independently and the topology
+// is shared read-only across workers.
+type flatNet struct {
+	n int
+	// arcFrom/arcTo are the endpoints of each directed arc; deposit is
+	// its initial (and post-rebalance) spendable balance.
+	arcFrom []int32
+	arcTo   []int32
+	deposit []float64
+	// offs/arcs are the CSR out-adjacency: node v's arcs are
+	// arcs[offs[v]:offs[v+1]], in channel-creation order.
+	offs []int32
+	arcs []int32
+}
+
+// newFlatNet pairs g's directed edges into channels with the same greedy
+// algorithm payment.FromGraph uses (first unpaired reverse partner in
+// ForEachEdge order) and lays them out flat. Unpaired directed edges are
+// rejected, matching FromGraph.
+func newFlatNet(g *graph.Graph) (*flatNet, error) {
+	pairs, unpaired := g.ChannelPairs()
+	if len(unpaired) > 0 {
+		e := unpaired[0]
+		return nil, fmt.Errorf("%w: unpaired directed edge (%d,%d)", ErrBadConfig, e.From, e.To)
+	}
+	n := g.NumNodes()
+	net := &flatNet{
+		n:       n,
+		arcFrom: make([]int32, 0, 2*len(pairs)),
+		arcTo:   make([]int32, 0, 2*len(pairs)),
+		deposit: make([]float64, 0, 2*len(pairs)),
+	}
+	deg := make([]int32, n)
+	for _, pair := range pairs {
+		ab, ba := pair[0], pair[1]
+		net.arcFrom = append(net.arcFrom, int32(ab.From), int32(ba.From))
+		net.arcTo = append(net.arcTo, int32(ab.To), int32(ba.To))
+		net.deposit = append(net.deposit, ab.Capacity, ba.Capacity)
+		deg[ab.From]++
+		deg[ba.From]++
+	}
+	net.offs = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		net.offs[v+1] = net.offs[v] + deg[v]
+	}
+	net.arcs = make([]int32, 2*len(pairs))
+	fill := append([]int32(nil), net.offs[:n]...)
+	for a := range net.arcFrom {
+		v := net.arcFrom[a]
+		net.arcs[fill[v]] = int32(a)
+		fill[v]++
+	}
+	return net, nil
+}
+
+// channels reports the channel count (arcs/2).
+func (net *flatNet) channels() int { return len(net.arcFrom) / 2 }

@@ -1,0 +1,325 @@
+// Package traffic2 is the production-rate traffic engine: a replay loop
+// that routes millions of transactions — sampled from internal/txdist
+// demand through internal/traffic generators — over a payment channel
+// network, on an allocation-free routing hot path.
+//
+// The engine reimplements the operational semantics of internal/payment
+// (shortest feasible path on the capacity-reduced subgraph of §II-B,
+// two-attempt fee-laden retries, verify-then-commit HTLC atomicity,
+// per-intermediary fees) on a flat channel-state machine: channels become
+// arc pairs (2c, 2c+1) over dense arrays, adjacency is a static CSR built
+// in the exact order payment.FromGraph opens channels, and the BFS runs
+// on per-shard reusable scratch with epoch-stamped visited marks. The
+// contract — enforced by the differential oracle test and the fuzz
+// harness — is that every receipt (path, fees, hop amounts) is
+// bit-identical to payment.Pay's.
+//
+// Determinism is sharded: a replay of E events over S shards splits the
+// stream into S independent measurement windows, each starting from the
+// deposit state (the steady state ResetBalances emulates) with a private
+// SplitMix64-derived random stream. Shards are the unit of scheduling;
+// workers only decide *when* a shard runs, never *what* it computes, and
+// shard results merge in index order. Results are therefore bit-identical
+// at any Parallelism — only Shards (a config knob, part of the run's
+// identity) changes them.
+package traffic2
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/par"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// ErrBadConfig reports an invalid replay configuration.
+var ErrBadConfig = errors.New("traffic2: invalid config")
+
+// Config parametrises a replay run.
+type Config struct {
+	// Demand drives the workload: senders, recipients, rates. Required,
+	// with one rate per node of the replayed graph.
+	Demand *traffic.Demand
+	// Sizes draws transaction sizes; nil sends zero-sized probes (clamped
+	// to 1e-9, the simulate package's probe convention).
+	Sizes traffic.SizeSampler
+	// Fee is the global fee function F of §II-A; nil charges nothing.
+	Fee fee.Func
+	// Events is the total number of transactions to replay (required).
+	Events int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Shards is the number of independent measurement windows the event
+	// stream splits into. Each shard starts from the deposit state with
+	// its own SplitMix64-derived stream; values ≤ 0 select 1. Shards is
+	// part of the result's identity — Parallelism is not.
+	Shards int
+	// Parallelism bounds the worker goroutines scheduling shards; values
+	// ≤ 0 select all cores. Results are bit-identical at any setting.
+	Parallelism int
+	// RebalanceEvery, when positive, restores every channel to its
+	// deposits after that many events within a shard (the steady-state
+	// emulation of §II-B). Zero disables rebalancing, exposing depletion.
+	RebalanceEvery int
+	// TrackTxs records every generated transaction in Result.Txs (merged
+	// in shard order) — the observed-traffic feed for demand estimation.
+	// Off by default: a million transactions is tens of megabytes.
+	TrackTxs bool
+	// RecordReceipts records a Receipt per event in Result.Receipts —
+	// the differential-oracle surface. Off on the hot path.
+	RecordReceipts bool
+}
+
+// Receipt mirrors payment.Receipt per replayed event, plus the outcome.
+type Receipt struct {
+	// OK reports whether the payment routed.
+	OK bool
+	// Path is the node sequence sender → receiver (nil on failure).
+	Path []graph.NodeID
+	// Amount is what the receiver obtained.
+	Amount float64
+	// TotalFee is what the sender paid on top of Amount.
+	TotalFee float64
+	// HopAmounts[k] is the value carried by the k-th channel of the path.
+	HopAmounts []float64
+}
+
+// Result aggregates a replay run.
+type Result struct {
+	// Events, Successes and Failures count replayed transactions.
+	Events, Successes, Failures int
+	// Retried counts successes that needed the second, fee-conservative
+	// routing attempt (engine-only telemetry; the reference oracle cannot
+	// observe payment.Pay's internal attempt loop).
+	Retried int
+	// Elapsed sums the simulated durations of all shard windows.
+	Elapsed float64
+	// Volume is the total value delivered; FeesPaid the routing fees
+	// senders paid on top.
+	Volume, FeesPaid float64
+	// Earned[v] is the realized fee revenue of node v as an intermediary;
+	// Forwarded[v] counts the payments it forwarded.
+	Earned []float64
+	// Forwarded counts per-node forwarded payments.
+	Forwarded []int
+	// DepletedArcs counts directed channel balances that ended a shard
+	// window below 1% of their deposit — the §II-B depletion signal.
+	DepletedArcs int
+	// Txs holds every generated transaction when Config.TrackTxs is set.
+	Txs []traffic.Tx
+	// Receipts holds one receipt per event when Config.RecordReceipts is
+	// set, in replay order (shards concatenated in index order).
+	Receipts []Receipt
+}
+
+// SuccessRate returns the fraction of replayed transactions that routed.
+func (r *Result) SuccessRate() float64 {
+	if r.Events == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Events)
+}
+
+// RevenueRate returns node v's realized fee income per simulated time
+// unit, the quantity Algorithm 1's predicted E^rev_v is compared against.
+func (r *Result) RevenueRate(v graph.NodeID) float64 {
+	if r.Elapsed <= 0 || int(v) >= len(r.Earned) {
+		return 0
+	}
+	return r.Earned[int(v)] / r.Elapsed
+}
+
+// shardResult is one measurement window's contribution, merged in shard
+// index order so the total is a pure function of (config, seed, shards).
+type shardResult struct {
+	events, successes, failures, retried int
+	elapsed                              float64
+	volume, feesPaid                     float64
+	earned                               []float64
+	forwarded                            []int
+	depleted                             int
+	txs                                  []traffic.Tx
+	receipts                             []Receipt
+}
+
+// normalize fills config defaults in place and validates against g.
+func (cfg *Config) normalize(g *graph.Graph) error {
+	if cfg.Events <= 0 {
+		return fmt.Errorf("%w: events %d", ErrBadConfig, cfg.Events)
+	}
+	if cfg.Demand == nil {
+		return fmt.Errorf("%w: nil demand", ErrBadConfig)
+	}
+	if len(cfg.Demand.Rates) != g.NumNodes() {
+		return fmt.Errorf("%w: demand covers %d users, graph has %d",
+			ErrBadConfig, len(cfg.Demand.Rates), g.NumNodes())
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Fee == nil {
+		cfg.Fee = fee.Constant{F: 0}
+	}
+	return nil
+}
+
+// shardSeed derives shard s's private stream seed from the run seed by a
+// SplitMix64 chain (the Ctx.SubSeed discipline of internal/experiments),
+// so streams are independent and never depend on scheduling.
+func shardSeed(seed int64, s int) int64 {
+	x := splitMix64(uint64(seed) ^ (uint64(s) + 0x9E3779B97F4A7C15))
+	return int64(splitMix64(x) >> 1)
+}
+
+// splitMix64 is the SplitMix64 finalizer (Steele et al., OOPSLA 2014).
+func splitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// shardEvents returns shard s's event count: Events/Shards with the
+// remainder spread over the leading shards.
+func shardEvents(events, shards, s int) int {
+	n := events / shards
+	if s < events%shards {
+		n++
+	}
+	return n
+}
+
+// Replay routes cfg.Events transactions over the channels of g and
+// returns the merged measurement. Routing failures are recorded, not
+// fatal. g is read-only: every shard works on a private balance plane.
+func Replay(g *graph.Graph, cfg Config) (*Result, error) {
+	if err := cfg.normalize(g); err != nil {
+		return nil, err
+	}
+	net, err := newFlatNet(g)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]shardResult, cfg.Shards)
+	pool := par.NewPool(cfg.Parallelism)
+	err = pool.ForEach(cfg.Shards, func(s int) error {
+		return runShard(net, &cfg, s, &shards[s])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeShards(net.n, shards, &cfg), nil
+}
+
+// runShard replays one measurement window: fresh deposits, a private
+// generator stream, per-shard scratch reused across every event.
+func runShard(net *flatNet, cfg *Config, s int, out *shardResult) error {
+	gen, err := traffic.NewGenerator(cfg.Demand, cfg.Sizes,
+		rand.New(rand.NewSource(shardSeed(cfg.Seed, s))))
+	if err != nil {
+		return err
+	}
+	events := shardEvents(cfg.Events, cfg.Shards, s)
+	caps := append([]float64(nil), net.deposit...)
+	sc := newScratch(net.n)
+	out.earned = make([]float64, net.n)
+	out.forwarded = make([]int, net.n)
+	if cfg.TrackTxs {
+		out.txs = make([]traffic.Tx, 0, events)
+	}
+	if cfg.RecordReceipts {
+		out.receipts = make([]Receipt, 0, events)
+	}
+	for i := 0; i < events; i++ {
+		if cfg.RebalanceEvery > 0 && i > 0 && i%cfg.RebalanceEvery == 0 {
+			copy(caps, net.deposit)
+		}
+		tx := gen.Next()
+		if cfg.TrackTxs {
+			out.txs = append(out.txs, tx)
+		}
+		out.events++
+		amount := tx.Amount
+		if amount <= 0 {
+			// Zero-sized probe: still exercises routing feasibility.
+			amount = 1e-9
+		}
+		perHop := cfg.Fee.Fee(amount)
+		hops, retried := sc.pay(net, caps, int32(tx.From), int32(tx.To), amount, perHop,
+			out.earned, out.forwarded)
+		if hops == 0 {
+			out.failures++
+			if cfg.RecordReceipts {
+				out.receipts = append(out.receipts, Receipt{})
+			}
+			continue
+		}
+		out.successes++
+		if retried {
+			out.retried++
+		}
+		out.volume += amount
+		out.feesPaid += float64(hops-1) * perHop
+		if cfg.RecordReceipts {
+			out.receipts = append(out.receipts, sc.receipt(net, amount, perHop))
+		}
+	}
+	out.elapsed = gen.Now()
+	out.depleted = countDepleted(caps, net.deposit)
+	return nil
+}
+
+// countDepleted counts directed balances below 1% of their deposit — the
+// window-end depletion census both the engine and the oracle report.
+func countDepleted(caps, deposit []float64) int {
+	n := 0
+	for a := range caps {
+		if deposit[a] > 0 && caps[a] < 0.01*deposit[a] {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeShards folds shard windows in index order. The fold is shared with
+// the reference oracle so both sides agree bit-for-bit on every float.
+func mergeShards(n int, shards []shardResult, cfg *Config) *Result {
+	res := &Result{
+		Earned:    make([]float64, n),
+		Forwarded: make([]int, n),
+	}
+	for s := range shards {
+		sh := &shards[s]
+		res.Events += sh.events
+		res.Successes += sh.successes
+		res.Failures += sh.failures
+		res.Retried += sh.retried
+		res.Elapsed += sh.elapsed
+		res.Volume += sh.volume
+		res.FeesPaid += sh.feesPaid
+		res.DepletedArcs += sh.depleted
+		for v := 0; v < n; v++ {
+			res.Earned[v] += sh.earned[v]
+			res.Forwarded[v] += sh.forwarded[v]
+		}
+		if cfg.TrackTxs {
+			res.Txs = append(res.Txs, sh.txs...)
+		}
+		if cfg.RecordReceipts {
+			res.Receipts = append(res.Receipts, sh.receipts...)
+		}
+	}
+	return res
+}
+
+// ObservedDemand estimates a demand matrix from the transactions a
+// tracked replay observed (Result.Txs over Result.Elapsed) — the feedback
+// that closes the loop into core.GrowSession.SetDemand/RefreshRates, so
+// growth pricing can re-quote λ̂ against realized rather than assumed
+// traffic.
+func ObservedDemand(n int, txs []traffic.Tx, elapsed, smoothing float64) (*traffic.Demand, error) {
+	return traffic.EstimateDemand(n, txs, elapsed, smoothing)
+}

@@ -1,0 +1,322 @@
+package traffic2
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+func testDemand(t *testing.T, g *graph.Graph) *traffic.Demand {
+	t.Helper()
+	d, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, float64(g.NumNodes()))
+	if err != nil {
+		t.Fatalf("demand: %v", err)
+	}
+	return d
+}
+
+func TestReplayRejectsBadConfig(t *testing.T) {
+	g := graph.Circle(6, 5)
+	demand := testDemand(t, g)
+	small := graph.Circle(4, 5)
+	cases := map[string]Config{
+		"no events":       {Demand: demand},
+		"negative events": {Demand: demand, Events: -3},
+		"nil demand":      {Events: 100},
+		"size mismatch":   {Demand: testDemand(t, small), Events: 100},
+	}
+	for name, cfg := range cases {
+		if _, err := Replay(g, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: got %v, want ErrBadConfig", name, err)
+		}
+		if _, err := ReferenceReplay(g, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s (reference): got %v, want ErrBadConfig", name, err)
+		}
+	}
+	// Unpaired directed edges are rejected like payment.FromGraph does.
+	lop := graph.New(2)
+	if _, err := lop.AddEdge(0, 1, 5); err != nil {
+		t.Fatalf("add edge: %v", err)
+	}
+	lopDemand := &traffic.Demand{P: [][]float64{{0, 1}, {1, 0}}, Rates: []float64{1, 1}}
+	if _, err := Replay(lop, Config{Demand: lopDemand, Events: 10}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("unpaired edge: got %v, want ErrBadConfig", err)
+	}
+}
+
+// TestReplayParallelismInvariance is the determinism contract: with the
+// shard count fixed, every worker setting must produce bit-identical
+// results — aggregates, per-node floats, tracked transactions, receipts.
+func TestReplayParallelismInvariance(t *testing.T) {
+	g := graph.BarabasiAlbert(40, 2, 4, rand.New(rand.NewSource(2)))
+	base := Config{
+		Demand:         testDemand(t, g),
+		Sizes:          fee.UniformSize{T: 3},
+		Fee:            fee.Linear{Base: 0.01, Rate: 0.02},
+		Events:         2000,
+		Seed:           9,
+		Shards:         8,
+		RebalanceEvery: 100,
+		TrackTxs:       true,
+		RecordReceipts: true,
+	}
+	var want *Result
+	for _, workers := range []int{1, 4, 8} {
+		cfg := base
+		cfg.Parallelism = workers
+		res, err := Replay(g, cfg)
+		if err != nil {
+			t.Fatalf("replay at %d workers: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Fatalf("results diverge between 1 and %d workers", workers)
+		}
+	}
+	if want.Successes == 0 || want.Failures == 0 {
+		t.Fatalf("workload is not exercising both outcomes: %d/%d", want.Successes, want.Failures)
+	}
+}
+
+// TestReplayShardWindows pins the shard semantics: shards are independent
+// deposit-state windows, so a heavily depleted 1-shard run must route
+// strictly fewer payments than the same events split over 8 windows.
+func TestReplayShardWindows(t *testing.T) {
+	g := graph.BarabasiAlbert(30, 2, 3, rand.New(rand.NewSource(4)))
+	base := Config{
+		Demand: testDemand(t, g),
+		Sizes:  fee.FixedSize{T: 1.5},
+		Fee:    fee.Constant{F: 0.01},
+		Events: 4000,
+		Seed:   3,
+	}
+	one := base
+	one.Shards = 1
+	eight := base
+	eight.Shards = 8
+	resOne, err := Replay(g, one)
+	if err != nil {
+		t.Fatalf("1 shard: %v", err)
+	}
+	resEight, err := Replay(g, eight)
+	if err != nil {
+		t.Fatalf("8 shards: %v", err)
+	}
+	if resOne.Events != resEight.Events {
+		t.Fatalf("event totals diverge: %d vs %d", resOne.Events, resEight.Events)
+	}
+	if resOne.Successes >= resEight.Successes {
+		t.Errorf("depleted single window routed %d ≥ %d of the 8-window run; shard reset is not happening",
+			resOne.Successes, resEight.Successes)
+	}
+}
+
+// TestReplayRetrySemantics crafts the two-attempt scenario: the shortest
+// path is feasible for the base amount but not the fee-laden carry, so
+// the conservative second attempt must route around it.
+func TestReplayRetrySemantics(t *testing.T) {
+	g := graph.New(4)
+	mustChannel := func(a, b graph.NodeID, balA, balB float64) {
+		t.Helper()
+		if _, _, err := g.AddChannel(a, b, balA, balB); err != nil {
+			t.Fatalf("channel (%d,%d): %v", a, b, err)
+		}
+	}
+	mustChannel(0, 1, 1.05, 10) // short route 0→1→2: first hop cannot carry 1+fee
+	mustChannel(1, 2, 10, 10)
+	mustChannel(0, 3, 10, 10) // detour 0→3→2 has headroom
+	mustChannel(3, 2, 10, 10)
+	demand := &traffic.Demand{
+		P:     [][]float64{{0, 0, 1, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}, {0, 0, 0, 0}},
+		Rates: []float64{1, 0, 0, 0},
+	}
+	cfg := Config{
+		Demand:         demand,
+		Sizes:          fee.FixedSize{T: 1},
+		Fee:            fee.Constant{F: 0.1},
+		Events:         1,
+		Seed:           1,
+		RecordReceipts: true,
+	}
+	res, err := Replay(g, cfg)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Successes != 1 || res.Retried != 1 {
+		t.Fatalf("want 1 success via retry, got successes=%d retried=%d", res.Successes, res.Retried)
+	}
+	wantPath := []graph.NodeID{0, 3, 2}
+	if !reflect.DeepEqual(res.Receipts[0].Path, wantPath) {
+		t.Fatalf("retry path %v, want %v", res.Receipts[0].Path, wantPath)
+	}
+	ref, err := ReferenceReplay(g, cfg)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	compareResults(t, res, ref)
+}
+
+// TestReplayDepletion drives one channel dry in a single window and
+// checks the failure accounting and the depletion census.
+func TestReplayDepletion(t *testing.T) {
+	g := graph.New(2)
+	if _, _, err := g.AddChannel(0, 1, 3, 1); err != nil {
+		t.Fatalf("channel: %v", err)
+	}
+	demand := &traffic.Demand{
+		P:     [][]float64{{0, 1}, {0, 0}},
+		Rates: []float64{1, 0},
+	}
+	cfg := Config{
+		Demand: demand,
+		Sizes:  fee.FixedSize{T: 1},
+		Events: 5,
+		Seed:   1,
+	}
+	res, err := Replay(g, cfg)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Successes != 3 || res.Failures != 2 {
+		t.Fatalf("want 3 successes / 2 failures, got %d/%d", res.Successes, res.Failures)
+	}
+	if res.DepletedArcs != 1 {
+		t.Fatalf("want 1 depleted arc (the 0→1 balance), got %d", res.DepletedArcs)
+	}
+	if res.Volume != 3 {
+		t.Fatalf("volume %v, want 3", res.Volume)
+	}
+}
+
+// TestReplayDisconnectedFinite is the Inf16 regression guard of the
+// distance substrate wiring: replaying over a disconnected graph whose
+// uint16 all-pairs plane holds Inf16 sentinels must yield plain failure
+// counts and finite fee math — the sentinel may never leak into revenue.
+func TestReplayDisconnectedFinite(t *testing.T) {
+	g := graph.New(8)
+	for v := graph.NodeID(1); v < 4; v++ {
+		if _, _, err := g.AddChannel(0, v, 5, 5); err != nil {
+			t.Fatalf("channel: %v", err)
+		}
+	}
+	for v := graph.NodeID(5); v < 8; v++ {
+		if _, _, err := g.AddChannel(4, v, 5, 5); err != nil {
+			t.Fatalf("channel: %v", err)
+		}
+	}
+	ap := g.AllPairsBFS() // materialise the uint16 plane, sentinels included
+	sawInf := false
+	for s := 0; s < g.NumNodes(); s++ {
+		for r := 0; r < g.NumNodes(); r++ {
+			if ap.Dist[s*ap.Stride+r] == graph.Inf16 {
+				sawInf = true
+			}
+		}
+	}
+	if !sawInf {
+		t.Fatalf("test graph is connected; Inf16 sentinels not exercised")
+	}
+	demand := testDemand(t, g)
+	res, err := Replay(g, Config{
+		Demand: demand,
+		Sizes:  fee.FixedSize{T: 1},
+		Fee:    fee.Constant{F: 0.05},
+		Events: 400,
+		Seed:   2,
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Failures == 0 {
+		t.Fatalf("cross-component payments cannot route; expected failures")
+	}
+	for v, e := range res.Earned {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			t.Fatalf("earned[%d] = %v leaked a sentinel into fee math", v, e)
+		}
+	}
+	for _, rate := range demand.NodeTransitRates(g) {
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			t.Fatalf("predicted transit rate %v is not finite on a disconnected graph", rate)
+		}
+	}
+}
+
+// TestObservedDemandFeedsGrowSession closes the loop the tentpole asks
+// for: replay with tracked transactions, estimate observed demand, and
+// refresh a GrowSession's λ̂ quotes from it.
+func TestObservedDemandFeedsGrowSession(t *testing.T) {
+	g := graph.BarabasiAlbert(48, 2, 5, rand.New(rand.NewSource(6)))
+	res, err := Replay(g, Config{
+		Demand:         testDemand(t, g),
+		Sizes:          fee.FixedSize{T: 1},
+		Fee:            fee.Constant{F: 0.02},
+		Events:         6000,
+		Seed:           4,
+		Shards:         4,
+		RebalanceEvery: 200,
+		TrackTxs:       true,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	observed, err := ObservedDemand(g.NumNodes(), res.Txs, res.Elapsed, 0.5)
+	if err != nil {
+		t.Fatalf("observed demand: %v", err)
+	}
+	if observed.TotalRate() <= 0 {
+		t.Fatalf("observed total rate %v, want positive", observed.TotalRate())
+	}
+	params := core.Params{OnChainCost: 1, OppCostRate: 0.05, FAvg: 0.5, FeePerHop: 0.5, OwnRate: 1}
+	gs, err := core.NewGrowSession(g.Clone(), params, g.NumNodes()+1, 1)
+	if err != nil {
+		t.Fatalf("grow session: %v", err)
+	}
+	candidates := []graph.NodeID{0, 1, 2, 3, 4}
+	gs.SetDemand(observed)
+	rates := gs.RefreshRates(candidates)
+	if len(rates) != len(candidates) {
+		t.Fatalf("refreshed %d rates, want %d", len(rates), len(candidates))
+	}
+	positive := 0
+	for v, rate := range rates {
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			t.Fatalf("rate[%d] = %v from observed demand", v, rate)
+		}
+		if rate > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatalf("observed-demand refresh produced all-zero λ̂ rates")
+	}
+}
+
+// TestShardEventSplit pins the deterministic remainder spread.
+func TestShardEventSplit(t *testing.T) {
+	total := 0
+	for s := 0; s < 7; s++ {
+		total += shardEvents(100, 7, s)
+	}
+	if total != 100 {
+		t.Fatalf("shard split loses events: %d", total)
+	}
+	if got := shardEvents(100, 7, 0); got != 15 {
+		t.Fatalf("leading shard got %d events, want 15", got)
+	}
+	if got := shardEvents(100, 7, 6); got != 14 {
+		t.Fatalf("trailing shard got %d events, want 14", got)
+	}
+}

@@ -1,0 +1,50 @@
+package txdist
+
+import (
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// TestProbsDegenerateGraphs pins the zero-mass branches: with no
+// candidate recipients every distribution must return an all-zero row
+// rather than NaNs from a zero-total normalisation.
+func TestProbsDegenerateGraphs(t *testing.T) {
+	single := graph.New(1)
+	dists := []Distribution{
+		ModifiedZipf{S: 1.5},
+		Zipf{S: 1.5},
+		Uniform{},
+		PerSender{Default: Uniform{}},
+	}
+	for _, d := range dists {
+		row := d.Probs(single, 0)
+		if len(row) != 1 {
+			t.Fatalf("%s: row length %d, want 1", d.Name(), len(row))
+		}
+		if row[0] != 0 {
+			t.Errorf("%s: self probability %v, want 0", d.Name(), row[0])
+		}
+	}
+}
+
+// TestZipfProbsIsolatedSender checks a sender with zero degree in a
+// larger graph still produces a normalised row over the others.
+func TestZipfProbsIsolatedSender(t *testing.T) {
+	g := graph.Circle(4, 1)
+	lone := g.AddNode()
+	row := Zipf{S: 1}.Probs(g, lone)
+	var total float64
+	for _, p := range row {
+		if p < 0 {
+			t.Fatalf("negative probability %v", p)
+		}
+		total += p
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("isolated sender row sums to %v, want 1", total)
+	}
+	if row[lone] != 0 {
+		t.Errorf("self probability %v, want 0", row[lone])
+	}
+}

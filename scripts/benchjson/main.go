@@ -58,9 +58,9 @@ type Document struct {
 }
 
 // defaultPins are the benchmark families the CI regression gate tracks:
-// the per-probe delta, the growth engine's arrival series and the
-// market engine's tick series.
-var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick"}
+// the per-probe delta, the growth engine's arrival series, the market
+// engine's tick series and the traffic engine's replay series.
+var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick", "BenchmarkTrafficReplay"}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {

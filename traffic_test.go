@@ -1,0 +1,58 @@
+package lcg
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestReplayTrafficFacade(t *testing.T) {
+	n := Star(5, 1000)
+	cfg := TrafficConfig{
+		Events:         5000,
+		ZipfS:          1,
+		TxSize:         1,
+		FeePerHop:      0.01,
+		Seed:           5,
+		Shards:         4,
+		RebalanceEvery: 500,
+	}
+	report, err := ReplayTraffic(n, cfg)
+	if err != nil {
+		t.Fatalf("ReplayTraffic: %v", err)
+	}
+	if report.SuccessRate < 0.99 {
+		t.Fatalf("success rate = %v", report.SuccessRate)
+	}
+	hubPred := report.PredictedTransit[0]
+	hubMeas := report.MeasuredTransit[0]
+	if hubPred <= 0 {
+		t.Fatal("hub predicted transit not positive")
+	}
+	if rel := math.Abs(hubMeas-hubPred) / hubPred; rel > 0.15 {
+		t.Fatalf("hub transit rel err = %v", rel)
+	}
+	// The hub forwards every payment; its realized revenue per time unit
+	// must match its forwarding rate times the constant fee.
+	if report.RevenueRate[0] <= 0 {
+		t.Fatal("hub realized revenue not positive")
+	}
+	if rel := math.Abs(report.RevenueRate[0]-0.01*hubMeas) / (0.01 * hubMeas); rel > 1e-9 {
+		t.Fatalf("hub revenue inconsistent with forwarding: %v", rel)
+	}
+	if _, err := ReplayTraffic(n, TrafficConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("zero events error = %v", err)
+	}
+
+	// Worker count never changes the result.
+	serial := cfg
+	serial.Parallelism = 1
+	got, err := ReplayTraffic(n, serial)
+	if err != nil {
+		t.Fatalf("serial replay: %v", err)
+	}
+	if !reflect.DeepEqual(report, got) {
+		t.Fatal("fast replay depends on parallelism")
+	}
+}
