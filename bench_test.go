@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/lightning-creation-games/lcg/internal/chain"
@@ -635,6 +636,79 @@ func BenchmarkTrafficReplay(b *testing.B) {
 				routed = res.Successes
 			}
 			perPayment := float64(b.Elapsed().Microseconds()) / float64(b.N) / float64(events)
+			b.ReportMetric(perPayment, "µs/payment")
+			b.ReportMetric(float64(routed)*60e6/(float64(b.Elapsed().Microseconds())/float64(b.N)), "routed/min")
+		})
+	}
+}
+
+// BenchmarkTrafficReplay10k measures the engine at the n=10000 scale the
+// shared sparse sampler plane unlocks: the dense demand matrix would
+// cost ~800 MB per shard here, the sparse planes O(n) — plus, for the
+// distance family, one shared int32 row per distinct sender, built once
+// per replay. Every row replays on a single worker so the derived
+// metrics are per-core; B/event is total allocation per replayed event,
+// the number that must stay flat for the 2 GB acceptance envelope. The
+// uniform and degree rows draw recipients globally, so routing explores
+// Θ(n) per payment; the distance row (decay 0.1) is the local-demand
+// production shape — recipients one or two hops out — and is the
+// acceptance workload: ≥ 1M routed payments per minute single-core. Its
+// full 1M-event form is skipped in -short mode so the CI bench smoke
+// stays fast.
+func BenchmarkTrafficReplay10k(b *testing.B) {
+	g := graph.BarabasiAlbert(10000, 2, 10, rand.New(rand.NewSource(1)))
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	cases := []struct {
+		name   string
+		dist   txdist.Distribution
+		events int
+	}{
+		{"uniform/events=50000", txdist.Uniform{}, 50000},
+		{"degree/events=50000", txdist.DegreeProportional{Alpha: 1}, 50000},
+		{"distance/events=50000", txdist.DistanceDecay{Decay: 0.1}, 50000},
+		{"distance/events=1000000", txdist.DistanceDecay{Decay: 0.1}, 1000000},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			if testing.Short() && c.events > 50000 {
+				b.Skip("full-scale row in -short mode")
+			}
+			sampler, err := traffic.NewSampler(g, c.dist, rates)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var routed int
+			for i := 0; i < b.N; i++ {
+				res, err := traffic2.Replay(g, traffic2.Config{
+					Sampler:        sampler,
+					Sizes:          fee.UniformSize{T: 2},
+					Fee:            fee.Linear{Base: 0.01, Rate: 0.001},
+					Events:         c.events,
+					Seed:           1,
+					Shards:         8,
+					Parallelism:    1,
+					RebalanceEvery: 500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Successes == 0 {
+					b.Fatal("replay routed nothing")
+				}
+				routed = res.Successes
+			}
+			b.StopTimer()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(b.N)/float64(c.events), "B/event")
+			perPayment := float64(b.Elapsed().Microseconds()) / float64(b.N) / float64(c.events)
 			b.ReportMetric(perPayment, "µs/payment")
 			b.ReportMetric(float64(routed)*60e6/(float64(b.Elapsed().Microseconds())/float64(b.N)), "routed/min")
 		})

@@ -277,6 +277,8 @@ func runSimulate(args []string, w io.Writer) error {
 		n         = fs.Int("n", 16, "network size")
 		seed      = fs.Int64("seed", 1, "seed")
 		s         = fs.Float64("s", 1, "modified-Zipf scale parameter")
+		txdist    = fs.String("txdist", "modified-zipf", "fast engine: recipient distribution — modified-zipf (dense) | uniform | degree | distance (sparse, scale to n=10000)")
+		distparam = fs.Float64("distparam", 0, "fast engine: sparse-family parameter — degree exponent (0 = 1) or distance decay (0 = 0.5)")
 		events    = fs.Int("events", 20000, "transactions to replay")
 		txSize    = fs.Float64("txsize", 1, "transaction size")
 		hopFee    = fs.Float64("hopfee", 0.01, "fee per forwarded tx")
@@ -303,6 +305,8 @@ func runSimulate(args []string, w io.Writer) error {
 		}
 		report, err := lcg.ReplayTraffic(network, lcg.TrafficConfig{
 			Events:         *events,
+			TxDist:         *txdist,
+			DistParam:      *distparam,
 			ZipfS:          *s,
 			TxSize:         *txSize,
 			FeePerHop:      *hopFee,
@@ -320,8 +324,16 @@ func runSimulate(args []string, w io.Writer) error {
 			report.Events, report.SuccessRate, report.Retried, report.DepletedArcs)
 		fmt.Fprintf(w, "volume: %.4g  fees paid: %.4g  routed/time: %.1f\n",
 			report.Volume, report.FeesPaid, float64(report.Successes)/report.Elapsed)
-		fmt.Fprintln(w, "busiest forwarders (measured vs predicted transit rate, realized revenue rate):")
-		order := busiest(report.PredictedTransit, *top)
+		// The sparse planes skip the O(n²) analytic prediction, leaving
+		// PredictedTransit all zeros — rank by what was measured instead.
+		ranking := report.PredictedTransit
+		if allZero(ranking) {
+			ranking = report.MeasuredTransit
+			fmt.Fprintln(w, "busiest forwarders (by measured transit rate; no analytic prediction for sparse txdist):")
+		} else {
+			fmt.Fprintln(w, "busiest forwarders (measured vs predicted transit rate, realized revenue rate):")
+		}
+		order := busiest(ranking, *top)
 		for _, v := range order {
 			fmt.Fprintf(w, "  user %-3d measured %-8.4f predicted %-8.4f revenue/time %-8.4f\n",
 				v, report.MeasuredTransit[v], report.PredictedTransit[v], report.RevenueRate[v])
@@ -353,6 +365,16 @@ func runSimulate(args []string, w io.Writer) error {
 			v, report.MeasuredTransit[v], report.PredictedTransit[v])
 	}
 	return nil
+}
+
+// allZero reports whether every value is exactly zero.
+func allZero(values []float64) bool {
+	for _, v := range values {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // busiest returns the indices of the k largest values, descending.

@@ -164,6 +164,7 @@ func All() []Spec {
 		{ID: "T1", Title: "traffic: throughput and failure vs offered load", Run: T1Load},
 		{ID: "T2", Title: "traffic: realized vs predicted per-node revenue rates", Run: T2Revenue},
 		{ID: "T3", Title: "traffic: depletion vs rebalance cadence and shard windows", Run: T3Windows},
+		{ID: "T4", Title: "traffic: sparse demand samplers at n=5000/10000", Run: T4Scale},
 	}
 }
 

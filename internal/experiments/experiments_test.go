@@ -32,8 +32,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
-			if testing.Short() && spec.ID == "G3" {
-				t.Skip("G3's n=2000 flagship row in -short mode")
+			if testing.Short() && (spec.ID == "G3" || spec.ID == "T4") {
+				t.Skip("n=2000+ flagship rows in -short mode")
 			}
 			tbl, err := spec.Run(serialCtx(2))
 			if err != nil {

@@ -62,8 +62,8 @@ func TestGolden(t *testing.T) {
 	for _, spec := range All() {
 		spec := spec
 		t.Run(spec.ID, func(t *testing.T) {
-			if testing.Short() && (spec.ID == "G3" || spec.ID == "M3") {
-				t.Skip("n=2000 flagship rows in -short mode")
+			if testing.Short() && (spec.ID == "G3" || spec.ID == "M3" || spec.ID == "T4") {
+				t.Skip("n=2000/n=10000 flagship rows in -short mode")
 			}
 			t.Parallel()
 			tbl, err := spec.Run(NewCtx(Options{Seed: 1, Parallelism: 2}))

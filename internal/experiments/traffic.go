@@ -178,6 +178,72 @@ func T2Revenue(ctx *Ctx) (*Table, error) {
 	return t, nil
 }
 
+// T4Scale replays production-rate traffic over the n=5000/10000 substrate
+// the CSR work enabled — the scale the dense demand matrix (O(n²) per
+// shard, ~800 MB at n=10k) made unreachable before the shared sampler
+// plane. Each row replays 60k transactions through one sparse sampler
+// family; the plane is built once and read by all shards concurrently,
+// so per-shard state is an rng plus scratch.
+func T4Scale(ctx *Ctx) (*Table, error) {
+	t := &Table{
+		ID:      "T4",
+		Title:   "Traffic at scale: sparse demand samplers over the 10k substrate",
+		Columns: []string{"n", "txdist", "sampler", "events", "success", "retried", "depleted arcs", "routed/time"},
+		Notes: []string{
+			"each row replays 60k transactions over BA(n,2) with balance 10, unit sender rates and sizes uniform with mean 4 (40% of balance), 8 shards, rebalance every 1000; the demand plane is a shared sparse sampler (O(n) memory), built once per row",
+			"expected shape: the heavy load drains a few dozen arcs at both scales with success just under 1; distance-decay keeps payments local; routed/time tracks the total offered rate (= n)",
+		},
+	}
+	type cell struct {
+		n    int
+		g    *graph.Graph
+		dist txdist.Distribution
+	}
+	var cells []cell
+	for ni, n := range []int{5000, 10000} {
+		g := graph.BarabasiAlbert(n, 2, 10, ctx.SubRand(7, ni))
+		for _, dist := range []txdist.Distribution{
+			txdist.Uniform{},
+			txdist.DegreeProportional{Alpha: 1},
+			txdist.DistanceDecay{Decay: 0.5},
+		} {
+			cells = append(cells, cell{n: n, g: g, dist: dist})
+		}
+	}
+	err := addRows(t, ctx.pool, len(cells), func(i int) ([]any, error) {
+		c := cells[i]
+		rates := make([]float64, c.g.NumNodes())
+		for v := range rates {
+			rates[v] = 1
+		}
+		sampler, err := traffic.NewSampler(c.g, c.dist, rates)
+		if err != nil {
+			return nil, err
+		}
+		res, err := traffic2.Replay(c.g, traffic2.Config{
+			Sampler:        sampler,
+			Sizes:          fee.UniformSize{T: 8},
+			Fee:            fee.Linear{Base: 0.01, Rate: 0.001},
+			Events:         60000,
+			Seed:           ctx.SubSeed(8, i),
+			Shards:         8,
+			Parallelism:    ctx.Parallelism(),
+			RebalanceEvery: 1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []any{c.n, c.dist.Name(), sampler.Kind(), res.Events,
+			fmt.Sprintf("%.3f", res.SuccessRate()),
+			res.Retried, res.DepletedArcs,
+			fmt.Sprintf("%.1f", float64(res.Successes)/res.Elapsed)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // T3Windows sweeps the measurement-window structure: rebalance cadence
 // against shard count. Shards are part of the result's identity — each is
 // an independent window from deposits — so the same event budget split

@@ -2,8 +2,16 @@ package experiments
 
 import (
 	"bytes"
+	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/traffic2"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
 )
 
 // TestTrafficTablesParallelismSweep is the traffic engine's race-safety
@@ -40,6 +48,52 @@ func TestTrafficTablesParallelismSweep(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestT4ScaleAcceptance is the scale gate behind the T4 table: one
+// million events over the n=10000 substrate must replay to completion
+// inside 2 GiB. The dense demand matrix alone would need ~800 MB per
+// shard here; the shared sparse plane keeps the whole run — graph, CSR
+// network, plane, eight shards of scratch — under the budget.
+func TestT4ScaleAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-event replay at n=10000 in -short mode")
+	}
+	const n = 10000
+	g := graph.BarabasiAlbert(n, 2, 10, rand.New(rand.NewSource(41)))
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	sampler, err := traffic.NewSampler(g, txdist.DegreeProportional{Alpha: 1}, rates)
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	res, err := traffic2.Replay(g, traffic2.Config{
+		Sampler:        sampler,
+		Sizes:          fee.UniformSize{T: 4},
+		Fee:            fee.Linear{Base: 0.01, Rate: 0.001},
+		Events:         1_000_000,
+		Seed:           41,
+		Shards:         8,
+		RebalanceEvery: 1000,
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Events != 1_000_000 {
+		t.Fatalf("replayed %d events, want 1M", res.Events)
+	}
+	if res.Successes < res.Events/2 {
+		t.Fatalf("only %d/%d payments routed; the workload degenerated", res.Successes, res.Events)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if limit := uint64(2 << 30); ms.Sys > limit {
+		t.Fatalf("runtime holds %d bytes from the OS, want < %d (2 GiB)", ms.Sys, limit)
+	}
+	t.Logf("routed %d/%d, %d depleted arcs, %.1f MB from OS",
+		res.Successes, res.Events, res.DepletedArcs, float64(ms.Sys)/(1<<20))
 }
 
 // TestTrafficTableShapes sanity-checks the T-series structure: row

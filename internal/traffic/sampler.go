@@ -1,0 +1,640 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// Sampler is the shared demand plane of a replay: an immutable object,
+// built once per run, that every shard draws (sender, receiver) pairs
+// from concurrently. All per-draw mutable state lives in the Scratch a
+// shard obtains from NewScratch, so a single Sampler is safe for any
+// number of readers and per-shard memory is O(1)–O(n) workspace instead
+// of the O(n²) dense CDF matrix the pre-sampler generator materialised
+// per shard (~800 MB at n=10k).
+//
+// Determinism contract: the Kind is part of a replay's result identity.
+// Two samplers over the same distribution but of different kinds (say
+// dense-cdf and sparse-degree) draw the same marginals yet consume the
+// random stream differently, so they produce different — each internally
+// deterministic — event sequences. Within one kind, draws are a pure
+// function of (sampler inputs, rng stream); scratch caching never
+// changes a drawn value.
+type Sampler interface {
+	// Kind names the sampling algorithm — part of the result identity.
+	Kind() string
+	// Nodes reports the number of users the plane covers.
+	Nodes() int
+	// TotalRate is Σ_s N_s, the merged Poisson intensity.
+	TotalRate() float64
+	// NewScratch allocates one shard's private mutable state (may be nil
+	// for stateless samplers).
+	NewScratch() Scratch
+	// SampleSender draws a sender proportionally to the rates, or -1
+	// when the plane carries no mass.
+	SampleSender(rng *rand.Rand, sc Scratch) int
+	// SampleReceiver draws a recipient for sender s, or -1 when s's row
+	// carries no mass. Implementations may return s itself only if the
+	// underlying row does; callers skip such events.
+	SampleReceiver(rng *rand.Rand, sc Scratch, s int) int
+}
+
+// Scratch is a sampler's per-shard mutable state; its concrete type is
+// private to the Sampler that allocated it.
+type Scratch any
+
+// RowProber is implemented by samplers that can report the exact
+// conditional probability they draw receivers from — the differential
+// surface the sparse planes are fuzzed against the dense txdist rows on.
+type RowProber interface {
+	// RowProb returns P(receiver = r | sender = s) under this sampler.
+	RowProb(sc Scratch, s, r int) float64
+}
+
+// NewSampler builds the cheapest exact sampler for the given recipient
+// distribution over g: structure-aware sparse planes (O(n) memory, O(1)
+// or O(log n) draws) for the families that admit them, and the dense CDF
+// plane — materialised once, not per shard — for everything else.
+func NewSampler(g *graph.Graph, dist txdist.Distribution, rates []float64) (Sampler, error) {
+	if len(rates) != g.NumNodes() {
+		return nil, fmt.Errorf("%w: %d rates for %d nodes", ErrBadDemand, len(rates), g.NumNodes())
+	}
+	switch d := dist.(type) {
+	case txdist.Uniform:
+		return NewUniformSampler(rates)
+	case txdist.DegreeProportional:
+		return NewWeightedSampler("sparse-degree", rates, d.Weights(g))
+	case txdist.DistanceDecay:
+		return NewDistanceDecaySampler(g, d.Decay, rates)
+	default:
+		demand, err := NewDemand(g, dist, rates)
+		if err != nil {
+			return nil, err
+		}
+		return NewCDFSampler(demand)
+	}
+}
+
+// aliasTable is a Walker/Vose alias structure: O(n) construction, O(1)
+// draws, two rng consumptions (Intn, Float64) per draw. A zero-mass
+// table draws -1 without consuming the stream.
+type aliasTable struct {
+	prob  []float64
+	alias []int32
+	total float64
+}
+
+// newAliasTable validates the weights (finite, non-negative) and builds
+// the table with Vose's stack pairing, which is deterministic in the
+// weight order.
+func newAliasTable(w []float64) (aliasTable, error) {
+	var t aliasTable
+	var total float64
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return t, fmt.Errorf("%w: weight[%d] = %v", ErrBadDemand, i, x)
+		}
+		total += x
+	}
+	t.total = total
+	n := len(w)
+	if n == 0 || !(total > 0) {
+		t.total = 0
+		return t, nil
+	}
+	t.prob = make([]float64, n)
+	t.alias = make([]int32, n)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, x := range w {
+		scaled[i] = x * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers on either stack carry probability 1.
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t, nil
+}
+
+func (t *aliasTable) sample(rng *rand.Rand) int {
+	if !(t.total > 0) {
+		return -1
+	}
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// CDFSampler is the dense plane: per-sender cumulative rows drawn by
+// binary search. It consumes the random stream exactly as the original
+// per-shard generator did — one Float64 per CDF draw — so replays over
+// it are bit-identical to the pre-sampler engine, which is why it is
+// both the default for arbitrary distributions and the differential
+// oracle the sparse planes are tested against. Memory is O(n²), paid
+// once per replay instead of once per shard.
+type CDFSampler struct {
+	senderCDF  []float64
+	receiveCDF [][]float64
+}
+
+var _ Sampler = (*CDFSampler)(nil)
+var _ RowProber = (*CDFSampler)(nil)
+
+// NewCDFSampler builds the dense plane from a demand matrix, rejecting
+// NaN, negative or infinite weights anywhere in it.
+func NewCDFSampler(d *Demand) (*CDFSampler, error) {
+	if len(d.P) != len(d.Rates) {
+		return nil, fmt.Errorf("%w: %d rows for %d rates", ErrBadDemand, len(d.P), len(d.Rates))
+	}
+	senderCDF, err := cumulative(d.Rates)
+	if err != nil {
+		return nil, fmt.Errorf("rates: %w", err)
+	}
+	receiveCDF := make([][]float64, len(d.P))
+	for s := range d.P {
+		if receiveCDF[s], err = cumulative(d.P[s]); err != nil {
+			return nil, fmt.Errorf("row %d: %w", s, err)
+		}
+	}
+	return &CDFSampler{senderCDF: senderCDF, receiveCDF: receiveCDF}, nil
+}
+
+// Kind implements Sampler.
+func (c *CDFSampler) Kind() string { return "dense-cdf" }
+
+// Nodes implements Sampler.
+func (c *CDFSampler) Nodes() int { return len(c.senderCDF) }
+
+// TotalRate implements Sampler.
+func (c *CDFSampler) TotalRate() float64 {
+	if len(c.senderCDF) == 0 {
+		return 0
+	}
+	return c.senderCDF[len(c.senderCDF)-1]
+}
+
+// NewScratch implements Sampler; the dense plane keeps no mutable state.
+func (c *CDFSampler) NewScratch() Scratch { return nil }
+
+// SampleSender implements Sampler.
+func (c *CDFSampler) SampleSender(rng *rand.Rand, _ Scratch) int {
+	return sampleCDF(c.senderCDF, rng)
+}
+
+// SampleReceiver implements Sampler.
+func (c *CDFSampler) SampleReceiver(rng *rand.Rand, _ Scratch, s int) int {
+	if s < 0 || s >= len(c.receiveCDF) {
+		return -1
+	}
+	return sampleCDF(c.receiveCDF[s], rng)
+}
+
+// RowProb implements RowProber.
+func (c *CDFSampler) RowProb(_ Scratch, s, r int) float64 {
+	if s < 0 || s >= len(c.receiveCDF) {
+		return 0
+	}
+	row := c.receiveCDF[s]
+	if r < 0 || r >= len(row) {
+		return 0
+	}
+	total := row[len(row)-1]
+	if !(total > 0) {
+		return 0
+	}
+	mass := row[r]
+	if r > 0 {
+		mass -= row[r-1]
+	}
+	return mass / total
+}
+
+// AliasSampler is the dense O(1) plane: one alias table per sender row
+// plus one over the rates. Same O(n²) memory class as CDFSampler — built
+// once per replay, shared by all shards — but constant-time draws
+// replace the O(log n) binary searches, which matters at millions of
+// events. Kind "dense-alias": it consumes two rng values per draw where
+// the CDF plane consumes one, so it is a distinct result identity.
+type AliasSampler struct {
+	send aliasTable
+	rows []aliasTable
+}
+
+var _ Sampler = (*AliasSampler)(nil)
+
+// NewAliasSampler builds the dense alias plane from a demand matrix.
+func NewAliasSampler(d *Demand) (*AliasSampler, error) {
+	if len(d.P) != len(d.Rates) {
+		return nil, fmt.Errorf("%w: %d rows for %d rates", ErrBadDemand, len(d.P), len(d.Rates))
+	}
+	send, err := newAliasTable(d.Rates)
+	if err != nil {
+		return nil, fmt.Errorf("rates: %w", err)
+	}
+	rows := make([]aliasTable, len(d.P))
+	for s := range d.P {
+		if rows[s], err = newAliasTable(d.P[s]); err != nil {
+			return nil, fmt.Errorf("row %d: %w", s, err)
+		}
+	}
+	return &AliasSampler{send: send, rows: rows}, nil
+}
+
+// Kind implements Sampler.
+func (a *AliasSampler) Kind() string { return "dense-alias" }
+
+// Nodes implements Sampler.
+func (a *AliasSampler) Nodes() int { return len(a.rows) }
+
+// TotalRate implements Sampler.
+func (a *AliasSampler) TotalRate() float64 { return a.send.total }
+
+// NewScratch implements Sampler.
+func (a *AliasSampler) NewScratch() Scratch { return nil }
+
+// SampleSender implements Sampler.
+func (a *AliasSampler) SampleSender(rng *rand.Rand, _ Scratch) int {
+	return a.send.sample(rng)
+}
+
+// SampleReceiver implements Sampler.
+func (a *AliasSampler) SampleReceiver(rng *rand.Rand, _ Scratch, s int) int {
+	if s < 0 || s >= len(a.rows) {
+		return -1
+	}
+	return a.rows[s].sample(rng)
+}
+
+// UniformSampler is the sparse plane for txdist.Uniform: every other
+// node is an equally likely recipient, drawn in O(1) from O(n) memory
+// (the sender alias table is the only allocation).
+type UniformSampler struct {
+	send aliasTable
+	n    int
+}
+
+var _ Sampler = (*UniformSampler)(nil)
+var _ RowProber = (*UniformSampler)(nil)
+
+// NewUniformSampler builds the sparse uniform plane over the sender
+// rates.
+func NewUniformSampler(rates []float64) (*UniformSampler, error) {
+	send, err := newAliasTable(rates)
+	if err != nil {
+		return nil, fmt.Errorf("rates: %w", err)
+	}
+	return &UniformSampler{send: send, n: len(rates)}, nil
+}
+
+// Kind implements Sampler.
+func (u *UniformSampler) Kind() string { return "sparse-uniform" }
+
+// Nodes implements Sampler.
+func (u *UniformSampler) Nodes() int { return u.n }
+
+// TotalRate implements Sampler.
+func (u *UniformSampler) TotalRate() float64 { return u.send.total }
+
+// NewScratch implements Sampler.
+func (u *UniformSampler) NewScratch() Scratch { return nil }
+
+// SampleSender implements Sampler.
+func (u *UniformSampler) SampleSender(rng *rand.Rand, _ Scratch) int {
+	return u.send.sample(rng)
+}
+
+// SampleReceiver implements Sampler: a single Intn over the n−1 nodes
+// other than s, shifted past the excluded sender — the exact conditional
+// distribution, no rejection.
+func (u *UniformSampler) SampleReceiver(rng *rand.Rand, _ Scratch, s int) int {
+	if s < 0 || s >= u.n || u.n < 2 {
+		return -1
+	}
+	r := rng.Intn(u.n - 1)
+	if r >= s {
+		r++
+	}
+	return r
+}
+
+// RowProb implements RowProber.
+func (u *UniformSampler) RowProb(_ Scratch, s, r int) float64 {
+	if s < 0 || s >= u.n || r < 0 || r >= u.n || r == s || u.n < 2 {
+		return 0
+	}
+	return 1 / float64(u.n-1)
+}
+
+// WeightedSampler is the sparse plane for sender-independent recipient
+// weights (txdist.DegreeProportional): one global alias table over the
+// weights, with the excluded sender handled by rejection. A draw costs
+// O(1) expected — the retry probability is w[s]/Σw, vanishing for any
+// non-degenerate row — from O(n) memory.
+type WeightedSampler struct {
+	kind string
+	send aliasTable
+	recv aliasTable
+	w    []float64
+}
+
+var _ Sampler = (*WeightedSampler)(nil)
+var _ RowProber = (*WeightedSampler)(nil)
+
+// NewWeightedSampler builds a sparse weighted plane: rates drive the
+// sender alias, weights the shared recipient alias.
+func NewWeightedSampler(kind string, rates, weights []float64) (*WeightedSampler, error) {
+	if len(weights) != len(rates) {
+		return nil, fmt.Errorf("%w: %d weights for %d rates", ErrBadDemand, len(weights), len(rates))
+	}
+	send, err := newAliasTable(rates)
+	if err != nil {
+		return nil, fmt.Errorf("rates: %w", err)
+	}
+	recv, err := newAliasTable(weights)
+	if err != nil {
+		return nil, fmt.Errorf("weights: %w", err)
+	}
+	return &WeightedSampler{
+		kind: kind,
+		send: send,
+		recv: recv,
+		w:    append([]float64(nil), weights...),
+	}, nil
+}
+
+// Kind implements Sampler.
+func (w *WeightedSampler) Kind() string { return w.kind }
+
+// Nodes implements Sampler.
+func (w *WeightedSampler) Nodes() int { return len(w.w) }
+
+// TotalRate implements Sampler.
+func (w *WeightedSampler) TotalRate() float64 { return w.send.total }
+
+// NewScratch implements Sampler.
+func (w *WeightedSampler) NewScratch() Scratch { return nil }
+
+// SampleSender implements Sampler.
+func (w *WeightedSampler) SampleSender(rng *rand.Rand, _ Scratch) int {
+	return w.send.sample(rng)
+}
+
+// SampleReceiver implements Sampler. The degenerate all-mass-on-sender
+// row returns -1 rather than looping forever.
+func (w *WeightedSampler) SampleReceiver(rng *rand.Rand, _ Scratch, s int) int {
+	if s < 0 || s >= len(w.w) {
+		return -1
+	}
+	if !(w.recv.total-w.w[s] > 0) {
+		return -1
+	}
+	for {
+		if r := w.recv.sample(rng); r != s {
+			return r
+		}
+	}
+}
+
+// RowProb implements RowProber.
+func (w *WeightedSampler) RowProb(_ Scratch, s, r int) float64 {
+	if s < 0 || s >= len(w.w) || r < 0 || r >= len(w.w) || r == s {
+		return 0
+	}
+	rest := w.recv.total - w.w[s]
+	if !(rest > 0) {
+		return 0
+	}
+	return w.w[r] / rest
+}
+
+// DistanceDecaySampler is the sparse plane for txdist.DistanceDecay:
+// recipients weighted decay^d(s,·). It stores its own CSR copy of the
+// topology (O(n+m)); per-sender rows — BFS visit order bucketed by
+// distance plus a per-distance cumulative mass — are built lazily on a
+// sender's first draw and published into the plane itself with an
+// atomic pointer, so every shard shares one copy and each row's BFS
+// runs at most once per replay (two shards racing on the same row both
+// build identical content; one publishes). Worst-case row memory is
+// ~4·n bytes per distinct sender — an int32 plane an order denser than
+// the float64 CDF matrix, and paid once, not per shard. A draw is a
+// binary search over the ≤ diameter buckets plus one Intn within the
+// bucket (uniform within a distance class is exact, since every member
+// carries the same weight decay^d). Draws consume exactly two rng
+// values regardless of cache state, so row sharing never perturbs the
+// stream.
+type DistanceDecaySampler struct {
+	send  aliasTable
+	decay float64
+	n     int
+	offs  []int32
+	adj   []int32
+	rows  []atomic.Pointer[decayRow]
+}
+
+var _ Sampler = (*DistanceDecaySampler)(nil)
+var _ RowProber = (*DistanceDecaySampler)(nil)
+
+// decayRow is one sender's cached distance structure: nodes in BFS visit
+// order (grouped by distance 1..D, source excluded), bucket offsets per
+// distance, and the cumulative mass decay^d·|bucket d|.
+type decayRow struct {
+	order     []int32
+	bucketOff []int32
+	bucketCDF []float64
+}
+
+// decayScratch is one shard's BFS workspace for building rows the plane
+// has not published yet.
+type decayScratch struct {
+	seen  []int32
+	queue []int32
+	epoch int32
+}
+
+// NewDistanceDecaySampler builds the sparse distance plane for g. decay
+// must be positive and finite.
+func NewDistanceDecaySampler(g *graph.Graph, decay float64, rates []float64) (*DistanceDecaySampler, error) {
+	if !(decay > 0) || math.IsInf(decay, 0) {
+		return nil, fmt.Errorf("%w: distance decay %v", ErrBadDemand, decay)
+	}
+	n := g.NumNodes()
+	if len(rates) != n {
+		return nil, fmt.Errorf("%w: %d rates for %d nodes", ErrBadDemand, len(rates), n)
+	}
+	send, err := newAliasTable(rates)
+	if err != nil {
+		return nil, fmt.Errorf("rates: %w", err)
+	}
+	deg := make([]int32, n)
+	g.ForEachEdge(func(e graph.Edge) bool {
+		deg[e.From]++
+		return true
+	})
+	offs := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offs[v+1] = offs[v] + deg[v]
+	}
+	adj := make([]int32, offs[n])
+	fill := append([]int32(nil), offs[:n]...)
+	g.ForEachEdge(func(e graph.Edge) bool {
+		adj[fill[e.From]] = int32(e.To)
+		fill[e.From]++
+		return true
+	})
+	return &DistanceDecaySampler{
+		send:  send,
+		decay: decay,
+		n:     n,
+		offs:  offs,
+		adj:   adj,
+		rows:  make([]atomic.Pointer[decayRow], n),
+	}, nil
+}
+
+// Kind implements Sampler.
+func (d *DistanceDecaySampler) Kind() string { return "sparse-distance" }
+
+// Nodes implements Sampler.
+func (d *DistanceDecaySampler) Nodes() int { return d.n }
+
+// TotalRate implements Sampler.
+func (d *DistanceDecaySampler) TotalRate() float64 { return d.send.total }
+
+// NewScratch implements Sampler.
+func (d *DistanceDecaySampler) NewScratch() Scratch {
+	return &decayScratch{
+		seen:  make([]int32, d.n),
+		queue: make([]int32, d.n),
+	}
+}
+
+// SampleSender implements Sampler.
+func (d *DistanceDecaySampler) SampleSender(rng *rand.Rand, _ Scratch) int {
+	return d.send.sample(rng)
+}
+
+// SampleReceiver implements Sampler: bucket by CDF inversion over the
+// distance classes, then uniform within the bucket.
+func (d *DistanceDecaySampler) SampleReceiver(rng *rand.Rand, sc Scratch, s int) int {
+	row := d.row(sc, s)
+	if row == nil || len(row.order) == 0 {
+		return -1
+	}
+	mass := row.bucketCDF[len(row.bucketCDF)-1]
+	if !(mass > 0) {
+		return -1
+	}
+	x := rng.Float64() * mass
+	lo, hi := 0, len(row.bucketCDF)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if row.bucketCDF[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	span := int(row.bucketOff[lo+1] - row.bucketOff[lo])
+	return int(row.order[int(row.bucketOff[lo])+rng.Intn(span)])
+}
+
+// RowProb implements RowProber. Test-path only: it scans the row for r.
+func (d *DistanceDecaySampler) RowProb(sc Scratch, s, r int) float64 {
+	row := d.row(sc, s)
+	if row == nil || len(row.order) == 0 || r == s {
+		return 0
+	}
+	mass := row.bucketCDF[len(row.bucketCDF)-1]
+	if !(mass > 0) {
+		return 0
+	}
+	for b := 0; b+1 < len(row.bucketOff); b++ {
+		for _, v := range row.order[row.bucketOff[b]:row.bucketOff[b+1]] {
+			if int(v) == r {
+				// Bucket b holds the nodes at distance b+1 (BFS levels
+				// are contiguous).
+				return math.Pow(d.decay, float64(b+1)) / mass
+			}
+		}
+	}
+	return 0
+}
+
+// row returns s's distance structure, building it with a BFS over the
+// sampler's CSR and publishing it into the shared plane on first use.
+// Row content is a pure function of (graph, s), so which shard builds
+// it — or whether two build it at once — never affects drawn values.
+func (d *DistanceDecaySampler) row(scr Scratch, s int) *decayRow {
+	if s < 0 || s >= d.n {
+		return nil
+	}
+	if row := d.rows[s].Load(); row != nil {
+		return row
+	}
+	sc := scr.(*decayScratch)
+	sc.epoch++
+	epoch := sc.epoch
+	sc.seen[s] = epoch
+	sc.queue[0] = int32(s)
+	head, tail := 0, 1
+	row := &decayRow{bucketOff: []int32{0}}
+	var mass float64
+	for depth := 1; head < tail; depth++ {
+		// Expand the whole current level; everything discovered is the
+		// next one, i.e. the nodes at exactly distance depth from s.
+		for levelEnd := tail; head < levelEnd; {
+			v := sc.queue[head]
+			head++
+			for _, w := range d.adj[d.offs[v]:d.offs[v+1]] {
+				if sc.seen[w] != epoch {
+					sc.seen[w] = epoch
+					sc.queue[tail] = w
+					tail++
+				}
+			}
+		}
+		if found := tail - int(row.bucketOff[len(row.bucketOff)-1]) - 1; found > 0 {
+			mass += math.Pow(d.decay, float64(depth)) * float64(found)
+			row.bucketOff = append(row.bucketOff, int32(tail-1))
+			row.bucketCDF = append(row.bucketCDF, mass)
+		}
+	}
+	row.order = make([]int32, tail-1)
+	copy(row.order, sc.queue[1:tail])
+	if !d.rows[s].CompareAndSwap(nil, row) {
+		return d.rows[s].Load()
+	}
+	return row
+}

@@ -1,0 +1,80 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// FuzzSamplerMatchesDense is the sparse-plane differential: for a fuzzed
+// topology, family and parameter, every sparse sampler's reported row
+// probabilities must match the dense txdist row element for element, and
+// its draws must stay inside the row's support with the sender excluded.
+// This is the deterministic counterpart of the chi-square equivalence
+// tests — no statistics, exact conditional probabilities.
+func FuzzSamplerMatchesDense(f *testing.F) {
+	f.Add(uint8(8), uint8(0), 1.0, int64(1))
+	f.Add(uint8(20), uint8(1), 1.5, int64(2))
+	f.Add(uint8(33), uint8(2), 0.5, int64(3))
+	f.Add(uint8(2), uint8(1), 0.0, int64(4))
+	f.Fuzz(func(t *testing.T, nRaw, famRaw uint8, param float64, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.BarabasiAlbert(2+int(nRaw)%40, 1+int(nRaw)%3, 10, rng)
+		n := g.NumNodes() // BA pads tiny n up to its seed clique
+		if math.IsNaN(param) || math.IsInf(param, 0) {
+			param = 1
+		}
+		var dist txdist.Distribution
+		switch famRaw % 3 {
+		case 0:
+			dist = txdist.Uniform{}
+		case 1:
+			dist = txdist.DegreeProportional{Alpha: math.Mod(math.Abs(param), 3)}
+		default:
+			dist = txdist.DistanceDecay{Decay: 0.05 + math.Mod(math.Abs(param), 1.5)}
+		}
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = 0.25 + float64(i%4)
+		}
+		s, err := NewSampler(g, dist, rates)
+		if err != nil {
+			t.Fatalf("NewSampler(%s): %v", dist.Name(), err)
+		}
+		prober, ok := s.(RowProber)
+		if !ok {
+			t.Fatalf("%s: sparse sampler without RowProb", s.Kind())
+		}
+		sc := s.NewScratch()
+		dense := txdist.Matrix(g, dist)
+		for sender := range dense {
+			var sum float64
+			for v, want := range dense[sender] {
+				got := prober.RowProb(sc, sender, v)
+				if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Fatalf("%s: RowProb(%d,%d) = %v, dense %v", s.Kind(), sender, v, got, want)
+				}
+				sum += got
+			}
+			if sum > 0 && math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s: row %d sums to %v", s.Kind(), sender, sum)
+			}
+		}
+		for i := 0; i < 64; i++ {
+			sender := s.SampleSender(rng, sc)
+			if sender < 0 {
+				t.Fatal("no sender despite positive rates")
+			}
+			r := s.SampleReceiver(rng, sc, sender)
+			if r == sender {
+				t.Fatalf("%s: receiver == sender %d", s.Kind(), r)
+			}
+			if r >= 0 && dense[sender][r] == 0 {
+				t.Fatalf("%s: drew receiver %d outside dense support of %d", s.Kind(), r, sender)
+			}
+		}
+	})
+}

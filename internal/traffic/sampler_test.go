@@ -1,0 +1,521 @@
+package traffic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// TestNewSamplerSelection pins the automatic family → sampler mapping:
+// the sparse planes for the families that admit them, dense CDF for
+// everything else.
+func TestNewSamplerSelection(t *testing.T) {
+	g := graph.BarabasiAlbert(40, 2, 10, rand.New(rand.NewSource(1)))
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	cases := []struct {
+		dist txdist.Distribution
+		kind string
+	}{
+		{txdist.Uniform{}, "sparse-uniform"},
+		{txdist.DegreeProportional{Alpha: 1}, "sparse-degree"},
+		{txdist.DistanceDecay{Decay: 0.5}, "sparse-distance"},
+		{txdist.ModifiedZipf{S: 1}, "dense-cdf"},
+	}
+	for _, c := range cases {
+		s, err := NewSampler(g, c.dist, rates)
+		if err != nil {
+			t.Fatalf("NewSampler(%s): %v", c.dist.Name(), err)
+		}
+		if s.Kind() != c.kind {
+			t.Errorf("NewSampler(%s).Kind = %q, want %q", c.dist.Name(), s.Kind(), c.kind)
+		}
+		if s.Nodes() != g.NumNodes() {
+			t.Errorf("NewSampler(%s).Nodes = %d, want %d", c.dist.Name(), s.Nodes(), g.NumNodes())
+		}
+		if s.TotalRate() != float64(g.NumNodes()) {
+			t.Errorf("NewSampler(%s).TotalRate = %v", c.dist.Name(), s.TotalRate())
+		}
+	}
+	if _, err := NewSampler(g, txdist.Uniform{}, rates[:3]); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("rate shape mismatch = %v, want ErrBadDemand", err)
+	}
+}
+
+// TestSamplerZeroMassRows pins the -1 contract on rows without mass:
+// single-node networks, all-zero weight planes, and the degenerate
+// all-mass-on-the-sender row must refuse to draw rather than loop or
+// emit a self-payment.
+func TestSamplerZeroMassRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+
+	u, err := NewUniformSampler([]float64{1})
+	if err != nil {
+		t.Fatalf("NewUniformSampler: %v", err)
+	}
+	if r := u.SampleReceiver(rng, u.NewScratch(), 0); r != -1 {
+		t.Errorf("uniform single-node receiver = %d, want -1", r)
+	}
+
+	w, err := NewWeightedSampler("sparse-degree", []float64{1, 1, 1}, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatalf("NewWeightedSampler: %v", err)
+	}
+	if r := w.SampleReceiver(rng, w.NewScratch(), 1); r != -1 {
+		t.Errorf("all-zero weights receiver = %d, want -1", r)
+	}
+	if s := w.SampleSender(rng, w.NewScratch()); s < 0 || s > 2 {
+		t.Errorf("sender = %d, want in [0,2]", s)
+	}
+
+	// All recipient mass on the sender itself: the rejection loop must
+	// detect the empty conditional row and bail.
+	w2, err := NewWeightedSampler("sparse-degree", []float64{1, 1}, []float64{0, 5})
+	if err != nil {
+		t.Fatalf("NewWeightedSampler: %v", err)
+	}
+	if r := w2.SampleReceiver(rng, w2.NewScratch(), 1); r != -1 {
+		t.Errorf("all-mass-on-sender receiver = %d, want -1", r)
+	}
+	if r := w2.SampleReceiver(rng, w2.NewScratch(), 0); r != 1 {
+		t.Errorf("receiver = %d, want 1 (the only massy node)", r)
+	}
+
+	// Zero-rate plane: no sender can be drawn.
+	z, err := NewUniformSampler([]float64{0, 0})
+	if err != nil {
+		t.Fatalf("NewUniformSampler: %v", err)
+	}
+	if s := z.SampleSender(rng, nil); s != -1 {
+		t.Errorf("zero-rate sender = %d, want -1", s)
+	}
+
+	// Distance plane on an isolated-node graph: nothing reachable.
+	iso := graph.New(3) // three nodes, no channels
+	ds, err := NewDistanceDecaySampler(iso, 0.5, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatalf("NewDistanceDecaySampler: %v", err)
+	}
+	if r := ds.SampleReceiver(rng, ds.NewScratch(), 0); r != -1 {
+		t.Errorf("isolated distance receiver = %d, want -1", r)
+	}
+}
+
+// TestSamplerExcludesSender draws heavily from every sparse plane and
+// checks no sampler ever returns its own sender.
+func TestSamplerExcludesSender(t *testing.T) {
+	g := graph.BarabasiAlbert(30, 2, 10, rand.New(rand.NewSource(3)))
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	for _, dist := range []txdist.Distribution{
+		txdist.Uniform{},
+		txdist.DegreeProportional{Alpha: 1.5},
+		txdist.DistanceDecay{Decay: 0.4},
+	} {
+		s, err := NewSampler(g, dist, rates)
+		if err != nil {
+			t.Fatalf("NewSampler(%s): %v", dist.Name(), err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		sc := s.NewScratch()
+		for i := 0; i < 5000; i++ {
+			from := s.SampleSender(rng, sc)
+			if from < 0 {
+				t.Fatalf("%s: no sender", s.Kind())
+			}
+			to := s.SampleReceiver(rng, sc, from)
+			if to == from {
+				t.Fatalf("%s: sampled sender == receiver %d", s.Kind(), to)
+			}
+			if to < 0 || to >= g.NumNodes() {
+				t.Fatalf("%s: receiver %d out of range", s.Kind(), to)
+			}
+		}
+	}
+}
+
+// TestAliasTableDegenerateColumn pins the Walker/Vose table on the
+// all-mass-on-one-column row: every draw must return that column, for
+// both the raw table and the dense alias plane built over such a row.
+func TestAliasTableDegenerateColumn(t *testing.T) {
+	w := make([]float64, 17)
+	w[11] = 42
+	tab, err := newAliasTable(w)
+	if err != nil {
+		t.Fatalf("newAliasTable: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		if got := tab.sample(rng); got != 11 {
+			t.Fatalf("degenerate alias draw = %d, want 11", got)
+		}
+	}
+
+	d := &Demand{
+		P:     [][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}},
+		Rates: []float64{1, 1, 1},
+	}
+	a, err := NewAliasSampler(d)
+	if err != nil {
+		t.Fatalf("NewAliasSampler: %v", err)
+	}
+	want := []int{1, 2, 0}
+	for s := 0; s < 3; s++ {
+		for i := 0; i < 200; i++ {
+			if got := a.SampleReceiver(rng, nil, s); got != want[s] {
+				t.Fatalf("alias row %d draw = %d, want %d", s, got, want[s])
+			}
+		}
+	}
+}
+
+// TestSamplerRejectsBadWeights pins constructor validation: NaN,
+// negative and infinite weights are refused everywhere a plane is built.
+func TestSamplerRejectsBadWeights(t *testing.T) {
+	bad := [][]float64{
+		{1, math.NaN(), 1},
+		{1, -0.5, 1},
+		{1, math.Inf(1), 1},
+	}
+	for _, rates := range bad {
+		if _, err := NewUniformSampler(rates); !errors.Is(err, ErrBadDemand) {
+			t.Errorf("NewUniformSampler(%v) = %v, want ErrBadDemand", rates, err)
+		}
+		if _, err := NewWeightedSampler("k", []float64{1, 1, 1}, rates); !errors.Is(err, ErrBadDemand) {
+			t.Errorf("NewWeightedSampler(%v) = %v, want ErrBadDemand", rates, err)
+		}
+		d := &Demand{P: [][]float64{rates, rates, rates}, Rates: []float64{1, 1, 1}}
+		if _, err := NewCDFSampler(d); !errors.Is(err, ErrBadDemand) {
+			t.Errorf("NewCDFSampler(row %v) = %v, want ErrBadDemand", rates, err)
+		}
+		if _, err := NewAliasSampler(d); !errors.Is(err, ErrBadDemand) {
+			t.Errorf("NewAliasSampler(row %v) = %v, want ErrBadDemand", rates, err)
+		}
+	}
+	g := graph.Star(2, 1)
+	if _, err := NewDistanceDecaySampler(g, 0, []float64{1, 1, 1}); !errors.Is(err, ErrBadDemand) {
+		t.Error("decay 0 accepted")
+	}
+	if _, err := NewDistanceDecaySampler(g, math.Inf(1), []float64{1, 1, 1}); !errors.Is(err, ErrBadDemand) {
+		t.Error("infinite decay accepted")
+	}
+}
+
+// TestCumulativeRejectsPoisonedWeights pins the fold-level guard: a NaN,
+// negative or infinite weight is an error, and zero weights leave the
+// running sum bit-identical to the historical skip-non-positive fold.
+func TestCumulativeRejectsPoisonedWeights(t *testing.T) {
+	for _, weights := range [][]float64{
+		{1, math.NaN(), 2},
+		{1, -1e-9, 2},
+		{math.Inf(1), 1},
+		{1, math.Inf(-1)},
+	} {
+		if _, err := cumulative(weights); !errors.Is(err, ErrBadDemand) {
+			t.Errorf("cumulative(%v) = %v, want ErrBadDemand", weights, err)
+		}
+	}
+	cdf, err := cumulative([]float64{0.5, 0, 0.25, 0})
+	if err != nil {
+		t.Fatalf("cumulative: %v", err)
+	}
+	want := []float64{0.5, 0.5, 0.75, 0.75}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Errorf("cdf[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+}
+
+// TestSampleCDFRejectsMalformedTotals pins the draw-level guard: a CDF
+// whose total is NaN or infinite must refuse to draw (-1) instead of
+// feeding the binary search garbage — the silent-poisoning failure mode
+// the validation exists for.
+func TestSampleCDFRejectsMalformedTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, cdf := range [][]float64{
+		{0.5, math.NaN()},
+		{1, math.Inf(1)},
+		{-2, -1},
+	} {
+		if got := sampleCDF(cdf, rng); got != -1 {
+			t.Errorf("sampleCDF(%v) = %d, want -1", cdf, got)
+		}
+	}
+}
+
+// chiSquareCheck draws `samples` receivers for sender s and tests the
+// empirical counts against the expected distribution with a chi-square
+// statistic at a ±6σ threshold (df = bins−1); with fixed seeds this is
+// deterministic, not flaky.
+func chiSquareCheck(t *testing.T, s Sampler, sender int, probs []float64, samples int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	sc := s.NewScratch()
+	counts := make([]int, len(probs))
+	for i := 0; i < samples; i++ {
+		r := s.SampleReceiver(rng, sc, sender)
+		if r < 0 {
+			t.Fatalf("%s: no receiver for sender %d", s.Kind(), sender)
+		}
+		counts[r]++
+	}
+	var chi2 float64
+	df := -1 // one constraint: counts sum to samples
+	for v, p := range probs {
+		expected := p * float64(samples)
+		if expected < 5 {
+			if expected == 0 && counts[v] > 0 {
+				t.Fatalf("%s: drew zero-probability receiver %d", s.Kind(), v)
+			}
+			continue
+		}
+		df++
+		d := float64(counts[v]) - expected
+		chi2 += d * d / expected
+	}
+	if df < 1 {
+		t.Fatalf("%s: degenerate chi-square setup", s.Kind())
+	}
+	limit := float64(df) + 6*math.Sqrt(2*float64(df))
+	if chi2 > limit {
+		t.Errorf("%s sender %d: chi2 = %.1f beyond %.1f (df %d)", s.Kind(), sender, chi2, limit, df)
+	}
+}
+
+// TestSparseSamplersMatchDenseDistribution is the distribution-
+// equivalence lockdown: every sparse plane must (a) report row
+// probabilities equal to the dense txdist row and (b) empirically draw
+// that distribution, chi-square checked.
+func TestSparseSamplersMatchDenseDistribution(t *testing.T) {
+	g := graph.BarabasiAlbert(25, 2, 10, rand.New(rand.NewSource(6)))
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	for _, dist := range []txdist.Distribution{
+		txdist.Uniform{},
+		txdist.DegreeProportional{Alpha: 1},
+		txdist.DistanceDecay{Decay: 0.5},
+	} {
+		s, err := NewSampler(g, dist, rates)
+		if err != nil {
+			t.Fatalf("NewSampler(%s): %v", dist.Name(), err)
+		}
+		prober := s.(RowProber)
+		sc := s.NewScratch()
+		dense := txdist.Matrix(g, dist)
+		for sender := range dense {
+			for v, want := range dense[sender] {
+				got := prober.RowProb(sc, sender, v)
+				if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+					t.Fatalf("%s: RowProb(%d,%d) = %v, dense %v", s.Kind(), sender, v, got, want)
+				}
+			}
+		}
+		for _, sender := range []int{0, 7, g.NumNodes() - 1} {
+			chiSquareCheck(t, s, sender, dense[sender], 60000)
+		}
+	}
+}
+
+// TestAliasSamplerMatchesCDFDistribution chi-squares the dense alias
+// plane against the same demand's exact row probabilities — the
+// alias-vs-CDF equivalence claim (identical marginals, different
+// stream).
+func TestAliasSamplerMatchesCDFDistribution(t *testing.T) {
+	g := graph.BarabasiAlbert(25, 2, 10, rand.New(rand.NewSource(8)))
+	d, err := NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, 25)
+	if err != nil {
+		t.Fatalf("NewUniformDemand: %v", err)
+	}
+	a, err := NewAliasSampler(d)
+	if err != nil {
+		t.Fatalf("NewAliasSampler: %v", err)
+	}
+	for _, sender := range []int{0, 13, 24} {
+		chiSquareCheck(t, a, sender, d.P[sender], 60000)
+	}
+
+	// Sender marginals too: rates are uniform here, so give them shape.
+	shaped := append([]float64(nil), d.Rates...)
+	for i := range shaped {
+		shaped[i] = float64(1 + i%5)
+	}
+	d2 := &Demand{P: d.P, Rates: shaped}
+	a2, err := NewAliasSampler(d2)
+	if err != nil {
+		t.Fatalf("NewAliasSampler: %v", err)
+	}
+	var total float64
+	for _, r := range shaped {
+		total += r
+	}
+	probs := make([]float64, len(shaped))
+	for i, r := range shaped {
+		probs[i] = r / total
+	}
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, len(probs))
+	for i := 0; i < 60000; i++ {
+		counts[a2.SampleSender(rng, nil)]++
+	}
+	var chi2 float64
+	for v, p := range probs {
+		e := p * 60000
+		dd := float64(counts[v]) - e
+		chi2 += dd * dd / e
+	}
+	df := float64(len(probs) - 1)
+	if limit := df + 6*math.Sqrt(2*df); chi2 > limit {
+		t.Errorf("sender marginal chi2 = %.1f beyond %.1f", chi2, limit)
+	}
+}
+
+// TestDistanceDecaySamplerStructure pins the bucket layout on a path
+// graph, where distances are exact and by hand: 0—1—2—3.
+func TestDistanceDecaySamplerStructure(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}} {
+		if _, err := g.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.AddEdge(e[1], e[0], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decay := 0.5
+	s, err := NewDistanceDecaySampler(g, decay, []float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatalf("NewDistanceDecaySampler: %v", err)
+	}
+	sc := s.NewScratch()
+	// From node 0: d(1)=1, d(2)=2, d(3)=3 → probabilities ∝ 0.5, 0.25, 0.125.
+	mass := decay + decay*decay + decay*decay*decay
+	wants := []float64{0, decay / mass, decay * decay / mass, decay * decay * decay / mass}
+	for v, want := range wants {
+		if got := s.RowProb(sc, 0, v); math.Abs(got-want) > 1e-12 {
+			t.Errorf("RowProb(0,%d) = %v, want %v", v, got, want)
+		}
+	}
+	chiSquareCheck(t, s, 0, wants, 60000)
+
+	// Drawing through a fresh scratch (cold cache) must replay the same
+	// stream: caching is invisible to the drawn values.
+	rngA := rand.New(rand.NewSource(10))
+	rngB := rand.New(rand.NewSource(10))
+	scA, scB := s.NewScratch(), s.NewScratch()
+	var seqA, seqB []int
+	for i := 0; i < 500; i++ {
+		seqA = append(seqA, s.SampleReceiver(rngA, scA, i%4))
+	}
+	for i := 0; i < 500; i++ {
+		seqB = append(seqB, s.SampleReceiver(rngB, scB, i%4))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("draw %d diverged: %d vs %d", i, seqA[i], seqB[i])
+		}
+	}
+}
+
+// TestGeneratorFromSparseSampler runs the generator end to end over a
+// sparse plane: well-formed stream, advancing clock, zero-rate rejection.
+func TestGeneratorFromSparseSampler(t *testing.T) {
+	g := graph.BarabasiAlbert(50, 2, 10, rand.New(rand.NewSource(11)))
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	s, err := NewSampler(g, txdist.DegreeProportional{Alpha: 1}, rates)
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	gen, err := NewGeneratorFromSampler(s, nil, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatalf("NewGeneratorFromSampler: %v", err)
+	}
+	last := 0.0
+	for i := 0; i < 2000; i++ {
+		tx := gen.Next()
+		if tx.From == tx.To || !g.HasNode(tx.From) || !g.HasNode(tx.To) {
+			t.Fatalf("malformed tx %+v", tx)
+		}
+		if tx.Time <= last {
+			t.Fatalf("clock not advancing: %v after %v", tx.Time, last)
+		}
+		last = tx.Time
+	}
+
+	dead, err := NewUniformSampler([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGeneratorFromSampler(dead, nil, rand.New(rand.NewSource(13))); !errors.Is(err, ErrBadDemand) {
+		t.Errorf("zero-rate plane = %v, want ErrBadDemand", err)
+	}
+}
+
+// TestSamplerAccessors pins the metadata surface every plane exposes —
+// Kind/Nodes/TotalRate and the RowProber view — so a refactor cannot
+// silently change a result identity string or a probe used by the
+// differential fuzz target.
+func TestSamplerAccessors(t *testing.T) {
+	g := graph.Star(4, 1)
+	d, err := NewUniformDemand(g, txdist.Uniform{}, 8)
+	if err != nil {
+		t.Fatalf("NewUniformDemand: %v", err)
+	}
+	c, err := NewCDFSampler(d)
+	if err != nil {
+		t.Fatalf("NewCDFSampler: %v", err)
+	}
+	a, err := NewAliasSampler(d)
+	if err != nil {
+		t.Fatalf("NewAliasSampler: %v", err)
+	}
+	if c.Kind() != "dense-cdf" || a.Kind() != "dense-alias" {
+		t.Fatalf("kinds = %q, %q", c.Kind(), a.Kind())
+	}
+	for _, s := range []Sampler{c, a} {
+		if s.Nodes() != g.NumNodes() {
+			t.Errorf("%s: Nodes = %d, want %d", s.Kind(), s.Nodes(), g.NumNodes())
+		}
+		if got := s.TotalRate(); math.Abs(got-8) > 1e-12 {
+			t.Errorf("%s: TotalRate = %v, want 8", s.Kind(), got)
+		}
+	}
+	// The dense CDF plane's probe must reproduce the demand matrix and
+	// reject out-of-range coordinates with zero, not a panic.
+	for s := range d.P {
+		for r := range d.P[s] {
+			if got := c.RowProb(nil, s, r); math.Abs(got-d.P[s][r]) > 1e-12 {
+				t.Errorf("RowProb(%d,%d) = %v, want %v", s, r, got, d.P[s][r])
+			}
+		}
+	}
+	for _, bad := range [][2]int{{-1, 0}, {g.NumNodes(), 0}, {0, -1}, {0, g.NumNodes()}} {
+		if got := c.RowProb(nil, bad[0], bad[1]); got != 0 {
+			t.Errorf("RowProb%v = %v, want 0", bad, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := c.SampleReceiver(rng, nil, -1); got != -1 {
+		t.Errorf("CDF SampleReceiver(-1) = %d, want -1", got)
+	}
+	if got := a.SampleReceiver(rng, nil, g.NumNodes()); got != -1 {
+		t.Errorf("alias SampleReceiver(n) = %d, want -1", got)
+	}
+	empty := &CDFSampler{}
+	if got := empty.TotalRate(); got != 0 {
+		t.Errorf("empty TotalRate = %v, want 0", got)
+	}
+}

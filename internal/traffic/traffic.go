@@ -115,35 +115,45 @@ type SizeSampler interface {
 // Generator produces a merged Poisson stream of transactions: arrival
 // times are exponential with the total demand rate, each event picks a
 // sender proportionally to N_s and a recipient according to p_trans.
+// Draws go through a Sampler plane — possibly shared with other
+// generators — while all mutable state (rng, clock, sampler scratch)
+// is private to the generator.
 type Generator struct {
-	demand     *Demand
-	sizes      SizeSampler
-	rng        *rand.Rand
-	now        float64
-	senderCDF  []float64
-	receiveCDF [][]float64
-	totalRate  float64
+	sampler   Sampler
+	scratch   Scratch
+	sizes     SizeSampler
+	rng       *rand.Rand
+	now       float64
+	totalRate float64
 }
 
-// NewGenerator builds a transaction generator over the given demand. The
-// generator owns no goroutines; call Next for successive events.
+// NewGenerator builds a transaction generator over the given demand on a
+// private dense-CDF plane — the historical stream: it consumes the rng
+// exactly as every replay before the sampler refactor did. The generator
+// owns no goroutines; call Next for successive events.
 func NewGenerator(d *Demand, sizes SizeSampler, rng *rand.Rand) (*Generator, error) {
-	total := d.TotalRate()
-	if total <= 0 {
+	sampler, err := NewCDFSampler(d)
+	if err != nil {
+		return nil, err
+	}
+	return NewGeneratorFromSampler(sampler, sizes, rng)
+}
+
+// NewGeneratorFromSampler builds a generator over an existing sampler
+// plane. The sampler may be shared across generators (one per shard);
+// only the scratch this call allocates is touched by Next.
+func NewGeneratorFromSampler(sampler Sampler, sizes SizeSampler, rng *rand.Rand) (*Generator, error) {
+	total := sampler.TotalRate()
+	if !(total > 0) || math.IsInf(total, 0) {
 		return nil, fmt.Errorf("%w: total rate %v", ErrBadDemand, total)
 	}
-	g := &Generator{
-		demand:    d,
+	return &Generator{
+		sampler:   sampler,
+		scratch:   sampler.NewScratch(),
 		sizes:     sizes,
 		rng:       rng,
 		totalRate: total,
-	}
-	g.senderCDF = cumulative(d.Rates)
-	g.receiveCDF = make([][]float64, len(d.P))
-	for s := range d.P {
-		g.receiveCDF[s] = cumulative(d.P[s])
-	}
-	return g, nil
+	}, nil
 }
 
 // Next returns the next transaction in the stream. Events without a valid
@@ -152,11 +162,11 @@ func NewGenerator(d *Demand, sizes SizeSampler, rng *rand.Rand) (*Generator, err
 func (g *Generator) Next() Tx {
 	for {
 		g.now += g.rng.ExpFloat64() / g.totalRate
-		s := sampleCDF(g.senderCDF, g.rng)
+		s := g.sampler.SampleSender(g.rng, g.scratch)
 		if s < 0 {
 			continue
 		}
-		r := sampleCDF(g.receiveCDF[s], g.rng)
+		r := g.sampler.SampleReceiver(g.rng, g.scratch, s)
 		if r < 0 || r == s {
 			continue
 		}
@@ -211,26 +221,34 @@ func PoissonCount(lambda float64, rng *rand.Rand) int {
 	}
 }
 
-func cumulative(weights []float64) []float64 {
+// cumulative folds weights into a CDF, rejecting NaN, negative and
+// infinite entries — a single poisoned weight would otherwise corrupt
+// every draw after it silently. Zero weights contribute exactly nothing
+// to the running sum, so validated inputs produce the same bits the
+// historical skip-non-positive fold did.
+func cumulative(weights []float64) ([]float64, error) {
 	cdf := make([]float64, len(weights))
 	var sum float64
 	for i, w := range weights {
-		if w > 0 {
-			sum += w
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("%w: weight[%d] = %v", ErrBadDemand, i, w)
 		}
+		sum += w
 		cdf[i] = sum
 	}
-	return cdf
+	return cdf, nil
 }
 
 // sampleCDF draws an index proportionally to the increments of cdf, or -1
-// when the total mass is zero.
+// when the total mass is zero, NaN or infinite (a malformed CDF must not
+// reach the binary search: with a NaN total every comparison is false and
+// the search would deterministically return a wrong index).
 func sampleCDF(cdf []float64, rng *rand.Rand) int {
 	if len(cdf) == 0 {
 		return -1
 	}
 	total := cdf[len(cdf)-1]
-	if total <= 0 {
+	if !(total > 0) || math.IsInf(total, 0) {
 		return -1
 	}
 	x := rng.Float64() * total

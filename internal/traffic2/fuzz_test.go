@@ -21,6 +21,10 @@ func FuzzTrafficReplayMatchesReference(f *testing.F) {
 	f.Add(int64(7), uint8(2), uint8(20), uint8(9), uint8(3), uint8(1), uint8(1), uint8(16))
 	f.Add(int64(42), uint8(3), uint8(14), uint8(5), uint8(2), uint8(2), uint8(2), uint8(0))
 	f.Add(int64(-9), uint8(1), uint8(5), uint8(7), uint8(4), uint8(1), uint8(2), uint8(32))
+	// High topoKind bits select sparse sampler planes over the same knobs.
+	f.Add(int64(11), uint8(6), uint8(12), uint8(4), uint8(2), uint8(1), uint8(0), uint8(8))
+	f.Add(int64(13), uint8(10), uint8(18), uint8(6), uint8(3), uint8(2), uint8(1), uint8(0))
+	f.Add(int64(17), uint8(15), uint8(9), uint8(8), uint8(1), uint8(0), uint8(2), uint8(24))
 	f.Fuzz(func(t *testing.T, seed int64, topoKind, sizeRaw, eventsRaw, shardsRaw, feeRaw, sizesRaw, rebRaw uint8) {
 		n := 4 + int(sizeRaw)%21 // 4..24 nodes
 		balance := 2 + float64(sizeRaw%5)
@@ -36,7 +40,31 @@ func FuzzTrafficReplayMatchesReference(f *testing.F) {
 		default:
 			g = graph.ConnectedErdosRenyi(n, 0.3, balance, rng, 100)
 		}
-		demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1.2}, float64(g.NumNodes()))
+		// topoKind's high bits pick the demand plane: the historical dense
+		// matrix or one of the sparse sampler families, all replayed by
+		// both the engine and the oracle through the same shared plane.
+		var demand *traffic.Demand
+		var sampler traffic.Sampler
+		var err error
+		switch topoKind / 4 % 4 {
+		case 0:
+			demand, err = traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1.2}, float64(g.NumNodes()))
+		default:
+			rates := make([]float64, g.NumNodes())
+			for i := range rates {
+				rates[i] = 1
+			}
+			var dist txdist.Distribution
+			switch topoKind / 4 % 4 {
+			case 1:
+				dist = txdist.Uniform{}
+			case 2:
+				dist = txdist.DegreeProportional{Alpha: 1}
+			default:
+				dist = txdist.DistanceDecay{Decay: 0.6}
+			}
+			sampler, err = traffic.NewSampler(g, dist, rates)
+		}
 		if err != nil {
 			t.Skipf("config rejected: %v", err)
 		}
@@ -60,6 +88,7 @@ func FuzzTrafficReplayMatchesReference(f *testing.F) {
 		}
 		cfg := Config{
 			Demand:         demand,
+			Sampler:        sampler,
 			Sizes:          sizes,
 			Fee:            feeFn,
 			Events:         40 + int(eventsRaw)%360,

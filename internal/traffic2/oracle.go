@@ -52,7 +52,7 @@ func runReferenceShard(network *payment.Network, net *flatNet, cfg *Config, s in
 	if err := network.ResetBalances(); err != nil {
 		return err
 	}
-	gen, err := traffic.NewGenerator(cfg.Demand, cfg.Sizes,
+	gen, err := traffic.NewGeneratorFromSampler(cfg.plane, cfg.Sizes,
 		rand.New(rand.NewSource(shardSeed(cfg.Seed, s))))
 	if err != nil {
 		return err

@@ -16,10 +16,12 @@ type scratch struct {
 
 func newScratch(n int) *scratch {
 	return &scratch{
-		seen:  make([]int32, n),
-		via:   make([]int32, n),
-		prev:  make([]int32, n),
-		queue: make([]int32, 0, n),
+		seen: make([]int32, n),
+		via:  make([]int32, n),
+		prev: make([]int32, n),
+		// The frontier can never exceed n nodes, so the queue is a fixed
+		// n-slot ring the BFS indexes directly — no append, no growth.
+		queue: make([]int32, n),
 		path:  make([]int32, 0, 16),
 	}
 }
@@ -31,21 +33,31 @@ func newScratch(n int) *scratch {
 // it commits the balance moves into caps, credits intermediaries, and
 // returns the hop count with the retry flag; on failure it returns 0 and
 // caps is untouched (HTLC atomicity).
+//
+// When the first BFS finds no path at all, the retry is elided for
+// non-negative fees: the conservative requirement is ≥ the base one, so
+// its feasible arc set is a subset of the first attempt's — a BFS that
+// failed at the lower requirement must fail at the higher one. This
+// halves the BFS work on unroutable payments without changing a single
+// outcome (the fee-laden retry still runs when the first attempt routed
+// but failed hop verification).
 func (sc *scratch) pay(net *flatNet, caps []float64, s, r int32, amount, perHop float64,
 	earned []float64, forwarded []int) (hops int, retried bool) {
-	for attempt := 0; attempt < 2; attempt++ {
-		need := amount
-		if attempt == 1 {
-			// Worst case: first hop of the longest plausible path.
-			need = amount + float64(net.n-1)*perHop
-		}
-		if !sc.bfs(net, caps, s, r, need) {
-			continue
-		}
+	if sc.bfs(net, caps, s, r, amount) {
 		sc.buildPath(s, r)
 		if sc.execute(net, caps, amount, perHop, earned, forwarded) {
-			return len(sc.path), attempt == 1
+			return len(sc.path), false
 		}
+	} else if perHop >= 0 {
+		return 0, false
+	}
+	need := amount + float64(net.n-1)*perHop
+	if !sc.bfs(net, caps, s, r, need) {
+		return 0, false
+	}
+	sc.buildPath(s, r)
+	if sc.execute(net, caps, amount, perHop, earned, forwarded) {
+		return len(sc.path), true
 	}
 	return 0, false
 }
@@ -54,29 +66,37 @@ func (sc *scratch) pay(net *flatNet, caps []float64, s, r int32, amount, perHop 
 // payment.Pay's 1e-12 feasibility epsilon), recording via/prev links. It
 // mirrors the reference BFS exactly: FIFO order, arcs scanned in
 // channel-creation order, the scan stopping the moment r is labelled.
+// The hot loop runs on local slice headers over the shard's fixed
+// frontier; the visited check precedes the balance load so settled nodes
+// cost no float traffic.
 func (sc *scratch) bfs(net *flatNet, caps []float64, s, r int32, need float64) bool {
 	sc.epoch++
 	epoch := sc.epoch
-	sc.seen[s] = epoch
-	sc.queue = sc.queue[:0]
-	sc.queue = append(sc.queue, s)
-	for head := 0; head < len(sc.queue); head++ {
-		v := sc.queue[head]
-		for _, a := range net.arcs[net.offs[v]:net.offs[v+1]] {
+	seen, via, prev := sc.seen, sc.via, sc.prev
+	arcs, offs, arcTo := net.arcs, net.offs, net.arcTo
+	queue := sc.queue[:len(seen)]
+	seen[s] = epoch
+	queue[0] = s
+	head, tail := 0, 1
+	for head < tail {
+		v := queue[head]
+		head++
+		for _, a := range arcs[offs[v]:offs[v+1]] {
+			w := arcTo[a]
+			if seen[w] == epoch {
+				continue
+			}
 			if caps[a]+1e-12 < need {
 				continue
 			}
-			w := net.arcTo[a]
-			if sc.seen[w] == epoch {
-				continue
-			}
-			sc.seen[w] = epoch
-			sc.via[w] = a
-			sc.prev[w] = v
+			seen[w] = epoch
+			via[w] = a
+			prev[w] = v
 			if w == r {
 				return true
 			}
-			sc.queue = append(sc.queue, w)
+			queue[tail] = w
+			tail++
 		}
 	}
 	return false

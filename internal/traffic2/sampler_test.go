@@ -1,0 +1,184 @@
+package traffic2
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/fee"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// samplerFamilies builds one sparse sampler per family over g with unit
+// rates.
+func samplerFamilies(t *testing.T, g *graph.Graph) map[string]traffic.Sampler {
+	t.Helper()
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	out := map[string]traffic.Sampler{}
+	for _, d := range []txdist.Distribution{
+		txdist.Uniform{},
+		txdist.DegreeProportional{Alpha: 1},
+		txdist.DistanceDecay{Decay: 0.5},
+	} {
+		s, err := traffic.NewSampler(g, d, rates)
+		if err != nil {
+			t.Fatalf("NewSampler(%s): %v", d.Name(), err)
+		}
+		out[s.Kind()] = s
+	}
+	return out
+}
+
+// TestReplaySamplerMatchesReference locks every sparse plane against the
+// live-network oracle: both sides draw through the same shared sampler,
+// so receipts, counters and per-node floats must agree bit for bit —
+// exactly the dense-demand differential, extended to the planes that
+// scale to n=10k.
+func TestReplaySamplerMatchesReference(t *testing.T) {
+	g := graph.BarabasiAlbert(60, 2, 6, rand.New(rand.NewSource(21)))
+	for kind, s := range samplerFamilies(t, g) {
+		cfg := Config{
+			Sampler:        s,
+			Sizes:          fee.UniformSize{T: 3}, // near capacity: forces failures and retries
+			Fee:            fee.Linear{Base: 0.01, Rate: 0.001},
+			Events:         4000,
+			Seed:           7,
+			Shards:         3,
+			RebalanceEvery: 500,
+			TrackTxs:       true,
+			RecordReceipts: true,
+		}
+		got, err := Replay(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", kind, err)
+		}
+		want, err := ReferenceReplay(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", kind, err)
+		}
+		compareResults(t, got, want)
+		if got.Successes == 0 || got.Failures == 0 {
+			t.Errorf("%s: degenerate differential (%d ok / %d failed)", kind, got.Successes, got.Failures)
+		}
+	}
+}
+
+// TestReplaySamplerParallelismInvariance pins the sharing contract: one
+// immutable sampler read by 1, 4 and 8 workers must merge bit-identical
+// results — scratch is per shard, the plane is never written.
+func TestReplaySamplerParallelismInvariance(t *testing.T) {
+	g := graph.BarabasiAlbert(80, 2, 8, rand.New(rand.NewSource(22)))
+	for kind, s := range samplerFamilies(t, g) {
+		var base *Result
+		for _, workers := range []int{1, 4, 8} {
+			res, err := Replay(g, Config{
+				Sampler:        s,
+				Sizes:          fee.UniformSize{T: 2},
+				Fee:            fee.Constant{F: 0.01},
+				Events:         6000,
+				Seed:           9,
+				Shards:         8,
+				Parallelism:    workers,
+				RebalanceEvery: 1000,
+			})
+			if err != nil {
+				t.Fatalf("%s: replay @%d workers: %v", kind, workers, err)
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			if !reflect.DeepEqual(res, base) {
+				t.Fatalf("%s: result depends on parallelism (%d workers)", kind, workers)
+			}
+		}
+	}
+}
+
+// TestReplaySamplerKindIsIdentity pins the determinism contract: two
+// planes over the same distribution but of different kinds consume the
+// random stream differently, so the same seed yields different — each
+// individually reproducible — replays.
+func TestReplaySamplerKindIsIdentity(t *testing.T) {
+	g := graph.BarabasiAlbert(50, 2, 10, rand.New(rand.NewSource(23)))
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	demand, err := traffic.NewDemand(g, txdist.Uniform{}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := traffic.NewSampler(g, txdist.Uniform{}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg Config) *Result {
+		res, err := Replay(g, cfg)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		return res
+	}
+	base := Config{Sizes: fee.UniformSize{T: 1}, Events: 3000, Seed: 5, Shards: 2}
+	denseCfg := base
+	denseCfg.Demand = demand
+	sparseCfg := base
+	sparseCfg.Sampler = sparse
+	dense1, dense2 := run(denseCfg), run(denseCfg)
+	sparse1, sparse2 := run(sparseCfg), run(sparseCfg)
+	if !reflect.DeepEqual(dense1, dense2) || !reflect.DeepEqual(sparse1, sparse2) {
+		t.Fatal("same kind + seed not reproducible")
+	}
+	if dense1.Elapsed == sparse1.Elapsed {
+		t.Fatal("dense-cdf and sparse-uniform produced the same stream; kinds are not distinct identities")
+	}
+}
+
+// TestValidateDemandSharedPlane pins the single validation path both the
+// engine and the oracle go through.
+func TestValidateDemandSharedPlane(t *testing.T) {
+	g := graph.Star(3, 10)
+	rates := make([]float64, g.NumNodes())
+	for i := range rates {
+		rates[i] = 1
+	}
+	demand, err := traffic.NewDemand(g, txdist.Uniform{}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, err := traffic.NewSampler(g, txdist.Uniform{}, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := traffic.NewUniformSampler([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, err := traffic.NewUniformSampler(make([]float64, g.NumNodes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]Config{
+		"both demand and sampler": {Demand: demand, Sampler: sampler, Events: 10},
+		"sampler node mismatch":   {Sampler: small, Events: 10},
+		"zero-rate sampler":       {Sampler: dead, Events: 10},
+	}
+	for name, cfg := range cases {
+		if _, err := Replay(g, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("engine %s = %v, want ErrBadConfig", name, err)
+		}
+		if _, err := ReferenceReplay(g, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("oracle %s = %v, want ErrBadConfig", name, err)
+		}
+	}
+	if _, err := Replay(g, Config{Sampler: sampler, Sizes: fee.FixedSize{T: 1}, Events: 50, Seed: 1}); err != nil {
+		t.Errorf("valid sampler config rejected: %v", err)
+	}
+}

@@ -40,9 +40,18 @@ var ErrBadConfig = errors.New("traffic2: invalid config")
 
 // Config parametrises a replay run.
 type Config struct {
-	// Demand drives the workload: senders, recipients, rates. Required,
-	// with one rate per node of the replayed graph.
+	// Demand drives the workload: senders, recipients, rates — replayed
+	// on a dense-CDF sampler plane built once and shared read-only by
+	// all shards. Exactly one of Demand and Sampler must be set, with
+	// one rate per node of the replayed graph.
 	Demand *traffic.Demand
+	// Sampler, when set instead of Demand, is the shared demand plane
+	// the shards draw from — typically a sparse structure-aware sampler
+	// from traffic.NewSampler, which is what scales the replay to
+	// n=10k (O(n) plane memory, no per-shard matrices). The sampler's
+	// Kind is part of the result's identity: different kinds consume
+	// the random stream differently.
+	Sampler traffic.Sampler
 	// Sizes draws transaction sizes; nil sends zero-sized probes (clamped
 	// to 1e-9, the simulate package's probe convention).
 	Sizes traffic.SizeSampler
@@ -71,6 +80,11 @@ type Config struct {
 	// RecordReceipts records a Receipt per event in Result.Receipts —
 	// the differential-oracle surface. Off on the hot path.
 	RecordReceipts bool
+
+	// plane is the resolved sampler normalize selects from Demand or
+	// Sampler — the one shared read-only demand plane every shard's
+	// generator draws through.
+	plane traffic.Sampler
 }
 
 // Receipt mirrors payment.Receipt per replayed event, plus the outcome.
@@ -150,18 +164,47 @@ func (cfg *Config) normalize(g *graph.Graph) error {
 	if cfg.Events <= 0 {
 		return fmt.Errorf("%w: events %d", ErrBadConfig, cfg.Events)
 	}
-	if cfg.Demand == nil {
-		return fmt.Errorf("%w: nil demand", ErrBadConfig)
-	}
-	if len(cfg.Demand.Rates) != g.NumNodes() {
-		return fmt.Errorf("%w: demand covers %d users, graph has %d",
-			ErrBadConfig, len(cfg.Demand.Rates), g.NumNodes())
+	if err := cfg.validateDemand(g.NumNodes()); err != nil {
+		return err
 	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
 	if cfg.Fee == nil {
 		cfg.Fee = fee.Constant{F: 0}
+	}
+	return nil
+}
+
+// validateDemand resolves cfg's workload plane into cfg.plane. It is the
+// single demand validation both the engine (Replay) and the reference
+// oracle (ReferenceReplay) go through — via the shared normalize — so
+// the two planes can never drift on which configs they accept.
+func (cfg *Config) validateDemand(n int) error {
+	switch {
+	case cfg.Sampler != nil && cfg.Demand != nil:
+		return fmt.Errorf("%w: both Demand and Sampler set", ErrBadConfig)
+	case cfg.Sampler != nil:
+		if cfg.Sampler.Nodes() != n {
+			return fmt.Errorf("%w: sampler covers %d users, graph has %d",
+				ErrBadConfig, cfg.Sampler.Nodes(), n)
+		}
+		cfg.plane = cfg.Sampler
+	case cfg.Demand != nil:
+		if len(cfg.Demand.Rates) != n {
+			return fmt.Errorf("%w: demand covers %d users, graph has %d",
+				ErrBadConfig, len(cfg.Demand.Rates), n)
+		}
+		plane, err := traffic.NewCDFSampler(cfg.Demand)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		cfg.plane = plane
+	default:
+		return fmt.Errorf("%w: nil demand", ErrBadConfig)
+	}
+	if total := cfg.plane.TotalRate(); !(total > 0) {
+		return fmt.Errorf("%w: total rate %v", ErrBadConfig, total)
 	}
 	return nil
 }
@@ -215,9 +258,10 @@ func Replay(g *graph.Graph, cfg Config) (*Result, error) {
 }
 
 // runShard replays one measurement window: fresh deposits, a private
-// generator stream, per-shard scratch reused across every event.
+// generator stream over the shared demand plane, per-shard scratch
+// reused across every event.
 func runShard(net *flatNet, cfg *Config, s int, out *shardResult) error {
-	gen, err := traffic.NewGenerator(cfg.Demand, cfg.Sizes,
+	gen, err := traffic.NewGeneratorFromSampler(cfg.plane, cfg.Sizes,
 		rand.New(rand.NewSource(shardSeed(cfg.Seed, s))))
 	if err != nil {
 		return err

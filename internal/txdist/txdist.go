@@ -172,6 +172,81 @@ func (Uniform) Probs(g *graph.Graph, u graph.NodeID) []float64 {
 	return probs
 }
 
+// DegreeProportional targets recipients proportionally to a power of
+// their popularity: p_trans(u,v) ∝ (indeg(v)+1)^Alpha for v ≠ u. Unlike
+// the Zipf families it ranks nothing — the weight of v depends only on
+// v's own in-degree on the full graph, not on the subgraph G − u — which
+// is what lets the traffic sampler plane draw from it in O(1) out of
+// O(n) memory at n=10k. Alpha = 0 is uniform; Alpha = 1 is linear
+// preferential popularity.
+type DegreeProportional struct {
+	// Alpha is the popularity exponent.
+	Alpha float64
+}
+
+var _ Distribution = DegreeProportional{}
+
+// Name implements Distribution.
+func (d DegreeProportional) Name() string { return fmt.Sprintf("degree(a=%g)", d.Alpha) }
+
+// Weights returns the unnormalised recipient weights (indeg(v)+1)^Alpha
+// for every node of g — the O(n) plane sparse samplers draw from.
+func (d DegreeProportional) Weights(g *graph.Graph) []float64 {
+	w := make([]float64, g.NumNodes())
+	for v := range w {
+		w[v] = math.Pow(float64(g.InDegree(graph.NodeID(v))+1), d.Alpha)
+	}
+	return w
+}
+
+// Probs implements Distribution.
+func (d DegreeProportional) Probs(g *graph.Graph, u graph.NodeID) []float64 {
+	w := d.Weights(g)
+	if g.HasNode(u) {
+		w[u] = 0
+	}
+	return normalize(w)
+}
+
+// DistanceDecay targets recipients by locality: p_trans(u,v) ∝ Decay^d(u,v)
+// over the nodes reachable from u, with d the hop distance. Decay in (0,1)
+// biases transactions towards network neighbours — the "most payments are
+// local" workload; Decay must be positive and finite (a non-positive decay
+// yields an all-zero row). A sender not yet in g (a joining node with no
+// vantage point) sees every member as equally likely.
+type DistanceDecay struct {
+	// Decay is the per-hop attenuation factor.
+	Decay float64
+}
+
+var _ Distribution = DistanceDecay{}
+
+// Name implements Distribution.
+func (d DistanceDecay) Name() string { return fmt.Sprintf("distance(decay=%g)", d.Decay) }
+
+// Probs implements Distribution.
+func (d DistanceDecay) Probs(g *graph.Graph, u graph.NodeID) []float64 {
+	n := g.NumNodes()
+	w := make([]float64, n)
+	if !(d.Decay > 0) || math.IsInf(d.Decay, 0) {
+		return w
+	}
+	if !g.HasNode(u) {
+		for v := range w {
+			w[v] = 1
+		}
+		return normalize(w)
+	}
+	dist := g.BFS(u)
+	for v := range w {
+		if graph.NodeID(v) == u || dist[v] == graph.Unreachable {
+			continue
+		}
+		w[v] = math.Pow(d.Decay, float64(dist[v]))
+	}
+	return normalize(w)
+}
+
 // PerSender composes per-node distributions (the paper's user-specific
 // parameter s_u): sender u uses Overrides[u] when present and Default
 // otherwise.

@@ -246,6 +246,8 @@ func TestDistributionNames(t *testing.T) {
 		ModifiedZipf{S: 1}.Name(),
 		Zipf{S: 1}.Name(),
 		Uniform{}.Name(),
+		DegreeProportional{Alpha: 1}.Name(),
+		DistanceDecay{Decay: 0.5}.Name(),
 		PerSender{Default: Uniform{}}.Name(),
 	}
 	seen := make(map[string]bool)
@@ -257,5 +259,63 @@ func TestDistributionNames(t *testing.T) {
 			t.Fatalf("duplicate name %q", n)
 		}
 		seen[n] = true
+	}
+}
+
+func TestDegreeProportionalProbs(t *testing.T) {
+	// Star(5,1): hub 0 plus 5 leaves — hub in-degree 5, every leaf 1.
+	// With Alpha = 1 a leaf sender must put strictly more mass on the
+	// hub than on any fellow leaf, and zero on itself.
+	g := graph.Star(5, 1)
+	p := DegreeProportional{Alpha: 1}.Probs(g, 2)
+	if math.Abs(sum(p)-1) > tol {
+		t.Fatalf("probs sum to %v", sum(p))
+	}
+	if p[2] != 0 {
+		t.Fatalf("self-probability %v", p[2])
+	}
+	if p[0] <= p[1] {
+		t.Fatalf("hub prob %v not above leaf prob %v", p[0], p[1])
+	}
+	w := DegreeProportional{Alpha: 1}.Weights(g)
+	if w[0] != 6 || w[1] != 2 {
+		t.Fatalf("weights = %v, want hub 6 and leaves 2", w)
+	}
+	// Alpha = 0 flattens popularity entirely.
+	flat := DegreeProportional{}.Probs(g, 2)
+	if flat[0] != flat[1] {
+		t.Fatalf("alpha=0 probs not uniform: %v vs %v", flat[0], flat[1])
+	}
+}
+
+func TestDistanceDecayProbs(t *testing.T) {
+	// Path 0—1—2—3: from sender 0, each extra hop multiplies the weight
+	// by Decay, so p[1] > p[2] > p[3] in exact ratio Decay.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	p := DistanceDecay{Decay: 0.5}.Probs(g, 0)
+	if math.Abs(sum(p)-1) > tol {
+		t.Fatalf("probs sum to %v", sum(p))
+	}
+	if p[0] != 0 {
+		t.Fatalf("self-probability %v", p[0])
+	}
+	if math.Abs(p[2]-0.5*p[1]) > tol || math.Abs(p[3]-0.5*p[2]) > tol {
+		t.Fatalf("decay ratios broken: %v", p)
+	}
+	// A sender outside g has no vantage point: every member is equal.
+	out := DistanceDecay{Decay: 0.5}.Probs(g, 99)
+	for v, q := range out {
+		if math.Abs(q-0.25) > tol {
+			t.Fatalf("outsider prob[%d] = %v, want 0.25", v, q)
+		}
+	}
+	// Non-positive or infinite decay yields the documented all-zero row.
+	for _, d := range []float64{0, -1, math.Inf(1)} {
+		if z := (DistanceDecay{Decay: d}).Probs(g, 0); sum(z) != 0 {
+			t.Fatalf("decay %v: row %v not all-zero", d, z)
+		}
 	}
 }

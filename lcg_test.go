@@ -300,8 +300,8 @@ func TestSimulateFacade(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 29 {
-		t.Fatalf("experiment count = %d, want 29", len(ids))
+	if len(ids) != 30 {
+		t.Fatalf("experiment count = %d, want 30", len(ids))
 	}
 	var buf bytes.Buffer
 	if err := RunExperiment("F1", 1, &buf); err != nil {

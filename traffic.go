@@ -17,6 +17,18 @@ import (
 type TrafficConfig struct {
 	// Events is the number of transactions to replay (required).
 	Events int
+	// TxDist selects the recipient distribution. "" and "modified-zipf"
+	// replay the dense modified-Zipf plane (the historical default,
+	// parametrised by ZipfS, with analytic transit predictions).
+	// "uniform", "degree" and "distance" select the sparse sampler
+	// planes of O(n) memory that scale the replay to n=10000 — they
+	// skip the O(n²) analytic transit computation, so PredictedTransit
+	// comes back all zeros; rank forwarders by MeasuredTransit instead.
+	TxDist string
+	// DistParam parametrises the sparse families: the degree exponent α
+	// for "degree" (0 means 1) and the per-hop decay for "distance"
+	// (0 means 0.5). The dense path ignores it and uses ZipfS.
+	DistParam float64
 	// ZipfS is the transaction distribution's scale parameter.
 	ZipfS float64
 	// TotalRate is the aggregate sender rate N; 0 means one transaction
@@ -85,7 +97,40 @@ func ReplayTraffic(n *Network, cfg TrafficConfig) (TrafficReport, error) {
 		total = float64(n.NumUsers())
 	}
 	g := n.graphView()
-	demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: cfg.ZipfS}, total)
+	var (
+		demand  *traffic.Demand
+		sampler traffic.Sampler
+		err     error
+	)
+	switch cfg.TxDist {
+	case "", "modified-zipf":
+		demand, err = traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: cfg.ZipfS}, total)
+	case "uniform", "degree", "distance":
+		var dist txdist.Distribution
+		switch cfg.TxDist {
+		case "uniform":
+			dist = txdist.Uniform{}
+		case "degree":
+			alpha := cfg.DistParam
+			if alpha == 0 {
+				alpha = 1
+			}
+			dist = txdist.DegreeProportional{Alpha: alpha}
+		case "distance":
+			decay := cfg.DistParam
+			if decay == 0 {
+				decay = 0.5
+			}
+			dist = txdist.DistanceDecay{Decay: decay}
+		}
+		rates := make([]float64, n.NumUsers())
+		for i := range rates {
+			rates[i] = total / float64(len(rates))
+		}
+		sampler, err = traffic.NewSampler(g, dist, rates)
+	default:
+		return TrafficReport{}, fmt.Errorf("%w: txdist %q (want modified-zipf, uniform, degree or distance)", ErrBadInput, cfg.TxDist)
+	}
 	if err != nil {
 		return TrafficReport{}, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
@@ -95,6 +140,7 @@ func ReplayTraffic(n *Network, cfg TrafficConfig) (TrafficReport, error) {
 	}
 	res, err := traffic2.Replay(g, traffic2.Config{
 		Demand:         demand,
+		Sampler:        sampler,
 		Sizes:          sizes,
 		Fee:            fee.Constant{F: cfg.FeePerHop},
 		Events:         cfg.Events,
@@ -126,6 +172,12 @@ func ReplayTraffic(n *Network, cfg TrafficConfig) (TrafficReport, error) {
 			report.MeasuredTransit[v] = float64(res.Forwarded[v]) / res.Elapsed
 		}
 	}
-	report.PredictedTransit = demand.NodeTransitRates(g)
+	if demand != nil {
+		report.PredictedTransit = demand.NodeTransitRates(g)
+	} else {
+		// The sparse planes exist to avoid O(n²) work; the analytic
+		// transit rates are exactly that, so they stay zero.
+		report.PredictedTransit = make([]float64, n.NumUsers())
+	}
 	return report, nil
 }

@@ -56,3 +56,47 @@ func TestReplayTrafficFacade(t *testing.T) {
 		t.Fatal("fast replay depends on parallelism")
 	}
 }
+
+// TestReplayTrafficSparseTxDist drives the facade's sparse sampler
+// planes: every family replays deterministically, leaves the analytic
+// PredictedTransit at its all-zero sentinel (the sparse path exists to
+// skip that O(n²) computation), and still measures real forwarding.
+func TestReplayTrafficSparseTxDist(t *testing.T) {
+	n := Star(6, 1000)
+	for _, txdist := range []string{"uniform", "degree", "distance"} {
+		cfg := TrafficConfig{
+			Events:         4000,
+			TxDist:         txdist,
+			TxSize:         1,
+			FeePerHop:      0.01,
+			Seed:           3,
+			Shards:         4,
+			RebalanceEvery: 500,
+		}
+		report, err := ReplayTraffic(n, cfg)
+		if err != nil {
+			t.Fatalf("%s: ReplayTraffic: %v", txdist, err)
+		}
+		if report.SuccessRate < 0.99 {
+			t.Fatalf("%s: success rate = %v", txdist, report.SuccessRate)
+		}
+		for v, p := range report.PredictedTransit {
+			if p != 0 {
+				t.Fatalf("%s: PredictedTransit[%d] = %v, want the all-zero sparse sentinel", txdist, v, p)
+			}
+		}
+		if report.MeasuredTransit[0] <= 0 {
+			t.Fatalf("%s: hub measured no forwarding", txdist)
+		}
+		again, err := ReplayTraffic(n, cfg)
+		if err != nil {
+			t.Fatalf("%s: second replay: %v", txdist, err)
+		}
+		if !reflect.DeepEqual(report, again) {
+			t.Fatalf("%s: sparse replay not reproducible", txdist)
+		}
+	}
+	if _, err := ReplayTraffic(n, TrafficConfig{Events: 100, TxDist: "zipf-but-wrong"}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("unknown txdist error = %v", err)
+	}
+}
