@@ -547,6 +547,54 @@ func BenchmarkAllPairsRebuild(b *testing.B) {
 	})
 }
 
+// BenchmarkCloseFold measures the decremental departure fold against the
+// full rebuild it replaces: per iteration one node departs ({CloseNode +
+// FoldClose} is the timed region) and is reattached untimed, so every
+// departure folds against a full-size live plane on the same n=2000 BA
+// substrate as BenchmarkAllPairsRebuild. Compare ns/op against
+// BenchmarkAllPairsRebuild/serial — the fold only re-runs BFS for rows
+// whose shortest paths crossed the departed node, and the acceptance bar
+// is ≥5× per departure.
+func BenchmarkCloseFold(b *testing.B) {
+	params := core.Params{OnChainCost: 1, OppCostRate: 0.05, FAvg: 0.5, FeePerHop: 0.5, OwnRate: 1}
+	seed := graph.BarabasiAlbert(2000, 2, 1, rand.New(rand.NewSource(1)))
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			gs, err := core.NewGrowSession(seed.Clone(), params, 2000, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gs.SetParallelism(workers)
+			order := rand.New(rand.NewSource(2)).Perm(2000)
+			repaired := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				v := graph.NodeID(order[i%len(order)])
+				var s core.Strategy
+				for _, w := range gs.Graph().Neighbors(v) {
+					for range gs.Graph().EdgesBetween(v, w) {
+						s = append(s, core.Action{Peer: w, Lock: 1})
+					}
+				}
+				b.StartTimer()
+				if _, err := gs.CloseNode(v); err != nil {
+					b.Fatal(err)
+				}
+				repaired += gs.FoldClose()
+				b.StopTimer()
+				if err := gs.Reattach(v, s); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(repaired)/float64(b.N), "rows/fold")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(0))
+}
+
 // BenchmarkExtendBatch measures the batched commit fold against k
 // sequential commits at batch=256 over an n=512 seed — the market
 // cohort shape. The batched variant must clear ≥3× the sequential

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// TestCloseFoldMatchesRebuild is the session-level decremental
+// differential: random histories of commits, batched closures, folds and
+// reattachments, with the folded structure compared bit-for-bit against
+// a from-scratch BFS after every fold, across worker counts.
+func TestCloseFoldMatchesRebuild(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			gs, err := NewGrowSession(graph.BarabasiAlbert(8, 2, 1, rand.New(rand.NewSource(5))), testParams(), 48, 1)
+			if err != nil {
+				t.Fatalf("NewGrowSession: %v", err)
+			}
+			gs.SetParallelism(workers)
+			folds := 0
+			for round := 0; round < 10; round++ {
+				// A few arrivals.
+				for a := rng.Intn(3); a > 0; a-- {
+					var s Strategy
+					for c := rng.Intn(3); c > 0; c-- {
+						s = append(s, Action{Peer: graph.NodeID(rng.Intn(gs.NumNodes())), Lock: 1})
+					}
+					if _, err := gs.Commit(s); err != nil {
+						t.Fatalf("round %d: Commit: %v", round, err)
+					}
+				}
+				// A batch of 1..2 departures, then one fold.
+				closedAny := false
+				for d := 1 + rng.Intn(2); d > 0; d-- {
+					v := graph.NodeID(rng.Intn(gs.NumNodes()))
+					closed, err := gs.CloseNode(v)
+					if err != nil {
+						t.Fatalf("round %d: CloseNode(%d): %v", round, v, err)
+					}
+					closedAny = closedAny || closed > 0
+				}
+				if gs.Dirty() != closedAny {
+					t.Fatalf("round %d: Dirty = %v after closures that removed %v", round, gs.Dirty(), closedAny)
+				}
+				gs.FoldClose()
+				if closedAny {
+					folds++
+				}
+				if gs.Dirty() {
+					t.Fatalf("round %d: still dirty after FoldClose", round)
+				}
+				requireSessionMatchesRebuild(t, fmt.Sprintf("round %d fold", round), gs)
+			}
+			if gs.RebuildCount() != 0 {
+				t.Fatalf("history paid %d rebuilds, want 0 (folds only)", gs.RebuildCount())
+			}
+			if gs.FoldCount() != folds {
+				t.Fatalf("FoldCount = %d, want %d", gs.FoldCount(), folds)
+			}
+		})
+	}
+}
+
+// TestGrowSessionStaleSubstrateErrors pins the dirty-session guard:
+// after a closure, every pricing and commit surface refuses with
+// ErrStaleSubstrate instead of silently reading torn planes, and both
+// FoldClose and Rebuild restore service.
+func TestGrowSessionStaleSubstrateErrors(t *testing.T) {
+	gs, err := NewGrowSession(graph.Star(4, 1), testParams(), 16, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	closeLeaf := func(v graph.NodeID) {
+		t.Helper()
+		closed, err := gs.CloseNode(v)
+		if err != nil || closed == 0 {
+			t.Fatalf("CloseNode(%d) = (%d, %v), want real closures", v, closed, err)
+		}
+		if !gs.Dirty() {
+			t.Fatal("session not dirty after a real closure")
+		}
+	}
+	requireStale := func() {
+		t.Helper()
+		pu := make([]float64, gs.NumNodes())
+		if _, err := gs.Evaluator(pu, testParams()); !errors.Is(err, ErrStaleSubstrate) {
+			t.Fatalf("Evaluator on dirty session: err = %v, want ErrStaleSubstrate", err)
+		}
+		if _, err := gs.Commit(nil); !errors.Is(err, ErrStaleSubstrate) {
+			t.Fatalf("Commit on dirty session: err = %v, want ErrStaleSubstrate", err)
+		}
+		if _, err := gs.CommitBatch([]Strategy{nil}); !errors.Is(err, ErrStaleSubstrate) {
+			t.Fatalf("CommitBatch on dirty session: err = %v, want ErrStaleSubstrate", err)
+		}
+		if err := gs.Reattach(1, nil); !errors.Is(err, ErrStaleSubstrate) {
+			t.Fatalf("Reattach on dirty session: err = %v, want ErrStaleSubstrate", err)
+		}
+	}
+	requireServing := func(tag string) {
+		t.Helper()
+		pu := make([]float64, gs.NumNodes())
+		if _, err := gs.Evaluator(pu, testParams()); err != nil {
+			t.Fatalf("%s: Evaluator: %v", tag, err)
+		}
+		if _, err := gs.Commit(Strategy{{Peer: 0, Lock: 1}}); err != nil {
+			t.Fatalf("%s: Commit: %v", tag, err)
+		}
+		requireSessionMatchesRebuild(t, tag, gs)
+	}
+
+	closeLeaf(1)
+	requireStale()
+	if rep := gs.FoldClose(); rep < 0 {
+		t.Fatalf("FoldClose repaired %d rows", rep)
+	}
+	requireServing("after fold")
+
+	closeLeaf(2)
+	requireStale()
+	gs.Rebuild() // the slow path clears the dirty window too
+	requireServing("after rebuild")
+}
+
+// TestGrowSessionCloseNodeErrorMarksDirty pins the half-closed error
+// path: a CloseNode that fails mid-iteration has already removed
+// channels, so it must leave the session dirty — pricing is a hard
+// error, and the next FoldClose detects the partial closure and falls
+// back to a full Rebuild.
+func TestGrowSessionCloseNodeErrorMarksDirty(t *testing.T) {
+	g := graph.New(3)
+	if _, _, err := g.AddChannel(0, 1, 1, 1); err != nil {
+		t.Fatalf("AddChannel: %v", err)
+	}
+	// An unpaired directed edge: RemoveChannel(0,2) cannot find the
+	// reverse direction and errors after the (0,1) channel already went.
+	if _, err := g.AddEdge(0, 2, 1); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	gs, err := NewGrowSession(g, testParams(), 8, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	closed, err := gs.CloseNode(0)
+	if err == nil {
+		t.Fatal("CloseNode over an unpaired edge did not error")
+	}
+	if closed != 1 {
+		t.Fatalf("CloseNode removed %d channels before failing, want 1", closed)
+	}
+	if !gs.Dirty() {
+		t.Fatal("half-closed node left the session clean")
+	}
+	if _, err := gs.Commit(nil); !errors.Is(err, ErrStaleSubstrate) {
+		t.Fatalf("Commit after half-close: err = %v, want ErrStaleSubstrate", err)
+	}
+	if rep := gs.FoldClose(); rep != 0 {
+		t.Fatalf("partial-closure fold repaired %d rows, want the rebuild fallback", rep)
+	}
+	if gs.RebuildCount() != 1 || gs.FoldCount() != 0 {
+		t.Fatalf("fallback paid %d rebuilds + %d folds, want 1 + 0", gs.RebuildCount(), gs.FoldCount())
+	}
+	if gs.Dirty() {
+		t.Fatal("session still dirty after the rebuild fallback")
+	}
+	requireSessionMatchesRebuild(t, "after fallback", gs)
+}
+
+// TestGrowSessionFoldPreservesReserve pins the geometry contract: the
+// decremental fold repairs in place — close-then-commit cycles never
+// re-lay-out the planes or orphan the reserved capacity.
+func TestGrowSessionFoldPreservesReserve(t *testing.T) {
+	gs, err := NewGrowSession(graph.Star(6, 1), testParams(), 64, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	ap, apT := gs.AllPairs(), gs.apT
+	stride := ap.Stride
+	if stride != 64 {
+		t.Fatalf("reserved stride = %d, want 64", stride)
+	}
+	for cycle := 0; cycle < 8; cycle++ {
+		u, err := gs.Commit(Strategy{{Peer: 0, Lock: 1}, {Peer: 1, Lock: 1}})
+		if err != nil {
+			t.Fatalf("cycle %d: Commit: %v", cycle, err)
+		}
+		if _, err := gs.CloseNode(u); err != nil {
+			t.Fatalf("cycle %d: CloseNode: %v", cycle, err)
+		}
+		gs.FoldClose()
+		if gs.AllPairs() != ap || gs.apT != apT {
+			t.Fatalf("cycle %d: fold replaced the planes instead of repairing in place", cycle)
+		}
+		if gs.AllPairs().Stride != stride {
+			t.Fatalf("cycle %d: stride drifted to %d, want %d", cycle, gs.AllPairs().Stride, stride)
+		}
+	}
+	requireSessionMatchesRebuild(t, "after cycles", gs)
+}
+
+// FuzzFoldCloseMatchesRebuild feeds byte-driven session histories —
+// commit / close / fold / rebuild interleavings at parallelism 1, 4 or
+// 8 — through the session differential, tracking the dirty window so
+// stale-substrate refusals are asserted too.
+func FuzzFoldCloseMatchesRebuild(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x11, 0x02, 0x23, 0x01})
+	f.Add(int64(7), []byte{0x40, 0x03, 0x03, 0x12, 0x00, 0x01, 0x31})
+	f.Add(int64(42), []byte{0x80, 0x22, 0x00, 0x00, 0x01, 0x02, 0x03, 0x10})
+	f.Fuzz(func(t *testing.T, seed int64, program []byte) {
+		if len(program) == 0 || len(program) > 64 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n0 := 4 + int(program[0]&0x0f)
+		workers := []int{1, 4, 8}[int(program[0]>>4)%3]
+		gs, err := NewGrowSession(graph.BarabasiAlbert(n0, 2, 1, rng), testParams(), 32, 1)
+		if err != nil {
+			t.Fatalf("NewGrowSession: %v", err)
+		}
+		gs.SetParallelism(workers)
+		dirty := false
+		for i := 1; i < len(program); i++ {
+			op := program[i]
+			switch op & 0x03 {
+			case 0: // close a node, possibly extending the dirty batch
+				v := graph.NodeID(int(op>>2) % gs.NumNodes())
+				closed, err := gs.CloseNode(v)
+				if err != nil {
+					t.Fatalf("op %d: CloseNode(%d): %v", i, v, err)
+				}
+				dirty = dirty || closed > 0
+				if gs.Dirty() != dirty {
+					t.Fatalf("op %d: Dirty = %v, want %v", i, gs.Dirty(), dirty)
+				}
+			case 1: // fold the pending batch and check bit-identity
+				gs.FoldClose()
+				dirty = false
+				requireSessionMatchesRebuild(t, fmt.Sprintf("op %d fold", i), gs)
+			case 2: // commit: refused while dirty, folded in when clean
+				var s Strategy
+				for c := int(op >> 6); c > 0; c-- {
+					s = append(s, Action{Peer: graph.NodeID(int(op>>2) % gs.NumNodes()), Lock: 1})
+				}
+				_, err := gs.Commit(s)
+				if dirty && !errors.Is(err, ErrStaleSubstrate) {
+					t.Fatalf("op %d: dirty Commit err = %v, want ErrStaleSubstrate", i, err)
+				}
+				if !dirty && err != nil {
+					t.Fatalf("op %d: Commit: %v", i, err)
+				}
+			case 3: // the slow-path oracle absorbs the batch too
+				gs.Rebuild()
+				dirty = false
+				requireSessionMatchesRebuild(t, fmt.Sprintf("op %d rebuild", i), gs)
+			}
+		}
+		gs.FoldClose()
+		requireSessionMatchesRebuild(t, "final fold", gs)
+	})
+}

@@ -1,11 +1,20 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/lightning-creation-games/lcg/internal/graph"
 	"github.com/lightning-creation-games/lcg/internal/traffic"
 )
+
+// ErrStaleSubstrate reports an attempt to price or commit through a
+// session whose all-pairs structure has not absorbed earlier channel
+// closures: after CloseNode the session is dirty until FoldClose (or
+// Rebuild) runs, and every read of the planes before that would see torn
+// state. The guard turns what used to be a doc-comment invariant into a
+// hard error.
+var ErrStaleSubstrate = errors.New("core: substrate stale after CloseNode; FoldClose or Rebuild first")
 
 // GrowSession is the commit path of the evaluation engine: where a
 // JoinEvaluator prices a *virtual* joining user against an immutable
@@ -19,10 +28,12 @@ import (
 // Bit-identity contract: after any sequence of commits, the session's
 // structure equals — bit for bit, path counts included — what
 // AllPairsBFS would compute on the same graph. Deletions (channel
-// closures, departures) are the slow path: they invalidate incremental
-// maintenance, so callers close channels through the session and then
-// Rebuild before pricing again. The growth engine batches its churn
-// accordingly.
+// closures, departures) invalidate incremental maintenance: CloseNode
+// marks the session dirty, and every pricing or commit path returns
+// ErrStaleSubstrate until the closures are absorbed — by FoldClose, the
+// decremental repair (graph.FoldClose, the default), or by Rebuild, the
+// from-scratch slow path kept as the differential oracle. Batching
+// closures before one fold pays the repair once per epoch.
 //
 // A GrowSession is not safe for concurrent use; it is the single-writer
 // spine of a growth run, while read-only evaluator clones may fan out
@@ -37,14 +48,25 @@ type GrowSession struct {
 	remote float64
 
 	// workers bounds the fan-out of the parallel substrate passes (the
-	// row-sharded rebuild and the batched fold); 1 runs everything
-	// inline. Results are bit-identical at every setting.
+	// row-sharded rebuild, the batched commit fold and the decremental
+	// close fold); 1 runs everything inline. Results are bit-identical
+	// at every setting.
 	workers  int
 	rebuilds int
+	folds    int
+
+	// dirty is set by any CloseNode that removed a channel and cleared
+	// when the closures are folded (FoldClose) or rebuilt away; pending
+	// accumulates the departed nodes of the current dirty window so one
+	// fold absorbs the whole batch.
+	dirty   bool
+	pending []graph.NodeID
 
 	// Reusable commit-path scratch: peer-set conversions and the batched
-	// extender's buffers, so steady-state commits allocate nothing.
+	// extender's buffers, so steady-state commits allocate nothing;
+	// closeScratch is the decremental fold's counterpart.
 	extendScratch graph.ExtendScratch
+	closeScratch  graph.CloseScratch
 	batchSets     []graph.PeerSet
 	one           [1]Strategy
 	oneID         [1]graph.NodeID
@@ -97,8 +119,19 @@ func (gs *GrowSession) SetParallelism(workers int) {
 
 // RebuildCount reports how many full all-pairs rebuilds the session has
 // paid — the deletion-slow-path odometer the growth engine's
-// skip-isolated-closures optimization is measured by.
+// skip-isolated-closures optimization is measured by. Since the
+// decremental fold landed, a churn steady state should hold this at
+// zero; see FoldCount.
 func (gs *GrowSession) RebuildCount() int { return gs.rebuilds }
+
+// FoldCount reports how many decremental close folds the session has
+// absorbed — the churn odometer that replaced RebuildCount on the fast
+// path.
+func (gs *GrowSession) FoldCount() int { return gs.folds }
+
+// Dirty reports whether closures are pending: a dirty session prices
+// and commits nothing until FoldClose or Rebuild runs.
+func (gs *GrowSession) Dirty() bool { return gs.dirty }
 
 // emptyLambda returns a built λ̂ table with no entries, so pricing before
 // the first rate refresh sees zero rates instead of triggering an
@@ -147,7 +180,8 @@ func (gs *GrowSession) SetRates(rates map[graph.NodeID]float64) {
 // RefreshRates re-estimates λ̂ over the given candidate peers against the
 // current structure and demand snapshot, installs the table, and returns
 // it. One O(n²) estimation pass, the same EstimateRates the one-shot
-// evaluator runs.
+// evaluator runs. Must not be called while closures are pending (Dirty);
+// fold or rebuild first.
 func (gs *GrowSession) RefreshRates(candidates []graph.NodeID) map[graph.NodeID]float64 {
 	rates := gs.evaluator(nil, gs.params).EstimateRates(candidates)
 	gs.SetRates(rates)
@@ -162,9 +196,14 @@ func (gs *GrowSession) RefreshRates(candidates []graph.NodeID) map[graph.NodeID]
 // and rates vary per joiner while the session's base parameters shape
 // committed channels.
 //
-// The evaluator is valid until the next Commit, Reattach, CloseNode or
-// Rebuild; pricing through a stale evaluator reads torn state.
+// The evaluator is valid until the next Commit, Reattach, CloseNode,
+// FoldClose or Rebuild; a session with unabsorbed closures refuses to
+// hand one out at all (ErrStaleSubstrate) rather than let the caller
+// price against torn state.
 func (gs *GrowSession) Evaluator(pu []float64, params Params) (*JoinEvaluator, error) {
+	if gs.dirty {
+		return nil, ErrStaleSubstrate
+	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
@@ -222,6 +261,9 @@ func (gs *GrowSession) CommitBatch(strategies []Strategy) ([]graph.NodeID, error
 }
 
 func (gs *GrowSession) commitBatch(strategies []Strategy, ids []graph.NodeID) ([]graph.NodeID, error) {
+	if gs.dirty {
+		return nil, ErrStaleSubstrate
+	}
 	ev := gs.evaluator(nil, gs.params)
 	for _, s := range strategies {
 		if err := ev.ValidateStrategy(s); err != nil {
@@ -274,9 +316,13 @@ func (gs *GrowSession) peerSets(strategies []Strategy) []graph.PeerSet {
 }
 
 // Reattach folds a strategy back in for an existing node whose channels
-// were all closed (and the session rebuilt since): the rewiring move of
-// the growth engine. The node keeps its identifier and demand row.
+// were all closed (and the closures folded or rebuilt away since): the
+// rewiring move of the growth engine. The node keeps its identifier and
+// demand row.
 func (gs *GrowSession) Reattach(v graph.NodeID, s Strategy) error {
+	if gs.dirty {
+		return ErrStaleSubstrate
+	}
 	if !gs.g.HasNode(v) {
 		return fmt.Errorf("%w: reattach node %d not in substrate", ErrBadParams, v)
 	}
@@ -319,13 +365,27 @@ func (gs *GrowSession) openChannels(u graph.NodeID, s Strategy) error {
 
 // CloseNode closes every channel incident to v — the departure (and the
 // first half of the rewiring) move — and reports how many channels went.
-// Deletions break incremental maintenance: the session must be Rebuilt
-// before the next pricing or commit. Batch closures and pay for one
-// rebuild.
+// Any closure marks the session dirty: pricing and commits return
+// ErrStaleSubstrate until FoldClose (or Rebuild) absorbs the pending
+// departures, and closures batch — several CloseNodes then one fold pay
+// the repair once. A CloseNode that removed nothing (the node was
+// already isolated) leaves the session clean, so isolated departures
+// stay free.
+//
+// If channel removal fails mid-iteration the node is left half-closed,
+// but never silently: closed > 0 has already marked the session dirty,
+// and the next FoldClose detects the partial closure and falls back to
+// a full Rebuild, so the substrate re-coheres either way.
 func (gs *GrowSession) CloseNode(v graph.NodeID) (closed int, err error) {
 	if !gs.g.HasNode(v) {
 		return 0, fmt.Errorf("%w: close node %d not in substrate", ErrBadParams, v)
 	}
+	defer func() {
+		if closed > 0 {
+			gs.dirty = true
+			gs.pending = append(gs.pending, v)
+		}
+	}()
 	for _, w := range gs.g.Neighbors(v) {
 		for gs.g.HasEdgeBetween(v, w) || gs.g.HasEdgeBetween(w, v) {
 			if err := gs.g.RemoveChannel(v, w); err != nil {
@@ -337,9 +397,39 @@ func (gs *GrowSession) CloseNode(v graph.NodeID) (closed int, err error) {
 	return closed, nil
 }
 
+// FoldClose absorbs every closure since the last fold or rebuild by
+// decremental repair (graph.FoldClose): affected source rows are
+// detected from the saved departed rows and columns and re-derived by
+// per-source BFS, row-sharded across the session's parallelism bound.
+// The result is bit-identical to Rebuild at any setting — Rebuild stays
+// as the documented slow path and the differential oracle — at a cost
+// proportional to the affected rows instead of all of them. Returns the
+// number of rows repaired (0 on a clean session).
+//
+// If a pending departure is only half-closed (CloseNode errored
+// mid-iteration), the fold's isolation precondition fails and the
+// session falls back to a full Rebuild instead.
+func (gs *GrowSession) FoldClose() (repaired int) {
+	if !gs.dirty {
+		return 0
+	}
+	for _, v := range gs.pending {
+		if gs.g.OutDegree(v) != 0 || gs.g.InDegree(v) != 0 {
+			gs.Rebuild()
+			return 0
+		}
+	}
+	repaired = graph.FoldClose(gs.ap, gs.apT, gs.g, gs.pending, gs.workers, &gs.closeScratch)
+	gs.pending = gs.pending[:0]
+	gs.dirty = false
+	gs.folds++
+	return repaired
+}
+
 // Rebuild recomputes the all-pairs structure from scratch — O(n·(n+m)),
-// the price of deletions — preserving the reserved capacity so subsequent
-// commits stay allocation-free. The n source rows shard across the
+// the deletion slow path FoldClose measures against — preserving the
+// reserved capacity so subsequent commits stay allocation-free, and
+// clearing any pending closures. The n source rows shard across the
 // session's parallelism bound (SetParallelism); the result is
 // bit-identical at any setting.
 func (gs *GrowSession) Rebuild() {
@@ -349,4 +439,6 @@ func (gs *GrowSession) Rebuild() {
 	gs.ap.Reserve(stride)
 	gs.apT.Reserve(stride)
 	gs.rebuilds++
+	gs.dirty = false
+	gs.pending = gs.pending[:0]
 }

@@ -1,0 +1,434 @@
+package graph
+
+import "github.com/lightning-creation-games/lcg/internal/par"
+
+// This file is the decremental all-pairs maintenance used by the
+// network-churn path: when departing nodes are folded out of the
+// substrate, the AllPairs structure is repaired in place instead of the
+// O(n·(n+m)) re-BFS a full rebuild pays (extend.go/batch.go fold
+// arrivals in; this file folds departures out).
+//
+// Deletions cannot run the arrival fold backwards — removing arcs can
+// only destroy shortest paths, and the structure does not record which
+// pairs routed through a given node — so the fold is a lazy
+// invalidate-and-repair:
+//
+//  1. Every removed arc is incident to a departed node v, so a source
+//     row x can change only if some old shortest x→y path passed
+//     *through* v — which holds exactly when the old planes satisfy
+//     d(x,v) + d(v,y) == d(x,y) for some surviving target y. The
+//     departed rows and columns are saved before anything is touched,
+//     and that equality is then a streaming scan of the old distance
+//     plane: O(n·|V|) per source row, no graph traversal.
+//  2. Unaffected rows keep both their distances and their path counts:
+//     with no shortest path through any departed node, every old
+//     shortest path survives the removals, no removal can create a
+//     shorter one, and the surviving path set is exactly the old one.
+//     Path counts are integer sums exact in float64, so "same path set"
+//     is bit-identity, not approximate equality.
+//  3. An affected row whose shortest paths crossed exactly one departed
+//     node v usually keeps all its distances: a pair's distance grows
+//     only when v carried *all* of its shortest paths. For every other
+//     colliding pair the surviving path set is the old one minus the
+//     paths through v, so the count repairs by the Brandes identity
+//     σ'(x,y) = σ(x,y) − σ(x,v)·σ(v,y) — an O(n) subtraction sweep
+//     instead of a graph traversal. Counts are integers exact in
+//     float64 (the same contract the arrival fold's products rely on),
+//     so the subtracted value is the same integer a rebuild would sum,
+//     bit for bit.
+//  4. The pairs that did exhaust — v carried every shortest path, so
+//     the distance grew — form a small set E per row, and their new
+//     values follow from the rest of the row, which is already correct:
+//     d'(x,y) = 1 + min over live in-arcs (w,y) of d'(x,w), the BFS
+//     identity on the post-departure graph. A Dijkstra-style relaxation
+//     over just E settles them in O(|E|·(|E| + Σdeg)) — no traversal of
+//     the unaffected bulk — and recounts σ from the settled
+//     predecessors, again exact integer sums.
+//  5. The residue — rows where |E| outgrows the relaxation's win over a
+//     plain BFS, or that crossed two or more departed nodes (paths can
+//     thread several departures, which subtraction would double-count)
+//     — is repaired by a fresh per-source BFS, the same bfsCountsCSR
+//     kernel the full rebuild runs, so a repaired row is bit-identical
+//     to its rebuilt counterpart by construction.
+//
+// The departed rows and columns themselves are not repaired but written
+// directly: a fully departed node is isolated, so its row and column
+// are Inf16 everywhere except the self pair. Source rows are
+// independent, so detection and repair shard across the bounded worker
+// pool exactly like the parallel rebuild — bit-identical at any worker
+// count, enforced by TestFoldCloseMatchesRebuild and the fuzz
+// differential on top of it.
+//
+// Cost. Detection streams the distance plane once per departed node
+// (O(n²·|V|) int32 compares); count-only rows repair inside that sweep
+// (O(n) subtractions each); exhausted pairs settle by the E-relaxation;
+// only the residue pays a BFS (O(R·(n+m))). A full rebuild pays the BFS
+// for every source. Under preferential-attachment churn the residue is
+// small: a single departure strands more than maxCloseRelax pairs of a
+// row only when a genuine hub leaves, and a leaf node is interior to no
+// shortest path at all, so only its own column changes and R is 0.
+
+// CloseScratch holds the reusable buffers of FoldClose. The zero value
+// is ready; after the first call at a given size, subsequent calls
+// allocate nothing (the repair BFS may still trigger the graph's O(n+m)
+// CSR re-bake, which reuses its own buffers).
+type CloseScratch struct {
+	// colD[k*n+x] saves departed node k's old incoming column d(x, v_k);
+	// row32[k*n+y] its old outgoing row d(v_k, y), promoted to fold
+	// arithmetic once so the detection scan is a pure int32 compare.
+	// colSig and rowSig mirror them with the old path counts σ(x, v_k)
+	// and σ(v_k, y), the factors of the subtraction repair.
+	colD   []uint16
+	row32  []int32
+	colSig []float64
+	rowSig []float64
+	// gone marks the departed identifiers; their rows are direct-written
+	// rather than detected.
+	gone []bool
+	// blocks holds one mutable repair scratch per worker block; repairs
+	// the per-block repaired-row counts (index-addressed so the parallel
+	// shards never share an accumulator).
+	blocks  []closeBlock
+	repairs []int
+
+	// pool is the cached worker pool (keyed by the requested bound, so
+	// repeated calls reuse it).
+	pool    *par.Pool
+	poolFor int
+}
+
+// maxCloseRelax bounds the exhausted set the per-row relaxation absorbs.
+// Beyond it the O(|E|·(|E| + Σdeg)) selection loop loses to the O(n+m)
+// BFS the row would otherwise pay, so the row falls through — in
+// practice only rows stranded by a departing hub cross the bound.
+const maxCloseRelax = 32
+
+// closeBlock is the mutable per-worker state of the sharded repair:
+// the BFS scratch of the residue path, plus the exhausted-target list
+// and its unsettled-marker plane for the relaxation path. mark is
+// all-false between rows — each row sets only its own exhausted targets
+// and the relaxation clears every one it settles.
+type closeBlock struct {
+	bfs  BFSScratch
+	exh  []int32
+	mark []bool
+}
+
+// reserve pre-sizes the scratch for k departed nodes over an n-node
+// structure with the given resolved worker count, clearing the mask and
+// the counters.
+func (sc *CloseScratch) reserve(k, n, workers int) {
+	need := k * n
+	if cap(sc.colD) < need {
+		size := 2 * need
+		if c := 2 * cap(sc.colD); c > size {
+			size = c
+		}
+		sc.colD = make([]uint16, size)
+		sc.row32 = make([]int32, size)
+		sc.colSig = make([]float64, size)
+		sc.rowSig = make([]float64, size)
+	}
+	sc.colD = sc.colD[:need]
+	sc.row32 = sc.row32[:need]
+	sc.colSig = sc.colSig[:need]
+	sc.rowSig = sc.rowSig[:need]
+	if cap(sc.gone) < n {
+		sc.gone = make([]bool, 2*n)
+	}
+	sc.gone = sc.gone[:n]
+	for i := range sc.gone {
+		sc.gone[i] = false
+	}
+	if len(sc.blocks) < workers {
+		sc.blocks = append(sc.blocks, make([]closeBlock, workers-len(sc.blocks))...)
+	}
+	for b := range sc.blocks[:workers] {
+		bl := &sc.blocks[b]
+		if cap(bl.exh) < maxCloseRelax+1 {
+			bl.exh = make([]int32, 0, maxCloseRelax+1)
+		}
+		if cap(bl.mark) < n {
+			bl.mark = make([]bool, 2*n)
+		}
+		bl.mark = bl.mark[:n]
+	}
+	if len(sc.repairs) < workers {
+		sc.repairs = append(sc.repairs, make([]int, workers-len(sc.repairs))...)
+	}
+	for b := range sc.repairs[:workers] {
+		sc.repairs[b] = 0
+	}
+}
+
+// FoldClose folds a batch of node departures into the forward structure
+// ap and its transposed mirror apT in place. Every departed node must
+// already be fully isolated in g — the caller closes the channels first
+// and folds once per batch — and must have been connected state in the
+// planes (the planes still describe the pre-departure graph). The result
+// is bit-identical — distances, path counts, accumulation order — to a
+// from-scratch rebuild of the post-departure graph, at any worker count
+// (workers ≤ 0 selects all cores). sc may be shared across calls from
+// one goroutine; nil allocates a throwaway. Returns the number of
+// source rows repaired by BFS (the residue the subtraction sweep could
+// not absorb), a sparsity measure the benchmarks report.
+//
+// A departed node that was never reachable folds for free: its saved
+// row and column are all-Inf16, so no surviving row matches the
+// detection equality and only the direct writes run.
+func FoldClose(ap, apT *AllPairs, g *Graph, departed []NodeID, workers int, sc *CloseScratch) (repaired int) {
+	n := ap.N
+	if apT.N != n {
+		panic("graph: FoldClose on mismatched structures")
+	}
+	if g.NumNodes() != n {
+		panic("graph: FoldClose structure does not cover the graph")
+	}
+	if len(departed) == 0 {
+		return 0
+	}
+	for _, v := range departed {
+		if int(v) < 0 || int(v) >= n {
+			panic("graph: FoldClose departed node out of range")
+		}
+		if g.OutDegree(v) != 0 || g.InDegree(v) != 0 {
+			panic("graph: FoldClose departed node still has channels")
+		}
+	}
+	if sc == nil {
+		sc = &CloseScratch{}
+	}
+	if sc.pool == nil || sc.poolFor != workers {
+		sc.pool = par.NewPool(workers)
+		sc.poolFor = workers
+	}
+	k := len(departed)
+	w := sc.pool.Workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	sc.reserve(k, n, w)
+
+	// Save the departed rows and columns while the planes still hold the
+	// pre-departure values, and mark the identifiers.
+	for ki, v := range departed {
+		vi := int(v)
+		sc.gone[vi] = true
+		copy(sc.colD[ki*n:ki*n+n], apT.DistRow(vi))
+		copy(sc.colSig[ki*n:ki*n+n], apT.SigmaRow(vi))
+		copy(sc.rowSig[ki*n:ki*n+n], ap.SigmaRow(vi))
+		row := ap.DistRow(vi)
+		r32 := sc.row32[ki*n : ki*n+n]
+		for y, d := range row {
+			r32[y] = cell32(d)
+		}
+	}
+
+	// Direct writes: a departed node is isolated, so its row and column
+	// in both planes are Inf16/0 with the self pair 0/1. Done
+	// sequentially before the sharded phase — the repair BFS rewrites
+	// some of these cells with the same values, which is only benign
+	// because these writes happen-before the fan-out. Clearing the
+	// departed columns first also makes the detection scan skip departed
+	// targets for free: a cleared cell is Inf16, which no finite
+	// through-sum can equal.
+	for _, v := range departed {
+		vi := int(v)
+		clearRow(ap, vi, n)
+		clearRow(apT, vi, n)
+		clearCol(ap, vi, n)
+		clearCol(apT, vi, n)
+	}
+	for _, v := range departed {
+		vi := int(v)
+		ap.Dist[vi*ap.Stride+vi] = 0
+		ap.Sigma[vi*ap.Stride+vi] = 1
+		apT.Dist[vi*apT.Stride+vi] = 0
+		apT.Sigma[vi*apT.Stride+vi] = 1
+	}
+
+	// Detection + repair, row-sharded. The CSR view is ensured before
+	// the fan-out so workers never race on the cache build.
+	c := g.ensureCSR()
+	if w == 1 {
+		// Inline fast path: no pool dispatch, no closure — the
+		// steady-state single-threaded fold allocates nothing.
+		sc.repairs[0] = sc.foldCloseRows(ap, apT, g, c, k, n, 0, n, &sc.blocks[0])
+	} else {
+		block := (n + w - 1) / w
+		sc.pool.ForEachBlock(n, func(lo, hi int) {
+			b := lo / block
+			sc.repairs[b] = sc.foldCloseRows(ap, apT, g, c, k, n, lo, hi, &sc.blocks[b])
+		})
+	}
+	for _, r := range sc.repairs[:w] {
+		repaired += r
+	}
+	return repaired
+}
+
+// foldCloseRows runs detection and repair over the source rows [lo, hi):
+// a row is affected when some old shortest path from it routed through a
+// departed node. Rows that collide with exactly one departed node repair
+// their counts by subtraction in place and settle their exhausted pairs
+// by the E-relaxation; rows whose exhausted set outgrows maxCloseRelax
+// or that collide with several departed nodes are re-derived by the
+// rebuild's own BFS kernel. Returns the
+// number of rows repaired by BFS. Workers write only their own rows of
+// ap and their own columns of apT, so shards never overlap.
+func (sc *CloseScratch) foldCloseRows(ap, apT *AllPairs, g *Graph, c *csrAdj, k, n, lo, hi int, bl *closeBlock) (repaired int) {
+	sa, st := ap.Stride, apT.Stride
+	for x := lo; x < hi; x++ {
+		if sc.gone[x] {
+			continue
+		}
+		rowD := ap.Dist[x*sa : x*sa+n]
+		// Which departed nodes carried shortest paths from x? One
+		// colliding target per departed node is enough to classify.
+		hit, multi := -1, false
+		for ki := 0; ki < k && !multi; ki++ {
+			dxv := sc.colD[ki*n+x]
+			if dxv == Inf16 {
+				continue
+			}
+			base := int32(dxv)
+			r32 := sc.row32[ki*n : ki*n+n]
+			for y, d := range rowD {
+				// Departed targets were cleared to Inf16 above, so they
+				// can never satisfy the equality; y == x has d == 0
+				// against a through-sum ≥ 2.
+				if base+r32[y] == cell32(d) {
+					multi = hit >= 0
+					hit = ki
+					break
+				}
+			}
+		}
+		if hit < 0 {
+			continue
+		}
+		rowS := ap.Sigma[x*sa : x*sa+n]
+		rebfs := multi
+		if !rebfs {
+			// Exactly one departed node v collides. A colliding pair's
+			// distance survives unless v carried all of its shortest
+			// paths, and its count drops by exactly the paths through v:
+			// σ'(x,y) = σ(x,y) − σ(x,v)·σ(v,y). The subtraction is
+			// applied optimistically; pairs that exhaust to zero lost
+			// every path through v, so their distances grew — they are
+			// collected and settled by the E-relaxation below, unless
+			// the set outgrows maxCloseRelax and the row falls through
+			// to the BFS, which rewrites every cell the sweep touched.
+			base := int32(sc.colD[hit*n+x])
+			r32 := sc.row32[hit*n : hit*n+n]
+			sx := sc.colSig[hit*n+x]
+			sig := sc.rowSig[hit*n : hit*n+n]
+			exh := bl.exh[:0]
+			for y, d := range rowD {
+				if base+r32[y] == cell32(d) {
+					s := rowS[y] - sx*sig[y]
+					if s == 0 {
+						if len(exh) == maxCloseRelax {
+							rebfs = true
+							break
+						}
+						exh = append(exh, int32(y))
+						continue
+					}
+					rowS[y] = s
+					apT.Sigma[y*st+x] = s
+				}
+			}
+			if !rebfs && len(exh) > 0 {
+				closeRelaxRow(g, apT, x, rowD, rowS, exh, bl.mark)
+			}
+		}
+		if !rebfs {
+			continue
+		}
+		g.bfsCountsCSR(c, NodeID(x), rowD, rowS, &bl.bfs)
+		for y := 0; y < n; y++ {
+			apT.Dist[y*st+x] = rowD[y]
+			apT.Sigma[y*st+x] = rowS[y]
+		}
+		repaired++
+	}
+	return repaired
+}
+
+// closeRelaxRow settles the exhausted targets of source row x — the
+// pairs that lost every shortest path to the single departed node — by
+// Dijkstra-style relaxation over the live in-arcs. Every other cell of
+// the row is already final, so each target obeys the BFS identity
+// d'(x,y) = 1 + min over in-arcs (w,y) of d'(x,w); settling the minimum
+// candidate first makes the scan sound even when exhausted targets
+// chain through each other, and recounting σ as the per-arc sum over
+// predecessors at d'−1 mirrors bfsCountsCSR arc for arc (exact integer
+// sums, so the grouping does not matter). Targets with no finite
+// candidate are cut off entirely and zero out, exactly as a fresh BFS
+// would leave them. mark must be all-false on entry and is restored on
+// return.
+func closeRelaxRow(g *Graph, apT *AllPairs, x int, rowD []uint16, rowS []float64, exh []int32, mark []bool) {
+	st := apT.Stride
+	for _, y := range exh {
+		mark[y] = true
+	}
+	for remaining := len(exh); remaining > 0; remaining-- {
+		best, bestD := int32(-1), unreach32
+		for _, y := range exh {
+			if !mark[y] {
+				continue
+			}
+			cand := unreach32
+			for _, id := range g.in[y] {
+				w := g.edges[id].From
+				// An unsettled sibling still holds its stale pre-repair
+				// cell and is no closer than the minimum candidate, so
+				// it must not (and cannot) improve it.
+				if dw := rowD[w]; dw != Inf16 && !mark[w] {
+					if c := int32(dw) + 1; c < cand {
+						cand = c
+					}
+				}
+			}
+			if cand < bestD {
+				bestD, best = cand, y
+			}
+		}
+		if best < 0 {
+			// No unsettled target has a finite candidate: the rest of
+			// the batch is unreachable in the post-departure graph.
+			for _, y := range exh {
+				if mark[y] {
+					mark[y] = false
+					rowD[y] = Inf16
+					rowS[y] = 0
+					apT.Dist[int(y)*st+x] = Inf16
+					apT.Sigma[int(y)*st+x] = 0
+				}
+			}
+			return
+		}
+		if bestD > maxDist32 {
+			panic("graph: distance plane overflow (diameter exceeds the uint16 envelope)")
+		}
+		var s float64
+		for _, id := range g.in[best] {
+			// Unsettled siblings still hold stale pre-repair cells and
+			// are provably not at bestD−1, so the mark excludes them;
+			// settled ties sit at bestD and fail the distance test, and
+			// Inf16 promotes past maxDist32 and can never match.
+			if w := g.edges[id].From; !mark[w] && int32(rowD[w])+1 == bestD {
+				s += rowS[w]
+			}
+		}
+		mark[best] = false
+		rowD[best] = uint16(bestD)
+		rowS[best] = s
+		apT.Dist[int(best)*st+x] = uint16(bestD)
+		apT.Sigma[int(best)*st+x] = s
+	}
+}

@@ -1,0 +1,203 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// isolate closes every channel incident to v, the graph half of a node
+// departure.
+func isolate(t *testing.T, g *Graph, v NodeID) {
+	t.Helper()
+	for _, w := range g.Neighbors(v) {
+		for g.HasEdgeBetween(v, w) || g.HasEdgeBetween(w, v) {
+			if err := g.RemoveChannel(v, w); err != nil {
+				t.Fatalf("RemoveChannel(%d,%d): %v", v, w, err)
+			}
+		}
+	}
+}
+
+// TestFoldCloseMatchesRebuild is the decremental differential: random
+// histories of batched departures interleaved with arrivals, the folded
+// planes compared cell-for-cell (distances and path counts) against a
+// from-scratch rebuild after every fold, across worker counts.
+func TestFoldCloseMatchesRebuild(t *testing.T) {
+	for _, start := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"path", Path(9, 1)},
+		{"star", Star(8, 1)},
+		{"sparse-er", ErdosRenyi(12, 0.2, 1, rand.New(rand.NewSource(3)))}, // usually disconnected
+		{"ba", BarabasiAlbert(14, 2, 1, rand.New(rand.NewSource(4)))},
+	} {
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/w%d", start.name, workers), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(23))
+				g := start.g.Clone()
+				ap := g.AllPairsBFS()
+				apT := ap.Transposed()
+				sc := &CloseScratch{}
+				for round := 0; round < 8; round++ {
+					// Depart a batch of 1..3 distinct nodes (some may
+					// already be isolated — those fold for free).
+					n := g.NumNodes()
+					batch := []NodeID{}
+					for len(batch) < 1+rng.Intn(3) {
+						v := NodeID(rng.Intn(n))
+						dup := false
+						for _, b := range batch {
+							dup = dup || b == v
+						}
+						if !dup {
+							batch = append(batch, v)
+						}
+					}
+					for _, v := range batch {
+						isolate(t, g, v)
+					}
+					FoldClose(ap, apT, g, batch, workers, sc)
+					tag := fmt.Sprintf("round %d close %v", round, batch)
+					requireAllPairsEqual(t, tag, g, ap, apT)
+
+					// Interleave an arrival so later folds run against
+					// extended (Stride > N) planes.
+					peers := map[NodeID]int{}
+					for c := rng.Intn(3); c > 0; c-- {
+						peers[NodeID(rng.Intn(n))]++
+					}
+					inDist, inSigma, outDist, outSigma := joinAggregates(ap, apT, peers)
+					u := g.AddNode()
+					for v, mult := range peers {
+						for i := 0; i < mult; i++ {
+							mustChannel(g, u, v, 1, 1)
+						}
+					}
+					ExtendWithNode(ap, apT, int(u), inDist, inSigma, outDist, outSigma)
+					requireAllPairsEqual(t, tag+" then arrival", g, ap, apT)
+				}
+			})
+		}
+	}
+}
+
+// TestFoldCloseRepairTiers pins the sparsity claims the fold's speedup
+// rests on, tier by tier: a departing endpoint is interior to no
+// shortest path, so zero rows pay anything; a cut vertex strands pairs
+// on both sides, but the E-relaxation settles the small stranded sets
+// without a single BFS; only a departing hub (exhausted sets beyond
+// maxCloseRelax) or a multi-node batch whose rows collide with several
+// departures falls back to the BFS kernel.
+func TestFoldCloseRepairTiers(t *testing.T) {
+	g := Path(6, 1)
+	ap := g.AllPairsBFS()
+	apT := ap.Transposed()
+	isolate(t, g, 5)
+	if rep := FoldClose(ap, apT, g, []NodeID{5}, 1, nil); rep != 0 {
+		t.Fatalf("leaf departure repaired %d rows by BFS, want 0", rep)
+	}
+	requireAllPairsEqual(t, "leaf", g, ap, apT)
+
+	// A cut vertex disconnects the halves; every surviving row is
+	// affected, yet each row's exhausted set (the far half, 2 targets)
+	// settles by relaxation — the BFS count stays zero.
+	g2 := Path(5, 1)
+	ap2 := g2.AllPairsBFS()
+	apT2 := ap2.Transposed()
+	isolate(t, g2, 2)
+	if rep := FoldClose(ap2, apT2, g2, []NodeID{2}, 1, nil); rep != 0 {
+		t.Fatalf("cut-vertex departure repaired %d rows by BFS, want relaxation only", rep)
+	}
+	requireAllPairsEqual(t, "cut", g2, ap2, apT2)
+
+	// A departing hub strands every leaf pair at once: 39 exhausted
+	// targets per leaf row overflows maxCloseRelax and all 40 surviving
+	// rows take the BFS fallback.
+	g3 := Star(40, 1)
+	ap3 := g3.AllPairsBFS()
+	apT3 := ap3.Transposed()
+	isolate(t, g3, 0)
+	if rep := FoldClose(ap3, apT3, g3, []NodeID{0}, 1, nil); rep != 40 {
+		t.Fatalf("hub departure repaired %d rows by BFS, want 40", rep)
+	}
+	requireAllPairsEqual(t, "hub", g3, ap3, apT3)
+
+	// A batch whose rows collide with two departures at once cannot
+	// subtract (paths may thread both), so the surviving rows BFS.
+	g4 := Path(5, 1)
+	ap4 := g4.AllPairsBFS()
+	apT4 := ap4.Transposed()
+	isolate(t, g4, 1)
+	isolate(t, g4, 3)
+	if rep := FoldClose(ap4, apT4, g4, []NodeID{1, 3}, 1, nil); rep != 3 {
+		t.Fatalf("batch departure repaired %d rows by BFS, want 3", rep)
+	}
+	requireAllPairsEqual(t, "batch", g4, ap4, apT4)
+}
+
+// TestFoldClosePanicsOnConnected pins the contract: folding a node that
+// still has channels is a caller bug, not silent corruption.
+func TestFoldClosePanicsOnConnected(t *testing.T) {
+	g := Path(4, 1)
+	ap := g.AllPairsBFS()
+	apT := ap.Transposed()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FoldClose of a connected node did not panic")
+		}
+	}()
+	FoldClose(ap, apT, g, []NodeID{1}, 1, nil)
+}
+
+// TestFoldCloseAllocFree pins the steady-state churn cycle at zero
+// allocations per (depart, fold, reattach, fold) round with a warmed
+// scratch and a single worker: the fold repairs in place — no Reserve,
+// no re-layout, no CSR re-bake — so a long-running session absorbs
+// departures without garbage. The reattach leg drives the planes back
+// to the same state every cycle via the extend kernels, with the
+// channel additions rolled back through the Mark watermark so the edge
+// table does not grow across cycles.
+func TestFoldCloseAllocFree(t *testing.T) {
+	g := Path(17, 1)
+	v := NodeID(8) // middle of the path: every cross-half row repairs
+	ap := g.AllPairsBFS()
+	apT := ap.Transposed()
+	n := g.NumNodes()
+
+	sc := &CloseScratch{}
+	pend := []NodeID{v}
+	isolate(t, g, v)
+	FoldClose(ap, apT, g, pend, 1, sc) // also re-bakes the torn CSR once
+
+	inD := make([]uint16, n)
+	inS := make([]float64, n)
+	outD := make([]uint16, n)
+	outS := make([]float64, n)
+	var out32 []int32
+	peers := []NodeID{7, 9}
+	cycle := func() {
+		mark := g.Mark()
+		for x := 0; x < n; x++ {
+			inD[x], inS[x] = Inf16, 0
+			outD[x], outS[x] = Inf16, 0
+		}
+		for _, w := range peers {
+			mustChannel(g, v, w, 1, 1)
+			foldAggregateCol(inD, inS, apT.DistRow(int(w)), apT.SigmaRow(int(w)), 1)
+			foldAggregateCol(outD, outS, ap.DistRow(int(w)), ap.SigmaRow(int(w)), 1)
+		}
+		out32 = promoteDist(outD, out32)
+		extendPairsRowsPromoted(ap, apT, inD, inS, out32, outS, 0, n)
+		extendOwnRowCol(ap, apT, int(v), inD, inS, outD, outS)
+		g.Rollback(mark)
+		FoldClose(ap, apT, g, pend, 1, sc)
+	}
+	cycle() // warm every buffer
+	requireAllPairsEqual(t, "steady state", g, ap, apT)
+	if allocs := testing.AllocsPerRun(50, cycle); allocs != 0 {
+		t.Fatalf("close-fold-reattach cycle allocates %v per run, want 0", allocs)
+	}
+	requireAllPairsEqual(t, "after alloc runs", g, ap, apT)
+}

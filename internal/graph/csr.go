@@ -50,7 +50,9 @@ type csrAdj struct {
 	Neighbors []int32
 	EdgeIDs   []int32
 	// watermark is len(g.edges) at build time: every edge with id <
-	// watermark is baked, everything newer lives in extra.
+	// watermark is baked, everything newer lives in extra. -1 marks a
+	// torn-down snapshot kept only for its buffers (csrRemoveEdge of a
+	// baked edge): the next ensureCSR re-bakes into it in place.
 	watermark int
 	// nodes is the node count covered by Offsets.
 	nodes int
@@ -65,37 +67,47 @@ type csrAdj struct {
 // holding the returned view.
 func (g *Graph) ensureCSR() *csrAdj {
 	c := g.csr
-	if c != nil && c.extraCount*4 <= len(c.Neighbors)+64 {
+	if c != nil && c.watermark >= 0 && c.extraCount*4 <= len(c.Neighbors)+64 {
 		return c
 	}
 	return g.rebuildCSR()
 }
 
-// rebuildCSR bakes the stable live adjacency into a fresh snapshot.
-// Edges added by an in-flight probe (at or above the outstanding Mark
-// floor) stay in the append regions, so the probe's Rollback pops them
-// instead of tearing the snapshot down.
+// rebuildCSR bakes the stable live adjacency into a snapshot. Edges
+// added by an in-flight probe (at or above the outstanding Mark floor)
+// stay in the append regions, so the probe's Rollback pops them instead
+// of tearing the snapshot down. The prior snapshot's buffers — including
+// a torn-down one kept by csrRemoveEdge — are reused in place when large
+// enough, so the churn steady state (close channels, fold, re-bake)
+// allocates nothing; any previously returned view is already dead by the
+// ensureCSR contract when a rebuild can run.
 func (g *Graph) rebuildCSR() *csrAdj {
 	n := len(g.out)
 	wm := len(g.edges)
 	if g.markFloor >= 0 && g.markFloor < wm {
 		wm = g.markFloor
 	}
-	c := &csrAdj{
-		Offsets:   make([]int32, n+1),
-		watermark: wm,
-		nodes:     n,
+	c := g.csr
+	if c == nil {
+		c = &csrAdj{}
 	}
-	// Reuse the extra regions' backing arrays across rebuilds: the
-	// append/pop steady state then stays allocation-free.
-	if g.csr != nil && len(g.csr.extra) >= n {
-		c.extra = g.csr.extra[:n]
+	c.watermark = wm
+	c.nodes = n
+	if cap(c.Offsets) >= n+1 {
+		c.Offsets = c.Offsets[:n+1]
+		c.Offsets[0] = 0
+	} else {
+		c.Offsets = make([]int32, n+1)
+	}
+	if cap(c.extra) >= n {
+		c.extra = c.extra[:n]
 		for i := range c.extra {
 			c.extra[i] = c.extra[i][:0]
 		}
 	} else {
 		c.extra = make([][]csrEdge, n)
 	}
+	c.extraCount = 0
 	total := 0
 	for v := range g.out {
 		for _, id := range g.out[v] {
@@ -105,8 +117,13 @@ func (g *Graph) rebuildCSR() *csrAdj {
 		}
 		c.Offsets[v+1] = int32(total)
 	}
-	c.Neighbors = make([]int32, total)
-	c.EdgeIDs = make([]int32, total)
+	if cap(c.Neighbors) >= total {
+		c.Neighbors = c.Neighbors[:total]
+		c.EdgeIDs = c.EdgeIDs[:total]
+	} else {
+		c.Neighbors = make([]int32, total)
+		c.EdgeIDs = make([]int32, total)
+	}
 	i := 0
 	for v := range g.out {
 		for _, id := range g.out[v] {
@@ -152,14 +169,17 @@ func (g *Graph) csrAddEdge(from, to NodeID, id EdgeID) {
 
 // csrRemoveEdge reconciles the cache with an edge removal: post-watermark
 // edges pop out of their append region, pre-watermark removals tear the
-// snapshot down (the next traversal rebuilds).
+// snapshot down (the next traversal rebuilds into its retained buffers).
 func (g *Graph) csrRemoveEdge(e Edge) {
 	c := g.csr
 	if c == nil {
 		return
 	}
+	if c.watermark < 0 {
+		return // already torn down, kept only for its buffers
+	}
 	if int(e.ID) < c.watermark {
-		g.csr = nil
+		c.watermark = -1
 		return
 	}
 	// Rollback removes newest-first, so scan the region from the tail.
@@ -173,7 +193,7 @@ func (g *Graph) csrRemoveEdge(e Edge) {
 		}
 	}
 	// An appended edge that is not in its region means the cache has
-	// drifted; fail safe by invalidating.
-	g.csr = nil
+	// drifted; fail safe by invalidating (buffers retained).
+	c.watermark = -1
 }
 

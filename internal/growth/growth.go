@@ -12,7 +12,8 @@
 // graph.ExtendWithNode) instead of rebuilt (O(n·(n+m)) BFS), and the
 // demand and λ̂ snapshots are refreshed on an amortized cadence. Churn
 // (departures) and best-response rewiring for sampled nodes ride on the
-// same session, paying the rebuild price only when channels close.
+// same session, repaired by the decremental close fold
+// (graph.FoldClose) when channels close.
 //
 // Determinism contract: a Run is a pure function of (Config, rng stream).
 // Every strategy the engine commits is bit-identical to what a
@@ -96,7 +97,8 @@ type Config struct {
 	Model  core.RevenueModel // pricing model (zero = fixed-rate, Algorithm 1's setting)
 
 	// Parallelism bounds the workers of the session's substrate passes —
-	// the row-sharded all-pairs rebuild after churn and the commit fold.
+	// the row-sharded decremental close fold after churn and the commit
+	// fold.
 	// Results are bit-identical at every setting (each row is an
 	// independent pure function of the substrate), so this is a
 	// wall-clock knob only: 0 (the zero value) keeps the substrate
@@ -256,7 +258,7 @@ type backend interface {
 	Commit(s core.Strategy) (graph.NodeID, error)
 	Reattach(v graph.NodeID, s core.Strategy) error
 	// Close removes every channel of v and restores internal coherence
-	// (the session rebuilds its all-pairs structure).
+	// (the session folds the departure into its all-pairs structure).
 	Close(v graph.NodeID) error
 	// AllPairs exposes the live structure for metric scans; the oracle
 	// returns nil and skips metrics.
@@ -315,11 +317,16 @@ func (b *sessionBackend) Close(v graph.NodeID) error {
 	}
 	// An already-isolated departer (a joiner that never afforded a
 	// channel, or a node whose peers all left) closes nothing: the
-	// substrate is untouched, so the O(n·(n+m)) rebuild is skipped —
-	// vacuously bit-identical, since rebuilding an unchanged graph
-	// reproduces the unchanged structure.
+	// substrate is untouched and the session stays clean — vacuously
+	// bit-identical, since repairing an unchanged graph reproduces the
+	// unchanged structure. A real departure is absorbed by the
+	// decremental fold (bit-identical to the Rebuild this path used to
+	// pay, per the FoldClose contract, but touching only the affected
+	// source rows); the loop closes at most one node between pricings,
+	// so each fold here is a batch of one — callers that close several
+	// nodes directly on the session amortize one fold per batch.
 	if closed > 0 {
-		b.gs.Rebuild()
+		b.gs.FoldClose()
 	}
 	return nil
 }

@@ -250,9 +250,10 @@ func TestGrowthConfigValidation(t *testing.T) {
 	}
 }
 
-// TestBackendCloseIsolatedSkipsRebuild pins the churn fast path: the
-// engine backend must not pay an all-pairs rebuild for a departer that
-// has no channels left to close.
+// TestBackendCloseIsolatedSkipsRebuild pins the churn fast paths: the
+// engine backend must not pay anything for a departer that has no
+// channels left to close, and a real departure must be absorbed by the
+// decremental fold, never a full rebuild.
 func TestBackendCloseIsolatedSkipsRebuild(t *testing.T) {
 	cfg := DefaultConfig()
 	g, err := BuildSeed(SeedStar, 5, 0, 1, rand.New(rand.NewSource(1)))
@@ -271,14 +272,19 @@ func TestBackendCloseIsolatedSkipsRebuild(t *testing.T) {
 	if err := b.Close(u); err != nil {
 		t.Fatalf("Close(isolated): %v", err)
 	}
-	if gs.RebuildCount() != 0 {
-		t.Fatalf("isolated close paid %d rebuilds, want 0", gs.RebuildCount())
+	if gs.RebuildCount() != 0 || gs.FoldCount() != 0 {
+		t.Fatalf("isolated close paid %d rebuilds + %d folds, want 0 + 0",
+			gs.RebuildCount(), gs.FoldCount())
 	}
 	if err := b.Close(1); err != nil { // a leaf of the star: real channels
 		t.Fatalf("Close(leaf): %v", err)
 	}
-	if gs.RebuildCount() != 1 {
-		t.Fatalf("connected close paid %d rebuilds, want 1", gs.RebuildCount())
+	if gs.RebuildCount() != 0 || gs.FoldCount() != 1 {
+		t.Fatalf("connected close paid %d rebuilds + %d folds, want 0 rebuilds + 1 fold",
+			gs.RebuildCount(), gs.FoldCount())
+	}
+	if gs.Dirty() {
+		t.Fatal("session still dirty after the backend's close fold")
 	}
 }
 

@@ -59,11 +59,12 @@ type Document struct {
 
 // defaultPins are the benchmark families the CI regression gate tracks:
 // the per-probe delta, the growth engine's arrival series, the market
-// engine's tick series and the traffic engine's replay series at both
+// engine's tick series, the traffic engine's replay series at both
 // the n=2000 flagship and the n=10000 sparse-sampler scale (the 10k
 // entry is already covered by the prefix before it; it is pinned by
-// name so the scale rows can never silently drop out of the gate).
-var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick", "BenchmarkTrafficReplay", "BenchmarkTrafficReplay10k"}
+// name so the scale rows can never silently drop out of the gate), and
+// the decremental close fold the churn path prices departures with.
+var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick", "BenchmarkTrafficReplay", "BenchmarkTrafficReplay10k", "BenchmarkCloseFold"}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
