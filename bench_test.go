@@ -6,6 +6,7 @@ package lcg
 // library is built on.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +21,7 @@ import (
 	"github.com/lightning-creation-games/lcg/internal/growth"
 	"github.com/lightning-creation-games/lcg/internal/market"
 	"github.com/lightning-creation-games/lcg/internal/payment"
+	"github.com/lightning-creation-games/lcg/internal/serve"
 	"github.com/lightning-creation-games/lcg/internal/traffic"
 	"github.com/lightning-creation-games/lcg/internal/traffic2"
 	"github.com/lightning-creation-games/lcg/internal/txdist"
@@ -761,4 +763,93 @@ func BenchmarkTrafficReplay10k(b *testing.B) {
 			b.ReportMetric(float64(routed)*60e6/(float64(b.Elapsed().Microseconds())/float64(b.N)), "routed/min")
 		})
 	}
+}
+
+// BenchmarkServeQueries measures the serving session's price-join
+// throughput on an n=2000 BA substrate: once idle (the epoch never
+// moves) and once under deterministic commit load (every 16th query a
+// synthetic arrival commits and the epoch advances, so queries keep
+// re-reading a substrate that changes underneath them — the serving
+// deployment's steady state). Both variants quote against a fixed
+// 64-peer candidate list, the bounded-query shape a gateway sends.
+func BenchmarkServeQueries(b *testing.B) {
+	newLive := func(b *testing.B) *LiveSession {
+		ls, err := NewLiveSession(BarabasiAlbert(2000, 2, 10, 1), LiveConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ls
+	}
+	candidates := make([]graph.NodeID, 64)
+	for i := range candidates {
+		candidates[i] = graph.NodeID(i * 31 % 2000)
+	}
+	query := serve.PriceQuery{Budget: 6, Lock: 1, Candidates: candidates}
+	b.Run("idle", func(b *testing.B) {
+		s := newLive(b).Session()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.PriceJoin(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+	})
+	b.Run("commit-load", func(b *testing.B) {
+		s := newLive(b).Session()
+		seed := int64(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%16 == 15 {
+				if _, _, err := s.Tick(1, seed); err != nil {
+					b.Fatal(err)
+				}
+				seed++
+			}
+			if _, err := s.PriceJoin(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		if s.RebuildCount() != 0 {
+			b.Fatalf("commit load paid %d plane rebuilds", s.RebuildCount())
+		}
+	})
+}
+
+// BenchmarkCheckpointRestore measures the substrate checkpoint codec at
+// n=2000: streaming a session out and restoring it. Restore must never
+// pay an all-pairs rebuild — that is the entire point of shipping the
+// planes in the checkpoint — so the benchmark asserts RebuildCount
+// stays 0. Throughput is reported against the checkpoint's wire size.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	ls, err := NewLiveSession(BarabasiAlbert(2000, 2, 10, 1), LiveConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ls.SaveCheckpoint(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.Run("save", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			if err := ls.SaveCheckpoint(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			restored, err := LoadCheckpoint(bytes.NewReader(data), LiveConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if restored.Session().RebuildCount() != 0 {
+				b.Fatal("restore paid an all-pairs rebuild")
+			}
+		}
+	})
 }

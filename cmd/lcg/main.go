@@ -10,14 +10,18 @@
 //	lcg simulate    [flags]                                replay a Poisson workload
 //	lcg grow        [flags]                                grow a network by sequential arrivals
 //	lcg market      [flags]                                run a batch channel-market auction
+//	lcg serve       [flags]                                serve pricing queries over HTTP
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"github.com/lightning-creation-games/lcg"
 )
@@ -51,6 +55,8 @@ func run(args []string, w io.Writer) error {
 		return runGrow(args[1:], w)
 	case "market":
 		return runMarket(args[1:], w)
+	case "serve":
+		return runServe(args[1:], w)
 	case "network":
 		return runNetwork(args[1:], w)
 	case "help", "-h", "--help":
@@ -76,9 +82,43 @@ commands:
   dynamics    [flags]                    run best-response dynamics to an equilibrium
   grow        [flags]                    grow a network through sequential selfish arrivals
   market      [flags]                    run a batch channel-market auction over join bids
+  serve       [flags]                    serve pricing queries over HTTP with checkpoint/restore
   network     [flags]                    generate a topology and write it as JSON
 
 run 'lcg <command> -h' for command flags`)
+}
+
+// flagCheck is one validated integer flag: its name, the parsed value,
+// whether it passed, and what a valid value looks like.
+type flagCheck struct {
+	name  string
+	value int
+	ok    bool
+	want  string
+}
+
+// positive requires v > 0; zero and negative values are usage errors.
+func positive(name string, v int) flagCheck {
+	return flagCheck{name, v, v > 0, "a positive integer"}
+}
+
+// nonNegative requires v >= 0 — the convention for worker-count flags,
+// where 0 means "all cores".
+func nonNegative(name string, v int) flagCheck {
+	return flagCheck{name, v, v >= 0, "zero (auto) or a positive integer"}
+}
+
+// checkFlags validates parsed count/worker flags in one place: every
+// subcommand routes its integer flags through it, so a zero or negative
+// value fails with a usage error naming the flag instead of panicking
+// or silently misbehaving deep inside an engine.
+func checkFlags(checks ...flagCheck) error {
+	for _, c := range checks {
+		if !c.ok {
+			return fmt.Errorf("flag -%s: %d is invalid, want %s", c.name, c.value, c.want)
+		}
+	}
+	return nil
 }
 
 func runExperiments(args []string, w io.Writer) error {
@@ -88,6 +128,9 @@ func runExperiments(args []string, w io.Writer) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = all cores, 1 = serial); output is identical at any setting")
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFlags(nonNegative("parallel", *parallel)); err != nil {
 		return err
 	}
 	ids := fs.Args()
@@ -160,6 +203,9 @@ func runJoin(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := checkFlags(positive("n", *n)); err != nil {
+		return err
+	}
 	network, err := buildNetwork(*topology, *n, *seed)
 	if err != nil {
 		return err
@@ -222,6 +268,9 @@ func runStability(args []string, w io.Writer) error {
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFlags(positive("n", *n), positive("maxn", *maxN)); err != nil {
 		return err
 	}
 	params := lcg.GameParams{
@@ -291,6 +340,16 @@ func runSimulate(args []string, w io.Writer) error {
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFlags(
+		positive("n", *n),
+		positive("events", *events),
+		positive("shards", *shards),
+		nonNegative("parallel", *parallel),
+		nonNegative("rebalance", *rebalance),
+		nonNegative("top", *top),
+	); err != nil {
 		return err
 	}
 	network, err := buildNetwork(*topology, *n, *seed)
@@ -411,6 +470,9 @@ func runDynamics(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := checkFlags(positive("n", *n), positive("rounds", *rounds)); err != nil {
+		return err
+	}
 	start, err := buildNetwork(*topology, *n, *seed)
 	if err != nil {
 		return err
@@ -455,6 +517,16 @@ func runGrow(args []string, w io.Writer) error {
 	}
 	if *attach != "uniform" && *attach != "preferential" {
 		return fmt.Errorf("unknown attach process %q (uniform|preferential)", *attach)
+	}
+	if err := checkFlags(
+		positive("n", *seedSize),
+		positive("arrivals", *arrivals),
+		nonNegative("candidates", *candidates),
+		nonNegative("rewire-every", *rewireEvery),
+		nonNegative("rewire-count", *rewireCount),
+		nonNegative("epoch", *epochEvery),
+	); err != nil {
+		return err
 	}
 	report, err := lcg.Grow(lcg.GrowConfig{
 		Topology:     *topology,
@@ -513,6 +585,17 @@ func runMarket(args []string, w io.Writer) error {
 	if *attach != "uniform" && *attach != "preferential" {
 		return fmt.Errorf("unknown attach process %q (uniform|preferential)", *attach)
 	}
+	if err := checkFlags(
+		positive("n", *seedSize),
+		positive("ticks", *ticks),
+		positive("batch", *batch),
+		positive("rounds", *rounds),
+		nonNegative("candidates", *candidates),
+		positive("refresh", *refresh),
+		nonNegative("parallel", *parallel),
+	); err != nil {
+		return err
+	}
 	cfg := lcg.MarketConfig{
 		Topology:     *topology,
 		SeedSize:     *seedSize,
@@ -552,6 +635,93 @@ func runMarket(args []string, w io.Writer) error {
 	return nil
 }
 
+func runServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address for the HTTP API")
+		topology     = fs.String("topology", "ba", "seed network: star|path|circle|complete|ba|er (or file:<path>)")
+		n            = fs.Int("n", 50, "seed network size")
+		seed         = fs.Int64("seed", 1, "seed for random topologies")
+		s            = fs.Float64("s", 1, "modified-Zipf scale parameter")
+		uniform      = fs.Bool("uniform", false, "uniform transaction model instead of modified Zipf")
+		balance      = fs.Float64("balance", 1, "remote balance granted per committed channel")
+		parallel     = fs.Int("parallel", 0, "query/fold workers (0 = all cores)")
+		tick         = fs.Duration("tick", 0, "background synthetic-commit cadence (0 = no background load)")
+		tickArrivals = fs.Int("tick-arrivals", 1, "synthetic arrivals committed per background tick")
+		restore      = fs.String("restore", "", "restore the session from this checkpoint instead of building planes")
+		checkpoint   = fs.String("checkpoint", "", "write a checkpoint here on clean shutdown")
+		duration     = fs.Duration("duration", 0, "serve for this long, then exit cleanly (0 = until interrupted)")
+	)
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFlags(
+		positive("n", *n),
+		nonNegative("parallel", *parallel),
+		positive("tick-arrivals", *tickArrivals),
+	); err != nil {
+		return err
+	}
+	cfg := lcg.LiveConfig{
+		RemoteBalance: *balance,
+		Uniform:       *uniform,
+		ZipfS:         *s,
+		Parallelism:   *parallel,
+		TickArrivals:  *tickArrivals,
+	}
+	var ls *lcg.LiveSession
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			return err
+		}
+		ls, err = lcg.LoadCheckpoint(f, cfg)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "restored session from %s: %d nodes, epoch %d, %d plane rebuilds\n",
+			*restore, ls.Session().NumNodes(), ls.Epoch(), ls.Session().RebuildCount())
+	} else {
+		network, err := buildNetwork(*topology, *n, *seed)
+		if err != nil {
+			return err
+		}
+		ls, err = lcg.NewLiveSession(network, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if *duration > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+	} else {
+		ctx, cancel = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	}
+	defer cancel()
+	fmt.Fprintf(w, "serving %d nodes on %s (tick %v)\n", ls.Session().NumNodes(), *addr, *tick)
+	if err := ls.Serve(ctx, *addr, *tick); err != nil {
+		return err
+	}
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		if err != nil {
+			return err
+		}
+		if err := ls.SaveCheckpoint(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint written to %s (epoch %d)\n", *checkpoint, ls.Epoch())
+	}
+	return nil
+}
+
 func runNetwork(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("network", flag.ContinueOnError)
 	var (
@@ -562,6 +732,9 @@ func runNetwork(args []string, w io.Writer) error {
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFlags(positive("n", *n)); err != nil {
 		return err
 	}
 	network, err := buildNetwork(*topology, *n, *seed)

@@ -270,6 +270,67 @@ func TestNetworkCommandAndFileLoading(t *testing.T) {
 	}
 }
 
+func TestFlagValidationRejectsBadCounts(t *testing.T) {
+	cases := [][]string{
+		{"simulate", "-events", "0"},
+		{"simulate", "-events", "-5"},
+		{"simulate", "-shards", "0"},
+		{"simulate", "-shards", "-2"},
+		{"simulate", "-parallel", "-1"},
+		{"simulate", "-n", "0"},
+		{"experiments", "-parallel", "-2", "F1"},
+		{"join", "-n", "0"},
+		{"stability", "-n", "-1"},
+		{"stability", "-maxn", "0"},
+		{"dynamics", "-rounds", "0"},
+		{"grow", "-arrivals", "0"},
+		{"grow", "-n", "-3"},
+		{"grow", "-candidates", "-1"},
+		{"market", "-ticks", "0"},
+		{"market", "-batch", "-4"},
+		{"market", "-rounds", "0"},
+		{"market", "-refresh", "0"},
+		{"market", "-parallel", "-1"},
+		{"serve", "-n", "0"},
+		{"serve", "-parallel", "-1"},
+		{"serve", "-tick-arrivals", "0"},
+		{"network", "-n", "-1"},
+	}
+	for _, args := range cases {
+		_, err := runCLI(t, args...)
+		if err == nil || !strings.Contains(err.Error(), "flag -") {
+			t.Fatalf("%v: err = %v, want a usage error naming the flag", args, err)
+		}
+	}
+}
+
+func TestServeCommandLifecycleAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := dir + "/session.ckpt"
+	// A bounded serve run with background commit load, checkpointing on
+	// the way out.
+	out, err := runCLI(t, "serve", "-addr", "127.0.0.1:0", "-topology", "ba", "-n", "16",
+		"-tick", "20ms", "-duration", "250ms", "-checkpoint", ckpt)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if !strings.Contains(out, "serving 16 nodes") || !strings.Contains(out, "checkpoint written") {
+		t.Fatalf("serve output: %s", out)
+	}
+	// The checkpoint restores into a fresh serving session with no
+	// all-pairs rebuild.
+	out, err = runCLI(t, "serve", "-addr", "127.0.0.1:0", "-restore", ckpt, "-duration", "50ms")
+	if err != nil {
+		t.Fatalf("serve -restore: %v", err)
+	}
+	if !strings.Contains(out, "restored session from") || !strings.Contains(out, "0 plane rebuilds") {
+		t.Fatalf("restore output: %s", out)
+	}
+	if _, err := runCLI(t, "serve", "-restore", dir+"/missing.ckpt", "-duration", "10ms"); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}
+
 func TestNetworkCommandStdout(t *testing.T) {
 	out, err := runCLI(t, "network", "-topology", "star", "-n", "3")
 	if err != nil {

@@ -1,0 +1,415 @@
+// Package checkpoint is the binary substrate codec: it persists a grow
+// session's full working state — channel topology, demand and λ̂
+// snapshots, and the all-pairs planes — so a 10k-node session restores
+// in seconds instead of paying the O(n·(n+m)) all-pairs rebuild.
+//
+// Format (all integers little-endian):
+//
+//	magic   [8]byte  "LCGCKPT\x00"
+//	version uint32   (currently 1)
+//	nodes   uint32
+//	chans   uint32, then per channel in ChannelPairs order:
+//	        from uint32, to uint32, capA float64, capB float64
+//	remote  float64
+//	demand  rows uint32, per row: len uint32 + float64s;
+//	        then rates len uint32 + float64s
+//	lambda  count uint32, entries ascending by node:
+//	        node uint32 + rate float64
+//	departed count uint32 + node uint32 entries, strictly ascending —
+//	        the session's churn mask (departed nodes keep their
+//	        identifiers but leave candidate pools and demand)
+//	plane   n uint32, then n uint16-distance rows, then n float64-sigma
+//	        rows (the forward plane only — the transpose is a pure
+//	        permutation, rebuilt on load bit-identically)
+//	crc     uint32   IEEE CRC-32 of everything after the magic
+//
+// Floats travel as their IEEE-754 bit patterns, so a round-trip is
+// bit-identical — σ path counts included. Decoding is defensive: every
+// buffer grows with the bytes actually read, so a truncated or
+// corrupted input fails with a clean error after O(input) allocation,
+// never a panic and never an attacker-sized allocation.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// ErrBadCheckpoint reports a checkpoint stream that cannot be decoded:
+// wrong magic, unsupported version, truncation, CRC mismatch, or
+// internally inconsistent sections.
+var ErrBadCheckpoint = errors.New("checkpoint: invalid checkpoint data")
+
+const (
+	version = 1
+
+	// maxNodes bounds the node count a checkpoint may claim — far above
+	// the supported n=10k envelope, low enough that a corrupted header
+	// cannot demand a pathological plane allocation up front.
+	maxNodes = 1 << 22
+)
+
+var magic = [8]byte{'L', 'C', 'G', 'C', 'K', 'P', 'T', 0}
+
+// Snapshot is the decoded (or to-be-encoded) session state. Graph and
+// Plane are never nil after a successful Read; Demand may be empty
+// (zero rows) and Rates may be empty, mirroring a session before its
+// first refresh.
+type Snapshot struct {
+	Graph         *graph.Graph
+	RemoteBalance float64
+	Demand        *traffic.Demand
+	Rates         map[graph.NodeID]float64
+	// Departed lists nodes that left the network (strictly ascending);
+	// they stay in the substrate but out of candidate pools and demand
+	// masks.
+	Departed []graph.NodeID
+	// Plane is the forward all-pairs structure; its transpose is not
+	// stored (TransposedParallel reproduces it bit-identically).
+	Plane *graph.AllPairs
+}
+
+// Write encodes s to w. The graph must be channel-paired (every directed
+// edge has a reverse partner, true for all AddChannel-built substrates)
+// and the plane must cover exactly the graph's nodes.
+func Write(w io.Writer, s *Snapshot) error {
+	if s.Graph == nil || s.Plane == nil {
+		return fmt.Errorf("%w: nil graph or plane", ErrBadCheckpoint)
+	}
+	n := s.Graph.NumNodes()
+	if s.Plane.N != n {
+		return fmt.Errorf("%w: plane covers %d nodes, graph has %d", ErrBadCheckpoint, s.Plane.N, n)
+	}
+	pairs, unpaired := s.Graph.ChannelPairs()
+	if len(unpaired) > 0 {
+		return fmt.Errorf("%w: %d directed edges without a reverse partner", ErrBadCheckpoint, len(unpaired))
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	h := crc32.NewIEEE()
+	e := &encoder{w: io.MultiWriter(bw, h)}
+
+	e.u32(version)
+	e.u32(uint32(n))
+	e.u32(uint32(len(pairs)))
+	for _, pair := range pairs {
+		fwd, rev := pair[0], pair[1]
+		e.u32(uint32(fwd.From))
+		e.u32(uint32(fwd.To))
+		e.f64(fwd.Capacity)
+		e.f64(rev.Capacity)
+	}
+	e.f64(s.RemoteBalance)
+
+	d := s.Demand
+	if d == nil {
+		d = &traffic.Demand{}
+	}
+	e.u32(uint32(len(d.P)))
+	for _, row := range d.P {
+		e.u32(uint32(len(row)))
+		e.floats(row)
+	}
+	e.u32(uint32(len(d.Rates)))
+	e.floats(d.Rates)
+
+	e.u32(uint32(len(s.Rates)))
+	for _, v := range sortedNodes(s.Rates) {
+		e.u32(uint32(v))
+		e.f64(s.Rates[v])
+	}
+
+	for i := 1; i < len(s.Departed); i++ {
+		if s.Departed[i] <= s.Departed[i-1] {
+			return fmt.Errorf("%w: departed list not strictly ascending", ErrBadCheckpoint)
+		}
+	}
+	e.u32(uint32(len(s.Departed)))
+	for _, v := range s.Departed {
+		e.u32(uint32(v))
+	}
+
+	e.u32(uint32(n))
+	for r := 0; r < n; r++ {
+		e.dists(s.Plane.DistRow(r))
+	}
+	for r := 0; r < n; r++ {
+		e.floats(s.Plane.SigmaRow(r))
+	}
+	if e.err != nil {
+		return e.err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read decodes a checkpoint from r, verifying magic, version and CRC,
+// and rebuilding the graph through the validating AddChannel path (so a
+// checkpoint carrying non-finite capacities is rejected, not loaded).
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: short magic: %v", ErrBadCheckpoint, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadCheckpoint, m[:])
+	}
+	h := crc32.NewIEEE()
+	d := &decoder{r: br, h: h}
+
+	if v := d.u32(); d.err == nil && v != version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadCheckpoint, v, version)
+	}
+	nodes := d.u32()
+	if d.err == nil && nodes > maxNodes {
+		return nil, fmt.Errorf("%w: %d nodes exceeds the %d cap", ErrBadCheckpoint, nodes, maxNodes)
+	}
+	g := graph.New(int(nodes))
+	chans := d.u32()
+	for i := uint32(0); i < chans && d.err == nil; i++ {
+		from, to := d.u32(), d.u32()
+		capA, capB := d.f64(), d.f64()
+		if d.err != nil {
+			break
+		}
+		if _, _, err := g.AddChannel(graph.NodeID(from), graph.NodeID(to), capA, capB); err != nil {
+			return nil, fmt.Errorf("%w: channel %d: %v", ErrBadCheckpoint, i, err)
+		}
+	}
+	remote := d.f64()
+
+	rows := d.u32()
+	var p [][]float64
+	for i := uint32(0); i < rows && d.err == nil; i++ {
+		p = append(p, d.floats(int(d.u32())))
+	}
+	demand := &traffic.Demand{P: p, Rates: d.floats(int(d.u32()))}
+
+	count := d.u32()
+	rates := make(map[graph.NodeID]float64, min32(count, 1<<16))
+	prev := int64(-1)
+	for i := uint32(0); i < count && d.err == nil; i++ {
+		node := d.u32()
+		rate := d.f64()
+		if d.err != nil {
+			break
+		}
+		if int64(node) <= prev {
+			return nil, fmt.Errorf("%w: λ̂ entries not strictly ascending at node %d", ErrBadCheckpoint, node)
+		}
+		prev = int64(node)
+		rates[graph.NodeID(node)] = rate
+	}
+
+	depCount := d.u32()
+	var departed []graph.NodeID
+	prev = int64(-1)
+	for i := uint32(0); i < depCount && d.err == nil; i++ {
+		v := d.u32()
+		if d.err != nil {
+			break
+		}
+		if int64(v) <= prev || v >= nodes {
+			return nil, fmt.Errorf("%w: departed entry %d out of order or range", ErrBadCheckpoint, v)
+		}
+		prev = int64(v)
+		departed = append(departed, graph.NodeID(v))
+	}
+
+	pn := d.u32()
+	if d.err == nil && pn != nodes {
+		return nil, fmt.Errorf("%w: plane covers %d nodes, graph has %d", ErrBadCheckpoint, pn, nodes)
+	}
+	n := int(nodes)
+	ap := &graph.AllPairs{N: n, Stride: n}
+	for r := 0; r < n && d.err == nil; r++ {
+		ap.Dist = append(ap.Dist, d.dists(n)...)
+	}
+	for r := 0; r < n && d.err == nil; r++ {
+		ap.Sigma = append(ap.Sigma, d.floats(n)...)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, d.err)
+	}
+
+	sum := h.Sum32()
+	var stored uint32
+	if err := binary.Read(br, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("%w: short CRC trailer: %v", ErrBadCheckpoint, err)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("%w: CRC mismatch: stored %08x, computed %08x", ErrBadCheckpoint, stored, sum)
+	}
+	return &Snapshot{Graph: g, RemoteBalance: remote, Demand: demand, Rates: rates, Departed: departed, Plane: ap}, nil
+}
+
+// encoder writes fixed-width little-endian primitives through one
+// reusable scratch buffer, remembering the first error.
+type encoder struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (e *encoder) scratch(n int) []byte {
+	if cap(e.buf) < n {
+		e.buf = make([]byte, n)
+	}
+	return e.buf[:n]
+}
+
+func (e *encoder) write(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) u32(v uint32) {
+	b := e.scratch(4)
+	binary.LittleEndian.PutUint32(b, v)
+	e.write(b)
+}
+
+func (e *encoder) f64(v float64) {
+	b := e.scratch(8)
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+	e.write(b)
+}
+
+func (e *encoder) floats(vals []float64) {
+	b := e.scratch(8 * len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	e.write(b)
+}
+
+func (e *encoder) dists(vals []uint16) {
+	b := e.scratch(2 * len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint16(b[2*i:], v)
+	}
+	e.write(b)
+}
+
+// decoder reads little-endian primitives while feeding every byte into
+// the running CRC, remembering the first error. Bulk reads allocate in
+// bounded chunks so a corrupted length cannot demand memory beyond the
+// bytes actually present.
+type decoder struct {
+	r   io.Reader
+	h   hash.Hash32
+	buf []byte
+	err error
+}
+
+// chunkFloats bounds one bulk-read allocation (64 KiB of float64s).
+const chunkFloats = 8192
+
+func (d *decoder) read(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if cap(d.buf) < n {
+		d.buf = make([]byte, n)
+	}
+	b := d.buf[:n]
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = fmt.Errorf("truncated: %v", err)
+		return nil
+	}
+	d.h.Write(b)
+	return b
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.read(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) f64() float64 {
+	b := d.read(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (d *decoder) floats(n int) []float64 {
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	var out []float64
+	for n > 0 {
+		c := n
+		if c > chunkFloats {
+			c = chunkFloats
+		}
+		b := d.read(8 * c)
+		if b == nil {
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+		n -= c
+	}
+	return out
+}
+
+func (d *decoder) dists(n int) []uint16 {
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	var out []uint16
+	for n > 0 {
+		c := n
+		if c > 4*chunkFloats {
+			c = 4 * chunkFloats
+		}
+		b := d.read(2 * c)
+		if b == nil {
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, binary.LittleEndian.Uint16(b[2*i:]))
+		}
+		n -= c
+	}
+	return out
+}
+
+func sortedNodes(m map[graph.NodeID]float64) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func min32(a uint32, b int) int {
+	if int(a) < b {
+		return int(a)
+	}
+	return b
+}

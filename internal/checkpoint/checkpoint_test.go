@@ -1,0 +1,263 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// buildSnapshot assembles a deliberately lumpy fixture: an irregular
+// channel-built graph, a demand matrix that lags the substrate, a
+// partial λ̂ table, and the forward plane — the shapes the serve layer
+// actually checkpoints.
+func buildSnapshot(t testing.TB, n int, seed int64) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		peer := graph.NodeID(rng.Intn(v))
+		if _, _, err := g.AddChannel(graph.NodeID(v), peer, 1+rng.Float64(), rng.Float64()); err != nil {
+			t.Fatalf("AddChannel: %v", err)
+		}
+		if rng.Intn(3) == 0 {
+			extra := graph.NodeID(rng.Intn(v))
+			if extra != peer {
+				if _, _, err := g.AddChannel(graph.NodeID(v), extra, rng.Float64(), 2); err != nil {
+					t.Fatalf("AddChannel: %v", err)
+				}
+			}
+		}
+	}
+	demand, err := traffic.NewUniformDemand(g, txdist.ModifiedZipf{S: 1}, float64(n))
+	if err != nil {
+		t.Fatalf("NewUniformDemand: %v", err)
+	}
+	rates := map[graph.NodeID]float64{}
+	for v := 0; v < n; v += 2 {
+		rates[graph.NodeID(v)] = rng.Float64() * 3
+	}
+	var departed []graph.NodeID
+	if n > 4 {
+		departed = []graph.NodeID{1, graph.NodeID(n - 2)}
+	}
+	return &Snapshot{
+		Graph:         g,
+		RemoteBalance: 1.5,
+		Demand:        demand,
+		Rates:         rates,
+		Departed:      departed,
+		Plane:         g.AllPairsBFS(),
+	}
+}
+
+func encode(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func requireSameSnapshot(t *testing.T, got, want *Snapshot) {
+	t.Helper()
+	if got.Graph.NumNodes() != want.Graph.NumNodes() || got.Graph.NumChannels() != want.Graph.NumChannels() {
+		t.Fatalf("graph shape %d/%d, want %d/%d",
+			got.Graph.NumNodes(), got.Graph.NumChannels(), want.Graph.NumNodes(), want.Graph.NumChannels())
+	}
+	gp, gu := got.Graph.ChannelPairs()
+	wp, wu := want.Graph.ChannelPairs()
+	if len(gu) != 0 || len(wu) != 0 || len(gp) != len(wp) {
+		t.Fatalf("channel pairing diverged: %d/%d pairs, %d/%d unpaired", len(gp), len(wp), len(gu), len(wu))
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("channel %d: %+v, want %+v", i, gp[i], wp[i])
+		}
+	}
+	if got.RemoteBalance != want.RemoteBalance {
+		t.Fatalf("remote balance %v, want %v", got.RemoteBalance, want.RemoteBalance)
+	}
+	if len(got.Demand.P) != len(want.Demand.P) || len(got.Demand.Rates) != len(want.Demand.Rates) {
+		t.Fatalf("demand shape %d/%d, want %d/%d",
+			len(got.Demand.P), len(got.Demand.Rates), len(want.Demand.P), len(want.Demand.Rates))
+	}
+	for s := range want.Demand.P {
+		if len(got.Demand.P[s]) != len(want.Demand.P[s]) {
+			t.Fatalf("demand row %d length %d, want %d", s, len(got.Demand.P[s]), len(want.Demand.P[s]))
+		}
+		for r := range want.Demand.P[s] {
+			if got.Demand.P[s][r] != want.Demand.P[s][r] {
+				t.Fatalf("demand[%d][%d] = %v, want %v", s, r, got.Demand.P[s][r], want.Demand.P[s][r])
+			}
+		}
+	}
+	for i := range want.Demand.Rates {
+		if got.Demand.Rates[i] != want.Demand.Rates[i] {
+			t.Fatalf("rate[%d] = %v, want %v", i, got.Demand.Rates[i], want.Demand.Rates[i])
+		}
+	}
+	if len(got.Rates) != len(want.Rates) {
+		t.Fatalf("λ̂ table size %d, want %d", len(got.Rates), len(want.Rates))
+	}
+	for v, r := range want.Rates {
+		if got.Rates[v] != r {
+			t.Fatalf("λ̂[%d] = %v, want %v", v, got.Rates[v], r)
+		}
+	}
+	if len(got.Departed) != len(want.Departed) {
+		t.Fatalf("departed list size %d, want %d", len(got.Departed), len(want.Departed))
+	}
+	for i := range want.Departed {
+		if got.Departed[i] != want.Departed[i] {
+			t.Fatalf("departed[%d] = %d, want %d", i, got.Departed[i], want.Departed[i])
+		}
+	}
+	requireSamePlane(t, got.Plane, want.Plane)
+}
+
+// requireSamePlane compares the live N×N region bit for bit; strides may
+// differ (a written plane packs to Stride == N).
+func requireSamePlane(t *testing.T, got, want *graph.AllPairs) {
+	t.Helper()
+	if got.N != want.N {
+		t.Fatalf("plane N = %d, want %d", got.N, want.N)
+	}
+	for s := 0; s < want.N; s++ {
+		gd, wd := got.DistRow(s), want.DistRow(s)
+		gs, ws := got.SigmaRow(s), want.SigmaRow(s)
+		for x := 0; x < want.N; x++ {
+			if gd[x] != wd[x] || gs[x] != ws[x] {
+				t.Fatalf("plane row %d col %d: (%d, %v), want (%d, %v)", s, x, gd[x], gs[x], wd[x], ws[x])
+			}
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 80} {
+		want := buildSnapshot(t, n, int64(n))
+		got, err := Read(bytes.NewReader(encode(t, want)))
+		if err != nil {
+			t.Fatalf("n=%d: Read: %v", n, err)
+		}
+		requireSameSnapshot(t, got, want)
+	}
+}
+
+func TestCheckpointEmptySections(t *testing.T) {
+	// A pre-first-refresh session: empty demand, empty λ̂ — and the
+	// degenerate empty substrate.
+	for _, n := range []int{0, 5} {
+		g := graph.New(n)
+		want := &Snapshot{Graph: g, Demand: &traffic.Demand{}, Plane: g.AllPairsBFS()}
+		got, err := Read(bytes.NewReader(encode(t, want)))
+		if err != nil {
+			t.Fatalf("n=%d: Read: %v", n, err)
+		}
+		if got.Graph.NumNodes() != n || len(got.Demand.P) != 0 || len(got.Rates) != 0 {
+			t.Fatalf("n=%d: decoded shape %d nodes, %d demand rows, %d rates",
+				n, got.Graph.NumNodes(), len(got.Demand.P), len(got.Rates))
+		}
+		// A nil Demand on write decodes as an empty one.
+		want.Demand = nil
+		if _, err := Read(bytes.NewReader(encode(t, want))); err != nil {
+			t.Fatalf("n=%d: Read(nil demand): %v", n, err)
+		}
+	}
+}
+
+func TestCheckpointTransposeMatches(t *testing.T) {
+	// The transpose is not stored; rebuilding it from the decoded forward
+	// plane must reproduce the original transpose bit for bit.
+	want := buildSnapshot(t, 40, 7)
+	got, err := Read(bytes.NewReader(encode(t, want)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	requireSamePlane(t, got.Plane.Transposed(), want.Plane.Transposed())
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	data := encode(t, buildSnapshot(t, 23, 3))
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(data); cut += 7 {
+			if _, err := Read(bytes.NewReader(data[:cut])); !errors.Is(err, ErrBadCheckpoint) {
+				t.Fatalf("truncation at %d: err = %v, want ErrBadCheckpoint", cut, err)
+			}
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[0] ^= 0xff
+		if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+		}
+	})
+	t.Run("version skew", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[8] = 0xfe // version field follows the 8-byte magic
+		if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		// Any single-byte corruption must be caught — by a section
+		// validator or, failing that, the CRC trailer.
+		for _, pos := range []int{12, 20, len(data) / 2, len(data) - 2} {
+			bad := append([]byte(nil), data...)
+			bad[pos] ^= 0x40
+			if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrBadCheckpoint) {
+				t.Fatalf("flip at %d: err = %v, want ErrBadCheckpoint", pos, err)
+			}
+		}
+	})
+	t.Run("oversized node count", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		for i := 12; i < 16; i++ { // node-count field
+			bad[i] = 0xff
+		}
+		if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+		}
+	})
+	t.Run("trailing garbage tolerated upstream", func(t *testing.T) {
+		// Read consumes exactly one checkpoint; bytes after the trailer
+		// are the caller's business and must not corrupt the decode.
+		withTail := append(append([]byte(nil), data...), 0xde, 0xad)
+		if _, err := Read(bytes.NewReader(withTail)); err != nil {
+			t.Fatalf("Read with trailing bytes: %v", err)
+		}
+	})
+}
+
+// FuzzCheckpointRead hammers the decoder with mutated checkpoint bytes:
+// whatever the input, Read must return cleanly — a Snapshot or an
+// ErrBadCheckpoint — and never panic or over-allocate.
+func FuzzCheckpointRead(f *testing.F) {
+	small := encode(f, buildSnapshot(f, 9, 1))
+	f.Add(small)
+	f.Add(small[:len(small)/2])
+	f.Add(small[:11])
+	f.Add([]byte("LCGCKPT\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadCheckpoint) {
+				t.Fatalf("non-sentinel decode error: %v", err)
+			}
+			return
+		}
+		// A successful decode must be internally coherent enough to use.
+		if s.Graph == nil || s.Plane == nil || s.Plane.N != s.Graph.NumNodes() {
+			t.Fatalf("accepted incoherent snapshot: %+v", s)
+		}
+	})
+}

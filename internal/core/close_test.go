@@ -100,12 +100,18 @@ func TestGrowSessionStaleSubstrateErrors(t *testing.T) {
 		if err := gs.Reattach(1, nil); !errors.Is(err, ErrStaleSubstrate) {
 			t.Fatalf("Reattach on dirty session: err = %v, want ErrStaleSubstrate", err)
 		}
+		if rates, err := gs.RefreshRates(nil); !errors.Is(err, ErrStaleSubstrate) || rates != nil {
+			t.Fatalf("RefreshRates on dirty session: (%v, %v), want (nil, ErrStaleSubstrate)", rates, err)
+		}
 	}
 	requireServing := func(tag string) {
 		t.Helper()
 		pu := make([]float64, gs.NumNodes())
 		if _, err := gs.Evaluator(pu, testParams()); err != nil {
 			t.Fatalf("%s: Evaluator: %v", tag, err)
+		}
+		if _, err := gs.RefreshRates(nil); err != nil {
+			t.Fatalf("%s: RefreshRates: %v", tag, err)
 		}
 		if _, err := gs.Commit(Strategy{{Peer: 0, Lock: 1}}); err != nil {
 			t.Fatalf("%s: Commit: %v", tag, err)

@@ -105,6 +105,45 @@ func NewGrowSession(g *graph.Graph, params Params, capacityHint int, remoteBalan
 	return gs, nil
 }
 
+// RestoreGrowSession reopens a session over g with already-computed
+// all-pairs planes — the checkpoint-restore path, and the parallel cold
+// start (build the planes with g.AllPairsBFSParallel and transpose,
+// then restore). The caller asserts that ap is bit-identical to what
+// g.AllPairsBFS() would compute and apT to its transpose; nothing is
+// recomputed, so RebuildCount starts at zero and a 10k-node session
+// comes up in seconds instead of paying the all-pairs rebuild.
+func RestoreGrowSession(g *graph.Graph, ap, apT *graph.AllPairs, params Params, capacityHint int, remoteBalance float64) (*GrowSession, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if remoteBalance < 0 {
+		return nil, fmt.Errorf("%w: remote balance %v", ErrBadParams, remoteBalance)
+	}
+	if ap == nil || apT == nil {
+		return nil, fmt.Errorf("%w: restore needs both plane directions", ErrBadParams)
+	}
+	if ap.N != g.NumNodes() || apT.N != g.NumNodes() {
+		return nil, fmt.Errorf("%w: planes cover %d/%d nodes, substrate has %d",
+			ErrBadParams, ap.N, apT.N, g.NumNodes())
+	}
+	gs := &GrowSession{
+		g:       g,
+		ap:      ap,
+		apT:     apT,
+		demand:  &traffic.Demand{},
+		params:  params,
+		lambda:  emptyLambda(),
+		remote:  remoteBalance,
+		workers: 1,
+	}
+	if capacityHint > 0 {
+		ap.Reserve(capacityHint)
+		apT.Reserve(capacityHint)
+		gs.extendScratch.Reserve(capacityHint)
+	}
+	return gs, nil
+}
+
 // SetParallelism bounds the worker fan-out of the session's substrate
 // passes: the row-sharded all-pairs rebuild (the deletion slow path) and
 // the batched commit fold. Values ≤ 0 select all cores; every result is
@@ -177,15 +216,29 @@ func (gs *GrowSession) SetRates(rates map[graph.NodeID]float64) {
 	gs.lambda = t
 }
 
+// Rates returns the current λ̂ snapshot — the table SetRates or
+// RefreshRates installed (empty before the first refresh). Callers must
+// not mutate it; it is shared with every live evaluator.
+func (gs *GrowSession) Rates() map[graph.NodeID]float64 { return gs.lambda.rates }
+
+// RemoteBalance reports the balance granted on the peer side of every
+// committed channel — a session constant, persisted by checkpoints.
+func (gs *GrowSession) RemoteBalance() float64 { return gs.remote }
+
 // RefreshRates re-estimates λ̂ over the given candidate peers against the
 // current structure and demand snapshot, installs the table, and returns
 // it. One O(n²) estimation pass, the same EstimateRates the one-shot
-// evaluator runs. Must not be called while closures are pending (Dirty);
-// fold or rebuild first.
-func (gs *GrowSession) RefreshRates(candidates []graph.NodeID) map[graph.NodeID]float64 {
+// evaluator runs. Like every other read of the planes it refuses with
+// ErrStaleSubstrate while closures are pending (Dirty) — estimating
+// against torn rows would silently poison every fixed-rate price until
+// the next refresh; fold or rebuild first.
+func (gs *GrowSession) RefreshRates(candidates []graph.NodeID) (map[graph.NodeID]float64, error) {
+	if gs.dirty {
+		return nil, ErrStaleSubstrate
+	}
 	rates := gs.evaluator(nil, gs.params).EstimateRates(candidates)
 	gs.SetRates(rates)
-	return rates
+	return rates, nil
 }
 
 // Evaluator returns a zero-cost evaluator pricing one arrival against the

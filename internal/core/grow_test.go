@@ -86,7 +86,9 @@ func TestGrowSessionPricingMatchesFreshEvaluator(t *testing.T) {
 		t.Fatalf("NewUniformDemand: %v", err)
 	}
 	gs.SetDemand(demand)
-	gs.RefreshRates(allNodes(gs.Graph()))
+	if _, err := gs.RefreshRates(allNodes(gs.Graph())); err != nil {
+		t.Fatalf("RefreshRates: %v", err)
+	}
 	pu := dist.Probs(gs.Graph(), graph.InvalidNode)
 	sessionEval, err := gs.Evaluator(pu, testParams())
 	if err != nil {

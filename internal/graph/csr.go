@@ -197,3 +197,19 @@ func (g *Graph) csrRemoveEdge(e Edge) {
 	c.watermark = -1
 }
 
+// PrimeCSR builds (or re-bases) the CSR adjacency cache eagerly and
+// reports whether a coherent snapshot now covers every live edge with no
+// append-region backlog. Concurrent read-only traversals (BFSCounts,
+// betweenness, Diameter) are race-free only while the cache is already
+// coherent — ensureCSR mutates the graph when it has to rebuild — so a
+// single-writer/many-reader host (the session server) primes the cache
+// once per write batch, before readers are allowed back in.
+func (g *Graph) PrimeCSR() {
+	g.ensureCSR()
+	c := g.csr
+	if c != nil && c.extraCount > 0 && (g.markFloor < 0 || g.markFloor >= len(g.edges)) {
+		// Fold the append regions in now rather than letting a future
+		// reader cross the rebuild threshold mid-traversal.
+		g.rebuildCSR()
+	}
+}

@@ -16,6 +16,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // NodeID identifies a node (a PCN user) inside a Graph.
@@ -36,6 +37,12 @@ var (
 	ErrSelfLoop       = errors.New("graph: self loops are not allowed")
 	ErrEdgeNotFound   = errors.New("graph: edge not found")
 	ErrNegativeValue  = errors.New("graph: negative capacity")
+	// ErrNonFiniteValue rejects NaN and ±Inf capacities. A NaN slips past
+	// a plain `capacity < 0` check (every comparison with NaN is false)
+	// and then poisons every feasibility comparison on the routing plane
+	// silently, so non-finite values are hard errors at the mutation
+	// boundary — the only place they can be attributed to their caller.
+	ErrNonFiniteValue = errors.New("graph: non-finite capacity")
 )
 
 // Edge is one direction of a payment channel.
@@ -114,6 +121,9 @@ func (g *Graph) AddEdge(from, to NodeID, capacity float64) (EdgeID, error) {
 	if capacity < 0 {
 		return InvalidEdge, fmt.Errorf("add edge (%d,%d): %w", from, to, ErrNegativeValue)
 	}
+	if math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return InvalidEdge, fmt.Errorf("add edge (%d,%d): capacity %v: %w", from, to, capacity, ErrNonFiniteValue)
+	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Capacity: capacity})
 	g.alive = append(g.alive, true)
@@ -187,6 +197,9 @@ func (g *Graph) SetCapacity(id EdgeID, capacity float64) error {
 	}
 	if capacity < 0 {
 		return fmt.Errorf("set capacity %d: %w", id, ErrNegativeValue)
+	}
+	if math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return fmt.Errorf("set capacity %d: capacity %v: %w", id, capacity, ErrNonFiniteValue)
 	}
 	g.edges[id].Capacity = capacity
 	return nil

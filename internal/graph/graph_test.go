@@ -2,6 +2,7 @@ package graph
 
 import (
 	"errors"
+	"math"
 	"testing"
 )
 
@@ -65,6 +66,9 @@ func TestAddEdgeErrors(t *testing.T) {
 		{name: "negative node", from: -1, to: 1, capacity: 1, wantErr: ErrNodeOutOfRange},
 		{name: "self loop", from: 1, to: 1, capacity: 1, wantErr: ErrSelfLoop},
 		{name: "negative capacity", from: 0, to: 1, capacity: -2, wantErr: ErrNegativeValue},
+		{name: "NaN capacity", from: 0, to: 1, capacity: math.NaN(), wantErr: ErrNonFiniteValue},
+		{name: "+Inf capacity", from: 0, to: 1, capacity: math.Inf(1), wantErr: ErrNonFiniteValue},
+		{name: "-Inf capacity", from: 0, to: 1, capacity: math.Inf(-1), wantErr: ErrNegativeValue},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -94,6 +98,23 @@ func TestAddChannelCreatesBothDirections(t *testing.T) {
 	}
 	if g.NumChannels() != 1 {
 		t.Fatalf("NumChannels = %d, want 1", g.NumChannels())
+	}
+}
+
+func TestAddChannelRejectsNonFinite(t *testing.T) {
+	for _, capab := range [][2]float64{
+		{math.NaN(), 1},
+		{1, math.NaN()},
+		{math.Inf(1), 1},
+		{1, math.Inf(1)},
+	} {
+		g := New(2)
+		if _, _, err := g.AddChannel(0, 1, capab[0], capab[1]); !errors.Is(err, ErrNonFiniteValue) {
+			t.Fatalf("AddChannel(%v, %v) error = %v, want ErrNonFiniteValue", capab[0], capab[1], err)
+		}
+		if g.NumEdges() != 0 {
+			t.Fatalf("NumEdges = %d after non-finite AddChannel, want 0", g.NumEdges())
+		}
 	}
 }
 
@@ -178,6 +199,12 @@ func TestSetCapacity(t *testing.T) {
 	}
 	if err := g.SetCapacity(id, -1); !errors.Is(err, ErrNegativeValue) {
 		t.Fatalf("SetCapacity(-1) error = %v, want ErrNegativeValue", err)
+	}
+	if err := g.SetCapacity(id, math.NaN()); !errors.Is(err, ErrNonFiniteValue) {
+		t.Fatalf("SetCapacity(NaN) error = %v, want ErrNonFiniteValue", err)
+	}
+	if err := g.SetCapacity(id, math.Inf(1)); !errors.Is(err, ErrNonFiniteValue) {
+		t.Fatalf("SetCapacity(+Inf) error = %v, want ErrNonFiniteValue", err)
 	}
 	if err := g.SetCapacity(99, 1); !errors.Is(err, ErrEdgeNotFound) {
 		t.Fatalf("SetCapacity(bad id) error = %v, want ErrEdgeNotFound", err)

@@ -295,7 +295,10 @@ func (b *sessionBackend) Graph() *graph.Graph { return b.gs.Graph() }
 
 func (b *sessionBackend) Refresh(d *traffic.Demand, candidates []graph.NodeID) {
 	b.gs.SetDemand(d)
-	b.gs.RefreshRates(candidates)
+	if _, err := b.gs.RefreshRates(candidates); err != nil {
+		// Refresh cannot fail on a coherent substrate; surface loudly.
+		panic(fmt.Sprintf("growth session: refresh rates: %v", err))
+	}
 }
 
 func (b *sessionBackend) Price(pu []float64, params core.Params, cfg core.GreedyConfig) (core.Result, error) {

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/lightning-creation-games/lcg/internal/checkpoint"
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+func testParams() core.Params {
+	return core.Params{OnChainCost: 1, OppCostRate: 0.05, FAvg: 0.5, FeePerHop: 0.5, OwnRate: 1}
+}
+
+func newTestSession(t testing.TB, n int, seed int64) *Session {
+	t.Helper()
+	g := graph.BarabasiAlbert(n, 2, 1, rand.New(rand.NewSource(seed)))
+	gs, err := core.NewGrowSession(g, testParams(), n+256, 1)
+	if err != nil {
+		t.Fatalf("NewGrowSession: %v", err)
+	}
+	s, err := NewSession(gs, Config{Params: testParams(), RemoteBalance: 1, Workers: 2})
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	return s
+}
+
+func TestPriceJoinDeterministicWithinEpoch(t *testing.T) {
+	s := newTestSession(t, 30, 1)
+	q := PriceQuery{Budget: 6, Lock: 1}
+	a, err := s.PriceJoin(q)
+	if err != nil {
+		t.Fatalf("PriceJoin: %v", err)
+	}
+	if len(a.Strategy) == 0 {
+		t.Fatal("PriceJoin returned an empty strategy on a priced substrate")
+	}
+	b, err := s.PriceJoin(q)
+	if err != nil {
+		t.Fatalf("PriceJoin: %v", err)
+	}
+	if a.Epoch != b.Epoch || a.Objective != b.Objective || len(a.Strategy) != len(b.Strategy) {
+		t.Fatalf("same-epoch queries diverged: %+v vs %+v", a, b)
+	}
+	// The batch surface must agree with the single surface bit for bit.
+	batch, err := s.PriceJoinBatch([]PriceQuery{q, q, q})
+	if err != nil {
+		t.Fatalf("PriceJoinBatch: %v", err)
+	}
+	for i, res := range batch {
+		if res.Objective != a.Objective || res.Utility != a.Utility {
+			t.Fatalf("batch item %d diverged from single query: %+v vs %+v", i, res, a)
+		}
+	}
+}
+
+func TestEpochPinning(t *testing.T) {
+	s := newTestSession(t, 20, 2)
+	start := s.Epoch()
+	if _, err := s.PriceJoin(PriceQuery{Budget: 4, Lock: 1, AtEpoch: start}); err != nil {
+		t.Fatalf("pinned query at current epoch: %v", err)
+	}
+	if _, _, err := s.Tick(2, 99); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+	if s.Epoch() == start {
+		t.Fatal("Tick did not advance the epoch")
+	}
+	if _, err := s.PriceJoin(PriceQuery{Budget: 4, Lock: 1, AtEpoch: start}); !errors.Is(err, ErrEpochGone) {
+		t.Fatalf("superseded pin: err = %v, want ErrEpochGone", err)
+	}
+	if _, err := s.PriceJoinBatch([]PriceQuery{{Budget: 4, Lock: 1, AtEpoch: start}}); !errors.Is(err, ErrEpochGone) {
+		t.Fatalf("superseded batch pin: err = %v, want ErrEpochGone", err)
+	}
+	if _, _, err := s.Metrics(start); !errors.Is(err, ErrEpochGone) {
+		t.Fatalf("superseded metrics pin: err = %v, want ErrEpochGone", err)
+	}
+	if _, err := s.PriceJoin(PriceQuery{Budget: 4, Lock: 1}); err != nil {
+		t.Fatalf("unpinned query after commit: %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	s := newTestSession(t, 10, 3)
+	for _, q := range []PriceQuery{
+		{Budget: 0, Lock: 1},
+		{Budget: 4, Lock: -1},
+		{Budget: 4, Lock: 1, Candidates: []graph.NodeID{99}},
+	} {
+		if _, err := s.PriceJoin(q); !errors.Is(err, ErrBadQuery) {
+			t.Fatalf("PriceJoin(%+v): err = %v, want ErrBadQuery", q, err)
+		}
+	}
+	if _, err := s.BestResponse(99, PriceQuery{Budget: 4, Lock: 1}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("BestResponse(99): err = %v, want ErrBadQuery", err)
+	}
+	if _, _, err := s.Close(99); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("Close(99): err = %v, want ErrBadQuery", err)
+	}
+}
+
+func TestCloseDepartsNode(t *testing.T) {
+	s := newTestSession(t, 16, 4)
+	closed, _, err := s.Close(3)
+	if err != nil || closed == 0 {
+		t.Fatalf("Close(3) = (%d, %v), want real closures", closed, err)
+	}
+	if s.RebuildCount() != 0 {
+		t.Fatalf("close paid %d rebuilds, want 0 (decremental fold)", s.RebuildCount())
+	}
+	// A departed node can no longer be closed or quoted.
+	if _, _, err := s.Close(3); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("double Close: err = %v, want ErrBadQuery", err)
+	}
+	if _, err := s.BestResponse(3, PriceQuery{Budget: 4, Lock: 1}); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("BestResponse on departed node: err = %v, want ErrBadQuery", err)
+	}
+	// Queries keep serving, and pricing never offers the departed node.
+	res, err := s.PriceJoin(PriceQuery{Budget: 6, Lock: 1})
+	if err != nil {
+		t.Fatalf("PriceJoin after close: %v", err)
+	}
+	for _, a := range res.Strategy {
+		if a.Peer == 3 {
+			t.Fatal("pricing offered a channel to a departed node")
+		}
+	}
+	ep, _, err := s.Metrics(0)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if ep.Nodes != 15 {
+		t.Fatalf("metrics saw %d alive nodes, want 15", ep.Nodes)
+	}
+}
+
+func TestBestResponseQuotes(t *testing.T) {
+	s := newTestSession(t, 24, 5)
+	res, err := s.BestResponse(5, PriceQuery{Budget: 6, Lock: 1})
+	if err != nil {
+		t.Fatalf("BestResponse: %v", err)
+	}
+	for _, a := range res.Strategy {
+		if a.Peer == 5 {
+			t.Fatal("best response proposed a self-channel")
+		}
+	}
+}
+
+// TestConcurrentQueriesAndCommits is the tentpole's race lockdown:
+// readers hammer every query surface while the writer commits ticks and
+// closures underneath. Run with -race; correctness assertion is that
+// every query sees a coherent epoch and no query ever errors except
+// with ErrEpochGone (from deliberate pinning).
+func TestConcurrentQueriesAndCommits(t *testing.T) {
+	s := newTestSession(t, 40, 6)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (w + i) % 4 {
+				case 0:
+					if _, err := s.PriceJoin(PriceQuery{Budget: 5, Lock: 1}); err != nil {
+						t.Errorf("PriceJoin: %v", err)
+						return
+					}
+				case 1:
+					if _, err := s.PriceJoinBatch([]PriceQuery{{Budget: 3, Lock: 1}, {Budget: 7, Lock: 1}}); err != nil {
+						t.Errorf("PriceJoinBatch: %v", err)
+						return
+					}
+				case 2:
+					if _, _, err := s.Metrics(0); err != nil {
+						t.Errorf("Metrics: %v", err)
+						return
+					}
+				case 3:
+					// Pinned to the epoch read one instant earlier: must
+					// either succeed or refuse with ErrEpochGone, never
+					// answer against a different epoch.
+					at := s.Epoch()
+					res, err := s.PriceJoin(PriceQuery{Budget: 5, Lock: 1, AtEpoch: at})
+					if err != nil && !errors.Is(err, ErrEpochGone) {
+						t.Errorf("pinned PriceJoin: %v", err)
+						return
+					}
+					if err == nil && res.Epoch != at {
+						t.Errorf("pinned query answered epoch %d, pinned %d", res.Epoch, at)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Tick(2, int64(i)); err != nil {
+			t.Fatalf("Tick %d: %v", i, err)
+		}
+		if i%4 == 3 {
+			if _, _, err := s.Close(graph.NodeID(i)); err != nil {
+				t.Fatalf("Close %d: %v", i, err)
+			}
+		}
+		if i%5 == 4 {
+			if _, err := s.Refresh(); err != nil {
+				t.Fatalf("Refresh: %v", err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if s.RebuildCount() != 0 {
+		t.Fatalf("commit/close load paid %d rebuilds, want 0", s.RebuildCount())
+	}
+}
+
+// TestCheckpointRestoreRequery is the mid-run round-trip lockdown: a
+// session is checkpointed mid-sequence, restored, and both sessions
+// replay the identical remaining tick sequence — the surviving planes,
+// queries and metrics must match bit for bit, and the restored session
+// must never pay an all-pairs rebuild.
+func TestCheckpointRestoreRequery(t *testing.T) {
+	s := newTestSession(t, 32, 7)
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Tick(3, int64(i)); err != nil {
+			t.Fatalf("Tick: %v", err)
+		}
+	}
+	if _, _, err := s.Close(2); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), Config{Params: testParams(), Workers: 2})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if restored.RebuildCount() != 0 {
+		t.Fatalf("restore paid %d rebuilds, want 0", restored.RebuildCount())
+	}
+	// The departed mask rode along in the checkpoint: node 2 is still
+	// departed on the restored side, so candidate pools, demand masks
+	// and rng-driven replays line up exactly.
+	if _, _, err := restored.Close(2); !errors.Is(err, ErrBadQuery) {
+		t.Fatalf("Close on restored-departed node: err = %v, want ErrBadQuery", err)
+	}
+	q := PriceQuery{Budget: 6, Lock: 1}
+	want, err := s.PriceJoin(q)
+	if err != nil {
+		t.Fatalf("PriceJoin(original): %v", err)
+	}
+	got, err := restored.PriceJoin(q)
+	if err != nil {
+		t.Fatalf("PriceJoin(restored): %v", err)
+	}
+	if want.Objective != got.Objective || want.Utility != got.Utility || len(want.Strategy) != len(got.Strategy) {
+		t.Fatalf("restored quote diverged: %+v vs %+v", got, want)
+	}
+	for i := range want.Strategy {
+		if want.Strategy[i] != got.Strategy[i] {
+			t.Fatalf("restored strategy[%d] = %+v, want %+v", i, got.Strategy[i], want.Strategy[i])
+		}
+	}
+
+	// Replay the identical remaining sequence on both and compare the
+	// planes byte for byte.
+	for i := 100; i < 104; i++ {
+		if _, _, err := s.Tick(2, int64(i)); err != nil {
+			t.Fatalf("Tick(original): %v", err)
+		}
+		if _, _, err := restored.Tick(2, int64(i)); err != nil {
+			t.Fatalf("Tick(restored): %v", err)
+		}
+	}
+	var a, b bytes.Buffer
+	if err := s.Checkpoint(&a); err != nil {
+		t.Fatalf("Checkpoint(original): %v", err)
+	}
+	if err := restored.Checkpoint(&b); err != nil {
+		t.Fatalf("Checkpoint(restored): %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("continued runs diverged: checkpoints not byte-identical")
+	}
+	if restored.RebuildCount() != 0 {
+		t.Fatalf("restored session paid %d rebuilds during replay, want 0", restored.RebuildCount())
+	}
+}
+
+// TestCheckpointRestore10k is the scale acceptance gate: at n=10000 the
+// substrate round-trips the planes bit-identically through the binary
+// codec, and the restored session starts serving with zero all-pairs
+// rebuilds. Short mode skips it (CI's race step); the full tier-1 run
+// pays it once.
+func TestCheckpointRestore10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=10000 round trip: minutes of all-pairs build; run without -short")
+	}
+	const n = 10000
+	g := graph.BarabasiAlbert(n, 2, 1, rand.New(rand.NewSource(42)))
+	ap := g.AllPairsBFSParallel(0)
+	snap := &checkpoint.Snapshot{
+		Graph:         g,
+		RemoteBalance: 1,
+		Rates:         map[graph.NodeID]float64{1: 0.5, 9999: 2.25},
+		Plane:         ap,
+	}
+	var buf bytes.Buffer
+	if err := checkpoint.Write(&buf, snap); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	t.Logf("checkpoint size at n=%d: %d MiB", n, buf.Len()>>20)
+	got, err := checkpoint.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Plane.N != n || got.Plane.Stride != n {
+		t.Fatalf("plane dims %d/%d, want %d/%d", got.Plane.N, got.Plane.Stride, n, n)
+	}
+	for s := 0; s < n; s++ {
+		if !bytesEqualU16(got.Plane.DistRow(s), ap.DistRow(s)) || !bytesEqualF64(got.Plane.SigmaRow(s), ap.SigmaRow(s)) {
+			t.Fatalf("plane row %d not bit-identical after round trip", s)
+		}
+	}
+	apT := got.Plane.TransposedParallel(0)
+	gs, err := core.RestoreGrowSession(got.Graph, got.Plane, apT, testParams(), n+16, got.RemoteBalance)
+	if err != nil {
+		t.Fatalf("RestoreGrowSession: %v", err)
+	}
+	if gs.RebuildCount() != 0 {
+		t.Fatalf("restore paid %d rebuilds, want 0", gs.RebuildCount())
+	}
+	// The restored session serves and commits immediately.
+	if _, err := gs.Commit(core.Strategy{{Peer: 0, Lock: 1}}); err != nil {
+		t.Fatalf("Commit on restored session: %v", err)
+	}
+	if gs.RebuildCount() != 0 {
+		t.Fatalf("commit on restored session paid %d rebuilds, want 0", gs.RebuildCount())
+	}
+}
+
+func bytesEqualU16(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func bytesEqualF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+)
+
+// NewHandler wires the session's query and commit surfaces onto an HTTP
+// mux. Every response is JSON except the checkpoint stream; every
+// response carries the epoch it was answered against. Error mapping:
+// malformed requests are 400, a superseded pinned epoch is 409 (the
+// client re-quotes), a stale substrate is 503, anything else 500.
+func NewHandler(s *Session) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodGet) {
+			return
+		}
+		reply(w, map[string]any{"epoch": s.Epoch(), "nodes": s.NumNodes()})
+	})
+	mux.HandleFunc("/v1/price-join", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		var req priceJSON
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := s.PriceJoin(req.query())
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, priceResultJSON(res))
+	})
+	mux.HandleFunc("/v1/price-join/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Queries []priceJSON `json:"queries"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		qs := make([]PriceQuery, len(req.Queries))
+		for i, q := range req.Queries {
+			qs[i] = q.query()
+		}
+		results, err := s.PriceJoinBatch(qs)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		out := make([]map[string]any, len(results))
+		for i, res := range results {
+			out[i] = priceResultJSON(res)
+		}
+		reply(w, map[string]any{"results": out})
+	})
+	mux.HandleFunc("/v1/best-response", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Node int `json:"node"`
+			priceJSON
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		res, err := s.BestResponse(graph.NodeID(req.Node), req.query())
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, priceResultJSON(res))
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodGet) {
+			return
+		}
+		ep, epoch, err := s.Metrics(0)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, map[string]any{"epoch": epoch, "metrics": ep})
+	})
+	mux.HandleFunc("/v1/commit", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Strategy []actionJSON `json:"strategy"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		strategy := make(core.Strategy, len(req.Strategy))
+		for i, a := range req.Strategy {
+			strategy[i] = core.Action{Peer: graph.NodeID(a.Peer), Lock: a.Lock}
+		}
+		id, epoch, err := s.CommitJoin(strategy)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, map[string]any{"node": int(id), "epoch": epoch})
+	})
+	mux.HandleFunc("/v1/close", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Node int `json:"node"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		closed, epoch, err := s.Close(graph.NodeID(req.Node))
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, map[string]any{"closed": closed, "epoch": epoch})
+	})
+	mux.HandleFunc("/v1/tick", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			Arrivals int   `json:"arrivals"`
+			Seed     int64 `json:"seed"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		committed, epoch, err := s.Tick(req.Arrivals, req.Seed)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, map[string]any{"committed": committed, "epoch": epoch})
+	})
+	mux.HandleFunc("/v1/refresh", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		epoch, err := s.Refresh()
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, map[string]any{"epoch": epoch})
+	})
+	mux.HandleFunc("/v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodGet) {
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := s.Checkpoint(w); err != nil {
+			// Headers may be gone already; the truncated body fails the
+			// client's CRC check, which is the integrity story anyway.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+type priceJSON struct {
+	Budget     float64 `json:"budget"`
+	Lock       float64 `json:"lock"`
+	Candidates []int   `json:"candidates"`
+	AtEpoch    uint64  `json:"atEpoch"`
+}
+
+func (p priceJSON) query() PriceQuery {
+	q := PriceQuery{Budget: p.Budget, Lock: p.Lock, AtEpoch: p.AtEpoch}
+	if p.Candidates != nil {
+		q.Candidates = make([]graph.NodeID, len(p.Candidates))
+		for i, c := range p.Candidates {
+			q.Candidates[i] = graph.NodeID(c)
+		}
+	}
+	return q
+}
+
+type actionJSON struct {
+	Peer int     `json:"peer"`
+	Lock float64 `json:"lock"`
+}
+
+func priceResultJSON(res PriceResult) map[string]any {
+	strategy := make([]actionJSON, len(res.Strategy))
+	for i, a := range res.Strategy {
+		strategy[i] = actionJSON{Peer: int(a.Peer), Lock: a.Lock}
+	}
+	return map[string]any{
+		"epoch":       res.Epoch,
+		"strategy":    strategy,
+		"objective":   res.Objective,
+		"utility":     res.Utility,
+		"evaluations": res.Evaluations,
+	}
+}
+
+func method(w http.ResponseWriter, r *http.Request, want string) bool {
+	if r.Method != want {
+		http.Error(w, fmt.Sprintf("method %s not allowed", r.Method), http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(into); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrEpochGone):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrBadQuery):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, core.ErrStaleSubstrate):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read %s response: %v", path, err)
+	}
+	return resp, data
+}
+
+func getOK(t *testing.T, srv *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s response: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, data)
+	}
+	return data
+}
+
+func TestHTTPQueryCommitCheckpointCycle(t *testing.T) {
+	s := newTestSession(t, 24, 11)
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	var health struct {
+		Epoch uint64 `json:"epoch"`
+		Nodes int    `json:"nodes"`
+	}
+	if err := json.Unmarshal(getOK(t, srv, "/v1/healthz"), &health); err != nil {
+		t.Fatalf("healthz decode: %v", err)
+	}
+	if health.Nodes != 24 || health.Epoch == 0 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	resp, body := postJSON(t, srv, "/v1/price-join", `{"budget":6,"lock":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("price-join status %d: %s", resp.StatusCode, body)
+	}
+	var priced struct {
+		Epoch    uint64 `json:"epoch"`
+		Strategy []struct {
+			Peer int     `json:"peer"`
+			Lock float64 `json:"lock"`
+		} `json:"strategy"`
+		Objective float64 `json:"objective"`
+	}
+	if err := json.Unmarshal(body, &priced); err != nil {
+		t.Fatalf("price-join decode: %v", err)
+	}
+	if len(priced.Strategy) == 0 {
+		t.Fatalf("price-join returned empty strategy: %s", body)
+	}
+
+	resp, body = postJSON(t, srv, "/v1/price-join/batch", `{"queries":[{"budget":4,"lock":1},{"budget":8,"lock":1}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+	var batch struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil || len(batch.Results) != 2 {
+		t.Fatalf("batch decode: %v (%s)", err, body)
+	}
+
+	resp, body = postJSON(t, srv, "/v1/best-response", `{"node":3,"budget":6,"lock":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("best-response status %d: %s", resp.StatusCode, body)
+	}
+
+	getOK(t, srv, "/v1/metrics")
+
+	// Commit the priced strategy and confirm the epoch moved.
+	strategyJSON, _ := json.Marshal(priced.Strategy)
+	resp, body = postJSON(t, srv, "/v1/commit", fmt.Sprintf(`{"strategy":%s}`, strategyJSON))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("commit status %d: %s", resp.StatusCode, body)
+	}
+	var committed struct {
+		Node  int    `json:"node"`
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &committed); err != nil {
+		t.Fatalf("commit decode: %v", err)
+	}
+	if committed.Node != 24 || committed.Epoch <= priced.Epoch {
+		t.Fatalf("commit = %+v (priced at epoch %d)", committed, priced.Epoch)
+	}
+
+	// A query pinned to the pre-commit epoch now 409s.
+	resp, body = postJSON(t, srv, "/v1/price-join", fmt.Sprintf(`{"budget":6,"lock":1,"atEpoch":%d}`, priced.Epoch))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("superseded pin status %d, want 409: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, srv, "/v1/tick", `{"arrivals":3,"seed":7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tick status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, srv, "/v1/close", `{"node":5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("close status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, srv, "/v1/refresh", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status %d: %s", resp.StatusCode, body)
+	}
+
+	// Checkpoint over HTTP, restore, and the restored session answers the
+	// same query with the same price.
+	ckpt := getOK(t, srv, "/v1/checkpoint")
+	restored, err := Restore(bytes.NewReader(ckpt), Config{Params: testParams(), Workers: 2})
+	if err != nil {
+		t.Fatalf("Restore from HTTP checkpoint: %v", err)
+	}
+	want, err := s.PriceJoin(PriceQuery{Budget: 6, Lock: 1})
+	if err != nil {
+		t.Fatalf("PriceJoin(original): %v", err)
+	}
+	got, err := restored.PriceJoin(PriceQuery{Budget: 6, Lock: 1})
+	if err != nil {
+		t.Fatalf("PriceJoin(restored): %v", err)
+	}
+	if want.Objective != got.Objective || len(want.Strategy) != len(got.Strategy) {
+		t.Fatalf("restored quote diverged: %+v vs %+v", got, want)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	s := newTestSession(t, 10, 12)
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	// Malformed body → 400.
+	resp, _ := postJSON(t, srv, "/v1/price-join", `{"budget":`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body status %d, want 400", resp.StatusCode)
+	}
+	// Invalid query → 400.
+	resp, _ = postJSON(t, srv, "/v1/price-join", `{"budget":-1,"lock":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative budget status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv, "/v1/best-response", `{"node":99,"budget":6,"lock":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown node status %d, want 400", resp.StatusCode)
+	}
+	// Wrong method → 405.
+	resp2, err := srv.Client().Get(srv.URL + "/v1/price-join")
+	if err != nil {
+		t.Fatalf("GET price-join: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET price-join status %d, want 405", resp2.StatusCode)
+	}
+}

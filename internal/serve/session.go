@@ -1,0 +1,491 @@
+// Package serve is the session server: a long-running process owning a
+// live GrowSession and answering pricing queries against frozen
+// snapshot epochs while commits proceed underneath — the "serve it"
+// surface of the roadmap, in the spirit of Lightning Pool's rpcserver.
+//
+// # Snapshot-epoch contract
+//
+// The session is a single-writer, many-reader structure. Every mutation
+// (Commit, Close, Tick, Refresh, restore) runs under the write lock,
+// re-primes the CSR adjacency cache, and bumps the epoch counter; every
+// query runs under the read lock, so the substrate it scans is frozen —
+// planes, demand, λ̂ and topology all belong to one epoch for the whole
+// query, and the response reports which one. Queries may pin an epoch
+// (AtEpoch): if the substrate has moved on, the session refuses with
+// ErrEpochGone instead of silently answering against newer state —
+// the HTTP layer maps that to 409 so clients re-quote.
+//
+// Queries never mutate: pricing fans out over zero-cost evaluator
+// clones sharing the epoch's planes (the same discipline the market
+// engine uses for concurrent bid pricing), and the dirty-window
+// machinery underneath guarantees a torn substrate hard-errors rather
+// than serving stale prices.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"github.com/lightning-creation-games/lcg/internal/checkpoint"
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/growth"
+	"github.com/lightning-creation-games/lcg/internal/par"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// ErrEpochGone reports a query pinned to an epoch the session has
+// committed past. The caller re-reads the current epoch and re-quotes.
+var ErrEpochGone = errors.New("serve: pinned epoch superseded by a commit")
+
+// ErrBadQuery reports a malformed query (unknown node, non-positive
+// budget, empty strategy where one is required).
+var ErrBadQuery = errors.New("serve: invalid query")
+
+// Config shapes a session's economics and tick process.
+type Config struct {
+	// Params is the base economic profile: committed channels and
+	// queries price under it (queries override budget and lock).
+	Params core.Params
+	// RemoteBalance is granted on the peer side of every committed
+	// channel.
+	RemoteBalance float64
+	// Dist is the transaction distribution of joiners and demand;
+	// nil means the modified Zipf with s=1 (the paper's default).
+	Dist txdist.Distribution
+	// Workers bounds the fan-out of batch queries and substrate folds
+	// (≤ 0 selects all cores).
+	Workers int
+
+	// TickBudget, TickLock and TickCandidates shape the synthetic
+	// arrivals Tick commits: each arrival prices TickCandidates sampled
+	// peers (preferential) with the given budget and per-channel lock.
+	// Zero values default to budget 6, lock 1, 16 candidates.
+	TickBudget     float64
+	TickLock       float64
+	TickCandidates int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dist == nil {
+		c.Dist = txdist.ModifiedZipf{S: 1}
+	}
+	if c.TickBudget == 0 {
+		c.TickBudget = 6
+	}
+	if c.TickLock == 0 {
+		c.TickLock = 1
+	}
+	if c.TickCandidates == 0 {
+		c.TickCandidates = 16
+	}
+	return c
+}
+
+// Session owns a live GrowSession behind the snapshot-epoch lock.
+type Session struct {
+	mu   sync.RWMutex
+	gs   *core.GrowSession
+	cfg  Config
+	pool *par.Pool
+	// epoch counts committed write batches, starting at 1; every reader
+	// observes exactly one epoch per query.
+	epoch uint64
+	// departed marks nodes whose channels were closed; they stay in the
+	// substrate (identifiers are stable) but leave the candidate pool
+	// and the metric scans.
+	departed []bool
+}
+
+// NewSession opens a session over gs, which it owns from then on. The
+// GrowSession must be clean (not Dirty); demand and λ̂ are re-quoted so
+// the first epoch serves coherent prices.
+func NewSession(gs *core.GrowSession, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if gs.Dirty() {
+		return nil, core.ErrStaleSubstrate
+	}
+	gs.SetParallelism(cfg.Workers)
+	s := &Session{
+		gs:       gs,
+		cfg:      cfg,
+		pool:     par.NewPool(cfg.Workers),
+		epoch:    1,
+		departed: make([]bool, gs.NumNodes()),
+	}
+	gs.Graph().PrimeCSR()
+	if err := s.refreshLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Restore rebuilds a session from a checkpoint stream: the planes come
+// straight off the wire (transposed in memory, a pure permutation), so
+// no all-pairs rebuild runs — RebuildCount starts at zero and a
+// 10k-node session is serving in seconds.
+func Restore(r io.Reader, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	snap, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	apT := snap.Plane.TransposedParallel(cfg.Workers)
+	gs, err := core.RestoreGrowSession(snap.Graph, snap.Plane, apT, cfg.Params, 0, snap.RemoteBalance)
+	if err != nil {
+		return nil, err
+	}
+	gs.SetParallelism(cfg.Workers)
+	gs.SetDemand(snap.Demand)
+	gs.SetRates(snap.Rates)
+	s := &Session{
+		gs:       gs,
+		cfg:      cfg,
+		pool:     par.NewPool(cfg.Workers),
+		epoch:    1,
+		departed: make([]bool, gs.NumNodes()),
+	}
+	for _, v := range snap.Departed {
+		s.departed[v] = true
+	}
+	snap.Graph.PrimeCSR()
+	return s, nil
+}
+
+// Checkpoint streams the session's full state to w as one epoch-frozen
+// snapshot: it runs under the read lock, so commits wait and the planes
+// on the wire are exactly one epoch's.
+func (s *Session) Checkpoint(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var departed []graph.NodeID
+	for v, d := range s.departed {
+		if d {
+			departed = append(departed, graph.NodeID(v))
+		}
+	}
+	return checkpoint.Write(w, &checkpoint.Snapshot{
+		Graph:         s.gs.Graph(),
+		RemoteBalance: s.gs.RemoteBalance(),
+		Demand:        s.gs.Demand(),
+		Rates:         s.gs.Rates(),
+		Departed:      departed,
+		Plane:         s.gs.AllPairs(),
+	})
+}
+
+// Epoch reports the current snapshot epoch.
+func (s *Session) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// NumNodes reports the substrate size (departed nodes included — their
+// identifiers stay live).
+func (s *Session) NumNodes() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gs.NumNodes()
+}
+
+// RebuildCount exposes the underlying session's rebuild odometer — the
+// restore acceptance gauge (a restored session must hold it at zero).
+func (s *Session) RebuildCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gs.RebuildCount()
+}
+
+// PriceQuery is one price-join request: what would Algorithm 1 choose
+// for a fresh arrival with this budget?
+type PriceQuery struct {
+	// Budget is B_u; Lock is l_1, the per-channel locked amount.
+	Budget, Lock float64
+	// Candidates restricts the peers considered; nil means every alive
+	// node.
+	Candidates []graph.NodeID
+	// AtEpoch pins the query to a snapshot epoch (0 = current): if the
+	// session has committed past it, the query fails with ErrEpochGone.
+	AtEpoch uint64
+}
+
+// PriceResult is a priced strategy and the epoch it is valid against.
+type PriceResult struct {
+	Epoch       uint64
+	Strategy    core.Strategy
+	Objective   float64
+	Utility     float64
+	Evaluations int
+}
+
+func (q PriceQuery) validate(n int) error {
+	if q.Budget <= 0 || q.Lock <= 0 {
+		return fmt.Errorf("%w: budget %v, lock %v (want positive)", ErrBadQuery, q.Budget, q.Lock)
+	}
+	for _, v := range q.Candidates {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("%w: candidate %d outside substrate of %d", ErrBadQuery, v, n)
+		}
+	}
+	return nil
+}
+
+// PriceJoin prices one fresh arrival against the current epoch.
+func (s *Session) PriceJoin(q PriceQuery) (PriceResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkEpoch(q.AtEpoch); err != nil {
+		return PriceResult{}, err
+	}
+	return s.priceLocked(q)
+}
+
+// PriceJoinBatch prices a whole batch against one frozen epoch,
+// fanning out over the worker pool — every result reports the same
+// epoch, the batch analogue of the market's concurrent bid pricing.
+func (s *Session) PriceJoinBatch(qs []PriceQuery) ([]PriceResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, q := range qs {
+		if err := s.checkEpoch(q.AtEpoch); err != nil {
+			return nil, err
+		}
+	}
+	return par.Collect(s.pool, len(qs), func(i int) (PriceResult, error) {
+		return s.priceLocked(qs[i])
+	})
+}
+
+// priceLocked prices one query under a held read lock. Concurrent calls
+// are safe: each builds its own evaluator over the shared frozen planes.
+func (s *Session) priceLocked(q PriceQuery) (PriceResult, error) {
+	if err := q.validate(s.gs.NumNodes()); err != nil {
+		return PriceResult{}, err
+	}
+	pu := growth.JoinProbs(s.gs.Graph(), graph.InvalidNode, s.cfg.Dist, s.departedMask())
+	ev, err := s.gs.Evaluator(pu, s.cfg.Params)
+	if err != nil {
+		return PriceResult{}, err
+	}
+	candidates := q.Candidates
+	if candidates == nil {
+		candidates = s.aliveLocked(graph.InvalidNode)
+	}
+	res, err := core.Greedy(ev, core.GreedyConfig{
+		Budget:       q.Budget,
+		Lock:         q.Lock,
+		Candidates:   candidates,
+		Model:        core.RevenueFixedRate,
+		UtilityModel: core.RevenueFixedRate,
+	})
+	if err != nil {
+		return PriceResult{}, err
+	}
+	return PriceResult{
+		Epoch:       s.epoch,
+		Strategy:    res.Strategy,
+		Objective:   res.Objective,
+		Utility:     res.Utility,
+		Evaluations: res.Evaluations,
+	}, nil
+}
+
+// BestResponse quotes the advisory best response of an existing node:
+// the strategy Algorithm 1 would pick for v's budget against the
+// current epoch. The quote is advisory — v's own channels stay in the
+// substrate while it is priced (an exact re-wire would mutate the
+// planes, which no query may do), matching the growth engine's
+// rewiring approximation.
+func (s *Session) BestResponse(v graph.NodeID, q PriceQuery) (PriceResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkEpoch(q.AtEpoch); err != nil {
+		return PriceResult{}, err
+	}
+	n := s.gs.NumNodes()
+	if v < 0 || int(v) >= n {
+		return PriceResult{}, fmt.Errorf("%w: node %d outside substrate of %d", ErrBadQuery, v, n)
+	}
+	if s.departed[v] {
+		return PriceResult{}, fmt.Errorf("%w: node %d departed", ErrBadQuery, v)
+	}
+	if err := q.validate(n); err != nil {
+		return PriceResult{}, err
+	}
+	pu := growth.JoinProbs(s.gs.Graph(), v, s.cfg.Dist, s.departedMask())
+	ev, err := s.gs.Evaluator(pu, s.cfg.Params)
+	if err != nil {
+		return PriceResult{}, err
+	}
+	candidates := q.Candidates
+	if candidates == nil {
+		candidates = s.aliveLocked(v)
+	}
+	res, err := core.Greedy(ev, core.GreedyConfig{
+		Budget:       q.Budget,
+		Lock:         q.Lock,
+		Candidates:   candidates,
+		Model:        core.RevenueFixedRate,
+		UtilityModel: core.RevenueFixedRate,
+	})
+	if err != nil {
+		return PriceResult{}, err
+	}
+	return PriceResult{
+		Epoch:       s.epoch,
+		Strategy:    res.Strategy,
+		Objective:   res.Objective,
+		Utility:     res.Utility,
+		Evaluations: res.Evaluations,
+	}, nil
+}
+
+// Metrics computes the epoch metric snapshot over the alive nodes — the
+// growth engine's ComputeEpoch against this session's frozen planes.
+func (s *Session) Metrics(atEpoch uint64) (growth.Epoch, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.checkEpoch(atEpoch); err != nil {
+		return growth.Epoch{}, 0, err
+	}
+	ep := growth.ComputeEpoch(s.gs.Graph(), s.gs.AllPairs(), s.aliveLocked(graph.InvalidNode), int(s.epoch))
+	return ep, s.epoch, nil
+}
+
+// CommitJoin folds a priced strategy into the substrate as a fresh
+// arrival and opens the next epoch.
+func (s *Session) CommitJoin(strategy core.Strategy) (graph.NodeID, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.gs.Commit(strategy)
+	if err != nil {
+		return graph.InvalidNode, s.epoch, err
+	}
+	s.departed = append(s.departed, false)
+	s.sealWriteLocked()
+	return id, s.epoch, nil
+}
+
+// Close departs a node: closes every channel, folds the closure into
+// the planes decrementally, and opens the next epoch. Readers blocked
+// on the lock never observe the dirty window.
+func (s *Session) Close(v graph.NodeID) (closed int, epoch uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v < 0 || int(v) >= s.gs.NumNodes() || s.departed[v] {
+		return 0, s.epoch, fmt.Errorf("%w: node %d not alive", ErrBadQuery, v)
+	}
+	closed, err = s.gs.CloseNode(v)
+	if err != nil {
+		return closed, s.epoch, err
+	}
+	s.gs.FoldClose()
+	s.departed[v] = true
+	s.sealWriteLocked()
+	return closed, s.epoch, nil
+}
+
+// Tick commits a batch of synthetic arrivals — the sustained write load
+// the server is benchmarked under. Arrivals are priced sequentially
+// (each sees its predecessors, the growth engine's arrival semantics)
+// from the given seed, so a tick sequence is reproducible: replaying
+// the same seeds after a checkpoint restore reproduces the same
+// substrate bit for bit. Returns the number committed.
+func (s *Session) Tick(arrivals int, seed int64) (int, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if arrivals < 0 {
+		return 0, s.epoch, fmt.Errorf("%w: %d arrivals", ErrBadQuery, arrivals)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	committed := 0
+	for i := 0; i < arrivals; i++ {
+		pool := s.aliveLocked(graph.InvalidNode)
+		candidates := growth.SampleCandidates(rng, s.gs.Graph(), pool, s.cfg.TickCandidates, true)
+		pu := growth.JoinProbs(s.gs.Graph(), graph.InvalidNode, s.cfg.Dist, s.departedMask())
+		ev, err := s.gs.Evaluator(pu, s.cfg.Params)
+		if err != nil {
+			return committed, s.epoch, err
+		}
+		res, err := core.Greedy(ev, core.GreedyConfig{
+			Budget:       s.cfg.TickBudget,
+			Lock:         s.cfg.TickLock,
+			Candidates:   candidates,
+			Model:        core.RevenueFixedRate,
+			UtilityModel: core.RevenueFixedRate,
+		})
+		if err != nil {
+			return committed, s.epoch, err
+		}
+		if _, err := s.gs.Commit(res.Strategy); err != nil {
+			return committed, s.epoch, err
+		}
+		s.departed = append(s.departed, false)
+		committed++
+	}
+	s.sealWriteLocked()
+	return committed, s.epoch, nil
+}
+
+// Refresh re-quotes the demand and λ̂ snapshots against the current
+// substrate and opens the next epoch — the serve-side spelling of the
+// growth loop's periodic refresh.
+func (s *Session) Refresh() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.refreshLocked(); err != nil {
+		return s.epoch, err
+	}
+	s.sealWriteLocked()
+	return s.epoch, nil
+}
+
+func (s *Session) refreshLocked() error {
+	s.gs.SetDemand(growth.BuildDemand(s.gs.Graph(), s.cfg.Dist, s.departedMask()))
+	if _, err := s.gs.RefreshRates(s.aliveLocked(graph.InvalidNode)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// sealWriteLocked closes a write batch: the CSR cache is re-based on
+// the writer's clock (readers must never trigger its mutation) and the
+// epoch advances, invalidating pinned queries.
+func (s *Session) sealWriteLocked() {
+	s.gs.Graph().PrimeCSR()
+	s.epoch++
+}
+
+func (s *Session) checkEpoch(at uint64) error {
+	if at != 0 && at != s.epoch {
+		return fmt.Errorf("%w: pinned %d, current %d", ErrEpochGone, at, s.epoch)
+	}
+	return nil
+}
+
+// aliveLocked lists the alive nodes, excluding one (InvalidNode excludes
+// nothing).
+func (s *Session) aliveLocked(except graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, 0, s.gs.NumNodes())
+	for v := 0; v < s.gs.NumNodes(); v++ {
+		if !s.departed[v] && graph.NodeID(v) != except {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// departedMask returns the departed slice, or nil when nothing has
+// departed (JoinProbs and BuildDemand skip the masking pass entirely).
+func (s *Session) departedMask() []bool {
+	for _, d := range s.departed {
+		if d {
+			return s.departed
+		}
+	}
+	return nil
+}

@@ -286,7 +286,10 @@ func TestObservedDemandFeedsGrowSession(t *testing.T) {
 	}
 	candidates := []graph.NodeID{0, 1, 2, 3, 4}
 	gs.SetDemand(observed)
-	rates := gs.RefreshRates(candidates)
+	rates, err := gs.RefreshRates(candidates)
+	if err != nil {
+		t.Fatalf("RefreshRates: %v", err)
+	}
 	if len(rates) != len(candidates) {
 		t.Fatalf("refreshed %d rates, want %d", len(rates), len(candidates))
 	}

@@ -62,9 +62,11 @@ type Document struct {
 // engine's tick series, the traffic engine's replay series at both
 // the n=2000 flagship and the n=10000 sparse-sampler scale (the 10k
 // entry is already covered by the prefix before it; it is pinned by
-// name so the scale rows can never silently drop out of the gate), and
-// the decremental close fold the churn path prices departures with.
-var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick", "BenchmarkTrafficReplay", "BenchmarkTrafficReplay10k", "BenchmarkCloseFold"}
+// name so the scale rows can never silently drop out of the gate),
+// the decremental close fold the churn path prices departures with,
+// the serving session's query throughput idle and under commit load,
+// and the substrate checkpoint codec's save/restore pair.
+var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick", "BenchmarkTrafficReplay", "BenchmarkTrafficReplay10k", "BenchmarkCloseFold", "BenchmarkServeQueries", "BenchmarkCheckpointRestore"}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {

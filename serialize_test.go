@@ -112,6 +112,25 @@ func TestNetworkJSONErrors(t *testing.T) {
 	}
 }
 
+// TestNetworkJSONRejectsNonFinite pins that no encoding of NaN or ±Inf
+// balances can poison the routing plane through UnmarshalJSON: JSON
+// literals are rejected by the decoder, out-of-range numbers (1e999
+// parses to ±Inf) by the graph's non-finite capacity guard — either
+// way a hard ErrBadInput, never a silently poisoned network.
+func TestNetworkJSONRejectsNonFinite(t *testing.T) {
+	for _, payload := range []string{
+		`{"users":2,"channels":[{"a":0,"b":1,"balanceA":NaN,"balanceB":1}]}`,
+		`{"users":2,"channels":[{"a":0,"b":1,"balanceA":Infinity,"balanceB":1}]}`,
+		`{"users":2,"channels":[{"a":0,"b":1,"balanceA":1e999,"balanceB":1}]}`,
+		`{"users":2,"channels":[{"a":0,"b":1,"balanceA":1,"balanceB":-1e999}]}`,
+	} {
+		n := NewNetwork()
+		if err := n.UnmarshalJSON([]byte(payload)); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("UnmarshalJSON(%s) error = %v, want ErrBadInput", payload, err)
+		}
+	}
+}
+
 func TestUnmarshalFailureLeavesNetworkIntact(t *testing.T) {
 	n := Star(3, 1)
 	if err := n.UnmarshalJSON([]byte(`garbage`)); err == nil {

@@ -1,0 +1,155 @@
+package lcg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/serve"
+	"github.com/lightning-creation-games/lcg/internal/txdist"
+)
+
+// LiveConfig shapes a live serving session (see NewLiveSession).
+type LiveConfig struct {
+	// Params are the economic parameters of committed channels and
+	// priced queries (default DefaultParams).
+	Params *Params
+	// RemoteBalance is granted on the peer side of every committed
+	// channel (default 1).
+	RemoteBalance float64
+	// Uniform switches the transaction model to the uniform baseline;
+	// otherwise the modified Zipf distribution with scale ZipfS
+	// (default 1) is used.
+	Uniform bool
+	ZipfS   float64
+	// Parallelism bounds batch-query fan-out and substrate folds: 0 or
+	// negative uses all cores.
+	Parallelism int
+	// TickArrivals is the number of synthetic arrivals committed per
+	// background tick when Serve runs with a tick interval (default 1).
+	TickArrivals int
+}
+
+func (c LiveConfig) normalized() (LiveConfig, core.Params) {
+	if c.RemoteBalance == 0 {
+		c.RemoteBalance = 1
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1
+	}
+	if c.TickArrivals <= 0 {
+		c.TickArrivals = 1
+	}
+	params := DefaultParams()
+	if c.Params != nil {
+		params = *c.Params
+	}
+	return c, params.toCore()
+}
+
+func (c LiveConfig) dist() txdist.Distribution {
+	if c.Uniform {
+		return txdist.Uniform{}
+	}
+	return txdist.ModifiedZipf{S: c.ZipfS}
+}
+
+// LiveSession is a serving session over a live network: it owns the
+// substrate, prices join and best-response queries against frozen
+// snapshot epochs while commits proceed, and checkpoints itself to a
+// binary stream restorable in seconds (see LoadCheckpoint).
+type LiveSession struct {
+	s   *serve.Session
+	cfg LiveConfig
+}
+
+// NewLiveSession opens a serving session over a copy of n. The network
+// must be non-empty; the session pays one all-pairs build up front
+// (use LoadCheckpoint to skip it on restart).
+func NewLiveSession(n *Network, cfg LiveConfig) (*LiveSession, error) {
+	cfg, params := cfg.normalized()
+	if n == nil || n.NumUsers() == 0 {
+		return nil, fmt.Errorf("%w: live session needs a non-empty network", ErrBadInput)
+	}
+	gs, err := core.NewGrowSession(n.graphView().Clone(), params, 0, cfg.RemoteBalance)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	s, err := serve.NewSession(gs, serve.Config{
+		Params:        params,
+		RemoteBalance: cfg.RemoteBalance,
+		Dist:          cfg.dist(),
+		Workers:       cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return &LiveSession{s: s, cfg: cfg}, nil
+}
+
+// Session exposes the underlying epoch-disciplined session for direct
+// (non-HTTP) queries.
+func (ls *LiveSession) Session() *serve.Session { return ls.s }
+
+// Epoch reports the current snapshot epoch.
+func (ls *LiveSession) Epoch() uint64 { return ls.s.Epoch() }
+
+// Handler returns the session's HTTP API (see DESIGN.md for routes).
+func (ls *LiveSession) Handler() http.Handler { return serve.NewHandler(ls.s) }
+
+// Tick commits a batch of synthetic arrivals — the sustained commit
+// load a serving deployment sees. Deterministic per seed.
+func (ls *LiveSession) Tick(arrivals int, seed int64) (int, error) {
+	committed, _, err := ls.s.Tick(arrivals, seed)
+	return committed, err
+}
+
+// Serve listens on addr and serves the session's HTTP API until ctx is
+// cancelled. A positive tickEvery starts a background ticker committing
+// TickArrivals synthetic arrivals per interval — live commit load under
+// the queries. Returns nil on clean shutdown.
+func (ls *LiveSession) Serve(ctx context.Context, addr string, tickEvery time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("%w: listen %s: %v", ErrBadInput, addr, err)
+	}
+	srv := &http.Server{Handler: ls.Handler()}
+	tickCtx, stopTicks := context.WithCancel(ctx)
+	defer stopTicks()
+	if tickEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(tickEvery)
+			defer ticker.Stop()
+			seed := int64(1)
+			for {
+				select {
+				case <-tickCtx.Done():
+					return
+				case <-ticker.C:
+					// Tick errors are not fatal to the server: the
+					// substrate stays coherent (failed ticks roll no
+					// state forward) and queries keep serving.
+					ls.s.Tick(ls.cfg.TickArrivals, seed) //nolint:errcheck
+					seed++
+				}
+			}
+		}()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,100 @@
+package lcg
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLiveSessionFacade(t *testing.T) {
+	ls, err := NewLiveSession(BarabasiAlbert(30, 2, 10, 1), LiveConfig{ZipfS: 1})
+	if err != nil {
+		t.Fatalf("NewLiveSession: %v", err)
+	}
+	start := ls.Epoch()
+	if start == 0 {
+		t.Fatal("epoch must start at 1")
+	}
+	committed, err := ls.Tick(2, 9)
+	if err != nil || committed != 2 {
+		t.Fatalf("Tick = (%d, %v), want 2 commits", committed, err)
+	}
+	if ls.Epoch() <= start {
+		t.Fatalf("epoch %d did not advance past %d after Tick", ls.Epoch(), start)
+	}
+
+	srv := httptest.NewServer(ls.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/v1/price-join", "application/json",
+		strings.NewReader(`{"budget":6,"lock":1}`))
+	if err != nil {
+		t.Fatalf("POST price-join: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("price-join status %d: %s", resp.StatusCode, body)
+	}
+
+	// Checkpoint through the facade and restore: the restored session
+	// answers the same query with the same price, with no plane rebuild.
+	var buf bytes.Buffer
+	if err := ls.SaveCheckpoint(&buf); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	restored, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), LiveConfig{ZipfS: 1})
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if restored.Session().RebuildCount() != 0 {
+		t.Fatal("restore paid an all-pairs rebuild")
+	}
+	if restored.Session().NumNodes() != ls.Session().NumNodes() {
+		t.Fatalf("restored %d nodes, want %d", restored.Session().NumNodes(), ls.Session().NumNodes())
+	}
+}
+
+func TestLiveSessionFacadeErrors(t *testing.T) {
+	if _, err := NewLiveSession(nil, LiveConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("nil network: err = %v, want ErrBadInput", err)
+	}
+	if _, err := NewLiveSession(NewNetwork(), LiveConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty network: err = %v, want ErrBadInput", err)
+	}
+	if _, err := LoadCheckpoint(strings.NewReader("not a checkpoint"), LiveConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("garbage checkpoint: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestLiveSessionServeLifecycle(t *testing.T) {
+	ls, err := NewLiveSession(BarabasiAlbert(16, 2, 10, 1), LiveConfig{TickArrivals: 1})
+	if err != nil {
+		t.Fatalf("NewLiveSession: %v", err)
+	}
+	start := ls.Epoch()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- ls.Serve(ctx, "127.0.0.1:0", 10*time.Millisecond) }()
+	// Give the background ticker time to commit at least one arrival,
+	// then shut down cleanly.
+	deadline := time.Now().Add(5 * time.Second)
+	for ls.Epoch() == start && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if ls.Epoch() <= start {
+		t.Fatalf("background ticker never committed (epoch still %d)", ls.Epoch())
+	}
+	if err := ls.Serve(context.Background(), "256.256.256.256:bad", 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad addr: err = %v, want ErrBadInput", err)
+	}
+}
