@@ -649,8 +649,14 @@ func runServe(args []string, w io.Writer) error {
 		tick         = fs.Duration("tick", 0, "background synthetic-commit cadence (0 = no background load)")
 		tickArrivals = fs.Int("tick-arrivals", 1, "synthetic arrivals committed per background tick")
 		restore      = fs.String("restore", "", "restore the session from this checkpoint instead of building planes")
-		checkpoint   = fs.String("checkpoint", "", "write a checkpoint here on clean shutdown")
+		checkpoint   = fs.String("checkpoint", "", "write a checkpoint here on clean shutdown (atomic: temp file + rename)")
 		duration     = fs.Duration("duration", 0, "serve for this long, then exit cleanly (0 = until interrupted)")
+		walDir       = fs.String("wal", "", "durable state directory: every mutation is write-ahead logged and the session recovers from a crash exactly")
+		ckptEvery    = fs.Duration("checkpoint-every", 0, "with -wal: background checkpoint cadence (0 = no timer trigger)")
+		ckptMuts     = fs.Int("checkpoint-mutations", 256, "with -wal: background checkpoint after this many mutations (0 = no count trigger)")
+		walSync      = fs.Int("wal-sync", 1, "with -wal: fsync every N records (1 = every record, the no-loss setting)")
+		walSyncEvery = fs.Duration("wal-sync-interval", 0, "with -wal: timer-driven fsync instead of per-record (bounds the loss window by the interval)")
+		retain       = fs.Int("retain", 2, "with -wal: checkpoint generations to keep")
 	)
 	fs.SetOutput(w)
 	if err := fs.Parse(args); err != nil {
@@ -660,6 +666,9 @@ func runServe(args []string, w io.Writer) error {
 		positive("n", *n),
 		nonNegative("parallel", *parallel),
 		positive("tick-arrivals", *tickArrivals),
+		positive("wal-sync", *walSync),
+		nonNegative("checkpoint-mutations", *ckptMuts),
+		positive("retain", *retain),
 	); err != nil {
 		return err
 	}
@@ -671,7 +680,32 @@ func runServe(args []string, w io.Writer) error {
 		TickArrivals:  *tickArrivals,
 	}
 	var ls *lcg.LiveSession
-	if *restore != "" {
+	switch {
+	case *walDir != "":
+		if *restore != "" {
+			return fmt.Errorf("-restore and -wal are exclusive: the state directory already carries the session")
+		}
+		network, err := buildNetwork(*topology, *n, *seed)
+		if err != nil {
+			return err
+		}
+		ls, err = lcg.OpenDurableSession(network, cfg, lcg.DurabilityConfig{
+			Dir:                 *walDir,
+			SyncEvery:           *walSync,
+			SyncInterval:        *walSyncEvery,
+			CheckpointInterval:  *ckptEvery,
+			CheckpointMutations: *ckptMuts,
+			Retain:              *retain,
+		})
+		if err != nil {
+			return err
+		}
+		defer ls.Close() //nolint:errcheck — the explicit Close below reports errors
+		if ckptEpoch, walRecords := ls.Recovered(); ckptEpoch > 0 {
+			fmt.Fprintf(w, "restored session from %s: %d nodes, epoch %d (checkpoint epoch %d + %d WAL records), %d plane rebuilds\n",
+				*walDir, ls.Session().NumNodes(), ls.Epoch(), ckptEpoch, walRecords, ls.Session().RebuildCount())
+		}
+	case *restore != "":
 		f, err := os.Open(*restore)
 		if err != nil {
 			return err
@@ -683,7 +717,7 @@ func runServe(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "restored session from %s: %d nodes, epoch %d, %d plane rebuilds\n",
 			*restore, ls.Session().NumNodes(), ls.Epoch(), ls.Session().RebuildCount())
-	} else {
+	default:
 		network, err := buildNetwork(*topology, *n, *seed)
 		if err != nil {
 			return err
@@ -705,16 +739,15 @@ func runServe(args []string, w io.Writer) error {
 	if err := ls.Serve(ctx, *addr, *tick); err != nil {
 		return err
 	}
+	if *walDir != "" {
+		// Close writes the final checkpoint into the state directory.
+		if err := ls.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "durable state in %s (epoch %d)\n", *walDir, ls.Epoch())
+	}
 	if *checkpoint != "" {
-		f, err := os.Create(*checkpoint)
-		if err != nil {
-			return err
-		}
-		if err := ls.SaveCheckpoint(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := ls.SaveCheckpointFile(*checkpoint); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "checkpoint written to %s (epoch %d)\n", *checkpoint, ls.Epoch())

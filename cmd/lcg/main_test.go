@@ -340,3 +340,36 @@ func TestNetworkCommandStdout(t *testing.T) {
 		t.Fatalf("JSON output: %s", out)
 	}
 }
+
+func TestServeCommandDurableStateDir(t *testing.T) {
+	state := t.TempDir() + "/state"
+	// First life: durable serving with background commit load; the
+	// final checkpoint lands in the state directory on clean shutdown.
+	out, err := runCLI(t, "serve", "-addr", "127.0.0.1:0", "-topology", "ba", "-n", "16",
+		"-tick", "20ms", "-duration", "250ms", "-wal", state, "-checkpoint-mutations", "4")
+	if err != nil {
+		t.Fatalf("serve -wal: %v", err)
+	}
+	if !strings.Contains(out, "serving 16 nodes") || !strings.Contains(out, "durable state in") {
+		t.Fatalf("serve -wal output: %s", out)
+	}
+	// Second life: the directory carries the session; the seed topology
+	// is ignored and recovery reports its provenance with no rebuilds.
+	out, err = runCLI(t, "serve", "-addr", "127.0.0.1:0", "-n", "99",
+		"-duration", "50ms", "-wal", state)
+	if err != nil {
+		t.Fatalf("serve -wal restart: %v", err)
+	}
+	if !strings.Contains(out, "restored session from "+state) ||
+		!strings.Contains(out, "0 plane rebuilds") ||
+		!strings.Contains(out, "checkpoint epoch") {
+		t.Fatalf("restart output: %s", out)
+	}
+	if _, err := runCLI(t, "serve", "-wal", state, "-restore", "x", "-duration", "10ms"); err == nil ||
+		!strings.Contains(err.Error(), "exclusive") {
+		t.Fatalf("-wal with -restore: err = %v, want exclusivity error", err)
+	}
+	if _, err := runCLI(t, "serve", "-wal", state, "-wal-sync", "0", "-duration", "10ms"); err == nil {
+		t.Fatal("-wal-sync 0 accepted")
+	}
+}

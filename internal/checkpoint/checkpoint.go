@@ -6,7 +6,7 @@
 // Format (all integers little-endian):
 //
 //	magic   [8]byte  "LCGCKPT\x00"
-//	version uint32   (currently 1)
+//	version uint32   (currently 2)
 //	nodes   uint32
 //	chans   uint32, then per channel in ChannelPairs order:
 //	        from uint32, to uint32, capA float64, capB float64
@@ -18,6 +18,9 @@
 //	departed count uint32 + node uint32 entries, strictly ascending —
 //	        the session's churn mask (departed nodes keep their
 //	        identifiers but leave candidate pools and demand)
+//	epoch   uint64   the serving snapshot epoch (0 when the state never
+//	        served) — recovery restores it exactly, then replays the
+//	        WAL suffix from epoch+1 (added in v2; v1 streams rejected)
 //	plane   n uint32, then n uint16-distance rows, then n float64-sigma
 //	        rows (the forward plane only — the transpose is a pure
 //	        permutation, rebuilt on load bit-identically)
@@ -51,7 +54,7 @@ import (
 var ErrBadCheckpoint = errors.New("checkpoint: invalid checkpoint data")
 
 const (
-	version = 1
+	version = 2
 
 	// maxNodes bounds the node count a checkpoint may claim — far above
 	// the supported n=10k envelope, low enough that a corrupted header
@@ -77,6 +80,10 @@ type Snapshot struct {
 	// Plane is the forward all-pairs structure; its transpose is not
 	// stored (TransposedParallel reproduces it bit-identically).
 	Plane *graph.AllPairs
+	// Epoch is the serving snapshot epoch at capture time (0 when the
+	// state never served). Recovery adopts it verbatim, then replays the
+	// WAL suffix from Epoch+1.
+	Epoch uint64
 }
 
 // Write encodes s to w. The graph must be channel-paired (every directed
@@ -141,6 +148,7 @@ func Write(w io.Writer, s *Snapshot) error {
 	for _, v := range s.Departed {
 		e.u32(uint32(v))
 	}
+	e.u64(s.Epoch)
 
 	e.u32(uint32(n))
 	for r := 0; r < n; r++ {
@@ -231,6 +239,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 		prev = int64(v)
 		departed = append(departed, graph.NodeID(v))
 	}
+	epoch := d.u64()
 
 	pn := d.u32()
 	if d.err == nil && pn != nodes {
@@ -256,7 +265,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if stored != sum {
 		return nil, fmt.Errorf("%w: CRC mismatch: stored %08x, computed %08x", ErrBadCheckpoint, stored, sum)
 	}
-	return &Snapshot{Graph: g, RemoteBalance: remote, Demand: demand, Rates: rates, Departed: departed, Plane: ap}, nil
+	return &Snapshot{Graph: g, RemoteBalance: remote, Demand: demand, Rates: rates, Departed: departed, Plane: ap, Epoch: epoch}, nil
 }
 
 // encoder writes fixed-width little-endian primitives through one
@@ -283,6 +292,12 @@ func (e *encoder) write(b []byte) {
 func (e *encoder) u32(v uint32) {
 	b := e.scratch(4)
 	binary.LittleEndian.PutUint32(b, v)
+	e.write(b)
+}
+
+func (e *encoder) u64(v uint64) {
+	b := e.scratch(8)
+	binary.LittleEndian.PutUint64(b, v)
 	e.write(b)
 }
 
@@ -344,6 +359,14 @@ func (d *decoder) u32() uint32 {
 		return 0
 	}
 	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.read(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
 }
 
 func (d *decoder) f64() float64 {

@@ -52,6 +52,7 @@ func buildSnapshot(t testing.TB, n int, seed int64) *Snapshot {
 		Rates:         rates,
 		Departed:      departed,
 		Plane:         g.AllPairsBFS(),
+		Epoch:         uint64(n)*1000 + 7,
 	}
 }
 
@@ -117,6 +118,9 @@ func requireSameSnapshot(t *testing.T, got, want *Snapshot) {
 		if got.Departed[i] != want.Departed[i] {
 			t.Fatalf("departed[%d] = %d, want %d", i, got.Departed[i], want.Departed[i])
 		}
+	}
+	if got.Epoch != want.Epoch {
+		t.Fatalf("epoch %d, want %d", got.Epoch, want.Epoch)
 	}
 	requireSamePlane(t, got.Plane, want.Plane)
 }

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/lightning-creation-games/lcg/internal/wal"
+)
+
+// DurableConfig shapes the durability layer: where state lives, how
+// eagerly the WAL syncs, and when the background checkpointer runs.
+type DurableConfig struct {
+	// Dir holds everything: wal-<gen>.log segments and
+	// ckpt-<epoch>.bin snapshots side by side.
+	Dir string
+	// FS is the filesystem seam; nil means the real one. The torture
+	// harness injects a fault-scripted MemFS here.
+	FS wal.FS
+	// Sync is the WAL fsync policy. The zero value (fsync every
+	// record) is the no-acknowledged-loss setting.
+	Sync wal.SyncPolicy
+	// CheckpointInterval triggers a background checkpoint on a timer
+	// (0 disables the timer trigger).
+	CheckpointInterval time.Duration
+	// CheckpointMutations triggers a background checkpoint once that
+	// many mutations accumulate since the last one (0 disables the
+	// count trigger). With both triggers zero no checkpointer runs;
+	// the WAL alone carries durability until Close.
+	CheckpointMutations int
+	// Retain is how many checkpoint generations survive pruning
+	// (minimum and default 2: the newest could always be the one a
+	// crash interrupts the fsync of on some other layer's watch).
+	Retain int
+	// RetryBackoff and MaxRetries bound the checkpointer's response to
+	// a failing disk: MaxRetries attempts spaced by RetryBackoff, then
+	// the session degrades (keeps serving, reports unhealthy) until
+	// the next trigger tries again. Defaults: 250ms, 3.
+	RetryBackoff time.Duration
+	MaxRetries   int
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.FS == nil {
+		c.FS = wal.OS{}
+	}
+	if c.Retain < 2 {
+		c.Retain = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
+	}
+	if c.MaxRetries < 1 {
+		c.MaxRetries = 3
+	}
+	return c
+}
+
+// Durable is a Session wrapped in its durability machinery: a WAL
+// receiving every mutation and a background checkpointer that
+// periodically compacts the log into an atomic snapshot.
+type Durable struct {
+	S *Session
+
+	cfg  DurableConfig
+	fsys wal.FS
+	w    *wal.Writer
+
+	// pending counts mutations since the last durable checkpoint.
+	pending atomic.Int64
+	notify  chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	closed  atomic.Bool
+
+	// Recovered reports what recovery found: the checkpoint epoch it
+	// loaded and how many WAL records it replayed on top. Zero values
+	// on a fresh open.
+	RecoveredCheckpointEpoch uint64
+	RecoveredWALRecords      int
+}
+
+// Open stands up the durability layer over cfg.Dir. If the directory
+// holds a decodable checkpoint, the newest one is loaded and the WAL
+// suffix past its epoch is replayed — recovery lands on the exact
+// pre-crash durable epoch with zero plane rebuilds. Otherwise seed
+// supplies the fresh session and an initial checkpoint is written
+// before the WAL opens, so the log is never the only copy of state.
+//
+// A WAL that fails integrity checks (mid-stream corruption, a replay
+// suffix with a gap) refuses to open: silently serving a state that
+// lost acknowledged mutations is the one unacceptable outcome.
+func Open(dcfg DurableConfig, scfg Config, seed func() (*Session, error)) (*Durable, error) {
+	dcfg = dcfg.withDefaults()
+	if dcfg.Dir == "" {
+		return nil, fmt.Errorf("serve: durable open: empty dir")
+	}
+	fsys := dcfg.FS
+	if err := fsys.MkdirAll(dcfg.Dir); err != nil {
+		return nil, fmt.Errorf("serve: durable open: %w", err)
+	}
+	log, err := wal.ReadAll(fsys, dcfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: durable open: %w", err)
+	}
+
+	d := &Durable{cfg: dcfg, fsys: fsys, notify: make(chan struct{}, 1), stop: make(chan struct{}), done: make(chan struct{})}
+	epochs, err := checkpointEpochs(fsys, dcfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: durable open: %w", err)
+	}
+	switch {
+	case len(epochs) > 0:
+		s, ckptEpoch, err := restoreNewest(fsys, dcfg.Dir, epochs, scfg)
+		if err != nil {
+			return nil, err
+		}
+		suffix, err := log.Suffix(ckptEpoch)
+		if err != nil {
+			return nil, fmt.Errorf("serve: durable open: %w", err)
+		}
+		s.setReplaying(true)
+		for i, rec := range suffix {
+			if err := applyRecord(s, rec); err != nil {
+				return nil, fmt.Errorf("serve: replay record %d (%s, epoch %d): %w", i, rec.Kind, rec.Epoch, err)
+			}
+			if got := s.Epoch(); got != rec.Epoch {
+				return nil, fmt.Errorf("serve: replay diverged: epoch %d after a record stamped %d", got, rec.Epoch)
+			}
+		}
+		s.setReplaying(false)
+		d.S = s
+		d.RecoveredCheckpointEpoch = ckptEpoch
+		d.RecoveredWALRecords = len(suffix)
+	case len(log.Records) > 0:
+		return nil, fmt.Errorf("serve: durable open: %s has WAL records but no checkpoint", dcfg.Dir)
+	default:
+		if seed == nil {
+			return nil, fmt.Errorf("serve: durable open: %s is empty and no seed was given", dcfg.Dir)
+		}
+		s, err := seed()
+		if err != nil {
+			return nil, err
+		}
+		d.S = s
+		// The initial checkpoint lands before the WAL opens: the log
+		// must always be a suffix over a durable base.
+		if _, err := d.writeCheckpoint(); err != nil {
+			return nil, fmt.Errorf("serve: initial checkpoint: %w", err)
+		}
+	}
+
+	w, err := wal.Create(fsys, dcfg.Dir, dcfg.Sync)
+	if err != nil {
+		return nil, fmt.Errorf("serve: durable open: %w", err)
+	}
+	d.w = w
+	d.S.attachDurability(w, d.mutated)
+	if dcfg.CheckpointInterval > 0 || dcfg.CheckpointMutations > 0 {
+		go d.checkpointLoop()
+	} else {
+		close(d.done)
+	}
+	return d, nil
+}
+
+// Close stops the checkpointer, takes a final checkpoint (so a clean
+// shutdown restarts with an empty replay), and closes the WAL. The
+// session itself keeps answering in-memory queries. Idempotent: later
+// calls are no-ops.
+func (d *Durable) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(d.stop)
+	<-d.done
+	var err error
+	if d.pending.Load() > 0 {
+		err = d.checkpointOnce()
+	}
+	if cerr := d.w.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+// CheckpointNow forces one checkpoint cycle synchronously — the
+// shutdown path and tests use it; the background loop runs the same
+// cycle.
+func (d *Durable) CheckpointNow() error { return d.checkpointOnce() }
+
+// mutated is the session's post-seal ping (called under the write
+// lock; must not block).
+func (d *Durable) mutated() {
+	n := d.pending.Add(1)
+	if d.cfg.CheckpointMutations > 0 && n >= int64(d.cfg.CheckpointMutations) {
+		select {
+		case d.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (d *Durable) checkpointLoop() {
+	defer close(d.done)
+	var tick <-chan time.Time
+	if d.cfg.CheckpointInterval > 0 {
+		t := time.NewTicker(d.cfg.CheckpointInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-tick:
+			if d.pending.Load() == 0 {
+				continue // nothing new; keep the old generation
+			}
+		case <-d.notify:
+		}
+		d.checkpointWithRetry()
+	}
+}
+
+// checkpointWithRetry runs one checkpoint cycle, retrying a failing
+// disk with backoff; when the budget runs out the session degrades and
+// stays up — the next trigger tries again.
+func (d *Durable) checkpointWithRetry() {
+	var err error
+	for attempt := 0; attempt < d.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-d.stop:
+				return
+			case <-time.After(d.cfg.RetryBackoff):
+			}
+		}
+		if err = d.checkpointOnce(); err == nil {
+			return
+		}
+	}
+	d.S.setDegraded(fmt.Sprintf("checkpointer: %d attempts failed, last: %v", d.cfg.MaxRetries, err))
+}
+
+// checkpointOnce is one full cycle: rotate the WAL (so every sealed
+// segment's records are ≤ the snapshot's epoch), write the snapshot
+// via temp-file + fsync + atomic rename, then prune the sealed
+// segments and stale checkpoint generations the new snapshot subsumes.
+func (d *Durable) checkpointOnce() error {
+	before := d.pending.Load()
+	sealed, err := d.w.Rotate()
+	if err != nil {
+		return fmt.Errorf("serve: checkpoint rotate: %w", err)
+	}
+	if _, err := d.writeCheckpoint(); err != nil {
+		return err
+	}
+	// The snapshot is durable: the sealed segments and any older
+	// checkpoints are now redundant. Failures here cost only disk
+	// space, never correctness — ReadAll tolerates partial prunes.
+	d.w.Prune(sealed)
+	d.pruneCheckpoints()
+	d.pending.Add(-before)
+	d.S.clearDegraded()
+	return nil
+}
+
+// writeCheckpoint streams a snapshot to a temp file, fsyncs, and
+// renames it to ckpt-<epoch>.bin — the name is only decided once the
+// read lock freezes the epoch, which is why this does not reuse
+// wal.AtomicWrite.
+func (d *Durable) writeCheckpoint() (uint64, error) {
+	tmp := d.cfg.Dir + "/ckpt.tmp"
+	f, err := d.fsys.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("serve: checkpoint create: %w", err)
+	}
+	epoch, err := d.S.checkpointEpoch(f)
+	if err != nil {
+		f.Close()
+		d.fsys.Remove(tmp)
+		return 0, fmt.Errorf("serve: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		d.fsys.Remove(tmp)
+		return 0, fmt.Errorf("serve: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		d.fsys.Remove(tmp)
+		return 0, fmt.Errorf("serve: checkpoint close: %w", err)
+	}
+	if err := d.fsys.Rename(tmp, ckptPath(d.cfg.Dir, epoch)); err != nil {
+		d.fsys.Remove(tmp)
+		return 0, fmt.Errorf("serve: checkpoint rename: %w", err)
+	}
+	return epoch, nil
+}
+
+// pruneCheckpoints deletes checkpoint generations beyond Retain,
+// oldest first, best-effort.
+func (d *Durable) pruneCheckpoints() {
+	epochs, err := checkpointEpochs(d.fsys, d.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for len(epochs) > d.cfg.Retain {
+		d.fsys.Remove(ckptPath(d.cfg.Dir, epochs[0])) //nolint:errcheck
+		epochs = epochs[1:]
+	}
+}
+
+// restoreNewest loads the newest checkpoint that decodes, walking
+// backwards past corrupt generations (that is what Retain > 1 buys).
+func restoreNewest(fsys wal.FS, dir string, epochs []uint64, scfg Config) (*Session, uint64, error) {
+	var lastErr error
+	for i := len(epochs) - 1; i >= 0; i-- {
+		f, err := fsys.Open(ckptPath(dir, epochs[i]))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s, err := Restore(f, scfg)
+		f.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return s, epochs[i], nil
+	}
+	return nil, 0, fmt.Errorf("serve: no checkpoint in %s decodes: %w", dir, lastErr)
+}
+
+// applyRecord replays one WAL record through the session's public
+// mutation surface — exactly the code path the original mutation took,
+// which is what makes replay byte-exact.
+func applyRecord(s *Session, rec wal.Record) error {
+	var err error
+	switch rec.Kind {
+	case wal.KindCommitJoin:
+		_, _, err = s.CommitJoin(rec.Strategy)
+	case wal.KindClose:
+		_, _, err = s.Close(rec.Node)
+	case wal.KindTick:
+		_, _, err = s.Tick(rec.Arrivals, rec.Seed)
+	case wal.KindRefresh:
+		_, err = s.Refresh()
+	case wal.KindSetDemand:
+		_, err = s.SetDemand(rec.Demand)
+	default:
+		err = fmt.Errorf("unknown kind %d", rec.Kind)
+	}
+	return err
+}
+
+func ckptPath(dir string, epoch uint64) string {
+	return fmt.Sprintf("%s/ckpt-%020d.bin", dir, epoch)
+}
+
+// checkpointEpochs lists the checkpoint generations in dir, ascending.
+func checkpointEpochs(fsys wal.FS, dir string) ([]uint64, error) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var epochs []uint64
+	for _, name := range names {
+		s, ok := strings.CutPrefix(name, "ckpt-")
+		if !ok {
+			continue
+		}
+		s, ok = strings.CutSuffix(s, ".bin")
+		if !ok || s == "" {
+			continue
+		}
+		epoch, bad := uint64(0), false
+		for _, c := range s {
+			if c < '0' || c > '9' {
+				bad = true
+				break
+			}
+			epoch = epoch*10 + uint64(c-'0')
+		}
+		if !bad {
+			epochs = append(epochs, epoch)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	return epochs, nil
+}
+
+// checkpointEpoch streams the snapshot and reports the epoch it froze
+// — one read-lock hold, so the name and the content cannot diverge.
+func (s *Session) checkpointEpoch(w io.Writer) (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch, s.checkpointLocked(w)
+}

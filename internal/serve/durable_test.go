@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+	"github.com/lightning-creation-games/lcg/internal/wal"
+)
+
+const tortureDir = "/state"
+
+func tortureServeConfig() Config {
+	return Config{Params: testParams(), RemoteBalance: 1, Workers: 2}
+}
+
+// tortureSeed builds the deterministic genesis session every torture
+// participant (durable run, recovery, oracle) starts from.
+func tortureSeed() (*Session, error) {
+	g := graph.BarabasiAlbert(48, 2, 1, rand.New(rand.NewSource(42)))
+	gs, err := core.NewGrowSession(g, testParams(), 48+512, 1)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(gs, tortureServeConfig())
+}
+
+func tortureDurableConfig(fsys wal.FS) DurableConfig {
+	return DurableConfig{
+		Dir:                 tortureDir,
+		FS:                  fsys,
+		Sync:                wal.SyncPolicy{Every: 1},
+		CheckpointMutations: 5,
+		RetryBackoff:        time.Millisecond,
+		MaxRetries:          2,
+	}
+}
+
+// testAlive snapshots the alive node list (in-package peek).
+func testAlive(s *Session) []graph.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.aliveLocked(graph.InvalidNode)
+}
+
+// applyTortureMutation applies deterministic mutation i to s: a lumpy
+// mix of every WAL record kind, every choice derived from i and the
+// session's (deterministic) state. The same function drives the
+// durable session, the recovered session, and the never-crashed
+// oracle, so all walk the identical trajectory.
+func applyTortureMutation(i int, s *Session) error {
+	if i%13 == 6 {
+		k := min(s.NumNodes(), 24)
+		p := make([][]float64, k)
+		for r := range p {
+			row := make([]float64, k)
+			for c := range row {
+				row[c] = 1 / float64(k)
+			}
+			p[r] = row
+		}
+		rates := make([]float64, k)
+		for r := range rates {
+			rates[r] = 0.5 + float64((i+r)%3)
+		}
+		_, err := s.SetDemand(&traffic.Demand{P: p, Rates: rates})
+		return err
+	}
+	if i%7 == 3 {
+		if alive := testAlive(s); len(alive) > 8 {
+			_, _, err := s.Close(alive[(i*5+1)%len(alive)])
+			return err
+		}
+	}
+	if i%5 == 2 {
+		_, err := s.Refresh()
+		return err
+	}
+	if i%11 == 4 {
+		alive := testAlive(s)
+		strategy := core.Strategy{
+			{Peer: alive[i%len(alive)], Lock: 1},
+			{Peer: alive[(i+3)%len(alive)], Lock: 0.5},
+		}
+		if strategy[0].Peer == strategy[1].Peer {
+			strategy = strategy[:1]
+		}
+		_, _, err := s.CommitJoin(strategy)
+		return err
+	}
+	_, _, err := s.Tick(1+i%2, int64(i)*31+7)
+	return err
+}
+
+// runTortureTraffic opens a durable session over ffs and drives the
+// mutation script until it finishes or the injected crash fires. It
+// returns how many mutations were acknowledged (returned nil).
+func runTortureTraffic(t *testing.T, ffs *wal.FaultFS, mutations int) int {
+	t.Helper()
+	d, err := Open(tortureDurableConfig(ffs), tortureServeConfig(), tortureSeed)
+	if err != nil {
+		if !ffs.Crashed() {
+			t.Fatalf("Open failed without a crash: %v", err)
+		}
+		return 0
+	}
+	acked := 0
+	for i := 0; i < mutations; i++ {
+		if err := applyTortureMutation(i, d.S); err != nil {
+			if !ffs.Crashed() && !errors.Is(err, wal.ErrInjected) {
+				t.Fatalf("mutation %d failed without a crash: %v", i, err)
+			}
+			break
+		}
+		acked++
+	}
+	d.Close() //nolint:errcheck — post-crash close fails by design
+	return acked
+}
+
+// recoverAndVerify recovers from the surviving bytes in mem and checks
+// the full durability contract against a never-crashed oracle.
+func recoverAndVerify(t *testing.T, mem *wal.MemFS, acked, mutations int) {
+	t.Helper()
+	rec, err := Open(tortureDurableConfig(mem), tortureServeConfig(), tortureSeed)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer rec.Close() //nolint:errcheck
+
+	// fsync-every-record: every acknowledged mutation survived; at most
+	// the single in-flight unacknowledged one may have landed too.
+	epoch := rec.S.Epoch()
+	if epoch < uint64(acked)+1 || epoch > uint64(acked)+2 {
+		t.Fatalf("recovered epoch %d, want %d or %d (acked %d)", epoch, acked+1, acked+2, acked)
+	}
+	if n := rec.S.RebuildCount(); n != 0 {
+		t.Fatalf("recovery rebuilt %d planes, want 0", n)
+	}
+
+	// The oracle replays the same script on a never-crashed session up
+	// to the recovered epoch; the two checkpoints must be byte-equal.
+	oracle, err := tortureSeed()
+	if err != nil {
+		t.Fatalf("oracle seed: %v", err)
+	}
+	replayed := int(epoch) - 1
+	for i := 0; i < replayed; i++ {
+		if err := applyTortureMutation(i, oracle); err != nil {
+			t.Fatalf("oracle mutation %d: %v", i, err)
+		}
+	}
+	requireEqualCheckpoints(t, oracle, rec.S, "after recovery")
+
+	// And the recovered session keeps walking the oracle's trajectory.
+	for i := replayed; i < mutations; i++ {
+		if err := applyTortureMutation(i, oracle); err != nil {
+			t.Fatalf("oracle mutation %d: %v", i, err)
+		}
+		if err := applyTortureMutation(i, rec.S); err != nil {
+			t.Fatalf("post-recovery mutation %d: %v", i, err)
+		}
+	}
+	requireEqualCheckpoints(t, oracle, rec.S, "after post-recovery traffic")
+}
+
+func requireEqualCheckpoints(t *testing.T, a, b *Session, when string) {
+	t.Helper()
+	if ae, be := a.Epoch(), b.Epoch(); ae != be {
+		t.Fatalf("%s: oracle epoch %d, recovered epoch %d", when, ae, be)
+	}
+	var abuf, bbuf bytes.Buffer
+	if err := a.Checkpoint(&abuf); err != nil {
+		t.Fatalf("%s: oracle checkpoint: %v", when, err)
+	}
+	if err := b.Checkpoint(&bbuf); err != nil {
+		t.Fatalf("%s: recovered checkpoint: %v", when, err)
+	}
+	if !bytes.Equal(abuf.Bytes(), bbuf.Bytes()) {
+		t.Fatalf("%s: checkpoints differ (%d vs %d bytes)", when, abuf.Len(), bbuf.Len())
+	}
+}
+
+// TestCrashTortureRecovery is the fault-injection acceptance test: a
+// dry run measures the filesystem-operation envelope, then each trial
+// hard-kills the process model at a chosen operation — seeded-random
+// points plus aimed mid-append and mid-rename kills — recovers from
+// the surviving bytes, and requires the recovered substrate byte-equal
+// to a never-crashed oracle, with zero plane rebuilds and no
+// acknowledged mutation lost.
+func TestCrashTortureRecovery(t *testing.T) {
+	const mutations = 40
+	dry := wal.NewFaultFS(wal.NewMemFS(), rand.New(rand.NewSource(1)), 0)
+	acked := runTortureTraffic(t, dry, mutations)
+	if acked != mutations {
+		t.Fatalf("dry run acknowledged %d/%d mutations", acked, mutations)
+	}
+	ops := dry.Ops()
+	if len(ops) == 0 {
+		t.Fatal("dry run performed no filesystem operations")
+	}
+
+	// Aimed kill points: a WAL segment append and a checkpoint rename.
+	aimed := map[string]int{}
+	for i, op := range ops {
+		if strings.HasPrefix(op, "write ") && strings.Contains(op, "/wal-") && aimed["mid-append"] == 0 && i > len(ops)/3 {
+			aimed["mid-append"] = i + 1
+		}
+		if strings.HasPrefix(op, "rename ") && strings.Contains(op, "ckpt-") && aimed["mid-rename"] == 0 && i > len(ops)/3 {
+			aimed["mid-rename"] = i + 1
+		}
+	}
+	if aimed["mid-append"] == 0 || aimed["mid-rename"] == 0 {
+		t.Fatalf("op envelope has no aimable append/rename past warmup: %v", aimed)
+	}
+
+	trials := map[string]int{}
+	for name, at := range aimed {
+		trials[name] = at
+	}
+	rng := rand.New(rand.NewSource(99))
+	randomTrials := 10
+	if testing.Short() {
+		randomTrials = 3
+	}
+	for i := 0; i < randomTrials; i++ {
+		at := 1 + rng.Intn(len(ops))
+		trials[fmt.Sprintf("random-%d", at)] = at
+	}
+
+	for name, at := range trials {
+		t.Run(name, func(t *testing.T) {
+			mem := wal.NewMemFS()
+			ffs := wal.NewFaultFS(mem, rand.New(rand.NewSource(int64(at))), at)
+			acked := runTortureTraffic(t, ffs, mutations)
+			if !ffs.Crashed() {
+				// Scheduling moved the envelope; the trial degenerates
+				// to a clean run, which must still recover exactly.
+				t.Logf("crash point %d beyond this run's envelope", at)
+			}
+			ffs.ClearCrash()
+			recoverAndVerify(t, mem, acked, mutations)
+		})
+	}
+}
+
+// TestDurableCheckpointerCompactsAndRecovers drives the no-fault path:
+// the mutation-count trigger checkpoints in the background, prunes
+// sealed WAL segments and old generations, and a clean reopen replays
+// only the tail.
+func TestDurableCheckpointerCompactsAndRecovers(t *testing.T) {
+	mem := wal.NewMemFS()
+	d, err := Open(tortureDurableConfig(mem), tortureServeConfig(), tortureSeed)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := applyTortureMutation(i, d.S); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	epochs, err := checkpointEpochs(mem, tortureDir)
+	if err != nil {
+		t.Fatalf("checkpointEpochs: %v", err)
+	}
+	if len(epochs) == 0 || len(epochs) > 2 {
+		t.Fatalf("retained %d checkpoint generations, want 1-2 (retain 2)", len(epochs))
+	}
+	if newest := epochs[len(epochs)-1]; newest != 13 {
+		t.Fatalf("newest checkpoint at epoch %d, want 13", newest)
+	}
+
+	rec, err := Open(tortureDurableConfig(mem), tortureServeConfig(), nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close() //nolint:errcheck
+	if rec.S.Epoch() != 13 || rec.RecoveredWALRecords != 0 {
+		t.Fatalf("reopen landed at epoch %d with %d replayed records, want 13 and 0",
+			rec.S.Epoch(), rec.RecoveredWALRecords)
+	}
+	oracle, err := tortureSeed()
+	if err != nil {
+		t.Fatalf("oracle seed: %v", err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := applyTortureMutation(i, oracle); err != nil {
+			t.Fatalf("oracle mutation %d: %v", i, err)
+		}
+	}
+	requireEqualCheckpoints(t, oracle, rec.S, "after clean reopen")
+}
+
+// TestDurableDegradesAndHeals pins the graceful-degradation contract:
+// a transiently failing disk degrades the session (mutations still
+// apply, reads keep serving, healthz reports it) and the next
+// successful checkpoint cycle clears the status. The surviving state
+// still recovers exactly, because the checkpoint covers the mutations
+// whose WAL records were lost.
+func TestDurableDegradesAndHeals(t *testing.T) {
+	mem := wal.NewMemFS()
+	ffs := wal.NewFaultFS(mem, rand.New(rand.NewSource(7)), 0)
+	cfg := tortureDurableConfig(ffs)
+	cfg.CheckpointMutations = 0 // no background loop; checkpoints are manual
+	d, err := Open(cfg, tortureServeConfig(), tortureSeed)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if got := d.S.DurabilityStatus(); got != "" {
+		t.Fatalf("fresh session reports degraded: %q", got)
+	}
+
+	// The next filesystem operation is the first Tick's WAL append.
+	ffs.FailAt(ffs.Steps() + 1)
+	if _, _, err := d.S.Tick(1, 1); !errors.Is(err, wal.ErrInjected) {
+		t.Fatalf("tick over failing disk: err = %v, want ErrInjected", err)
+	}
+	if got := d.S.DurabilityStatus(); got == "" {
+		t.Fatal("append failure did not degrade the session")
+	}
+	// The writer's error is sticky (a gapped log must never form), so
+	// the next mutation still applies but still reports not-durable.
+	if _, _, err := d.S.Tick(1, 2); err == nil {
+		t.Fatal("sticky WAL error cleared without a rotate")
+	}
+	if got := d.S.Epoch(); got != 3 {
+		t.Fatalf("epoch %d after two applied-but-unlogged ticks, want 3", got)
+	}
+
+	// A checkpoint cycle rotates past the sticky error, captures the
+	// unlogged mutations in the snapshot, and clears the degradation.
+	if err := d.CheckpointNow(); err != nil {
+		t.Fatalf("CheckpointNow: %v", err)
+	}
+	if got := d.S.DurabilityStatus(); got != "" {
+		t.Fatalf("still degraded after a successful checkpoint: %q", got)
+	}
+	if _, _, err := d.S.Tick(1, 3); err != nil {
+		t.Fatalf("tick after heal: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rec, err := Open(tortureDurableConfig(mem), tortureServeConfig(), nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close() //nolint:errcheck
+	oracle, err := tortureSeed()
+	if err != nil {
+		t.Fatalf("oracle seed: %v", err)
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		if _, _, err := oracle.Tick(1, seed); err != nil {
+			t.Fatalf("oracle tick %d: %v", seed, err)
+		}
+	}
+	requireEqualCheckpoints(t, oracle, rec.S, "after degrade-heal cycle")
+}

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"github.com/lightning-creation-games/lcg/internal/core"
 	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
 )
 
 // NewHandler wires the session's query and commit surfaces onto an HTTP
@@ -15,15 +17,28 @@ import (
 // response carries the epoch it was answered against. Error mapping:
 // malformed requests are 400, a superseded pinned epoch is 409 (the
 // client re-quotes), a stale substrate is 503, anything else 500.
+//
+// Query routes run under a per-request deadline (Config.QueryTimeout)
+// so a stalled client cannot pin the read lock indefinitely; mutation
+// routes are exempt (a mutation must finish once started), and the
+// checkpoint stream gets a long write deadline instead — it holds the
+// read lock while streaming, the one place a dead-slow client could
+// starve every writer.
 func NewHandler(s *Session) http.Handler {
+	timed := func(h http.HandlerFunc) http.Handler {
+		if s.cfg.QueryTimeout <= 0 {
+			return h
+		}
+		return http.TimeoutHandler(h, s.cfg.QueryTimeout, "query deadline exceeded")
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.Handle("/v1/healthz", timed(func(w http.ResponseWriter, r *http.Request) {
 		if !method(w, r, http.MethodGet) {
 			return
 		}
-		reply(w, map[string]any{"epoch": s.Epoch(), "nodes": s.NumNodes()})
-	})
-	mux.HandleFunc("/v1/price-join", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, map[string]any{"epoch": s.Epoch(), "nodes": s.NumNodes(), "durability": durabilityJSON(s)})
+	}))
+	mux.Handle("/v1/price-join", timed(func(w http.ResponseWriter, r *http.Request) {
 		if !method(w, r, http.MethodPost) {
 			return
 		}
@@ -37,8 +52,8 @@ func NewHandler(s *Session) http.Handler {
 			return
 		}
 		reply(w, priceResultJSON(res))
-	})
-	mux.HandleFunc("/v1/price-join/batch", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/v1/price-join/batch", timed(func(w http.ResponseWriter, r *http.Request) {
 		if !method(w, r, http.MethodPost) {
 			return
 		}
@@ -62,8 +77,8 @@ func NewHandler(s *Session) http.Handler {
 			out[i] = priceResultJSON(res)
 		}
 		reply(w, map[string]any{"results": out})
-	})
-	mux.HandleFunc("/v1/best-response", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/v1/best-response", timed(func(w http.ResponseWriter, r *http.Request) {
 		if !method(w, r, http.MethodPost) {
 			return
 		}
@@ -80,8 +95,8 @@ func NewHandler(s *Session) http.Handler {
 			return
 		}
 		reply(w, priceResultJSON(res))
-	})
-	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.Handle("/v1/metrics", timed(func(w http.ResponseWriter, r *http.Request) {
 		if !method(w, r, http.MethodGet) {
 			return
 		}
@@ -90,8 +105,8 @@ func NewHandler(s *Session) http.Handler {
 			fail(w, err)
 			return
 		}
-		reply(w, map[string]any{"epoch": epoch, "metrics": ep})
-	})
+		reply(w, map[string]any{"epoch": epoch, "metrics": ep, "durability": durabilityJSON(s)})
+	}))
 	mux.HandleFunc("/v1/commit", func(w http.ResponseWriter, r *http.Request) {
 		if !method(w, r, http.MethodPost) {
 			return
@@ -159,10 +174,32 @@ func NewHandler(s *Session) http.Handler {
 		}
 		reply(w, map[string]any{"epoch": epoch})
 	})
+	mux.HandleFunc("/v1/set-demand", func(w http.ResponseWriter, r *http.Request) {
+		if !method(w, r, http.MethodPost) {
+			return
+		}
+		var req struct {
+			P     [][]float64 `json:"p"`
+			Rates []float64   `json:"rates"`
+		}
+		if !decode(w, r, &req) {
+			return
+		}
+		epoch, err := s.SetDemand(&traffic.Demand{P: req.P, Rates: req.Rates})
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		reply(w, map[string]any{"epoch": epoch})
+	})
 	mux.HandleFunc("/v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		if !method(w, r, http.MethodGet) {
 			return
 		}
+		// The stream holds the read lock end to end; a write deadline
+		// bounds how long a stalled client can starve writers.
+		// Best-effort: recorders and exotic writers may not support it.
+		http.NewResponseController(w).SetWriteDeadline(time.Now().Add(checkpointWriteTimeout)) //nolint:errcheck
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if err := s.Checkpoint(w); err != nil {
 			// Headers may be gone already; the truncated body fails the
@@ -171,6 +208,20 @@ func NewHandler(s *Session) http.Handler {
 		}
 	})
 	return mux
+}
+
+// checkpointWriteTimeout bounds the checkpoint stream: generous enough
+// for a 10k-node plane (~800 MB) over a slow link, finite so a dead
+// client eventually releases the read lock.
+const checkpointWriteTimeout = 5 * time.Minute
+
+// durabilityJSON renders the session's durability health for healthz
+// and metrics.
+func durabilityJSON(s *Session) map[string]any {
+	if msg := s.DurabilityStatus(); msg != "" {
+		return map[string]any{"status": "degraded", "reason": msg}
+	}
+	return map[string]any{"status": "ok"}
 }
 
 type priceJSON struct {

@@ -28,13 +28,17 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/lightning-creation-games/lcg/internal/checkpoint"
 	"github.com/lightning-creation-games/lcg/internal/core"
 	"github.com/lightning-creation-games/lcg/internal/graph"
 	"github.com/lightning-creation-games/lcg/internal/growth"
 	"github.com/lightning-creation-games/lcg/internal/par"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
 	"github.com/lightning-creation-games/lcg/internal/txdist"
+	"github.com/lightning-creation-games/lcg/internal/wal"
 )
 
 // ErrEpochGone reports a query pinned to an epoch the session has
@@ -67,6 +71,13 @@ type Config struct {
 	TickBudget     float64
 	TickLock       float64
 	TickCandidates int
+
+	// QueryTimeout bounds one query request end to end (the HTTP layer
+	// wraps query routes in a timeout handler); 0 defaults to 30s,
+	// negative disables the deadline. Mutation routes and the
+	// checkpoint stream are exempt — a mutation must finish once
+	// started, and the stream carries its own write deadline.
+	QueryTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TickCandidates == 0 {
 		c.TickCandidates = 16
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -98,6 +112,18 @@ type Session struct {
 	// substrate (identifiers are stable) but leave the candidate pool
 	// and the metric scans.
 	departed []bool
+
+	// wal, when attached, receives one logical record per mutation
+	// before the epoch seals; replaying suppresses re-logging while
+	// recovery drives mutations through the public methods.
+	wal       *wal.Writer
+	replaying bool
+	// onMutate, when set, pings the background checkpointer after each
+	// sealed mutation (non-blocking; set by the durable layer).
+	onMutate func()
+	// degraded carries the durability layer's failure status ("" =
+	// healthy); read lock-free by healthz and metrics.
+	degraded atomic.Pointer[string]
 }
 
 // NewSession opens a session over gs, which it owns from then on. The
@@ -141,11 +167,15 @@ func Restore(r io.Reader, cfg Config) (*Session, error) {
 	gs.SetParallelism(cfg.Workers)
 	gs.SetDemand(snap.Demand)
 	gs.SetRates(snap.Rates)
+	epoch := snap.Epoch
+	if epoch == 0 {
+		epoch = 1 // a never-served snapshot starts at the first epoch
+	}
 	s := &Session{
 		gs:       gs,
 		cfg:      cfg,
 		pool:     par.NewPool(cfg.Workers),
-		epoch:    1,
+		epoch:    epoch,
 		departed: make([]bool, gs.NumNodes()),
 	}
 	for _, v := range snap.Departed {
@@ -161,6 +191,10 @@ func Restore(r io.Reader, cfg Config) (*Session, error) {
 func (s *Session) Checkpoint(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.checkpointLocked(w)
+}
+
+func (s *Session) checkpointLocked(w io.Writer) error {
 	var departed []graph.NodeID
 	for v, d := range s.departed {
 		if d {
@@ -174,6 +208,7 @@ func (s *Session) Checkpoint(w io.Writer) error {
 		Rates:         s.gs.Rates(),
 		Departed:      departed,
 		Plane:         s.gs.AllPairs(),
+		Epoch:         s.epoch,
 	})
 }
 
@@ -366,8 +401,8 @@ func (s *Session) CommitJoin(strategy core.Strategy) (graph.NodeID, uint64, erro
 		return graph.InvalidNode, s.epoch, err
 	}
 	s.departed = append(s.departed, false)
-	s.sealWriteLocked()
-	return id, s.epoch, nil
+	lerr := s.sealWriteLocked(wal.Record{Kind: wal.KindCommitJoin, Strategy: strategy})
+	return id, s.epoch, lerr
 }
 
 // Close departs a node: closes every channel, folds the closure into
@@ -385,8 +420,8 @@ func (s *Session) Close(v graph.NodeID) (closed int, epoch uint64, err error) {
 	}
 	s.gs.FoldClose()
 	s.departed[v] = true
-	s.sealWriteLocked()
-	return closed, s.epoch, nil
+	lerr := s.sealWriteLocked(wal.Record{Kind: wal.KindClose, Node: v})
+	return closed, s.epoch, lerr
 }
 
 // Tick commits a batch of synthetic arrivals — the sustained write load
@@ -427,8 +462,8 @@ func (s *Session) Tick(arrivals int, seed int64) (int, uint64, error) {
 		s.departed = append(s.departed, false)
 		committed++
 	}
-	s.sealWriteLocked()
-	return committed, s.epoch, nil
+	lerr := s.sealWriteLocked(wal.Record{Kind: wal.KindTick, Arrivals: arrivals, Seed: seed})
+	return committed, s.epoch, lerr
 }
 
 // Refresh re-quotes the demand and λ̂ snapshots against the current
@@ -440,8 +475,35 @@ func (s *Session) Refresh() (uint64, error) {
 	if err := s.refreshLocked(); err != nil {
 		return s.epoch, err
 	}
-	s.sealWriteLocked()
-	return s.epoch, nil
+	lerr := s.sealWriteLocked(wal.Record{Kind: wal.KindRefresh})
+	return s.epoch, lerr
+}
+
+// SetDemand installs an explicit demand snapshot and opens the next
+// epoch — the serving spelling of GrowSession.SetDemand, for operators
+// quoting against externally measured demand instead of the synthetic
+// refresh. The matrix must be square with matching rates and must not
+// outgrow the substrate (it may lag it, like a refresh snapshot).
+func (s *Session) SetDemand(d *traffic.Demand) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d == nil {
+		return s.epoch, fmt.Errorf("%w: nil demand", ErrBadQuery)
+	}
+	if len(d.P) > s.gs.NumNodes() {
+		return s.epoch, fmt.Errorf("%w: demand covers %d nodes, substrate has %d", ErrBadQuery, len(d.P), s.gs.NumNodes())
+	}
+	if len(d.Rates) != len(d.P) {
+		return s.epoch, fmt.Errorf("%w: %d demand rows but %d rates", ErrBadQuery, len(d.P), len(d.Rates))
+	}
+	for i, row := range d.P {
+		if len(row) != len(d.P) {
+			return s.epoch, fmt.Errorf("%w: demand row %d has %d entries, want %d", ErrBadQuery, i, len(row), len(d.P))
+		}
+	}
+	s.gs.SetDemand(d)
+	lerr := s.sealWriteLocked(wal.Record{Kind: wal.KindSetDemand, Demand: d})
+	return s.epoch, lerr
 }
 
 func (s *Session) refreshLocked() error {
@@ -452,12 +514,69 @@ func (s *Session) refreshLocked() error {
 	return nil
 }
 
-// sealWriteLocked closes a write batch: the CSR cache is re-based on
-// the writer's clock (readers must never trigger its mutation) and the
-// epoch advances, invalidating pinned queries.
-func (s *Session) sealWriteLocked() {
+// sealWriteLocked closes a write batch: the mutation's logical record
+// goes to the WAL (before the epoch moves — the write-ahead ordering),
+// the CSR cache is re-based on the writer's clock (readers must never
+// trigger its mutation), and the epoch advances, invalidating pinned
+// queries.
+//
+// A WAL append failure does NOT roll the mutation back — the substrate
+// already changed, and readers must never observe changed state under
+// an unchanged epoch. The epoch still seals, the session degrades, and
+// the caller gets the error so it knows durability is not guaranteed
+// for this (otherwise valid) mutation.
+func (s *Session) sealWriteLocked(rec wal.Record) error {
+	var err error
+	if s.wal != nil && !s.replaying {
+		rec.Epoch = s.epoch + 1
+		if werr := s.wal.Append(rec); werr != nil {
+			s.setDegraded(fmt.Sprintf("wal: %s record at epoch %d not durable: %v", rec.Kind, rec.Epoch, werr))
+			err = fmt.Errorf("serve: mutation applied but not logged: %w", werr)
+		}
+	}
 	s.gs.Graph().PrimeCSR()
 	s.epoch++
+	if s.onMutate != nil {
+		s.onMutate()
+	}
+	return err
+}
+
+// attachDurability installs the WAL writer and the checkpointer's
+// mutation ping. Called by the durable layer before the session serves.
+func (s *Session) attachDurability(w *wal.Writer, onMutate func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal = w
+	s.onMutate = onMutate
+}
+
+// setReplaying toggles recovery mode: mutations apply without
+// re-logging (their records are already in the WAL being replayed).
+func (s *Session) setReplaying(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.replaying = on
+}
+
+// DurabilityStatus reports the durability layer's health: "" while
+// healthy (or when the session runs without a WAL), otherwise a
+// description of what is failing. A degraded session keeps serving —
+// reads are unaffected and mutations still apply — but recent
+// mutations may not survive a crash.
+func (s *Session) DurabilityStatus() string {
+	if msg := s.degraded.Load(); msg != nil {
+		return *msg
+	}
+	return ""
+}
+
+func (s *Session) setDegraded(msg string) {
+	s.degraded.Store(&msg)
+}
+
+func (s *Session) clearDegraded() {
+	s.degraded.Store(nil)
 }
 
 func (s *Session) checkEpoch(at uint64) error {

@@ -1,0 +1,107 @@
+// Package wal is the durability layer's write-ahead log: an
+// append-only stream of logical mutation records in the checkpoint
+// codec's little-endian CRC32-framed style. A serving session appends
+// one record per write-lock mutation before it advances the epoch;
+// recovery replays the log suffix on top of the newest checkpoint and
+// lands on the exact pre-crash epoch.
+//
+// The package also owns the filesystem seam the whole durability layer
+// writes through (FS/File): the background checkpointer and the log
+// writer perform every create/write/sync/rename via the interface, so
+// the fault-injection harness (FaultFS over MemFS) can kill the
+// process model at any operation — mid-append, mid-rename — and prove
+// recovery instead of asserting it.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem seam: exactly the operations the WAL writer and
+// the checkpointer perform. Paths are plain strings; implementations
+// interpret them like package os does.
+type FS interface {
+	// Create truncates-or-creates the file for writing.
+	Create(path string) (File, error)
+	// Open opens the file for reading.
+	Open(path string) (io.ReadCloser, error)
+	// Rename atomically replaces newPath with oldPath.
+	Rename(oldPath, newPath string) error
+	// Remove deletes the file.
+	Remove(path string) error
+	// List returns the file names (not paths) in dir, in any order.
+	// A missing directory is an empty listing, not an error.
+	List(dir string) ([]string, error)
+	// MkdirAll ensures dir exists.
+	MkdirAll(dir string) error
+}
+
+// File is a writable file on an FS. Sync must not return until the
+// bytes written so far are durable.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) Create(path string) (File, error)        { return os.Create(path) }
+func (OS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+func (OS) Rename(oldPath, newPath string) error    { return os.Rename(oldPath, newPath) }
+func (OS) Remove(path string) error                { return os.Remove(path) }
+func (OS) MkdirAll(dir string) error               { return os.MkdirAll(dir, 0o755) }
+
+func (OS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// AtomicWrite writes a file crash-safely: the content goes to
+// path+".tmp", is fsynced and closed, and only then renamed over path.
+// A crash at any point leaves either the old file or the new one —
+// never a torn hybrid — because rename is atomic and the data is
+// durable before the name moves. On error the temp file is removed
+// best-effort.
+func AtomicWrite(fsys FS, path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: create %s: %w", tmp, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("wal: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("wal: close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("wal: rename %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

@@ -1,0 +1,401 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed reports an operation on a fault-injected filesystem after
+// its simulated process death: everything fails until the harness
+// "restarts" by clearing the crash.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrInjected is the transient scripted failure the fault harness
+// returns at a FailAt point — an I/O error without a crash, the shape
+// a full disk or EIO briefly presents.
+var ErrInjected = errors.New("wal: injected fault")
+
+// MemFS is an in-memory FS with an explicit durability model: bytes
+// written to a file are volatile until Sync, and Crash discards a
+// random suffix of every file's unsynced tail — the prefix-persistence
+// model journaling filesystems give a length-framed log. It is the
+// substrate the fault-injection torture tests run on.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int // bytes guaranteed to survive a crash
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{}}
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[path] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemFS) Open(path string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("wal: open %s: file does not exist", path)
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), f.data...))), nil
+}
+
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldPath]
+	if !ok {
+		return fmt.Errorf("wal: rename %s: file does not exist", oldPath)
+	}
+	delete(m.files, oldPath)
+	m.files[newPath] = f
+	// Rename is the durability point of the atomic-write protocol: the
+	// model treats a renamed file as fully durable, matching the
+	// fsync-before-rename discipline AtomicWrite enforces.
+	f.synced = len(f.data)
+	return nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("wal: remove %s: file does not exist", path)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	for path := range m.files {
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Crash simulates process death: every file loses a seeded-random
+// suffix of its unsynced bytes (possibly none, possibly all), so a
+// record appended but not yet fsynced may survive whole, torn, or not
+// at all. Open handles keep working — the crash models the machine,
+// the FaultFS wrapper models the process dying.
+func (m *MemFS) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		if tail := len(f.data) - f.synced; tail > 0 {
+			f.data = f.data[:f.synced+rng.Intn(tail+1)]
+		}
+		f.synced = len(f.data)
+	}
+}
+
+// Clone deep-copies the filesystem — the torture harness snapshots
+// pre-crash state, and benchmarks recover from a pristine copy per
+// iteration.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for path, f := range m.files {
+		out.files[path] = &memFile{data: append([]byte(nil), f.data...), synced: f.synced}
+	}
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	return out
+}
+
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, errors.New("wal: write on closed file")
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return errors.New("wal: sync on closed file")
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+// FaultFS wraps a MemFS and injects failures by operation index: every
+// Create/Open/Rename/Remove/Write/Sync counts one step. A step listed
+// in FailAt returns ErrInjected once (transient fault, no crash); when
+// the step counter reaches CrashAt the process model dies — for a
+// rename, a seeded coin decides whether the rename applied first
+// (crash-after) or not (crash-before, the torn mid-rename case) — the
+// underlying MemFS drops unsynced tails, and every later operation
+// returns ErrCrashed until ClearCrash.
+type FaultFS struct {
+	mu      sync.Mutex
+	inner   *MemFS
+	rng     *rand.Rand
+	step    int
+	crashAt int
+	failAt  map[int]bool
+	crashed bool
+	ops     []string
+}
+
+// NewFaultFS wraps inner with fault injection driven by rng. crashAt
+// ≤ 0 means never crash.
+func NewFaultFS(inner *MemFS, rng *rand.Rand, crashAt int) *FaultFS {
+	return &FaultFS{inner: inner, rng: rng, crashAt: crashAt, failAt: map[int]bool{}}
+}
+
+// FailAt schedules a transient ErrInjected at the given operation
+// indices (1-based, like CrashAt).
+func (f *FaultFS) FailAt(steps ...int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range steps {
+		f.failAt[s] = true
+	}
+}
+
+// Steps reports how many operations have run — a dry run measures the
+// op-count envelope the torture loop then crashes inside of.
+func (f *FaultFS) Steps() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.step
+}
+
+// Ops returns the operation log: entry i-1 describes step i ("write
+// <path>", "rename <old> <new>", …). A dry run's log is how the
+// torture harness aims a crash at a specific kind of operation —
+// mid-append, mid-rename — instead of hoping a random point hits one.
+func (f *FaultFS) Ops() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ops...)
+}
+
+// Crashed reports whether the simulated process death fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// ClearCrash lifts the crash state: the "restarted process" sees the
+// surviving bytes. The step counter keeps running with crash disarmed.
+func (f *FaultFS) ClearCrash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = false
+	f.crashAt = 0
+}
+
+// advance consumes one operation step. It returns a non-nil error when
+// the step must fail; applyFirst says whether the in-flight operation's
+// effect reached the cache before the process died (a seeded coin — the
+// torn mid-rename and mid-append cases), and crashNow tells the caller
+// to invoke crashMachine AFTER applying. The ordering matters: the
+// machine's crash truncation must run after the op lands, or a file
+// could keep bytes written later than bytes it lost — a non-prefix
+// state real hardware cannot produce.
+func (f *FaultFS) advance(op string) (applyFirst, crashNow bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, false, ErrCrashed
+	}
+	f.step++
+	f.ops = append(f.ops, op)
+	if f.failAt[f.step] {
+		delete(f.failAt, f.step)
+		return false, false, fmt.Errorf("%w at step %d", ErrInjected, f.step)
+	}
+	if f.crashAt > 0 && f.step >= f.crashAt {
+		f.crashed = true
+		return f.rng.Intn(2) == 0, true, ErrCrashed
+	}
+	return true, false, nil
+}
+
+// crashMachine drops every file's unsynced tail — the machine half of
+// the crash, run after the in-flight operation settled.
+func (f *FaultFS) crashMachine() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inner.Crash(f.rng)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	apply, crash, err := f.advance("create " + path)
+	if err != nil {
+		if apply {
+			f.inner.Create(path) //nolint:errcheck
+		}
+		if crash {
+			f.crashMachine()
+		}
+		return nil, err
+	}
+	h, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultHandle{fs: f, inner: h, path: path}, nil
+}
+
+func (f *FaultFS) Open(path string) (io.ReadCloser, error) {
+	if _, crash, err := f.advance("open " + path); err != nil {
+		if crash {
+			f.crashMachine()
+		}
+		return nil, err
+	}
+	return f.inner.Open(path)
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	apply, crash, err := f.advance("rename " + oldPath + " " + newPath)
+	if err != nil {
+		if apply {
+			// Crash "after" the rename took effect: the new name is
+			// durable, the process still dies.
+			f.inner.Rename(oldPath, newPath) //nolint:errcheck
+		}
+		if crash {
+			f.crashMachine()
+		}
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	apply, crash, err := f.advance("remove " + path)
+	if err != nil {
+		if apply {
+			f.inner.Remove(path) //nolint:errcheck
+		}
+		if crash {
+			f.crashMachine()
+		}
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	// Directory creation is not a counted fault point: the layer makes
+	// one directory up front and the torture loop aims at the steady
+	// state, not the mkdir.
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) List(dir string) ([]string, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.List(dir)
+}
+
+type faultHandle struct {
+	fs    *FaultFS
+	inner File
+	path  string
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	apply, crash, err := h.fs.advance("write " + h.path)
+	if err != nil {
+		if apply {
+			// The write reaches the cache, THEN the machine dies — so the
+			// crash may keep any prefix of it, never bytes beyond a hole.
+			h.inner.Write(p) //nolint:errcheck
+		}
+		if crash {
+			h.fs.crashMachine()
+		}
+		return 0, err
+	}
+	return h.inner.Write(p)
+}
+
+func (h *faultHandle) Sync() error {
+	apply, crash, err := h.fs.advance("sync " + h.path)
+	if err != nil {
+		if apply {
+			h.inner.Sync() //nolint:errcheck
+		}
+		if crash {
+			h.fs.crashMachine()
+		}
+		return err
+	}
+	return h.inner.Sync()
+}
+
+func (h *faultHandle) Close() error {
+	// Close is not a fault point: it neither persists nor loses data in
+	// the model.
+	return h.inner.Close()
+}

@@ -1,0 +1,643 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/lightning-creation-games/lcg/internal/core"
+	"github.com/lightning-creation-games/lcg/internal/graph"
+	"github.com/lightning-creation-games/lcg/internal/traffic"
+)
+
+// ErrBadWAL reports a log that cannot be trusted: a corrupted frame in
+// the middle of the stream, an impossible record, or an epoch gap. A
+// truncated final frame is NOT this error — a crash mid-append tears
+// the tail, and the reader stops cleanly before it instead.
+var ErrBadWAL = errors.New("wal: corrupt write-ahead log")
+
+const (
+	version = 1
+
+	// maxRecordBytes bounds the payload length one frame may claim, so
+	// a corrupted length cannot demand a pathological allocation. The
+	// largest legal record is a set-demand matrix; 2 GiB clears the
+	// supported n=10k envelope (~800 MB) with headroom.
+	maxRecordBytes = 2 << 30
+
+	// chunkBytes bounds one bulk-read allocation while decoding a
+	// payload, so memory grows with bytes actually present.
+	chunkBytes = 1 << 16
+)
+
+var segMagic = [8]byte{'L', 'C', 'G', 'W', 'A', 'L', 0, 0}
+
+// Kind discriminates the logical mutation a record replays.
+type Kind uint8
+
+const (
+	// KindCommitJoin folds a priced strategy in as a fresh arrival.
+	KindCommitJoin Kind = 1
+	// KindClose departs a node and folds the closure decrementally.
+	KindClose Kind = 2
+	// KindTick commits a seeded batch of synthetic arrivals.
+	KindTick Kind = 3
+	// KindRefresh re-quotes the demand and λ̂ snapshots.
+	KindRefresh Kind = 4
+	// KindSetDemand installs an explicit demand snapshot.
+	KindSetDemand Kind = 5
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCommitJoin:
+		return "commit-join"
+	case KindClose:
+		return "close"
+	case KindTick:
+		return "tick"
+	case KindRefresh:
+		return "refresh"
+	case KindSetDemand:
+		return "set-demand"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one logical mutation. Epoch is the snapshot epoch the
+// session reaches by applying it — records in a log are strictly
+// sequential, which recovery verifies.
+type Record struct {
+	Epoch uint64
+	Kind  Kind
+
+	// Strategy is the committed join (KindCommitJoin).
+	Strategy core.Strategy
+	// Node is the departing node (KindClose).
+	Node graph.NodeID
+	// Arrivals and Seed drive the deterministic tick (KindTick).
+	Arrivals int
+	Seed     int64
+	// Demand is the installed snapshot (KindSetDemand).
+	Demand *traffic.Demand
+}
+
+// SyncPolicy shapes when appended records become durable.
+//
+// The zero value is the safest: fsync after every record, so an
+// acknowledged mutation survives any crash. Every > 1 batches that
+// cost — up to Every-1 acknowledged records may be lost. Interval > 0
+// switches to a background timer instead: appends never fsync inline
+// and the window is bounded by the interval.
+type SyncPolicy struct {
+	Every    int
+	Interval time.Duration
+}
+
+func (p SyncPolicy) every() int {
+	if p.Interval > 0 {
+		return 0 // timer-driven; never inline
+	}
+	if p.Every < 1 {
+		return 1
+	}
+	return p.Every
+}
+
+// Writer appends records to segment files in dir. Segments are named
+// wal-<generation>.log; Rotate seals the live segment and opens the
+// next, so the checkpointer can truncate the log (delete sealed
+// segments) once a checkpoint covering them is durable.
+type Writer struct {
+	mu     sync.Mutex
+	fsys   FS
+	dir    string
+	policy SyncPolicy
+
+	f       File
+	gen     uint64
+	sealed  []string // segment paths safe to delete after the next durable checkpoint
+	pending int      // records appended since the last sync
+	records uint64
+	buf     []byte
+	err     error // sticky: a writer that failed stays failed until Rotate
+
+	timerStop chan struct{}
+	timerDone chan struct{}
+}
+
+// Create opens a writer over dir, starting a fresh segment after any
+// existing ones (a recovered process never appends to a file a dead
+// one may have torn). Existing segments are recorded as sealed: the
+// next durable checkpoint subsumes and deletes them.
+func Create(fsys FS, dir string, policy SyncPolicy) (*Writer, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	names, err := fsys.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	w := &Writer{fsys: fsys, dir: dir, policy: policy}
+	for _, name := range segmentNames(names) {
+		w.sealed = append(w.sealed, dir+"/"+name)
+		if g, ok := segmentGen(name); ok && g >= w.gen {
+			w.gen = g + 1
+		}
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if policy.Interval > 0 {
+		w.timerStop = make(chan struct{})
+		w.timerDone = make(chan struct{})
+		go w.syncLoop(policy.Interval)
+	}
+	return w, nil
+}
+
+func (w *Writer) openSegmentLocked() error {
+	path := fmt.Sprintf("%s/wal-%08d.log", w.dir, w.gen)
+	f, err := w.fsys.Create(path)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if _, err := f.Write(segHeader()); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: segment header: %w", err)
+	}
+	w.f = f
+	w.gen++
+	w.pending = 0
+	w.err = nil
+	return nil
+}
+
+func segHeader() []byte {
+	h := make([]byte, 12)
+	copy(h, segMagic[:])
+	binary.LittleEndian.PutUint32(h[8:], version)
+	return h
+}
+
+// Append encodes rec as one CRC-framed record and applies the sync
+// policy. An error means durability is NOT guaranteed for this record;
+// the writer goes sticky-failed until the next Rotate gives it a fresh
+// segment.
+func (w *Writer) Append(rec Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	frame := appendFrame(w.buf[:0], rec)
+	w.buf = frame[:0]
+	if _, err := w.f.Write(frame); err != nil {
+		w.err = fmt.Errorf("wal: append: %w", err)
+		return w.err
+	}
+	w.records++
+	w.pending++
+	if every := w.policy.every(); every > 0 && w.pending >= every {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces pending records to durable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("wal: sync: %w", err)
+		return w.err
+	}
+	w.pending = 0
+	return nil
+}
+
+// Records reports how many records this writer has appended.
+func (w *Writer) Records() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Rotate seals the live segment (sync + close) and opens the next one.
+// It returns every sealed-and-not-yet-pruned segment path; the caller
+// deletes them via Prune once a checkpoint covering their records is
+// durable. Rotate also clears a sticky append/sync failure — the new
+// segment starts clean.
+func (w *Writer) Rotate() ([]string, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	path := fmt.Sprintf("%s/wal-%08d.log", w.dir, w.gen-1)
+	if w.err == nil {
+		if err := w.syncLocked(); err != nil {
+			return nil, err
+		}
+	}
+	w.f.Close()
+	w.sealed = append(w.sealed, path)
+	if err := w.openSegmentLocked(); err != nil {
+		w.err = err
+		return nil, err
+	}
+	return append([]string(nil), w.sealed...), nil
+}
+
+// Prune deletes the given sealed segments (best-effort) and forgets
+// them. Only call with paths returned by Rotate, after the checkpoint
+// that covers them is durably renamed.
+func (w *Writer) Prune(paths []string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	gone := map[string]bool{}
+	for _, p := range paths {
+		if w.fsys.Remove(p) == nil {
+			gone[p] = true
+		}
+	}
+	kept := w.sealed[:0]
+	for _, p := range w.sealed {
+		if !gone[p] {
+			kept = append(kept, p)
+		}
+	}
+	w.sealed = kept
+}
+
+// Close syncs and closes the live segment and stops the sync timer.
+func (w *Writer) Close() error {
+	if w.timerStop != nil {
+		close(w.timerStop)
+		<-w.timerDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.err == nil {
+		err = w.syncLocked()
+	}
+	if cerr := w.f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return err
+}
+
+func (w *Writer) syncLoop(interval time.Duration) {
+	defer close(w.timerDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.timerStop:
+			return
+		case <-t.C:
+			w.Sync() //nolint:errcheck — sticky error resurfaces on the next Append
+		}
+	}
+}
+
+// appendFrame encodes rec onto buf as
+//
+//	len uint32 | crc uint32 | payload
+//
+// where payload = kind u8 | epoch u64 | body and crc is IEEE CRC-32 of
+// the payload. The frame is written in ONE Write call, so the
+// prefix-persistence crash model can only ever tear it into a strict
+// prefix — which the reader detects as a truncated tail.
+func appendFrame(buf []byte, rec Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // len + crc placeholders
+	buf = append(buf, byte(rec.Kind))
+	buf = appendU64(buf, rec.Epoch)
+	switch rec.Kind {
+	case KindCommitJoin:
+		buf = appendU32(buf, uint32(len(rec.Strategy)))
+		for _, a := range rec.Strategy {
+			buf = appendU32(buf, uint32(a.Peer))
+			buf = appendF64(buf, a.Lock)
+		}
+	case KindClose:
+		buf = appendU32(buf, uint32(rec.Node))
+	case KindTick:
+		buf = appendU32(buf, uint32(rec.Arrivals))
+		buf = appendU64(buf, uint64(rec.Seed))
+	case KindRefresh:
+	case KindSetDemand:
+		d := rec.Demand
+		if d == nil {
+			d = &traffic.Demand{}
+		}
+		buf = appendU32(buf, uint32(len(d.P)))
+		for _, row := range d.P {
+			buf = appendU32(buf, uint32(len(row)))
+			for _, v := range row {
+				buf = appendF64(buf, v)
+			}
+		}
+		buf = appendU32(buf, uint32(len(d.Rates)))
+		for _, v := range d.Rates {
+			buf = appendF64(buf, v)
+		}
+	}
+	payload := buf[start+8:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+// Log is the decoded write-ahead log.
+type Log struct {
+	Records []Record
+	// Torn reports that the final segment ended mid-frame — the
+	// signature of a crash mid-append. The records before the tear are
+	// intact (each carried its own CRC).
+	Torn bool
+	// Segments is how many segment files were read.
+	Segments int
+}
+
+// ReadAll decodes every segment in dir in generation order. Each
+// segment tolerates a truncated tail — a crash tears the segment being
+// appended, and a segment torn in a previous process life stays torn
+// after recovery rotates past it. Epochs must climb strictly across
+// segment boundaries, but gaps between segments are tolerated: a
+// partially pruned log (some sealed segments deleted, some not) is
+// still valid, and Suffix is where recovery proves the part it
+// actually replays is gapless. Everything else is ErrBadWAL: a CRC
+// mismatch on a complete frame anywhere (a torn append shortens a
+// file, it never rewrites bytes already present), a malformed record,
+// or an epoch gap inside one segment.
+func ReadAll(fsys FS, dir string) (*Log, error) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	segs := segmentNames(names)
+	log := &Log{Segments: len(segs)}
+	for _, name := range segs {
+		f, err := fsys.Open(dir + "/" + name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open %s: %w", name, err)
+		}
+		recs, torn, err := ReadSegment(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%w (segment %s)", err, name)
+		}
+		if len(recs) > 0 && len(log.Records) > 0 {
+			if last := log.Records[len(log.Records)-1].Epoch; recs[0].Epoch <= last {
+				return nil, fmt.Errorf("%w: segment %s opens at epoch %d, not after %d",
+					ErrBadWAL, name, recs[0].Epoch, last)
+			}
+		}
+		log.Records = append(log.Records, recs...)
+		log.Torn = torn
+	}
+	return log, nil
+}
+
+// Suffix returns the records with Epoch > base — the replay suffix on
+// top of a checkpoint taken at epoch base — verifying the suffix is
+// exactly contiguous from base+1. A gap there means an acknowledged
+// mutation is missing and the log cannot be trusted for recovery.
+func (l *Log) Suffix(base uint64) ([]Record, error) {
+	i := sort.Search(len(l.Records), func(i int) bool { return l.Records[i].Epoch > base })
+	recs := l.Records[i:]
+	for j, rec := range recs {
+		if rec.Epoch != base+uint64(j)+1 {
+			return nil, fmt.Errorf("%w: replay suffix wants epoch %d, found %d",
+				ErrBadWAL, base+uint64(j)+1, rec.Epoch)
+		}
+	}
+	return recs, nil
+}
+
+// ReadSegment decodes one segment stream. A truncated tail (short
+// header, torn frame) ends the stream cleanly with torn=true; a CRC
+// mismatch on a complete frame, a malformed record, or an epoch gap
+// between consecutive records (one writer appends them sequentially,
+// so a within-segment gap is corruption) is ErrBadWAL.
+func ReadSegment(r io.Reader) (recs []Record, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, true, nil
+		}
+		return nil, false, fmt.Errorf("%w: segment header: %v", ErrBadWAL, err)
+	}
+	if [8]byte(hdr[:8]) != segMagic {
+		return nil, false, fmt.Errorf("%w: bad segment magic %q", ErrBadWAL, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != version {
+		return nil, false, fmt.Errorf("%w: segment version %d, want %d", ErrBadWAL, v, version)
+	}
+	var frame [8]byte
+	payload := make([]byte, 0, 1024)
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			if err == io.EOF {
+				return recs, false, nil // clean frame boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				return recs, true, nil
+			}
+			return nil, false, fmt.Errorf("%w: frame header: %v", ErrBadWAL, err)
+		}
+		length := binary.LittleEndian.Uint32(frame[:4])
+		want := binary.LittleEndian.Uint32(frame[4:])
+		if length < 9 || length > maxRecordBytes {
+			return nil, false, fmt.Errorf("%w: frame length %d out of range", ErrBadWAL, length)
+		}
+		payload = payload[:0]
+		for n := int(length); n > 0; {
+			c := min(n, chunkBytes)
+			mark := len(payload)
+			payload = append(payload, make([]byte, c)...)
+			if _, err := io.ReadFull(br, payload[mark:]); err != nil {
+				return recs, true, nil // torn mid-payload
+			}
+			n -= c
+		}
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, false, fmt.Errorf("%w: record CRC mismatch: stored %08x, computed %08x", ErrBadWAL, want, got)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(recs) > 0 && rec.Epoch != recs[len(recs)-1].Epoch+1 {
+			return nil, false, fmt.Errorf("%w: epoch gap %d → %d within segment",
+				ErrBadWAL, recs[len(recs)-1].Epoch, rec.Epoch)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// decodeRecord parses one CRC-verified payload.
+func decodeRecord(p []byte) (Record, error) {
+	d := recDecoder{p: p}
+	rec := Record{Kind: Kind(d.u8()), Epoch: d.u64()}
+	switch rec.Kind {
+	case KindCommitJoin:
+		n := d.u32()
+		if d.err == nil && uint64(n)*12 > uint64(len(p)) {
+			return rec, fmt.Errorf("%w: strategy count %d exceeds payload", ErrBadWAL, n)
+		}
+		rec.Strategy = make(core.Strategy, 0, n)
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			rec.Strategy = append(rec.Strategy, core.Action{Peer: graph.NodeID(d.u32()), Lock: d.f64()})
+		}
+	case KindClose:
+		rec.Node = graph.NodeID(d.u32())
+	case KindTick:
+		rec.Arrivals = int(d.u32())
+		rec.Seed = int64(d.u64())
+	case KindRefresh:
+	case KindSetDemand:
+		rows := d.u32()
+		if d.err == nil && uint64(rows)*4 > uint64(len(p)) {
+			return rec, fmt.Errorf("%w: demand row count %d exceeds payload", ErrBadWAL, rows)
+		}
+		demand := &traffic.Demand{}
+		for i := uint32(0); i < rows && d.err == nil; i++ {
+			demand.P = append(demand.P, d.floats(d.u32()))
+		}
+		demand.Rates = d.floats(d.u32())
+		rec.Demand = demand
+	default:
+		return rec, fmt.Errorf("%w: unknown record kind %d", ErrBadWAL, uint8(rec.Kind))
+	}
+	if d.err != nil {
+		return rec, fmt.Errorf("%w: %s record: %v", ErrBadWAL, rec.Kind, d.err)
+	}
+	if d.off != len(p) {
+		return rec, fmt.Errorf("%w: %d trailing bytes in %s record", ErrBadWAL, len(p)-d.off, rec.Kind)
+	}
+	return rec, nil
+}
+
+type recDecoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *recDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.p) || d.off+n < d.off {
+		d.err = errors.New("truncated payload")
+		return nil
+	}
+	b := d.p[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *recDecoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *recDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *recDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *recDecoder) f64() float64 {
+	return math.Float64frombits(d.u64())
+}
+
+func (d *recDecoder) floats(n uint32) []float64 {
+	if d.err == nil && uint64(n)*8 > uint64(len(d.p)-d.off) {
+		d.err = errors.New("float run exceeds payload")
+		return nil
+	}
+	out := make([]float64, 0, n)
+	for i := uint32(0); i < n && d.err == nil; i++ {
+		out = append(out, d.f64())
+	}
+	return out
+}
+
+// segmentNames filters and orders wal segment files by generation.
+func segmentNames(names []string) []string {
+	var segs []string
+	for _, n := range names {
+		if _, ok := segmentGen(n); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Strings(segs) // zero-padded generations sort lexically
+	return segs
+}
+
+// segmentGen parses the generation out of a wal-<gen>.log name.
+func segmentGen(name string) (uint64, bool) {
+	s, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, false
+	}
+	s, ok = strings.CutSuffix(s, ".log")
+	if !ok || s == "" {
+		return 0, false
+	}
+	var g uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		g = g*10 + uint64(c-'0')
+	}
+	return g, true
+}

@@ -65,8 +65,10 @@ type Document struct {
 // name so the scale rows can never silently drop out of the gate),
 // the decremental close fold the churn path prices departures with,
 // the serving session's query throughput idle and under commit load,
-// and the substrate checkpoint codec's save/restore pair.
-var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick", "BenchmarkTrafficReplay", "BenchmarkTrafficReplay10k", "BenchmarkCloseFold", "BenchmarkServeQueries", "BenchmarkCheckpointRestore"}
+// the substrate checkpoint codec's save/restore pair, the write-ahead
+// log's append path under each fsync policy, and the crash-recovery
+// path (checkpoint load + WAL replay at n=2000).
+var defaultPins = []string{"BenchmarkMarginalProbe", "BenchmarkGrowArrivals", "BenchmarkMarketTick", "BenchmarkTrafficReplay", "BenchmarkTrafficReplay10k", "BenchmarkCloseFold", "BenchmarkServeQueries", "BenchmarkCheckpointRestore", "BenchmarkWALAppend", "BenchmarkCrashRecovery"}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/lightning-creation-games/lcg/internal/graph"
 	"github.com/lightning-creation-games/lcg/internal/serve"
+	"github.com/lightning-creation-games/lcg/internal/wal"
 )
 
 // networkJSON is the stable on-disk representation of a Network: a user
@@ -89,6 +90,17 @@ func (n *Network) WriteJSON(w io.Writer) error {
 // snapshot is epoch-frozen: concurrent commits wait while it streams.
 func (ls *LiveSession) SaveCheckpoint(w io.Writer) error {
 	if err := ls.s.Checkpoint(w); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return nil
+}
+
+// SaveCheckpointFile writes a checkpoint to path crash-safely: the
+// snapshot streams to path+".tmp", is fsynced, and only then atomically
+// renamed over path — a crash mid-write leaves the previous file (or
+// nothing) instead of a torn snapshot.
+func (ls *LiveSession) SaveCheckpointFile(path string) error {
+	if err := wal.AtomicWrite(wal.OS{}, path, ls.s.Checkpoint); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
 	return nil

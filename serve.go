@@ -11,6 +11,7 @@ import (
 	"github.com/lightning-creation-games/lcg/internal/core"
 	"github.com/lightning-creation-games/lcg/internal/serve"
 	"github.com/lightning-creation-games/lcg/internal/txdist"
+	"github.com/lightning-creation-games/lcg/internal/wal"
 )
 
 // LiveConfig shapes a live serving session (see NewLiveSession).
@@ -58,6 +59,32 @@ func (c LiveConfig) dist() txdist.Distribution {
 	return txdist.ModifiedZipf{S: c.ZipfS}
 }
 
+// DurabilityConfig shapes a crash-safe serving session (see
+// OpenDurableSession): where state lives on disk, how eagerly the
+// write-ahead log fsyncs, and when the background checkpointer
+// compacts it.
+type DurabilityConfig struct {
+	// Dir holds the session's durable state: wal-<gen>.log segments and
+	// ckpt-<epoch>.bin snapshots side by side. Required.
+	Dir string
+	// SyncEvery batches WAL fsyncs: 0 or 1 fsyncs after every record
+	// (no acknowledged mutation is ever lost); N > 1 fsyncs every N
+	// records, trading up to N-1 acknowledged mutations for throughput.
+	SyncEvery int
+	// SyncInterval switches the WAL to timer-driven fsync instead:
+	// appends never fsync inline and the loss window is the interval.
+	SyncInterval time.Duration
+	// CheckpointInterval and CheckpointMutations trigger the background
+	// checkpointer on a timer and/or a mutation count (0 disables a
+	// trigger; with both zero the WAL alone carries durability until
+	// Close).
+	CheckpointInterval  time.Duration
+	CheckpointMutations int
+	// Retain is how many checkpoint generations survive pruning
+	// (default 2).
+	Retain int
+}
+
 // LiveSession is a serving session over a live network: it owns the
 // substrate, prices join and best-response queries against frozen
 // snapshot epochs while commits proceed, and checkpoints itself to a
@@ -65,6 +92,70 @@ func (c LiveConfig) dist() txdist.Distribution {
 type LiveSession struct {
 	s   *serve.Session
 	cfg LiveConfig
+	d   *serve.Durable // nil unless opened via OpenDurableSession
+}
+
+// OpenDurableSession opens a crash-safe serving session over dur.Dir.
+// If the directory holds durable state from a previous run, the session
+// recovers from it — newest checkpoint plus write-ahead-log replay,
+// landing on the exact pre-crash epoch with zero plane rebuilds — and n
+// is ignored. Otherwise n seeds a fresh session (exactly like
+// NewLiveSession) and an initial checkpoint is written before serving
+// starts. Close the session to stop the background checkpointer and
+// write a final snapshot.
+func OpenDurableSession(n *Network, cfg LiveConfig, dur DurabilityConfig) (*LiveSession, error) {
+	cfg, params := cfg.normalized()
+	if dur.Dir == "" {
+		return nil, fmt.Errorf("%w: durable session needs a state directory", ErrBadInput)
+	}
+	scfg := serve.Config{
+		Params:        params,
+		RemoteBalance: cfg.RemoteBalance,
+		Dist:          cfg.dist(),
+		Workers:       cfg.Parallelism,
+	}
+	var seed func() (*serve.Session, error)
+	if n != nil && n.NumUsers() > 0 {
+		seed = func() (*serve.Session, error) {
+			gs, err := core.NewGrowSession(n.graphView().Clone(), params, 0, cfg.RemoteBalance)
+			if err != nil {
+				return nil, err
+			}
+			return serve.NewSession(gs, scfg)
+		}
+	}
+	d, err := serve.Open(serve.DurableConfig{
+		Dir:                 dur.Dir,
+		Sync:                wal.SyncPolicy{Every: dur.SyncEvery, Interval: dur.SyncInterval},
+		CheckpointInterval:  dur.CheckpointInterval,
+		CheckpointMutations: dur.CheckpointMutations,
+		Retain:              dur.Retain,
+	}, scfg, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return &LiveSession{s: d.S, cfg: cfg, d: d}, nil
+}
+
+// Recovered reports what a durable open found on disk: the epoch of the
+// checkpoint it restored and how many WAL records it replayed on top.
+// Both zero for fresh or non-durable sessions.
+func (ls *LiveSession) Recovered() (checkpointEpoch uint64, walRecords int) {
+	if ls.d == nil {
+		return 0, 0
+	}
+	return ls.d.RecoveredCheckpointEpoch, ls.d.RecoveredWALRecords
+}
+
+// Close shuts the durability layer down: the background checkpointer
+// stops, a final checkpoint is written if mutations are pending, and
+// the WAL closes. A no-op for sessions without one; the session itself
+// keeps answering in-memory queries either way.
+func (ls *LiveSession) Close() error {
+	if ls.d == nil {
+		return nil
+	}
+	return ls.d.Close()
 }
 
 // NewLiveSession opens a serving session over a copy of n. The network
@@ -117,7 +208,17 @@ func (ls *LiveSession) Serve(ctx context.Context, addr string, tickEvery time.Du
 	if err != nil {
 		return fmt.Errorf("%w: listen %s: %v", ErrBadInput, addr, err)
 	}
-	srv := &http.Server{Handler: ls.Handler()}
+	// Server-level timeouts bound slow or dead clients: a header that
+	// never finishes, a body that trickles, an idle keep-alive hoard.
+	// WriteTimeout stays unset — the checkpoint stream legitimately runs
+	// for minutes and carries its own write deadline; per-query deadlines
+	// come from the handler's timeout wrapper instead.
+	srv := &http.Server{
+		Handler:           ls.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	tickCtx, stopTicks := context.WithCancel(ctx)
 	defer stopTicks()
 	if tickEvery > 0 {

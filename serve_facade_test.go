@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -96,5 +97,97 @@ func TestLiveSessionServeLifecycle(t *testing.T) {
 	}
 	if err := ls.Serve(context.Background(), "256.256.256.256:bad", 0); !errors.Is(err, ErrBadInput) {
 		t.Fatalf("bad addr: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestOpenDurableSessionLifecycle(t *testing.T) {
+	dir := t.TempDir() + "/state"
+	cfg := LiveConfig{ZipfS: 1}
+	dur := DurabilityConfig{Dir: dir, CheckpointMutations: 4}
+
+	ls, err := OpenDurableSession(BarabasiAlbert(20, 2, 10, 1), cfg, dur)
+	if err != nil {
+		t.Fatalf("OpenDurableSession: %v", err)
+	}
+	if ce, wr := ls.Recovered(); ce != 0 || wr != 0 {
+		t.Fatalf("fresh open claims recovery: checkpoint epoch %d, %d records", ce, wr)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := ls.Tick(1, int64(i)); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+	}
+	wantEpoch := ls.Epoch()
+	var before bytes.Buffer
+	if err := ls.SaveCheckpoint(&before); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ls.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// Reopen recovers the exact epoch with zero plane rebuilds; the
+	// seed network is ignored once the directory carries state.
+	rec, err := OpenDurableSession(BarabasiAlbert(99, 2, 10, 7), cfg, dur)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer rec.Close() //nolint:errcheck
+	if rec.Epoch() != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d", rec.Epoch(), wantEpoch)
+	}
+	if ce, _ := rec.Recovered(); ce == 0 {
+		t.Fatal("reopen did not report the recovered checkpoint epoch")
+	}
+	if rec.Session().RebuildCount() != 0 {
+		t.Fatal("recovery paid an all-pairs rebuild")
+	}
+	var after bytes.Buffer
+	if err := rec.SaveCheckpoint(&after); err != nil {
+		t.Fatalf("SaveCheckpoint after recovery: %v", err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("recovered checkpoint differs from pre-shutdown one (%d vs %d bytes)",
+			before.Len(), after.Len())
+	}
+
+	if _, err := OpenDurableSession(nil, cfg, DurabilityConfig{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty dir: err = %v, want ErrBadInput", err)
+	}
+	if _, err := OpenDurableSession(nil, cfg, DurabilityConfig{Dir: t.TempDir() + "/empty"}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("no seed and no state: err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestSaveCheckpointFileAtomic(t *testing.T) {
+	ls, err := NewLiveSession(BarabasiAlbert(16, 2, 10, 1), LiveConfig{})
+	if err != nil {
+		t.Fatalf("NewLiveSession: %v", err)
+	}
+	path := t.TempDir() + "/session.ckpt"
+	if err := ls.SaveCheckpointFile(path); err != nil {
+		t.Fatalf("SaveCheckpointFile: %v", err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open checkpoint: %v", err)
+	}
+	defer f.Close()
+	restored, err := LoadCheckpoint(f, LiveConfig{})
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if restored.Session().NumNodes() != ls.Session().NumNodes() {
+		t.Fatalf("restored %d nodes, want %d", restored.Session().NumNodes(), ls.Session().NumNodes())
+	}
+	// A write into a missing directory fails without touching path.
+	if err := ls.SaveCheckpointFile(t.TempDir() + "/missing/x.ckpt"); err == nil {
+		t.Fatal("write into missing directory succeeded")
 	}
 }
